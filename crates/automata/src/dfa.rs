@@ -1,0 +1,327 @@
+//! Deterministic finite automata, used by the enumeration algorithm of
+//! Section 8 (Lemma 8.8 requires determinism to rule out duplicate results).
+
+use crate::nfa::{Nfa, StateId};
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A deterministic finite automaton over a generic alphabet `A`.
+///
+/// Transitions are partial: a missing `(state, symbol)` entry means the run
+/// dies (equivalently, moves to an implicit rejecting sink).
+#[derive(Debug, Clone)]
+pub struct Dfa<A> {
+    transitions: Vec<HashMap<A, StateId>>,
+    start: StateId,
+    accepting: Vec<bool>,
+}
+
+impl<A: Copy + Eq + Hash + Ord + Debug> Default for Dfa<A> {
+    fn default() -> Self {
+        Self::with_states(1)
+    }
+}
+
+impl<A: Copy + Eq + Hash + Ord + Debug> Dfa<A> {
+    /// Creates a DFA with `n ≥ 1` states and start state `0`.
+    pub fn with_states(n: usize) -> Self {
+        assert!(n >= 1);
+        Dfa {
+            transitions: vec![HashMap::new(); n],
+            start: 0,
+            accepting: vec![false; n],
+        }
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        self.transitions.push(HashMap::new());
+        self.accepting.push(false);
+        self.transitions.len() - 1
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Number of transitions (the paper's `|M|`).
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.iter().map(HashMap::len).sum()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Sets the start state.
+    pub fn set_start(&mut self, s: StateId) {
+        assert!(s < self.num_states());
+        self.start = s;
+    }
+
+    /// Marks a state as accepting (or not).
+    pub fn set_accepting(&mut self, s: StateId, accepting: bool) {
+        self.accepting[s] = accepting;
+    }
+
+    /// `true` if `s` is accepting.
+    pub fn is_accepting(&self, s: StateId) -> bool {
+        self.accepting[s]
+    }
+
+    /// The accepting states.
+    pub fn accepting_states(&self) -> Vec<StateId> {
+        (0..self.num_states()).filter(|&s| self.accepting[s]).collect()
+    }
+
+    /// Adds (or overwrites) the transition `p --x--> q`.
+    pub fn add_transition(&mut self, p: StateId, x: A, q: StateId) {
+        assert!(p < self.num_states() && q < self.num_states());
+        self.transitions[p].insert(x, q);
+    }
+
+    /// The successor `δ(p, x)`, if defined.
+    pub fn step(&self, p: StateId, x: A) -> Option<StateId> {
+        self.transitions[p].get(&x).copied()
+    }
+
+    /// Runs the DFA on a word from the start state; `None` if the run dies.
+    pub fn run(&self, word: &[A]) -> Option<StateId> {
+        let mut state = self.start;
+        for &x in word {
+            state = self.step(state, x)?;
+        }
+        Some(state)
+    }
+
+    /// `true` iff the word is accepted.
+    pub fn accepts(&self, word: &[A]) -> bool {
+        self.run(word).map(|s| self.accepting[s]).unwrap_or(false)
+    }
+
+    /// Iterates over all arcs `(p, symbol, q)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (StateId, A, StateId)> + '_ {
+        self.transitions
+            .iter()
+            .enumerate()
+            .flat_map(|(p, m)| m.iter().map(move |(&a, &q)| (p, a, q)))
+    }
+
+    /// The sorted alphabet of symbols used on transitions.
+    pub fn alphabet(&self) -> Vec<A> {
+        let mut set: Vec<A> = self.arcs().map(|(_, a, _)| a).collect();
+        set.sort();
+        set.dedup();
+        set
+    }
+
+    /// `true` if every state has a transition for every symbol in `alphabet`.
+    pub fn is_complete_for(&self, alphabet: &[A]) -> bool {
+        self.transitions
+            .iter()
+            .all(|m| alphabet.iter().all(|a| m.contains_key(a)))
+    }
+
+    /// Converts to an equivalent [`Nfa`] (no ε-transitions, deterministic).
+    pub fn to_nfa(&self) -> Nfa<A> {
+        let mut n = Nfa::with_states(self.num_states());
+        n.set_start(self.start);
+        for (p, a, q) in self.arcs() {
+            n.add_transition(p, a, q);
+        }
+        for s in self.accepting_states() {
+            n.set_accepting(s, true);
+        }
+        n
+    }
+
+    /// Removes states not reachable from the start state.
+    pub fn trim(&self) -> Dfa<A> {
+        let mut reachable = vec![false; self.num_states()];
+        reachable[self.start] = true;
+        let mut stack = vec![self.start];
+        while let Some(p) = stack.pop() {
+            for (&_a, &q) in &self.transitions[p] {
+                if !reachable[q] {
+                    reachable[q] = true;
+                    stack.push(q);
+                }
+            }
+        }
+        let mut remap = vec![usize::MAX; self.num_states()];
+        let mut next = 0usize;
+        for (i, &r) in reachable.iter().enumerate() {
+            if r {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let mut out = Dfa::with_states(next.max(1));
+        out.set_start(remap[self.start]);
+        for (p, a, q) in self.arcs() {
+            if reachable[p] && reachable[q] {
+                out.add_transition(remap[p], a, remap[q]);
+            }
+        }
+        for (i, &r) in reachable.iter().enumerate() {
+            if r && self.accepting[i] {
+                out.set_accepting(remap[i], true);
+            }
+        }
+        out
+    }
+
+    /// Minimises the DFA with Moore's partition-refinement algorithm
+    /// (`O(q² · |Σ|)`), after trimming unreachable states.  The language is
+    /// unchanged.
+    pub fn minimize(&self) -> Dfa<A> {
+        let dfa = self.trim();
+        let n = dfa.num_states();
+        let alphabet = dfa.alphabet();
+        // Initial partition: accepting vs non-accepting (class ids 0/1).
+        let mut class: Vec<usize> = dfa
+            .accepting
+            .iter()
+            .map(|&acc| if acc { 0 } else { 1 })
+            .collect();
+        loop {
+            let old_count = class.iter().collect::<std::collections::HashSet<_>>().len();
+            // Signature of a state: (its class, class of the successor per symbol).
+            let mut signatures: HashMap<(usize, Vec<Option<usize>>), usize> = HashMap::new();
+            let mut new_class = vec![0usize; n];
+            for s in 0..n {
+                let sig: Vec<Option<usize>> = alphabet
+                    .iter()
+                    .map(|&a| dfa.step(s, a).map(|t| class[t]))
+                    .collect();
+                let key = (class[s], sig);
+                let next_id = signatures.len();
+                let id = *signatures.entry(key).or_insert(next_id);
+                new_class[s] = id;
+            }
+            // Moore's algorithm terminates when refining no longer splits any class.
+            let stable = signatures.len() == old_count;
+            class = new_class;
+            if stable {
+                break;
+            }
+        }
+        let num_classes = class.iter().copied().max().unwrap_or(0) + 1;
+        let mut out = Dfa::with_states(num_classes);
+        out.set_start(class[dfa.start]);
+        for (p, a, q) in dfa.arcs() {
+            out.add_transition(class[p], a, class[q]);
+        }
+        for s in 0..n {
+            if dfa.accepting[s] {
+                out.set_accepting(class[s], true);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// DFA for (a|b)*abb.
+    fn abb_dfa() -> Dfa<u8> {
+        let mut d = Dfa::with_states(4);
+        d.add_transition(0, b'a', 1);
+        d.add_transition(0, b'b', 0);
+        d.add_transition(1, b'a', 1);
+        d.add_transition(1, b'b', 2);
+        d.add_transition(2, b'a', 1);
+        d.add_transition(2, b'b', 3);
+        d.add_transition(3, b'a', 1);
+        d.add_transition(3, b'b', 0);
+        d.set_accepting(3, true);
+        d
+    }
+
+    #[test]
+    fn runs_and_accepts() {
+        let d = abb_dfa();
+        assert!(d.accepts(b"abb"));
+        assert!(d.accepts(b"ababb"));
+        assert!(!d.accepts(b"ab"));
+        assert!(!d.accepts(b""));
+        assert_eq!(d.run(b"ab"), Some(2));
+        // A symbol without a transition kills the run.
+        assert_eq!(d.run(b"xyz"), None);
+        assert!(!d.accepts(b"x"));
+    }
+
+    #[test]
+    fn completeness_check() {
+        let d = abb_dfa();
+        assert!(d.is_complete_for(&[b'a', b'b']));
+        assert!(!d.is_complete_for(&[b'a', b'b', b'c']));
+    }
+
+    #[test]
+    fn round_trip_through_nfa() {
+        let d = abb_dfa();
+        let n = d.to_nfa();
+        assert!(n.is_deterministic());
+        for w in [&b"abb"[..], b"ababb", b"ab", b"bbb"] {
+            assert_eq!(d.accepts(w), n.accepts(w));
+        }
+    }
+
+    #[test]
+    fn trim_removes_unreachable_states() {
+        let mut d = abb_dfa();
+        let junk = d.add_state();
+        d.add_transition(junk, b'a', junk);
+        d.set_accepting(junk, true);
+        let t = d.trim();
+        assert_eq!(t.num_states(), 4);
+        assert!(t.accepts(b"abb"));
+        assert!(!t.accepts(b"a"));
+    }
+
+    #[test]
+    fn minimization_merges_equivalent_states() {
+        // Build a DFA for "words over {a} of even length" with redundant states:
+        // 0 -a-> 1 -a-> 2 -a-> 3 -a-> 0, accepting {0, 2}: minimal has 2 states.
+        let mut d = Dfa::with_states(4);
+        d.add_transition(0, b'a', 1);
+        d.add_transition(1, b'a', 2);
+        d.add_transition(2, b'a', 3);
+        d.add_transition(3, b'a', 0);
+        d.set_accepting(0, true);
+        d.set_accepting(2, true);
+        let m = d.minimize();
+        assert_eq!(m.num_states(), 2);
+        for len in 0..10 {
+            let w = vec![b'a'; len];
+            assert_eq!(m.accepts(&w), len % 2 == 0, "len {len}");
+        }
+    }
+
+    #[test]
+    fn minimization_preserves_language_of_abb() {
+        let d = abb_dfa();
+        let m = d.minimize();
+        assert!(m.num_states() <= d.num_states());
+        for w in [
+            &b""[..],
+            b"a",
+            b"b",
+            b"abb",
+            b"aabb",
+            b"ababb",
+            b"abab",
+            b"bbabb",
+            b"abbabb",
+            b"abbb",
+        ] {
+            assert_eq!(d.accepts(w), m.accepts(w), "word {:?}", w);
+        }
+    }
+}

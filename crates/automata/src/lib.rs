@@ -1,0 +1,38 @@
+//! # spanner-automata — finite automata over spanner alphabets
+//!
+//! Finite-automata substrate for the PODS 2021 paper *"Spanner Evaluation
+//! over SLP-Compressed Documents"*.  The paper represents regular spanners
+//! as NFAs/DFAs over the extended alphabet `Σ ∪ P(Γ_X)` (terminals plus
+//! marker-set symbols); this crate keeps the alphabet fully generic so the
+//! same machinery serves
+//!
+//! * plain regular languages over bytes (for the membership substrate of
+//!   Lemma 4.5),
+//! * subword-marked languages over `Σ ∪ P(Γ_X)` (built by the `spanner`
+//!   crate), and
+//! * the "ended" alphabets the evaluator uses internally.
+//!
+//! Provided components:
+//!
+//! * [`Nfa`] — nondeterministic finite automata with ε-transitions
+//!   (Section 2 of the paper), with simulation, ε-removal
+//!   ([`Nfa::without_epsilon`]) and subset construction ([`Nfa::determinize`]).
+//! * [`Dfa`] — deterministic automata with partition-refinement minimisation.
+//! * [`BoolMatrix`] — `q × q` Boolean matrices with `u64`-blocked
+//!   multiplication, the workhorse of Lemma 4.5.
+//! * [`membership`] — checking whether the document derived by an SLP belongs
+//!   to a regular language **without decompressing** (Lemma 4.5), in time
+//!   `O(size(S) · q³ / 64)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dfa;
+pub mod matrix;
+pub mod membership;
+pub mod nfa;
+
+pub use dfa::Dfa;
+pub use matrix::BoolMatrix;
+pub use membership::{compressed_membership, transition_matrices};
+pub use nfa::{Label, Nfa, StateId};

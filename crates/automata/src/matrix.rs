@@ -1,0 +1,253 @@
+//! Boolean `q × q` matrices with `u64`-blocked rows.
+//!
+//! These are the matrices `M_A` of Lemma 4.5: entry `(i, j)` records whether
+//! the automaton can move from state `i` to state `j` while reading the word
+//! derived by a non-terminal.  Multiplication composes readings, so the
+//! matrix of `A → BC` is `M_B · M_C`.
+
+/// A dense Boolean matrix of dimension `n × n`, rows packed into `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BoolMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BoolMatrix {
+    /// The all-zero matrix of dimension `n × n`.
+    pub fn zero(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64).max(1);
+        BoolMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; words_per_row * n],
+        }
+    }
+
+    /// The identity matrix of dimension `n × n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.n && j < self.n);
+        let w = self.bits[i * self.words_per_row + j / 64];
+        (w >> (j % 64)) & 1 == 1
+    }
+
+    /// Writes entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        debug_assert!(i < self.n && j < self.n);
+        let idx = i * self.words_per_row + j / 64;
+        let mask = 1u64 << (j % 64);
+        if value {
+            self.bits[idx] |= mask;
+        } else {
+            self.bits[idx] &= !mask;
+        }
+    }
+
+    /// Boolean matrix product `self · other` (row-by-row, `u64`-blocked:
+    /// `O(n³ / 64)` word operations).
+    pub fn multiply(&self, other: &BoolMatrix) -> BoolMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let mut out = BoolMatrix::zero(self.n);
+        for i in 0..self.n {
+            let row_i = &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row];
+            let out_row = i * self.words_per_row;
+            for (k, &word) in row_i.iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let k_state = k * 64 + bit;
+                    let other_row =
+                        &other.bits[k_state * other.words_per_row..(k_state + 1) * other.words_per_row];
+                    for (j, &ow) in other_row.iter().enumerate() {
+                        out.bits[out_row + j] |= ow;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise Boolean OR.
+    pub fn or(&self, other: &BoolMatrix) -> BoolMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+        out
+    }
+
+    /// Reflexive–transitive closure (Warshall with bit-parallel rows):
+    /// entry `(i, j)` of the result is `true` iff `j` is reachable from `i`
+    /// along edges of `self` (including the empty path).
+    pub fn reflexive_transitive_closure(&self) -> BoolMatrix {
+        let mut m = self.or(&BoolMatrix::identity(self.n));
+        for k in 0..self.n {
+            let row_k = m.bits[k * m.words_per_row..(k + 1) * m.words_per_row].to_vec();
+            for i in 0..self.n {
+                if m.get(i, k) {
+                    let base = i * m.words_per_row;
+                    for (j, &w) in row_k.iter().enumerate() {
+                        m.bits[base + j] |= w;
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Iterator over the column indices set in row `i`.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let row = &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row];
+        row.iter().enumerate().flat_map(|(k, &w)| {
+            let mut w = w;
+            let mut out = Vec::new();
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                out.push(k * 64 + bit);
+            }
+            out
+        })
+    }
+
+    /// `true` if any entry in row `i` among the given columns is set.
+    pub fn row_intersects(&self, i: usize, columns: &[usize]) -> bool {
+        columns.iter().any(|&j| self.get(i, j))
+    }
+}
+
+impl std::fmt::Debug for BoolMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "BoolMatrix({}x{})", self.n, self.n)?;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                write!(f, "{}", if self.get(i, j) { '1' } else { '.' })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let mut a = BoolMatrix::zero(5);
+        a.set(0, 3, true);
+        a.set(3, 4, true);
+        a.set(2, 2, true);
+        let id = BoolMatrix::identity(5);
+        assert_eq!(a.multiply(&id), a);
+        assert_eq!(id.multiply(&a), a);
+    }
+
+    #[test]
+    fn multiplication_composes_paths() {
+        // a: 0 -> 1, b: 1 -> 2  =>  a*b: 0 -> 2
+        let mut a = BoolMatrix::zero(3);
+        a.set(0, 1, true);
+        let mut b = BoolMatrix::zero(3);
+        b.set(1, 2, true);
+        let ab = a.multiply(&b);
+        assert!(ab.get(0, 2));
+        assert!(!ab.get(0, 1));
+        assert!(!ab.get(1, 2));
+    }
+
+    #[test]
+    fn multiplication_matches_naive_on_random_matrices() {
+        // Deterministic pseudo-random fill over a dimension crossing 64.
+        let n = 70;
+        let mut a = BoolMatrix::zero(n);
+        let mut b = BoolMatrix::zero(n);
+        let mut x = 0x12345678u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..n {
+            for j in 0..n {
+                if next() % 5 == 0 {
+                    a.set(i, j, true);
+                }
+                if next() % 7 == 0 {
+                    b.set(i, j, true);
+                }
+            }
+        }
+        let fast = a.multiply(&b);
+        for i in 0..n {
+            for j in 0..n {
+                let mut expect = false;
+                for k in 0..n {
+                    if a.get(i, k) && b.get(k, j) {
+                        expect = true;
+                        break;
+                    }
+                }
+                assert_eq!(fast.get(i, j), expect, "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn closure_reaches_along_chains() {
+        let mut a = BoolMatrix::zero(4);
+        a.set(0, 1, true);
+        a.set(1, 2, true);
+        a.set(2, 3, true);
+        let c = a.reflexive_transitive_closure();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(c.get(i, j), j >= i, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn row_iter_yields_set_columns() {
+        let mut a = BoolMatrix::zero(130);
+        a.set(1, 0, true);
+        a.set(1, 64, true);
+        a.set(1, 129, true);
+        let cols: Vec<usize> = a.row_iter(1).collect();
+        assert_eq!(cols, vec![0, 64, 129]);
+        assert!(a.row_intersects(1, &[5, 64]));
+        assert!(!a.row_intersects(1, &[5, 63]));
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let mut a = BoolMatrix::zero(2);
+        a.set(1, 1, true);
+        assert!(a.get(1, 1));
+        a.set(1, 1, false);
+        assert!(!a.get(1, 1));
+        let dbg = format!("{:?}", a);
+        assert!(dbg.contains("2x2"));
+    }
+}

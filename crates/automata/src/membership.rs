@@ -1,0 +1,186 @@
+//! Membership of an SLP-compressed document in a regular language
+//! (Lemma 4.5 of the paper), without decompression.
+//!
+//! For every non-terminal `A` of the SLP a Boolean matrix `M_A` is computed
+//! whose entry `(i, j)` says whether the automaton can move from state `i`
+//! to state `j` while reading `D(A)`.  Leaf matrices come from the
+//! transition relation; for `A → BC` the matrix is the Boolean product
+//! `M_B · M_C`.  The document is accepted iff some accepting state is
+//! reachable from the start state in `M_{S₀}`.
+
+use crate::matrix::BoolMatrix;
+use crate::nfa::{Label, Nfa};
+use slp::{NfRule, NormalFormSlp, Terminal};
+use std::collections::HashMap;
+
+/// Computes the per-non-terminal reachability matrices of Lemma 4.5 for an
+/// NFA (ε-transitions are handled through closure matrices).
+///
+/// The result is indexed by non-terminal; entry `(i, j)` of `matrices[A]` is
+/// `true` iff `j ∈ δ(i, D(A))` in the ε-free sense, i.e. reading `D(A)` with
+/// arbitrary interleaved ε-moves can take the automaton from `i` to `j`
+/// (a *leading* ε-closure is already folded in; apply
+/// [`accepts_from_matrices`] for the acceptance check, which also accounts
+/// for the trailing closure and the empty-word corner case).
+pub fn transition_matrices<T: Terminal>(
+    nfa: &Nfa<T>,
+    slp: &NormalFormSlp<T>,
+) -> Vec<BoolMatrix> {
+    let q = nfa.num_states();
+    // ε-closure matrix C (reflexive-transitive closure of ε-arcs).
+    let mut eps = BoolMatrix::zero(q);
+    for (p, l, r) in nfa.arcs() {
+        if matches!(l, Label::Epsilon) {
+            eps.set(p, r, true);
+        }
+    }
+    let closure = eps.reflexive_transitive_closure();
+
+    // Per-terminal one-step matrices  C · A_x · C.
+    let mut per_terminal: HashMap<T, BoolMatrix> = HashMap::new();
+    for x in slp.terminals() {
+        let mut m = BoolMatrix::zero(q);
+        for (p, l, r) in nfa.arcs() {
+            if l == Label::Symbol(x) {
+                m.set(p, r, true);
+            }
+        }
+        let m = closure.multiply(&m).multiply(&closure);
+        per_terminal.insert(x, m);
+    }
+
+    let mut matrices: Vec<BoolMatrix> = vec![BoolMatrix::zero(q); slp.num_non_terminals()];
+    for &a in slp.bottom_up_order() {
+        matrices[a.index()] = match slp.rule(a) {
+            NfRule::Leaf(x) => per_terminal
+                .get(&x)
+                .expect("terminal matrix precomputed for every leaf")
+                .clone(),
+            NfRule::Pair(b, c) => matrices[b.index()].multiply(&matrices[c.index()]),
+        };
+    }
+    matrices
+}
+
+/// Acceptance check from precomputed matrices: `true` iff the document
+/// derived by the SLP is in `L(nfa)`.
+pub fn accepts_from_matrices<T: Terminal>(
+    nfa: &Nfa<T>,
+    slp: &NormalFormSlp<T>,
+    matrices: &[BoolMatrix],
+) -> bool {
+    let accepting = nfa.accepting_states();
+    let root = &matrices[slp.start().index()];
+    root.row_intersects(nfa.start(), &accepting)
+}
+
+/// Checks whether the SLP-compressed document belongs to the regular
+/// language of the automaton (Lemma 4.5): time `O(size(S) · q³ / 64)` and
+/// space `O(size(S) · q²)`, never decompressing the document.
+pub fn compressed_membership<T: Terminal>(nfa: &Nfa<T>, slp: &NormalFormSlp<T>) -> bool {
+    let matrices = transition_matrices(nfa, slp);
+    accepts_from_matrices(nfa, slp, &matrices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp::compress::{Compressor, RePair};
+    use slp::families;
+
+    /// NFA over {a,b} for the language (a|b)*abb.
+    fn abb_nfa() -> Nfa<u8> {
+        let mut n = Nfa::with_states(4);
+        n.add_transition(0, b'a', 0);
+        n.add_transition(0, b'b', 0);
+        n.add_transition(0, b'a', 1);
+        n.add_transition(1, b'b', 2);
+        n.add_transition(2, b'b', 3);
+        n.set_accepting(3, true);
+        n
+    }
+
+    /// NFA with ε-transitions for a*b* .
+    fn a_star_b_star() -> Nfa<u8> {
+        let mut n = Nfa::with_states(2);
+        n.add_transition(0, b'a', 0);
+        n.add_epsilon(0, 1);
+        n.add_transition(1, b'b', 1);
+        n.set_accepting(1, true);
+        n
+    }
+
+    #[test]
+    fn compressed_membership_agrees_with_simulation() {
+        let nfa = abb_nfa();
+        for doc in [
+            b"abb".to_vec(),
+            b"aababb".to_vec(),
+            b"abba".to_vec(),
+            b"bbbb".to_vec(),
+            b"abbabbabbabb".to_vec(),
+        ] {
+            let slp = RePair::default().compress(&doc);
+            assert_eq!(
+                compressed_membership(&nfa, &slp),
+                nfa.accepts(&doc),
+                "doc {:?}",
+                String::from_utf8_lossy(&doc)
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_transitions_are_respected() {
+        let nfa = a_star_b_star();
+        for (doc, expect) in [
+            (&b"aaabbb"[..], true),
+            (b"aaaa", true),
+            (b"bbbb", true),
+            (b"ab", true),
+            (b"ba", false),
+            (b"aba", false),
+        ] {
+            let slp = NormalFormSlp::from_document(doc).unwrap();
+            assert_eq!(compressed_membership(&nfa, &slp), expect, "doc {:?}", doc);
+        }
+    }
+
+    #[test]
+    fn works_on_exponentially_compressed_documents() {
+        // a^(2^30) is a member of a* but contains no b.
+        let slp = families::power_of_two_unary(b'a', 30);
+        let nfa = a_star_b_star();
+        assert!(compressed_membership(&nfa, &slp));
+
+        // (ab)^k ends with b, so it is not in (a|b)*abb unless ...bb occurs.
+        let slp = families::power_word(b"ab", 1 << 25);
+        assert!(!compressed_membership(&abb_nfa(), &slp));
+        // but (ab)^k·b ends with "abb"; append one b via a tiny wrapper grammar.
+        let appended = slp.append_terminal(b'b');
+        assert!(compressed_membership(&abb_nfa(), &appended));
+    }
+
+    #[test]
+    fn matrices_expose_intermediate_reachability() {
+        let nfa = abb_nfa();
+        let slp = NormalFormSlp::from_document(b"ab").unwrap();
+        let matrices = transition_matrices(&nfa, &slp);
+        let root = &matrices[slp.start().index()];
+        // Reading "ab" from state 0 can end in state 0 (self-loops) or 2.
+        assert!(root.get(0, 0));
+        assert!(root.get(0, 2));
+        assert!(!root.get(0, 3));
+    }
+
+    #[test]
+    fn single_character_document() {
+        let nfa = abb_nfa();
+        let slp = NormalFormSlp::from_document(b"a").unwrap();
+        assert!(!compressed_membership(&nfa, &slp));
+        let mut accepts_a = Nfa::with_states(2);
+        accepts_a.add_transition(0, b'a', 1);
+        accepts_a.set_accepting(1, true);
+        assert!(compressed_membership(&accepts_a, &slp));
+    }
+}

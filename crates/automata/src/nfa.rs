@@ -1,0 +1,414 @@
+//! Nondeterministic finite automata with ε-transitions (Section 2 of the
+//! paper), generic over the alphabet.
+
+use crate::dfa::Dfa;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Index of an automaton state.  States are dense `0..num_states()`; the
+/// paper numbers them `1..q` with start state `1`, we use `0..q` with a
+/// configurable start state (default `0`).
+pub type StateId = usize;
+
+/// A transition label: a symbol of the (generic) alphabet or ε.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label<A> {
+    /// A proper alphabet symbol.
+    Symbol(A),
+    /// The empty word ε.
+    Epsilon,
+}
+
+/// A nondeterministic finite automaton `M = (Q, Σ, δ, q₀, F)` over a generic
+/// alphabet `A`.
+///
+/// The size measure `|M|` used in the paper's bounds is the number of
+/// transitions ([`Nfa::num_transitions`]).
+#[derive(Debug, Clone)]
+pub struct Nfa<A> {
+    /// transitions[p] = list of (label, target) arcs leaving p.
+    transitions: Vec<Vec<(Label<A>, StateId)>>,
+    start: StateId,
+    accepting: Vec<bool>,
+}
+
+impl<A: Copy + Eq + Hash + Ord + Debug> Default for Nfa<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Copy + Eq + Hash + Ord + Debug> Nfa<A> {
+    /// Creates an automaton with a single (non-accepting) start state `0`.
+    pub fn new() -> Self {
+        Nfa {
+            transitions: vec![Vec::new()],
+            start: 0,
+            accepting: vec![false],
+        }
+    }
+
+    /// Creates an automaton with `n ≥ 1` states and start state `0`.
+    pub fn with_states(n: usize) -> Self {
+        assert!(n >= 1, "an automaton needs at least one state");
+        Nfa {
+            transitions: vec![Vec::new(); n],
+            start: 0,
+            accepting: vec![false; n],
+        }
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        self.transitions.push(Vec::new());
+        self.accepting.push(false);
+        self.transitions.len() - 1
+    }
+
+    /// Number of states `q = |Q|`.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Number of transitions, the paper's `|M|`.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+
+    /// The start state `q₀`.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Sets the start state.
+    pub fn set_start(&mut self, s: StateId) {
+        assert!(s < self.num_states());
+        self.start = s;
+    }
+
+    /// Marks `s` as accepting (or not).
+    pub fn set_accepting(&mut self, s: StateId, accepting: bool) {
+        self.accepting[s] = accepting;
+    }
+
+    /// `true` if `s` is an accepting state.
+    pub fn is_accepting(&self, s: StateId) -> bool {
+        self.accepting[s]
+    }
+
+    /// The set of accepting states `F`.
+    pub fn accepting_states(&self) -> Vec<StateId> {
+        (0..self.num_states()).filter(|&s| self.accepting[s]).collect()
+    }
+
+    /// Adds the transition `p --x--> q`.
+    pub fn add_transition(&mut self, p: StateId, x: A, q: StateId) {
+        assert!(p < self.num_states() && q < self.num_states());
+        self.transitions[p].push((Label::Symbol(x), q));
+    }
+
+    /// Adds the ε-transition `p --ε--> q`.
+    pub fn add_epsilon(&mut self, p: StateId, q: StateId) {
+        assert!(p < self.num_states() && q < self.num_states());
+        self.transitions[p].push((Label::Epsilon, q));
+    }
+
+    /// The arcs leaving state `p`.
+    pub fn transitions_from(&self, p: StateId) -> &[(Label<A>, StateId)] {
+        &self.transitions[p]
+    }
+
+    /// Iterates over all arcs `(p, label, q)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (StateId, Label<A>, StateId)> + '_ {
+        self.transitions
+            .iter()
+            .enumerate()
+            .flat_map(|(p, arcs)| arcs.iter().map(move |&(l, q)| (p, l, q)))
+    }
+
+    /// `true` if the automaton has at least one ε-transition.
+    pub fn has_epsilon(&self) -> bool {
+        self.arcs().any(|(_, l, _)| matches!(l, Label::Epsilon))
+    }
+
+    /// The sorted set of alphabet symbols actually used on transitions.
+    pub fn alphabet(&self) -> Vec<A> {
+        let mut set: Vec<A> = self
+            .arcs()
+            .filter_map(|(_, l, _)| match l {
+                Label::Symbol(a) => Some(a),
+                Label::Epsilon => None,
+            })
+            .collect();
+        set.sort();
+        set.dedup();
+        set
+    }
+
+    /// ε-closure of a set of states.
+    pub fn epsilon_closure(&self, states: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+        let mut closure = states.clone();
+        let mut stack: Vec<StateId> = states.iter().copied().collect();
+        while let Some(p) = stack.pop() {
+            for &(l, q) in &self.transitions[p] {
+                if matches!(l, Label::Epsilon) && closure.insert(q) {
+                    stack.push(q);
+                }
+            }
+        }
+        closure
+    }
+
+    /// Simulates the automaton on a word (subset simulation,
+    /// `O(|w| · |M|)`); returns `true` iff the word is accepted.
+    pub fn accepts(&self, word: &[A]) -> bool {
+        let mut current = self.epsilon_closure(&BTreeSet::from([self.start]));
+        for &x in word {
+            let mut next = BTreeSet::new();
+            for &p in &current {
+                for &(l, q) in &self.transitions[p] {
+                    if l == Label::Symbol(x) {
+                        next.insert(q);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            current = self.epsilon_closure(&next);
+        }
+        current.iter().any(|&s| self.accepting[s])
+    }
+
+    /// `true` if the automaton is deterministic: no ε-transitions and at most
+    /// one successor per (state, symbol).
+    pub fn is_deterministic(&self) -> bool {
+        for (p, arcs) in self.transitions.iter().enumerate() {
+            let mut seen = HashSet::new();
+            for &(l, _) in arcs {
+                match l {
+                    Label::Epsilon => return false,
+                    Label::Symbol(a) => {
+                        if !seen.insert(a) {
+                            let _ = p;
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns an equivalent NFA without ε-transitions (standard closure
+    /// construction; the language is unchanged).
+    pub fn without_epsilon(&self) -> Nfa<A> {
+        let mut out = Nfa::with_states(self.num_states());
+        out.set_start(self.start);
+        for p in 0..self.num_states() {
+            let closure = self.epsilon_closure(&BTreeSet::from([p]));
+            // p is accepting if its closure contains an accepting state.
+            if closure.iter().any(|&s| self.accepting[s]) {
+                out.set_accepting(p, true);
+            }
+            let mut added: HashSet<(A, StateId)> = HashSet::new();
+            for &r in &closure {
+                for &(l, q) in &self.transitions[r] {
+                    if let Label::Symbol(a) = l {
+                        if added.insert((a, q)) {
+                            out.add_transition(p, a, q);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Subset construction: an equivalent DFA.  Only constructs reachable
+    /// subset states; worst-case exponential, as noted in Section 8 of the
+    /// paper (the blow-up affects only preprocessing / combined complexity).
+    pub fn determinize(&self) -> Dfa<A> {
+        let alphabet = self.alphabet();
+        let start_set = self.epsilon_closure(&BTreeSet::from([self.start]));
+        let mut index: HashMap<BTreeSet<StateId>, StateId> = HashMap::new();
+        let mut sets: Vec<BTreeSet<StateId>> = vec![start_set.clone()];
+        index.insert(start_set, 0);
+        let mut dfa = Dfa::with_states(1);
+        let mut queue = vec![0usize];
+        while let Some(i) = queue.pop() {
+            let set = sets[i].clone();
+            if set.iter().any(|&s| self.accepting[s]) {
+                dfa.set_accepting(i, true);
+            }
+            for &a in &alphabet {
+                let mut next = BTreeSet::new();
+                for &p in &set {
+                    for &(l, q) in &self.transitions[p] {
+                        if l == Label::Symbol(a) {
+                            next.insert(q);
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    continue;
+                }
+                let next = self.epsilon_closure(&next);
+                let j = match index.get(&next) {
+                    Some(&j) => j,
+                    None => {
+                        let j = dfa.add_state();
+                        sets.push(next.clone());
+                        index.insert(next, j);
+                        queue.push(j);
+                        j
+                    }
+                };
+                dfa.add_transition(i, a, j);
+            }
+        }
+        dfa
+    }
+
+    /// Reverses every transition and swaps start/accepting roles, producing
+    /// an NFA for the reversed language.  (A fresh start state with
+    /// ε-transitions to all former accepting states is added.)
+    pub fn reversed(&self) -> Nfa<A> {
+        let mut out = Nfa::with_states(self.num_states() + 1);
+        let fresh_start = self.num_states();
+        out.set_start(fresh_start);
+        out.set_accepting(self.start, true);
+        for (p, l, q) in self.arcs() {
+            match l {
+                Label::Symbol(a) => out.add_transition(q, a, p),
+                Label::Epsilon => out.add_epsilon(q, p),
+            }
+        }
+        for s in self.accepting_states() {
+            out.add_epsilon(fresh_start, s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NFA for the language (a|b)*abb over bytes.
+    fn abb_nfa() -> Nfa<u8> {
+        let mut n = Nfa::with_states(4);
+        n.add_transition(0, b'a', 0);
+        n.add_transition(0, b'b', 0);
+        n.add_transition(0, b'a', 1);
+        n.add_transition(1, b'b', 2);
+        n.add_transition(2, b'b', 3);
+        n.set_accepting(3, true);
+        n
+    }
+
+    #[test]
+    fn simulation_accepts_and_rejects() {
+        let n = abb_nfa();
+        assert!(n.accepts(b"abb"));
+        assert!(n.accepts(b"aababb"));
+        assert!(n.accepts(b"bbbbabb"));
+        assert!(!n.accepts(b"ab"));
+        assert!(!n.accepts(b""));
+        assert!(!n.accepts(b"abba"));
+    }
+
+    #[test]
+    fn epsilon_closure_and_removal() {
+        // 0 --eps--> 1 --a--> 2(accepting), 0 --b--> 2
+        let mut n = Nfa::with_states(3);
+        n.add_epsilon(0, 1);
+        n.add_transition(1, b'a', 2);
+        n.add_transition(0, b'b', 2);
+        n.set_accepting(2, true);
+        assert!(n.has_epsilon());
+        assert!(n.accepts(b"a"));
+        assert!(n.accepts(b"b"));
+        assert!(!n.accepts(b""));
+
+        let e = n.without_epsilon();
+        assert!(!e.has_epsilon());
+        assert!(e.accepts(b"a"));
+        assert!(e.accepts(b"b"));
+        assert!(!e.accepts(b""));
+        assert!(!e.accepts(b"ab"));
+    }
+
+    #[test]
+    fn epsilon_removal_preserves_acceptance_of_empty_word() {
+        // 0 --eps--> 1 (accepting): the empty word is accepted.
+        let mut n = Nfa::with_states(2);
+        n.add_epsilon(0, 1);
+        n.set_accepting(1, true);
+        assert!(n.accepts(b""));
+        let e = n.without_epsilon();
+        assert!(e.accepts(b""));
+    }
+
+    #[test]
+    fn determinization_preserves_language() {
+        let n = abb_nfa();
+        let d = n.determinize();
+        for w in [
+            &b""[..],
+            b"a",
+            b"b",
+            b"abb",
+            b"aabb",
+            b"ababb",
+            b"abab",
+            b"bbabb",
+            b"abbabb",
+            b"abbb",
+        ] {
+            assert_eq!(n.accepts(w), d.accepts(w), "word {:?}", w);
+        }
+        assert!(d.to_nfa().is_deterministic());
+    }
+
+    #[test]
+    fn deterministic_check() {
+        let mut n = Nfa::with_states(2);
+        n.add_transition(0, b'a', 1);
+        assert!(n.is_deterministic());
+        n.add_transition(0, b'a', 0);
+        assert!(!n.is_deterministic());
+        let mut n2 = Nfa::<u8>::with_states(2);
+        n2.add_epsilon(0, 1);
+        assert!(!n2.is_deterministic());
+    }
+
+    #[test]
+    fn arcs_and_alphabet() {
+        let n = abb_nfa();
+        assert_eq!(n.num_transitions(), 5);
+        assert_eq!(n.alphabet(), vec![b'a', b'b']);
+        assert_eq!(n.accepting_states(), vec![3]);
+    }
+
+    #[test]
+    fn reversed_language() {
+        let n = abb_nfa();
+        let r = n.reversed();
+        // The reverse of (a|b)*abb is bba(a|b)*.
+        assert!(r.accepts(b"bba"));
+        assert!(r.accepts(b"bbaba"));
+        assert!(!r.accepts(b"abb"));
+    }
+
+    #[test]
+    fn generic_alphabet_works() {
+        // Alphabet of pairs, to make sure nothing assumes bytes.
+        let mut n: Nfa<(u8, u8)> = Nfa::with_states(2);
+        n.add_transition(0, (1, 2), 1);
+        n.set_accepting(1, true);
+        assert!(n.accepts(&[(1, 2)]));
+        assert!(!n.accepts(&[(2, 1)]));
+    }
+}

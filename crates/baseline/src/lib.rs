@@ -1,0 +1,132 @@
+//! # spanner-baseline — decompress-and-solve spanner evaluation
+//!
+//! The comparison point of the paper's introduction: evaluate the spanner on
+//! the *uncompressed* document with the classical product-graph approach of
+//! Florenzano et al. / Amarilli et al. ([9, 2] in the paper).  The document
+//! is treated as a path, its product with the automaton is a DAG that
+//! represents all accepting runs, and results are read off that DAG.
+//!
+//! Data complexity: `O(d · |M|)` preprocessing for every task;
+//! [`ProductDag::enumerate`] then has output-linear delay (at most one full
+//! root-to-sink path, i.e. `O(d)`, between results — see DESIGN.md §4 for
+//! why this preserves the comparison the paper makes against constant-delay
+//! enumeration).
+//!
+//! All entry points exist in two flavours: `*_uncompressed` operating on an
+//! explicit `&[u8]` document, and `*_slp` which first **decompresses** the
+//! SLP (that is the whole point of the baseline) and then proceeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod product_dag;
+
+pub use product_dag::ProductDag;
+
+use slp::NormalFormSlp;
+use spanner::{MarkedWord, SpanTuple, SpannerAutomaton};
+
+/// Non-emptiness on an explicit document: `⟦M⟧(D) ≠ ∅`, in `O(d · |M|)`.
+pub fn is_non_empty_uncompressed(automaton: &SpannerAutomaton<u8>, document: &[u8]) -> bool {
+    ProductDag::build(automaton, document).has_results()
+}
+
+/// Model checking on an explicit document (Proposition 3.3): `t ∈ ⟦M⟧(D)`.
+pub fn check_uncompressed(
+    automaton: &SpannerAutomaton<u8>,
+    document: &[u8],
+    tuple: &SpanTuple,
+) -> Result<bool, spanner::SpannerError> {
+    let w = MarkedWord::from_document_and_tuple(document, tuple)?;
+    Ok(automaton.accepts_marked_word(&w))
+}
+
+/// Computes the whole relation `⟦M⟧(D)` on an explicit document.
+pub fn compute_uncompressed(
+    automaton: &SpannerAutomaton<u8>,
+    document: &[u8],
+) -> Vec<SpanTuple> {
+    ProductDag::build(automaton, document).enumerate().collect()
+}
+
+/// Decompress-and-solve non-emptiness: derive the document from the SLP,
+/// then run the uncompressed algorithm.
+pub fn is_non_empty_slp(automaton: &SpannerAutomaton<u8>, slp: &NormalFormSlp<u8>) -> bool {
+    is_non_empty_uncompressed(automaton, &slp.derive())
+}
+
+/// Decompress-and-solve model checking.
+pub fn check_slp(
+    automaton: &SpannerAutomaton<u8>,
+    slp: &NormalFormSlp<u8>,
+    tuple: &SpanTuple,
+) -> Result<bool, spanner::SpannerError> {
+    check_uncompressed(automaton, &slp.derive(), tuple)
+}
+
+/// Decompress-and-solve computation of `⟦M⟧(D)`.
+pub fn compute_slp(automaton: &SpannerAutomaton<u8>, slp: &NormalFormSlp<u8>) -> Vec<SpanTuple> {
+    compute_uncompressed(automaton, &slp.derive())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp::compress::{Bisection, Compressor};
+    use spanner::examples::figure_2_spanner;
+    use spanner::{reference, regex, Span, Variable};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn baseline_matches_reference_on_small_documents() {
+        let m = figure_2_spanner();
+        for doc in [&b"aabccaabaa"[..], b"ca", b"cccc", b"ab", b"bca"] {
+            let expected = reference::evaluate(&m, doc);
+            let got: BTreeSet<SpanTuple> = compute_uncompressed(&m, doc).into_iter().collect();
+            assert_eq!(got, expected, "doc {:?}", doc);
+            assert_eq!(
+                is_non_empty_uncompressed(&m, doc),
+                !expected.is_empty(),
+                "doc {:?}",
+                doc
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_matches_reference_for_regex_spanners() {
+        let patterns: Vec<(&str, &[u8])> =
+            vec![(".*x{a+}y{b+}.*", b"ab"), ("(x{a})?b*y{b}", b"ab"), (".*x{ab}.*", b"ab")];
+        for (pattern, alphabet) in patterns {
+            let m = regex::compile(pattern, alphabet).unwrap();
+            for doc in [&b"ab"[..], b"aabb", b"bbaa", b"abab"] {
+                let expected = reference::evaluate(&m, doc);
+                let got: BTreeSet<SpanTuple> = compute_uncompressed(&m, doc).into_iter().collect();
+                assert_eq!(got, expected, "pattern {pattern}, doc {:?}", doc);
+            }
+        }
+    }
+
+    #[test]
+    fn decompress_and_solve_agrees_with_direct_calls() {
+        let m = figure_2_spanner();
+        let doc = b"aabccaabaa";
+        let slp = Bisection.compress(doc);
+        assert_eq!(is_non_empty_slp(&m, &slp), is_non_empty_uncompressed(&m, doc));
+        assert_eq!(
+            compute_slp(&m, &slp).len(),
+            compute_uncompressed(&m, doc).len()
+        );
+        let mut t = SpanTuple::empty(2);
+        t.set(Variable(1), Span::new(4, 6).unwrap());
+        assert!(check_slp(&m, &slp, &t).unwrap());
+    }
+
+    #[test]
+    fn duplicates_never_appear_for_deterministic_automata() {
+        let m = figure_2_spanner();
+        let results = compute_uncompressed(&m, b"aabccaabaa");
+        let set: BTreeSet<SpanTuple> = results.iter().cloned().collect();
+        assert_eq!(results.len(), set.len());
+    }
+}

@@ -1,0 +1,38 @@
+//! E1 — Theorem 5.1(1): non-emptiness in `O(size(S)·q³)`, i.e. time growing
+//! with the SLP size (and hence only logarithmically with the document for
+//! the highly compressible families).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_bench::{log_family, unary_family};
+use spanner_slp_core::nonemptiness::is_non_empty;
+use spanner_workloads::queries;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_nonemptiness");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    let figure2 = queries::figure2().automaton;
+    for case in unary_family(&[10, 14, 18, 22, 26]) {
+        g.bench_with_input(
+            BenchmarkId::new("unary/figure2", case.name.clone()),
+            &case,
+            |b, case| b.iter(|| is_non_empty(&figure2, &case.slp)),
+        );
+    }
+
+    let log_query = queries::log_error_value().automaton;
+    for case in log_family(&[100, 1000, 10_000]) {
+        g.bench_with_input(
+            BenchmarkId::new("log/error_value", case.name.clone()),
+            &case,
+            |b, case| b.iter(|| is_non_empty(&log_query, &case.slp)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E2 — Theorem 5.1(2): model checking in `O((size(S) + |X|·depth(S))·q³)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner::{Span, SpanTuple};
+use spanner_bench::ab_family;
+use spanner_slp_core::model_check::check;
+use spanner_workloads::queries;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_model_check");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    let query = queries::ab_blocks().automaton;
+    let x = query.variables().get("x").expect("variable x");
+    for case in ab_family(&[1 << 8, 1 << 12, 1 << 16, 1 << 20]) {
+        // A tuple in the middle of the document.
+        let mid = case.doc_len() / 2 | 1; // odd position = start of an "ab"
+        let mut tuple = SpanTuple::empty(1);
+        tuple.set(x, Span::new(mid, mid + 2).expect("valid span"));
+        g.bench_with_input(
+            BenchmarkId::new("ab_blocks/positive", case.name.clone()),
+            &case,
+            |b, case| b.iter(|| check(&query, &case.slp, &tuple).expect("in bounds")),
+        );
+        let mut negative = SpanTuple::empty(1);
+        negative.set(x, Span::new(mid + 1, mid + 3).expect("valid span"));
+        g.bench_with_input(
+            BenchmarkId::new("ab_blocks/negative", case.name.clone()),
+            &case,
+            |b, case| b.iter(|| check(&query, &case.slp, &negative).expect("in bounds")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E3 — Theorem 7.1: computing `⟦M⟧(D)` in time `O(size(S)·q⁴·r)`; the
+//! sweep varies the result count `r` at (almost) constant SLP size and the
+//! SLP size at constant `r`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_bench::ab_family;
+use spanner_slp_core::compute::compute_all;
+use spanner_workloads::queries;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_compute");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+
+    // r grows linearly with k, size(S) only logarithmically.
+    let query = queries::ab_blocks().automaton;
+    for case in ab_family(&[1 << 6, 1 << 8, 1 << 10, 1 << 12]) {
+        g.bench_with_input(
+            BenchmarkId::new("ab_blocks/r-sweep", case.name.clone()),
+            &case,
+            |b, case| b.iter(|| compute_all(&query, &case.slp).expect("evaluation succeeds")),
+        );
+    }
+
+    // Constant r = 1: the single "ab" occurrence sits in a sea of c's whose
+    // SLP size grows; time should track size(S), not d.
+    let single = queries::ab_blocks().automaton;
+    for n in [10u32, 14, 18] {
+        let mut slp = slp::families::power_of_two_unary(b'c', n);
+        slp = slp.append_terminal(b'a');
+        let slp = slp.append_terminal(b'b');
+        g.bench_with_input(
+            BenchmarkId::new("ab_blocks/s-sweep-r1", format!("c^2^{n}ab")),
+            &slp,
+            |b, slp| b.iter(|| compute_all(&single, slp).expect("evaluation succeeds")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E4 — Theorem 8.10 (preprocessing): `O(|M| + size(S)·q³)` preprocessing
+//! for enumeration, growing with the SLP size, not the document length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_bench::{ab_family, log_family, unary_family};
+use spanner_slp_core::enumerate::Enumerator;
+use spanner_workloads::queries;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_enum_preprocessing");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    let figure2 = queries::figure2().automaton;
+    for case in unary_family(&[10, 16, 22]) {
+        g.bench_with_input(
+            BenchmarkId::new("unary/figure2", case.name.clone()),
+            &case,
+            |b, case| b.iter(|| Enumerator::new(&figure2, &case.slp).expect("deterministic")),
+        );
+    }
+    let ab = queries::ab_blocks().automaton;
+    for case in ab_family(&[1 << 10, 1 << 16, 1 << 20]) {
+        g.bench_with_input(
+            BenchmarkId::new("ab/ab_blocks", case.name.clone()),
+            &case,
+            |b, case| b.iter(|| Enumerator::new(&ab, &case.slp).expect("deterministic")),
+        );
+    }
+    let log_query = queries::key_value().automaton;
+    for case in log_family(&[100, 1000]) {
+        g.bench_with_input(
+            BenchmarkId::new("log/key_value", case.name.clone()),
+            &case,
+            |b, case| b.iter(|| Enumerator::new(&log_query, &case.slp).expect("deterministic")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

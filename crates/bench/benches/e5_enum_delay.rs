@@ -1,0 +1,39 @@
+//! E5 — Theorem 8.10 (delay): `O(depth(S)·|X|) = O(|X|·log d)` delay per
+//! result.  The benchmark draws a fixed number of results from documents of
+//! exponentially growing length, so the per-result time should grow only
+//! logarithmically with `d`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_bench::ab_family;
+use spanner_slp_core::enumerate::Enumerator;
+use spanner_workloads::queries;
+use std::time::Duration;
+
+const RESULTS_PER_ITER: usize = 1000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_enum_delay");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000));
+
+    let query = queries::ab_blocks().automaton;
+    for case in ab_family(&[1 << 10, 1 << 14, 1 << 18, 1 << 22]) {
+        let enumerator = Enumerator::new(&query, &case.slp).expect("deterministic");
+        g.bench_with_input(
+            BenchmarkId::new("ab_blocks/1000-results", case.name.clone()),
+            &enumerator,
+            |b, enumerator| {
+                b.iter(|| {
+                    let drawn = enumerator.iter().take(RESULTS_PER_ITER).count();
+                    assert_eq!(drawn, RESULTS_PER_ITER);
+                    drawn
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

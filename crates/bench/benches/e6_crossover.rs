@@ -1,0 +1,45 @@
+//! E6 — the paper's headline claim (Sections 1.3/1.4): on compressible
+//! documents, evaluating directly on the SLP beats decompress-and-solve;
+//! on incompressible documents the uncompressed algorithm wins.  The sweep
+//! varies the repetitiveness of a fixed-length document.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_bench::repetitiveness_family;
+use spanner_slp_core::SlpSpanner;
+use spanner_workloads::queries;
+use std::time::Duration;
+
+const DOC_LEN: usize = 1 << 15;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_crossover");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+
+    let query = queries::adjacent_blocks().automaton;
+    for (novelty, doc, slp) in repetitiveness_family(DOC_LEN, &[0.001, 0.01, 0.1, 1.0]) {
+        let label = format!("novelty={novelty}");
+        g.bench_with_input(
+            BenchmarkId::new("compressed/enumerate-all", &label),
+            &slp,
+            |b, slp| {
+                b.iter(|| {
+                    let spanner = SlpSpanner::new(&query, slp).expect("well-formed");
+                    spanner.enumerate().count()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("baseline/decompress-and-solve", &label),
+            &(doc, slp.clone()),
+            |b, (_doc, slp)| {
+                b.iter(|| spanner_baseline::compute_slp(&query, slp).len())
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E7 — the Lemma 4.5 substrate: membership of an SLP-compressed document
+//! in a regular language, `O(size(S)·q³)` vs the `O(d·q²)` of
+//! decompress-and-run, swept over the number of automaton states `q`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slp::families;
+use spanner_automata::membership::compressed_membership;
+use spanner_bench::random_byte_nfa;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_membership");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    let slp = families::power_word(b"ab", 1 << 19); // d = 2^20
+    let doc = slp.derive();
+    for q in [2usize, 8, 32, 64] {
+        let nfa = random_byte_nfa(q, 0xBEEF + q as u64);
+        g.bench_with_input(BenchmarkId::new("compressed", q), &nfa, |b, nfa| {
+            b.iter(|| compressed_membership(nfa, &slp))
+        });
+        g.bench_with_input(BenchmarkId::new("decompress-and-run", q), &nfa, |b, nfa| {
+            b.iter(|| nfa.accepts(&doc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E8 — ablation of the balancing theorem (Theorem 4.3): enumeration delay
+//! on a deliberately unbalanced chain SLP (depth Θ(d)) versus the same
+//! document after AVL rebalancing (depth O(log d)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slp::balance::rebalance;
+use slp::compress::{Chain, Compressor};
+use spanner_slp_core::enumerate::Enumerator;
+use spanner_workloads::queries;
+use std::time::Duration;
+
+const RESULTS_PER_ITER: usize = 200;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_balancing_ablation");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000));
+
+    let query = queries::ab_blocks().automaton;
+    for exp in [10u32, 12, 14] {
+        let doc: Vec<u8> = std::iter::repeat(b"ab".iter().copied())
+            .take(1 << exp)
+            .flatten()
+            .collect();
+        let chain = Chain.compress(&doc);
+        let balanced = rebalance(&chain);
+        assert!(balanced.depth() < chain.depth());
+        let chain_enum = Enumerator::new(&query, &chain).expect("deterministic");
+        let balanced_enum = Enumerator::new(&query, &balanced).expect("deterministic");
+        g.bench_with_input(
+            BenchmarkId::new("chain-depth-d", format!("d=2^{}", exp + 1)),
+            &chain_enum,
+            |b, e| b.iter(|| e.iter().take(RESULTS_PER_ITER).count()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("balanced-depth-logd", format!("d=2^{}", exp + 1)),
+            &balanced_enum,
+            |b, e| b.iter(|| e.iter().take(RESULTS_PER_ITER).count()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E9 — ablation: the direct computation algorithm (Theorem 7.1) versus
+//! enumerate-and-collect (Theorem 8.10), as discussed in Section 1.3 of the
+//! paper ("our direct algorithm for computing ⟦M⟧(D) is much simpler and
+//! better in combined complexity").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_bench::ab_family;
+use spanner_slp_core::{compute::compute_all, enumerate::Enumerator};
+use spanner_workloads::queries;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_compute_vs_enumerate");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+
+    let query = queries::ab_blocks().automaton;
+    for case in ab_family(&[1 << 8, 1 << 10, 1 << 12]) {
+        g.bench_with_input(
+            BenchmarkId::new("compute", case.name.clone()),
+            &case,
+            |b, case| b.iter(|| compute_all(&query, &case.slp).expect("evaluation succeeds").len()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("enumerate-and-collect", case.name.clone()),
+            &case,
+            |b, case| {
+                b.iter(|| {
+                    Enumerator::new(&query, &case.slp)
+                        .expect("deterministic")
+                        .iter()
+                        .count()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,274 @@
+//! Computing the full relation `⟦M⟧(D)`, Theorem 7.1: time
+//! `O(sort(|M|)·q² + size(S)·q⁴·size(⟦M⟧(D)))` in combined complexity,
+//! `O(size(S)·|⟦M⟧(D)|)` in data complexity.
+//!
+//! The algorithm materialises the sets `M_A[i,j]` (Definition 6.2) for the
+//! triples `(A, i, j)` that can actually contribute to an accepting run
+//! (the paper's condition (†)), recursively via
+//! `M_A[i,j] = ⋃_{k ∈ I_A[i,j]} M_B[i,k] ⊗_{|D(B)|} M_C[k,j]`
+//! (Lemma 6.8).  Sets are kept as `⪯`-sorted duplicate-free lists, so unions
+//! are merges and the `⊗` products stay sorted (appendix D).
+
+use crate::error::EvalError;
+use crate::matrices::REntry;
+use crate::prepared::PreparedEvaluation;
+use slp::NormalFormSlp;
+use spanner::{PartialMarkerSet, SpanTuple, SpannerAutomaton};
+use std::collections::{HashMap, HashSet};
+
+/// Computes `⟦M⟧(D)` for the document derived by the SLP (Theorem 7.1).
+///
+/// Non-deterministic automata are fine here (duplicates are eliminated by
+/// the sorted-merge unions); ε-transitions are removed automatically.
+pub fn compute_all(
+    automaton: &SpannerAutomaton<u8>,
+    document: &NormalFormSlp<u8>,
+) -> Result<Vec<SpanTuple>, EvalError> {
+    let prepared = PreparedEvaluation::new(automaton, document)?;
+    Ok(compute_from_prepared(&prepared))
+}
+
+/// Computes `⟦M⟧(D)` from an existing [`PreparedEvaluation`].
+pub fn compute_from_prepared(prepared: &PreparedEvaluation) -> Vec<SpanTuple> {
+    let pre = &prepared.pre;
+    let start_nt = pre.start_nt;
+    let q0 = pre.nfa_start;
+    let final_states = pre.reachable_accepting();
+    if final_states.is_empty() {
+        return Vec::new();
+    }
+
+    // Phase 1 (top-down): which entries (A, i, j) are needed?  Exactly the
+    // triples satisfying the paper's condition (†), which is what bounds
+    // |M_A[i,j]| by |⟦M⟧(D)| (Claim 2 in the proof of Theorem 7.1).
+    let n = pre.children.len();
+    let mut needed: Vec<HashSet<(usize, usize)>> = vec![HashSet::new(); n];
+    for &j in &final_states {
+        needed[start_nt as usize].insert((q0, j));
+    }
+    // Parents before children: reverse bottom-up order.
+    for &a in pre.bottom_up.iter().rev() {
+        if needed[a as usize].is_empty() {
+            continue;
+        }
+        if let Some((b, c)) = pre.children[a as usize] {
+            let entries: Vec<(usize, usize)> = needed[a as usize].iter().copied().collect();
+            for (i, j) in entries {
+                for k in pre.i_set(a, i, j) {
+                    needed[b as usize].insert((i, k));
+                    needed[c as usize].insert((k, j));
+                }
+            }
+        }
+    }
+
+    // Phase 2 (bottom-up): materialise the needed sets as sorted lists.
+    let mut values: HashMap<(u32, usize, usize), Vec<PartialMarkerSet>> = HashMap::new();
+    for &a in &pre.bottom_up {
+        if needed[a as usize].is_empty() {
+            continue;
+        }
+        match pre.children[a as usize] {
+            None => {
+                for &(i, j) in &needed[a as usize] {
+                    values.insert((a, i, j), pre.leaf_set(a, i, j).to_vec());
+                }
+            }
+            Some((b, c)) => {
+                let shift = pre.lengths[b as usize];
+                for &(i, j) in &needed[a as usize] {
+                    if pre.r_entry(a, i, j) == REntry::Bot {
+                        values.insert((a, i, j), Vec::new());
+                        continue;
+                    }
+                    let mut parts: Vec<Vec<PartialMarkerSet>> = Vec::new();
+                    for k in pre.i_set(a, i, j) {
+                        let left = &values[&(b, i, k)];
+                        let right = &values[&(c, k, j)];
+                        parts.push(product(left, shift, right));
+                    }
+                    values.insert((a, i, j), merge_sorted(parts));
+                }
+            }
+        }
+    }
+
+    // Phase 3: ⟦M⟧(D) = ⋃_{j ∈ F'} M_{S₀}[q₀, j]  (Lemma 6.3).
+    let roots: Vec<Vec<PartialMarkerSet>> = final_states
+        .iter()
+        .map(|&j| values.remove(&(start_nt, q0, j)).unwrap_or_default())
+        .collect();
+    merge_sorted(roots)
+        .into_iter()
+        .map(|markers| {
+            SpanTuple::from_marker_set(&markers, prepared.num_vars)
+                .expect("accepted subword-marked words encode valid span-tuples")
+        })
+        .collect()
+}
+
+/// `K^k_A[i,j] = M_B[i,k] ⊗_s M_C[k,j]` (Definition 6.7).  Both inputs are
+/// `⪯`-sorted; by the order's compatibility with `⊗` (appendix D) the output
+/// produced by the nested loops is sorted as well, and by Lemma 6.9 it has
+/// no duplicates.
+fn product(
+    left: &[PartialMarkerSet],
+    shift: u64,
+    right: &[PartialMarkerSet],
+) -> Vec<PartialMarkerSet> {
+    let mut out = Vec::with_capacity(left.len() * right.len());
+    for l in left {
+        for r in right {
+            out.push(l.compose(shift, r));
+        }
+    }
+    debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
+    out
+}
+
+/// Merges sorted duplicate-free lists into one sorted duplicate-free list
+/// (the paper's sorted-list unions).
+fn merge_sorted(mut parts: Vec<Vec<PartialMarkerSet>>) -> Vec<PartialMarkerSet> {
+    match parts.len() {
+        0 => Vec::new(),
+        1 => parts.pop().expect("checked length"),
+        _ => {
+            // Simple repeated two-way merge; the number of parts is at most
+            // q (or |F'|), so this stays within the stated bounds.
+            let mut acc = parts.pop().expect("checked length");
+            while let Some(next) = parts.pop() {
+                acc = merge_two(acc, next);
+            }
+            acc
+        }
+    }
+}
+
+fn merge_two(a: Vec<PartialMarkerSet>, b: Vec<PartialMarkerSet>) -> Vec<PartialMarkerSet> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ia = a.into_iter().peekable();
+    let mut ib = b.into_iter().peekable();
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                if x < y {
+                    out.push(ia.next().expect("peeked"));
+                } else if y < x {
+                    out.push(ib.next().expect("peeked"));
+                } else {
+                    out.push(ia.next().expect("peeked"));
+                    ib.next();
+                }
+            }
+            (Some(_), None) => out.push(ia.next().expect("peeked")),
+            (None, Some(_)) => out.push(ib.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp::compress::{Bisection, Chain, Compressor, Lz78, RePair};
+    use slp::families;
+    use spanner::examples::figure_2_spanner;
+    use spanner::{reference, regex, Span, Variable};
+    use std::collections::BTreeSet;
+
+    fn compute_set(
+        automaton: &SpannerAutomaton<u8>,
+        doc: &[u8],
+        compressor: &dyn Compressor,
+    ) -> BTreeSet<SpanTuple> {
+        let slp = compressor.compress(doc);
+        compute_all(automaton, &slp).unwrap().into_iter().collect()
+    }
+
+    #[test]
+    fn matches_reference_on_the_paper_example() {
+        let m = figure_2_spanner();
+        let doc = b"aabccaabaa";
+        let expected = reference::evaluate(&m, doc);
+        for compressor in [
+            &Bisection as &dyn Compressor,
+            &RePair::default(),
+            &Lz78,
+            &Chain,
+        ] {
+            assert_eq!(
+                compute_set(&m, doc, compressor),
+                expected,
+                "compressor {}",
+                compressor.name()
+            );
+        }
+        // Sanity: the Example 8.2 tuple is among the results.
+        let mut t = SpanTuple::empty(2);
+        t.set(Variable(1), Span::new(4, 6).unwrap());
+        assert!(expected.contains(&t));
+    }
+
+    #[test]
+    fn matches_reference_on_assorted_documents_and_spanners() {
+        let figure2 = figure_2_spanner();
+        let blocks = regex::compile(".*x{a+}y{b+}.*", b"abc").unwrap();
+        let optional = regex::compile("(x{a})?(b|c)*y{c}", b"abc").unwrap();
+        let docs: Vec<&[u8]> = vec![b"a", b"c", b"ab", b"abc", b"aabbcc", b"cabcab", b"bca"];
+        for (name, m) in [("figure2", &figure2), ("blocks", &blocks), ("optional", &optional)] {
+            for doc in &docs {
+                let expected = reference::evaluate(m, doc);
+                let got = compute_set(m, doc, &Bisection);
+                assert_eq!(got, expected, "spanner {name}, doc {:?}", doc);
+            }
+        }
+    }
+
+    #[test]
+    fn computes_on_exponentially_compressed_documents() {
+        // x spans each "ab" occurrence in (ab)^k: exactly k results, computed
+        // from an SLP of size O(log k).
+        let m = regex::compile(".*x{ab}.*", b"ab").unwrap();
+        let k = 1u64 << 10;
+        let slp = families::power_word(b"ab", k);
+        let results = compute_all(&m, &slp).unwrap();
+        assert_eq!(results.len(), k as usize);
+        // Every result is an [2i+1, 2i+3⟩ span.
+        let x = Variable(0);
+        for t in &results {
+            let s = t.get(x).unwrap();
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.start % 2, 1);
+        }
+    }
+
+    #[test]
+    fn nondeterministic_automata_produce_no_duplicates() {
+        // An intentionally ambiguous NFA: .*x{a.*}.* compiled without
+        // determinisation has many accepting runs per tuple.
+        let m = regex::compile(".*x{a.*}.*", b"ab").unwrap();
+        assert!(!m.is_deterministic());
+        let doc = b"abab";
+        let expected = reference::evaluate(&m, doc);
+        let got = compute_all(&m, &Bisection.compress(doc)).unwrap();
+        assert_eq!(got.len(), expected.len(), "duplicates or missing results");
+        assert_eq!(got.into_iter().collect::<BTreeSet<_>>(), expected);
+    }
+
+    #[test]
+    fn empty_relation_yields_empty_vector() {
+        let m = figure_2_spanner();
+        let slp = Bisection.compress(b"cccc");
+        assert!(compute_all(&m, &slp).unwrap().is_empty());
+    }
+
+    #[test]
+    fn boolean_spanner_yields_the_empty_tuple() {
+        let m = regex::compile("(a|b)*abb", b"ab").unwrap();
+        let yes = Bisection.compress(b"aabb");
+        let no = Bisection.compress(b"aab");
+        assert_eq!(compute_all(&m, &yes).unwrap(), vec![SpanTuple::empty(0)]);
+        assert!(compute_all(&m, &no).unwrap().is_empty());
+    }
+}

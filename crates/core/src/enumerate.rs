@@ -1,0 +1,408 @@
+//! Enumerating `⟦M⟧(D)` with logarithmic delay, Theorem 8.10:
+//! preprocessing `O(|M| + size(S)·q³)`, delay `O(depth(S)·|X|)` — i.e.
+//! `O(|X|·log d)` once the SLP is balanced (Theorem 4.3).
+//!
+//! The algorithm enumerates `(M,S)`-trees (Section 8): small ordered binary
+//! trees (at most `4·|X|·depth(S)` nodes, Lemma 8.4) that describe *which*
+//! intermediate automaton states an accepting run passes through at the
+//! boundaries of the SLP's non-terminals.  Every tree is produced by the
+//! recursive generator `EnumAll` (Algorithm 1); the partial marker sets in a
+//! tree's *yield* (Definition 8.1) are then read off by combining the
+//! precomputed leaf tables `M_{T_x}` with the position shifts stored on the
+//! tree's right-child arcs (Lemma 8.5).  For deterministic automata the
+//! yields of distinct trees are disjoint (Lemma 8.8), so the enumeration is
+//! duplicate-free.
+
+use crate::error::EvalError;
+use crate::matrices::{Preprocessed, REntry};
+use crate::prepared::PreparedEvaluation;
+use slp::NormalFormSlp;
+use spanner::{PartialMarkerSet, SpanTuple, SpannerAutomaton};
+
+/// An enumerator for `⟦M⟧(D)` over an SLP-compressed document.
+///
+/// Construction runs the preprocessing once; [`Enumerator::iter`] then
+/// starts an enumeration with `O(depth(S)·|X|)` delay per result.
+#[derive(Debug)]
+pub struct Enumerator {
+    prepared: PreparedEvaluation,
+}
+
+impl Enumerator {
+    /// Prepares the enumeration of `⟦M⟧(D)` (Theorem 8.10).
+    ///
+    /// Fails with [`EvalError::NondeterministicAutomaton`] if the automaton
+    /// is not deterministic: determinism is what guarantees a duplicate-free
+    /// enumeration (Lemma 8.8).  Either call
+    /// [`SpannerAutomaton::determinized`] first or opt into duplicates with
+    /// [`Enumerator::new_allow_duplicates`].
+    pub fn new(
+        automaton: &SpannerAutomaton<u8>,
+        document: &NormalFormSlp<u8>,
+    ) -> Result<Self, EvalError> {
+        let prepared = PreparedEvaluation::new(automaton, document)?;
+        if !prepared.deterministic {
+            return Err(EvalError::NondeterministicAutomaton);
+        }
+        Ok(Enumerator { prepared })
+    }
+
+    /// Prepares an enumeration for a possibly non-deterministic automaton.
+    /// The same set `⟦M⟧(D)` is enumerated with the same delay bounds, but
+    /// individual results may appear more than once (final remark of
+    /// Section 8 in the paper).
+    pub fn new_allow_duplicates(
+        automaton: &SpannerAutomaton<u8>,
+        document: &NormalFormSlp<u8>,
+    ) -> Result<Self, EvalError> {
+        let prepared = PreparedEvaluation::new(automaton, document)?;
+        Ok(Enumerator { prepared })
+    }
+
+    /// Wraps an existing prepared evaluation.
+    pub fn from_prepared(prepared: PreparedEvaluation) -> Self {
+        Enumerator { prepared }
+    }
+
+    /// The prepared evaluation backing this enumerator.
+    pub fn prepared(&self) -> &PreparedEvaluation {
+        &self.prepared
+    }
+
+    /// Starts an enumeration of `⟦M⟧(D)`.
+    pub fn iter(&self) -> Enumeration<'_> {
+        Enumeration::from_prepared(&self.prepared)
+    }
+}
+
+/// An `(M,S)`-tree (Section 8), reduced to exactly the information its yield
+/// needs: terminal leaves carry the `(T_x, i, j)` triple addressing the
+/// precomputed list `M_{T_x}[i,j]`, inner nodes carry the shift `|D(B)|`
+/// stored on the arc to their right child.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tree {
+    /// `A⟨i▷j, ℮⟩`: yield `{∅}`.
+    EmptyLeaf,
+    /// `T_x⟨i▷j, 1⟩`: yield `M_{T_x}[i,j]`.
+    TerminalLeaf { nt: u32, i: usize, j: usize },
+    /// `A⟨i▷k▷j⟩` with children for `B` (left) and `C` (right).
+    Inner {
+        shift: u64,
+        left: Box<Tree>,
+        right: Box<Tree>,
+    },
+}
+
+/// The lazily evaluated enumeration of `⟦M⟧(D)`.
+pub struct Enumeration<'a> {
+    num_vars: usize,
+    /// Outer iterator over `(M, S₀)`-trees (EnumSingleRoot for every
+    /// `j ∈ F'` and `k ∈ Ī_{S₀}[q₀, j]`, Theorem 8.10).
+    trees: Box<dyn Iterator<Item = Tree> + 'a>,
+    /// Yield odometer of the current tree (EnumSingleTree).
+    current: Option<YieldIter<'a>>,
+    pre: &'a Preprocessed,
+}
+
+impl<'a> Enumeration<'a> {
+    /// Starts an enumeration from a prepared evaluation.
+    pub fn from_prepared(prepared: &'a PreparedEvaluation) -> Self {
+        let pre = &prepared.pre;
+        let start_nt = pre.start_nt;
+        let q0 = pre.nfa_start;
+        let finals = pre.reachable_accepting();
+        let trees: Box<dyn Iterator<Item = Tree> + 'a> =
+            Box::new(finals.into_iter().flat_map(move |j| {
+                pre.i_bar(start_nt, q0, j)
+                    .into_iter()
+                    .flat_map(move |k| enum_all(pre, start_nt, q0, k, j))
+            }));
+        Enumeration {
+            num_vars: prepared.num_vars,
+            trees,
+            current: None,
+            pre,
+        }
+    }
+}
+
+impl Iterator for Enumeration<'_> {
+    type Item = SpanTuple;
+
+    fn next(&mut self) -> Option<SpanTuple> {
+        loop {
+            if let Some(yields) = &mut self.current {
+                if let Some(markers) = yields.next() {
+                    return Some(
+                        SpanTuple::from_marker_set(&markers, self.num_vars)
+                            .expect("accepted subword-marked words encode valid span-tuples"),
+                    );
+                }
+                self.current = None;
+            }
+            // Fetch the next (M,S₀)-tree; its yield is never empty, so the
+            // loop advances by at least one output per tree.
+            let tree = self.trees.next()?;
+            self.current = Some(YieldIter::new(self.pre, tree));
+        }
+    }
+}
+
+impl std::fmt::Debug for Enumeration<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Enumeration")
+            .field("num_vars", &self.num_vars)
+            .finish_non_exhaustive()
+    }
+}
+
+/// `EnumAll(A, i, k, j)` (Algorithm 1): lazily enumerates all `(M,A)`-trees
+/// with root `A⟨i▷k▷j⟩` (or the single base-case leaf when `k` is `None`).
+///
+/// The nesting of iterators mirrors the nesting of the algorithm's loops,
+/// so the delay between two trees is proportional to the maximum tree size,
+/// i.e. `O(|X|·depth(A))` (Lemma 8.9 with Lemma 8.4).
+fn enum_all<'a>(
+    pre: &'a Preprocessed,
+    a: u32,
+    i: usize,
+    k: Option<usize>,
+    j: usize,
+) -> Box<dyn Iterator<Item = Tree> + 'a> {
+    let Some(k) = k else {
+        // Base cases: R_A[i,j] = ℮, or a leaf non-terminal with R = 1.
+        let tree = if pre.r_entry(a, i, j) == REntry::Empty {
+            Tree::EmptyLeaf
+        } else {
+            Tree::TerminalLeaf { nt: a, i, j }
+        };
+        return Box::new(std::iter::once(tree));
+    };
+    let (b, c) = pre.children[a as usize].expect("k ≠ base implies an inner non-terminal");
+    let shift = pre.lengths[b as usize];
+    Box::new(pre.i_bar(b, i, k).into_iter().flat_map(move |kb| {
+        pre.i_bar(c, k, j).into_iter().flat_map(move |kc| {
+            enum_all(pre, b, i, kb, k).flat_map(move |tb| {
+                enum_all(pre, c, k, kc, j).map(move |tc| Tree::Inner {
+                    shift,
+                    left: Box::new(tb.clone()),
+                    right: Box::new(tc),
+                })
+            })
+        })
+    }))
+}
+
+/// Enumerates the yield of a single `(M,A)`-tree (Lemma 8.5): an odometer
+/// over the per-terminal-leaf lists `M_{T_x}[i,j]`, with each leaf's marker
+/// positions shifted by the total arc-label sum on its root-to-leaf path.
+struct YieldIter<'a> {
+    /// Per terminal leaf (left-to-right): its total shift and its list.
+    leaves: Vec<(u64, &'a [PartialMarkerSet])>,
+    /// Odometer state; `None` once exhausted.
+    indices: Option<Vec<usize>>,
+}
+
+impl<'a> YieldIter<'a> {
+    fn new(pre: &'a Preprocessed, tree: Tree) -> Self {
+        let mut leaves = Vec::new();
+        collect_leaves(pre, &tree, 0, &mut leaves);
+        debug_assert!(leaves.iter().all(|(_, list)| !list.is_empty()));
+        let indices = Some(vec![0; leaves.len()]);
+        YieldIter { leaves, indices }
+    }
+}
+
+fn collect_leaves<'a>(
+    pre: &'a Preprocessed,
+    tree: &Tree,
+    shift: u64,
+    out: &mut Vec<(u64, &'a [PartialMarkerSet])>,
+) {
+    match tree {
+        Tree::EmptyLeaf => {}
+        Tree::TerminalLeaf { nt, i, j } => out.push((shift, pre.leaf_set(*nt, *i, *j))),
+        Tree::Inner {
+            shift: node_shift,
+            left,
+            right,
+        } => {
+            collect_leaves(pre, left, shift, out);
+            collect_leaves(pre, right, shift + node_shift, out);
+        }
+    }
+}
+
+impl Iterator for YieldIter<'_> {
+    type Item = PartialMarkerSet;
+
+    fn next(&mut self) -> Option<PartialMarkerSet> {
+        let indices = self.indices.as_mut()?;
+        // Combine the current selection: leaves are in document order, so the
+        // shifted entries are already position-sorted.
+        let mut entries = Vec::new();
+        for ((shift, list), &idx) in self.leaves.iter().zip(indices.iter()) {
+            let chosen = &list[idx];
+            for (pos, set) in chosen.entries() {
+                entries.push((pos + shift, set));
+            }
+        }
+        let result = PartialMarkerSet::from_entries(entries);
+        // Advance the odometer.
+        let mut pos = self.leaves.len();
+        loop {
+            if pos == 0 {
+                self.indices = None;
+                break;
+            }
+            pos -= 1;
+            let indices = self.indices.as_mut().expect("checked above");
+            indices[pos] += 1;
+            if indices[pos] < self.leaves[pos].1.len() {
+                break;
+            }
+            indices[pos] = 0;
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp::compress::{Bisection, Chain, Compressor, RePair};
+    use slp::families;
+    use spanner::examples::figure_2_spanner;
+    use spanner::{reference, regex, Span, Variable};
+    use std::collections::BTreeSet;
+
+    fn enumerate_set(
+        automaton: &SpannerAutomaton<u8>,
+        doc: &[u8],
+        compressor: &dyn Compressor,
+    ) -> Vec<SpanTuple> {
+        let slp = compressor.compress(doc);
+        Enumerator::new(automaton, &slp).unwrap().iter().collect()
+    }
+
+    #[test]
+    fn matches_reference_on_the_paper_example() {
+        let m = figure_2_spanner();
+        let doc = b"aabccaabaa";
+        let expected = reference::evaluate(&m, doc);
+        for compressor in [&Bisection as &dyn Compressor, &RePair::default(), &Chain] {
+            let got = enumerate_set(&m, doc, compressor);
+            assert_eq!(got.len(), expected.len(), "compressor {}", compressor.name());
+            assert_eq!(
+                got.into_iter().collect::<BTreeSet<_>>(),
+                expected,
+                "compressor {}",
+                compressor.name()
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates_for_dfas() {
+        let m = figure_2_spanner();
+        for doc in [&b"aabccaabaa"[..], b"abcabc", b"ccaab", b"ababab"] {
+            let got = enumerate_set(&m, doc, &Bisection);
+            let dedup: BTreeSet<_> = got.iter().cloned().collect();
+            assert_eq!(got.len(), dedup.len(), "duplicates on {:?}", doc);
+        }
+    }
+
+    #[test]
+    fn matches_reference_for_regex_spanners() {
+        let patterns: Vec<(&str, &[u8])> = vec![
+            (".*x{a+}y{b+}.*", b"abc"),
+            ("(x{a})?(b|c)*y{c}", b"abc"),
+            (".*x{ab}.*", b"ab"),
+            ("(a|b)*x{abb}(a|b)*", b"ab"),
+        ];
+        let docs: Vec<&[u8]> = vec![b"a", b"ab", b"abc", b"aabbc", b"cabab", b"abbabb"];
+        for (pattern, alphabet) in patterns {
+            let m = regex::compile_deterministic(pattern, alphabet).unwrap();
+            for doc in &docs {
+                let expected = reference::evaluate(&m, doc);
+                let slp = Bisection.compress(doc);
+                let got: BTreeSet<SpanTuple> =
+                    Enumerator::new(&m, &slp).unwrap().iter().collect();
+                assert_eq!(got, expected, "pattern {pattern}, doc {:?}", doc);
+            }
+        }
+    }
+
+    #[test]
+    fn nondeterministic_automata_are_rejected_by_default() {
+        let m = regex::compile(".*x{a.*}.*", b"ab").unwrap();
+        assert!(!m.is_deterministic());
+        let slp = Bisection.compress(b"abab");
+        assert!(matches!(
+            Enumerator::new(&m, &slp),
+            Err(EvalError::NondeterministicAutomaton)
+        ));
+        // The duplicate-tolerant mode still enumerates the correct *set*.
+        let e = Enumerator::new_allow_duplicates(&m, &slp).unwrap();
+        let got: BTreeSet<SpanTuple> = e.iter().collect();
+        assert_eq!(got, reference::evaluate(&m, b"abab"));
+    }
+
+    #[test]
+    fn enumeration_agrees_with_computation_on_compressed_families() {
+        let m = regex::compile_deterministic(".*x{ab}.*", b"ab").unwrap();
+        let slp = families::power_word(b"ab", 512);
+        let computed: BTreeSet<SpanTuple> =
+            crate::compute::compute_all(&m, &slp).unwrap().into_iter().collect();
+        let enumerated: Vec<SpanTuple> = Enumerator::new(&m, &slp).unwrap().iter().collect();
+        assert_eq!(enumerated.len(), 512);
+        assert_eq!(enumerated.into_iter().collect::<BTreeSet<_>>(), computed);
+    }
+
+    #[test]
+    fn results_stream_lazily() {
+        // Taking a prefix of the enumeration must not require materialising
+        // all results: (ab)^(2^16) has 65536 results, we take 10.
+        let m = regex::compile_deterministic(".*x{ab}.*", b"ab").unwrap();
+        let slp = families::power_word(b"ab", 1 << 16);
+        let e = Enumerator::new(&m, &slp).unwrap();
+        let first_ten: Vec<SpanTuple> = e.iter().take(10).collect();
+        assert_eq!(first_ten.len(), 10);
+        let x = Variable(0);
+        for t in &first_ten {
+            assert_eq!(t.get(x).unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn empty_relation_enumerates_nothing() {
+        let m = figure_2_spanner();
+        let slp = Bisection.compress(b"cccc");
+        let e = Enumerator::new(&m, &slp).unwrap();
+        assert_eq!(e.iter().count(), 0);
+    }
+
+    #[test]
+    fn boolean_spanner_enumerates_the_empty_tuple_once() {
+        let m = regex::compile_deterministic("(a|b)*abb", b"ab").unwrap();
+        let slp = Bisection.compress(b"aabb");
+        let e = Enumerator::new(&m, &slp).unwrap();
+        let results: Vec<SpanTuple> = e.iter().collect();
+        assert_eq!(results, vec![SpanTuple::empty(0)]);
+    }
+
+    #[test]
+    fn figure_4_tree_yield_appears_in_the_enumeration() {
+        // Example 8.2: the (M,S₀)-tree of Figure 4 has yield
+        // {{(⊿y,4),(◁y,6)}}, i.e. the tuple (x ↦ ⊥, y ↦ [4,6⟩).
+        let m = figure_2_spanner();
+        let slp = slp::examples::example_4_2();
+        let results: Vec<SpanTuple> = Enumerator::new(&m, &slp).unwrap().iter().collect();
+        let mut expected = SpanTuple::empty(2);
+        expected.set(Variable(1), Span::new(4, 6).unwrap());
+        assert!(results.contains(&expected));
+        // And the full result set matches the reference.
+        let reference_set = reference::evaluate(&m, b"aabccaabaa");
+        assert_eq!(results.into_iter().collect::<BTreeSet<_>>(), reference_set);
+    }
+}

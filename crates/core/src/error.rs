@@ -1,0 +1,71 @@
+//! Error type of the evaluation crate.
+
+use std::fmt;
+
+/// Errors raised by the compressed-evaluation algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The enumeration algorithm (Theorem 8.10) requires a deterministic
+    /// automaton; call `SpannerAutomaton::determinized()` first or use the
+    /// duplicate-tolerant NFA mode explicitly.
+    NondeterministicAutomaton,
+    /// The span-tuple refers to positions outside the document.
+    TupleOutOfBounds {
+        /// The offending position.
+        position: u64,
+        /// The document length.
+        document_len: u64,
+    },
+    /// An error bubbled up from the spanner formalism layer.
+    Spanner(spanner::SpannerError),
+    /// An error bubbled up from the SLP layer.
+    Slp(slp::SlpError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NondeterministicAutomaton => write!(
+                f,
+                "the enumeration algorithm requires a deterministic spanner automaton"
+            ),
+            EvalError::TupleOutOfBounds {
+                position,
+                document_len,
+            } => write!(
+                f,
+                "span-tuple position {position} is outside the document of length {document_len}"
+            ),
+            EvalError::Spanner(e) => write!(f, "{e}"),
+            EvalError::Slp(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<spanner::SpannerError> for EvalError {
+    fn from(e: spanner::SpannerError) -> Self {
+        EvalError::Spanner(e)
+    }
+}
+
+impl From<slp::SlpError> for EvalError {
+    fn from(e: slp::SlpError) -> Self {
+        EvalError::Slp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EvalError = slp::SlpError::EmptyDocument.into();
+        assert!(e.to_string().contains("empty document"));
+        let e: EvalError = spanner::SpannerError::TooManyVariables { requested: 40 }.into();
+        assert!(e.to_string().contains("40"));
+        assert!(EvalError::NondeterministicAutomaton.to_string().contains("deterministic"));
+    }
+}

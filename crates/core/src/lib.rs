@@ -1,0 +1,172 @@
+//! # spanner-slp-core — spanner evaluation over SLP-compressed documents
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (*"Spanner Evaluation over SLP-Compressed Documents"*, Schmid &
+//! Schweikardt, PODS 2021): evaluating a regular spanner `M` directly on a
+//! document `D` given as a straight-line program `S`, **without
+//! decompressing**.
+//!
+//! For an SLP of size `s`, depth `depth(S)`, an automaton with `q` states
+//! and `|M|` transitions, and `r = |⟦M⟧(D)|` results:
+//!
+//! | task | entry point | data complexity | paper |
+//! |---|---|---|---|
+//! | non-emptiness `⟦M⟧(D) ≠ ∅` | [`nonemptiness::is_non_empty`] | `O(s)` | Thm 5.1(1) |
+//! | model checking `t ∈ ⟦M⟧(D)` | [`model_check::check`] | `O(s)` | Thm 5.1(2) |
+//! | computing `⟦M⟧(D)` | [`compute::compute_all`] | `O(s · r)` | Thm 7.1 |
+//! | enumerating `⟦M⟧(D)` | [`enumerate::Enumerator`] | `O(s)` preprocessing, `O(depth(S) · |X|)` delay | Thm 8.10 |
+//! | counting `|⟦M⟧(D)|` | [`count::count_results`] | `O(s)` | extension (see module docs) |
+//!
+//! The convenience wrapper [`SlpSpanner`] bundles an automaton and a
+//! compressed document and exposes all four tasks.
+//!
+//! ```
+//! use slp::families;
+//! use spanner::regex;
+//! use spanner_slp_core::SlpSpanner;
+//!
+//! // The document (ab)^1000 compressed into ~30 grammar rules.
+//! let doc = families::power_word(b"ab", 1000);
+//! // Extract every maximal "ab" block start: x spans a single "a" directly
+//! // followed by "b".
+//! let m = regex::compile_deterministic(".*x{ab}.*", b"ab").unwrap();
+//! let spanner = SlpSpanner::new(&m, &doc).unwrap();
+//! assert!(spanner.is_non_empty());
+//! assert_eq!(spanner.count(), 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compute;
+pub mod count;
+pub mod enumerate;
+pub mod error;
+pub mod matrices;
+pub mod model_check;
+pub mod nonemptiness;
+pub mod prepared;
+
+pub use error::EvalError;
+
+use slp::NormalFormSlp;
+use spanner::{SpanTuple, SpannerAutomaton};
+
+/// A spanner bound to an SLP-compressed document: convenience facade over
+/// the four evaluation tasks.
+///
+/// Construction performs the `O(|M| + s·q³)` shared preprocessing of
+/// Lemma 6.5 once; the individual tasks then reuse it.
+#[derive(Debug)]
+pub struct SlpSpanner {
+    automaton: SpannerAutomaton<u8>,
+    document: NormalFormSlp<u8>,
+    prepared: prepared::PreparedEvaluation,
+}
+
+impl SlpSpanner {
+    /// Binds a spanner automaton to a compressed document.
+    ///
+    /// Non-deterministic automata are determinised automatically (this
+    /// affects combined complexity only; see the end of Section 8 of the
+    /// paper).  Use the task-specific modules directly for finer control.
+    pub fn new(
+        automaton: &SpannerAutomaton<u8>,
+        document: &NormalFormSlp<u8>,
+    ) -> Result<Self, EvalError> {
+        let automaton = if automaton.is_deterministic() {
+            automaton.clone()
+        } else {
+            automaton.without_epsilon().determinized()
+        };
+        let prepared = prepared::PreparedEvaluation::new(&automaton, document)?;
+        Ok(SlpSpanner {
+            automaton,
+            document: document.clone(),
+            prepared,
+        })
+    }
+
+    /// The (deterministic) automaton in use.
+    pub fn automaton(&self) -> &SpannerAutomaton<u8> {
+        &self.automaton
+    }
+
+    /// The compressed document.
+    pub fn document(&self) -> &NormalFormSlp<u8> {
+        &self.document
+    }
+
+    /// Non-emptiness: `⟦M⟧(D) ≠ ∅` in time `O(s·q³)` (Theorem 5.1(1)).
+    pub fn is_non_empty(&self) -> bool {
+        nonemptiness::is_non_empty(&self.automaton, &self.document)
+    }
+
+    /// Model checking: `t ∈ ⟦M⟧(D)` in time `O((s + |X|·depth(S))·q³)`
+    /// (Theorem 5.1(2)).
+    pub fn check(&self, tuple: &SpanTuple) -> Result<bool, EvalError> {
+        model_check::check(&self.automaton, &self.document, tuple)
+    }
+
+    /// Computes the whole relation `⟦M⟧(D)` (Theorem 7.1).
+    pub fn compute(&self) -> Vec<SpanTuple> {
+        compute::compute_from_prepared(&self.prepared)
+    }
+
+    /// Enumerates `⟦M⟧(D)` with `O(depth(S)·|X|)` delay (Theorem 8.10).
+    pub fn enumerate(&self) -> enumerate::Enumeration<'_> {
+        enumerate::Enumeration::from_prepared(&self.prepared)
+    }
+
+    /// Number of results `|⟦M⟧(D)|`, counted in `O(size(S)·q³)` *without*
+    /// enumerating (see [`count::count_results`]).
+    pub fn count(&self) -> usize {
+        count::count_from_prepared(&self.prepared) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp::families;
+    use spanner::examples::figure_2_spanner;
+    use spanner::{Span, Variable};
+
+    #[test]
+    fn facade_runs_all_tasks_on_the_paper_example() {
+        let slp = slp::examples::example_4_2();
+        let m = figure_2_spanner();
+        let s = SlpSpanner::new(&m, &slp).unwrap();
+        assert!(s.is_non_empty());
+
+        // Example 8.2's result: y = [4, 6⟩.
+        let mut t = SpanTuple::empty(2);
+        t.set(Variable(1), Span::new(4, 6).unwrap());
+        assert!(s.check(&t).unwrap());
+
+        let computed = s.compute();
+        assert!(computed.contains(&t));
+        let enumerated: Vec<SpanTuple> = s.enumerate().collect();
+        assert_eq!(enumerated.len(), computed.len());
+        assert_eq!(s.count(), computed.len());
+    }
+
+    #[test]
+    fn facade_handles_empty_results() {
+        let slp = slp::compress::Compressor::compress(&slp::compress::Bisection, b"cccc");
+        let m = figure_2_spanner();
+        let s = SlpSpanner::new(&m, &slp).unwrap();
+        assert!(!s.is_non_empty());
+        assert!(s.compute().is_empty());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn doc_example_from_lib_rs() {
+        let doc = families::power_word(b"ab", 1000);
+        let m = spanner::regex::compile_deterministic(".*x{ab}.*", b"ab").unwrap();
+        let spanner = SlpSpanner::new(&m, &doc).unwrap();
+        assert!(spanner.is_non_empty());
+        assert_eq!(spanner.count(), 1000);
+    }
+}

@@ -1,0 +1,287 @@
+//! The preprocessing of Lemma 6.5: the matrices `R_A` (for every
+//! non-terminal) and `M_{T_x}` (for every leaf non-terminal), plus the
+//! grammar metadata the computation and enumeration phases need.
+//!
+//! `M_A[i,j]` (Definition 6.2) is the set of partial marker sets `Λ` such
+//! that the automaton can go from state `i` to state `j` reading the marked
+//! word `m(D(A), Λ)` (non-tail-spanning).  These sets are huge for inner
+//! non-terminals, so only their three-valued summary `R_A[i,j]` (empty /
+//! only-∅ / something more) is precomputed; the full sets are materialised
+//! lazily by the computation (Theorem 7.1) and enumeration (Theorem 8.10)
+//! algorithms.  For *leaf* non-terminals the full `M_{T_x}` tables are tiny
+//! (`O(|M|)` overall) and are precomputed here.
+
+use slp::{NfRule, NonTerminal, NormalFormSlp, Terminal};
+use spanner::{MarkedSymbol, PartialMarkerSet};
+use spanner_automata::nfa::{Label, Nfa};
+
+/// The three-valued summary of `M_A[i,j]` (Definition 6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum REntry {
+    /// `M_A[i,j] = ∅`: no marked word for `D(A)` leads from `i` to `j`.
+    Bot,
+    /// `M_A[i,j] = {∅}`: only the unmarked word `D(A)` leads from `i` to `j`
+    /// (the paper's `℮`).
+    Empty,
+    /// `M_A[i,j]` contains a non-empty partial marker set (the paper's `1`).
+    NonEmpty,
+}
+
+/// Preprocessed evaluation data (Lemma 6.5) plus grammar metadata.
+#[derive(Debug)]
+pub struct Preprocessed {
+    /// Number of automaton states `q`.
+    pub q: usize,
+    /// The automaton's start state.
+    pub nfa_start: usize,
+    /// The automaton's accepting states `F`.
+    pub nfa_accepting: Vec<usize>,
+    /// Number of span variables `|X|`.
+    pub num_vars: usize,
+    /// The SLP's start non-terminal.
+    pub start_nt: u32,
+    /// `children[a] = Some((b, c))` for inner rules `A → BC`, `None` for leaves.
+    pub children: Vec<Option<(u32, u32)>>,
+    /// `|D(A)|` per non-terminal (the shifts used by `⊗`).
+    pub lengths: Vec<u64>,
+    /// Non-terminals in bottom-up (children first) order.
+    pub bottom_up: Vec<u32>,
+    /// `depth(A)` per non-terminal.
+    pub depths: Vec<u32>,
+    /// `r[a][i·q + j] = R_A[i, j]`.
+    pub r: Vec<Vec<REntry>>,
+    /// For leaf non-terminals: `leaf_tables[a][i·q + j] = M_{T_x}[i, j]` as a
+    /// `⪯`-sorted, duplicate-free list.
+    pub leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>>,
+}
+
+impl Preprocessed {
+    /// Runs the preprocessing of Lemma 6.5 in time `O(|M| + size(S)·q³)`.
+    pub fn build<T: Terminal>(
+        nfa: &Nfa<MarkedSymbol<T>>,
+        slp: &NormalFormSlp<T>,
+        num_vars: usize,
+    ) -> Self {
+        let q = nfa.num_states();
+        let n = slp.num_non_terminals();
+
+        // P_i = {(ℓ, Y) : ℓ --Y--> i with Y a marker set}  (Lemma 6.5 proof).
+        let mut incoming_markers: Vec<Vec<(usize, spanner::MarkerSet)>> = vec![Vec::new(); q];
+        for (p, label, t) in nfa.arcs() {
+            if let Label::Symbol(MarkedSymbol::Markers(m)) = label {
+                incoming_markers[t].push((p, m));
+            }
+        }
+
+        // Leaf tables M_{T_x} and their R summaries.
+        let mut leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>> = vec![None; n];
+        let mut r: Vec<Vec<REntry>> = vec![Vec::new(); n];
+        for &a in slp.bottom_up_order() {
+            if let NfRule::Leaf(x) = slp.rule(a) {
+                let mut table: Vec<Vec<PartialMarkerSet>> = vec![Vec::new(); q * q];
+                for (p, label, t) in nfa.arcs() {
+                    if label == Label::Symbol(MarkedSymbol::Terminal(x)) {
+                        // The unmarked reading  p --x--> t.
+                        table[p * q + t].push(PartialMarkerSet::empty());
+                        // Marked readings  ℓ --Y--> p --x--> t.
+                        for &(l, y) in &incoming_markers[p] {
+                            table[l * q + t].push(PartialMarkerSet::at_position_one(y));
+                        }
+                    }
+                }
+                let mut summary = vec![REntry::Bot; q * q];
+                for (cell, entry) in table.iter_mut().zip(summary.iter_mut()) {
+                    cell.sort();
+                    cell.dedup();
+                    *entry = if cell.is_empty() {
+                        REntry::Bot
+                    } else if cell.len() == 1 && cell[0].is_empty() {
+                        REntry::Empty
+                    } else {
+                        REntry::NonEmpty
+                    };
+                }
+                leaf_tables[a.index()] = Some(table);
+                r[a.index()] = summary;
+            }
+        }
+
+        // R for inner non-terminals, bottom-up (Lemma 6.5 proof).
+        for &a in slp.bottom_up_order() {
+            if let NfRule::Pair(b, c) = slp.rule(a) {
+                let mut summary = vec![REntry::Bot; q * q];
+                let rb = &r[b.index()];
+                let rc = &r[c.index()];
+                for i in 0..q {
+                    for j in 0..q {
+                        let mut entry = REntry::Bot;
+                        for k in 0..q {
+                            let eb = rb[i * q + k];
+                            let ec = rc[k * q + j];
+                            if eb == REntry::Bot || ec == REntry::Bot {
+                                continue;
+                            }
+                            if eb == REntry::NonEmpty || ec == REntry::NonEmpty {
+                                entry = REntry::NonEmpty;
+                                break;
+                            }
+                            entry = REntry::Empty;
+                        }
+                        summary[i * q + j] = entry;
+                    }
+                }
+                r[a.index()] = summary;
+            }
+        }
+
+        let children: Vec<Option<(u32, u32)>> = (0..n)
+            .map(|a| match slp.rule(NonTerminal(a as u32)) {
+                NfRule::Leaf(_) => None,
+                NfRule::Pair(b, c) => Some((b.0, c.0)),
+            })
+            .collect();
+        let lengths: Vec<u64> = (0..n)
+            .map(|a| slp.derived_len(NonTerminal(a as u32)))
+            .collect();
+        let depths: Vec<u32> = (0..n)
+            .map(|a| slp.depth_of(NonTerminal(a as u32)))
+            .collect();
+
+        Preprocessed {
+            q,
+            nfa_start: nfa.start(),
+            nfa_accepting: nfa.accepting_states(),
+            num_vars,
+            start_nt: slp.start().0,
+            children,
+            lengths,
+            bottom_up: slp.bottom_up_order().iter().map(|a| a.0).collect(),
+            depths,
+            r,
+            leaf_tables,
+        }
+    }
+
+    /// `R_A[i, j]`.
+    #[inline]
+    pub fn r_entry(&self, a: u32, i: usize, j: usize) -> REntry {
+        self.r[a as usize][i * self.q + j]
+    }
+
+    /// `M_{T_x}[i, j]` for a leaf non-terminal, as a sorted list.
+    #[inline]
+    pub fn leaf_set(&self, a: u32, i: usize, j: usize) -> &[PartialMarkerSet] {
+        self.leaf_tables[a as usize]
+            .as_ref()
+            .expect("leaf_set is only called for leaf non-terminals")[i * self.q + j]
+            .as_slice()
+    }
+
+    /// `true` if `a` is a leaf non-terminal.
+    #[inline]
+    pub fn is_leaf(&self, a: u32) -> bool {
+        self.children[a as usize].is_none()
+    }
+
+    /// `I_A[i, j] = {k : R_B[i,k] ≠ ⊥ ∧ R_C[k,j] ≠ ⊥}` for an inner
+    /// non-terminal `A → BC` (Definition 6.4), computed on the fly in `O(q)`.
+    pub fn i_set(&self, a: u32, i: usize, j: usize) -> Vec<usize> {
+        let (b, c) = self.children[a as usize].expect("i_set needs an inner non-terminal");
+        (0..self.q)
+            .filter(|&k| {
+                self.r_entry(b, i, k) != REntry::Bot && self.r_entry(c, k, j) != REntry::Bot
+            })
+            .collect()
+    }
+
+    /// The paper's `Ī_A[i, j]`: `{base}` (represented as `None`) for leaves
+    /// and for entries with `R_A[i,j] = ℮`, otherwise `I_A[i,j]` wrapped in
+    /// `Some`.
+    pub fn i_bar(&self, a: u32, i: usize, j: usize) -> Vec<Option<usize>> {
+        if self.is_leaf(a) || self.r_entry(a, i, j) == REntry::Empty {
+            vec![None]
+        } else {
+            self.i_set(a, i, j).into_iter().map(Some).collect()
+        }
+    }
+
+    /// The accepting states reachable from the start state on the whole
+    /// document, `F' = {j ∈ F : R_{S₀}[q₀, j] ≠ ⊥}` (Theorem 7.1 / 8.10).
+    pub fn reachable_accepting(&self) -> Vec<usize> {
+        self.nfa_accepting
+            .iter()
+            .copied()
+            .filter(|&j| self.r_entry(self.start_nt, self.nfa_start, j) != REntry::Bot)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepared::PreparedEvaluation;
+    use slp::examples::{example_4_2, names_4_2};
+    use spanner::examples::figure_2_spanner;
+
+    fn prep() -> PreparedEvaluation {
+        PreparedEvaluation::new(&figure_2_spanner(), &example_4_2()).unwrap()
+    }
+
+    #[test]
+    fn leaf_tables_match_the_figure_4_yields() {
+        // In the paper's notation (states 1..6 here are 0..5):
+        // yield(Tc⟨1▷5,1⟩) = {{(⊿y,1)}} and yield(Ta⟨5▷6,1⟩) = {{(◁y,1)}}.
+        let p = prep();
+        let pre = &p.pre;
+        // T_c is the leaf for 'c' in the *ended* SLP; find it via names_4_2
+        // (indices are preserved by map_terminals / append_terminal).
+        let tc = names_4_2::TC.0;
+        let ta = names_4_2::TA.0;
+        let set = pre.leaf_set(tc, 0, 4);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set[0].len(), 1);
+        assert_eq!(set[0].max_position(), 1);
+        let set = pre.leaf_set(ta, 4, 5);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set[0].len(), 1);
+        // Unmarked self-loop readings give the {∅} entry.
+        let set = pre.leaf_set(tc, 4, 4);
+        assert_eq!(set.len(), 1);
+        assert!(set[0].is_empty());
+        assert_eq!(pre.r_entry(tc, 4, 4), REntry::Empty);
+        assert_eq!(pre.r_entry(tc, 0, 4), REntry::NonEmpty);
+        // No way to read 'c' from state 2 (paper state 3).
+        assert_eq!(pre.r_entry(tc, 2, 2), REntry::Bot);
+    }
+
+    #[test]
+    fn inner_r_entries_follow_the_example() {
+        let p = prep();
+        let pre = &p.pre;
+        // R_C[1,1] = ℮ in the paper (aab read from state 1 to state 1 with
+        // no markers possible): paper state 1 is id 0.
+        assert_eq!(pre.r_entry(names_4_2::C.0, 0, 0), REntry::Empty);
+        // R_A[1,5] = 1 (the ⊿y cc reading exists): ids (0, 4).
+        assert_eq!(pre.r_entry(names_4_2::A.0, 0, 4), REntry::NonEmpty);
+        // I_A[1,5] contains the intermediate state 1 (id 0): D(C)=aab read
+        // 0→0, D(D)=cc read 0→4.
+        assert!(pre.i_set(names_4_2::A.0, 0, 4).contains(&0));
+    }
+
+    #[test]
+    fn reachable_accepting_is_nonempty_for_the_example() {
+        let p = prep();
+        // The end-transformed automaton has a single accepting state which
+        // must be reachable on D# (the example has results).
+        assert_eq!(p.pre.reachable_accepting().len(), 1);
+    }
+
+    #[test]
+    fn i_bar_handles_leaves_and_empty_entries() {
+        let p = prep();
+        let pre = &p.pre;
+        assert_eq!(pre.i_bar(names_4_2::TC.0, 4, 4), vec![None]);
+        assert_eq!(pre.i_bar(names_4_2::C.0, 0, 0), vec![None]);
+        assert!(!pre.i_bar(names_4_2::A.0, 0, 4).contains(&None));
+    }
+}

@@ -1,0 +1,247 @@
+//! Model checking, Theorem 5.1(2): decide `t ∈ ⟦M⟧(D)` in time
+//! `O((size(S) + |X|·depth(S))·q³)` directly on the compressed document.
+//!
+//! Following the paper's proof, the SLP `S` for `D` is spliced into an SLP
+//! `S'` for the subword-marked word `m(D, t)`: for each of the at most
+//! `2·|X|` positions carrying markers, the root-to-leaf path of that
+//! position is copied (adding `O(depth(S))` fresh non-terminals) and a new
+//! leaf for the marker-set symbol is inserted in front of the position's
+//! leaf.  Then `t ∈ ⟦M⟧(D)` iff `D(S') ∈ L(M)` (Proposition 3.3), which is
+//! checked with Lemma 4.5.
+
+use crate::error::EvalError;
+use slp::{NfRule, NonTerminal, NormalFormSlp, Terminal};
+use spanner::{MarkedSymbol, MarkerSet, SpanTuple, SpannerAutomaton};
+use spanner_automata::membership::compressed_membership;
+
+/// Builds an SLP for the marked word `m(D, t)` over `Σ ∪ P(Γ_X)` from an SLP
+/// for `D`, adding `O(|X| · depth(S))` non-terminals (the construction in
+/// the proof of Theorem 5.1(2)).
+pub fn marked_document_slp(
+    document: &NormalFormSlp<u8>,
+    tuple: &SpanTuple,
+) -> Result<NormalFormSlp<MarkedSymbol<u8>>, EvalError> {
+    let d = document.document_len();
+    tuple
+        .check_compatible(d)
+        .map_err(|_| EvalError::TupleOutOfBounds {
+            position: tuple
+                .defined_variables()
+                .iter()
+                .filter_map(|&v| tuple.get(v))
+                .map(|s| s.end)
+                .max()
+                .unwrap_or(0),
+            document_len: d,
+        })?;
+
+    let mut slp = document.map_terminals(MarkedSymbol::Terminal);
+    // Insert marker-set symbols right-to-left so earlier positions are not
+    // shifted by later insertions.
+    let markers = tuple.marker_set();
+    let mut insertions: Vec<(u64, MarkerSet)> = markers.entries().collect();
+    insertions.sort_by_key(|&(p, _)| std::cmp::Reverse(p));
+    for (pos, set) in insertions {
+        let symbol = MarkedSymbol::Markers(set);
+        slp = if pos == slp.document_len() + 1 {
+            // Tail-spanning markers sit after the last terminal: append.
+            slp.append_terminal(symbol)
+        } else {
+            insert_before(&slp, pos, symbol)?
+        };
+    }
+    Ok(slp)
+}
+
+/// Returns a new SLP whose document has `symbol` inserted immediately before
+/// (1-based) position `pos` of the old document, by copying the root-to-leaf
+/// path of `pos` (`O(depth(S))` new rules).
+pub fn insert_before<T: Terminal>(
+    slp: &NormalFormSlp<T>,
+    pos: u64,
+    symbol: T,
+) -> Result<NormalFormSlp<T>, EvalError> {
+    let (path, leaf) = slp.path_to(pos)?;
+    let mut rules: Vec<NfRule<T>> = slp.rules().to_vec();
+
+    // Leaf for the inserted symbol (reuse an existing one if present).
+    let symbol_leaf = rules
+        .iter()
+        .position(|r| matches!(r, NfRule::Leaf(x) if *x == symbol))
+        .map(|i| NonTerminal(i as u32))
+        .unwrap_or_else(|| {
+            rules.push(NfRule::Leaf(symbol));
+            NonTerminal((rules.len() - 1) as u32)
+        });
+
+    // Replace the position's leaf L by a fresh rule L' → symbol_leaf · L.
+    rules.push(NfRule::Pair(symbol_leaf, leaf));
+    let mut replacement = NonTerminal((rules.len() - 1) as u32);
+
+    // Walk the path bottom-up, copying each node with the affected child
+    // replaced.
+    for step in path.iter().rev() {
+        let (b, c) = match rules[step.node.index()] {
+            NfRule::Pair(b, c) => (b, c),
+            NfRule::Leaf(_) => unreachable!("path steps are inner non-terminals"),
+        };
+        let new_rule = if step.went_right {
+            NfRule::Pair(b, replacement)
+        } else {
+            NfRule::Pair(replacement, c)
+        };
+        rules.push(new_rule);
+        replacement = NonTerminal((rules.len() - 1) as u32);
+    }
+
+    NormalFormSlp::new(rules, replacement).map_err(EvalError::Slp)
+}
+
+/// Theorem 5.1(2): `t ∈ ⟦M⟧(D)` for the document derived by `document`,
+/// without decompressing.
+pub fn check(
+    automaton: &SpannerAutomaton<u8>,
+    document: &NormalFormSlp<u8>,
+    tuple: &SpanTuple,
+) -> Result<bool, EvalError> {
+    let marked = marked_document_slp(document, tuple)?;
+    Ok(compressed_membership(automaton.nfa(), &marked))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp::compress::{Bisection, Compressor};
+    use slp::families;
+    use spanner::examples::figure_2_spanner;
+    use spanner::{reference, Span, Variable};
+
+    #[test]
+    fn insert_before_splices_single_symbols() {
+        let slp = Bisection.compress(b"abcdefgh");
+        for pos in 1..=8u64 {
+            let spliced = insert_before(&slp, pos, b'#').unwrap();
+            let mut expected = b"abcdefgh".to_vec();
+            expected.insert((pos - 1) as usize, b'#');
+            assert_eq!(spliced.derive(), expected, "pos {pos}");
+            assert_eq!(spliced.document_len(), 9);
+        }
+        assert!(insert_before(&slp, 0, b'#').is_err());
+        assert!(insert_before(&slp, 10, b'#').is_err());
+    }
+
+    #[test]
+    fn insert_before_adds_at_most_depth_plus_two_rules() {
+        let slp = families::power_of_two_unary(b'a', 16);
+        let spliced = insert_before(&slp, 12345, b'b').unwrap();
+        assert!(
+            spliced.num_non_terminals() <= slp.num_non_terminals() + slp.depth() as usize + 2,
+            "added {} rules",
+            spliced.num_non_terminals() - slp.num_non_terminals()
+        );
+        let derived = spliced.derive();
+        assert_eq!(derived.len(), (1 << 16) + 1);
+        assert_eq!(derived[12344], b'b');
+        assert!(derived.iter().filter(|&&c| c == b'b').count() == 1);
+    }
+
+    #[test]
+    fn marked_document_slp_derives_the_marked_word() {
+        let doc = b"aabccaabaa";
+        let slp = Bisection.compress(doc);
+        let mut t = SpanTuple::empty(2);
+        t.set(Variable(1), Span::new(4, 6).unwrap());
+        let marked = marked_document_slp(&slp, &t).unwrap();
+        let derived = marked.derive();
+        let expected = spanner::MarkedWord::from_document_and_tuple(doc, &t)
+            .unwrap()
+            .to_symbols();
+        assert_eq!(derived, expected);
+    }
+
+    #[test]
+    fn model_check_agrees_with_the_uncompressed_check() {
+        let m = figure_2_spanner();
+        let doc = b"aabccaabaa";
+        let slp = Bisection.compress(doc);
+        // All tuples over a few interesting spans, including invalid ones.
+        let spans: Vec<Option<Span>> = vec![
+            None,
+            Some(Span::new(4, 6).unwrap()),
+            Some(Span::new(7, 10).unwrap()),
+            Some(Span::new(1, 3).unwrap()),
+            Some(Span::new(4, 5).unwrap()),
+            Some(Span::new(10, 11).unwrap()),
+        ];
+        for x in &spans {
+            for y in &spans {
+                let mut t = SpanTuple::empty(2);
+                if let Some(s) = x {
+                    t.set(Variable(0), *s);
+                }
+                if let Some(s) = y {
+                    t.set(Variable(1), *s);
+                }
+                let expected = m.matches(doc, &t).unwrap();
+                assert_eq!(check(&m, &slp, &t).unwrap(), expected, "tuple {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn model_check_agrees_with_reference_everywhere() {
+        let m = figure_2_spanner();
+        let doc = b"abcab";
+        let slp = Bisection.compress(doc);
+        let expected = reference::evaluate(&m, doc);
+        // Every tuple in the reference result model-checks positively.
+        for t in &expected {
+            assert!(check(&m, &slp, t).unwrap(), "missing {t:?}");
+        }
+        // And a few that are not in the result are rejected.
+        let mut t = SpanTuple::empty(2);
+        t.set(Variable(0), Span::new(3, 4).unwrap()); // spans the 'c'
+        assert!(!expected.contains(&t));
+        assert!(!check(&m, &slp, &t).unwrap());
+    }
+
+    #[test]
+    fn tail_spanning_tuples_are_handled() {
+        // A tuple whose close marker sits at position d+1 (after the last
+        // symbol): the splice must append rather than descend.
+        let m = spanner::regex::compile(".*x{b+}", b"ab").unwrap();
+        let doc = b"aabb";
+        let slp = Bisection.compress(doc);
+        let mut t = SpanTuple::empty(1);
+        t.set(Variable(0), Span::new(3, 5).unwrap());
+        assert!(check(&m, &slp, &t).unwrap());
+        let mut t = SpanTuple::empty(1);
+        t.set(Variable(0), Span::new(3, 4).unwrap());
+        assert!(!check(&m, &slp, &t).unwrap());
+    }
+
+    #[test]
+    fn out_of_bounds_tuples_error() {
+        let m = figure_2_spanner();
+        let slp = Bisection.compress(b"abc");
+        let mut t = SpanTuple::empty(2);
+        t.set(Variable(0), Span::new(2, 9).unwrap());
+        assert!(matches!(
+            check(&m, &slp, &t),
+            Err(EvalError::TupleOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn works_on_exponentially_compressed_documents() {
+        // D = (ab)^(2^20), x = the first "ab" block.
+        let m = spanner::regex::compile("x{ab}.*", b"ab").unwrap();
+        let slp = families::power_word(b"ab", 1 << 20);
+        let mut t = SpanTuple::empty(1);
+        t.set(Variable(0), Span::new(1, 3).unwrap());
+        assert!(check(&m, &slp, &t).unwrap());
+        let mut t = SpanTuple::empty(1);
+        t.set(Variable(0), Span::new(2, 4).unwrap());
+        assert!(!check(&m, &slp, &t).unwrap());
+    }
+}

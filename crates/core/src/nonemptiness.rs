@@ -1,0 +1,138 @@
+//! Non-emptiness checking, Theorem 5.1(1): decide `⟦M⟧(D) ≠ ∅` in time
+//! `O(|M| + size(S)·q³)` directly on the compressed document.
+//!
+//! The reduction of Section 5: replace every marker-set transition of `M`
+//! by an ε-transition (the resulting automaton `M'` over `Σ` accepts
+//! `{e(w) : w ∈ L(M)}`), then check membership of the compressed document
+//! in `L(M')` with Lemma 4.5.
+//!
+//! One practical refinement: the paper assumes `L(M)` contains only
+//! *subword-marked* words, but concrete automata (the paper's own Figure 2,
+//! and anything compiled from a variable regex) usually also accept
+//! ill-formed words in which two marker-set symbols appear back to back
+//! (e.g. `{⊿x}{◁x}a` instead of the well-formed `{⊿x,◁x}a`).  Such words
+//! never affect model checking, computation or enumeration — those
+//! algorithms only ever consider well-formed marked words `m(D, Λ)` — but a
+//! naive markers→ε projection would let them influence non-emptiness.  The
+//! projection below therefore tracks one bit ("did we just cross a marker
+//! symbol?") and refuses to cross two in a row, which restricts the
+//! projection to exactly the well-formed readings.  This doubles `q` and
+//! leaves the `O(size(S)·q³)` bound intact.
+
+use slp::NormalFormSlp;
+use spanner::{MarkedSymbol, SpannerAutomaton};
+use spanner_automata::membership::compressed_membership;
+use spanner_automata::nfa::{Label, Nfa};
+
+/// Projects the spanner automaton onto the document alphabet: marker-set
+/// transitions become ε-transitions (the automaton `M'` of Theorem 5.1(1)),
+/// with the one-marker-symbol-per-position refinement described in the
+/// module documentation.
+///
+/// State `2p` means "in state `p`, last symbol was a terminal (or start)";
+/// state `2p + 1` means "in state `p`, just crossed a marker-set symbol".
+pub fn erase_markers(automaton: &SpannerAutomaton<u8>) -> Nfa<u8> {
+    let nfa = automaton.nfa();
+    let mut out: Nfa<u8> = Nfa::with_states(2 * nfa.num_states());
+    out.set_start(2 * nfa.start());
+    for s in nfa.accepting_states() {
+        // A trailing marker set (tail-spanning word) is still well-formed,
+        // so both flag values are accepting.
+        out.set_accepting(2 * s, true);
+        out.set_accepting(2 * s + 1, true);
+    }
+    for (p, label, q) in nfa.arcs() {
+        match label {
+            Label::Symbol(MarkedSymbol::Terminal(b)) => {
+                out.add_transition(2 * p, b, 2 * q);
+                out.add_transition(2 * p + 1, b, 2 * q);
+            }
+            Label::Symbol(MarkedSymbol::Markers(_)) => {
+                // Only allowed when the previous symbol was a terminal.
+                out.add_epsilon(2 * p, 2 * q + 1);
+            }
+            Label::Epsilon => {
+                out.add_epsilon(2 * p, 2 * q);
+                out.add_epsilon(2 * p + 1, 2 * q + 1);
+            }
+        }
+    }
+    out
+}
+
+/// Theorem 5.1(1): `⟦M⟧(D) ≠ ∅` for the document derived by `document`,
+/// in time `O(|M| + size(S)·q³)` without decompressing.
+pub fn is_non_empty(automaton: &SpannerAutomaton<u8>, document: &NormalFormSlp<u8>) -> bool {
+    let projected = erase_markers(automaton);
+    compressed_membership(&projected, document)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp::compress::{Bisection, Compressor};
+    use slp::families;
+    use spanner::examples::figure_2_spanner;
+    use spanner::{reference, regex};
+
+    #[test]
+    fn agrees_with_the_reference_on_small_documents() {
+        let m = figure_2_spanner();
+        for doc in [
+            &b"aabccaabaa"[..],
+            b"cccc",
+            b"a",
+            b"ab",
+            b"c",
+            b"ca",
+            b"ac",
+            b"bbbb",
+            b"cb",
+        ] {
+            let slp = Bisection.compress(doc);
+            let expected = !reference::evaluate(&m, doc).is_empty();
+            assert_eq!(is_non_empty(&m, &slp), expected, "doc {:?}", doc);
+        }
+    }
+
+    #[test]
+    fn works_on_exponentially_compressed_documents() {
+        let m = figure_2_spanner();
+        // a^(2^40): only x-spans exist (no c), so the spanner is non-empty.
+        let slp = families::power_of_two_unary(b'a', 40);
+        assert!(is_non_empty(&m, &slp));
+        // c^(2^40): a close marker must be followed by an a or b — empty.
+        let slp = families::power_of_two_unary(b'c', 40);
+        assert!(!is_non_empty(&m, &slp));
+    }
+
+    #[test]
+    fn regex_spanners_work_too() {
+        let m = regex::compile(".*x{ab}.*", b"abc").unwrap();
+        let yes = Bisection.compress(b"ccabcc");
+        let no = Bisection.compress(b"ccbacc");
+        assert!(is_non_empty(&m, &yes));
+        assert!(!is_non_empty(&m, &no));
+    }
+
+    #[test]
+    fn erase_markers_doubles_the_state_count() {
+        let m = figure_2_spanner();
+        let p = erase_markers(&m);
+        assert_eq!(p.num_states(), 2 * m.num_states());
+        // Terminal arcs are duplicated, marker arcs become one ε-arc each.
+        assert!(p.num_transitions() >= m.num_transitions());
+    }
+
+    #[test]
+    fn ill_formed_consecutive_marker_readings_do_not_count() {
+        // On the single-symbol document "a" the Figure 2 spanner has no
+        // results: the only candidate, an empty x-span, would need the
+        // combined marker set {⊿x, ◁x}, which the DFA cannot read.  A naive
+        // markers→ε projection would wrongly report non-emptiness here.
+        let m = figure_2_spanner();
+        let slp = Bisection.compress(b"a");
+        assert!(!is_non_empty(&m, &slp));
+        assert!(reference::evaluate(&m, b"a").is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Shared preparation: the "end-of-document" transformation of Section 6.1
+//! and the preprocessing of Lemma 6.5.
+//!
+//! The evaluation algorithms for computing and enumerating `⟦M⟧(D)` require
+//! every accepted subword-marked word to be *non-tail-spanning* (no markers
+//! after the last terminal).  The paper achieves this with the language
+//! transformation `L(M') = { w·# : w ∈ L(M) }` for a fresh terminal `#`,
+//! evaluated over `D·#`; results are unchanged (`⟦M⟧(D) = ⟦M'⟧(D#)`).
+//! [`EByte`] is the extended terminal alphabet, [`PreparedEvaluation`]
+//! bundles the transformed automaton, the transformed SLP and the
+//! preprocessed matrices.
+
+use crate::matrices::Preprocessed;
+use slp::NormalFormSlp;
+use spanner::{MarkedSymbol, SpannerAutomaton};
+use spanner_automata::nfa::{Label, Nfa};
+
+/// The document alphabet extended by the end-of-document sentinel `#`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EByte {
+    /// An ordinary document byte.
+    Byte(u8),
+    /// The end-of-document sentinel (the paper's `#`).
+    End,
+}
+
+/// The result of the shared preprocessing: the end-transformed automaton and
+/// document plus the matrices of Lemma 6.5.  Construction time is
+/// `O(|M| + size(S) · q³)`.
+#[derive(Debug)]
+pub struct PreparedEvaluation {
+    /// The end-transformed, ε-free automaton over `Σ∪{#} ∪ P(Γ_X)`.
+    pub nfa: Nfa<MarkedSymbol<EByte>>,
+    /// The SLP for `D·#`.
+    pub slp: NormalFormSlp<EByte>,
+    /// Number of span variables `|X|`.
+    pub num_vars: usize,
+    /// `true` if the (transformed) automaton is deterministic, the
+    /// precondition of duplicate-free enumeration (Lemma 8.8).
+    pub deterministic: bool,
+    /// The matrices `R_A`, `M_{T_x}` and auxiliary grammar data.
+    pub pre: Preprocessed,
+}
+
+impl PreparedEvaluation {
+    /// Builds the prepared evaluation context for an automaton and a
+    /// compressed document.
+    ///
+    /// ε-transitions are removed first if present (they are a representation
+    /// convenience and never needed by the algorithms).
+    pub fn new(
+        automaton: &SpannerAutomaton<u8>,
+        document: &NormalFormSlp<u8>,
+    ) -> Result<Self, crate::EvalError> {
+        let automaton = if automaton.nfa().has_epsilon() {
+            automaton.without_epsilon()
+        } else {
+            automaton.clone()
+        };
+        let deterministic = automaton.is_deterministic();
+        let nfa = end_transform(automaton.nfa());
+        let slp = document.map_terminals(EByte::Byte).append_terminal(EByte::End);
+        let pre = Preprocessed::build(&nfa, &slp, automaton.num_vars());
+        Ok(PreparedEvaluation {
+            nfa,
+            slp,
+            num_vars: automaton.num_vars(),
+            deterministic,
+            pre,
+        })
+    }
+}
+
+/// The paper's non-tail-spanning transformation: `L(M') = L(M)·#`.
+///
+/// A fresh state `f` is added; every accepting state gets a `#`-transition
+/// to `f`, and `f` becomes the unique accepting state.  Determinism and
+/// ε-freeness are preserved.
+pub fn end_transform(nfa: &Nfa<MarkedSymbol<u8>>) -> Nfa<MarkedSymbol<EByte>> {
+    let mut out: Nfa<MarkedSymbol<EByte>> = Nfa::with_states(nfa.num_states() + 1);
+    let end_state = nfa.num_states();
+    out.set_start(nfa.start());
+    for (p, label, q) in nfa.arcs() {
+        match label {
+            Label::Symbol(MarkedSymbol::Terminal(b)) => {
+                out.add_transition(p, MarkedSymbol::Terminal(EByte::Byte(b)), q)
+            }
+            Label::Symbol(MarkedSymbol::Markers(m)) => {
+                out.add_transition(p, MarkedSymbol::Markers(m), q)
+            }
+            Label::Epsilon => out.add_epsilon(p, q),
+        }
+    }
+    for q in nfa.accepting_states() {
+        out.add_transition(q, MarkedSymbol::Terminal(EByte::End), end_state);
+    }
+    out.set_accepting(end_state, true);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner::examples::figure_2_spanner;
+
+    #[test]
+    fn end_transform_adds_one_state_and_stays_deterministic() {
+        let m = figure_2_spanner();
+        let ended = end_transform(m.nfa());
+        assert_eq!(ended.num_states(), m.num_states() + 1);
+        assert_eq!(ended.num_transitions(), m.num_transitions() + 1);
+        assert!(ended.is_deterministic());
+        assert_eq!(ended.accepting_states(), vec![m.num_states()]);
+    }
+
+    #[test]
+    fn prepared_evaluation_builds_for_the_paper_example() {
+        let m = figure_2_spanner();
+        let slp = slp::examples::example_4_2();
+        let prep = PreparedEvaluation::new(&m, &slp).unwrap();
+        assert!(prep.deterministic);
+        assert_eq!(prep.num_vars, 2);
+        // D# has length 11.
+        assert_eq!(prep.slp.document_len(), 11);
+        // Terminals of the transformed SLP include the sentinel.
+        assert!(prep.slp.terminals().contains(&EByte::End));
+    }
+}

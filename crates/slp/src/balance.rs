@@ -1,0 +1,319 @@
+//! SLP balancing: the crate's stand-in for the balancing theorem of
+//! Ganardi, Jež and Lohrey (Theorem 4.3 of the paper).
+//!
+//! [`rebalance`] rebuilds a normal-form SLP bottom-up, replacing every inner
+//! rule `A → BC` by an *AVL join* of the (already rebalanced) grammars for
+//! `B` and `C`.  Joining two height-balanced grammar trees of heights `h₁`
+//! and `h₂` adds `O(|h₁ − h₂|)` fresh rules and yields a height-balanced
+//! result, so the rebuilt SLP
+//!
+//! * derives the same document,
+//! * has depth at most `1.45·log₂(d) + 2` (AVL height bound), and
+//! * has size `O(size(S) · log d)` in the worst case (in practice much less,
+//!   thanks to hash-consing of the freshly created rules).
+//!
+//! This is the classic "AVL grammar" construction (Rytter 2003).  It is a
+//! slightly weaker size guarantee than the `O(size(S))` of Theorem 4.3, but
+//! it serves the same purpose in all experiments: it caps `depth(S)` at
+//! `O(log d)` so the enumeration delay bound `O(depth(S)·|X|)` becomes
+//! `O(|X|·log d)`.  See DESIGN.md §4.
+
+use crate::grammar::{NonTerminal, Terminal};
+use crate::normal_form::{NfRule, NormalFormSlp};
+use std::collections::HashMap;
+
+/// Returns `true` if the SLP's depth is at most `c · log₂(document length) + 2`.
+pub fn is_balanced<T: Terminal>(slp: &NormalFormSlp<T>, c: f64) -> bool {
+    let d = slp.document_len() as f64;
+    (slp.depth() as f64) <= c * d.log2().max(1.0) + 2.0
+}
+
+/// Rebalances an SLP with AVL joins (see module docs).  The derived document
+/// is unchanged and the resulting depth is `O(log d)`.
+pub fn rebalance<T: Terminal>(slp: &NormalFormSlp<T>) -> NormalFormSlp<T> {
+    let mut b = AvlBuilder::new();
+    // Image of every original non-terminal in the rebuilt grammar.
+    let mut image: Vec<Option<NonTerminal>> = vec![None; slp.num_non_terminals()];
+    for &a in slp.bottom_up_order() {
+        let id = match slp.rule(a) {
+            NfRule::Leaf(t) => b.leaf(t),
+            NfRule::Pair(l, r) => {
+                let li = image[l.index()].expect("bottom-up order");
+                let ri = image[r.index()].expect("bottom-up order");
+                b.join(li, ri)
+            }
+        };
+        image[a.index()] = Some(id);
+    }
+    let root = image[slp.start().index()].expect("start was rebuilt");
+    b.finish(root).garbage_collected()
+}
+
+/// Incremental builder of a hash-consed, height-annotated grammar supporting
+/// AVL joins.
+struct AvlBuilder<T> {
+    rules: Vec<NfRule<T>>,
+    heights: Vec<u32>,
+    leaf_of: HashMap<T, NonTerminal>,
+    pair_of: HashMap<(NonTerminal, NonTerminal), NonTerminal>,
+}
+
+impl<T: Terminal> AvlBuilder<T> {
+    fn new() -> Self {
+        AvlBuilder {
+            rules: Vec::new(),
+            heights: Vec::new(),
+            leaf_of: HashMap::new(),
+            pair_of: HashMap::new(),
+        }
+    }
+
+    fn height(&self, a: NonTerminal) -> u32 {
+        self.heights[a.index()]
+    }
+
+    fn leaf(&mut self, t: T) -> NonTerminal {
+        if let Some(&id) = self.leaf_of.get(&t) {
+            return id;
+        }
+        let id = NonTerminal(self.rules.len() as u32);
+        self.rules.push(NfRule::Leaf(t));
+        self.heights.push(1);
+        self.leaf_of.insert(t, id);
+        id
+    }
+
+    /// Creates (or reuses) the plain pair node `(l, r)` without rebalancing.
+    fn node(&mut self, l: NonTerminal, r: NonTerminal) -> NonTerminal {
+        if let Some(&id) = self.pair_of.get(&(l, r)) {
+            return id;
+        }
+        let id = NonTerminal(self.rules.len() as u32);
+        self.rules.push(NfRule::Pair(l, r));
+        self.heights.push(1 + self.height(l).max(self.height(r)));
+        self.pair_of.insert((l, r), id);
+        id
+    }
+
+    fn children(&self, a: NonTerminal) -> (NonTerminal, NonTerminal) {
+        match self.rules[a.index()] {
+            NfRule::Pair(l, r) => (l, r),
+            NfRule::Leaf(_) => unreachable!("children() called on a leaf"),
+        }
+    }
+
+    /// AVL join ("just join" without keys): concatenates the expansions of
+    /// `l` and `r` into a height-balanced grammar tree, creating
+    /// `O(|height(l) − height(r)|)` fresh nodes.
+    fn join(&mut self, l: NonTerminal, r: NonTerminal) -> NonTerminal {
+        let (hl, hr) = (self.height(l) as i64, self.height(r) as i64);
+        if (hl - hr).abs() <= 1 {
+            self.node(l, r)
+        } else if hl > hr {
+            self.join_right(l, r)
+        } else {
+            self.join_left(l, r)
+        }
+    }
+
+    /// Precondition: `height(tl) >= height(tr) + 2` (hence `tl` is inner).
+    fn join_right(&mut self, tl: NonTerminal, tr: NonTerminal) -> NonTerminal {
+        let (l, c) = self.children(tl);
+        if self.height(c) <= self.height(tr) + 1 {
+            let t1 = self.node(c, tr);
+            if self.height(t1) <= self.height(l) + 1 {
+                self.node(l, t1)
+            } else {
+                // Double rotation: c is inner here (see the AVL join
+                // invariant analysis); redistribute as ((l, c.l), (c.r, tr)).
+                let (c1, c2) = self.children(c);
+                let left = self.node(l, c1);
+                let right = self.node(c2, tr);
+                self.node(left, right)
+            }
+        } else {
+            let t1 = self.join_right(c, tr);
+            if self.height(t1) <= self.height(l) + 1 {
+                self.node(l, t1)
+            } else {
+                // Single left rotation of (l, t1).
+                let (t1l, t1r) = self.children(t1);
+                let left = self.node(l, t1l);
+                self.node(left, t1r)
+            }
+        }
+    }
+
+    /// Mirror image of [`Self::join_right`]: `height(tr) >= height(tl) + 2`.
+    fn join_left(&mut self, tl: NonTerminal, tr: NonTerminal) -> NonTerminal {
+        let (c, r) = self.children(tr);
+        if self.height(c) <= self.height(tl) + 1 {
+            let t1 = self.node(tl, c);
+            if self.height(t1) <= self.height(r) + 1 {
+                self.node(t1, r)
+            } else {
+                let (c1, c2) = self.children(c);
+                let left = self.node(tl, c1);
+                let right = self.node(c2, r);
+                self.node(left, right)
+            }
+        } else {
+            let t1 = self.join_left(tl, c);
+            if self.height(t1) <= self.height(r) + 1 {
+                self.node(t1, r)
+            } else {
+                let (t1l, t1r) = self.children(t1);
+                let right = self.node(t1r, r);
+                self.node(t1l, right)
+            }
+        }
+    }
+
+    fn finish(self, root: NonTerminal) -> FinishedGrammar<T> {
+        FinishedGrammar {
+            rules: self.rules,
+            root,
+        }
+    }
+}
+
+struct FinishedGrammar<T> {
+    rules: Vec<NfRule<T>>,
+    root: NonTerminal,
+}
+
+impl<T: Terminal> FinishedGrammar<T> {
+    fn garbage_collected(self) -> NormalFormSlp<T> {
+        // Keep only rules reachable from the root, renumbering.
+        let mut reachable = vec![false; self.rules.len()];
+        let mut stack = vec![self.root];
+        reachable[self.root.index()] = true;
+        while let Some(a) = stack.pop() {
+            if let NfRule::Pair(l, r) = self.rules[a.index()] {
+                for child in [l, r] {
+                    if !reachable[child.index()] {
+                        reachable[child.index()] = true;
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+        let mut remap = vec![u32::MAX; self.rules.len()];
+        let mut next = 0u32;
+        for (i, &keep) in reachable.iter().enumerate() {
+            if keep {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let rules: Vec<NfRule<T>> = self
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| reachable[*i])
+            .map(|(_, r)| match r {
+                NfRule::Leaf(t) => NfRule::Leaf(*t),
+                NfRule::Pair(l, r) => {
+                    NfRule::Pair(NonTerminal(remap[l.index()]), NonTerminal(remap[r.index()]))
+                }
+            })
+            .collect();
+        NormalFormSlp::new(rules, NonTerminal(remap[self.root.index()]))
+            .expect("rebalancing preserves validity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{Chain, Compressor, Lz78, RePair};
+
+    fn avl_depth_bound(d: u64) -> u32 {
+        (1.45 * (d as f64).log2().max(1.0)).ceil() as u32 + 2
+    }
+
+    #[test]
+    fn rebalancing_a_chain_makes_it_logarithmic() {
+        let doc: Vec<u8> = (0..2000u32).map(|i| (i % 26) as u8 + b'a').collect();
+        let chain = Chain.compress(&doc);
+        assert_eq!(chain.depth(), 2000);
+        let balanced = rebalance(&chain);
+        assert_eq!(balanced.derive(), doc);
+        assert!(
+            balanced.depth() <= avl_depth_bound(doc.len() as u64),
+            "depth {} exceeds AVL bound",
+            balanced.depth()
+        );
+        assert!(is_balanced(&balanced, 1.5));
+        assert!(!is_balanced(&chain, 1.5));
+    }
+
+    #[test]
+    fn rebalancing_preserves_documents_of_all_compressors() {
+        let doc: Vec<u8> = std::iter::repeat(b"lorem ipsum dolor sit amet ".iter().copied())
+            .take(40)
+            .flatten()
+            .collect();
+        for c in [
+            &Chain as &dyn Compressor,
+            &RePair::default(),
+            &Lz78,
+            &crate::compress::Bisection,
+        ] {
+            let slp = c.compress(&doc);
+            let balanced = rebalance(&slp);
+            assert_eq!(balanced.derive(), doc, "compressor {}", c.name());
+            assert!(
+                balanced.depth() <= avl_depth_bound(doc.len() as u64),
+                "{}: depth {} > bound",
+                c.name(),
+                balanced.depth()
+            );
+        }
+    }
+
+    #[test]
+    fn rebalanced_chain_size_stays_moderate() {
+        let doc = vec![b'a'; 4096];
+        let chain = Chain.compress(&doc);
+        let balanced = rebalance(&chain);
+        assert_eq!(balanced.document_len(), 4096);
+        // Hash-consing collapses the unary document to a small polylogarithmic
+        // number of rules even though the input grammar had Θ(d) rules.
+        assert!(
+            balanced.num_non_terminals() <= 400,
+            "rules: {}",
+            balanced.num_non_terminals()
+        );
+    }
+
+    #[test]
+    fn already_balanced_grammars_stay_small() {
+        let doc: Vec<u8> = (0..1024u32).map(|i| (i % 17) as u8).collect();
+        let slp = crate::compress::Bisection.compress(&doc);
+        let balanced = rebalance(&slp);
+        assert_eq!(balanced.derive(), doc);
+        assert!(balanced.num_non_terminals() <= 2 * slp.num_non_terminals());
+    }
+
+    #[test]
+    fn avl_invariant_holds_everywhere() {
+        let doc: Vec<u8> = (0..777u32).map(|i| (i % 5) as u8 + b'a').collect();
+        let chain = Chain.compress(&doc);
+        let balanced = rebalance(&chain);
+        // Check the AVL balance factor on every inner rule.
+        let mut heights = vec![0u32; balanced.num_non_terminals()];
+        for &a in balanced.bottom_up_order() {
+            heights[a.index()] = match balanced.rule(a) {
+                NfRule::Leaf(_) => 1,
+                NfRule::Pair(l, r) => 1 + heights[l.index()].max(heights[r.index()]),
+            };
+        }
+        for &a in balanced.bottom_up_order() {
+            if let NfRule::Pair(l, r) = balanced.rule(a) {
+                let diff = heights[l.index()] as i64 - heights[r.index()] as i64;
+                assert!(diff.abs() <= 1, "AVL violation at {:?}: {diff}", a);
+            }
+        }
+    }
+}

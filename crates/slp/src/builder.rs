@@ -1,0 +1,177 @@
+//! An ergonomic builder for normal-form SLPs.
+//!
+//! The builder hands out non-terminal handles as rules are added, reusing
+//! leaf rules per terminal and (optionally) hash-consing pair rules, and
+//! validates the result when finished.
+
+use crate::error::SlpError;
+use crate::grammar::{NonTerminal, Terminal};
+use crate::normal_form::{NfRule, NormalFormSlp};
+use std::collections::HashMap;
+
+/// Incremental builder for [`NormalFormSlp`]s.
+///
+/// ```
+/// use slp::SlpBuilder;
+///
+/// let mut b = SlpBuilder::new();
+/// let a = b.leaf(b'a');
+/// let bb = b.leaf(b'b');
+/// let ab = b.pair(a, bb);
+/// let abab = b.pair(ab, ab);
+/// let slp = b.finish(abab).unwrap();
+/// assert_eq!(slp.derive(), b"abab");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlpBuilder<T> {
+    rules: Vec<NfRule<T>>,
+    leaf_of: HashMap<T, NonTerminal>,
+    pair_of: HashMap<(NonTerminal, NonTerminal), NonTerminal>,
+    hash_cons: bool,
+}
+
+impl<T: Terminal> Default for SlpBuilder<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Terminal> SlpBuilder<T> {
+    /// Creates a builder that hash-conses identical pair rules.
+    pub fn new() -> Self {
+        SlpBuilder {
+            rules: Vec::new(),
+            leaf_of: HashMap::new(),
+            pair_of: HashMap::new(),
+            hash_cons: true,
+        }
+    }
+
+    /// Creates a builder that never merges structurally identical rules
+    /// (useful when reproducing a grammar verbatim).
+    pub fn without_hash_consing() -> Self {
+        SlpBuilder {
+            hash_cons: false,
+            ..Self::new()
+        }
+    }
+
+    /// Number of rules added so far.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` if no rules have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Returns the leaf non-terminal `T_x → x`, creating it on first use.
+    pub fn leaf(&mut self, x: T) -> NonTerminal {
+        if let Some(&id) = self.leaf_of.get(&x) {
+            return id;
+        }
+        let id = NonTerminal(self.rules.len() as u32);
+        self.rules.push(NfRule::Leaf(x));
+        self.leaf_of.insert(x, id);
+        id
+    }
+
+    /// Adds (or reuses) the rule `A → l r` and returns `A`.
+    pub fn pair(&mut self, l: NonTerminal, r: NonTerminal) -> NonTerminal {
+        if self.hash_cons {
+            if let Some(&id) = self.pair_of.get(&(l, r)) {
+                return id;
+            }
+        }
+        let id = NonTerminal(self.rules.len() as u32);
+        self.rules.push(NfRule::Pair(l, r));
+        if self.hash_cons {
+            self.pair_of.insert((l, r), id);
+        }
+        id
+    }
+
+    /// Adds a balanced concatenation of an arbitrary sequence of existing
+    /// non-terminals and returns its root.
+    pub fn concat(&mut self, parts: &[NonTerminal]) -> NonTerminal {
+        assert!(!parts.is_empty(), "cannot concatenate zero parts");
+        if parts.len() == 1 {
+            return parts[0];
+        }
+        let mid = parts.len() / 2;
+        let left = self.concat(&parts[..mid]);
+        let right = self.concat(&parts[mid..]);
+        self.pair(left, right)
+    }
+
+    /// Adds a balanced grammar for an explicit word and returns its root.
+    pub fn word(&mut self, w: &[T]) -> NonTerminal {
+        assert!(!w.is_empty(), "cannot add an empty word");
+        let leaves: Vec<NonTerminal> = w.iter().map(|&c| self.leaf(c)).collect();
+        self.concat(&leaves)
+    }
+
+    /// Finishes the builder, validating the grammar with `start` as root.
+    pub fn finish(self, start: NonTerminal) -> Result<NormalFormSlp<T>, SlpError> {
+        NormalFormSlp::new(self.rules, start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_builds_the_documented_example() {
+        let mut b = SlpBuilder::new();
+        let a = b.leaf(b'a');
+        let bb = b.leaf(b'b');
+        let ab = b.pair(a, bb);
+        let abab = b.pair(ab, ab);
+        let slp = b.finish(abab).unwrap();
+        assert_eq!(slp.derive(), b"abab");
+        assert_eq!(slp.num_non_terminals(), 4);
+    }
+
+    #[test]
+    fn leaves_are_reused() {
+        let mut b = SlpBuilder::<u8>::new();
+        let a1 = b.leaf(b'a');
+        let a2 = b.leaf(b'a');
+        assert_eq!(a1, a2);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn hash_consing_can_be_disabled() {
+        let mut b = SlpBuilder::<u8>::without_hash_consing();
+        let a = b.leaf(b'a');
+        let x = b.pair(a, a);
+        let y = b.pair(a, a);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn word_and_concat_round_trip() {
+        let mut b = SlpBuilder::new();
+        let hello = b.word(b"hello ");
+        let world = b.word(b"world");
+        let root = b.concat(&[hello, world, hello]);
+        let slp = b.finish(root).unwrap();
+        assert_eq!(slp.derive(), b"hello worldhello ");
+    }
+
+    #[test]
+    fn finish_rejects_dangling_start() {
+        let b = SlpBuilder::<u8>::new();
+        assert!(b.finish(NonTerminal(0)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty word")]
+    fn empty_word_panics() {
+        let mut b = SlpBuilder::<u8>::new();
+        let _ = b.word(&[]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Bisection grammars: recursive halving with hash-consing.
+//!
+//! The document is split at the midpoint recursively; structurally equal
+//! sub-grammars are shared (hash-consing on `(left, right)` rule pairs), so
+//! equal substrings of equal length produced anywhere in the recursion reuse
+//! the same non-terminal.  The resulting SLP is always perfectly balanced
+//! (depth `⌈log₂ d⌉ + 1`), construction is `O(d)`, and periodic or
+//! block-repetitive documents compress to `O(polylog d)` rules.
+
+use super::Compressor;
+use crate::error::SlpError;
+use crate::grammar::{NonTerminal, Terminal};
+use crate::normal_form::{NfRule, NormalFormSlp};
+use std::collections::HashMap;
+
+/// The bisection compressor (see module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bisection;
+
+impl Compressor for Bisection {
+    fn try_compress(&self, doc: &[u8]) -> Result<NormalFormSlp<u8>, SlpError> {
+        bisection_slp(doc)
+    }
+
+    fn name(&self) -> &'static str {
+        "bisection"
+    }
+}
+
+/// Builds the hash-consed bisection SLP of a document (used by
+/// [`NormalFormSlp::from_document`](crate::NormalFormSlp::from_document)).
+pub fn bisection_slp<T: Terminal>(doc: &[T]) -> Result<NormalFormSlp<T>, SlpError> {
+    if doc.is_empty() {
+        return Err(SlpError::EmptyDocument);
+    }
+    let mut rules: Vec<NfRule<T>> = Vec::new();
+    let mut leaf_of: HashMap<T, NonTerminal> = HashMap::new();
+    let mut pair_of: HashMap<(NonTerminal, NonTerminal), NonTerminal> = HashMap::new();
+    let root = build(doc, &mut rules, &mut leaf_of, &mut pair_of);
+    NormalFormSlp::new(rules, root)
+}
+
+fn build<T: Terminal>(
+    doc: &[T],
+    rules: &mut Vec<NfRule<T>>,
+    leaf_of: &mut HashMap<T, NonTerminal>,
+    pair_of: &mut HashMap<(NonTerminal, NonTerminal), NonTerminal>,
+) -> NonTerminal {
+    if doc.len() == 1 {
+        return *leaf_of.entry(doc[0]).or_insert_with(|| {
+            rules.push(NfRule::Leaf(doc[0]));
+            NonTerminal((rules.len() - 1) as u32)
+        });
+    }
+    // Split at the largest power of two strictly below the length, so that
+    // identical substrings occurring at different positions still produce
+    // identical sub-grammars for their power-of-two aligned prefixes.
+    let mid = largest_power_of_two_below(doc.len());
+    let left = build(&doc[..mid], rules, leaf_of, pair_of);
+    let right = build(&doc[mid..], rules, leaf_of, pair_of);
+    *pair_of.entry((left, right)).or_insert_with(|| {
+        rules.push(NfRule::Pair(left, right));
+        NonTerminal((rules.len() - 1) as u32)
+    })
+}
+
+fn largest_power_of_two_below(n: usize) -> usize {
+    debug_assert!(n >= 2);
+    let mut p = 1usize;
+    while p * 2 < n {
+        p *= 2;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_split_points() {
+        assert_eq!(largest_power_of_two_below(2), 1);
+        assert_eq!(largest_power_of_two_below(3), 2);
+        assert_eq!(largest_power_of_two_below(4), 2);
+        assert_eq!(largest_power_of_two_below(5), 4);
+        assert_eq!(largest_power_of_two_below(8), 4);
+        assert_eq!(largest_power_of_two_below(9), 8);
+    }
+
+    #[test]
+    fn unary_document_compresses_logarithmically() {
+        let doc = vec![b'a'; 1 << 14];
+        let slp = bisection_slp(&doc).unwrap();
+        assert_eq!(slp.derive(), doc);
+        assert!(slp.size() <= 3 * 15, "size was {}", slp.size());
+        assert_eq!(slp.depth(), 15);
+    }
+
+    #[test]
+    fn depth_is_logarithmic_for_any_document() {
+        for len in [1usize, 2, 3, 5, 17, 100, 1000, 4097] {
+            let doc: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let slp = bisection_slp(&doc).unwrap();
+            assert_eq!(slp.derive(), doc);
+            let bound = (len as f64).log2().ceil() as u32 + 1;
+            assert!(
+                slp.depth() <= bound.max(1),
+                "len={len} depth={} bound={bound}",
+                slp.depth()
+            );
+        }
+    }
+
+    #[test]
+    fn sharing_keeps_size_near_linear_in_distinct_content() {
+        // Two identical halves: the second half reuses the first half's rules.
+        let half: Vec<u8> = (0..1024u32).map(|i| (i % 7) as u8).collect();
+        let mut doc = half.clone();
+        doc.extend_from_slice(&half);
+        let slp = bisection_slp(&doc).unwrap();
+        let half_slp = bisection_slp(&half).unwrap();
+        // Only a constant number of extra rules on top of the half grammar.
+        assert!(slp.num_non_terminals() <= half_slp.num_non_terminals() + 2);
+    }
+}

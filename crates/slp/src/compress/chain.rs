@@ -1,0 +1,71 @@
+//! The chain (left-deep) grammar: a deliberately *unbalanced*, uncompressed
+//! SLP used as an ablation baseline (experiment E8 in DESIGN.md).
+//!
+//! `X_1 → c_1`, `X_i → X_{i-1} · T_{c_i}`: size `Θ(d)`, depth `Θ(d)`.  It
+//! exercises the worst case of every `depth(S)` factor in the paper's bounds
+//! and is the input on which the balancing pass (Theorem 4.3 substitute)
+//! matters most.
+
+use super::Compressor;
+use crate::error::SlpError;
+use crate::grammar::NonTerminal;
+use crate::normal_form::{NfRule, NormalFormSlp};
+use std::collections::HashMap;
+
+/// The chain compressor (see module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Chain;
+
+impl Compressor for Chain {
+    fn try_compress(&self, doc: &[u8]) -> Result<NormalFormSlp<u8>, SlpError> {
+        if doc.is_empty() {
+            return Err(SlpError::EmptyDocument);
+        }
+        let mut rules: Vec<NfRule<u8>> = Vec::new();
+        let mut leaf_of: HashMap<u8, NonTerminal> = HashMap::new();
+        let mut leaf = |c: u8, rules: &mut Vec<NfRule<u8>>| -> NonTerminal {
+            *leaf_of.entry(c).or_insert_with(|| {
+                rules.push(NfRule::Leaf(c));
+                NonTerminal((rules.len() - 1) as u32)
+            })
+        };
+        let mut acc = leaf(doc[0], &mut rules);
+        for &c in &doc[1..] {
+            let l = leaf(c, &mut rules);
+            rules.push(NfRule::Pair(acc, l));
+            acc = NonTerminal((rules.len() - 1) as u32);
+        }
+        NormalFormSlp::new(rules, acc)
+    }
+
+    fn name(&self) -> &'static str {
+        "chain"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_maximally_deep() {
+        let doc = b"abcdefghij".to_vec();
+        let slp = Chain.compress(&doc);
+        assert_eq!(slp.derive(), doc);
+        assert_eq!(slp.depth(), doc.len() as u32);
+    }
+
+    #[test]
+    fn single_symbol_chain() {
+        let slp = Chain.compress(b"q");
+        assert_eq!(slp.derive(), b"q".to_vec());
+        assert_eq!(slp.depth(), 1);
+    }
+
+    #[test]
+    fn chain_size_is_linear() {
+        let doc = vec![b'a'; 500];
+        let slp = Chain.compress(&doc);
+        assert!(slp.num_non_terminals() >= 500);
+    }
+}

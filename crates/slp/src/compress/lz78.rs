@@ -1,0 +1,134 @@
+//! An LZ78-derived grammar compressor.
+//!
+//! The document is parsed into LZ78 phrases (each phrase is a previously
+//! seen phrase extended by one terminal); every phrase becomes one
+//! non-terminal `P_i → P_j · T_c`, and the sequence of phrases is folded into
+//! a balanced binary grammar.  This mirrors the paper's remark (Section 1.1)
+//! that dictionary compressors of the LZ family convert to SLPs of similar
+//! size.
+
+use super::Compressor;
+use crate::error::SlpError;
+use crate::grammar::{NonTerminal, Terminal};
+use crate::normal_form::{NfRule, NormalFormSlp};
+use std::collections::HashMap;
+
+/// The LZ78-based compressor (see module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lz78;
+
+impl Compressor for Lz78 {
+    fn try_compress(&self, doc: &[u8]) -> Result<NormalFormSlp<u8>, SlpError> {
+        if doc.is_empty() {
+            return Err(SlpError::EmptyDocument);
+        }
+        let mut rules: Vec<NfRule<u8>> = Vec::new();
+        let mut leaf_of: HashMap<u8, NonTerminal> = HashMap::new();
+        let mut pair_of: HashMap<(NonTerminal, NonTerminal), NonTerminal> = HashMap::new();
+        let mut leaf = |c: u8, rules: &mut Vec<NfRule<u8>>| -> NonTerminal {
+            *leaf_of.entry(c).or_insert_with(|| {
+                rules.push(NfRule::Leaf(c));
+                NonTerminal((rules.len() - 1) as u32)
+            })
+        };
+
+        // LZ78 dictionary: maps (phrase id, next terminal) -> phrase id.
+        // Phrase id 0 is the empty phrase.
+        let mut dict: HashMap<(usize, u8), usize> = HashMap::new();
+        // For each non-empty phrase, the non-terminal deriving it.
+        let mut phrase_nt: Vec<Option<NonTerminal>> = vec![None];
+        // The sequence of phrases the document factorises into.
+        let mut phrase_seq: Vec<NonTerminal> = Vec::new();
+
+        let mut current = 0usize; // current phrase id (0 = empty)
+        for &c in doc {
+            if let Some(&next) = dict.get(&(current, c)) {
+                current = next;
+            } else {
+                // New phrase: current extended by c.
+                let leaf_nt = leaf(c, &mut rules);
+                let nt = match phrase_nt[current] {
+                    None => leaf_nt, // extension of the empty phrase
+                    Some(prev) => *pair_of.entry((prev, leaf_nt)).or_insert_with(|| {
+                        rules.push(NfRule::Pair(prev, leaf_nt));
+                        NonTerminal((rules.len() - 1) as u32)
+                    }),
+                };
+                let id = phrase_nt.len();
+                phrase_nt.push(Some(nt));
+                dict.insert((current, c), id);
+                phrase_seq.push(nt);
+                current = 0;
+            }
+        }
+        // A possibly unfinished phrase at the end of the document.
+        if current != 0 {
+            phrase_seq.push(phrase_nt[current].expect("non-empty phrase has a non-terminal"));
+        }
+
+        let root = fold_balanced(&phrase_seq, &mut rules, &mut pair_of);
+        NormalFormSlp::new(rules, root)
+    }
+
+    fn name(&self) -> &'static str {
+        "lz78"
+    }
+}
+
+fn fold_balanced<T: Terminal>(
+    seq: &[NonTerminal],
+    rules: &mut Vec<NfRule<T>>,
+    pair_of: &mut HashMap<(NonTerminal, NonTerminal), NonTerminal>,
+) -> NonTerminal {
+    debug_assert!(!seq.is_empty());
+    if seq.len() == 1 {
+        return seq[0];
+    }
+    let mid = seq.len() / 2;
+    let left = fold_balanced(&seq[..mid], rules, pair_of);
+    let right = fold_balanced(&seq[mid..], rules, pair_of);
+    *pair_of.entry((left, right)).or_insert_with(|| {
+        rules.push(NfRule::Pair(left, right));
+        NonTerminal((rules.len() - 1) as u32)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_lz78_example_round_trips() {
+        let doc = b"abababababababab".to_vec();
+        let slp = Lz78.compress(&doc);
+        assert_eq!(slp.derive(), doc);
+    }
+
+    #[test]
+    fn unfinished_final_phrase_is_emitted() {
+        // "aa" -> phrase "a", then the trailing "a" matches an existing
+        // phrase and must still be emitted.
+        let doc = b"aa".to_vec();
+        let slp = Lz78.compress(&doc);
+        assert_eq!(slp.derive(), doc);
+        let doc = b"abcabcabcab".to_vec();
+        let slp = Lz78.compress(&doc);
+        assert_eq!(slp.derive(), doc);
+    }
+
+    #[test]
+    fn phrase_count_is_sublinear_on_unary_input() {
+        let doc = vec![b'a'; 10_000];
+        let slp = Lz78.compress(&doc);
+        assert_eq!(slp.derive(), doc);
+        // LZ78 produces O(sqrt(d)) phrases on unary input.
+        assert!(slp.num_non_terminals() < 1000, "rules: {}", slp.num_non_terminals());
+    }
+
+    #[test]
+    fn mixed_text_round_trips() {
+        let doc = b"she sells sea shells by the sea shore; the shells she sells are sea shells".to_vec();
+        let slp = Lz78.compress(&doc);
+        assert_eq!(slp.derive(), doc);
+    }
+}

@@ -1,0 +1,126 @@
+//! Grammar compressors: algorithms that turn an explicit document into a
+//! (hopefully much smaller) normal-form SLP.
+//!
+//! The paper (Section 1.1) assumes documents arrive already compressed, e.g.
+//! converted from LZ-family compressors; computing a *minimal* SLP is NP-hard
+//! but good approximations are easy.  This module provides four compressors
+//! with different size/speed/depth trade-offs:
+//!
+//! | Compressor | size on repetitive input | depth | speed |
+//! |---|---|---|---|
+//! | [`Bisection`] | good (hash-consed) | `⌈log₂ d⌉+1` (always balanced) | `O(d)` |
+//! | [`RePair`] (batched) | best | `O(log d)` typically | `O(d log d)` typically |
+//! | [`Lz78`] | moderate | up to `O(√d)` | `O(d)` |
+//! | [`Chain`] | none (size `Θ(d)`) | `Θ(d)` | `O(d)` — ablation baseline |
+
+mod bisection;
+mod chain;
+mod lz78;
+mod repair;
+
+pub use bisection::{bisection_slp, Bisection};
+pub use chain::Chain;
+pub use lz78::Lz78;
+pub use repair::RePair;
+
+use crate::error::SlpError;
+use crate::normal_form::NormalFormSlp;
+
+/// A grammar compressor: turns an explicit byte document into a normal-form
+/// SLP that derives it.
+///
+/// The trait is object-safe (`Box<dyn Compressor>`), so benchmark sweeps can
+/// iterate over compressors; it is specialised to byte documents, which is
+/// what all workloads use.  Grammars over other alphabets can be built with
+/// [`bisection_slp`], [`crate::SlpBuilder`] or [`crate::NormalFormSlp::from_document`].
+pub trait Compressor {
+    /// Compresses `doc` into a normal-form SLP.
+    ///
+    /// # Panics
+    /// Panics if `doc` is empty (use [`Compressor::try_compress`] to get an
+    /// error instead); SLPs cannot represent the empty document.
+    fn compress(&self, doc: &[u8]) -> NormalFormSlp<u8> {
+        self.try_compress(doc).expect("document must be non-empty")
+    }
+
+    /// Compresses `doc`, returning an error on the empty document.
+    fn try_compress(&self, doc: &[u8]) -> Result<NormalFormSlp<u8>, SlpError>;
+
+    /// A short human-readable name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_compressors() -> Vec<Box<dyn Compressor>> {
+        vec![
+            Box::new(Bisection),
+            Box::new(RePair::default()),
+            Box::new(Lz78),
+            Box::new(Chain),
+        ]
+    }
+
+    fn test_docs() -> Vec<Vec<u8>> {
+        vec![
+            b"a".to_vec(),
+            b"ab".to_vec(),
+            b"aaaaaaaaaaaaaaaa".to_vec(),
+            b"abcabcabcabcabcabcabcabc".to_vec(),
+            b"mississippi mississippi mississippi".to_vec(),
+            b"the quick brown fox jumps over the lazy dog".to_vec(),
+            (0..=255u8).collect(),
+            std::iter::repeat(b"GATTACA".iter().copied())
+                .take(50)
+                .flatten()
+                .collect(),
+        ]
+    }
+
+    #[test]
+    fn all_compressors_round_trip() {
+        for c in all_compressors() {
+            for doc in test_docs() {
+                let slp = c.compress(&doc);
+                assert_eq!(slp.derive(), doc, "compressor {} round-trip", c.name());
+                assert_eq!(slp.document_len(), doc.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn all_compressors_reject_empty() {
+        for c in all_compressors() {
+            assert!(c.try_compress(&[]).is_err(), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn repetitive_documents_compress_well() {
+        let doc: Vec<u8> = std::iter::repeat(b"abcd".iter().copied())
+            .take(1 << 12)
+            .flatten()
+            .collect(); // 16384 symbols, period 4
+        for c in [&Bisection as &dyn Compressor, &RePair::default(), &Lz78] {
+            let slp = c.compress(&doc);
+            assert!(
+                slp.size() < doc.len() / 4,
+                "{} produced size {} for doc of length {}",
+                c.name(),
+                slp.size(),
+                doc.len()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<&str> = all_compressors().iter().map(|c| c.name()).collect();
+        let mut uniq = names.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), names.len());
+    }
+}

@@ -1,0 +1,192 @@
+//! A batched Re-Pair grammar compressor.
+//!
+//! Classic Re-Pair repeatedly replaces the single most frequent adjacent
+//! pair of symbols by a fresh non-terminal.  This implementation performs
+//! *batched* rounds: in each round it counts all adjacent pairs, then
+//! replaces every pair occurring at least [`RePair::min_count`] times in one
+//! left-to-right sweep (greedy, non-overlapping).  The sequence typically
+//! shrinks geometrically, giving `O(d log d)` behaviour on repetitive
+//! documents; when no pair repeats any more, the remaining sequence is
+//! folded into a balanced binary grammar.
+
+use super::Compressor;
+use crate::error::SlpError;
+use crate::grammar::{NonTerminal, Terminal};
+use crate::normal_form::{NfRule, NormalFormSlp};
+use std::collections::HashMap;
+
+/// Batched Re-Pair compressor (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RePair {
+    /// A pair must occur at least this often (non-overlapping) in a round to
+    /// be replaced.  Must be at least 2.
+    pub min_count: usize,
+    /// Upper bound on the number of replacement rounds (a safety valve; the
+    /// default is effectively unbounded).
+    pub max_rounds: usize,
+}
+
+impl Default for RePair {
+    fn default() -> Self {
+        RePair {
+            min_count: 2,
+            max_rounds: usize::MAX,
+        }
+    }
+}
+
+impl Compressor for RePair {
+    fn try_compress(&self, doc: &[u8]) -> Result<NormalFormSlp<u8>, SlpError> {
+        if doc.is_empty() {
+            return Err(SlpError::EmptyDocument);
+        }
+        let min_count = self.min_count.max(2);
+        let mut rules: Vec<NfRule<u8>> = Vec::new();
+        let mut leaf_of: HashMap<u8, NonTerminal> = HashMap::new();
+        let mut pair_of: HashMap<(NonTerminal, NonTerminal), NonTerminal> = HashMap::new();
+
+        // The working sequence of non-terminals, initially the leaves.
+        let mut seq: Vec<NonTerminal> = doc
+            .iter()
+            .map(|&c| {
+                *leaf_of.entry(c).or_insert_with(|| {
+                    rules.push(NfRule::Leaf(c));
+                    NonTerminal((rules.len() - 1) as u32)
+                })
+            })
+            .collect();
+
+        let mut rounds = 0usize;
+        while seq.len() > 1 && rounds < self.max_rounds {
+            rounds += 1;
+            // Count adjacent pairs (overlapping occurrences counted once per
+            // position; the greedy sweep below takes care of overlaps).
+            let mut counts: HashMap<(NonTerminal, NonTerminal), usize> = HashMap::new();
+            for w in seq.windows(2) {
+                *counts.entry((w[0], w[1])).or_insert(0) += 1;
+            }
+            let frequent: std::collections::HashSet<(NonTerminal, NonTerminal)> = counts
+                .into_iter()
+                .filter(|&(_, c)| c >= min_count)
+                .map(|(p, _)| p)
+                .collect();
+            if frequent.is_empty() {
+                break;
+            }
+            // Greedy non-overlapping left-to-right replacement sweep.
+            let mut next = Vec::with_capacity(seq.len() / 2 + 1);
+            let mut i = 0usize;
+            let mut replaced_any = false;
+            while i < seq.len() {
+                if i + 1 < seq.len() && frequent.contains(&(seq[i], seq[i + 1])) {
+                    let key = (seq[i], seq[i + 1]);
+                    let id = *pair_of.entry(key).or_insert_with(|| {
+                        rules.push(NfRule::Pair(key.0, key.1));
+                        NonTerminal((rules.len() - 1) as u32)
+                    });
+                    next.push(id);
+                    i += 2;
+                    replaced_any = true;
+                } else {
+                    next.push(seq[i]);
+                    i += 1;
+                }
+            }
+            seq = next;
+            if !replaced_any {
+                break;
+            }
+        }
+
+        // Fold whatever is left into a balanced binary grammar.
+        let root = fold_balanced(&seq, &mut rules, &mut pair_of);
+        NormalFormSlp::new(rules, root)
+    }
+
+    fn name(&self) -> &'static str {
+        "repair"
+    }
+}
+
+fn fold_balanced<T: Terminal>(
+    seq: &[NonTerminal],
+    rules: &mut Vec<NfRule<T>>,
+    pair_of: &mut HashMap<(NonTerminal, NonTerminal), NonTerminal>,
+) -> NonTerminal {
+    debug_assert!(!seq.is_empty());
+    if seq.len() == 1 {
+        return seq[0];
+    }
+    let mid = seq.len() / 2;
+    let left = fold_balanced(&seq[..mid], rules, pair_of);
+    let right = fold_balanced(&seq[mid..], rules, pair_of);
+    *pair_of.entry((left, right)).or_insert_with(|| {
+        rules.push(NfRule::Pair(left, right));
+        NonTerminal((rules.len() - 1) as u32)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_on_plain_text() {
+        let doc = b"how much wood would a woodchuck chuck if a woodchuck could chuck wood".to_vec();
+        let slp = RePair::default().compress(&doc);
+        assert_eq!(slp.derive(), doc);
+    }
+
+    #[test]
+    fn unary_document_compresses_to_logarithmic_size() {
+        let doc = vec![b'z'; 1 << 16];
+        let slp = RePair::default().compress(&doc);
+        assert_eq!(slp.document_len(), 1 << 16);
+        assert!(slp.size() < 100, "size was {}", slp.size());
+        assert!(slp.depth() <= 20, "depth was {}", slp.depth());
+    }
+
+    #[test]
+    fn periodic_document_compresses_well() {
+        let doc: Vec<u8> = std::iter::repeat(b"0123456789".iter().copied())
+            .take(1000)
+            .flatten()
+            .collect();
+        let slp = RePair::default().compress(&doc);
+        assert_eq!(slp.derive(), doc);
+        assert!(slp.size() < 300, "size was {}", slp.size());
+    }
+
+    #[test]
+    fn max_rounds_limits_work_but_stays_correct() {
+        let doc: Vec<u8> = std::iter::repeat(b"ab".iter().copied())
+            .take(64)
+            .flatten()
+            .collect();
+        let limited = RePair {
+            min_count: 2,
+            max_rounds: 1,
+        };
+        let slp = limited.compress(&doc);
+        assert_eq!(slp.derive(), doc);
+    }
+
+    #[test]
+    fn min_count_below_two_is_clamped() {
+        let doc = b"abcdefgh".to_vec();
+        let aggressive = RePair {
+            min_count: 0,
+            max_rounds: usize::MAX,
+        };
+        let slp = aggressive.compress(&doc);
+        assert_eq!(slp.derive(), doc);
+    }
+
+    #[test]
+    fn random_like_document_round_trips() {
+        // A de Bruijn-ish sequence with few repeated pairs.
+        let doc: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let slp = RePair::default().compress(&doc);
+        assert_eq!(slp.derive(), doc);
+    }
+}

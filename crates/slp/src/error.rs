@@ -1,0 +1,107 @@
+//! Error type shared by all SLP constructors and validators.
+
+use std::fmt;
+
+/// Errors raised when constructing or validating straight-line programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlpError {
+    /// A rule references a non-terminal that has no rule of its own.
+    UndefinedNonTerminal {
+        /// The referencing non-terminal (rule index).
+        referencing: u32,
+        /// The referenced, undefined non-terminal.
+        undefined: u32,
+    },
+    /// A rule has an empty right-hand side (SLP rules must derive a
+    /// non-empty word, cf. `R ⊆ N × (N ∪ Σ)⁺` in Section 4.1).
+    EmptyRule {
+        /// The offending non-terminal.
+        non_terminal: u32,
+    },
+    /// The derivation relation contains a cycle, so the grammar is not a
+    /// straight-line program.
+    Cyclic {
+        /// A non-terminal that participates in a cycle.
+        non_terminal: u32,
+    },
+    /// The grammar has no rules at all.
+    Empty,
+    /// The requested start symbol does not exist.
+    InvalidStart {
+        /// The requested start non-terminal.
+        start: u32,
+        /// Number of rules in the grammar.
+        rules: usize,
+    },
+    /// A position-based query (random access, extraction, marker insertion)
+    /// was outside of the derived document.
+    PositionOutOfBounds {
+        /// Requested (1-based) position.
+        position: u64,
+        /// Length of the derived document.
+        document_len: u64,
+    },
+    /// The document was empty, which cannot be represented by an SLP.
+    EmptyDocument,
+}
+
+impl fmt::Display for SlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlpError::UndefinedNonTerminal {
+                referencing,
+                undefined,
+            } => write!(
+                f,
+                "rule for non-terminal {referencing} references undefined non-terminal {undefined}"
+            ),
+            SlpError::EmptyRule { non_terminal } => {
+                write!(f, "rule for non-terminal {non_terminal} has an empty right-hand side")
+            }
+            SlpError::Cyclic { non_terminal } => {
+                write!(f, "non-terminal {non_terminal} participates in a derivation cycle")
+            }
+            SlpError::Empty => write!(f, "grammar has no rules"),
+            SlpError::InvalidStart { start, rules } => {
+                write!(f, "start symbol {start} is not among the {rules} rules")
+            }
+            SlpError::PositionOutOfBounds {
+                position,
+                document_len,
+            } => write!(
+                f,
+                "position {position} is outside the derived document of length {document_len}"
+            ),
+            SlpError::EmptyDocument => write!(f, "the empty document cannot be represented by an SLP"),
+        }
+    }
+}
+
+impl std::error::Error for SlpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SlpError::UndefinedNonTerminal {
+            referencing: 3,
+            undefined: 7,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('7'));
+        let e = SlpError::PositionOutOfBounds {
+            position: 10,
+            document_len: 4,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(SlpError::Empty);
+        assert_eq!(e.to_string(), "grammar has no rules");
+    }
+}

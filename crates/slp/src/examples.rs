@@ -1,0 +1,105 @@
+//! The paper's own example grammars, reproduced verbatim so that tests and
+//! the `paper_walkthrough` example can check against the exact values
+//! printed in the paper.
+
+use crate::grammar::{NonTerminal, Slp, Symbol};
+use crate::normal_form::{NfRule, NormalFormSlp};
+
+/// Non-terminal indices of [`example_4_2`], named as in the paper.
+pub mod names_4_2 {
+    use crate::grammar::NonTerminal;
+
+    /// Leaf non-terminal `T_a → a`.
+    pub const TA: NonTerminal = NonTerminal(0);
+    /// Leaf non-terminal `T_b → b`.
+    pub const TB: NonTerminal = NonTerminal(1);
+    /// Leaf non-terminal `T_c → c`.
+    pub const TC: NonTerminal = NonTerminal(2);
+    /// `E → T_a T_a` (derives `aa`).
+    pub const E: NonTerminal = NonTerminal(3);
+    /// `D → T_c T_c` (derives `cc`).
+    pub const D: NonTerminal = NonTerminal(4);
+    /// `C → E T_b` (derives `aab`).
+    pub const C: NonTerminal = NonTerminal(5);
+    /// `B → C E` (derives `aabaa`).
+    pub const B: NonTerminal = NonTerminal(6);
+    /// `A → C D` (derives `aabcc`).
+    pub const A: NonTerminal = NonTerminal(7);
+    /// `S₀ → A B` (derives `aabccaabaa`).
+    pub const S0: NonTerminal = NonTerminal(8);
+}
+
+/// Example 4.1 of the paper: the general (non-normal-form) SLP with rules
+/// `S₀ → A b a A B b`, `A → B a B`, `B → baab`, deriving
+/// `baababaabbabaababaabbaabb` (size 16, document length 25).
+///
+/// Non-terminal indices: `0 = S₀`, `1 = A`, `2 = B`.
+pub fn example_4_1() -> Slp<u8> {
+    use Symbol::{NonTerminal as N, Terminal as T};
+    let rules = vec![
+        vec![N(NonTerminal(1)), T(b'b'), T(b'a'), N(NonTerminal(1)), N(NonTerminal(2)), T(b'b')],
+        vec![N(NonTerminal(2)), T(b'a'), N(NonTerminal(2))],
+        vec![T(b'b'), T(b'a'), T(b'a'), T(b'b')],
+    ];
+    Slp::new(rules, NonTerminal(0)).expect("the paper's Example 4.1 is a valid SLP")
+}
+
+/// Example 4.2 of the paper: the normal-form SLP with rules
+/// `S₀ → AB`, `A → CD`, `B → CE`, `C → E T_b`, `D → T_c T_c`, `E → T_a T_a`
+/// plus the leaf rules, deriving `aabccaabaa` (see Figure 3).
+///
+/// Non-terminal indices follow [`names_4_2`].
+pub fn example_4_2() -> NormalFormSlp<u8> {
+    use names_4_2::*;
+    let mut rules = vec![NfRule::Leaf(0u8); 9];
+    rules[TA.index()] = NfRule::Leaf(b'a');
+    rules[TB.index()] = NfRule::Leaf(b'b');
+    rules[TC.index()] = NfRule::Leaf(b'c');
+    rules[E.index()] = NfRule::Pair(TA, TA);
+    rules[D.index()] = NfRule::Pair(TC, TC);
+    rules[C.index()] = NfRule::Pair(E, TB);
+    rules[B.index()] = NfRule::Pair(C, E);
+    rules[A.index()] = NfRule::Pair(C, D);
+    rules[S0.index()] = NfRule::Pair(A, B);
+    NormalFormSlp::new(rules, S0).expect("the paper's Example 4.2 is a valid SLP")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_4_1_matches_the_paper() {
+        let s = example_4_1();
+        assert_eq!(s.derive(), b"baababaabbabaababaabbaabb".to_vec());
+        assert_eq!(s.size(), 16);
+        assert_eq!(s.document_len(), 25);
+        // "D(B) = baab, D(A) = D(B) a D(B) = baababaab"
+        assert_eq!(s.derive_from(NonTerminal(2)), b"baab".to_vec());
+        assert_eq!(s.derive_from(NonTerminal(1)), b"baababaab".to_vec());
+    }
+
+    #[test]
+    fn example_4_2_matches_the_paper() {
+        use names_4_2::*;
+        let s = example_4_2();
+        assert_eq!(s.derive(), b"aabccaabaa".to_vec());
+        assert_eq!(s.derive_from(E), b"aa".to_vec());
+        assert_eq!(s.derive_from(D), b"cc".to_vec());
+        assert_eq!(s.derive_from(C), b"aab".to_vec());
+        assert_eq!(s.derive_from(B), b"aabaa".to_vec());
+        assert_eq!(s.derive_from(A), b"aabcc".to_vec());
+        assert_eq!(s.document_len(), 10);
+    }
+
+    #[test]
+    fn example_4_2_derivation_tree_shape() {
+        use names_4_2::*;
+        let s = example_4_2();
+        // Figure 3: the derivation tree has depth 5 (S0-A-C-E-Ta).
+        assert_eq!(s.depth(), 5);
+        assert_eq!(s.depth_of(E), 2);
+        assert_eq!(s.depth_of(C), 3);
+        assert_eq!(s.depth_of(A), 4);
+    }
+}

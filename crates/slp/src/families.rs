@@ -1,0 +1,214 @@
+//! Direct SLP constructions for classic highly compressible string families.
+//!
+//! These are the documents for which compressed evaluation shines: their
+//! SLPs have size `O(log d)` (exponentially smaller than the document), so
+//! the paper's `O(size(S))`-preprocessing algorithms become *sublinear* in
+//! the document length.  They are used throughout the benchmark suite
+//! (experiments E1–E5 in DESIGN.md).
+
+use crate::grammar::{NonTerminal, Terminal};
+use crate::normal_form::{NfRule, NormalFormSlp};
+
+/// SLP for the unary document `c^(2^n)`: `n + 1` rules, depth `n + 1`.
+///
+/// This is the paper's own example of exponential compression (Section 4.2).
+pub fn power_of_two_unary(c: u8, n: u32) -> NormalFormSlp<u8> {
+    let mut rules = vec![NfRule::Leaf(c)];
+    for i in 0..n {
+        rules.push(NfRule::Pair(NonTerminal(i), NonTerminal(i)));
+    }
+    NormalFormSlp::new(rules, NonTerminal(n)).expect("family construction is valid")
+}
+
+/// SLP for `w^k` (the word `w` repeated `k` times), built by binary
+/// exponentiation: `O(|w| + log k)` rules.
+pub fn power_word<T: Terminal>(w: &[T], k: u64) -> NormalFormSlp<T> {
+    assert!(!w.is_empty(), "the repeated word must be non-empty");
+    assert!(k >= 1, "the repetition count must be at least 1");
+    let base = NormalFormSlp::from_document(w).expect("non-empty word");
+    let mut rules: Vec<NfRule<T>> = base.rules().to_vec();
+    let push_pair = |rules: &mut Vec<NfRule<T>>, l: NonTerminal, r: NonTerminal| {
+        rules.push(NfRule::Pair(l, r));
+        NonTerminal((rules.len() - 1) as u32)
+    };
+    // Binary exponentiation: maintain `square = w^(2^i)` and an accumulator.
+    let mut square = base.start();
+    let mut acc: Option<NonTerminal> = None;
+    let mut remaining = k;
+    loop {
+        if remaining & 1 == 1 {
+            acc = Some(match acc {
+                None => square,
+                Some(a) => push_pair(&mut rules, a, square),
+            });
+        }
+        remaining >>= 1;
+        if remaining == 0 {
+            break;
+        }
+        square = push_pair(&mut rules, square, square);
+    }
+    NormalFormSlp::new(rules, acc.expect("k >= 1")).expect("family construction is valid")
+}
+
+/// SLP for the `n`-th Fibonacci word over `{a, b}`:
+/// `F₁ = b`, `F₂ = a`, `Fₙ = Fₙ₋₁ · Fₙ₋₂`.  `n` rules, document length
+/// `fib(n)` (exponential in `n`).
+pub fn fibonacci_word(n: u32) -> NormalFormSlp<u8> {
+    assert!(n >= 1);
+    // Rule 0: leaf b (= F1), rule 1: leaf a (= F2), rule i: F_{i+1} = F_i F_{i-1}.
+    let mut rules = vec![NfRule::Leaf(b'b'), NfRule::Leaf(b'a')];
+    if n == 1 {
+        return NormalFormSlp::new(rules, NonTerminal(0)).unwrap();
+    }
+    for i in 2..n {
+        let prev = NonTerminal(i - 1);
+        let prev2 = NonTerminal(i - 2);
+        rules.push(NfRule::Pair(prev, prev2));
+    }
+    NormalFormSlp::new(rules, NonTerminal(n - 1)).expect("family construction is valid")
+}
+
+/// SLP for the Thue–Morse word of order `n` (length `2^n`) over `{a, b}`.
+///
+/// Uses the pair of mutually recursive families
+/// `Aₙ = Aₙ₋₁·Bₙ₋₁`, `Bₙ = Bₙ₋₁·Aₙ₋₁`: `2n + 2` rules.
+pub fn thue_morse(n: u32) -> NormalFormSlp<u8> {
+    // Rules 0,1: leaves a, b.  For level i >= 1: A_i = 2i, B_i = 2i+1.
+    let mut rules = vec![NfRule::Leaf(b'a'), NfRule::Leaf(b'b')];
+    if n == 0 {
+        return NormalFormSlp::new(rules, NonTerminal(0)).unwrap();
+    }
+    for i in 1..=n {
+        let (prev_a, prev_b) = if i == 1 {
+            (NonTerminal(0), NonTerminal(1))
+        } else {
+            (NonTerminal(2 * (i - 1)), NonTerminal(2 * (i - 1) + 1))
+        };
+        rules.push(NfRule::Pair(prev_a, prev_b)); // A_i at index 2i
+        rules.push(NfRule::Pair(prev_b, prev_a)); // B_i at index 2i+1
+    }
+    NormalFormSlp::new(rules, NonTerminal(2 * n)).expect("family construction is valid")
+}
+
+/// A block-copy document: starts from `seed` and performs `rounds` rounds of
+/// "append a copy of the current document"; with a distinct separator byte
+/// appended after each round when `separator` is given.
+/// Size `O(|seed| + rounds)`, length `≈ |seed| · 2^rounds`.
+pub fn doubling_document(seed: &[u8], rounds: u32, separator: Option<u8>) -> NormalFormSlp<u8> {
+    assert!(!seed.is_empty());
+    let mut slp = NormalFormSlp::from_document(seed).expect("non-empty seed");
+    for _ in 0..rounds {
+        let mut rules = slp.rules().to_vec();
+        let root = slp.start();
+        rules.push(NfRule::Pair(root, root));
+        let mut new_root = NonTerminal((rules.len() - 1) as u32);
+        if let Some(sep) = separator {
+            let leaf = rules
+                .iter()
+                .position(|r| matches!(r, NfRule::Leaf(x) if *x == sep))
+                .map(|i| NonTerminal(i as u32))
+                .unwrap_or_else(|| {
+                    rules.push(NfRule::Leaf(sep));
+                    NonTerminal((rules.len() - 1) as u32)
+                });
+            rules.push(NfRule::Pair(new_root, leaf));
+            new_root = NonTerminal((rules.len() - 1) as u32);
+        }
+        slp = NormalFormSlp::new(rules, new_root).expect("family construction is valid");
+    }
+    slp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_unary_is_exact() {
+        let s = power_of_two_unary(b'a', 0);
+        assert_eq!(s.derive(), b"a".to_vec());
+        let s = power_of_two_unary(b'a', 5);
+        assert_eq!(s.document_len(), 32);
+        assert_eq!(s.derive(), vec![b'a'; 32]);
+        assert_eq!(s.num_non_terminals(), 6);
+        let s = power_of_two_unary(b'x', 20);
+        assert_eq!(s.document_len(), 1 << 20);
+        assert_eq!(s.num_non_terminals(), 21);
+    }
+
+    #[test]
+    fn power_word_matches_naive_repetition() {
+        for (w, k) in [(&b"ab"[..], 1u64), (b"abc", 7), (b"x", 13), (b"hello ", 20)] {
+            let s = power_word(w, k);
+            let expected: Vec<u8> = std::iter::repeat(w.iter().copied())
+                .take(k as usize)
+                .flatten()
+                .collect();
+            assert_eq!(s.derive(), expected, "w={:?} k={k}", w);
+            assert_eq!(s.document_len(), (w.len() as u64) * k);
+        }
+    }
+
+    #[test]
+    fn power_word_is_small_for_huge_k() {
+        let s = power_word(b"log-entry;", 1 << 40);
+        assert_eq!(s.document_len(), 10 << 40);
+        assert!(s.num_non_terminals() < 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn power_word_rejects_empty_word() {
+        let _ = power_word::<u8>(&[], 3);
+    }
+
+    #[test]
+    fn fibonacci_words_are_correct() {
+        assert_eq!(fibonacci_word(1).derive(), b"b".to_vec());
+        assert_eq!(fibonacci_word(2).derive(), b"a".to_vec());
+        assert_eq!(fibonacci_word(3).derive(), b"ab".to_vec());
+        assert_eq!(fibonacci_word(4).derive(), b"aba".to_vec());
+        assert_eq!(fibonacci_word(5).derive(), b"abaab".to_vec());
+        assert_eq!(fibonacci_word(6).derive(), b"abaababa".to_vec());
+        // Fibonacci recurrence on lengths.
+        let f = fibonacci_word(30);
+        let f1 = fibonacci_word(29);
+        let f2 = fibonacci_word(28);
+        assert_eq!(f.document_len(), f1.document_len() + f2.document_len());
+    }
+
+    #[test]
+    fn thue_morse_is_correct() {
+        assert_eq!(thue_morse(0).derive(), b"a".to_vec());
+        assert_eq!(thue_morse(1).derive(), b"ab".to_vec());
+        assert_eq!(thue_morse(2).derive(), b"abba".to_vec());
+        assert_eq!(thue_morse(3).derive(), b"abbabaab".to_vec());
+        let t = thue_morse(15);
+        assert_eq!(t.document_len(), 1 << 15);
+        // The Thue-Morse word is cube-free; spot-check balance of letters.
+        let d = t.derive();
+        let a_count = d.iter().filter(|&&c| c == b'a').count();
+        assert_eq!(a_count, 1 << 14);
+    }
+
+    #[test]
+    fn doubling_document_doubles() {
+        let s = doubling_document(b"seed", 3, None);
+        assert_eq!(s.document_len(), 4 * 8);
+        assert_eq!(s.derive(), b"seedseedseedseedseedseedseedseed".to_vec());
+        let s = doubling_document(b"ab", 2, Some(b'|'));
+        // ab -> abab| -> abab|abab|| (copy then separator)
+        assert_eq!(s.derive(), b"abab|abab||".to_vec());
+    }
+
+    #[test]
+    fn families_have_logarithmic_depth() {
+        assert!(power_of_two_unary(b'a', 20).depth() <= 21);
+        assert!(thue_morse(20).depth() <= 21);
+        // Fibonacci grammars have depth ~ n, document length ~ φ^n, so the
+        // depth is ~ log_φ(d) which is still O(log d).
+        let f = fibonacci_word(40);
+        assert!((f.depth() as f64) <= 1.5 * (f.document_len() as f64).log2() + 2.0);
+    }
+}

@@ -1,0 +1,577 @@
+//! General straight-line programs with arbitrary right-hand sides
+//! (Section 4.1 of the paper).
+
+use crate::error::SlpError;
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Trait bound for SLP terminal symbols.
+///
+/// Documents in this workspace use `u8`; the spanner evaluator additionally
+/// uses an "ended" alphabet that appends an end-of-document sentinel, and the
+/// model-checking algorithm builds SLPs over marked symbols.  Any `Copy`
+/// value with equality, ordering and hashing works.
+pub trait Terminal: Copy + Eq + Ord + Hash + Debug {}
+impl<T: Copy + Eq + Ord + Hash + Debug> Terminal for T {}
+
+/// Identifier of a non-terminal (an index into the rule table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NonTerminal(pub u32);
+
+impl NonTerminal {
+    /// The rule-table index of this non-terminal.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A symbol occurring on the right-hand side of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Symbol<T> {
+    /// A terminal symbol of the document alphabet.
+    Terminal(T),
+    /// A reference to another non-terminal.
+    NonTerminal(NonTerminal),
+}
+
+/// A general straight-line program: a context-free grammar
+/// `G = (N, Σ, R, S₀)` in which `R` is a total function `N → (N ∪ Σ)⁺` and
+/// the derivation relation is acyclic, so `G` derives exactly one word
+/// (Section 4.1).
+///
+/// The rule table is indexed by [`NonTerminal`]; rule `A → w` is stored as
+/// `rules[A] = w`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slp<T> {
+    rules: Vec<Vec<Symbol<T>>>,
+    start: NonTerminal,
+    /// Non-terminals in bottom-up (topological) order: every rule only
+    /// references non-terminals that appear earlier in this list.
+    topo: Vec<NonTerminal>,
+    /// `|D(A)|` for every non-terminal (Lemma 4.4).
+    lengths: Vec<u64>,
+}
+
+impl<T: Terminal> Slp<T> {
+    /// Builds and validates an SLP from a rule table and a start symbol.
+    ///
+    /// Validation checks totality of the rule function, non-emptiness of all
+    /// right-hand sides and acyclicity of the derivation relation; it also
+    /// precomputes a bottom-up order and all derived lengths `|D(A)|`.
+    pub fn new(rules: Vec<Vec<Symbol<T>>>, start: NonTerminal) -> Result<Self, SlpError> {
+        if rules.is_empty() {
+            return Err(SlpError::Empty);
+        }
+        if start.index() >= rules.len() {
+            return Err(SlpError::InvalidStart {
+                start: start.0,
+                rules: rules.len(),
+            });
+        }
+        for (i, rhs) in rules.iter().enumerate() {
+            if rhs.is_empty() {
+                return Err(SlpError::EmptyRule {
+                    non_terminal: i as u32,
+                });
+            }
+            for sym in rhs {
+                if let Symbol::NonTerminal(nt) = sym {
+                    if nt.index() >= rules.len() {
+                        return Err(SlpError::UndefinedNonTerminal {
+                            referencing: i as u32,
+                            undefined: nt.0,
+                        });
+                    }
+                }
+            }
+        }
+        let topo = topological_order(&rules)?;
+        let lengths = compute_lengths(&rules, &topo);
+        Ok(Slp {
+            rules,
+            start,
+            topo,
+            lengths,
+        })
+    }
+
+    /// The start symbol `S₀`.
+    #[inline]
+    pub fn start(&self) -> NonTerminal {
+        self.start
+    }
+
+    /// Number of non-terminals `|N|`.
+    #[inline]
+    pub fn num_non_terminals(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The right-hand side of the rule for `A`.
+    #[inline]
+    pub fn rule(&self, a: NonTerminal) -> &[Symbol<T>] {
+        &self.rules[a.index()]
+    }
+
+    /// All rules, indexed by non-terminal.
+    #[inline]
+    pub fn rules(&self) -> &[Vec<Symbol<T>>] {
+        &self.rules
+    }
+
+    /// The paper's size measure `size(S) = |N| + Σ_A |D_S(A)|`.
+    pub fn size(&self) -> usize {
+        self.rules.len() + self.rules.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Non-terminals in bottom-up order (every rule references only earlier
+    /// entries).  The start symbol is the last entry reachable from itself.
+    #[inline]
+    pub fn bottom_up_order(&self) -> &[NonTerminal] {
+        &self.topo
+    }
+
+    /// Length `|D(A)|` of the word derived by `A` (Lemma 4.4).
+    #[inline]
+    pub fn derived_len(&self, a: NonTerminal) -> u64 {
+        self.lengths[a.index()]
+    }
+
+    /// Length of the derived document `|D(S₀)|`.
+    #[inline]
+    pub fn document_len(&self) -> u64 {
+        self.derived_len(self.start)
+    }
+
+    /// Depth of a non-terminal: the height of its derivation tree (terminals
+    /// have depth 0, so a rule `A → a` has depth 1).
+    pub fn depth_of(&self, a: NonTerminal) -> u32 {
+        let depths = self.all_depths();
+        depths[a.index()]
+    }
+
+    /// Depth of the whole SLP, `depth(S) = depth(S₀)`.
+    pub fn depth(&self) -> u32 {
+        self.depth_of(self.start)
+    }
+
+    /// Depths of all non-terminals, indexed by non-terminal.
+    pub fn all_depths(&self) -> Vec<u32> {
+        let mut depths = vec![0u32; self.rules.len()];
+        for &nt in &self.topo {
+            let mut d = 0;
+            for sym in &self.rules[nt.index()] {
+                let child = match sym {
+                    Symbol::Terminal(_) => 0,
+                    Symbol::NonTerminal(b) => depths[b.index()],
+                };
+                d = d.max(child);
+            }
+            depths[nt.index()] = d + 1;
+        }
+        depths
+    }
+
+    /// Derives (decompresses) the word generated by non-terminal `A`.
+    ///
+    /// This fully expands the derivation and therefore takes time and space
+    /// `Θ(|D(A)|)`; it is intended for testing, for small documents and for
+    /// the decompress-and-solve baselines.
+    pub fn derive_from(&self, a: NonTerminal) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.derived_len(a) as usize);
+        // Explicit stack to avoid recursion depth limits on deep grammars.
+        let mut stack: Vec<Symbol<T>> = vec![Symbol::NonTerminal(a)];
+        while let Some(sym) = stack.pop() {
+            match sym {
+                Symbol::Terminal(t) => out.push(t),
+                Symbol::NonTerminal(nt) => {
+                    for s in self.rules[nt.index()].iter().rev() {
+                        stack.push(*s);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Derives (decompresses) the full document `D(S)`.
+    pub fn derive(&self) -> Vec<T> {
+        self.derive_from(self.start)
+    }
+
+    /// The set of terminals that actually occur in the grammar, in sorted
+    /// order.
+    pub fn terminals(&self) -> Vec<T> {
+        let mut set: Vec<T> = self
+            .rules
+            .iter()
+            .flatten()
+            .filter_map(|s| match s {
+                Symbol::Terminal(t) => Some(*t),
+                Symbol::NonTerminal(_) => None,
+            })
+            .collect();
+        set.sort();
+        set.dedup();
+        set
+    }
+
+    /// Applies a function to every terminal, producing an SLP over a new
+    /// alphabet with identical structure.
+    pub fn map_terminals<U: Terminal>(&self, mut f: impl FnMut(T) -> U) -> Slp<U> {
+        let rules = self
+            .rules
+            .iter()
+            .map(|rhs| {
+                rhs.iter()
+                    .map(|s| match s {
+                        Symbol::Terminal(t) => Symbol::Terminal(f(*t)),
+                        Symbol::NonTerminal(nt) => Symbol::NonTerminal(*nt),
+                    })
+                    .collect()
+            })
+            .collect();
+        Slp {
+            rules,
+            start: self.start,
+            topo: self.topo.clone(),
+            lengths: self.lengths.clone(),
+        }
+    }
+
+    /// Removes non-terminals that are not reachable from the start symbol,
+    /// renumbering the remaining ones (derivation is preserved).
+    pub fn garbage_collect(&self) -> Slp<T> {
+        let mut reachable = vec![false; self.rules.len()];
+        let mut stack = vec![self.start];
+        reachable[self.start.index()] = true;
+        while let Some(nt) = stack.pop() {
+            for sym in &self.rules[nt.index()] {
+                if let Symbol::NonTerminal(b) = sym {
+                    if !reachable[b.index()] {
+                        reachable[b.index()] = true;
+                        stack.push(*b);
+                    }
+                }
+            }
+        }
+        let mut remap = vec![u32::MAX; self.rules.len()];
+        let mut next = 0u32;
+        for (i, &r) in reachable.iter().enumerate() {
+            if r {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let rules = self
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| reachable[*i])
+            .map(|(_, rhs)| {
+                rhs.iter()
+                    .map(|s| match s {
+                        Symbol::Terminal(t) => Symbol::Terminal(*t),
+                        Symbol::NonTerminal(b) => {
+                            Symbol::NonTerminal(NonTerminal(remap[b.index()]))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Slp::new(rules, NonTerminal(remap[self.start.index()]))
+            .expect("garbage collection preserves validity")
+    }
+}
+
+/// Computes a bottom-up topological order over the rule table, failing with
+/// [`SlpError::Cyclic`] if the derivation relation has a cycle.
+pub(crate) fn topological_order<T: Terminal>(
+    rules: &[Vec<Symbol<T>>],
+) -> Result<Vec<NonTerminal>, SlpError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; rules.len()];
+    let mut order = Vec::with_capacity(rules.len());
+    // Iterative DFS with an explicit stack of (node, child-cursor) pairs to
+    // avoid recursion limits on very deep (chain-shaped) grammars.
+    for root in 0..rules.len() {
+        if marks[root] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        marks[root] = Mark::Grey;
+        loop {
+            let (node, next_child) = {
+                let Some(top) = stack.last_mut() else { break };
+                let node = top.0;
+                if top.1 < rules[node].len() {
+                    let idx = top.1;
+                    top.1 += 1;
+                    (node, Some(idx))
+                } else {
+                    (node, None)
+                }
+            };
+            match next_child {
+                Some(idx) => {
+                    if let Symbol::NonTerminal(child) = rules[node][idx] {
+                        match marks[child.index()] {
+                            Mark::White => {
+                                marks[child.index()] = Mark::Grey;
+                                stack.push((child.index(), 0));
+                            }
+                            Mark::Grey => {
+                                return Err(SlpError::Cyclic {
+                                    non_terminal: child.0,
+                                });
+                            }
+                            Mark::Black => {}
+                        }
+                    }
+                }
+                None => {
+                    stack.pop();
+                    marks[node] = Mark::Black;
+                    order.push(NonTerminal(node as u32));
+                }
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// Computes all derived lengths `|D(A)|` in one bottom-up pass (Lemma 4.4).
+pub(crate) fn compute_lengths<T: Terminal>(
+    rules: &[Vec<Symbol<T>>],
+    topo: &[NonTerminal],
+) -> Vec<u64> {
+    let mut lengths = vec![0u64; rules.len()];
+    for &nt in topo {
+        let mut len = 0u64;
+        for sym in &rules[nt.index()] {
+            len += match sym {
+                Symbol::Terminal(_) => 1,
+                Symbol::NonTerminal(b) => lengths[b.index()],
+            };
+        }
+        lengths[nt.index()] = len;
+    }
+    lengths
+}
+
+/// Convenience constructor for rule tables written as slices of symbols.
+pub fn rule<T: Terminal>(symbols: &[Symbol<T>]) -> Vec<Symbol<T>> {
+    symbols.to_vec()
+}
+
+/// Shorthand for a terminal symbol.
+pub fn t<T: Terminal>(x: T) -> Symbol<T> {
+    Symbol::Terminal(x)
+}
+
+/// Shorthand for a non-terminal symbol.
+pub fn nt<T: Terminal>(i: u32) -> Symbol<T> {
+    Symbol::NonTerminal(NonTerminal(i))
+}
+
+/// Deduplicates structurally identical rules (hash-consing pass): repeatedly
+/// merges non-terminals with identical right-hand sides.  Preserves the
+/// derived document and never increases the size.
+pub fn deduplicate_rules<T: Terminal>(slp: &Slp<T>) -> Slp<T> {
+    let mut rules: Vec<Vec<Symbol<T>>> = slp.rules().to_vec();
+    let mut start = slp.start();
+    loop {
+        let mut canon: HashMap<Vec<Symbol<T>>, NonTerminal> = HashMap::new();
+        let mut remap: Vec<NonTerminal> = (0..rules.len() as u32).map(NonTerminal).collect();
+        let mut changed = false;
+        for (i, rhs) in rules.iter().enumerate() {
+            match canon.get(rhs) {
+                Some(&existing) => {
+                    remap[i] = existing;
+                    changed = true;
+                }
+                None => {
+                    canon.insert(rhs.clone(), NonTerminal(i as u32));
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        for rhs in rules.iter_mut() {
+            for sym in rhs.iter_mut() {
+                if let Symbol::NonTerminal(b) = sym {
+                    *b = remap[b.index()];
+                }
+            }
+        }
+        start = remap[start.index()];
+        let slp2 = Slp::new(rules, start).expect("deduplication preserves validity");
+        let slp2 = slp2.garbage_collect();
+        rules = slp2.rules().to_vec();
+        start = slp2.start();
+    }
+    Slp::new(rules, start).expect("deduplication preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_41() -> Slp<u8> {
+        // Example 4.1: S0 -> A b a A B b, A -> B a B, B -> baab
+        // Non-terminals: 0 = S0, 1 = A, 2 = B.
+        let rules = vec![
+            vec![nt(1), t(b'b'), t(b'a'), nt(1), nt(2), t(b'b')],
+            vec![nt(2), t(b'a'), nt(2)],
+            vec![t(b'b'), t(b'a'), t(b'a'), t(b'b')],
+        ];
+        Slp::new(rules, NonTerminal(0)).unwrap()
+    }
+
+    #[test]
+    fn example_4_1_derives_expected_document() {
+        let s = example_41();
+        assert_eq!(s.derive(), b"baababaabbabaababaabbaabb".to_vec());
+        assert_eq!(s.document_len(), 25);
+        assert_eq!(s.size(), 3 + 6 + 3 + 4); // |N| + rhs lengths = 16
+        assert_eq!(s.size(), 16);
+    }
+
+    #[test]
+    fn lengths_and_depths() {
+        let s = example_41();
+        assert_eq!(s.derived_len(NonTerminal(2)), 4);
+        assert_eq!(s.derived_len(NonTerminal(1)), 9);
+        assert_eq!(s.derived_len(NonTerminal(0)), 25);
+        assert_eq!(s.depth_of(NonTerminal(2)), 1);
+        assert_eq!(s.depth_of(NonTerminal(1)), 2);
+        assert_eq!(s.depth(), 3);
+    }
+
+    #[test]
+    fn bottom_up_order_is_consistent() {
+        let s = example_41();
+        let order = s.bottom_up_order();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; s.num_non_terminals()];
+            for (i, nt) in order.iter().enumerate() {
+                pos[nt.index()] = i;
+            }
+            pos
+        };
+        for (a, rhs) in s.rules().iter().enumerate() {
+            for sym in rhs {
+                if let Symbol::NonTerminal(b) = sym {
+                    assert!(pos[b.index()] < pos[a], "child must come before parent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_empty_grammar() {
+        assert_eq!(
+            Slp::<u8>::new(vec![], NonTerminal(0)).unwrap_err(),
+            SlpError::Empty
+        );
+    }
+
+    #[test]
+    fn rejects_empty_rule() {
+        let err = Slp::<u8>::new(vec![vec![]], NonTerminal(0)).unwrap_err();
+        assert_eq!(err, SlpError::EmptyRule { non_terminal: 0 });
+    }
+
+    #[test]
+    fn rejects_undefined_non_terminal() {
+        let err = Slp::<u8>::new(vec![vec![nt(5)]], NonTerminal(0)).unwrap_err();
+        assert_eq!(
+            err,
+            SlpError::UndefinedNonTerminal {
+                referencing: 0,
+                undefined: 5
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_start() {
+        let err = Slp::<u8>::new(vec![vec![t(b'a')]], NonTerminal(3)).unwrap_err();
+        assert_eq!(err, SlpError::InvalidStart { start: 3, rules: 1 });
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        // 0 -> 1, 1 -> 0 a
+        let rules = vec![vec![nt(1)], vec![nt(0), t(b'a')]];
+        let err = Slp::<u8>::new(rules, NonTerminal(0)).unwrap_err();
+        matches!(err, SlpError::Cyclic { .. });
+        // self-loop
+        let rules = vec![vec![nt(0), t(b'a')]];
+        let err = Slp::<u8>::new(rules, NonTerminal(0)).unwrap_err();
+        assert!(matches!(err, SlpError::Cyclic { .. }));
+    }
+
+    #[test]
+    fn terminals_are_collected_sorted() {
+        let s = example_41();
+        assert_eq!(s.terminals(), vec![b'a', b'b']);
+    }
+
+    #[test]
+    fn map_terminals_preserves_structure() {
+        let s = example_41();
+        let mapped = s.map_terminals(|c| c as u16 + 1000);
+        assert_eq!(
+            mapped.derive(),
+            s.derive().iter().map(|&c| c as u16 + 1000).collect::<Vec<_>>()
+        );
+        assert_eq!(mapped.size(), s.size());
+    }
+
+    #[test]
+    fn garbage_collect_drops_unreachable() {
+        // 0 -> a, 1 -> b (unreachable), start = 0
+        let rules = vec![vec![t(b'a')], vec![t(b'b')]];
+        let s = Slp::new(rules, NonTerminal(0)).unwrap();
+        let gc = s.garbage_collect();
+        assert_eq!(gc.num_non_terminals(), 1);
+        assert_eq!(gc.derive(), b"a".to_vec());
+    }
+
+    #[test]
+    fn deduplicate_merges_identical_rules() {
+        // 0 -> 1 2, 1 -> ab, 2 -> ab  => 1 and 2 merge
+        let rules = vec![
+            vec![nt(1), nt(2)],
+            vec![t(b'a'), t(b'b')],
+            vec![t(b'a'), t(b'b')],
+        ];
+        let s = Slp::new(rules, NonTerminal(0)).unwrap();
+        let d = deduplicate_rules(&s);
+        assert_eq!(d.derive(), b"abab".to_vec());
+        assert_eq!(d.num_non_terminals(), 2);
+    }
+
+    #[test]
+    fn deep_grammar_does_not_overflow_stack() {
+        // A chain of 100_000 rules: X_i -> X_{i-1} a
+        let n = 100_000u32;
+        let mut rules: Vec<Vec<Symbol<u8>>> = vec![vec![t(b'a')]];
+        for i in 1..n {
+            rules.push(vec![nt(i - 1), t(b'a')]);
+        }
+        let s = Slp::new(rules, NonTerminal(n - 1)).unwrap();
+        assert_eq!(s.document_len(), n as u64);
+        assert_eq!(s.depth(), n);
+        assert_eq!(s.derive().len(), n as usize);
+    }
+}

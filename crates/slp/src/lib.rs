@@ -1,0 +1,63 @@
+//! # slp — straight-line programs (grammar-compressed strings)
+//!
+//! A *straight-line program* (SLP) is a context-free grammar that derives
+//! exactly one word.  SLPs are the compression substrate of the PODS 2021
+//! paper *"Spanner Evaluation over SLP-Compressed Documents"* (Schmid &
+//! Schweikardt): a document `D` of length `d` is stored as an SLP `S` whose
+//! size can be as small as `O(log d)`, and all evaluation tasks are solved
+//! directly on `S` without decompressing.
+//!
+//! This crate provides everything the paper's Section 4 relies on:
+//!
+//! * [`Slp`] — general SLPs with arbitrary right-hand sides, validation and
+//!   derivation ([`Slp::derive`], Section 4.1 of the paper).
+//! * [`NormalFormSlp`] — SLPs in the paper's *normal form* (Chomsky normal
+//!   form with one leaf non-terminal per terminal), the representation all
+//!   evaluation algorithms operate on.  Lengths `|D(A)|` (Lemma 4.4), depths
+//!   and a topological (bottom-up) order are precomputed.
+//! * Random access and substring extraction on compressed documents
+//!   ([`NormalFormSlp::symbol_at`], [`NormalFormSlp::extract`]), used by the
+//!   paper's model-checking algorithm (Theorem 5.1(2)).
+//! * Grammar compressors ([`compress`]): Re-Pair, LZ78-derived grammars,
+//!   hash-consed bisection grammars and a trivial chain grammar, plus
+//!   direct constructions of classic highly compressible families
+//!   ([`families`]).
+//! * A balancing pass ([`balance`]) standing in for the
+//!   Ganardi–Jež–Lohrey balancing theorem (Theorem 4.3 of the paper); see
+//!   `DESIGN.md` §4 for the substitution argument.
+//! * The paper's own example grammars ([`examples`], Examples 4.1 and 4.2).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use slp::{families, compress::{Compressor, RePair}};
+//!
+//! // The document a^(2^10) has an SLP with 11 inner rules.
+//! let s = families::power_of_two_unary(b'a', 10);
+//! assert_eq!(s.document_len(), 1024);
+//! assert!(s.size() < 40);
+//!
+//! // Compress an explicit document with Re-Pair and get it back.
+//! let doc = b"abcabcabcabcabcabc".to_vec();
+//! let g = RePair::default().compress(&doc);
+//! assert_eq!(g.derive(), doc);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod builder;
+pub mod compress;
+pub mod error;
+pub mod examples;
+pub mod families;
+pub mod grammar;
+pub mod normal_form;
+pub mod stats;
+
+pub use builder::SlpBuilder;
+pub use error::SlpError;
+pub use grammar::{NonTerminal, Slp, Symbol, Terminal};
+pub use normal_form::{NfRule, NormalFormSlp};
+pub use stats::SlpStats;

@@ -1,0 +1,611 @@
+//! SLPs in the paper's *normal form*: Chomsky normal form where every rule is
+//! either `A → BC` (inner non-terminal) or `A → a` (leaf non-terminal), and
+//! by construction at most one leaf non-terminal exists per terminal
+//! (Section 4.1).  All evaluation algorithms of the paper operate on this
+//! representation.
+
+use crate::error::SlpError;
+use crate::grammar::{NonTerminal, Slp, Symbol, Terminal};
+
+/// A rule of a normal-form SLP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NfRule<T> {
+    /// Leaf rule `T_x → x`.
+    Leaf(T),
+    /// Inner rule `A → BC`.
+    Pair(NonTerminal, NonTerminal),
+}
+
+/// One step of a root-to-leaf descent in the derivation tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathStep {
+    /// The inner non-terminal visited at this step.
+    pub node: NonTerminal,
+    /// `true` if the descent continued into the *right* child.
+    pub went_right: bool,
+    /// Length of the left child's expansion `|D(B)|` (the shift that applies
+    /// to positions when descending right).
+    pub left_len: u64,
+}
+
+/// A straight-line program in normal form (Chomsky normal form with leaf
+/// non-terminals), with derived lengths, depths and a bottom-up order
+/// precomputed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalFormSlp<T> {
+    rules: Vec<NfRule<T>>,
+    start: NonTerminal,
+    topo: Vec<NonTerminal>,
+    lengths: Vec<u64>,
+    depths: Vec<u32>,
+}
+
+impl<T: Terminal> NormalFormSlp<T> {
+    /// Builds and validates a normal-form SLP from its rule table.
+    pub fn new(rules: Vec<NfRule<T>>, start: NonTerminal) -> Result<Self, SlpError> {
+        if rules.is_empty() {
+            return Err(SlpError::Empty);
+        }
+        if start.index() >= rules.len() {
+            return Err(SlpError::InvalidStart {
+                start: start.0,
+                rules: rules.len(),
+            });
+        }
+        for (i, r) in rules.iter().enumerate() {
+            if let NfRule::Pair(b, c) = r {
+                for child in [b, c] {
+                    if child.index() >= rules.len() {
+                        return Err(SlpError::UndefinedNonTerminal {
+                            referencing: i as u32,
+                            undefined: child.0,
+                        });
+                    }
+                }
+            }
+        }
+        let general: Vec<Vec<Symbol<T>>> = rules
+            .iter()
+            .map(|r| match r {
+                NfRule::Leaf(t) => vec![Symbol::Terminal(*t)],
+                NfRule::Pair(b, c) => vec![Symbol::NonTerminal(*b), Symbol::NonTerminal(*c)],
+            })
+            .collect();
+        let topo = crate::grammar::topological_order(&general)?;
+        let lengths = crate::grammar::compute_lengths(&general, &topo);
+        let mut depths = vec![0u32; rules.len()];
+        for &a in &topo {
+            depths[a.index()] = match rules[a.index()] {
+                NfRule::Leaf(_) => 1,
+                NfRule::Pair(b, c) => 1 + depths[b.index()].max(depths[c.index()]),
+            };
+        }
+        Ok(NormalFormSlp {
+            rules,
+            start,
+            topo,
+            lengths,
+            depths,
+        })
+    }
+
+    /// Converts a general SLP into normal form.
+    ///
+    /// Unit rules are eliminated by aliasing, terminals are factored through
+    /// unique leaf non-terminals and longer right-hand sides are binarised by
+    /// balanced folding (so the conversion increases the depth of a rule of
+    /// length `ℓ` only by `O(log ℓ)`).
+    pub fn from_slp(slp: &Slp<T>) -> Result<Self, SlpError> {
+        let n = slp.num_non_terminals();
+        let mut rules: Vec<NfRule<T>> = Vec::with_capacity(n * 2);
+        // Unique leaf non-terminal per terminal.
+        let mut leaf_of: std::collections::HashMap<T, NonTerminal> =
+            std::collections::HashMap::new();
+        // Final normal-form non-terminal that each original non-terminal maps to.
+        let mut image: Vec<Option<NonTerminal>> = vec![None; n];
+
+        fn leaf_for<T: Terminal>(
+            t: T,
+            rules: &mut Vec<NfRule<T>>,
+            leaf_of: &mut std::collections::HashMap<T, NonTerminal>,
+        ) -> NonTerminal {
+            *leaf_of.entry(t).or_insert_with(|| {
+                let id = NonTerminal(rules.len() as u32);
+                rules.push(NfRule::Leaf(t));
+                id
+            })
+        }
+
+        /// Balanced binarisation of a sequence of already-converted symbols.
+        fn fold<T: Terminal>(syms: &[NonTerminal], rules: &mut Vec<NfRule<T>>) -> NonTerminal {
+            match syms.len() {
+                0 => unreachable!("empty rules are rejected during Slp construction"),
+                1 => syms[0],
+                _ => {
+                    let mid = syms.len() / 2;
+                    let left = fold(&syms[..mid], rules);
+                    let right = fold(&syms[mid..], rules);
+                    let id = NonTerminal(rules.len() as u32);
+                    rules.push(NfRule::Pair(left, right));
+                    id
+                }
+            }
+        }
+
+        for &a in slp.bottom_up_order() {
+            let rhs = slp.rule(a);
+            let converted: Vec<NonTerminal> = rhs
+                .iter()
+                .map(|sym| match sym {
+                    Symbol::Terminal(t) => leaf_for(*t, &mut rules, &mut leaf_of),
+                    Symbol::NonTerminal(b) => {
+                        image[b.index()].expect("bottom-up order guarantees children are converted")
+                    }
+                })
+                .collect();
+            image[a.index()] = Some(fold(&converted, &mut rules));
+        }
+
+        let start = image[slp.start().index()].expect("start is converted");
+        NormalFormSlp::new(rules, start)
+    }
+
+    /// Builds a normal-form SLP for an explicit document by balanced binary
+    /// splitting with hash-consing of repeated sub-grammars.  The result has
+    /// depth `⌈log₂ d⌉ + 1` and size at most `O(d)` (much smaller on
+    /// repetitive inputs thanks to the hash-consing).
+    pub fn from_document(doc: &[T]) -> Result<Self, SlpError> {
+        crate::compress::bisection_slp(doc)
+    }
+
+    /// The start symbol.
+    #[inline]
+    pub fn start(&self) -> NonTerminal {
+        self.start
+    }
+
+    /// Number of non-terminals `|N|`.
+    #[inline]
+    pub fn num_non_terminals(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The rule for non-terminal `a`.
+    #[inline]
+    pub fn rule(&self, a: NonTerminal) -> NfRule<T> {
+        self.rules[a.index()]
+    }
+
+    /// All rules, indexed by non-terminal.
+    #[inline]
+    pub fn rules(&self) -> &[NfRule<T>] {
+        &self.rules
+    }
+
+    /// `true` if `a` is a leaf non-terminal (`a → x` for a terminal `x`).
+    #[inline]
+    pub fn is_leaf(&self, a: NonTerminal) -> bool {
+        matches!(self.rules[a.index()], NfRule::Leaf(_))
+    }
+
+    /// The terminal of a leaf non-terminal, if `a` is one.
+    #[inline]
+    pub fn leaf_terminal(&self, a: NonTerminal) -> Option<T> {
+        match self.rules[a.index()] {
+            NfRule::Leaf(t) => Some(t),
+            NfRule::Pair(..) => None,
+        }
+    }
+
+    /// The children `(B, C)` of an inner non-terminal `A → BC`, if `a` is one.
+    #[inline]
+    pub fn children(&self, a: NonTerminal) -> Option<(NonTerminal, NonTerminal)> {
+        match self.rules[a.index()] {
+            NfRule::Pair(b, c) => Some((b, c)),
+            NfRule::Leaf(_) => None,
+        }
+    }
+
+    /// The paper's size measure `size(S) = |N| + Σ_A |D_S(A)|`; for Chomsky
+    /// normal form this is at most `3·|N|`.
+    pub fn size(&self) -> usize {
+        self.rules.len()
+            + self
+                .rules
+                .iter()
+                .map(|r| match r {
+                    NfRule::Leaf(_) => 1,
+                    NfRule::Pair(..) => 2,
+                })
+                .sum::<usize>()
+    }
+
+    /// Non-terminals in bottom-up (topological) order.
+    #[inline]
+    pub fn bottom_up_order(&self) -> &[NonTerminal] {
+        &self.topo
+    }
+
+    /// Length `|D(A)|` of the expansion of `a` (Lemma 4.4).
+    #[inline]
+    pub fn derived_len(&self, a: NonTerminal) -> u64 {
+        self.lengths[a.index()]
+    }
+
+    /// Length of the derived document.
+    #[inline]
+    pub fn document_len(&self) -> u64 {
+        self.lengths[self.start.index()]
+    }
+
+    /// Depth of non-terminal `a` (leaves have depth 1).
+    #[inline]
+    pub fn depth_of(&self, a: NonTerminal) -> u32 {
+        self.depths[a.index()]
+    }
+
+    /// Depth of the SLP, `depth(S) = depth(S₀)`.
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.depths[self.start.index()]
+    }
+
+    /// The sorted set of terminals used by leaf rules.
+    pub fn terminals(&self) -> Vec<T> {
+        let mut ts: Vec<T> = self
+            .rules
+            .iter()
+            .filter_map(|r| match r {
+                NfRule::Leaf(t) => Some(*t),
+                NfRule::Pair(..) => None,
+            })
+            .collect();
+        ts.sort();
+        ts.dedup();
+        ts
+    }
+
+    /// Converts back to a general [`Slp`] with the same non-terminal indices.
+    pub fn to_general(&self) -> Slp<T> {
+        let rules = self
+            .rules
+            .iter()
+            .map(|r| match r {
+                NfRule::Leaf(t) => vec![Symbol::Terminal(*t)],
+                NfRule::Pair(b, c) => vec![Symbol::NonTerminal(*b), Symbol::NonTerminal(*c)],
+            })
+            .collect();
+        Slp::new(rules, self.start).expect("normal-form SLPs are valid general SLPs")
+    }
+
+    /// Fully expands the word derived by non-terminal `a` (Θ(|D(A)|)).
+    pub fn derive_from(&self, a: NonTerminal) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.derived_len(a) as usize);
+        let mut stack = vec![a];
+        while let Some(x) = stack.pop() {
+            match self.rules[x.index()] {
+                NfRule::Leaf(t) => out.push(t),
+                NfRule::Pair(b, c) => {
+                    stack.push(c);
+                    stack.push(b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Fully expands (decompresses) the document.
+    pub fn derive(&self) -> Vec<T> {
+        self.derive_from(self.start)
+    }
+
+    /// Random access: the terminal `D[pos]` at 1-based position `pos`,
+    /// obtained by a root-to-leaf descent in `O(depth(S))` time
+    /// (Section 4.2).
+    pub fn symbol_at(&self, pos: u64) -> Result<T, SlpError> {
+        if pos == 0 || pos > self.document_len() {
+            return Err(SlpError::PositionOutOfBounds {
+                position: pos,
+                document_len: self.document_len(),
+            });
+        }
+        let (_, leaf) = self.descend(pos);
+        Ok(self
+            .leaf_terminal(leaf)
+            .expect("descent always ends at a leaf"))
+    }
+
+    /// The root-to-leaf path for a 1-based position: the inner non-terminals
+    /// visited (with the direction taken and the left-child length, i.e. the
+    /// position shift) and the leaf reached.
+    ///
+    /// This is exactly the traversal used in the proof of Theorem 5.1(2) to
+    /// splice marker symbols into the compressed document.
+    pub fn path_to(&self, pos: u64) -> Result<(Vec<PathStep>, NonTerminal), SlpError> {
+        if pos == 0 || pos > self.document_len() {
+            return Err(SlpError::PositionOutOfBounds {
+                position: pos,
+                document_len: self.document_len(),
+            });
+        }
+        Ok(self.descend(pos))
+    }
+
+    fn descend(&self, pos: u64) -> (Vec<PathStep>, NonTerminal) {
+        let mut steps = Vec::with_capacity(self.depth() as usize);
+        let mut node = self.start;
+        let mut offset = pos; // 1-based position within D(node)
+        loop {
+            match self.rules[node.index()] {
+                NfRule::Leaf(_) => return (steps, node),
+                NfRule::Pair(b, c) => {
+                    let left_len = self.lengths[b.index()];
+                    if offset <= left_len {
+                        steps.push(PathStep {
+                            node,
+                            went_right: false,
+                            left_len,
+                        });
+                        node = b;
+                    } else {
+                        steps.push(PathStep {
+                            node,
+                            went_right: true,
+                            left_len,
+                        });
+                        offset -= left_len;
+                        node = c;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Extracts the substring `D[from..=to]` (1-based, inclusive) without
+    /// decompressing the whole document; runs in `O(depth(S) + (to-from))`.
+    pub fn extract(&self, from: u64, to: u64) -> Result<Vec<T>, SlpError> {
+        let d = self.document_len();
+        if from == 0 || from > d {
+            return Err(SlpError::PositionOutOfBounds {
+                position: from,
+                document_len: d,
+            });
+        }
+        if to < from || to > d {
+            return Err(SlpError::PositionOutOfBounds {
+                position: to,
+                document_len: d,
+            });
+        }
+        let want = (to - from + 1) as usize;
+        let mut out = Vec::with_capacity(want);
+        // Stack of (non-terminal, 1-based start offset of the remaining
+        // range within its expansion).
+        self.extract_rec(self.start, from, &mut out, want);
+        Ok(out)
+    }
+
+    fn extract_rec(&self, node: NonTerminal, from: u64, out: &mut Vec<T>, want: usize) {
+        // Iterative traversal: (node, from) where `from` is the 1-based first
+        // wanted position inside D(node); collects until `out.len() == want`.
+        let mut stack: Vec<(NonTerminal, u64)> = vec![(node, from)];
+        while let Some((n, from)) = stack.pop() {
+            if out.len() >= want {
+                return;
+            }
+            match self.rules[n.index()] {
+                NfRule::Leaf(t) => {
+                    debug_assert_eq!(from, 1);
+                    out.push(t);
+                }
+                NfRule::Pair(b, c) => {
+                    let left_len = self.lengths[b.index()];
+                    if from > left_len {
+                        stack.push((c, from - left_len));
+                    } else {
+                        // Right child first on the stack so the left child is
+                        // processed first.
+                        stack.push((c, 1));
+                        stack.push((b, from));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a function to every terminal, keeping the grammar structure.
+    pub fn map_terminals<U: Terminal>(&self, mut f: impl FnMut(T) -> U) -> NormalFormSlp<U> {
+        let rules = self
+            .rules
+            .iter()
+            .map(|r| match r {
+                NfRule::Leaf(t) => NfRule::Leaf(f(*t)),
+                NfRule::Pair(b, c) => NfRule::Pair(*b, *c),
+            })
+            .collect();
+        NormalFormSlp {
+            rules,
+            start: self.start,
+            topo: self.topo.clone(),
+            lengths: self.lengths.clone(),
+            depths: self.depths.clone(),
+        }
+    }
+
+    /// Returns a new SLP deriving `D(S) · t` (the document with one terminal
+    /// appended).  Used by the evaluator to realise the paper's
+    /// "non-tail-spanning via `#`" transformation (Section 6.1) in `O(1)`
+    /// additional rules.
+    pub fn append_terminal(&self, t: T) -> NormalFormSlp<T> {
+        let mut rules = self.rules.clone();
+        let leaf = self
+            .rules
+            .iter()
+            .position(|r| matches!(r, NfRule::Leaf(x) if *x == t))
+            .map(|i| NonTerminal(i as u32))
+            .unwrap_or_else(|| {
+                rules.push(NfRule::Leaf(t));
+                NonTerminal((rules.len() - 1) as u32)
+            });
+        let new_start = NonTerminal(rules.len() as u32);
+        rules.push(NfRule::Pair(self.start, leaf));
+        NormalFormSlp::new(rules, new_start).expect("appending preserves validity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{nt, t};
+
+    /// The paper's Example 4.2 normal-form SLP for `aabccaabaa`.
+    fn example_42() -> NormalFormSlp<u8> {
+        crate::examples::example_4_2()
+    }
+
+    #[test]
+    fn example_4_2_derives_expected_document() {
+        let s = example_42();
+        assert_eq!(s.derive(), b"aabccaabaa".to_vec());
+        assert_eq!(s.document_len(), 10);
+    }
+
+    #[test]
+    fn from_slp_preserves_document() {
+        // Example 4.1 general SLP.
+        let rules = vec![
+            vec![nt(1), t(b'b'), t(b'a'), nt(1), nt(2), t(b'b')],
+            vec![nt(2), t(b'a'), nt(2)],
+            vec![t(b'b'), t(b'a'), t(b'a'), t(b'b')],
+        ];
+        let slp = Slp::new(rules, NonTerminal(0)).unwrap();
+        let nf = NormalFormSlp::from_slp(&slp).unwrap();
+        assert_eq!(nf.derive(), slp.derive());
+        // Every rule is a leaf or a pair; one leaf per terminal.
+        let leaves: Vec<u8> = nf.terminals();
+        assert_eq!(leaves, vec![b'a', b'b']);
+        let leaf_count = nf.rules().iter().filter(|r| matches!(r, NfRule::Leaf(_))).count();
+        assert_eq!(leaf_count, 2);
+    }
+
+    #[test]
+    fn from_document_round_trips() {
+        for doc in [
+            b"a".to_vec(),
+            b"ab".to_vec(),
+            b"abcabcabc".to_vec(),
+            b"mississippi".to_vec(),
+            (0..255u8).collect::<Vec<u8>>(),
+        ] {
+            let nf = NormalFormSlp::from_document(&doc).unwrap();
+            assert_eq!(nf.derive(), doc);
+            assert_eq!(nf.document_len(), doc.len() as u64);
+        }
+    }
+
+    #[test]
+    fn from_document_rejects_empty() {
+        assert_eq!(
+            NormalFormSlp::<u8>::from_document(&[]).unwrap_err(),
+            SlpError::EmptyDocument
+        );
+    }
+
+    #[test]
+    fn random_access_matches_decompression() {
+        let doc = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let nf = NormalFormSlp::from_document(&doc).unwrap();
+        for (i, &c) in doc.iter().enumerate() {
+            assert_eq!(nf.symbol_at(i as u64 + 1).unwrap(), c);
+        }
+        assert!(nf.symbol_at(0).is_err());
+        assert!(nf.symbol_at(doc.len() as u64 + 1).is_err());
+    }
+
+    #[test]
+    fn extraction_matches_slices() {
+        let doc = b"abracadabra_abracadabra".to_vec();
+        let nf = NormalFormSlp::from_document(&doc).unwrap();
+        for from in 1..=doc.len() as u64 {
+            for to in from..=doc.len() as u64 {
+                let got = nf.extract(from, to).unwrap();
+                assert_eq!(got, doc[(from - 1) as usize..to as usize].to_vec());
+            }
+        }
+        assert!(nf.extract(0, 3).is_err());
+        assert!(nf.extract(3, 2).is_err());
+        assert!(nf.extract(1, doc.len() as u64 + 1).is_err());
+    }
+
+    #[test]
+    fn path_to_ends_at_correct_leaf() {
+        let s = example_42();
+        let doc = s.derive();
+        for pos in 1..=doc.len() as u64 {
+            let (steps, leaf) = s.path_to(pos).unwrap();
+            assert_eq!(s.leaf_terminal(leaf).unwrap(), doc[(pos - 1) as usize]);
+            assert!(steps.len() < s.depth() as usize);
+            // Reconstruct the position from the steps.
+            let mut reconstructed = 1u64;
+            for st in &steps {
+                if st.went_right {
+                    reconstructed += st.left_len;
+                }
+            }
+            // The remaining offset inside the leaf is 1, so the position is
+            // the accumulated shift plus zero.
+            assert_eq!(reconstructed, pos);
+        }
+    }
+
+    #[test]
+    fn append_terminal_appends() {
+        let s = example_42();
+        let appended = s.append_terminal(b'#');
+        let mut expected = s.derive();
+        expected.push(b'#');
+        assert_eq!(appended.derive(), expected);
+        assert_eq!(appended.document_len(), s.document_len() + 1);
+        // Reuses the existing leaf when the terminal already occurs.
+        let appended_a = s.append_terminal(b'a');
+        assert_eq!(appended_a.num_non_terminals(), s.num_non_terminals() + 1);
+    }
+
+    #[test]
+    fn depths_are_consistent_with_general_form() {
+        let s = example_42();
+        assert_eq!(s.depth(), s.to_general().depth());
+        assert_eq!(s.size(), s.to_general().size());
+    }
+
+    #[test]
+    fn new_rejects_undefined_children() {
+        let err = NormalFormSlp::<u8>::new(
+            vec![NfRule::Pair(NonTerminal(5), NonTerminal(0))],
+            NonTerminal(0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SlpError::UndefinedNonTerminal { .. }));
+    }
+
+    #[test]
+    fn new_rejects_cycles() {
+        let err = NormalFormSlp::<u8>::new(
+            vec![
+                NfRule::Pair(NonTerminal(1), NonTerminal(1)),
+                NfRule::Pair(NonTerminal(0), NonTerminal(0)),
+            ],
+            NonTerminal(0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SlpError::Cyclic { .. }));
+    }
+
+    #[test]
+    fn single_symbol_document() {
+        let nf = NormalFormSlp::from_document(b"x").unwrap();
+        assert_eq!(nf.document_len(), 1);
+        assert_eq!(nf.symbol_at(1).unwrap(), b'x');
+        assert_eq!(nf.depth(), 1);
+    }
+}

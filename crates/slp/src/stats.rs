@@ -1,0 +1,76 @@
+//! Summary statistics of an SLP, used by the benchmark harness and the
+//! examples to report compression ratios and the parameters entering the
+//! paper's complexity bounds.
+
+use crate::grammar::Terminal;
+use crate::normal_form::{NfRule, NormalFormSlp};
+
+/// Summary statistics of a normal-form SLP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlpStats {
+    /// Number of non-terminals `|N|`.
+    pub non_terminals: usize,
+    /// Number of leaf non-terminals (distinct terminals).
+    pub leaves: usize,
+    /// The paper's size measure `size(S)`.
+    pub size: usize,
+    /// Length `d` of the derived document.
+    pub document_len: u64,
+    /// Depth of the derivation tree, `depth(S)`.
+    pub depth: u32,
+    /// Compression ratio `size(S) / d` (smaller is better).
+    pub ratio: f64,
+    /// `log₂(d)`, the best possible depth up to constants.
+    pub log2_len: f64,
+}
+
+impl SlpStats {
+    /// Computes the statistics of an SLP.
+    pub fn of<T: Terminal>(slp: &NormalFormSlp<T>) -> Self {
+        let leaves = slp
+            .rules()
+            .iter()
+            .filter(|r| matches!(r, NfRule::Leaf(_)))
+            .count();
+        let d = slp.document_len();
+        SlpStats {
+            non_terminals: slp.num_non_terminals(),
+            leaves,
+            size: slp.size(),
+            document_len: d,
+            depth: slp.depth(),
+            ratio: slp.size() as f64 / d as f64,
+            log2_len: (d as f64).log2(),
+        }
+    }
+}
+
+impl std::fmt::Display for SlpStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "size(S)={} |N|={} depth={} d={} ratio={:.5} log2(d)={:.1}",
+            self.size, self.non_terminals, self.depth, self.document_len, self.ratio, self.log2_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn stats_of_the_unary_family() {
+        let s = families::power_of_two_unary(b'a', 10);
+        let st = SlpStats::of(&s);
+        assert_eq!(st.document_len, 1024);
+        assert_eq!(st.non_terminals, 11);
+        assert_eq!(st.leaves, 1);
+        assert_eq!(st.depth, 11);
+        assert!(st.ratio < 0.05);
+        assert!((st.log2_len - 10.0).abs() < 1e-9);
+        let text = st.to_string();
+        assert!(text.contains("d=1024"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type for spanner construction and parsing.
+
+use std::fmt;
+
+/// Errors raised while building variables, span-tuples, marked words,
+/// spanner automata or parsing variable regexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpannerError {
+    /// More variables were requested than the packed `MarkerSet`
+    /// representation supports (32).
+    TooManyVariables {
+        /// The number of variables requested.
+        requested: usize,
+    },
+    /// A variable name was registered twice.
+    DuplicateVariable {
+        /// The offending name.
+        name: String,
+    },
+    /// A variable index is not part of the variable set in use.
+    UnknownVariable {
+        /// The offending index.
+        index: u8,
+    },
+    /// A span has `end < start` or starts at position 0 (spans are 1-based).
+    InvalidSpan {
+        /// Start position.
+        start: u64,
+        /// End position.
+        end: u64,
+    },
+    /// A marker set / marked word violates the subword-marked-word
+    /// well-formedness conditions of Definition 3.1.
+    MalformedMarkedWord {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A span-tuple refers to positions outside the document.
+    SpanOutOfBounds {
+        /// The offending position.
+        position: u64,
+        /// Document length.
+        document_len: u64,
+    },
+    /// Variable-regex parse error.
+    Parse {
+        /// Byte offset of the error in the pattern.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The automaton is not a valid spanner automaton (e.g. a transition is
+    /// labelled with an empty marker set).
+    InvalidAutomaton {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpannerError::TooManyVariables { requested } => {
+                write!(f, "at most 32 span variables are supported, {requested} requested")
+            }
+            SpannerError::DuplicateVariable { name } => {
+                write!(f, "variable `{name}` registered twice")
+            }
+            SpannerError::UnknownVariable { index } => write!(f, "unknown variable index {index}"),
+            SpannerError::InvalidSpan { start, end } => {
+                write!(f, "invalid span [{start}, {end}⟩ (spans are 1-based with start ≤ end)")
+            }
+            SpannerError::MalformedMarkedWord { reason } => {
+                write!(f, "malformed (subword-)marked word: {reason}")
+            }
+            SpannerError::SpanOutOfBounds {
+                position,
+                document_len,
+            } => write!(
+                f,
+                "span position {position} is outside the document of length {document_len}"
+            ),
+            SpannerError::Parse { offset, message } => {
+                write!(f, "variable-regex parse error at byte {offset}: {message}")
+            }
+            SpannerError::InvalidAutomaton { reason } => {
+                write!(f, "invalid spanner automaton: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpannerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_details() {
+        let e = SpannerError::Parse {
+            offset: 7,
+            message: "unbalanced parenthesis".into(),
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains("unbalanced"));
+        let e = SpannerError::InvalidSpan { start: 5, end: 3 };
+        assert!(e.to_string().contains("[5, 3⟩"));
+    }
+}

@@ -1,0 +1,124 @@
+//! The paper's example spanner: the DFA of Figure 2.
+
+use crate::marker::{Marker, MarkerSet};
+use crate::spanner_automaton::SpannerAutomaton;
+use crate::symbol::MarkedSymbol;
+use crate::variable::VariableSet;
+use spanner_automata::nfa::Nfa;
+
+/// The DFA of Figure 2 of the paper: a `({a,b,c}, {x, y})`-spanner with six
+/// states (paper states `1..6` are ids `0..5` here), start state `1`/`0` and
+/// accepting state `6`/`5`.
+///
+/// Structure (paper numbering):
+///
+/// * state 1: `Σ` self-loop, `{⊿x} → 2`, `{⊿y} → 4`;
+/// * x-branch: `2 --a,b--> 2`, `2 --{◁x}--> 3`;
+/// * y-branch: `4 --c--> 5`, `5 --c--> 5`, `5 --{◁y}--> 3`;
+/// * `3 --a,b--> 6`, state 6: `Σ` self-loop, accepting.
+///
+/// In words: the spanner extracts either an `(a|b)*`-span for `x` or a
+/// `c⁺`-span for `y`, provided the span is followed by at least one `a` or
+/// `b`.  This is consistent with every use of the automaton in the paper
+/// (Section 1.4 and Example 8.2 / Figure 4).
+pub fn figure_2_spanner() -> SpannerAutomaton<u8> {
+    let variables = VariableSet::from_names(["x", "y"]).expect("two variables");
+    let x = variables.get("x").expect("x registered");
+    let y = variables.get("y").expect("y registered");
+
+    let open_x = MarkedSymbol::Markers(MarkerSet::singleton(Marker::Open(x)));
+    let close_x = MarkedSymbol::Markers(MarkerSet::singleton(Marker::Close(x)));
+    let open_y = MarkedSymbol::Markers(MarkerSet::singleton(Marker::Open(y)));
+    let close_y = MarkedSymbol::Markers(MarkerSet::singleton(Marker::Close(y)));
+    let term = MarkedSymbol::Terminal;
+
+    // Paper states 1..6 = ids 0..5.
+    let mut nfa: Nfa<MarkedSymbol<u8>> = Nfa::with_states(6);
+    for c in [b'a', b'b', b'c'] {
+        nfa.add_transition(0, term(c), 0); // 1 --Σ--> 1
+        nfa.add_transition(5, term(c), 5); // 6 --Σ--> 6
+    }
+    nfa.add_transition(0, open_x, 1); // 1 --⊿x--> 2
+    for c in [b'a', b'b'] {
+        nfa.add_transition(1, term(c), 1); // 2 --a,b--> 2
+        nfa.add_transition(2, term(c), 5); // 3 --a,b--> 6
+    }
+    nfa.add_transition(1, close_x, 2); // 2 --◁x--> 3
+    nfa.add_transition(0, open_y, 3); // 1 --⊿y--> 4
+    nfa.add_transition(3, term(b'c'), 4); // 4 --c--> 5
+    nfa.add_transition(4, term(b'c'), 4); // 5 --c--> 5
+    nfa.add_transition(4, close_y, 2); // 5 --◁y--> 3
+    nfa.set_accepting(5, true);
+
+    SpannerAutomaton::new(nfa, variables).expect("Figure 2 automaton is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marked_word::MarkedWord;
+    use crate::partial::PartialMarkerSet;
+    use crate::variable::Variable;
+
+    #[test]
+    fn figure_2_shape() {
+        let m = figure_2_spanner();
+        assert_eq!(m.num_states(), 6);
+        // 6 Σ-loop arcs + 4 marker arcs + 2+2 a,b arcs + 2 c arcs = 16.
+        assert_eq!(m.num_transitions(), 16);
+        assert!(m.is_deterministic());
+        assert_eq!(m.nfa().accepting_states(), vec![5]);
+        assert_eq!(m.nfa().start(), 0);
+    }
+
+    #[test]
+    fn example_8_2_marked_word_is_accepted() {
+        // m(D, Λ) = aab ⊿y cc ◁y aabaa for D = aabccaabaa, Λ = {(⊿y,4),(◁y,6)}.
+        let m = figure_2_spanner();
+        let markers = PartialMarkerSet::from_marker_positions(vec![
+            (4, Marker::Open(Variable(1))),
+            (6, Marker::Close(Variable(1))),
+        ]);
+        let w = MarkedWord::from_document_and_markers(b"aabccaabaa", &markers).unwrap();
+        assert!(m.accepts_marked_word(&w));
+        // Dropping the closing marker must be rejected.
+        let bad = PartialMarkerSet::from_marker_positions(vec![(4, Marker::Open(Variable(1)))]);
+        let w = MarkedWord::from_document_and_markers(b"aabccaabaa", &bad).unwrap();
+        assert!(!m.accepts_marked_word(&w));
+    }
+
+    #[test]
+    fn section_1_4_marked_word_is_accepted() {
+        // aabcca ⊿x aba ◁x a  i.e. x = [7, 10⟩ in aabccaabaa.
+        let m = figure_2_spanner();
+        let markers = PartialMarkerSet::from_marker_positions(vec![
+            (7, Marker::Open(Variable(0))),
+            (10, Marker::Close(Variable(0))),
+        ]);
+        let w = MarkedWord::from_document_and_markers(b"aabccaabaa", &markers).unwrap();
+        assert!(m.accepts_marked_word(&w));
+    }
+
+    #[test]
+    fn unmarked_documents_are_never_accepted() {
+        let m = figure_2_spanner();
+        for doc in [&b"aabccaabaa"[..], b"abc", b"cccc", b"a"] {
+            let w = MarkedWord::unmarked(doc);
+            assert!(!m.accepts_marked_word(&w), "doc {:?}", doc);
+        }
+    }
+
+    #[test]
+    fn the_spanner_is_non_tail_spanning() {
+        // Any accepted word must end with at least one a/b *after* the close
+        // marker, so no accepted word ends in a marker set.  Spot-check: a
+        // close marker at the very end is rejected.
+        let m = figure_2_spanner();
+        let markers = PartialMarkerSet::from_marker_positions(vec![
+            (7, Marker::Open(Variable(0))),
+            (11, Marker::Close(Variable(0))),
+        ]);
+        let w = MarkedWord::from_document_and_markers(b"aabccaabaa", &markers).unwrap();
+        assert!(!m.accepts_marked_word(&w));
+    }
+}

@@ -1,0 +1,47 @@
+//! # spanner — the document-spanner formalism
+//!
+//! Data model and representations for *regular document spanners* exactly as
+//! used in the PODS 2021 paper *"Spanner Evaluation over SLP-Compressed
+//! Documents"* (Sections 3 and 6.1):
+//!
+//! * [`Variable`] / [`VariableSet`] — the span variables `X`.
+//! * [`Marker`] / [`MarkerSet`] — the marker alphabet `Γ_X = {⊿x, ◁x}` and
+//!   the *sets* of markers that serve as single symbols (extended-VA style).
+//! * [`Span`] / [`SpanTuple`] — spans `[i, j⟩` and (partial) span-tuples.
+//! * [`PartialMarkerSet`] — the paper's partial marker sets `Λ`, with the
+//!   right-shift `rs_ℓ`, the composition `⊗_s` (Section 6.1) and the total
+//!   order `⪯` used for duplicate-free unions (appendix D).
+//! * [`MarkedWord`] — subword-marked words and marked words with the
+//!   translation functions `e(·)`, `p(·)` and `m(·,·)` of Section 3.1.
+//! * [`MarkedSymbol`] — the alphabet `Σ ∪ P(Γ_X)` over which spanner
+//!   automata run.
+//! * [`SpannerAutomaton`] — NFAs/DFAs accepting subword-marked languages
+//!   (Section 3.2), plus compilation from variable regexes
+//!   ([`regex::compile`]) and the paper's Figure 2 automaton
+//!   ([`examples::figure_2_spanner`]).
+//! * [`reference`] — a brute-force reference evaluator used as ground truth
+//!   by the test suites of the evaluation crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod examples;
+pub mod marked_word;
+pub mod marker;
+pub mod partial;
+pub mod reference;
+pub mod regex;
+pub mod span;
+pub mod spanner_automaton;
+pub mod symbol;
+pub mod variable;
+
+pub use error::SpannerError;
+pub use marked_word::MarkedWord;
+pub use marker::{Marker, MarkerSet};
+pub use partial::PartialMarkerSet;
+pub use span::{Span, SpanTuple};
+pub use spanner_automaton::SpannerAutomaton;
+pub use symbol::MarkedSymbol;
+pub use variable::{Variable, VariableSet};

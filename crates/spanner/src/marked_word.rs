@@ -1,0 +1,356 @@
+//! (Subword-)marked words and the translation functions `e(·)`, `p(·)`,
+//! `m(·,·)` of Section 3.1 / Figure 1 of the paper.
+//!
+//! A marked word `w = A₁b₁A₂b₂…AₙbₙAₙ₊₁` interleaves marker sets `Aᵢ`
+//! (possibly empty) with terminals `bᵢ`.  A *subword-marked* word is a
+//! marked word whose markers form a valid span-tuple (Definition 3.1).
+
+use crate::error::SpannerError;
+use crate::marker::{Marker, MarkerSet};
+use crate::partial::PartialMarkerSet;
+use crate::span::SpanTuple;
+use crate::symbol::MarkedSymbol;
+
+/// A marked word over a generic terminal alphabet `T`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MarkedWord<T> {
+    /// `sets[i]` is the marker set `A_{i+1}` in front of terminal `i`
+    /// (0-based); `sets[n]` is the trailing set `A_{n+1}`.
+    sets: Vec<MarkerSet>,
+    /// The terminals `b₁ … bₙ` (the document `e(w)`).
+    terminals: Vec<T>,
+}
+
+impl<T: Copy + Eq> MarkedWord<T> {
+    /// An unmarked word (all marker sets empty).
+    pub fn unmarked(document: &[T]) -> Self {
+        MarkedWord {
+            sets: vec![MarkerSet::EMPTY; document.len() + 1],
+            terminals: document.to_vec(),
+        }
+    }
+
+    /// The paper's `m(D, Λ)`: the marked word obtained by placing the
+    /// markers of `Λ` into the document `D`.  Fails if `Λ` is not compatible
+    /// with `D` (a position exceeds `|D| + 1`).
+    pub fn from_document_and_markers(
+        document: &[T],
+        markers: &PartialMarkerSet,
+    ) -> Result<Self, SpannerError> {
+        if !markers.is_compatible_with(document.len() as u64) {
+            return Err(SpannerError::SpanOutOfBounds {
+                position: markers.max_position(),
+                document_len: document.len() as u64,
+            });
+        }
+        let mut w = MarkedWord::unmarked(document);
+        for (pos, set) in markers.entries() {
+            w.sets[(pos - 1) as usize] = set;
+        }
+        Ok(w)
+    }
+
+    /// The paper's `m(D, t̂)` for a span-tuple `t`.
+    pub fn from_document_and_tuple(
+        document: &[T],
+        tuple: &SpanTuple,
+    ) -> Result<Self, SpannerError> {
+        tuple.check_compatible(document.len() as u64)?;
+        Self::from_document_and_markers(document, &tuple.marker_set())
+    }
+
+    /// Builds a marked word from a sequence of [`MarkedSymbol`]s (as read by
+    /// a spanner automaton).  Two consecutive marker-set symbols or a
+    /// marker-set symbol that is empty are rejected.
+    pub fn from_symbols(symbols: &[MarkedSymbol<T>]) -> Result<Self, SpannerError> {
+        let mut sets = vec![MarkerSet::EMPTY];
+        let mut terminals = Vec::new();
+        let mut pending_set = false;
+        for s in symbols {
+            match s {
+                MarkedSymbol::Markers(m) => {
+                    if m.is_empty() {
+                        return Err(SpannerError::MalformedMarkedWord {
+                            reason: "empty marker-set symbol".into(),
+                        });
+                    }
+                    if pending_set {
+                        return Err(SpannerError::MalformedMarkedWord {
+                            reason: "two consecutive marker-set symbols".into(),
+                        });
+                    }
+                    *sets.last_mut().expect("sets is never empty") = *m;
+                    pending_set = true;
+                }
+                MarkedSymbol::Terminal(t) => {
+                    terminals.push(*t);
+                    sets.push(MarkerSet::EMPTY);
+                    pending_set = false;
+                }
+            }
+        }
+        Ok(MarkedWord { sets, terminals })
+    }
+
+    /// The document-length `|w|_d = n` (number of terminals).
+    pub fn document_len(&self) -> u64 {
+        self.terminals.len() as u64
+    }
+
+    /// The paper's `e(w)`: the underlying document.
+    pub fn document(&self) -> &[T] {
+        &self.terminals
+    }
+
+    /// The paper's `p(w)`: the (partial) marker set encoded by the word.
+    pub fn markers(&self) -> PartialMarkerSet {
+        PartialMarkerSet::from_entries(
+            self.sets
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| ((i + 1) as u64, s)),
+        )
+    }
+
+    /// The marker set directly in front of the `i`-th terminal (1-based), or
+    /// the trailing set for `i = |w|_d + 1`.
+    pub fn marker_set_at(&self, position: u64) -> MarkerSet {
+        self.sets[(position - 1) as usize]
+    }
+
+    /// `true` if the word is non-tail-spanning (the trailing marker set
+    /// `A_{n+1}` is empty), cf. Section 6.1.
+    pub fn is_non_tail_spanning(&self) -> bool {
+        self.sets
+            .last()
+            .map(|s| s.is_empty())
+            .unwrap_or(true)
+    }
+
+    /// Checks the three conditions of Definition 3.1 (each marker occurs at
+    /// most once, opens do not come after closes, markers come in pairs), i.e.
+    /// whether the marked word is a *subword-marked* word.
+    pub fn validate_subword_marked(&self) -> Result<(), SpannerError> {
+        let mut seen = MarkerSet::EMPTY;
+        let mut open_pos: Vec<Option<u64>> = vec![None; 32];
+        let mut close_pos: Vec<Option<u64>> = vec![None; 32];
+        for (i, set) in self.sets.iter().enumerate() {
+            if !seen.is_disjoint(*set) {
+                return Err(SpannerError::MalformedMarkedWord {
+                    reason: "a marker occurs at two positions".into(),
+                });
+            }
+            seen = seen.union(*set);
+            for m in set.iter() {
+                let v = m.variable().index();
+                match m {
+                    Marker::Open(_) => open_pos[v] = Some((i + 1) as u64),
+                    Marker::Close(_) => close_pos[v] = Some((i + 1) as u64),
+                }
+            }
+        }
+        for v in 0..32 {
+            match (open_pos[v], close_pos[v]) {
+                (None, None) => {}
+                (Some(i), Some(j)) if i <= j => {}
+                (Some(_), Some(_)) => {
+                    return Err(SpannerError::MalformedMarkedWord {
+                        reason: format!("variable x{v} closes before it opens"),
+                    })
+                }
+                _ => {
+                    return Err(SpannerError::MalformedMarkedWord {
+                        reason: format!("variable x{v} has only one of its two markers"),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The span-tuple encoded by this subword-marked word.
+    pub fn span_tuple(&self, num_vars: usize) -> Result<SpanTuple, SpannerError> {
+        self.validate_subword_marked()?;
+        SpanTuple::from_marker_set(&self.markers(), num_vars)
+    }
+
+    /// The symbol sequence read by a spanner automaton: marker sets (when
+    /// non-empty) interleaved with terminals.
+    pub fn to_symbols(&self) -> Vec<MarkedSymbol<T>> {
+        let mut out = Vec::with_capacity(self.terminals.len() * 2 + 1);
+        for (i, &t) in self.terminals.iter().enumerate() {
+            if !self.sets[i].is_empty() {
+                out.push(MarkedSymbol::Markers(self.sets[i]));
+            }
+            out.push(MarkedSymbol::Terminal(t));
+        }
+        if let Some(&last) = self.sets.last() {
+            if !last.is_empty() {
+                out.push(MarkedSymbol::Markers(last));
+            }
+        }
+        out
+    }
+
+    /// Splits the marked word after document position `k` (`0 ≤ k ≤ n`) into
+    /// marked words `w₁, w₂` with `e(w₁) = D[1..k]` and `e(w₂) = D[k+1..n]`.
+    /// The marker set sitting exactly at the cut goes to the *right* part, so
+    /// the left part is always non-tail-spanning (the convention of
+    /// Section 6.1).
+    pub fn split_at(&self, k: u64) -> (MarkedWord<T>, MarkedWord<T>) {
+        let k = k as usize;
+        let left = MarkedWord {
+            sets: {
+                let mut s = self.sets[..k].to_vec();
+                s.push(MarkerSet::EMPTY);
+                s
+            },
+            terminals: self.terminals[..k].to_vec(),
+        };
+        let right = MarkedWord {
+            sets: self.sets[k..].to_vec(),
+            terminals: self.terminals[k..].to_vec(),
+        };
+        (left, right)
+    }
+}
+
+impl std::fmt::Display for MarkedWord<u8> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, &t) in self.terminals.iter().enumerate() {
+            if !self.sets[i].is_empty() {
+                write!(f, "{}", self.sets[i])?;
+            }
+            write!(f, "{}", t as char)?;
+        }
+        if let Some(&last) = self.sets.last() {
+            if !last.is_empty() {
+                write!(f, "{last}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+    use crate::variable::Variable;
+
+    fn open(v: u8) -> Marker {
+        Marker::Open(Variable(v))
+    }
+    fn close(v: u8) -> Marker {
+        Marker::Close(Variable(v))
+    }
+
+    /// Example 3.2 of the paper:
+    /// `w = {⊿x} a b {⊿y,⊿z,◁x} b c {◁z} a b {◁y} a c` over x=0, y=1, z=2.
+    fn example_3_2() -> MarkedWord<u8> {
+        let markers = PartialMarkerSet::from_marker_positions(vec![
+            (1, open(0)),
+            (3, close(0)),
+            (3, open(1)),
+            (7, close(1)),
+            (3, open(2)),
+            (5, close(2)),
+        ]);
+        MarkedWord::from_document_and_markers(b"abbcabac", &markers).unwrap()
+    }
+
+    #[test]
+    fn example_3_2_e_and_p() {
+        let w = example_3_2();
+        assert_eq!(w.document(), b"abbcabac");
+        assert_eq!(w.document_len(), 8);
+        let p = w.markers();
+        assert_eq!(p.len(), 6);
+        assert!(p.at(3).contains(close(0)) && p.at(3).contains(open(1)) && p.at(3).contains(open(2)));
+        // The encoded span-tuple is ([1,3⟩, [3,7⟩, [3,5⟩).
+        let t = w.span_tuple(3).unwrap();
+        assert_eq!(t.get(Variable(0)), Some(Span::new(1, 3).unwrap()));
+        assert_eq!(t.get(Variable(1)), Some(Span::new(3, 7).unwrap()));
+        assert_eq!(t.get(Variable(2)), Some(Span::new(3, 5).unwrap()));
+        assert!(w.is_non_tail_spanning());
+    }
+
+    #[test]
+    fn example_3_2_m_round_trip() {
+        // m(D, t̂) reproduces the word; and the second example of 3.2:
+        // D = aaabcbb, t = ([6,8⟩, ⊥, [3,8⟩)  =>  aa{⊿z}abc{⊿x}bb{◁x,◁z}.
+        let mut t = SpanTuple::empty(3);
+        t.set(Variable(0), Span::new(6, 8).unwrap());
+        t.set(Variable(2), Span::new(3, 8).unwrap());
+        let w = MarkedWord::from_document_and_tuple(b"aaabcbb", &t).unwrap();
+        assert_eq!(w.document(), b"aaabcbb");
+        assert_eq!(w.span_tuple(3).unwrap(), t);
+        assert!(!w.is_non_tail_spanning()); // markers at position 8 = d + 1
+        assert!(w.marker_set_at(8).contains(close(0)));
+        assert!(w.marker_set_at(8).contains(close(2)));
+        assert!(w.marker_set_at(3).contains(open(2)));
+        assert!(w.marker_set_at(6).contains(open(0)));
+    }
+
+    #[test]
+    fn symbols_round_trip() {
+        let w = example_3_2();
+        let symbols = w.to_symbols();
+        let back = MarkedWord::from_symbols(&symbols).unwrap();
+        assert_eq!(back, w);
+        // 8 terminals + 4 non-empty marker sets.
+        assert_eq!(symbols.len(), 12);
+    }
+
+    #[test]
+    fn from_symbols_rejects_consecutive_marker_sets() {
+        let s1 = MarkedSymbol::Markers(MarkerSet::singleton(open(0)));
+        let s2 = MarkedSymbol::Markers(MarkerSet::singleton(close(0)));
+        let t: MarkedSymbol<u8> = MarkedSymbol::Terminal(b'a');
+        assert!(MarkedWord::from_symbols(&[s1, s2, t]).is_err());
+        assert!(MarkedWord::from_symbols(&[MarkedSymbol::<u8>::Markers(MarkerSet::EMPTY)]).is_err());
+        assert!(MarkedWord::from_symbols(&[s1, t, s2]).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_words() {
+        // Close before open.
+        let bad = PartialMarkerSet::from_marker_positions(vec![(4, open(0)), (2, close(0))]);
+        let w = MarkedWord::from_document_and_markers(b"abcd", &bad).unwrap();
+        assert!(w.validate_subword_marked().is_err());
+        // Dangling open.
+        let bad = PartialMarkerSet::from_marker_positions(vec![(1, open(0))]);
+        let w = MarkedWord::from_document_and_markers(b"abcd", &bad).unwrap();
+        assert!(w.validate_subword_marked().is_err());
+        // Incompatible position.
+        let far = PartialMarkerSet::from_marker_positions(vec![(9, open(0))]);
+        assert!(MarkedWord::from_document_and_markers(b"abcd", &far).is_err());
+    }
+
+    #[test]
+    fn splitting_matches_the_section_6_1_example() {
+        // w = {⊿x}ab{⊿y,⊿z,◁x}b · c{◁z}ab{◁y}ac  split after position 3.
+        let w = example_3_2();
+        let (w1, w2) = w.split_at(3);
+        assert_eq!(w1.document(), b"abb");
+        assert_eq!(w2.document(), b"cabac");
+        assert!(w1.is_non_tail_spanning());
+        let p1 = w1.markers();
+        let p2 = w2.markers();
+        assert_eq!(p1.len(), 4); // ⊿x@1, ◁x@3, ⊿y@3, ⊿z@3
+        assert_eq!(p2.len(), 2); // ◁z@2, ◁y@4
+        assert!(p2.at(2).contains(close(2)));
+        assert!(p2.at(4).contains(close(1)));
+        // Recombination via ⊗ gives the original marker set.
+        let combined = p1.compose(w1.document_len(), &p2);
+        assert_eq!(combined, w.markers());
+    }
+
+    #[test]
+    fn display_renders_markers_inline() {
+        let w = example_3_2();
+        let txt = w.to_string();
+        assert!(txt.contains("a"));
+        assert!(txt.contains("{"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Markers `⊿x` / `◁x` and packed marker sets.
+//!
+//! The paper merges consecutive marker symbols into *sets* (one symbol of the
+//! alphabet `P(Γ_X)`), which makes the representation of a document plus
+//! span-tuple unique (Section 3.3).  A [`MarkerSet`] packs such a set into a
+//! `u64`: bit `2·v` is the open marker of variable `v`, bit `2·v + 1` the
+//! close marker.
+
+use crate::variable::Variable;
+use std::fmt;
+
+/// A single marker symbol of `Γ_X`: `⊿x` (open) or `◁x` (close).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Marker {
+    /// `⊿x` — the span of `x` starts here.
+    Open(Variable),
+    /// `◁x` — the span of `x` ends here.
+    Close(Variable),
+}
+
+impl Marker {
+    /// The variable this marker belongs to.
+    pub fn variable(self) -> Variable {
+        match self {
+            Marker::Open(v) | Marker::Close(v) => v,
+        }
+    }
+
+    /// The bit position of this marker inside a [`MarkerSet`].
+    #[inline]
+    fn bit(self) -> u32 {
+        match self {
+            Marker::Open(v) => 2 * v.0 as u32,
+            Marker::Close(v) => 2 * v.0 as u32 + 1,
+        }
+    }
+
+    /// The marker encoded by a bit position (inverse of [`Marker::bit`]).
+    #[inline]
+    fn from_bit(bit: u32) -> Marker {
+        let v = Variable((bit / 2) as u8);
+        if bit % 2 == 0 {
+            Marker::Open(v)
+        } else {
+            Marker::Close(v)
+        }
+    }
+}
+
+impl fmt::Display for Marker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Marker::Open(v) => write!(f, "⊢x{}", v.0),
+            Marker::Close(v) => write!(f, "x{}⊣", v.0),
+        }
+    }
+}
+
+/// A set of markers, used as a *single* input symbol of the spanner
+/// automaton (an element of `P(Γ_X)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MarkerSet(u64);
+
+impl MarkerSet {
+    /// The empty marker set.
+    pub const EMPTY: MarkerSet = MarkerSet(0);
+
+    /// The empty marker set.
+    pub fn new() -> Self {
+        MarkerSet(0)
+    }
+
+    /// The singleton `{m}`.
+    pub fn singleton(m: Marker) -> Self {
+        MarkerSet(1u64 << m.bit())
+    }
+
+    /// A marker set from an iterator of markers.
+    pub fn from_markers(markers: impl IntoIterator<Item = Marker>) -> Self {
+        let mut s = MarkerSet::new();
+        for m in markers {
+            s.insert(m);
+        }
+        s
+    }
+
+    /// The raw bit representation (stable across runs; used for hashing and
+    /// ordering only).
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a marker set from its raw bits.
+    pub fn from_bits(bits: u64) -> Self {
+        MarkerSet(bits)
+    }
+
+    /// Inserts a marker.
+    pub fn insert(&mut self, m: Marker) {
+        self.0 |= 1u64 << m.bit();
+    }
+
+    /// Removes a marker.
+    pub fn remove(&mut self, m: Marker) {
+        self.0 &= !(1u64 << m.bit());
+    }
+
+    /// `true` if the marker is in the set.
+    pub fn contains(self, m: Marker) -> bool {
+        (self.0 >> m.bit()) & 1 == 1
+    }
+
+    /// `true` if the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of markers in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Set union.
+    pub fn union(self, other: MarkerSet) -> MarkerSet {
+        MarkerSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: MarkerSet) -> MarkerSet {
+        MarkerSet(self.0 & other.0)
+    }
+
+    /// `true` if the two sets share no marker.
+    pub fn is_disjoint(self, other: MarkerSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates over the markers in the set, in bit order
+    /// (`⊿x0, ◁x0, ⊿x1, ◁x1, …`).
+    pub fn iter(self) -> impl Iterator<Item = Marker> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let bit = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(Marker::from_bit(bit))
+            }
+        })
+    }
+
+    /// Enumerates every non-empty subset of `Γ_X` for `num_vars` variables
+    /// (used by tests and by the VA → extended-VA conversion).
+    pub fn all_non_empty(num_vars: usize) -> impl Iterator<Item = MarkerSet> {
+        let bits = 2 * num_vars as u32;
+        (1u64..(1u64 << bits)).map(MarkerSet)
+    }
+}
+
+impl fmt::Display for MarkerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Variable {
+        Variable(0)
+    }
+    fn y() -> Variable {
+        Variable(1)
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = MarkerSet::new();
+        assert!(s.is_empty());
+        s.insert(Marker::Open(x()));
+        s.insert(Marker::Close(y()));
+        assert!(s.contains(Marker::Open(x())));
+        assert!(s.contains(Marker::Close(y())));
+        assert!(!s.contains(Marker::Close(x())));
+        assert_eq!(s.len(), 2);
+        s.remove(Marker::Open(x()));
+        assert!(!s.contains(Marker::Open(x())));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iteration_round_trips() {
+        let markers = vec![
+            Marker::Open(x()),
+            Marker::Close(x()),
+            Marker::Open(Variable(5)),
+            Marker::Close(Variable(31)),
+        ];
+        let s = MarkerSet::from_markers(markers.clone());
+        let collected: Vec<Marker> = s.iter().collect();
+        assert_eq!(collected, markers);
+        assert_eq!(MarkerSet::from_bits(s.bits()), s);
+    }
+
+    #[test]
+    fn union_intersection_disjoint() {
+        let a = MarkerSet::from_markers([Marker::Open(x()), Marker::Close(x())]);
+        let b = MarkerSet::from_markers([Marker::Close(x()), Marker::Open(y())]);
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b).len(), 1);
+        assert!(!a.is_disjoint(b));
+        let c = MarkerSet::singleton(Marker::Close(y()));
+        assert!(a.is_disjoint(c));
+    }
+
+    #[test]
+    fn all_non_empty_enumerates_the_powerset() {
+        // 2 variables => 4 markers => 15 non-empty subsets.
+        let subsets: Vec<MarkerSet> = MarkerSet::all_non_empty(2).collect();
+        assert_eq!(subsets.len(), 15);
+        assert!(subsets.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn display_is_braced() {
+        let s = MarkerSet::from_markers([Marker::Open(x()), Marker::Close(y())]);
+        let txt = s.to_string();
+        assert!(txt.starts_with('{') && txt.ends_with('}'));
+        assert!(txt.contains("x0"));
+        assert!(txt.contains("x1"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Brute-force reference evaluation of a spanner on an explicit document.
+//!
+//! For every candidate span-tuple `t` (every variable is either undefined or
+//! some span of the document) the reference evaluator materialises the
+//! subword-marked word `m(D, t)` and checks membership in `L(M)`
+//! (Proposition 3.3).  This is exponential in `|X|` and quadratic in `|D|`
+//! per variable — useless in production but an unimpeachable ground truth
+//! for the property-based tests of the evaluation crates.
+
+use crate::marked_word::MarkedWord;
+use crate::span::{Span, SpanTuple};
+use crate::spanner_automaton::SpannerAutomaton;
+use crate::variable::Variable;
+use std::collections::BTreeSet;
+
+/// Computes `⟦M⟧(D)` by brute force (see module docs).
+///
+/// Complexity: `O((d² / 2 + 2)^{|X|} · d · |M|)`; keep `d` and `|X|` small.
+pub fn evaluate(automaton: &SpannerAutomaton<u8>, document: &[u8]) -> BTreeSet<SpanTuple> {
+    let d = document.len() as u64;
+    let num_vars = automaton.num_vars();
+    // All possible values for a single variable: ⊥ or a span [i, j⟩.
+    let mut choices: Vec<Option<Span>> = vec![None];
+    for i in 1..=d + 1 {
+        for j in i..=d + 1 {
+            choices.push(Some(Span::new(i, j).expect("i <= j")));
+        }
+    }
+
+    let mut out = BTreeSet::new();
+    let mut assignment: Vec<Option<Span>> = vec![None; num_vars];
+    enumerate(
+        automaton,
+        document,
+        &choices,
+        &mut assignment,
+        0,
+        &mut out,
+    );
+    out
+}
+
+fn enumerate(
+    automaton: &SpannerAutomaton<u8>,
+    document: &[u8],
+    choices: &[Option<Span>],
+    assignment: &mut Vec<Option<Span>>,
+    var: usize,
+    out: &mut BTreeSet<SpanTuple>,
+) {
+    if var == assignment.len() {
+        let mut t = SpanTuple::empty(assignment.len());
+        for (i, s) in assignment.iter().enumerate() {
+            if let Some(s) = s {
+                t.set(Variable(i as u8), *s);
+            }
+        }
+        let w = MarkedWord::from_document_and_tuple(document, &t)
+            .expect("spans were drawn within the document");
+        if automaton.accepts_marked_word(&w) {
+            out.insert(t);
+        }
+        return;
+    }
+    for &c in choices {
+        assignment[var] = c;
+        enumerate(automaton, document, choices, assignment, var + 1, out);
+    }
+    assignment[var] = None;
+}
+
+/// Counts `|⟦M⟧(D)|` by brute force (convenience wrapper).
+pub fn count(automaton: &SpannerAutomaton<u8>, document: &[u8]) -> usize {
+    evaluate(automaton, document).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::figure_2_spanner;
+
+    #[test]
+    fn figure_2_on_a_tiny_document() {
+        // D = "ca": the only result is the y-branch spanning the single c
+        // (the Figure 2 DFA has no transition on the combined set {⊿x, ◁x},
+        // so empty x-spans are never extracted).
+        let m = figure_2_spanner();
+        let results = evaluate(&m, b"ca");
+        let rendered: BTreeSet<String> = results
+            .iter()
+            .map(|t| t.display(m.variables()).to_string())
+            .collect();
+        let expected: BTreeSet<String> = ["(x ↦ ⊥, y ↦ [1, 2⟩)".to_string()].into_iter().collect();
+        assert_eq!(rendered, expected);
+    }
+
+    #[test]
+    fn empty_results_on_documents_without_a_or_b() {
+        // Every accepting path ends with an a/b after the close marker.
+        let m = figure_2_spanner();
+        assert_eq!(count(&m, b"cccc"), 0);
+    }
+
+    #[test]
+    fn result_count_grows_with_document_content() {
+        let m = figure_2_spanner();
+        // On "aab": x-spans are the *non-empty* a/b-blocks followed by another
+        // a/b symbol: [1,2⟩, [1,3⟩ and [2,3⟩; no c's, so no y results.
+        let results = evaluate(&m, b"aab");
+        assert!(results.iter().all(|t| t.get(Variable(1)).is_none()));
+        assert_eq!(results.len(), 3);
+    }
+}

@@ -1,0 +1,723 @@
+//! Variable regexes ("regex formulas"): a concise, user-facing syntax for
+//! regular spanners, compiled to [`SpannerAutomaton`]s.
+//!
+//! # Syntax
+//!
+//! ```text
+//! pattern   := alternation
+//! alternation := concat ('|' concat)*
+//! concat    := repeat*
+//! repeat    := atom ('*' | '+' | '?')*
+//! atom      := literal | '.' | class | '(' pattern ')' | capture
+//! capture   := name '{' pattern '}'          e.g.  x{ a+ }
+//! class     := '[' char-or-range+ ']'        e.g.  [a-z0-9_]
+//! literal   := any byte except metacharacters, or '\' escaped
+//! ```
+//!
+//! Unescaped whitespace in a pattern is *insignificant* (layout only, as in
+//! verbose regex dialects); write `\ ` (escaped space) to match a literal
+//! space.  `.` and negated character classes are interpreted relative to the
+//! `alphabet` passed to [`compile`].  Each capture `x{e}` opens the span of
+//! variable `x` before `e` and closes it after `e`; variables are registered
+//! in order of first appearance and may be used only once per pattern
+//! (matching the subword-marked-word condition that each marker occurs at
+//! most once).
+//!
+//! # From sequences of markers to marker *sets*
+//!
+//! The Thompson construction naturally produces automata whose marker
+//! transitions carry a *single* marker each; nested or adjacent captures
+//! yield runs of consecutive marker transitions.  Such automata are the
+//! paper's plain variable-set automata.  [`compile`] finishes with the
+//! VA → "extended VA" conversion (Section 3.3): runs of ε/marker transitions
+//! are contracted into single transitions labelled by the *set* of markers
+//! read, which is the representation every evaluation algorithm in this
+//! workspace expects.  The conversion is exponential only in `|X|`, which is
+//! treated as small (combined complexity), never in the document.
+
+use crate::error::SpannerError;
+use crate::marker::{Marker, MarkerSet};
+use crate::spanner_automaton::SpannerAutomaton;
+use crate::symbol::MarkedSymbol;
+use crate::variable::VariableSet;
+use spanner_automata::nfa::{Label, Nfa, StateId};
+use std::collections::{HashMap, HashSet};
+
+/// A parsed variable-regex AST node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// The empty word ε.
+    Epsilon,
+    /// A single literal byte.
+    Literal(u8),
+    /// Any byte of the document alphabet (the regex `.`).
+    Any,
+    /// Any byte of the given (sorted) set.
+    Class(Vec<u8>),
+    /// Any alphabet byte *not* in the given (sorted) set (`[^…]`).
+    NegatedClass(Vec<u8>),
+    /// Concatenation.
+    Concat(Vec<Ast>),
+    /// Alternation.
+    Alt(Vec<Ast>),
+    /// Kleene star.
+    Star(Box<Ast>),
+    /// One or more repetitions.
+    Plus(Box<Ast>),
+    /// Zero or one occurrence.
+    Opt(Box<Ast>),
+    /// A variable capture `x{e}`.
+    Capture(String, Box<Ast>),
+}
+
+/// Parses a variable regex into an AST.
+pub fn parse(pattern: &str) -> Result<Ast, SpannerError> {
+    let mut p = Parser {
+        bytes: pattern.as_bytes(),
+        pos: 0,
+    };
+    let ast = p.alternation()?;
+    if p.pos != p.bytes.len() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(ast)
+}
+
+/// Compiles a variable regex into a (non-deterministic) spanner automaton
+/// over the given document alphabet.  Returns the automaton; its
+/// [`VariableSet`] lists the captures in order of first appearance.
+pub fn compile(pattern: &str, alphabet: &[u8]) -> Result<SpannerAutomaton<u8>, SpannerError> {
+    let ast = parse(pattern)?;
+    compile_ast(&ast, alphabet)
+}
+
+/// Compiles a variable regex and determinises the result (what the
+/// enumeration algorithm of Theorem 8.10 needs).
+pub fn compile_deterministic(
+    pattern: &str,
+    alphabet: &[u8],
+) -> Result<SpannerAutomaton<u8>, SpannerError> {
+    Ok(compile(pattern, alphabet)?.determinized())
+}
+
+/// Compiles an already-parsed AST (see [`compile`]).
+pub fn compile_ast(ast: &Ast, alphabet: &[u8]) -> Result<SpannerAutomaton<u8>, SpannerError> {
+    // Collect capture names in order of first appearance and reject reuse.
+    let mut vars = VariableSet::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    collect_captures(ast, &mut vars, &mut seen)?;
+
+    // Thompson construction over single markers + ε.
+    let mut thompson: Nfa<ThompsonSymbol> = Nfa::with_states(1);
+    let alphabet: Vec<u8> = {
+        let mut a = alphabet.to_vec();
+        a.sort();
+        a.dedup();
+        a
+    };
+    let (start, end) = build_thompson(ast, &mut thompson, &alphabet, &vars)?;
+    thompson.set_start(start);
+    thompson.set_accepting(end, true);
+
+    // Contract ε/marker runs into marker-set transitions.
+    let nfa = contract_markers(&thompson);
+    SpannerAutomaton::new(nfa, vars)
+}
+
+fn collect_captures(
+    ast: &Ast,
+    vars: &mut VariableSet,
+    seen: &mut HashSet<String>,
+) -> Result<(), SpannerError> {
+    collect_captures_inner(ast, vars, seen, false)
+}
+
+fn collect_captures_inner(
+    ast: &Ast,
+    vars: &mut VariableSet,
+    seen: &mut HashSet<String>,
+    under_repetition: bool,
+) -> Result<(), SpannerError> {
+    match ast {
+        Ast::Capture(name, inner) => {
+            if under_repetition {
+                // A capture under * or + could emit the same marker at two
+                // positions, which falls outside the subword-marked-word
+                // formalism (Definition 3.1: every marker occurs at most
+                // once).  Reject it up front.
+                return Err(SpannerError::Parse {
+                    offset: 0,
+                    message: format!(
+                        "capture `{name}` occurs under '*' or '+'; a span variable can be bound at most once per match"
+                    ),
+                });
+            }
+            if !seen.insert(name.clone()) {
+                return Err(SpannerError::DuplicateVariable { name: name.clone() });
+            }
+            vars.add(name.clone())?;
+            collect_captures_inner(inner, vars, seen, under_repetition)
+        }
+        Ast::Concat(parts) | Ast::Alt(parts) => {
+            for p in parts {
+                collect_captures_inner(p, vars, seen, under_repetition)?;
+            }
+            Ok(())
+        }
+        Ast::Star(inner) | Ast::Plus(inner) => collect_captures_inner(inner, vars, seen, true),
+        Ast::Opt(inner) => collect_captures_inner(inner, vars, seen, under_repetition),
+        Ast::Epsilon | Ast::Literal(_) | Ast::Any | Ast::Class(_) | Ast::NegatedClass(_) => Ok(()),
+    }
+}
+
+/// Symbols of the intermediate Thompson automaton: a byte or a single marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum ThompsonSymbol {
+    Byte(u8),
+    Mark(Marker),
+}
+
+/// Builds the Thompson fragment for `ast`, returning its (start, end) states.
+fn build_thompson(
+    ast: &Ast,
+    nfa: &mut Nfa<ThompsonSymbol>,
+    alphabet: &[u8],
+    vars: &VariableSet,
+) -> Result<(StateId, StateId), SpannerError> {
+    let fragment = match ast {
+        Ast::Epsilon => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            nfa.add_epsilon(s, e);
+            (s, e)
+        }
+        Ast::Literal(b) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            nfa.add_transition(s, ThompsonSymbol::Byte(*b), e);
+            (s, e)
+        }
+        Ast::Any => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            for &b in alphabet {
+                nfa.add_transition(s, ThompsonSymbol::Byte(b), e);
+            }
+            (s, e)
+        }
+        Ast::Class(bytes) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            for &b in bytes {
+                nfa.add_transition(s, ThompsonSymbol::Byte(b), e);
+            }
+            (s, e)
+        }
+        Ast::NegatedClass(bytes) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            for &b in alphabet {
+                if !bytes.contains(&b) {
+                    nfa.add_transition(s, ThompsonSymbol::Byte(b), e);
+                }
+            }
+            (s, e)
+        }
+        Ast::Concat(parts) => {
+            if parts.is_empty() {
+                return build_thompson(&Ast::Epsilon, nfa, alphabet, vars);
+            }
+            let mut first: Option<StateId> = None;
+            let mut prev_end: Option<StateId> = None;
+            for p in parts {
+                let (s, e) = build_thompson(p, nfa, alphabet, vars)?;
+                if let Some(pe) = prev_end {
+                    nfa.add_epsilon(pe, s);
+                } else {
+                    first = Some(s);
+                }
+                prev_end = Some(e);
+            }
+            (first.expect("non-empty"), prev_end.expect("non-empty"))
+        }
+        Ast::Alt(parts) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            for p in parts {
+                let (ps, pe) = build_thompson(p, nfa, alphabet, vars)?;
+                nfa.add_epsilon(s, ps);
+                nfa.add_epsilon(pe, e);
+            }
+            (s, e)
+        }
+        Ast::Star(inner) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            let (is, ie) = build_thompson(inner, nfa, alphabet, vars)?;
+            nfa.add_epsilon(s, e);
+            nfa.add_epsilon(s, is);
+            nfa.add_epsilon(ie, is);
+            nfa.add_epsilon(ie, e);
+            (s, e)
+        }
+        Ast::Plus(inner) => {
+            let (is, ie) = build_thompson(inner, nfa, alphabet, vars)?;
+            let e = nfa.add_state();
+            nfa.add_epsilon(ie, is);
+            nfa.add_epsilon(ie, e);
+            (is, e)
+        }
+        Ast::Opt(inner) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            let (is, ie) = build_thompson(inner, nfa, alphabet, vars)?;
+            nfa.add_epsilon(s, is);
+            nfa.add_epsilon(ie, e);
+            nfa.add_epsilon(s, e);
+            (s, e)
+        }
+        Ast::Capture(name, inner) => {
+            let v = vars.get(name).expect("captures were collected beforehand");
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            let (is, ie) = build_thompson(inner, nfa, alphabet, vars)?;
+            nfa.add_transition(s, ThompsonSymbol::Mark(Marker::Open(v)), is);
+            nfa.add_transition(ie, ThompsonSymbol::Mark(Marker::Close(v)), e);
+            (s, e)
+        }
+    };
+    Ok(fragment)
+}
+
+/// Contracts runs of ε- and single-marker transitions into single
+/// marker-*set* transitions (VA → extended VA), producing the automaton over
+/// `Σ ∪ P(Γ_X)` that the evaluation algorithms expect.
+fn contract_markers(thompson: &Nfa<ThompsonSymbol>) -> Nfa<MarkedSymbol<u8>> {
+    let q = thompson.num_states();
+    let mut out: Nfa<MarkedSymbol<u8>> = Nfa::with_states(q);
+    out.set_start(thompson.start());
+
+    // Plain ε-closure for terminal transitions and acceptance.
+    for p in 0..q {
+        let closure = thompson.epsilon_closure(&std::collections::BTreeSet::from([p]));
+        if closure.iter().any(|&s| thompson.is_accepting(s)) {
+            out.set_accepting(p, true);
+        }
+        let mut added: HashSet<(u8, StateId)> = HashSet::new();
+        for &r in &closure {
+            for &(l, t) in thompson.transitions_from(r) {
+                if let Label::Symbol(ThompsonSymbol::Byte(b)) = l {
+                    if added.insert((b, t)) {
+                        out.add_transition(p, MarkedSymbol::Terminal(b), t);
+                    }
+                }
+            }
+        }
+    }
+
+    // Marker-set reachability: from p, following ε and marker transitions
+    // and accumulating the set of markers read (each marker at most once),
+    // which states are reachable with which non-empty marker set?
+    for p in 0..q {
+        let mut reached: HashMap<(StateId, MarkerSet), ()> = HashMap::new();
+        let mut stack: Vec<(StateId, MarkerSet)> = vec![(p, MarkerSet::EMPTY)];
+        let mut visited: HashSet<(StateId, MarkerSet)> = HashSet::new();
+        visited.insert((p, MarkerSet::EMPTY));
+        while let Some((s, set)) = stack.pop() {
+            for &(l, t) in thompson.transitions_from(s) {
+                let next_set = match l {
+                    Label::Epsilon => set,
+                    Label::Symbol(ThompsonSymbol::Mark(m)) => {
+                        if set.contains(m) {
+                            continue; // a marker may be read at most once
+                        }
+                        let mut s2 = set;
+                        s2.insert(m);
+                        s2
+                    }
+                    Label::Symbol(ThompsonSymbol::Byte(_)) => continue,
+                };
+                if visited.insert((t, next_set)) {
+                    if !next_set.is_empty() {
+                        reached.insert((t, next_set), ());
+                    }
+                    stack.push((t, next_set));
+                }
+            }
+        }
+        let mut dedup: HashSet<(StateId, MarkerSet)> = HashSet::new();
+        for (t, set) in reached.keys() {
+            if dedup.insert((*t, *set)) {
+                out.add_transition(p, MarkedSymbol::Markers(*set), *t);
+            }
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> SpannerError {
+        SpannerError::Parse {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Ast, SpannerError> {
+        let mut parts = vec![self.concat()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'|') {
+                self.bump();
+                parts.push(self.concat()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Ast::Alt(parts)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Ast, SpannerError> {
+        let mut parts = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None | Some(b'|') | Some(b')') | Some(b'}') => break,
+                _ => parts.push(self.repeat()?),
+            }
+        }
+        Ok(match parts.len() {
+            0 => Ast::Epsilon,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, SpannerError> {
+        let mut atom = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    atom = Ast::Star(Box::new(atom));
+                }
+                Some(b'+') => {
+                    self.bump();
+                    atom = Ast::Plus(Box::new(atom));
+                }
+                Some(b'?') => {
+                    self.bump();
+                    atom = Ast::Opt(Box::new(atom));
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    fn atom(&mut self) -> Result<Ast, SpannerError> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.error("unexpected end of pattern")),
+            Some(b'(') => {
+                self.bump();
+                let inner = self.alternation()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.error("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some(b'[') => self.class(),
+            Some(b'.') => {
+                self.bump();
+                Ok(Ast::Any)
+            }
+            Some(b'\\') => {
+                self.bump();
+                match self.bump() {
+                    Some(c) => Ok(Ast::Literal(unescape(c))),
+                    None => Err(self.error("dangling escape")),
+                }
+            }
+            Some(c) if is_meta(c) => Err(self.error("unexpected metacharacter")),
+            Some(_) => {
+                // Either a capture `name{...}` or a literal byte.
+                if let Some(capture) = self.try_capture()? {
+                    Ok(capture)
+                } else {
+                    let c = self.bump().expect("peeked");
+                    Ok(Ast::Literal(c))
+                }
+            }
+        }
+    }
+
+    fn try_capture(&mut self) -> Result<Option<Ast>, SpannerError> {
+        let save = self.pos;
+        // A capture starts with an identifier immediately followed by '{'.
+        if !self
+            .peek()
+            .map(|c| c.is_ascii_alphabetic() || c == b'_')
+            .unwrap_or(false)
+        {
+            return Ok(None);
+        }
+        let start = self.pos;
+        while self
+            .peek()
+            .map(|c| c.is_ascii_alphanumeric() || c == b'_')
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        if self.peek() != Some(b'{') {
+            self.pos = save;
+            return Ok(None);
+        }
+        let name = String::from_utf8(self.bytes[start..self.pos].to_vec())
+            .expect("identifier bytes are ASCII");
+        self.bump(); // '{'
+        let inner = self.alternation()?;
+        if self.bump() != Some(b'}') {
+            return Err(self.error("expected '}' closing a capture"));
+        }
+        Ok(Some(Ast::Capture(name, Box::new(inner))))
+    }
+
+    fn class(&mut self) -> Result<Ast, SpannerError> {
+        self.bump(); // '['
+        let negated = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut bytes = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated character class")),
+                Some(b']') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(c) => bytes.push(unescape(c)),
+                    None => return Err(self.error("dangling escape in class")),
+                },
+                Some(c) => {
+                    if self.peek() == Some(b'-')
+                        && self.bytes.get(self.pos + 1).copied().map(|n| n != b']').unwrap_or(false)
+                    {
+                        self.bump(); // '-'
+                        let hi = self.bump().expect("checked above");
+                        if hi < c {
+                            return Err(self.error("descending range in character class"));
+                        }
+                        bytes.extend(c..=hi);
+                    } else {
+                        bytes.push(c);
+                    }
+                }
+            }
+        }
+        bytes.sort();
+        bytes.dedup();
+        Ok(if negated {
+            Ast::NegatedClass(bytes)
+        } else {
+            Ast::Class(bytes)
+        })
+    }
+}
+
+fn is_meta(c: u8) -> bool {
+    matches!(c, b'(' | b')' | b'[' | b']' | b'{' | b'}' | b'*' | b'+' | b'?' | b'|' | b'.' | b'\\')
+}
+
+fn unescape(c: u8) -> u8 {
+    match c {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::span::{Span, SpanTuple};
+
+    fn eval(pattern: &str, alphabet: &[u8], doc: &[u8]) -> Vec<String> {
+        let m = compile(pattern, alphabet).unwrap();
+        reference::evaluate(&m, doc)
+            .iter()
+            .map(|t| t.display(m.variables()).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn parses_basic_constructs() {
+        assert_eq!(parse("ab").unwrap(), Ast::Concat(vec![Ast::Literal(b'a'), Ast::Literal(b'b')]));
+        assert!(matches!(parse("a|b").unwrap(), Ast::Alt(_)));
+        assert!(matches!(parse("a*").unwrap(), Ast::Star(_)));
+        assert!(matches!(parse("(ab)+").unwrap(), Ast::Plus(_)));
+        assert!(matches!(parse("x{a}").unwrap(), Ast::Capture(_, _)));
+        assert!(parse("a)").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("[a-").is_err());
+        assert!(parse("x{a").is_err());
+    }
+
+    #[test]
+    fn simple_capture_extracts_spans() {
+        // All occurrences of "b+" as x, anywhere in the document.
+        let shown = eval(".*x{b+}.*", b"ab", b"abba");
+        assert_eq!(
+            shown,
+            vec!["(x ↦ [2, 3⟩)", "(x ↦ [2, 4⟩)", "(x ↦ [3, 4⟩)"]
+        );
+    }
+
+    #[test]
+    fn two_variables_and_order() {
+        // x captures an a-block, y captures a following b-block.
+        let m = compile(".*x{a+}y{b+}.*", b"ab").unwrap();
+        assert_eq!(m.num_vars(), 2);
+        let results = reference::evaluate(&m, b"aab");
+        // x and y are always defined and adjacent.
+        for t in &results {
+            let x = t.get(m.variables().get("x").unwrap()).unwrap();
+            let y = t.get(m.variables().get("y").unwrap()).unwrap();
+            assert_eq!(x.end, y.start);
+        }
+        assert_eq!(results.len(), 2); // x=[1,3⟩ or [2,3⟩, y=[3,4⟩
+    }
+
+    #[test]
+    fn adjacent_markers_become_sets() {
+        // Nested captures: both open markers sit at the same position, so the
+        // compiled automaton must read them as one marker-set symbol.
+        let m = compile("x{y{a}b}", b"ab").unwrap();
+        let results = reference::evaluate(&m, b"ab");
+        assert_eq!(results.len(), 1);
+        let t = results.iter().next().unwrap();
+        assert_eq!(t.get(m.variables().get("x").unwrap()), Some(Span::new(1, 3).unwrap()));
+        assert_eq!(t.get(m.variables().get("y").unwrap()), Some(Span::new(1, 2).unwrap()));
+    }
+
+    #[test]
+    fn optional_capture_gives_undefined_variables() {
+        let m = compile("(x{a})?b", b"ab").unwrap();
+        let results = reference::evaluate(&m, b"b");
+        assert_eq!(results.len(), 1);
+        assert!(results.iter().next().unwrap().is_empty());
+        let results = reference::evaluate(&m, b"ab");
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results.iter().next().unwrap().get(m.variables().get("x").unwrap()),
+            Some(Span::new(1, 2).unwrap())
+        );
+    }
+
+    #[test]
+    fn character_classes_and_dot() {
+        let m = compile("x{[0-9]+}", b"a0123b").unwrap();
+        let results = reference::evaluate(&m, b"042");
+        assert_eq!(results.len(), 1);
+        let shown = eval(".*x{[ab]}.*", b"abc", b"cab");
+        assert_eq!(shown, vec!["(x ↦ [2, 3⟩)", "(x ↦ [3, 4⟩)"]);
+    }
+
+    #[test]
+    fn negated_class_uses_the_alphabet() {
+        let m = compile("x{[^,]+},.*", b"ab,").unwrap();
+        let results = reference::evaluate(&m, b"ab,ab");
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results.iter().next().unwrap().get(m.variables().get("x").unwrap()),
+            Some(Span::new(1, 3).unwrap())
+        );
+    }
+
+    #[test]
+    fn duplicate_captures_are_rejected() {
+        assert!(matches!(
+            compile("x{a}x{b}", b"ab"),
+            Err(SpannerError::DuplicateVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_capture_of_empty_word() {
+        let m = compile("a x{} b", b"ab").unwrap();
+        let results = reference::evaluate(&m, b"ab");
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results.iter().next().unwrap().get(m.variables().get("x").unwrap()),
+            Some(Span::new(2, 2).unwrap())
+        );
+    }
+
+    #[test]
+    fn boolean_pattern_without_captures() {
+        let m = compile("(a|b)*abb", b"ab").unwrap();
+        assert_eq!(m.num_vars(), 0);
+        let results = reference::evaluate(&m, b"aabb");
+        assert_eq!(results.len(), 1); // the empty tuple
+        let results = reference::evaluate(&m, b"aab");
+        assert_eq!(results.len(), 0);
+    }
+
+    #[test]
+    fn determinised_compilation_agrees() {
+        let pattern = ".*x{a+b}.*";
+        let m = compile(pattern, b"ab").unwrap();
+        let d = compile_deterministic(pattern, b"ab").unwrap();
+        assert!(d.is_deterministic());
+        let doc = b"aababb";
+        assert_eq!(reference::evaluate(&m, doc), reference::evaluate(&d, doc));
+        let mut t = SpanTuple::empty(1);
+        t.set(m.variables().get("x").unwrap(), Span::new(4, 6).unwrap());
+        assert_eq!(m.matches(doc, &t).unwrap(), d.matches(doc, &t).unwrap());
+    }
+}
+
+#[cfg(test)]
+mod repetition_tests {
+    use super::*;
+
+    #[test]
+    fn captures_under_repetition_are_rejected() {
+        assert!(matches!(compile("(x{a})*b", b"ab"), Err(SpannerError::Parse { .. })));
+        assert!(matches!(compile("(x{a})+", b"ab"), Err(SpannerError::Parse { .. })));
+        // Under '?' a capture is fine (it fires at most once).
+        assert!(compile("(x{a})?b", b"ab").is_ok());
+    }
+}

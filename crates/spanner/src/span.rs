@@ -1,0 +1,298 @@
+//! Spans `[i, j⟩` and (partial) span-tuples (Section 3 of the paper).
+
+use crate::error::SpannerError;
+use crate::marker::Marker;
+use crate::partial::PartialMarkerSet;
+use crate::variable::{Variable, VariableSet};
+use std::fmt;
+
+/// A span `[start, end⟩` of a document: the interval of positions
+/// `start, …, end − 1`, with `1 ≤ start ≤ end ≤ d + 1` (1-based, end
+/// exclusive), exactly as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Start position (1-based, inclusive).
+    pub start: u64,
+    /// End position (1-based, exclusive).
+    pub end: u64,
+}
+
+impl Span {
+    /// Creates the span `[start, end⟩`, validating `1 ≤ start ≤ end`.
+    pub fn new(start: u64, end: u64) -> Result<Self, SpannerError> {
+        if start == 0 || end < start {
+            return Err(SpannerError::InvalidSpan { start, end });
+        }
+        Ok(Span { start, end })
+    }
+
+    /// Length of the spanned factor (`end − start`).
+    pub fn len(self) -> u64 {
+        self.end - self.start
+    }
+
+    /// `true` if the span is empty (`[i, i⟩`).
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// The value `D[start, end⟩` of this span in a document.
+    pub fn value<'d>(self, doc: &'d [u8]) -> Result<&'d [u8], SpannerError> {
+        if self.end > doc.len() as u64 + 1 {
+            return Err(SpannerError::SpanOutOfBounds {
+                position: self.end,
+                document_len: doc.len() as u64,
+            });
+        }
+        Ok(&doc[(self.start - 1) as usize..(self.end - 1) as usize])
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}⟩", self.start, self.end)
+    }
+}
+
+/// A (partial) span-tuple: an assignment of spans to some of the variables
+/// (`⊥` for the rest) — the paper's `(X, D)-tuple` with the schemaless
+/// semantics of non-functional spanners.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanTuple {
+    /// `assignment[v]` is the span of variable `v`, or `None` for `⊥`.
+    assignment: Vec<Option<Span>>,
+}
+
+impl SpanTuple {
+    /// The all-undefined tuple over `num_vars` variables.
+    pub fn empty(num_vars: usize) -> Self {
+        SpanTuple {
+            assignment: vec![None; num_vars],
+        }
+    }
+
+    /// Builds a tuple from an explicit assignment vector.
+    pub fn from_assignment(assignment: Vec<Option<Span>>) -> Self {
+        SpanTuple { assignment }
+    }
+
+    /// Number of variables of the underlying variable set.
+    pub fn num_vars(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The span of variable `v` (or `None` for `⊥`).
+    pub fn get(&self, v: Variable) -> Option<Span> {
+        self.assignment.get(v.index()).copied().flatten()
+    }
+
+    /// Assigns a span to a variable.
+    pub fn set(&mut self, v: Variable, span: Span) {
+        if v.index() >= self.assignment.len() {
+            self.assignment.resize(v.index() + 1, None);
+        }
+        self.assignment[v.index()] = Some(span);
+    }
+
+    /// Unassigns a variable.
+    pub fn unset(&mut self, v: Variable) {
+        if v.index() < self.assignment.len() {
+            self.assignment[v.index()] = None;
+        }
+    }
+
+    /// The variables with a defined span (`dom(t)`).
+    pub fn defined_variables(&self) -> Vec<Variable> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|_| Variable(i as u8)))
+            .collect()
+    }
+
+    /// `true` if no variable is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.iter().all(Option::is_none)
+    }
+
+    /// The marker set `t̂ = {(⊿x, i), (◁x, j) : t(x) = [i, j⟩}` of this
+    /// tuple (Section 3).
+    pub fn marker_set(&self) -> PartialMarkerSet {
+        let mut pairs: Vec<(u64, Marker)> = Vec::new();
+        for (i, span) in self.assignment.iter().enumerate() {
+            if let Some(s) = span {
+                pairs.push((s.start, Marker::Open(Variable(i as u8))));
+                pairs.push((s.end, Marker::Close(Variable(i as u8))));
+            }
+        }
+        PartialMarkerSet::from_marker_positions(pairs)
+    }
+
+    /// Reconstructs a span-tuple from a *complete* marker set (each defined
+    /// variable has exactly one open and one close marker, with
+    /// `open ≤ close`).
+    pub fn from_marker_set(
+        markers: &PartialMarkerSet,
+        num_vars: usize,
+    ) -> Result<Self, SpannerError> {
+        let mut opens: Vec<Option<u64>> = vec![None; num_vars];
+        let mut closes: Vec<Option<u64>> = vec![None; num_vars];
+        for (pos, set) in markers.entries() {
+            for m in set.iter() {
+                let v = m.variable();
+                if v.index() >= num_vars {
+                    return Err(SpannerError::UnknownVariable { index: v.0 });
+                }
+                let slot = match m {
+                    Marker::Open(_) => &mut opens[v.index()],
+                    Marker::Close(_) => &mut closes[v.index()],
+                };
+                if slot.is_some() {
+                    return Err(SpannerError::MalformedMarkedWord {
+                        reason: format!("marker {m} occurs twice"),
+                    });
+                }
+                *slot = Some(pos);
+            }
+        }
+        let mut t = SpanTuple::empty(num_vars);
+        for v in 0..num_vars {
+            match (opens[v], closes[v]) {
+                (None, None) => {}
+                (Some(i), Some(j)) if i <= j => t.set(Variable(v as u8), Span::new(i, j)?),
+                (Some(i), Some(j)) => {
+                    return Err(SpannerError::InvalidSpan { start: i, end: j });
+                }
+                _ => {
+                    return Err(SpannerError::MalformedMarkedWord {
+                        reason: format!("variable x{v} has only one of its two markers"),
+                    })
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// Renders the tuple with variable names, e.g. `(x ↦ [1, 3⟩, y ↦ ⊥)`.
+    pub fn display<'a>(&'a self, vars: &'a VariableSet) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a SpanTuple, &'a VariableSet);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "(")?;
+                for (i, v) in self.1.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match self.0.get(v) {
+                        Some(s) => write!(f, "{} ↦ {}", self.1.name(v), s)?,
+                        None => write!(f, "{} ↦ ⊥", self.1.name(v))?,
+                    }
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, vars)
+    }
+
+    /// The marker set notation used by the paper, e.g. for checking all
+    /// markers lie within a document of length `d` (positions in `[1, d+1]`).
+    pub fn check_compatible(&self, document_len: u64) -> Result<(), SpannerError> {
+        for span in self.assignment.iter().flatten() {
+            if span.end > document_len + 1 {
+                return Err(SpannerError::SpanOutOfBounds {
+                    position: span.end,
+                    document_len,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_validation_and_value() {
+        assert!(Span::new(0, 2).is_err());
+        assert!(Span::new(3, 2).is_err());
+        let s = Span::new(2, 4).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.value(b"abcde").unwrap(), b"bc");
+        assert_eq!(Span::new(3, 3).unwrap().value(b"abcde").unwrap(), b"");
+        assert_eq!(Span::new(1, 6).unwrap().value(b"abcde").unwrap(), b"abcde");
+        assert!(Span::new(1, 7).unwrap().value(b"abcde").is_err());
+        assert_eq!(s.to_string(), "[2, 4⟩");
+    }
+
+    #[test]
+    fn tuple_assignment_and_domain() {
+        let mut t = SpanTuple::empty(3);
+        assert!(t.is_empty());
+        t.set(Variable(0), Span::new(1, 5).unwrap());
+        t.set(Variable(2), Span::new(5, 7).unwrap());
+        assert_eq!(t.get(Variable(0)), Some(Span::new(1, 5).unwrap()));
+        assert_eq!(t.get(Variable(1)), None);
+        assert_eq!(t.defined_variables(), vec![Variable(0), Variable(2)]);
+        t.unset(Variable(0));
+        assert_eq!(t.defined_variables(), vec![Variable(2)]);
+    }
+
+    #[test]
+    fn marker_set_round_trip() {
+        // The paper's example: t = ([6,8⟩, ⊥, [3,8⟩) over (x, y, z).
+        let mut t = SpanTuple::empty(3);
+        t.set(Variable(0), Span::new(6, 8).unwrap());
+        t.set(Variable(2), Span::new(3, 8).unwrap());
+        let m = t.marker_set();
+        let back = SpanTuple::from_marker_set(&m, 3).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn from_marker_set_rejects_malformed_input() {
+        // Only an open marker for x0.
+        let m = PartialMarkerSet::from_marker_positions(vec![(2, Marker::Open(Variable(0)))]);
+        assert!(matches!(
+            SpanTuple::from_marker_set(&m, 1),
+            Err(SpannerError::MalformedMarkedWord { .. })
+        ));
+        // Close before open.
+        let m = PartialMarkerSet::from_marker_positions(vec![
+            (5, Marker::Open(Variable(0))),
+            (2, Marker::Close(Variable(0))),
+        ]);
+        assert!(matches!(
+            SpanTuple::from_marker_set(&m, 1),
+            Err(SpannerError::InvalidSpan { .. })
+        ));
+        // Unknown variable.
+        let m = PartialMarkerSet::from_marker_positions(vec![
+            (1, Marker::Open(Variable(4))),
+            (2, Marker::Close(Variable(4))),
+        ]);
+        assert!(matches!(
+            SpanTuple::from_marker_set(&m, 1),
+            Err(SpannerError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let vars = VariableSet::from_names(["x", "y"]).unwrap();
+        let mut t = SpanTuple::empty(2);
+        t.set(Variable(1), Span::new(4, 6).unwrap());
+        let shown = t.display(&vars).to_string();
+        assert_eq!(shown, "(x ↦ ⊥, y ↦ [4, 6⟩)");
+    }
+
+    #[test]
+    fn compatibility_check() {
+        let mut t = SpanTuple::empty(1);
+        t.set(Variable(0), Span::new(1, 12).unwrap());
+        assert!(t.check_compatible(10).is_err());
+        assert!(t.check_compatible(11).is_ok());
+    }
+}

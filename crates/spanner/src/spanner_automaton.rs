@@ -1,0 +1,197 @@
+//! Spanner automata: NFAs/DFAs accepting subword-marked languages over
+//! `Σ ∪ P(Γ_X)` (Section 3.2 of the paper).
+
+use crate::error::SpannerError;
+use crate::marked_word::MarkedWord;
+use crate::span::SpanTuple;
+use crate::symbol::MarkedSymbol;
+use crate::variable::VariableSet;
+use spanner_automata::nfa::{Label, Nfa};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An automaton representing a regular `(Σ, X)`-spanner: an NFA over the
+/// extended alphabet `Σ ∪ P(Γ_X)` together with its variable set.
+///
+/// The enumeration algorithm of the paper (Theorem 8.10) requires the
+/// automaton to be *deterministic*; [`SpannerAutomaton::is_deterministic`]
+/// reports this and [`SpannerAutomaton::determinized`] converts (worst-case
+/// exponential, affecting only combined complexity, cf. end of Section 8).
+#[derive(Debug, Clone)]
+pub struct SpannerAutomaton<T = u8> {
+    nfa: Nfa<MarkedSymbol<T>>,
+    variables: VariableSet,
+}
+
+impl<T: Copy + Eq + Ord + Hash + Debug> SpannerAutomaton<T> {
+    /// Wraps an NFA over `Σ ∪ P(Γ_X)` as a spanner automaton.
+    ///
+    /// Rejects transitions labelled with the *empty* marker set (the paper's
+    /// convention is to simply omit empty sets from subword-marked words, so
+    /// such a transition could never fire on well-formed input and is almost
+    /// certainly a construction bug) and marker transitions that use
+    /// variables outside the given variable set.
+    pub fn new(nfa: Nfa<MarkedSymbol<T>>, variables: VariableSet) -> Result<Self, SpannerError> {
+        for (_, label, _) in nfa.arcs() {
+            if let Label::Symbol(MarkedSymbol::Markers(m)) = label {
+                if m.is_empty() {
+                    return Err(SpannerError::InvalidAutomaton {
+                        reason: "transition labelled with the empty marker set".into(),
+                    });
+                }
+                for marker in m.iter() {
+                    if marker.variable().index() >= variables.len() {
+                        return Err(SpannerError::UnknownVariable {
+                            index: marker.variable().0,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(SpannerAutomaton { nfa, variables })
+    }
+
+    /// The underlying NFA.
+    pub fn nfa(&self) -> &Nfa<MarkedSymbol<T>> {
+        &self.nfa
+    }
+
+    /// The variable set `X`.
+    pub fn variables(&self) -> &VariableSet {
+        &self.variables
+    }
+
+    /// `|X|`.
+    pub fn num_vars(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of states `q`.
+    pub fn num_states(&self) -> usize {
+        self.nfa.num_states()
+    }
+
+    /// Number of transitions, the paper's `|M|`.
+    pub fn num_transitions(&self) -> usize {
+        self.nfa.num_transitions()
+    }
+
+    /// `true` if the automaton is deterministic (no ε, at most one successor
+    /// per symbol) — the requirement of Theorem 8.10.
+    pub fn is_deterministic(&self) -> bool {
+        self.nfa.is_deterministic()
+    }
+
+    /// An equivalent ε-free spanner automaton.
+    pub fn without_epsilon(&self) -> SpannerAutomaton<T> {
+        SpannerAutomaton {
+            nfa: self.nfa.without_epsilon(),
+            variables: self.variables.clone(),
+        }
+    }
+
+    /// An equivalent deterministic spanner automaton (subset construction
+    /// followed by DFA minimisation).
+    pub fn determinized(&self) -> SpannerAutomaton<T> {
+        if self.is_deterministic() {
+            return self.clone();
+        }
+        SpannerAutomaton {
+            nfa: self.nfa.determinize().minimize().to_nfa(),
+            variables: self.variables.clone(),
+        }
+    }
+
+    /// `true` iff the automaton accepts the given marked word (read as its
+    /// symbol sequence).
+    pub fn accepts_marked_word(&self, word: &MarkedWord<T>) -> bool {
+        self.nfa.accepts(&word.to_symbols())
+    }
+
+    /// Uncompressed model checking via Proposition 3.3: `t ∈ ⟦M⟧(D)` iff
+    /// `m(D, t) ∈ L(M)`.  Runs the NFA on the explicit marked word, so this
+    /// is `O(|D| · |M|)` — the baseline the compressed algorithm of
+    /// Theorem 5.1(2) is compared against.
+    pub fn matches(&self, document: &[T], tuple: &SpanTuple) -> Result<bool, SpannerError> {
+        let w = MarkedWord::from_document_and_tuple(document, tuple)?;
+        Ok(self.accepts_marked_word(&w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::figure_2_spanner;
+    use crate::marker::{Marker, MarkerSet};
+    use crate::span::Span;
+    use crate::variable::Variable;
+
+    #[test]
+    fn empty_marker_set_transitions_are_rejected() {
+        let mut nfa: Nfa<MarkedSymbol<u8>> = Nfa::with_states(2);
+        nfa.add_transition(0, MarkedSymbol::Markers(MarkerSet::EMPTY), 1);
+        let vars = VariableSet::from_names(["x"]).unwrap();
+        assert!(matches!(
+            SpannerAutomaton::new(nfa, vars),
+            Err(SpannerError::InvalidAutomaton { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_variables_are_rejected() {
+        let mut nfa: Nfa<MarkedSymbol<u8>> = Nfa::with_states(2);
+        nfa.add_transition(
+            0,
+            MarkedSymbol::Markers(MarkerSet::singleton(Marker::Open(Variable(3)))),
+            1,
+        );
+        let vars = VariableSet::from_names(["x"]).unwrap();
+        assert!(matches!(
+            SpannerAutomaton::new(nfa, vars),
+            Err(SpannerError::UnknownVariable { index: 3 })
+        ));
+    }
+
+    #[test]
+    fn figure_2_is_deterministic_and_matches_tuples() {
+        let m = figure_2_spanner();
+        assert!(m.is_deterministic());
+        assert_eq!(m.num_states(), 6);
+        assert_eq!(m.num_vars(), 2);
+
+        // Section 1.4: the spanner extracts x = [7, 10⟩ from aabccaabaa
+        // (the subword-marked word aabcca ⊿x aba ◁x a).
+        let doc = b"aabccaabaa";
+        let x = m.variables().get("x").unwrap();
+        let y = m.variables().get("y").unwrap();
+        let mut t = SpanTuple::empty(2);
+        t.set(x, Span::new(7, 10).unwrap());
+        assert!(m.matches(doc, &t).unwrap());
+
+        // Example 8.2: y = [4, 6⟩ (the cc block) with x undefined.
+        let mut t = SpanTuple::empty(2);
+        t.set(y, Span::new(4, 6).unwrap());
+        assert!(m.matches(doc, &t).unwrap());
+
+        // y must span a non-empty block of c's.
+        let mut t = SpanTuple::empty(2);
+        t.set(y, Span::new(4, 4).unwrap());
+        assert!(!m.matches(doc, &t).unwrap());
+
+        // The all-undefined tuple is not extracted (a marker pair is
+        // mandatory on every accepting path).
+        assert!(!m.matches(doc, &SpanTuple::empty(2)).unwrap());
+    }
+
+    #[test]
+    fn determinizing_a_deterministic_automaton_is_identity_like() {
+        let m = figure_2_spanner();
+        let d = m.determinized();
+        assert!(d.is_deterministic());
+        assert_eq!(d.num_vars(), 2);
+        let doc = b"aabccaabaa";
+        let mut t = SpanTuple::empty(2);
+        t.set(Variable(1), Span::new(4, 6).unwrap());
+        assert_eq!(m.matches(doc, &t).unwrap(), d.matches(doc, &t).unwrap());
+    }
+}

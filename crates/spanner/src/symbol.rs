@@ -1,0 +1,83 @@
+//! The extended alphabet `Σ ∪ P(Γ_X)` over which spanner automata run.
+
+use crate::marker::MarkerSet;
+use std::fmt;
+
+/// A symbol of a subword-marked word: either a terminal of the document
+/// alphabet or a non-empty set of markers (Section 3.1 of the paper).
+///
+/// The ordering puts all terminals before all marker sets; this is only used
+/// for canonicalisation (e.g. sorted automaton alphabets), never for
+/// semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MarkedSymbol<T> {
+    /// A terminal symbol of `Σ`.
+    Terminal(T),
+    /// A (non-empty) set of markers, used as a single symbol of `P(Γ_X)`.
+    Markers(MarkerSet),
+}
+
+impl<T> MarkedSymbol<T> {
+    /// `true` for terminal symbols.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, MarkedSymbol::Terminal(_))
+    }
+
+    /// `true` for marker-set symbols.
+    pub fn is_markers(&self) -> bool {
+        matches!(self, MarkedSymbol::Markers(_))
+    }
+
+    /// The terminal, if this is one.
+    pub fn terminal(&self) -> Option<&T> {
+        match self {
+            MarkedSymbol::Terminal(t) => Some(t),
+            MarkedSymbol::Markers(_) => None,
+        }
+    }
+
+    /// The marker set, if this is one.
+    pub fn markers(&self) -> Option<MarkerSet> {
+        match self {
+            MarkedSymbol::Terminal(_) => None,
+            MarkedSymbol::Markers(m) => Some(*m),
+        }
+    }
+}
+
+impl fmt::Display for MarkedSymbol<u8> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkedSymbol::Terminal(t) => write!(f, "{}", *t as char),
+            MarkedSymbol::Markers(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marker::Marker;
+    use crate::variable::Variable;
+
+    #[test]
+    fn accessors() {
+        let t: MarkedSymbol<u8> = MarkedSymbol::Terminal(b'a');
+        let m: MarkedSymbol<u8> =
+            MarkedSymbol::Markers(MarkerSet::singleton(Marker::Open(Variable(0))));
+        assert!(t.is_terminal() && !t.is_markers());
+        assert!(m.is_markers() && !m.is_terminal());
+        assert_eq!(t.terminal(), Some(&b'a'));
+        assert_eq!(t.markers(), None);
+        assert!(m.markers().unwrap().contains(Marker::Open(Variable(0))));
+        assert_eq!(t.to_string(), "a");
+        assert!(m.to_string().contains("x0"));
+    }
+
+    #[test]
+    fn ordering_separates_terminals_and_markers() {
+        let t: MarkedSymbol<u8> = MarkedSymbol::Terminal(b'z');
+        let m: MarkedSymbol<u8> = MarkedSymbol::Markers(MarkerSet::from_bits(1));
+        assert!(t < m);
+    }
+}

@@ -1,0 +1,149 @@
+//! Span variables `X` and named variable sets.
+
+use crate::error::SpannerError;
+
+/// Maximum number of variables supported by the packed [`crate::MarkerSet`]
+/// representation (two bits per variable in a `u64`).
+pub const MAX_VARIABLES: usize = 32;
+
+/// A span variable, identified by a dense index `0..|X|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Variable(pub u8);
+
+impl Variable {
+    /// The dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A finite, ordered set of named span variables.
+///
+/// The evaluation algorithms only need the number of variables; names are
+/// kept so that query results can be rendered readably.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VariableSet {
+    names: Vec<String>,
+}
+
+impl VariableSet {
+    /// The empty variable set (a Boolean spanner).
+    pub fn new() -> Self {
+        VariableSet { names: Vec::new() }
+    }
+
+    /// A variable set with `n` anonymous variables `x0..x{n-1}`.
+    pub fn with_anonymous(n: usize) -> Result<Self, SpannerError> {
+        if n > MAX_VARIABLES {
+            return Err(SpannerError::TooManyVariables { requested: n });
+        }
+        Ok(VariableSet {
+            names: (0..n).map(|i| format!("x{i}")).collect(),
+        })
+    }
+
+    /// A variable set from explicit names.
+    pub fn from_names<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Result<Self, SpannerError> {
+        let mut vs = VariableSet::new();
+        for n in names {
+            vs.add(n)?;
+        }
+        Ok(vs)
+    }
+
+    /// Registers a new variable and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>) -> Result<Variable, SpannerError> {
+        let name = name.into();
+        if self.names.iter().any(|n| *n == name) {
+            return Err(SpannerError::DuplicateVariable { name });
+        }
+        if self.names.len() >= MAX_VARIABLES {
+            return Err(SpannerError::TooManyVariables {
+                requested: self.names.len() + 1,
+            });
+        }
+        self.names.push(name);
+        Ok(Variable((self.names.len() - 1) as u8))
+    }
+
+    /// Number of variables `|X|`.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if there are no variables.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The handle of a variable by name, if registered.
+    pub fn get(&self, name: &str) -> Option<Variable> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Variable(i as u8))
+    }
+
+    /// The name of a variable.
+    pub fn name(&self, v: Variable) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Iterates over the variables in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Variable> + '_ {
+        (0..self.names.len()).map(|i| Variable(i as u8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut vs = VariableSet::new();
+        let x = vs.add("x").unwrap();
+        let y = vs.add("y").unwrap();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs.get("x"), Some(x));
+        assert_eq!(vs.get("y"), Some(y));
+        assert_eq!(vs.get("z"), None);
+        assert_eq!(vs.name(x), "x");
+        assert_eq!(x.index(), 0);
+        assert_eq!(y.index(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let mut vs = VariableSet::new();
+        vs.add("x").unwrap();
+        assert_eq!(
+            vs.add("x").unwrap_err(),
+            SpannerError::DuplicateVariable { name: "x".into() }
+        );
+    }
+
+    #[test]
+    fn variable_limit_is_enforced() {
+        assert!(VariableSet::with_anonymous(32).is_ok());
+        assert!(matches!(
+            VariableSet::with_anonymous(33),
+            Err(SpannerError::TooManyVariables { requested: 33 })
+        ));
+        let mut vs = VariableSet::with_anonymous(32).unwrap();
+        assert!(matches!(
+            vs.add("one-too-many"),
+            Err(SpannerError::TooManyVariables { .. })
+        ));
+    }
+
+    #[test]
+    fn from_names_and_iter() {
+        let vs = VariableSet::from_names(["a", "b", "c"]).unwrap();
+        let collected: Vec<&str> = vs.iter().map(|v| vs.name(v)).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+        assert!(!vs.is_empty());
+        assert!(VariableSet::new().is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Document generators with tunable size and compressibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for the synthetic server-log generator.
+#[derive(Debug, Clone)]
+pub struct LogOptions {
+    /// Number of log lines.
+    pub lines: usize,
+    /// Number of distinct message templates (fewer templates → more
+    /// repetitive → smaller SLP).
+    pub templates: usize,
+    /// RNG seed (generation is fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for LogOptions {
+    fn default() -> Self {
+        LogOptions {
+            lines: 1000,
+            templates: 8,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A synthetic, highly repetitive server log: every line is one of a few
+/// templates with a small varying numeric field — the classic motivating
+/// workload for information extraction over compressible text.
+pub fn repetitive_log(options: &LogOptions) -> Vec<u8> {
+    let levels = ["INFO", "WARN", "ERROR", "DEBUG"];
+    let messages = [
+        "request served in {}ms path=/api/v1/items",
+        "cache miss for key=user:{} backfilled",
+        "connection pool exhausted retry={}",
+        "payment gateway timeout after {}ms",
+        "scheduled job finished rows={}",
+        "disk usage at {}% on /var/data",
+        "user {} logged in from 10.0.0.7",
+        "replica lag {}s on shard-3",
+    ];
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut out = Vec::with_capacity(options.lines * 64);
+    for i in 0..options.lines {
+        let template = i % options.templates.max(1).min(messages.len());
+        let level = levels[template % levels.len()];
+        let value: u32 = rng.gen_range(0..100);
+        let message = messages[template].replace("{}", &value.to_string());
+        out.extend_from_slice(b"2026-06-13T12:00:00Z ");
+        out.extend_from_slice(level.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(message.as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+/// A DNA-like document over `{A, C, G, T}` consisting of a random seed
+/// segment plus many approximate repeats of it (point mutations with the
+/// given probability).  Larger `copies` and smaller `mutation_prob` make the
+/// document more compressible.
+pub fn dna_with_repeats(
+    segment_len: usize,
+    copies: usize,
+    mutation_prob: f64,
+    seed: u64,
+) -> Vec<u8> {
+    let alphabet = [b'A', b'C', b'G', b'T'];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let segment: Vec<u8> = (0..segment_len)
+        .map(|_| alphabet[rng.gen_range(0..4)])
+        .collect();
+    let mut out = Vec::with_capacity(segment_len * copies);
+    for _ in 0..copies {
+        for &base in &segment {
+            if rng.gen_bool(mutation_prob) {
+                out.push(alphabet[rng.gen_range(0..4)]);
+            } else {
+                out.push(base);
+            }
+        }
+    }
+    out
+}
+
+/// A document with *tunable repetitiveness*: it is produced block by block,
+/// and each block is either copied from an earlier position (probability
+/// `1 − novelty`) or filled with fresh random bytes over a small alphabet
+/// (probability `novelty`).  `novelty ≈ 0` gives highly compressible text
+/// (SLP size `≪ d`), `novelty = 1` gives essentially incompressible text.
+/// This is the knob for the crossover experiment E6.
+pub fn tunable_repetitiveness(
+    length: usize,
+    block_len: usize,
+    novelty: f64,
+    seed: u64,
+) -> Vec<u8> {
+    assert!(block_len > 0);
+    let alphabet = [b'a', b'b', b'c', b'd', b'e', b'f', b'g', b'h'];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<u8> = Vec::with_capacity(length + block_len);
+    // Seed block so there is always something to copy.
+    for _ in 0..block_len {
+        out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+    }
+    while out.len() < length {
+        if rng.gen_bool(novelty) {
+            for _ in 0..block_len {
+                out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+            }
+        } else {
+            let max_start = out.len() - block_len;
+            let start = rng.gen_range(0..=max_start);
+            let copy: Vec<u8> = out[start..start + block_len].to_vec();
+            out.extend_from_slice(&copy);
+        }
+    }
+    out.truncate(length);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp::compress::{Compressor, RePair};
+
+    #[test]
+    fn log_generator_is_deterministic_and_sized() {
+        let opts = LogOptions {
+            lines: 50,
+            templates: 4,
+            seed: 7,
+        };
+        let a = repetitive_log(&opts);
+        let b = repetitive_log(&opts);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().filter(|&&c| c == b'\n').count(), 50);
+        assert!(String::from_utf8_lossy(&a).contains("ERROR"));
+    }
+
+    #[test]
+    fn dna_generator_uses_the_dna_alphabet() {
+        let d = dna_with_repeats(100, 40, 0.01, 3);
+        assert_eq!(d.len(), 4000);
+        assert!(d.iter().all(|c| b"ACGT".contains(c)));
+        // Low mutation probability means the document compresses well.
+        let slp = RePair::default().compress(&d);
+        assert!(slp.size() < d.len() / 2, "size {}", slp.size());
+    }
+
+    #[test]
+    fn repetitiveness_knob_controls_compressed_size() {
+        let compressible = tunable_repetitiveness(1 << 14, 32, 0.01, 11);
+        let incompressible = tunable_repetitiveness(1 << 14, 32, 1.0, 11);
+        assert_eq!(compressible.len(), 1 << 14);
+        assert_eq!(incompressible.len(), 1 << 14);
+        let s1 = RePair::default().compress(&compressible).size();
+        let s2 = RePair::default().compress(&incompressible).size();
+        assert!(
+            s1 * 2 < s2,
+            "expected the compressible document to have a much smaller SLP ({s1} vs {s2})"
+        );
+    }
+}

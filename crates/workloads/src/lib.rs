@@ -1,0 +1,17 @@
+//! # spanner-workloads — documents and queries for the experiments
+//!
+//! Generators for the documents and spanner queries used by the benchmark
+//! suite (experiments E1–E9 in DESIGN.md) and by the examples.  The paper
+//! has no empirical section, so these workloads are designed to exercise the
+//! parameters its complexity bounds depend on: the SLP size `s`, the SLP
+//! depth, the document length `d`, the number of variables `|X|` and the
+//! result count `r` — see DESIGN.md §5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod documents;
+pub mod queries;
+
+pub use documents::{dna_with_repeats, repetitive_log, tunable_repetitiveness, LogOptions};
+pub use queries::{named_queries, NamedQuery};

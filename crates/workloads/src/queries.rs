@@ -1,0 +1,162 @@
+//! A small library of named spanner queries used across benchmarks,
+//! examples and integration tests.
+
+use spanner::examples::figure_2_spanner;
+use spanner::{regex, SpannerAutomaton};
+
+/// A named spanner query: the pattern (for documentation), its alphabet and
+/// the compiled deterministic automaton.
+pub struct NamedQuery {
+    /// A short identifier used in benchmark reports.
+    pub name: &'static str,
+    /// The variable-regex pattern (empty for hand-built automata).
+    pub pattern: &'static str,
+    /// The compiled, deterministic spanner automaton.
+    pub automaton: SpannerAutomaton<u8>,
+}
+
+impl std::fmt::Debug for NamedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NamedQuery({}, q={})", self.name, self.automaton.num_states())
+    }
+}
+
+/// The paper's Figure 2 spanner (extracts `(a|b)`-blocks as `x` or
+/// `c⁺`-blocks as `y`, each followed by another `a`/`b`).
+pub fn figure2() -> NamedQuery {
+    NamedQuery {
+        name: "figure2",
+        pattern: "(hand-built DFA of Figure 2)",
+        automaton: figure_2_spanner(),
+    }
+}
+
+/// Extracts the numeric value of every `ERROR` log line's trailing number:
+/// `x` spans the digits following "ERROR" somewhere later in the same line.
+pub fn log_error_value() -> NamedQuery {
+    let pattern = ".*ERROR[^\n]*[^0-9\n]x{[0-9]+}[^0-9\n]*\n.*";
+    NamedQuery {
+        name: "log_error_value",
+        pattern: ".*ERROR[^\\n]*[^0-9\\n]x{[0-9]+}[^0-9\\n]*\\n.*",
+        automaton: regex::compile_deterministic(pattern, LOG_ALPHABET).unwrap(),
+    }
+}
+
+/// Extracts `key=value` pairs: `k` spans a lowercase key, `v` the digits of
+/// its value.
+pub fn key_value() -> NamedQuery {
+    let pattern = ".*[^a-z]k{[a-z]+}=v{[0-9]+}[^0-9].*";
+    NamedQuery {
+        name: "key_value",
+        pattern: ".*[^a-z]k{[a-z]+}=v{[0-9]+}[^0-9].*",
+        automaton: regex::compile_deterministic(pattern, LOG_ALPHABET).unwrap(),
+    }
+}
+
+/// Extracts occurrences of the DNA motif `TATA` box-like pattern: `x` spans
+/// `TA TA` followed by at least one `A`.
+pub fn dna_tata() -> NamedQuery {
+    let pattern = ".*x{TATA+}.*";
+    NamedQuery {
+        name: "dna_tata",
+        pattern: ".*x{TATA+}.*",
+        automaton: regex::compile_deterministic(pattern, b"ACGT").unwrap(),
+    }
+}
+
+/// Extracts every `ab` occurrence over the binary alphabet; result count is
+/// easy to predict, which makes it the work-horse of the scaling benches.
+pub fn ab_blocks() -> NamedQuery {
+    NamedQuery {
+        name: "ab_blocks",
+        pattern: ".*x{ab}.*",
+        automaton: regex::compile_deterministic(".*x{ab}.*", b"ab").unwrap(),
+    }
+}
+
+/// A two-variable query over the 8-letter alphabet of
+/// [`crate::documents::tunable_repetitiveness`]: `x` spans an `a`-block and
+/// `y` the following `b`-block.
+pub fn adjacent_blocks() -> NamedQuery {
+    NamedQuery {
+        name: "adjacent_blocks",
+        pattern: ".*x{a+}y{b+}.*",
+        automaton: regex::compile_deterministic(".*x{a+}y{b+}.*", b"abcdefgh").unwrap(),
+    }
+}
+
+/// The alphabet used by the synthetic log generator (printable ASCII subset
+/// plus newline).
+pub const LOG_ALPHABET: &[u8] =
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 :=%./-{}\n";
+
+/// All named queries, for sweeps over query shape.
+pub fn named_queries() -> Vec<NamedQuery> {
+    vec![
+        figure2(),
+        ab_blocks(),
+        adjacent_blocks(),
+        key_value(),
+        dna_tata(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::documents::{repetitive_log, LogOptions};
+    use spanner::reference;
+
+    #[test]
+    fn all_queries_are_deterministic() {
+        for q in named_queries() {
+            assert!(q.automaton.is_deterministic(), "{}", q.name);
+            assert!(!q.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn key_value_finds_pairs() {
+        let q = key_value();
+        let doc = b" retry=17 ";
+        let results = reference::evaluate(&q.automaton, doc);
+        assert_eq!(results.len(), 1);
+        let t = results.iter().next().unwrap();
+        let k = q.automaton.variables().get("k").unwrap();
+        let v = q.automaton.variables().get("v").unwrap();
+        assert_eq!(t.get(k).unwrap().value(doc).unwrap(), b"retry");
+        assert_eq!(t.get(v).unwrap().value(doc).unwrap(), b"17");
+    }
+
+    #[test]
+    fn dna_tata_finds_motifs() {
+        let q = dna_tata();
+        // TATA+ matches both "TATA" and the extended "TATAA".
+        let results = reference::evaluate(&q.automaton, b"GGTATAACC");
+        assert_eq!(results.len(), 2);
+        let results = reference::evaluate(&q.automaton, b"GGTATGCC");
+        assert_eq!(results.len(), 0);
+    }
+
+    #[test]
+    fn log_error_value_runs_on_generated_logs() {
+        let q = log_error_value();
+        let doc = repetitive_log(&LogOptions {
+            lines: 12,
+            templates: 4,
+            seed: 1,
+        });
+        // The generated log contains ERROR lines with numeric fields, so the
+        // spanner is non-empty on it (checked via the compressed evaluator in
+        // the integration tests; here we only sanity-check compilation).
+        assert!(q.automaton.num_states() > 1);
+        assert!(doc.windows(5).any(|w| w == b"ERROR"));
+    }
+
+    #[test]
+    fn ab_blocks_counts_are_predictable() {
+        let q = ab_blocks();
+        let results = reference::evaluate(&q.automaton, b"abab");
+        assert_eq!(results.len(), 2);
+    }
+}

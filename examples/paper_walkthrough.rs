@@ -1,0 +1,78 @@
+//! A guided tour through the paper's running examples, printing the exact
+//! objects that appear in its figures: the SLPs of Examples 4.1/4.2
+//! (Figure 3), the spanner DFA of Figure 2, the subword-marked words of
+//! Example 3.2, and the result set whose `(M,S₀)`-tree is shown in Figure 4
+//! (Example 8.2).
+//!
+//! Run with `cargo run --release --example paper_walkthrough`.
+
+use slp_spanner::eval::SlpSpanner;
+use slp_spanner::slp::examples::{example_4_1, example_4_2, names_4_2};
+use slp_spanner::slp::{NfRule, NonTerminal};
+use slp_spanner::spanner::examples::figure_2_spanner;
+use slp_spanner::spanner::{MarkedWord, PartialMarkerSet, Marker, Variable};
+
+fn main() {
+    // ---- Example 4.1: a general SLP of size 16 for a document of size 25.
+    let s41 = example_4_1();
+    println!("Example 4.1");
+    println!("  D(S)    = {}", String::from_utf8_lossy(&s41.derive()));
+    println!("  size(S) = {}, |D(S)| = {}", s41.size(), s41.document_len());
+
+    // ---- Example 4.2 / Figure 3: the normal-form SLP for aabccaabaa.
+    let s42 = example_4_2();
+    println!("\nExample 4.2 (Figure 3)");
+    println!("  D(S)    = {}", String::from_utf8_lossy(&s42.derive()));
+    let names = ["T_a", "T_b", "T_c", "E", "D", "C", "B", "A", "S0"];
+    for (i, name) in names.iter().enumerate() {
+        let nt = NonTerminal(i as u32);
+        let rule = match s42.rule(nt) {
+            NfRule::Leaf(c) => format!("{}", c as char),
+            NfRule::Pair(l, r) => format!("{} {}", names[l.index()], names[r.index()]),
+        };
+        println!(
+            "  {name:3} -> {rule:8}   D({name}) = {}",
+            String::from_utf8_lossy(&s42.derive_from(nt))
+        );
+    }
+    println!("  depth(S) = {}", s42.depth());
+
+    // ---- Example 3.2: subword-marked words and the e(·)/p(·) translation.
+    println!("\nExample 3.2");
+    let markers = PartialMarkerSet::from_marker_positions(vec![
+        (1, Marker::Open(Variable(0))),
+        (3, Marker::Close(Variable(0))),
+        (3, Marker::Open(Variable(1))),
+        (7, Marker::Close(Variable(1))),
+        (3, Marker::Open(Variable(2))),
+        (5, Marker::Close(Variable(2))),
+    ]);
+    let w = MarkedWord::from_document_and_markers(b"abbcabac", &markers).unwrap();
+    println!("  w    = {w}");
+    println!("  e(w) = {}", String::from_utf8_lossy(w.document()));
+    println!("  p(w) = {}", w.markers());
+
+    // ---- Figure 2: the spanner DFA.
+    let m = figure_2_spanner();
+    println!("\nFigure 2 (spanner DFA, states here are paper states minus one)");
+    println!(
+        "  {} states, {} transitions, accepting: {:?}",
+        m.num_states(),
+        m.num_transitions(),
+        m.nfa().accepting_states()
+    );
+
+    // ---- Example 8.2 / Figure 4: evaluating Figure 2 on Example 4.2.
+    println!("\nExample 8.2 / Figure 4: ⟦M⟧(aabccaabaa)");
+    let spanner = SlpSpanner::new(&m, &s42).expect("example inputs are compatible");
+    let results = spanner.compute();
+    println!("  {} result tuples:", results.len());
+    for t in &results {
+        println!("    {}", t.display(m.variables()));
+    }
+    // The tuple whose (M,S0)-tree is depicted in Figure 4:
+    println!(
+        "  Figure 4's tree yields the tuple (x ↦ ⊥, y ↦ [4, 6⟩); the names refer to {}",
+        names[names_4_2::S0.index()]
+    );
+}

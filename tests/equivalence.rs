@@ -1,0 +1,116 @@
+//! Property-based integration tests: on random documents and spanners, all
+//! four compressed evaluation algorithms agree with the brute-force
+//! reference and with the decompress-and-solve baseline, for every
+//! compressor and also after rebalancing.
+
+use proptest::prelude::*;
+use slp_spanner::baseline;
+use slp_spanner::eval::{compute, enumerate::Enumerator, model_check, nonemptiness};
+use slp_spanner::slp::balance::rebalance;
+use slp_spanner::slp::compress::{Bisection, Chain, Compressor, Lz78, RePair};
+use slp_spanner::spanner::{reference, regex, SpanTuple, SpannerAutomaton};
+use std::collections::BTreeSet;
+
+/// The query pool used by the random tests (all deterministic, ≤ 2 vars).
+fn query_pool() -> Vec<SpannerAutomaton<u8>> {
+    vec![
+        slp_spanner::spanner::examples::figure_2_spanner(),
+        regex::compile_deterministic(".*x{a+}y{b+}.*", b"abc").unwrap(),
+        regex::compile_deterministic(".*x{ab}.*", b"abc").unwrap(),
+        regex::compile_deterministic("(x{a})?(a|b|c)*y{c}", b"abc").unwrap(),
+        regex::compile_deterministic("(a|b|c)*x{ab+c}(a|b|c)*", b"abc").unwrap(),
+    ]
+}
+
+fn compressor_pool() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(Bisection),
+        Box::new(RePair::default()),
+        Box::new(Lz78),
+        Box::new(Chain),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Compressed computation, enumeration, non-emptiness and the baseline
+    /// all produce exactly the reference result set.
+    #[test]
+    fn all_evaluators_agree(doc in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 1..14),
+                            query_idx in 0usize..5) {
+        let query = &query_pool()[query_idx];
+        let expected = reference::evaluate(query, &doc);
+
+        // Decompress-and-solve baseline.
+        let baseline_set: BTreeSet<SpanTuple> =
+            baseline::compute_uncompressed(query, &doc).into_iter().collect();
+        prop_assert_eq!(&baseline_set, &expected);
+
+        for compressor in compressor_pool() {
+            let slp = compressor.compress(&doc);
+
+            // Non-emptiness.
+            prop_assert_eq!(nonemptiness::is_non_empty(query, &slp), !expected.is_empty());
+
+            // Computation.
+            let computed: BTreeSet<SpanTuple> =
+                compute::compute_all(query, &slp).unwrap().into_iter().collect();
+            prop_assert_eq!(&computed, &expected, "compute/{}", compressor.name());
+
+            // Enumeration (DFA ⇒ duplicate-free).
+            let enumerated: Vec<SpanTuple> =
+                Enumerator::new(query, &slp).unwrap().iter().collect();
+            prop_assert_eq!(enumerated.len(), expected.len(), "enum len/{}", compressor.name());
+            let enumerated: BTreeSet<SpanTuple> = enumerated.into_iter().collect();
+            prop_assert_eq!(&enumerated, &expected, "enumerate/{}", compressor.name());
+
+            // Rebalancing must not change any answer.
+            let balanced = rebalance(&slp);
+            let rebalanced: BTreeSet<SpanTuple> =
+                compute::compute_all(query, &balanced).unwrap().into_iter().collect();
+            prop_assert_eq!(&rebalanced, &expected, "rebalanced/{}", compressor.name());
+        }
+    }
+
+    /// Model checking agrees with membership of the tuple in the reference
+    /// result set, for result tuples and for perturbed non-results alike.
+    #[test]
+    fn model_checking_agrees_pointwise(doc in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 1..12),
+                                       query_idx in 0usize..5,
+                                       start in 1u64..12,
+                                       len in 0u64..6) {
+        let query = &query_pool()[query_idx];
+        let expected = reference::evaluate(query, &doc);
+        let slp = Bisection.compress(&doc);
+
+        // Every reference result model-checks positively.
+        for t in &expected {
+            prop_assert!(model_check::check(query, &slp, t).unwrap());
+        }
+
+        // A candidate single-variable tuple agrees with reference membership.
+        let d = doc.len() as u64;
+        if query.num_vars() >= 1 && start <= d + 1 && start + len <= d + 1 {
+            let mut candidate = SpanTuple::empty(query.num_vars());
+            candidate.set(slp_spanner::spanner::Variable(0),
+                          slp_spanner::spanner::Span::new(start, start + len).unwrap());
+            let verdict = model_check::check(query, &slp, &candidate).unwrap();
+            prop_assert_eq!(verdict, expected.contains(&candidate));
+        }
+    }
+
+    /// The compressed membership substrate (Lemma 4.5) agrees with direct
+    /// NFA simulation on random documents.
+    #[test]
+    fn membership_substrate_agrees(doc in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b')], 1..40),
+                                   seed in 0u64..50,
+                                   q in 2usize..10) {
+        let nfa = spanner_bench::random_byte_nfa(q, seed);
+        let slp = RePair::default().compress(&doc);
+        prop_assert_eq!(
+            slp_spanner::automata::compressed_membership(&nfa, &slp),
+            nfa.accepts(&doc)
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Integration tests that pin the public API to the paper's own examples
+//! (Examples 3.2, 4.1, 4.2, 6.1, 8.2 and Figures 2–4).
+
+use slp_spanner::eval::SlpSpanner;
+use slp_spanner::prelude::*;
+use slp_spanner::slp::examples::{example_4_1, example_4_2};
+use slp_spanner::spanner::examples::figure_2_spanner;
+use slp_spanner::spanner::reference;
+use std::collections::BTreeSet;
+
+#[test]
+fn example_4_1_and_4_2_derive_the_paper_documents() {
+    assert_eq!(example_4_1().derive(), b"baababaabbabaababaabbaabb".to_vec());
+    assert_eq!(example_4_2().derive(), b"aabccaabaa".to_vec());
+    assert_eq!(example_4_1().size(), 16);
+}
+
+#[test]
+fn figure_2_on_example_4_2_all_tasks_agree() {
+    let m = figure_2_spanner();
+    let slp = example_4_2();
+    let doc = slp.derive();
+    let spanner = SlpSpanner::new(&m, &slp).expect("compatible");
+
+    // Ground truth by brute force on the 10-symbol document.
+    let expected = reference::evaluate(&m, &doc);
+    assert!(!expected.is_empty());
+
+    // Non-emptiness (Theorem 5.1(1)).
+    assert!(spanner.is_non_empty());
+
+    // Model checking (Theorem 5.1(2)) agrees tuple by tuple.
+    for t in &expected {
+        assert!(spanner.check(t).unwrap(), "missing {t:?}");
+    }
+
+    // Computation (Theorem 7.1).
+    let computed: BTreeSet<SpanTuple> = spanner.compute().into_iter().collect();
+    assert_eq!(computed, expected);
+
+    // Enumeration (Theorem 8.10): same set, no duplicates.
+    let enumerated: Vec<SpanTuple> = spanner.enumerate().collect();
+    assert_eq!(enumerated.len(), expected.len());
+    assert_eq!(enumerated.into_iter().collect::<BTreeSet<_>>(), expected);
+}
+
+#[test]
+fn example_8_2_result_is_present_and_described_correctly() {
+    // The (M,S₀)-tree of Figure 4 yields Λ = {(⊿y,4),(◁y,6)}, i.e. the tuple
+    // t(x) = ⊥, t(y) = [4,6⟩, and m(D, Λ) = aab ⊿y cc ◁y aabaa.
+    let m = figure_2_spanner();
+    let slp = example_4_2();
+    let spanner = SlpSpanner::new(&m, &slp).expect("compatible");
+    let y = m.variables().get("y").unwrap();
+    let mut t = SpanTuple::empty(2);
+    t.set(y, Span::new(4, 6).unwrap());
+    assert!(spanner.check(&t).unwrap());
+    assert!(spanner.compute().contains(&t));
+    // The y-span's value in the document is "cc".
+    assert_eq!(t.get(y).unwrap().value(&slp.derive()).unwrap(), b"cc");
+}
+
+#[test]
+fn section_1_4_partial_decompression_example() {
+    // Section 1.4 discusses the tuple corresponding to aabcca ⊿x aba ◁x a:
+    // x = [7, 10⟩ in aabccaabaa.
+    let m = figure_2_spanner();
+    let slp = example_4_2();
+    let spanner = SlpSpanner::new(&m, &slp).expect("compatible");
+    let x = m.variables().get("x").unwrap();
+    let mut t = SpanTuple::empty(2);
+    t.set(x, Span::new(7, 10).unwrap());
+    assert!(spanner.check(&t).unwrap());
+    assert_eq!(t.get(x).unwrap().value(b"aabccaabaa").unwrap(), b"aba");
+}
+
+#[test]
+fn theorem_5_1_works_on_documents_too_large_to_decompress() {
+    // a^(2^40) ≈ 10^12 symbols: decompression is out of the question, but
+    // the compressed algorithms answer instantly from the 41-rule SLP.
+    let slp = slp_spanner::slp::families::power_of_two_unary(b'a', 40);
+    let m = figure_2_spanner();
+    assert!(slp_spanner::eval::nonemptiness::is_non_empty(&m, &slp));
+
+    let x = m.variables().get("x").unwrap();
+    let mut deep_tuple = SpanTuple::empty(2);
+    deep_tuple.set(x, Span::new(1 << 39, (1 << 39) + 5).unwrap());
+    assert!(slp_spanner::eval::model_check::check(&m, &slp, &deep_tuple).unwrap());
+}
