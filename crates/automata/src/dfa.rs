@@ -74,7 +74,9 @@ impl<A: Copy + Eq + Hash + Ord + Debug> Dfa<A> {
 
     /// The accepting states.
     pub fn accepting_states(&self) -> Vec<StateId> {
-        (0..self.num_states()).filter(|&s| self.accepting[s]).collect()
+        (0..self.num_states())
+            .filter(|&s| self.accepting[s])
+            .collect()
     }
 
     /// Adds (or overwrites) the transition `p --x--> q`.
@@ -215,9 +217,9 @@ impl<A: Copy + Eq + Hash + Ord + Debug> Dfa<A> {
         for (p, a, q) in dfa.arcs() {
             out.add_transition(class[p], a, class[q]);
         }
-        for s in 0..n {
+        for (s, &c) in class.iter().enumerate().take(n) {
             if dfa.accepting[s] {
-                out.set_accepting(class[s], true);
+                out.set_accepting(c, true);
             }
         }
         out
@@ -259,8 +261,8 @@ mod tests {
     #[test]
     fn completeness_check() {
         let d = abb_dfa();
-        assert!(d.is_complete_for(&[b'a', b'b']));
-        assert!(!d.is_complete_for(&[b'a', b'b', b'c']));
+        assert!(d.is_complete_for(b"ab"));
+        assert!(!d.is_complete_for(b"abc"));
     }
 
     #[test]

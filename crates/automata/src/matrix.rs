@@ -74,8 +74,8 @@ impl BoolMatrix {
                     let bit = w.trailing_zeros() as usize;
                     w &= w - 1;
                     let k_state = k * 64 + bit;
-                    let other_row =
-                        &other.bits[k_state * other.words_per_row..(k_state + 1) * other.words_per_row];
+                    let other_row = &other.bits
+                        [k_state * other.words_per_row..(k_state + 1) * other.words_per_row];
                     for (j, &ow) in other_row.iter().enumerate() {
                         out.bits[out_row + j] |= ow;
                     }

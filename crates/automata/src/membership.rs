@@ -22,10 +22,7 @@ use std::collections::HashMap;
 /// (a *leading* ε-closure is already folded in; apply
 /// [`accepts_from_matrices`] for the acceptance check, which also accounts
 /// for the trailing closure and the empty-word corner case).
-pub fn transition_matrices<T: Terminal>(
-    nfa: &Nfa<T>,
-    slp: &NormalFormSlp<T>,
-) -> Vec<BoolMatrix> {
+pub fn transition_matrices<T: Terminal>(nfa: &Nfa<T>, slp: &NormalFormSlp<T>) -> Vec<BoolMatrix> {
     let q = nfa.num_states();
     // ε-closure matrix C (reflexive-transitive closure of ε-arcs).
     let mut eps = BoolMatrix::zero(q);

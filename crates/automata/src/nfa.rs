@@ -99,7 +99,9 @@ impl<A: Copy + Eq + Hash + Ord + Debug> Nfa<A> {
 
     /// The set of accepting states `F`.
     pub fn accepting_states(&self) -> Vec<StateId> {
-        (0..self.num_states()).filter(|&s| self.accepting[s]).collect()
+        (0..self.num_states())
+            .filter(|&s| self.accepting[s])
+            .collect()
     }
 
     /// Adds the transition `p --x--> q`.

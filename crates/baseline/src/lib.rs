@@ -42,10 +42,7 @@ pub fn check_uncompressed(
 }
 
 /// Computes the whole relation `⟦M⟧(D)` on an explicit document.
-pub fn compute_uncompressed(
-    automaton: &SpannerAutomaton<u8>,
-    document: &[u8],
-) -> Vec<SpanTuple> {
+pub fn compute_uncompressed(automaton: &SpannerAutomaton<u8>, document: &[u8]) -> Vec<SpanTuple> {
     ProductDag::build(automaton, document).enumerate().collect()
 }
 
@@ -95,8 +92,11 @@ mod tests {
 
     #[test]
     fn baseline_matches_reference_for_regex_spanners() {
-        let patterns: Vec<(&str, &[u8])> =
-            vec![(".*x{a+}y{b+}.*", b"ab"), ("(x{a})?b*y{b}", b"ab"), (".*x{ab}.*", b"ab")];
+        let patterns: Vec<(&str, &[u8])> = vec![
+            (".*x{a+}y{b+}.*", b"ab"),
+            ("(x{a})?b*y{b}", b"ab"),
+            (".*x{ab}.*", b"ab"),
+        ];
         for (pattern, alphabet) in patterns {
             let m = regex::compile(pattern, alphabet).unwrap();
             for doc in [&b"ab"[..], b"aabb", b"bbaa", b"abab"] {
@@ -112,7 +112,10 @@ mod tests {
         let m = figure_2_spanner();
         let doc = b"aabccaabaa";
         let slp = Bisection.compress(doc);
-        assert_eq!(is_non_empty_slp(&m, &slp), is_non_empty_uncompressed(&m, doc));
+        assert_eq!(
+            is_non_empty_slp(&m, &slp),
+            is_non_empty_uncompressed(&m, doc)
+        );
         assert_eq!(
             compute_slp(&m, &slp).len(),
             compute_uncompressed(&m, doc).len()

@@ -63,8 +63,7 @@ impl ProductDag {
         // Forward reachability over layers.
         let mut reachable = vec![false; (d + 1) * q];
         reachable[node(0, nfa.start())] = true;
-        for i in 0..d {
-            let b = document[i];
+        for (i, &b) in document.iter().enumerate() {
             for p in 0..q {
                 if !reachable[node(i, p)] {
                     continue;
@@ -119,8 +118,7 @@ impl ProductDag {
 
         // Materialise edges between useful nodes only.
         let mut edges: Vec<Vec<(MarkerSet, usize)>> = vec![Vec::new(); (d + 1) * q + 1];
-        for i in 0..d {
-            let b = document[i];
+        for (i, &b) in document.iter().enumerate() {
             for p in 0..q {
                 let from = node(i, p);
                 if !useful(from) {
@@ -289,8 +287,7 @@ mod tests {
     #[test]
     fn live_node_count_is_linear_in_the_document() {
         let m = figure_2_spanner();
-        let doc: Vec<u8> = std::iter::repeat(b"aabcc".iter().copied())
-            .take(100)
+        let doc: Vec<u8> = std::iter::repeat_n(b"aabcc".iter().copied(), 100)
             .flatten()
             .collect();
         let dag = ProductDag::build(&m, &doc);

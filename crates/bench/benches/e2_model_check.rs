@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
     let x = query.variables().get("x").expect("variable x");
     for case in ab_family(&[1 << 8, 1 << 12, 1 << 16, 1 << 20]) {
         // A tuple in the middle of the document.
-        let mid = case.doc_len() / 2 | 1; // odd position = start of an "ab"
+        let mid = (case.doc_len() / 2) | 1; // odd position = start of an "ab"
         let mut tuple = SpanTuple::empty(1);
         tuple.set(x, Span::new(mid, mid + 2).expect("valid span"));
         g.bench_with_input(

@@ -33,9 +33,7 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("baseline/decompress-and-solve", &label),
             &(doc, slp.clone()),
-            |b, (_doc, slp)| {
-                b.iter(|| spanner_baseline::compute_slp(&query, slp).len())
-            },
+            |b, (_doc, slp)| b.iter(|| spanner_baseline::compute_slp(&query, slp).len()),
         );
     }
     g.finish();

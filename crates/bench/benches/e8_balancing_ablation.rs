@@ -19,8 +19,7 @@ fn bench(c: &mut Criterion) {
 
     let query = queries::ab_blocks().automaton;
     for exp in [10u32, 12, 14] {
-        let doc: Vec<u8> = std::iter::repeat(b"ab".iter().copied())
-            .take(1 << exp)
+        let doc: Vec<u8> = std::iter::repeat_n(b"ab".iter().copied(), 1 << exp)
             .flatten()
             .collect();
         let chain = Chain.compress(&doc);

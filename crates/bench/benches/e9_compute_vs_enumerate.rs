@@ -20,7 +20,13 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("compute", case.name.clone()),
             &case,
-            |b, case| b.iter(|| compute_all(&query, &case.slp).expect("evaluation succeeds").len()),
+            |b, case| {
+                b.iter(|| {
+                    compute_all(&query, &case.slp)
+                        .expect("evaluation succeeds")
+                        .len()
+                })
+            },
         );
         g.bench_with_input(
             BenchmarkId::new("enumerate-and-collect", case.name.clone()),

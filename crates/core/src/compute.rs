@@ -10,7 +10,7 @@
 //! are merges and the `⊗` products stay sorted (appendix D).
 
 use crate::error::EvalError;
-use crate::matrices::REntry;
+use crate::matrices::{Preprocessed, REntry};
 use crate::prepared::PreparedEvaluation;
 use slp::NormalFormSlp;
 use spanner::{PartialMarkerSet, SpanTuple, SpannerAutomaton};
@@ -30,7 +30,12 @@ pub fn compute_all(
 
 /// Computes `⟦M⟧(D)` from an existing [`PreparedEvaluation`].
 pub fn compute_from_prepared(prepared: &PreparedEvaluation) -> Vec<SpanTuple> {
-    let pre = &prepared.pre;
+    compute_from_matrices(&prepared.pre)
+}
+
+/// Computes `⟦M⟧(D)` directly from the preprocessed matrices of a
+/// (query, document) pair — the engine-facing entry point.
+pub fn compute_from_matrices(pre: &Preprocessed) -> Vec<SpanTuple> {
     let start_nt = pre.start_nt;
     let q0 = pre.nfa_start;
     let final_states = pre.reachable_accepting();
@@ -101,7 +106,7 @@ pub fn compute_from_prepared(prepared: &PreparedEvaluation) -> Vec<SpanTuple> {
     merge_sorted(roots)
         .into_iter()
         .map(|markers| {
-            SpanTuple::from_marker_set(&markers, prepared.num_vars)
+            SpanTuple::from_marker_set(&markers, pre.num_vars)
                 .expect("accepted subword-marked words encode valid span-tuples")
         })
         .collect()
@@ -216,7 +221,11 @@ mod tests {
         let blocks = regex::compile(".*x{a+}y{b+}.*", b"abc").unwrap();
         let optional = regex::compile("(x{a})?(b|c)*y{c}", b"abc").unwrap();
         let docs: Vec<&[u8]> = vec![b"a", b"c", b"ab", b"abc", b"aabbcc", b"cabcab", b"bca"];
-        for (name, m) in [("figure2", &figure2), ("blocks", &blocks), ("optional", &optional)] {
+        for (name, m) in [
+            ("figure2", &figure2),
+            ("blocks", &blocks),
+            ("optional", &optional),
+        ] {
             for doc in &docs {
                 let expected = reference::evaluate(m, doc);
                 let got = compute_set(m, doc, &Bisection);

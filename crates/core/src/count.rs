@@ -19,7 +19,7 @@
 //! `(d²/2 + 2)^|X|`).
 
 use crate::error::EvalError;
-use crate::matrices::REntry;
+use crate::matrices::{Preprocessed, REntry};
 use crate::prepared::PreparedEvaluation;
 use slp::NormalFormSlp;
 use spanner::SpannerAutomaton;
@@ -35,7 +35,7 @@ pub fn count_results(
     document: &NormalFormSlp<u8>,
 ) -> Result<u128, EvalError> {
     let prepared = PreparedEvaluation::new(automaton, document)?;
-    if !prepared.deterministic {
+    if !prepared.deterministic() {
         return Err(EvalError::NondeterministicAutomaton);
     }
     Ok(count_from_prepared(&prepared))
@@ -43,7 +43,14 @@ pub fn count_results(
 
 /// Counts `|⟦M⟧(D)|` from an existing (deterministic) prepared evaluation.
 pub fn count_from_prepared(prepared: &PreparedEvaluation) -> u128 {
-    let pre = &prepared.pre;
+    count_from_matrices(&prepared.pre)
+}
+
+/// Counts `|⟦M⟧(D)|` directly from the preprocessed matrices of a
+/// (query, document) pair — the engine-facing entry point.  The matrices
+/// must have been built from a deterministic automaton for the count to be
+/// duplicate-free.
+pub fn count_from_matrices(pre: &Preprocessed) -> u128 {
     let q = pre.q;
     let n = pre.children.len();
     // cnt[a][i*q + j] = |M_A[i, j]|, computed bottom-up for every entry

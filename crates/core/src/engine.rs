@@ -1,0 +1,518 @@
+//! The two-stage evaluation engine: query-side preparation × document-side
+//! preparation, with an [`Engine`] pool for serving many queries over many
+//! documents.
+//!
+//! The `O(|M| + size(S)·q³)` preprocessing of Lemma 6.5 factors cleanly into
+//! two independent halves plus one pair-dependent product:
+//!
+//! 1. **[`PreparedQuery`]** — automaton-only work (ε-removal, optional
+//!    determinisation, the end-of-document transformation of Section 6.1).
+//!    Depends on `M` alone, so it is done **once per query** and reused
+//!    across every document.
+//! 2. **[`PreparedDocument`]** — SLP-only work (extending the terminal
+//!    alphabet and appending the `#` sentinel, `D ↦ D·#`).  Depends on `S`
+//!    alone, so it is done **once per document** and reused across every
+//!    query.  The pair-dependent matrices `R_A` / `M_{T_x}` of
+//!    [`Preprocessed`] are built on first use of a (query, document) pair
+//!    and cached here, keyed by the query's unique token.
+//! 3. **[`Engine`]** — owns a pool of prepared queries and documents and
+//!    exposes [`Engine::evaluate`] / [`Engine::evaluate_batch`] over the
+//!    cross-product.  Repeated evaluation of the same pair touches only the
+//!    cache.
+//!
+//! ```
+//! use slp::families;
+//! use spanner::regex;
+//! use spanner_slp_core::engine::Engine;
+//!
+//! let mut engine = Engine::new();
+//! let q = engine.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+//! let d1 = engine.add_document(&families::power_word(b"ab", 100));
+//! let d2 = engine.add_document(&families::power_word(b"ab", 1000));
+//! assert_eq!(engine.evaluate(q, d1).count(), 100);
+//! assert_eq!(engine.evaluate(q, d2).count(), 1000);
+//! // The automaton-side transformation ran once; the matrices were built
+//! // once per document and are now cached.
+//! assert!(engine.evaluate(q, d2).is_non_empty());
+//! ```
+
+use crate::error::EvalError;
+use crate::matrices::Preprocessed;
+use crate::prepared::{end_transform, EByte};
+use crate::{compute, count, enumerate, model_check};
+use slp::NormalFormSlp;
+use spanner::{MarkedSymbol, SpanTuple, SpannerAutomaton};
+use spanner_automata::nfa::Nfa;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Source of unique tokens identifying prepared queries in document-side
+/// matrix caches.
+static NEXT_QUERY_TOKEN: AtomicU64 = AtomicU64::new(0);
+
+/// The query-side half of the preprocessing: everything that depends only on
+/// the automaton `M`.
+///
+/// Construction performs ε-removal (if needed), optional determinisation and
+/// the end-of-document transformation `L(M') = L(M)·#` exactly once; the
+/// result is reused across every document the query is evaluated on.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    token: u64,
+    /// ε-free automaton over `Σ ∪ P(Γ_X)` (determinised iff constructed via
+    /// [`PreparedQuery::determinized`] or already deterministic).
+    automaton: SpannerAutomaton<u8>,
+    /// The end-transformed automaton over `Σ∪{#} ∪ P(Γ_X)`.
+    nfa: Nfa<MarkedSymbol<EByte>>,
+    deterministic: bool,
+}
+
+impl PreparedQuery {
+    /// Prepares a query without determinising: ε-transitions are removed,
+    /// then the end-of-document transformation is applied.  Suitable for
+    /// [`compute`](crate::compute) (duplicate-elimination is built in); use
+    /// [`PreparedQuery::determinized`] for duplicate-free enumeration and
+    /// counting.
+    pub fn new(automaton: &SpannerAutomaton<u8>) -> Self {
+        let automaton = if automaton.nfa().has_epsilon() {
+            automaton.without_epsilon()
+        } else {
+            automaton.clone()
+        };
+        Self::from_epsilon_free(automaton)
+    }
+
+    /// Prepares a query for the full task suite: non-deterministic automata
+    /// are determinised first (this affects combined complexity only; see
+    /// the end of Section 8 of the paper).
+    pub fn determinized(automaton: &SpannerAutomaton<u8>) -> Self {
+        let automaton = if automaton.is_deterministic() {
+            automaton.clone()
+        } else {
+            automaton.without_epsilon().determinized()
+        };
+        Self::from_epsilon_free(automaton)
+    }
+
+    fn from_epsilon_free(automaton: SpannerAutomaton<u8>) -> Self {
+        let deterministic = automaton.is_deterministic();
+        let nfa = end_transform(automaton.nfa());
+        PreparedQuery {
+            token: NEXT_QUERY_TOKEN.fetch_add(1, Ordering::Relaxed),
+            automaton,
+            nfa,
+            deterministic,
+        }
+    }
+
+    /// The unique token identifying this prepared query in document-side
+    /// matrix caches.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// The ε-free (and possibly determinised) automaton over `Σ ∪ P(Γ_X)`.
+    pub fn automaton(&self) -> &SpannerAutomaton<u8> {
+        &self.automaton
+    }
+
+    /// The end-transformed, ε-free automaton the matrices are built against.
+    pub fn nfa(&self) -> &Nfa<MarkedSymbol<EByte>> {
+        &self.nfa
+    }
+
+    /// Number of span variables `|X|`.
+    pub fn num_vars(&self) -> usize {
+        self.automaton.num_vars()
+    }
+
+    /// `true` if the prepared automaton is deterministic — the precondition
+    /// of duplicate-free enumeration (Lemma 8.8) and of counting.
+    pub fn is_deterministic(&self) -> bool {
+        self.deterministic
+    }
+}
+
+/// The document-side half of the preprocessing: everything that depends only
+/// on the SLP `S`, plus a cache of the pair-dependent matrices keyed by
+/// query token.
+#[derive(Debug, Clone)]
+pub struct PreparedDocument {
+    original: NormalFormSlp<u8>,
+    /// The SLP for `D·#` over the extended alphabet.
+    ended: NormalFormSlp<EByte>,
+    /// `R_A` / `M_{T_x}` matrices per prepared query (Lemma 6.5).
+    matrices: HashMap<u64, Arc<Preprocessed>>,
+}
+
+impl PreparedDocument {
+    /// Prepares a document: extends the terminal alphabet by the sentinel
+    /// and appends it (`D ↦ D·#`, Section 6.1).  Done once per document and
+    /// reused across every query.
+    pub fn new(document: &NormalFormSlp<u8>) -> Self {
+        PreparedDocument {
+            original: document.clone(),
+            ended: document
+                .map_terminals(EByte::Byte)
+                .append_terminal(EByte::End),
+            matrices: HashMap::new(),
+        }
+    }
+
+    /// The original SLP for `D`.
+    pub fn original(&self) -> &NormalFormSlp<u8> {
+        &self.original
+    }
+
+    /// The SLP for `D·#`.
+    pub fn ended(&self) -> &NormalFormSlp<EByte> {
+        &self.ended
+    }
+
+    /// Length of the (original) document `|D|`.
+    pub fn document_len(&self) -> u64 {
+        self.original.document_len()
+    }
+
+    /// The matrices of Lemma 6.5 for this document and the given query,
+    /// built on first use (`O(|M| + size(S)·q³)`) and cached thereafter.
+    pub fn matrices(&mut self, query: &PreparedQuery) -> Arc<Preprocessed> {
+        self.matrices
+            .entry(query.token())
+            .or_insert_with(|| {
+                Arc::new(Preprocessed::build(
+                    query.nfa(),
+                    &self.ended,
+                    query.num_vars(),
+                ))
+            })
+            .clone()
+    }
+
+    /// The matrices for `query` if they are already cached.
+    pub fn cached_matrices(&self, query: &PreparedQuery) -> Option<Arc<Preprocessed>> {
+        self.matrices.get(&query.token()).cloned()
+    }
+
+    /// Number of queries whose matrices are currently cached.
+    pub fn cached_query_count(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// Drops all cached matrices (e.g. to bound memory in a long-running
+    /// pool).
+    pub fn clear_cache(&mut self) {
+        self.matrices.clear();
+    }
+}
+
+/// Identifier of a query registered in an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId(usize);
+
+/// Identifier of a document registered in an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DocumentId(usize);
+
+/// A pool of prepared queries and prepared documents with evaluation entry
+/// points over their cross-product.
+///
+/// Queries are determinised on registration (so every task, including
+/// duplicate-free enumeration and counting, is available); documents are
+/// end-transformed on registration.  The expensive pair-dependent matrices
+/// are built lazily on first evaluation of a pair and cached on the
+/// document.
+#[derive(Debug, Default)]
+pub struct Engine {
+    queries: Vec<PreparedQuery>,
+    documents: Vec<PreparedDocument>,
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Registers a query, performing the automaton-side preparation
+    /// (ε-removal, determinisation, end-transformation) exactly once.
+    pub fn add_query(&mut self, automaton: &SpannerAutomaton<u8>) -> QueryId {
+        self.queries.push(PreparedQuery::determinized(automaton));
+        QueryId(self.queries.len() - 1)
+    }
+
+    /// Registers an already prepared query.
+    ///
+    /// The engine guarantees every pooled query is deterministic (so
+    /// [`Evaluation::count`] and [`Evaluation::enumerate`] are
+    /// duplicate-free); a query prepared with the non-determinising
+    /// [`PreparedQuery::new`] is upgraded here via its ε-free automaton.
+    pub fn add_prepared_query(&mut self, query: PreparedQuery) -> QueryId {
+        let query = if query.is_deterministic() {
+            query
+        } else {
+            PreparedQuery::determinized(query.automaton())
+        };
+        self.queries.push(query);
+        QueryId(self.queries.len() - 1)
+    }
+
+    /// Registers a document, performing the document-side preparation
+    /// (`D ↦ D·#`) exactly once.
+    pub fn add_document(&mut self, document: &NormalFormSlp<u8>) -> DocumentId {
+        self.documents.push(PreparedDocument::new(document));
+        DocumentId(self.documents.len() - 1)
+    }
+
+    /// Registers an already prepared document.
+    pub fn add_prepared_document(&mut self, document: PreparedDocument) -> DocumentId {
+        self.documents.push(document);
+        DocumentId(self.documents.len() - 1)
+    }
+
+    /// The prepared query behind an id.
+    pub fn query(&self, q: QueryId) -> &PreparedQuery {
+        &self.queries[q.0]
+    }
+
+    /// The prepared document behind an id.
+    pub fn document(&self, d: DocumentId) -> &PreparedDocument {
+        &self.documents[d.0]
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of registered documents.
+    pub fn num_documents(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Binds a (query, document) pair for evaluation, building (or fetching
+    /// from cache) the pair's matrices.  The returned [`Evaluation`] answers
+    /// all tasks of the paper without further preprocessing.
+    pub fn evaluate(&mut self, q: QueryId, d: DocumentId) -> Evaluation<'_> {
+        let query = &self.queries[q.0];
+        let document = &mut self.documents[d.0];
+        let pre = document.matrices(query);
+        Evaluation {
+            query,
+            document: &self.documents[d.0],
+            pre,
+        }
+    }
+
+    /// Computes `⟦M⟧(D)` for every pair in `pairs`.
+    ///
+    /// Query- and document-side preparations are shared across the batch;
+    /// with the `parallel` feature the per-pair computations run on all
+    /// cores once the (cached, deduplicated) matrices are in place.
+    pub fn evaluate_batch(&mut self, pairs: &[(QueryId, DocumentId)]) -> Vec<Vec<SpanTuple>> {
+        // Sequential phase: make sure every pair's matrices are cached
+        // (deduplicated by the per-document cache).
+        let prepared: Vec<Arc<Preprocessed>> = pairs
+            .iter()
+            .map(|&(q, d)| {
+                let query = &self.queries[q.0];
+                self.documents[d.0].matrices(query)
+            })
+            .collect();
+        // Parallel phase: the pure computations over the shared matrices.
+        #[cfg(feature = "parallel")]
+        {
+            rayon::par_map(&prepared, |pre| compute::compute_from_matrices(pre))
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            prepared
+                .iter()
+                .map(|pre| compute::compute_from_matrices(pre))
+                .collect()
+        }
+    }
+}
+
+/// A (query, document) pair bound for evaluation: all four tasks of the
+/// paper, answered from the shared preprocessing without repeating it.
+#[derive(Debug)]
+pub struct Evaluation<'e> {
+    query: &'e PreparedQuery,
+    document: &'e PreparedDocument,
+    pre: Arc<Preprocessed>,
+}
+
+impl Evaluation<'_> {
+    /// The prepared query of this pair.
+    pub fn query(&self) -> &PreparedQuery {
+        self.query
+    }
+
+    /// The prepared document of this pair.
+    pub fn document(&self) -> &PreparedDocument {
+        self.document
+    }
+
+    /// The pair's matrices (Lemma 6.5).
+    pub fn matrices(&self) -> &Preprocessed {
+        &self.pre
+    }
+
+    /// Non-emptiness `⟦M⟧(D) ≠ ∅` — `O(|F|)` after preprocessing, by
+    /// Lemma 6.3: the relation is the union of the root matrix entries
+    /// `M_{S₀}[q₀, j]` over accepting `j`, which are non-empty exactly for
+    /// the entries with `R_{S₀}[q₀, j] ≠ ⊥`.
+    pub fn is_non_empty(&self) -> bool {
+        !self.pre.reachable_accepting().is_empty()
+    }
+
+    /// Model checking `t ∈ ⟦M⟧(D)` (Theorem 5.1(2)).
+    pub fn check(&self, tuple: &SpanTuple) -> Result<bool, EvalError> {
+        model_check::check(self.query.automaton(), self.document.original(), tuple)
+    }
+
+    /// Computes the whole relation `⟦M⟧(D)` (Theorem 7.1).
+    pub fn compute(&self) -> Vec<SpanTuple> {
+        compute::compute_from_matrices(&self.pre)
+    }
+
+    /// Enumerates `⟦M⟧(D)` with `O(depth(S)·|X|)` delay (Theorem 8.10).
+    pub fn enumerate(&self) -> enumerate::Enumeration<'_> {
+        enumerate::Enumeration::from_matrices(&self.pre)
+    }
+
+    /// Counts `|⟦M⟧(D)|` in `O(size(S)·q³)` without enumerating.
+    pub fn count(&self) -> u128 {
+        count::count_from_matrices(&self.pre)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SlpSpanner;
+    use slp::compress::{Bisection, Compressor};
+    use slp::families;
+    use spanner::examples::figure_2_spanner;
+    use spanner::regex;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn engine_matches_fresh_slp_spanner_per_pair() {
+        let mut engine = Engine::new();
+        let queries = [
+            figure_2_spanner(),
+            regex::compile(".*x{ab}.*", b"abc").unwrap(),
+        ];
+        let docs = [
+            Bisection.compress(b"aabccaabaa"),
+            Bisection.compress(b"ababab"),
+            families::power_word(b"ab", 64),
+        ];
+        let qids: Vec<QueryId> = queries.iter().map(|m| engine.add_query(m)).collect();
+        let dids: Vec<DocumentId> = docs.iter().map(|d| engine.add_document(d)).collect();
+        for (m, &q) in queries.iter().zip(&qids) {
+            for (slp, &d) in docs.iter().zip(&dids) {
+                let fresh = SlpSpanner::new(m, slp).unwrap();
+                let eval = engine.evaluate(q, d);
+                assert_eq!(eval.is_non_empty(), fresh.is_non_empty());
+                assert_eq!(eval.count(), fresh.count() as u128);
+                let a: BTreeSet<SpanTuple> = eval.compute().into_iter().collect();
+                let b: BTreeSet<SpanTuple> = fresh.compute().into_iter().collect();
+                assert_eq!(a, b);
+                let e: BTreeSet<SpanTuple> = eval.enumerate().collect();
+                assert_eq!(e, a);
+            }
+        }
+    }
+
+    #[test]
+    fn matrices_are_cached_per_pair() {
+        let mut engine = Engine::new();
+        let q1 = engine.add_query(&figure_2_spanner());
+        let q2 = engine.add_query(&regex::compile(".*x{ab}.*", b"abc").unwrap());
+        let d = engine.add_document(&Bisection.compress(b"aabccaabaa"));
+        assert_eq!(engine.document(d).cached_query_count(), 0);
+        engine.evaluate(q1, d);
+        assert_eq!(engine.document(d).cached_query_count(), 1);
+        // Same pair again: cache hit, no growth.
+        engine.evaluate(q1, d);
+        assert_eq!(engine.document(d).cached_query_count(), 1);
+        engine.evaluate(q2, d);
+        assert_eq!(engine.document(d).cached_query_count(), 2);
+        // The cached Arc is the same allocation on repeated use.
+        let a = engine
+            .document(d)
+            .cached_matrices(engine.query(q1))
+            .unwrap();
+        let b = engine.evaluate(q1, d).pre.clone();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn evaluate_batch_covers_the_cross_product() {
+        let mut engine = Engine::new();
+        let q = engine.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+        let dids: Vec<DocumentId> = [8u64, 32, 128]
+            .iter()
+            .map(|&k| engine.add_document(&families::power_word(b"ab", k)))
+            .collect();
+        let pairs: Vec<(QueryId, DocumentId)> = dids.iter().map(|&d| (q, d)).collect();
+        let results = engine.evaluate_batch(&pairs);
+        assert_eq!(results.len(), 3);
+        for (result, &k) in results.iter().zip(&[8usize, 32, 128]) {
+            assert_eq!(result.len(), k);
+        }
+    }
+
+    #[test]
+    fn prepared_document_is_query_independent() {
+        let doc = Bisection.compress(b"aabccaabaa");
+        let prepared = PreparedDocument::new(&doc);
+        assert_eq!(prepared.document_len(), 10);
+        assert_eq!(prepared.ended().document_len(), 11);
+        assert!(prepared.ended().terminals().contains(&EByte::End));
+        assert_eq!(prepared.original().derive(), doc.derive());
+    }
+
+    #[test]
+    fn add_prepared_query_upgrades_nondeterministic_queries() {
+        // The engine's count()/enumerate() rely on determinism; a query
+        // prepared with the non-determinising constructor is upgraded on
+        // registration so results stay duplicate-free.
+        let nondet = regex::compile(".*x{a.*}.*", b"ab").unwrap();
+        assert!(!nondet.is_deterministic());
+        let mut engine = Engine::new();
+        let q = engine.add_prepared_query(PreparedQuery::new(&nondet));
+        assert!(engine.query(q).is_deterministic());
+        let d = engine.add_document(&Bisection.compress(b"abab"));
+        let eval = engine.evaluate(q, d);
+        let computed = eval.compute();
+        assert_eq!(eval.count(), computed.len() as u128);
+        assert_eq!(eval.enumerate().count(), computed.len());
+    }
+
+    #[test]
+    fn slp_spanner_from_stages_upgrades_nondeterministic_queries() {
+        let nondet = regex::compile(".*x{a.*}.*", b"ab").unwrap();
+        let doc = Bisection.compress(b"abab");
+        let s = SlpSpanner::from_stages(PreparedQuery::new(&nondet), PreparedDocument::new(&doc));
+        assert!(s.query().is_deterministic());
+        assert_eq!(s.count(), s.compute().len());
+        assert_eq!(s.enumerate().count(), s.compute().len());
+    }
+
+    #[test]
+    fn prepared_query_tokens_are_unique() {
+        let m = figure_2_spanner();
+        let a = PreparedQuery::new(&m);
+        let b = PreparedQuery::new(&m);
+        assert_ne!(a.token(), b.token());
+        assert!(a.is_deterministic());
+        // Figure 2 is already deterministic, so both constructors agree.
+        let c = PreparedQuery::determinized(&m);
+        assert_eq!(c.nfa().num_states(), a.nfa().num_states());
+    }
+}

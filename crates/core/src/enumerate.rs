@@ -41,7 +41,7 @@ impl Enumerator {
         document: &NormalFormSlp<u8>,
     ) -> Result<Self, EvalError> {
         let prepared = PreparedEvaluation::new(automaton, document)?;
-        if !prepared.deterministic {
+        if !prepared.deterministic() {
             return Err(EvalError::NondeterministicAutomaton);
         }
         Ok(Enumerator { prepared })
@@ -107,7 +107,12 @@ pub struct Enumeration<'a> {
 impl<'a> Enumeration<'a> {
     /// Starts an enumeration from a prepared evaluation.
     pub fn from_prepared(prepared: &'a PreparedEvaluation) -> Self {
-        let pre = &prepared.pre;
+        Self::from_matrices(&prepared.pre)
+    }
+
+    /// Starts an enumeration directly from the preprocessed matrices of a
+    /// (query, document) pair — the engine-facing entry point.
+    pub fn from_matrices(pre: &'a Preprocessed) -> Self {
         let start_nt = pre.start_nt;
         let q0 = pre.nfa_start;
         let finals = pre.reachable_accepting();
@@ -118,7 +123,7 @@ impl<'a> Enumeration<'a> {
                     .flat_map(move |k| enum_all(pre, start_nt, q0, k, j))
             }));
         Enumeration {
-            num_vars: prepared.num_vars,
+            num_vars: pre.num_vars,
             trees,
             current: None,
             pre,
@@ -292,7 +297,12 @@ mod tests {
         let expected = reference::evaluate(&m, doc);
         for compressor in [&Bisection as &dyn Compressor, &RePair::default(), &Chain] {
             let got = enumerate_set(&m, doc, compressor);
-            assert_eq!(got.len(), expected.len(), "compressor {}", compressor.name());
+            assert_eq!(
+                got.len(),
+                expected.len(),
+                "compressor {}",
+                compressor.name()
+            );
             assert_eq!(
                 got.into_iter().collect::<BTreeSet<_>>(),
                 expected,
@@ -326,8 +336,7 @@ mod tests {
             for doc in &docs {
                 let expected = reference::evaluate(&m, doc);
                 let slp = Bisection.compress(doc);
-                let got: BTreeSet<SpanTuple> =
-                    Enumerator::new(&m, &slp).unwrap().iter().collect();
+                let got: BTreeSet<SpanTuple> = Enumerator::new(&m, &slp).unwrap().iter().collect();
                 assert_eq!(got, expected, "pattern {pattern}, doc {:?}", doc);
             }
         }
@@ -352,8 +361,10 @@ mod tests {
     fn enumeration_agrees_with_computation_on_compressed_families() {
         let m = regex::compile_deterministic(".*x{ab}.*", b"ab").unwrap();
         let slp = families::power_word(b"ab", 512);
-        let computed: BTreeSet<SpanTuple> =
-            crate::compute::compute_all(&m, &slp).unwrap().into_iter().collect();
+        let computed: BTreeSet<SpanTuple> = crate::compute::compute_all(&m, &slp)
+            .unwrap()
+            .into_iter()
+            .collect();
         let enumerated: Vec<SpanTuple> = Enumerator::new(&m, &slp).unwrap().iter().collect();
         assert_eq!(enumerated.len(), 512);
         assert_eq!(enumerated.into_iter().collect::<BTreeSet<_>>(), computed);

@@ -66,6 +66,8 @@ mod tests {
         assert!(e.to_string().contains("empty document"));
         let e: EvalError = spanner::SpannerError::TooManyVariables { requested: 40 }.into();
         assert!(e.to_string().contains("40"));
-        assert!(EvalError::NondeterministicAutomaton.to_string().contains("deterministic"));
+        assert!(EvalError::NondeterministicAutomaton
+            .to_string()
+            .contains("deterministic"));
     }
 }

@@ -40,6 +40,7 @@
 
 pub mod compute;
 pub mod count;
+pub mod engine;
 pub mod enumerate;
 pub mod error;
 pub mod matrices;
@@ -47,21 +48,25 @@ pub mod model_check;
 pub mod nonemptiness;
 pub mod prepared;
 
+pub use engine::{DocumentId, Engine, Evaluation, PreparedDocument, PreparedQuery, QueryId};
 pub use error::EvalError;
 
+use prepared::PreparedEvaluation;
 use slp::NormalFormSlp;
 use spanner::{SpanTuple, SpannerAutomaton};
 
 /// A spanner bound to an SLP-compressed document: convenience facade over
 /// the four evaluation tasks.
 ///
-/// Construction performs the `O(|M| + s·q³)` shared preprocessing of
-/// Lemma 6.5 once; the individual tasks then reuse it.
+/// Construction runs the two preparation stages (the automaton-side
+/// transformations of [`engine::PreparedQuery`] and the document-side
+/// transformation of [`engine::PreparedDocument`]) and the `O(|M| + s·q³)`
+/// pair preprocessing of Lemma 6.5 once; the individual tasks then reuse
+/// it.  To share those stages across many queries and documents, use
+/// [`engine::Engine`] instead.
 #[derive(Debug)]
 pub struct SlpSpanner {
-    automaton: SpannerAutomaton<u8>,
-    document: NormalFormSlp<u8>,
-    prepared: prepared::PreparedEvaluation,
+    prepared: PreparedEvaluation,
 }
 
 impl SlpSpanner {
@@ -74,38 +79,68 @@ impl SlpSpanner {
         automaton: &SpannerAutomaton<u8>,
         document: &NormalFormSlp<u8>,
     ) -> Result<Self, EvalError> {
-        let automaton = if automaton.is_deterministic() {
-            automaton.clone()
+        Ok(Self::from_stages(
+            PreparedQuery::determinized(automaton),
+            PreparedDocument::new(document),
+        ))
+    }
+
+    /// Binds an already prepared query to an already prepared document,
+    /// reusing whatever work both stages (and the document's matrix cache)
+    /// already hold.
+    ///
+    /// `SlpSpanner` guarantees a deterministic automaton (so [`count`] and
+    /// [`enumerate`] are duplicate-free); a query prepared with the
+    /// non-determinising [`PreparedQuery::new`] is upgraded here via its
+    /// ε-free automaton.
+    ///
+    /// [`count`]: SlpSpanner::count
+    /// [`enumerate`]: SlpSpanner::enumerate
+    pub fn from_stages(query: PreparedQuery, document: PreparedDocument) -> Self {
+        let query = if query.is_deterministic() {
+            query
         } else {
-            automaton.without_epsilon().determinized()
+            PreparedQuery::determinized(query.automaton())
         };
-        let prepared = prepared::PreparedEvaluation::new(&automaton, document)?;
-        Ok(SlpSpanner {
-            automaton,
-            document: document.clone(),
-            prepared,
-        })
+        SlpSpanner {
+            prepared: PreparedEvaluation::from_stages(query, document),
+        }
     }
 
     /// The (deterministic) automaton in use.
     pub fn automaton(&self) -> &SpannerAutomaton<u8> {
-        &self.automaton
+        self.prepared.query.automaton()
     }
 
     /// The compressed document.
     pub fn document(&self) -> &NormalFormSlp<u8> {
-        &self.document
+        self.prepared.document.original()
     }
 
-    /// Non-emptiness: `⟦M⟧(D) ≠ ∅` in time `O(s·q³)` (Theorem 5.1(1)).
+    /// The prepared query stage (reusable across documents).
+    pub fn query(&self) -> &PreparedQuery {
+        &self.prepared.query
+    }
+
+    /// The full prepared evaluation context backing this spanner.
+    pub fn prepared(&self) -> &PreparedEvaluation {
+        &self.prepared
+    }
+
+    /// Non-emptiness: `⟦M⟧(D) ≠ ∅` (Theorem 5.1(1)); answered in `O(|F|)`
+    /// from the prepared matrices via Lemma 6.3.
     pub fn is_non_empty(&self) -> bool {
-        nonemptiness::is_non_empty(&self.automaton, &self.document)
+        !self.prepared.pre.reachable_accepting().is_empty()
     }
 
     /// Model checking: `t ∈ ⟦M⟧(D)` in time `O((s + |X|·depth(S))·q³)`
     /// (Theorem 5.1(2)).
     pub fn check(&self, tuple: &SpanTuple) -> Result<bool, EvalError> {
-        model_check::check(&self.automaton, &self.document, tuple)
+        model_check::check(
+            self.prepared.query.automaton(),
+            self.prepared.document.original(),
+            tuple,
+        )
     }
 
     /// Computes the whole relation `⟦M⟧(D)` (Theorem 7.1).

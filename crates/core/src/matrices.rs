@@ -10,9 +10,17 @@
 //! lazily by the computation (Theorem 7.1) and enumeration (Theorem 8.10)
 //! algorithms.  For *leaf* non-terminals the full `M_{T_x}` tables are tiny
 //! (`O(|M|)` overall) and are precomputed here.
+//!
+//! With the `parallel` feature (default on), [`Preprocessed::build`] runs
+//! the dominant `size(S)·q³` matrix pass data-parallel: the leaf tables are
+//! independent, and the inner `R_A` summaries are computed level-by-level
+//! over the grammar's depth strata (a non-terminal only depends on its
+//! strictly shallower children), with the entries of one level mapped
+//! across all cores.  [`Preprocessed::build_serial`] is always available
+//! and produces bit-identical results.
 
 use slp::{NfRule, NonTerminal, NormalFormSlp, Terminal};
-use spanner::{MarkedSymbol, PartialMarkerSet};
+use spanner::{MarkedSymbol, MarkerSet, PartialMarkerSet};
 use spanner_automata::nfa::{Label, Nfa};
 
 /// The three-valued summary of `M_A[i,j]` (Definition 6.4).
@@ -28,7 +36,7 @@ pub enum REntry {
 }
 
 /// Preprocessed evaluation data (Lemma 6.5) plus grammar metadata.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Preprocessed {
     /// Number of automaton states `q`.
     pub q: usize,
@@ -55,52 +63,119 @@ pub struct Preprocessed {
     pub leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>>,
 }
 
+/// `P_i = {(ℓ, Y) : ℓ --Y--> i with Y a marker set}` for every state `i`
+/// (Lemma 6.5 proof).
+fn incoming_marker_arcs<T: Terminal>(
+    nfa: &Nfa<MarkedSymbol<T>>,
+    q: usize,
+) -> Vec<Vec<(usize, MarkerSet)>> {
+    let mut incoming: Vec<Vec<(usize, MarkerSet)>> = vec![Vec::new(); q];
+    for (p, label, t) in nfa.arcs() {
+        if let Label::Symbol(MarkedSymbol::Markers(m)) = label {
+            incoming[t].push((p, m));
+        }
+    }
+    incoming
+}
+
+/// Builds the full leaf table `M_{T_x}` and its three-valued summary for the
+/// leaf non-terminal deriving terminal `x`.
+fn leaf_table<T: Terminal>(
+    nfa: &Nfa<MarkedSymbol<T>>,
+    incoming_markers: &[Vec<(usize, MarkerSet)>],
+    q: usize,
+    x: T,
+) -> (Vec<Vec<PartialMarkerSet>>, Vec<REntry>) {
+    let mut table: Vec<Vec<PartialMarkerSet>> = vec![Vec::new(); q * q];
+    for (p, label, t) in nfa.arcs() {
+        if label == Label::Symbol(MarkedSymbol::Terminal(x)) {
+            // The unmarked reading  p --x--> t.
+            table[p * q + t].push(PartialMarkerSet::empty());
+            // Marked readings  ℓ --Y--> p --x--> t.
+            for &(l, y) in &incoming_markers[p] {
+                table[l * q + t].push(PartialMarkerSet::at_position_one(y));
+            }
+        }
+    }
+    let mut summary = vec![REntry::Bot; q * q];
+    for (cell, entry) in table.iter_mut().zip(summary.iter_mut()) {
+        cell.sort();
+        cell.dedup();
+        *entry = if cell.is_empty() {
+            REntry::Bot
+        } else if cell.len() == 1 && cell[0].is_empty() {
+            REntry::Empty
+        } else {
+            REntry::NonEmpty
+        };
+    }
+    (table, summary)
+}
+
+/// The `R_A` summary of an inner rule `A → BC` from its children's
+/// summaries: Boolean-like matrix product over the three-valued domain
+/// (Lemma 6.5 proof), `O(q³)`.
+fn inner_summary(rb: &[REntry], rc: &[REntry], q: usize) -> Vec<REntry> {
+    let mut summary = vec![REntry::Bot; q * q];
+    for i in 0..q {
+        for j in 0..q {
+            let mut entry = REntry::Bot;
+            for k in 0..q {
+                let eb = rb[i * q + k];
+                let ec = rc[k * q + j];
+                if eb == REntry::Bot || ec == REntry::Bot {
+                    continue;
+                }
+                if eb == REntry::NonEmpty || ec == REntry::NonEmpty {
+                    entry = REntry::NonEmpty;
+                    break;
+                }
+                entry = REntry::Empty;
+            }
+            summary[i * q + j] = entry;
+        }
+    }
+    summary
+}
+
 impl Preprocessed {
     /// Runs the preprocessing of Lemma 6.5 in time `O(|M| + size(S)·q³)`.
+    ///
+    /// With the `parallel` feature (default on) the matrix pass is
+    /// data-parallel over grammar levels; the result is identical to
+    /// [`Preprocessed::build_serial`].
     pub fn build<T: Terminal>(
+        nfa: &Nfa<MarkedSymbol<T>>,
+        slp: &NormalFormSlp<T>,
+        num_vars: usize,
+    ) -> Self {
+        #[cfg(feature = "parallel")]
+        {
+            Self::build_parallel(nfa, slp, num_vars)
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            Self::build_serial(nfa, slp, num_vars)
+        }
+    }
+
+    /// Single-threaded preprocessing (always available, identical output to
+    /// [`Preprocessed::build`]).
+    pub fn build_serial<T: Terminal>(
         nfa: &Nfa<MarkedSymbol<T>>,
         slp: &NormalFormSlp<T>,
         num_vars: usize,
     ) -> Self {
         let q = nfa.num_states();
         let n = slp.num_non_terminals();
-
-        // P_i = {(ℓ, Y) : ℓ --Y--> i with Y a marker set}  (Lemma 6.5 proof).
-        let mut incoming_markers: Vec<Vec<(usize, spanner::MarkerSet)>> = vec![Vec::new(); q];
-        for (p, label, t) in nfa.arcs() {
-            if let Label::Symbol(MarkedSymbol::Markers(m)) = label {
-                incoming_markers[t].push((p, m));
-            }
-        }
+        let incoming_markers = incoming_marker_arcs(nfa, q);
 
         // Leaf tables M_{T_x} and their R summaries.
         let mut leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>> = vec![None; n];
         let mut r: Vec<Vec<REntry>> = vec![Vec::new(); n];
         for &a in slp.bottom_up_order() {
             if let NfRule::Leaf(x) = slp.rule(a) {
-                let mut table: Vec<Vec<PartialMarkerSet>> = vec![Vec::new(); q * q];
-                for (p, label, t) in nfa.arcs() {
-                    if label == Label::Symbol(MarkedSymbol::Terminal(x)) {
-                        // The unmarked reading  p --x--> t.
-                        table[p * q + t].push(PartialMarkerSet::empty());
-                        // Marked readings  ℓ --Y--> p --x--> t.
-                        for &(l, y) in &incoming_markers[p] {
-                            table[l * q + t].push(PartialMarkerSet::at_position_one(y));
-                        }
-                    }
-                }
-                let mut summary = vec![REntry::Bot; q * q];
-                for (cell, entry) in table.iter_mut().zip(summary.iter_mut()) {
-                    cell.sort();
-                    cell.dedup();
-                    *entry = if cell.is_empty() {
-                        REntry::Bot
-                    } else if cell.len() == 1 && cell[0].is_empty() {
-                        REntry::Empty
-                    } else {
-                        REntry::NonEmpty
-                    };
-                }
+                let (table, summary) = leaf_table(nfa, &incoming_markers, q, x);
                 leaf_tables[a.index()] = Some(table);
                 r[a.index()] = summary;
             }
@@ -109,31 +184,88 @@ impl Preprocessed {
         // R for inner non-terminals, bottom-up (Lemma 6.5 proof).
         for &a in slp.bottom_up_order() {
             if let NfRule::Pair(b, c) = slp.rule(a) {
-                let mut summary = vec![REntry::Bot; q * q];
-                let rb = &r[b.index()];
-                let rc = &r[c.index()];
-                for i in 0..q {
-                    for j in 0..q {
-                        let mut entry = REntry::Bot;
-                        for k in 0..q {
-                            let eb = rb[i * q + k];
-                            let ec = rc[k * q + j];
-                            if eb == REntry::Bot || ec == REntry::Bot {
-                                continue;
-                            }
-                            if eb == REntry::NonEmpty || ec == REntry::NonEmpty {
-                                entry = REntry::NonEmpty;
-                                break;
-                            }
-                            entry = REntry::Empty;
-                        }
-                        summary[i * q + j] = entry;
-                    }
-                }
+                r[a.index()] = inner_summary(&r[b.index()], &r[c.index()], q);
+            }
+        }
+
+        Self::assemble(nfa, slp, num_vars, r, leaf_tables)
+    }
+
+    /// Level-parallel preprocessing: leaf tables are embarrassingly
+    /// parallel, and the inner `R_A` pass proceeds over depth strata of the
+    /// grammar DAG (every `A → BC` has `depth(A) > depth(B), depth(C)`, so
+    /// all summaries of one stratum can be computed concurrently from the
+    /// strata below).
+    #[cfg(feature = "parallel")]
+    pub fn build_parallel<T: Terminal>(
+        nfa: &Nfa<MarkedSymbol<T>>,
+        slp: &NormalFormSlp<T>,
+        num_vars: usize,
+    ) -> Self {
+        let q = nfa.num_states();
+        let n = slp.num_non_terminals();
+        let incoming_markers = incoming_marker_arcs(nfa, q);
+
+        // Leaf tables M_{T_x}: independent per leaf non-terminal.
+        let leaves: Vec<(NonTerminal, T)> = slp
+            .bottom_up_order()
+            .iter()
+            .filter_map(|&a| match slp.rule(a) {
+                NfRule::Leaf(x) => Some((a, x)),
+                NfRule::Pair(..) => None,
+            })
+            .collect();
+        let built = rayon::par_map(&leaves, |&(_, x)| leaf_table(nfa, &incoming_markers, q, x));
+        let mut leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>> = vec![None; n];
+        let mut r: Vec<Vec<REntry>> = vec![Vec::new(); n];
+        for ((a, _), (table, summary)) in leaves.into_iter().zip(built) {
+            leaf_tables[a.index()] = Some(table);
+            r[a.index()] = summary;
+        }
+
+        // Inner R summaries, one depth stratum at a time.  The children of
+        // a depth-d rule have depth < d, so bucketing ALL inner rules by
+        // depth (not just contiguous topological runs, which fragment badly
+        // on real grammars) yields a wave schedule: each stratum only reads
+        // summaries from strictly earlier strata.  The maximum is taken over
+        // every rule, not `depth(S₀)`: rules unreachable from the start may
+        // be deeper than the start symbol itself.
+        let max_depth = slp
+            .bottom_up_order()
+            .iter()
+            .map(|&a| slp.depth_of(a))
+            .max()
+            .unwrap_or(0) as usize;
+        let mut strata: Vec<Vec<NonTerminal>> = vec![Vec::new(); max_depth + 1];
+        for &a in slp.bottom_up_order() {
+            if matches!(slp.rule(a), NfRule::Pair(..)) {
+                strata[slp.depth_of(a) as usize].push(a);
+            }
+        }
+        for stratum in strata.iter().filter(|s| !s.is_empty()) {
+            let computed = rayon::par_map(stratum, |&a| {
+                let (b, c) = slp.children(a).expect("stratum members are inner rules");
+                inner_summary(&r[b.index()], &r[c.index()], q)
+            });
+            for (&a, summary) in stratum.iter().zip(computed) {
                 r[a.index()] = summary;
             }
         }
 
+        Self::assemble(nfa, slp, num_vars, r, leaf_tables)
+    }
+
+    /// Packs the computed matrices together with the grammar metadata the
+    /// evaluation phases need.
+    fn assemble<T: Terminal>(
+        nfa: &Nfa<MarkedSymbol<T>>,
+        slp: &NormalFormSlp<T>,
+        num_vars: usize,
+        r: Vec<Vec<REntry>>,
+        leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>>,
+    ) -> Self {
+        let q = nfa.num_states();
+        let n = slp.num_non_terminals();
         let children: Vec<Option<(u32, u32)>> = (0..n)
             .map(|a| match slp.rule(NonTerminal(a as u32)) {
                 NfRule::Leaf(_) => None,
@@ -274,6 +406,29 @@ mod tests {
         // The end-transformed automaton has a single accepting state which
         // must be reachable on D# (the example has results).
         assert_eq!(p.pre.reachable_accepting().len(), 1);
+    }
+
+    #[test]
+    fn build_handles_unreachable_rules_deeper_than_the_start() {
+        // Rule 3 (depth 4) is unreachable from the start symbol (rule 1,
+        // depth 2) but passes SLP validation; the stratum buckets must be
+        // sized by the global maximum depth, not depth(S₀).
+        use slp::{NfRule, NonTerminal, NormalFormSlp};
+        let slp = NormalFormSlp::new(
+            vec![
+                NfRule::Leaf(b'a'),
+                NfRule::Pair(NonTerminal(0), NonTerminal(0)),
+                NfRule::Pair(NonTerminal(1), NonTerminal(1)),
+                NfRule::Pair(NonTerminal(2), NonTerminal(2)),
+            ],
+            NonTerminal(1),
+        )
+        .unwrap();
+        let m = figure_2_spanner();
+        let prep = PreparedEvaluation::new(&m, &slp).unwrap();
+        assert_eq!(prep.slp().document_len(), 3); // "aa" + sentinel
+        let serial = Preprocessed::build_serial(prep.nfa(), prep.slp(), prep.num_vars());
+        assert_eq!(*prep.pre, serial);
     }
 
     #[test]

@@ -6,14 +6,18 @@
 //! after the last terminal).  The paper achieves this with the language
 //! transformation `L(M') = { w·# : w ∈ L(M) }` for a fresh terminal `#`,
 //! evaluated over `D·#`; results are unchanged (`⟦M⟧(D) = ⟦M'⟧(D#)`).
-//! [`EByte`] is the extended terminal alphabet, [`PreparedEvaluation`]
-//! bundles the transformed automaton, the transformed SLP and the
-//! preprocessed matrices.
+//! [`EByte`] is the extended terminal alphabet; [`PreparedEvaluation`]
+//! bundles a [`PreparedQuery`], a [`PreparedDocument`] and the preprocessed
+//! matrices of the pair — see the [`engine`](crate::engine) module for the
+//! two-stage split and the pooling/caching layer on top of it.
 
+use crate::engine::{PreparedDocument, PreparedQuery};
 use crate::matrices::Preprocessed;
 use slp::NormalFormSlp;
 use spanner::{MarkedSymbol, SpannerAutomaton};
 use spanner_automata::nfa::{Label, Nfa};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// The document alphabet extended by the end-of-document sentinel `#`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -24,22 +28,23 @@ pub enum EByte {
     End,
 }
 
-/// The result of the shared preprocessing: the end-transformed automaton and
-/// document plus the matrices of Lemma 6.5.  Construction time is
-/// `O(|M| + size(S) · q³)`.
+/// The result of the shared preprocessing for one (query, document) pair:
+/// the two prepared stages plus the matrices of Lemma 6.5.  Total
+/// construction time is `O(|M| + size(S) · q³)`.
+///
+/// The three parts are reusable independently: the query stage across other
+/// documents, the document stage across other queries, and the matrices
+/// whenever the same pair is evaluated again (see [`crate::engine::Engine`]).
 #[derive(Debug)]
 pub struct PreparedEvaluation {
-    /// The end-transformed, ε-free automaton over `Σ∪{#} ∪ P(Γ_X)`.
-    pub nfa: Nfa<MarkedSymbol<EByte>>,
-    /// The SLP for `D·#`.
-    pub slp: NormalFormSlp<EByte>,
-    /// Number of span variables `|X|`.
-    pub num_vars: usize,
-    /// `true` if the (transformed) automaton is deterministic, the
-    /// precondition of duplicate-free enumeration (Lemma 8.8).
-    pub deterministic: bool,
-    /// The matrices `R_A`, `M_{T_x}` and auxiliary grammar data.
-    pub pre: Preprocessed,
+    /// The query-side stage: end-transformed, ε-free automaton over
+    /// `Σ∪{#} ∪ P(Γ_X)`.
+    pub query: PreparedQuery,
+    /// The document-side stage: the SLP for `D·#` (plus matrix cache).
+    pub document: PreparedDocument,
+    /// The matrices `R_A`, `M_{T_x}` and auxiliary grammar data for the
+    /// pair.
+    pub pre: Arc<Preprocessed>,
 }
 
 impl PreparedEvaluation {
@@ -47,28 +52,61 @@ impl PreparedEvaluation {
     /// compressed document.
     ///
     /// ε-transitions are removed first if present (they are a representation
-    /// convenience and never needed by the algorithms).
+    /// convenience and never needed by the algorithms); the automaton is
+    /// *not* determinised — use [`PreparedQuery::determinized`] with
+    /// [`PreparedEvaluation::from_stages`] for the tasks that need it.
     pub fn new(
         automaton: &SpannerAutomaton<u8>,
         document: &NormalFormSlp<u8>,
     ) -> Result<Self, crate::EvalError> {
-        let automaton = if automaton.nfa().has_epsilon() {
-            automaton.without_epsilon()
-        } else {
-            automaton.clone()
-        };
-        let deterministic = automaton.is_deterministic();
-        let nfa = end_transform(automaton.nfa());
-        let slp = document.map_terminals(EByte::Byte).append_terminal(EByte::End);
-        let pre = Preprocessed::build(&nfa, &slp, automaton.num_vars());
-        Ok(PreparedEvaluation {
-            nfa,
-            slp,
-            num_vars: automaton.num_vars(),
-            deterministic,
-            pre,
-        })
+        Ok(Self::from_stages(
+            PreparedQuery::new(automaton),
+            PreparedDocument::new(document),
+        ))
     }
+
+    /// Combines an already prepared query and document, building (or
+    /// fetching from the document's cache) the pair's matrices.
+    pub fn from_stages(query: PreparedQuery, mut document: PreparedDocument) -> Self {
+        let pre = document.matrices(&query);
+        PreparedEvaluation {
+            query,
+            document,
+            pre,
+        }
+    }
+
+    /// The end-transformed, ε-free automaton over `Σ∪{#} ∪ P(Γ_X)`.
+    pub fn nfa(&self) -> &Nfa<MarkedSymbol<EByte>> {
+        self.query.nfa()
+    }
+
+    /// The SLP for `D·#`.
+    pub fn slp(&self) -> &NormalFormSlp<EByte> {
+        self.document.ended()
+    }
+
+    /// Number of span variables `|X|`.
+    pub fn num_vars(&self) -> usize {
+        self.query.num_vars()
+    }
+
+    /// `true` if the (transformed) automaton is deterministic, the
+    /// precondition of duplicate-free enumeration (Lemma 8.8).
+    pub fn deterministic(&self) -> bool {
+        self.query.is_deterministic()
+    }
+}
+
+/// Number of times [`end_transform`] has run in this process (across all
+/// threads).  Test instrumentation for the reuse guarantee: preparing one
+/// query against `k` documents must perform the automaton-side
+/// transformation exactly once.
+static END_TRANSFORM_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of [`end_transform`] runs (test instrumentation).
+pub fn end_transform_count() -> usize {
+    END_TRANSFORM_COUNT.load(Ordering::SeqCst)
 }
 
 /// The paper's non-tail-spanning transformation: `L(M') = L(M)·#`.
@@ -77,6 +115,7 @@ impl PreparedEvaluation {
 /// to `f`, and `f` becomes the unique accepting state.  Determinism and
 /// ε-freeness are preserved.
 pub fn end_transform(nfa: &Nfa<MarkedSymbol<u8>>) -> Nfa<MarkedSymbol<EByte>> {
+    END_TRANSFORM_COUNT.fetch_add(1, Ordering::SeqCst);
     let mut out: Nfa<MarkedSymbol<EByte>> = Nfa::with_states(nfa.num_states() + 1);
     let end_state = nfa.num_states();
     out.set_start(nfa.start());
@@ -106,7 +145,9 @@ mod tests {
     #[test]
     fn end_transform_adds_one_state_and_stays_deterministic() {
         let m = figure_2_spanner();
+        let before = end_transform_count();
         let ended = end_transform(m.nfa());
+        assert!(end_transform_count() > before);
         assert_eq!(ended.num_states(), m.num_states() + 1);
         assert_eq!(ended.num_transitions(), m.num_transitions() + 1);
         assert!(ended.is_deterministic());
@@ -118,11 +159,22 @@ mod tests {
         let m = figure_2_spanner();
         let slp = slp::examples::example_4_2();
         let prep = PreparedEvaluation::new(&m, &slp).unwrap();
-        assert!(prep.deterministic);
-        assert_eq!(prep.num_vars, 2);
+        assert!(prep.deterministic());
+        assert_eq!(prep.num_vars(), 2);
         // D# has length 11.
-        assert_eq!(prep.slp.document_len(), 11);
+        assert_eq!(prep.slp().document_len(), 11);
         // Terminals of the transformed SLP include the sentinel.
-        assert!(prep.slp.terminals().contains(&EByte::End));
+        assert!(prep.slp().terminals().contains(&EByte::End));
+    }
+
+    #[test]
+    fn from_stages_reuses_the_document_cache() {
+        let m = figure_2_spanner();
+        let slp = slp::examples::example_4_2();
+        let query = PreparedQuery::new(&m);
+        let mut document = PreparedDocument::new(&slp);
+        let first = document.matrices(&query);
+        let prep = PreparedEvaluation::from_stages(query, document);
+        assert!(Arc::ptr_eq(&first, &prep.pre));
     }
 }

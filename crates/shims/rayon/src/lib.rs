@@ -1,0 +1,155 @@
+//! # rayon (shim) — offline stand-in for the `rayon` crate
+//!
+//! The build environment of this workspace has no network access to a crate
+//! registry, so the external `rayon` dependency is replaced by this minimal
+//! in-workspace shim built on `std::thread::scope`.  It provides the subset
+//! the workspace uses — [`scope`], [`join`] and the convenience
+//! [`par_map`] — with the same data-parallel semantics (no work stealing;
+//! one OS thread per chunk, bounded by the available parallelism).  Swap
+//! this crate for the real `rayon` in `Cargo.toml` once a registry is
+//! reachable; `scope` and `join` are drop-in compatible.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+use std::thread;
+
+/// The number of worker threads the shim will use (available parallelism).
+///
+/// Queried from the OS once and cached: `par_map` is called in tight loops
+/// (e.g. once per grammar stratum) and `available_parallelism` is a syscall.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// A fork–join scope handing out [`Scope::spawn`], mirroring `rayon::scope`.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope; the scope waits
+    /// for all tasks before returning.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a fork–join scope: all tasks spawned inside have finished when
+/// `scope` returns.  Mirrors `rayon::scope`, on OS threads.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+/// Mirrors `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("parallel task panicked"))
+    })
+}
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// This is the shim's stand-in for `items.par_iter().map(f).collect()`;
+/// it splits the input into one contiguous chunk per worker thread.  Small
+/// inputs are mapped serially to avoid spawn overhead.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    scope(|s| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            s.spawn(move |_| {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every slot is filled by its chunk"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..1000).collect();
+        let mapped = par_map(&items, |&x| x * x);
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(mapped, expected);
+        // Tiny and empty inputs take the serial path.
+        assert_eq!(par_map(&[3u64], |&x| x + 1), vec![4]);
+        assert_eq!(par_map::<u64, u64, _>(&[], |&x| x), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn scope_waits_for_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".len());
+        assert_eq!((a, b), (4, 2));
+    }
+
+    #[test]
+    fn nested_spawns_are_allowed() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+}

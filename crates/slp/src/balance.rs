@@ -250,8 +250,7 @@ mod tests {
 
     #[test]
     fn rebalancing_preserves_documents_of_all_compressors() {
-        let doc: Vec<u8> = std::iter::repeat(b"lorem ipsum dolor sit amet ".iter().copied())
-            .take(40)
+        let doc: Vec<u8> = std::iter::repeat_n(b"lorem ipsum dolor sit amet ".iter().copied(), 40)
             .flatten()
             .collect();
         for c in [

@@ -122,12 +122,17 @@ mod tests {
         let slp = Lz78.compress(&doc);
         assert_eq!(slp.derive(), doc);
         // LZ78 produces O(sqrt(d)) phrases on unary input.
-        assert!(slp.num_non_terminals() < 1000, "rules: {}", slp.num_non_terminals());
+        assert!(
+            slp.num_non_terminals() < 1000,
+            "rules: {}",
+            slp.num_non_terminals()
+        );
     }
 
     #[test]
     fn mixed_text_round_trips() {
-        let doc = b"she sells sea shells by the sea shore; the shells she sells are sea shells".to_vec();
+        let doc =
+            b"she sells sea shells by the sea shore; the shells she sells are sea shells".to_vec();
         let slp = Lz78.compress(&doc);
         assert_eq!(slp.derive(), doc);
     }

@@ -72,8 +72,7 @@ mod tests {
             b"mississippi mississippi mississippi".to_vec(),
             b"the quick brown fox jumps over the lazy dog".to_vec(),
             (0..=255u8).collect(),
-            std::iter::repeat(b"GATTACA".iter().copied())
-                .take(50)
+            std::iter::repeat_n(b"GATTACA".iter().copied(), 50)
                 .flatten()
                 .collect(),
         ]
@@ -99,8 +98,7 @@ mod tests {
 
     #[test]
     fn repetitive_documents_compress_well() {
-        let doc: Vec<u8> = std::iter::repeat(b"abcd".iter().copied())
-            .take(1 << 12)
+        let doc: Vec<u8> = std::iter::repeat_n(b"abcd".iter().copied(), 1 << 12)
             .flatten()
             .collect(); // 16384 symbols, period 4
         for c in [&Bisection as &dyn Compressor, &RePair::default(), &Lz78] {

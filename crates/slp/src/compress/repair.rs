@@ -148,8 +148,7 @@ mod tests {
 
     #[test]
     fn periodic_document_compresses_well() {
-        let doc: Vec<u8> = std::iter::repeat(b"0123456789".iter().copied())
-            .take(1000)
+        let doc: Vec<u8> = std::iter::repeat_n(b"0123456789".iter().copied(), 1000)
             .flatten()
             .collect();
         let slp = RePair::default().compress(&doc);
@@ -159,8 +158,7 @@ mod tests {
 
     #[test]
     fn max_rounds_limits_work_but_stays_correct() {
-        let doc: Vec<u8> = std::iter::repeat(b"ab".iter().copied())
-            .take(64)
+        let doc: Vec<u8> = std::iter::repeat_n(b"ab".iter().copied(), 64)
             .flatten()
             .collect();
         let limited = RePair {
@@ -185,7 +183,9 @@ mod tests {
     #[test]
     fn random_like_document_round_trips() {
         // A de Bruijn-ish sequence with few repeated pairs.
-        let doc: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let doc: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
         let slp = RePair::default().compress(&doc);
         assert_eq!(slp.derive(), doc);
     }

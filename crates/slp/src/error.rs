@@ -56,10 +56,16 @@ impl fmt::Display for SlpError {
                 "rule for non-terminal {referencing} references undefined non-terminal {undefined}"
             ),
             SlpError::EmptyRule { non_terminal } => {
-                write!(f, "rule for non-terminal {non_terminal} has an empty right-hand side")
+                write!(
+                    f,
+                    "rule for non-terminal {non_terminal} has an empty right-hand side"
+                )
             }
             SlpError::Cyclic { non_terminal } => {
-                write!(f, "non-terminal {non_terminal} participates in a derivation cycle")
+                write!(
+                    f,
+                    "non-terminal {non_terminal} participates in a derivation cycle"
+                )
             }
             SlpError::Empty => write!(f, "grammar has no rules"),
             SlpError::InvalidStart { start, rules } => {
@@ -72,7 +78,9 @@ impl fmt::Display for SlpError {
                 f,
                 "position {position} is outside the derived document of length {document_len}"
             ),
-            SlpError::EmptyDocument => write!(f, "the empty document cannot be represented by an SLP"),
+            SlpError::EmptyDocument => {
+                write!(f, "the empty document cannot be represented by an SLP")
+            }
         }
     }
 }

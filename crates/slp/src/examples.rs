@@ -37,7 +37,14 @@ pub mod names_4_2 {
 pub fn example_4_1() -> Slp<u8> {
     use Symbol::{NonTerminal as N, Terminal as T};
     let rules = vec![
-        vec![N(NonTerminal(1)), T(b'b'), T(b'a'), N(NonTerminal(1)), N(NonTerminal(2)), T(b'b')],
+        vec![
+            N(NonTerminal(1)),
+            T(b'b'),
+            T(b'a'),
+            N(NonTerminal(1)),
+            N(NonTerminal(2)),
+            T(b'b'),
+        ],
         vec![N(NonTerminal(2)), T(b'a'), N(NonTerminal(2))],
         vec![T(b'b'), T(b'a'), T(b'a'), T(b'b')],
     ];

@@ -141,8 +141,7 @@ mod tests {
     fn power_word_matches_naive_repetition() {
         for (w, k) in [(&b"ab"[..], 1u64), (b"abc", 7), (b"x", 13), (b"hello ", 20)] {
             let s = power_word(w, k);
-            let expected: Vec<u8> = std::iter::repeat(w.iter().copied())
-                .take(k as usize)
+            let expected: Vec<u8> = std::iter::repeat_n(w.iter().copied(), k as usize)
                 .flatten()
                 .collect();
             assert_eq!(s.derive(), expected, "w={:?} k={k}", w);

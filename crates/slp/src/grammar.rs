@@ -11,9 +11,10 @@ use std::hash::Hash;
 /// Documents in this workspace use `u8`; the spanner evaluator additionally
 /// uses an "ended" alphabet that appends an end-of-document sentinel, and the
 /// model-checking algorithm builds SLPs over marked symbols.  Any `Copy`
-/// value with equality, ordering and hashing works.
-pub trait Terminal: Copy + Eq + Ord + Hash + Debug {}
-impl<T: Copy + Eq + Ord + Hash + Debug> Terminal for T {}
+/// value with equality, ordering and hashing works; `Send + Sync` admits
+/// the parallel matrix preprocessing of the evaluation engine.
+pub trait Terminal: Copy + Eq + Ord + Hash + Debug + Send + Sync {}
+impl<T: Copy + Eq + Ord + Hash + Debug + Send + Sync> Terminal for T {}
 
 /// Identifier of a non-terminal (an index into the rule table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -532,7 +533,10 @@ mod tests {
         let mapped = s.map_terminals(|c| c as u16 + 1000);
         assert_eq!(
             mapped.derive(),
-            s.derive().iter().map(|&c| c as u16 + 1000).collect::<Vec<_>>()
+            s.derive()
+                .iter()
+                .map(|&c| c as u16 + 1000)
+                .collect::<Vec<_>>()
         );
         assert_eq!(mapped.size(), s.size());
     }

@@ -134,15 +134,14 @@ impl<T: Terminal> NormalFormSlp<T> {
 
         for &a in slp.bottom_up_order() {
             let rhs = slp.rule(a);
-            let converted: Vec<NonTerminal> = rhs
-                .iter()
-                .map(|sym| match sym {
-                    Symbol::Terminal(t) => leaf_for(*t, &mut rules, &mut leaf_of),
-                    Symbol::NonTerminal(b) => {
-                        image[b.index()].expect("bottom-up order guarantees children are converted")
-                    }
-                })
-                .collect();
+            let converted: Vec<NonTerminal> =
+                rhs.iter()
+                    .map(|sym| match sym {
+                        Symbol::Terminal(t) => leaf_for(*t, &mut rules, &mut leaf_of),
+                        Symbol::NonTerminal(b) => image[b.index()]
+                            .expect("bottom-up order guarantees children are converted"),
+                    })
+                    .collect();
             image[a.index()] = Some(fold(&converted, &mut rules));
         }
 
@@ -484,7 +483,11 @@ mod tests {
         // Every rule is a leaf or a pair; one leaf per terminal.
         let leaves: Vec<u8> = nf.terminals();
         assert_eq!(leaves, vec![b'a', b'b']);
-        let leaf_count = nf.rules().iter().filter(|r| matches!(r, NfRule::Leaf(_))).count();
+        let leaf_count = nf
+            .rules()
+            .iter()
+            .filter(|r| matches!(r, NfRule::Leaf(_)))
+            .count();
         assert_eq!(leaf_count, 2);
     }
 

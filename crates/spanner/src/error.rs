@@ -61,14 +61,20 @@ impl fmt::Display for SpannerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpannerError::TooManyVariables { requested } => {
-                write!(f, "at most 32 span variables are supported, {requested} requested")
+                write!(
+                    f,
+                    "at most 32 span variables are supported, {requested} requested"
+                )
             }
             SpannerError::DuplicateVariable { name } => {
                 write!(f, "variable `{name}` registered twice")
             }
             SpannerError::UnknownVariable { index } => write!(f, "unknown variable index {index}"),
             SpannerError::InvalidSpan { start, end } => {
-                write!(f, "invalid span [{start}, {end}⟩ (spans are 1-based with start ≤ end)")
+                write!(
+                    f,
+                    "invalid span [{start}, {end}⟩ (spans are 1-based with start ≤ end)"
+                )
             }
             SpannerError::MalformedMarkedWord { reason } => {
                 write!(f, "malformed (subword-)marked word: {reason}")

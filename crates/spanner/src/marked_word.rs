@@ -121,10 +121,7 @@ impl<T: Copy + Eq> MarkedWord<T> {
     /// `true` if the word is non-tail-spanning (the trailing marker set
     /// `A_{n+1}` is empty), cf. Section 6.1.
     pub fn is_non_tail_spanning(&self) -> bool {
-        self.sets
-            .last()
-            .map(|s| s.is_empty())
-            .unwrap_or(true)
+        self.sets.last().map(|s| s.is_empty()).unwrap_or(true)
     }
 
     /// Checks the three conditions of Definition 3.1 (each marker occurs at
@@ -266,7 +263,9 @@ mod tests {
         assert_eq!(w.document_len(), 8);
         let p = w.markers();
         assert_eq!(p.len(), 6);
-        assert!(p.at(3).contains(close(0)) && p.at(3).contains(open(1)) && p.at(3).contains(open(2)));
+        assert!(
+            p.at(3).contains(close(0)) && p.at(3).contains(open(1)) && p.at(3).contains(open(2))
+        );
         // The encoded span-tuple is ([1,3⟩, [3,7⟩, [3,5⟩).
         let t = w.span_tuple(3).unwrap();
         assert_eq!(t.get(Variable(0)), Some(Span::new(1, 3).unwrap()));
@@ -308,7 +307,9 @@ mod tests {
         let s2 = MarkedSymbol::Markers(MarkerSet::singleton(close(0)));
         let t: MarkedSymbol<u8> = MarkedSymbol::Terminal(b'a');
         assert!(MarkedWord::from_symbols(&[s1, s2, t]).is_err());
-        assert!(MarkedWord::from_symbols(&[MarkedSymbol::<u8>::Markers(MarkerSet::EMPTY)]).is_err());
+        assert!(
+            MarkedWord::from_symbols(&[MarkedSymbol::<u8>::Markers(MarkerSet::EMPTY)]).is_err()
+        );
         assert!(MarkedWord::from_symbols(&[s1, t, s2]).is_ok());
     }
 

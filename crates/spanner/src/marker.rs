@@ -39,7 +39,7 @@ impl Marker {
     #[inline]
     fn from_bit(bit: u32) -> Marker {
         let v = Variable((bit / 2) as u8);
-        if bit % 2 == 0 {
+        if bit.is_multiple_of(2) {
             Marker::Open(v)
         } else {
             Marker::Close(v)

@@ -24,7 +24,9 @@ pub struct PartialMarkerSet {
 impl PartialMarkerSet {
     /// The empty partial marker set `∅`.
     pub fn empty() -> Self {
-        PartialMarkerSet { entries: Vec::new() }
+        PartialMarkerSet {
+            entries: Vec::new(),
+        }
     }
 
     /// Builds a partial marker set from `(position, marker)` pairs (in any
@@ -45,10 +47,8 @@ impl PartialMarkerSet {
     /// Builds a partial marker set from `(position, marker set)` entries (in
     /// any order; empty sets are dropped, equal positions are merged).
     pub fn from_entries(entries: impl IntoIterator<Item = (u64, MarkerSet)>) -> Self {
-        let mut raw: Vec<(u64, MarkerSet)> = entries
-            .into_iter()
-            .filter(|(_, s)| !s.is_empty())
-            .collect();
+        let mut raw: Vec<(u64, MarkerSet)> =
+            entries.into_iter().filter(|(_, s)| !s.is_empty()).collect();
         raw.sort_by_key(|&(p, _)| p);
         let mut entries: Vec<(u64, MarkerSet)> = Vec::new();
         for (p, s) in raw {
@@ -219,7 +219,11 @@ mod tests {
 
     #[test]
     fn construction_merges_positions() {
-        let l = PartialMarkerSet::from_marker_positions(vec![(4, open(0)), (2, open(1)), (4, close(1))]);
+        let l = PartialMarkerSet::from_marker_positions(vec![
+            (4, open(0)),
+            (2, open(1)),
+            (4, close(1)),
+        ]);
         assert_eq!(l.num_positions(), 2);
         assert_eq!(l.len(), 3);
         assert_eq!(l.max_position(), 4);

@@ -29,14 +29,7 @@ pub fn evaluate(automaton: &SpannerAutomaton<u8>, document: &[u8]) -> BTreeSet<S
 
     let mut out = BTreeSet::new();
     let mut assignment: Vec<Option<Span>> = vec![None; num_vars];
-    enumerate(
-        automaton,
-        document,
-        &choices,
-        &mut assignment,
-        0,
-        &mut out,
-    );
+    enumerate(automaton, document, &choices, &mut assignment, 0, &mut out);
     out
 }
 

@@ -530,7 +530,12 @@ impl<'a> Parser<'a> {
                 },
                 Some(c) => {
                     if self.peek() == Some(b'-')
-                        && self.bytes.get(self.pos + 1).copied().map(|n| n != b']').unwrap_or(false)
+                        && self
+                            .bytes
+                            .get(self.pos + 1)
+                            .copied()
+                            .map(|n| n != b']')
+                            .unwrap_or(false)
                     {
                         self.bump(); // '-'
                         let hi = self.bump().expect("checked above");
@@ -555,7 +560,10 @@ impl<'a> Parser<'a> {
 }
 
 fn is_meta(c: u8) -> bool {
-    matches!(c, b'(' | b')' | b'[' | b']' | b'{' | b'}' | b'*' | b'+' | b'?' | b'|' | b'.' | b'\\')
+    matches!(
+        c,
+        b'(' | b')' | b'[' | b']' | b'{' | b'}' | b'*' | b'+' | b'?' | b'|' | b'.' | b'\\'
+    )
 }
 
 fn unescape(c: u8) -> u8 {
@@ -584,7 +592,10 @@ mod tests {
 
     #[test]
     fn parses_basic_constructs() {
-        assert_eq!(parse("ab").unwrap(), Ast::Concat(vec![Ast::Literal(b'a'), Ast::Literal(b'b')]));
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![Ast::Literal(b'a'), Ast::Literal(b'b')])
+        );
         assert!(matches!(parse("a|b").unwrap(), Ast::Alt(_)));
         assert!(matches!(parse("a*").unwrap(), Ast::Star(_)));
         assert!(matches!(parse("(ab)+").unwrap(), Ast::Plus(_)));
@@ -599,10 +610,7 @@ mod tests {
     fn simple_capture_extracts_spans() {
         // All occurrences of "b+" as x, anywhere in the document.
         let shown = eval(".*x{b+}.*", b"ab", b"abba");
-        assert_eq!(
-            shown,
-            vec!["(x ↦ [2, 3⟩)", "(x ↦ [2, 4⟩)", "(x ↦ [3, 4⟩)"]
-        );
+        assert_eq!(shown, vec!["(x ↦ [2, 3⟩)", "(x ↦ [2, 4⟩)", "(x ↦ [3, 4⟩)"]);
     }
 
     #[test]
@@ -628,8 +636,14 @@ mod tests {
         let results = reference::evaluate(&m, b"ab");
         assert_eq!(results.len(), 1);
         let t = results.iter().next().unwrap();
-        assert_eq!(t.get(m.variables().get("x").unwrap()), Some(Span::new(1, 3).unwrap()));
-        assert_eq!(t.get(m.variables().get("y").unwrap()), Some(Span::new(1, 2).unwrap()));
+        assert_eq!(
+            t.get(m.variables().get("x").unwrap()),
+            Some(Span::new(1, 3).unwrap())
+        );
+        assert_eq!(
+            t.get(m.variables().get("y").unwrap()),
+            Some(Span::new(1, 2).unwrap())
+        );
     }
 
     #[test]
@@ -641,7 +655,11 @@ mod tests {
         let results = reference::evaluate(&m, b"ab");
         assert_eq!(results.len(), 1);
         assert_eq!(
-            results.iter().next().unwrap().get(m.variables().get("x").unwrap()),
+            results
+                .iter()
+                .next()
+                .unwrap()
+                .get(m.variables().get("x").unwrap()),
             Some(Span::new(1, 2).unwrap())
         );
     }
@@ -661,7 +679,11 @@ mod tests {
         let results = reference::evaluate(&m, b"ab,ab");
         assert_eq!(results.len(), 1);
         assert_eq!(
-            results.iter().next().unwrap().get(m.variables().get("x").unwrap()),
+            results
+                .iter()
+                .next()
+                .unwrap()
+                .get(m.variables().get("x").unwrap()),
             Some(Span::new(1, 3).unwrap())
         );
     }
@@ -680,7 +702,11 @@ mod tests {
         let results = reference::evaluate(&m, b"ab");
         assert_eq!(results.len(), 1);
         assert_eq!(
-            results.iter().next().unwrap().get(m.variables().get("x").unwrap()),
+            results
+                .iter()
+                .next()
+                .unwrap()
+                .get(m.variables().get("x").unwrap()),
             Some(Span::new(2, 2).unwrap())
         );
     }
@@ -715,8 +741,14 @@ mod repetition_tests {
 
     #[test]
     fn captures_under_repetition_are_rejected() {
-        assert!(matches!(compile("(x{a})*b", b"ab"), Err(SpannerError::Parse { .. })));
-        assert!(matches!(compile("(x{a})+", b"ab"), Err(SpannerError::Parse { .. })));
+        assert!(matches!(
+            compile("(x{a})*b", b"ab"),
+            Err(SpannerError::Parse { .. })
+        ));
+        assert!(matches!(
+            compile("(x{a})+", b"ab"),
+            Err(SpannerError::Parse { .. })
+        ));
         // Under '?' a capture is fine (it fires at most once).
         assert!(compile("(x{a})?b", b"ab").is_ok());
     }

@@ -37,7 +37,7 @@ impl Span {
     }
 
     /// The value `D[start, end⟩` of this span in a document.
-    pub fn value<'d>(self, doc: &'d [u8]) -> Result<&'d [u8], SpannerError> {
+    pub fn value(self, doc: &[u8]) -> Result<&[u8], SpannerError> {
         if self.end > doc.len() as u64 + 1 {
             return Err(SpannerError::SpanOutOfBounds {
                 position: self.end,

@@ -44,7 +44,9 @@ impl VariableSet {
     }
 
     /// A variable set from explicit names.
-    pub fn from_names<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Result<Self, SpannerError> {
+    pub fn from_names<S: Into<String>>(
+        names: impl IntoIterator<Item = S>,
+    ) -> Result<Self, SpannerError> {
         let mut vs = VariableSet::new();
         for n in names {
             vs.add(n)?;
@@ -55,7 +57,7 @@ impl VariableSet {
     /// Registers a new variable and returns its handle.
     pub fn add(&mut self, name: impl Into<String>) -> Result<Variable, SpannerError> {
         let name = name.into();
-        if self.names.iter().any(|n| *n == name) {
+        if self.names.contains(&name) {
             return Err(SpannerError::DuplicateVariable { name });
         }
         if self.names.len() >= MAX_VARIABLES {

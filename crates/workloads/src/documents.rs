@@ -69,13 +69,13 @@ pub fn dna_with_repeats(
     let alphabet = [b'A', b'C', b'G', b'T'];
     let mut rng = StdRng::seed_from_u64(seed);
     let segment: Vec<u8> = (0..segment_len)
-        .map(|_| alphabet[rng.gen_range(0..4)])
+        .map(|_| alphabet[rng.gen_range(0..4usize)])
         .collect();
     let mut out = Vec::with_capacity(segment_len * copies);
     for _ in 0..copies {
         for &base in &segment {
             if rng.gen_bool(mutation_prob) {
-                out.push(alphabet[rng.gen_range(0..4)]);
+                out.push(alphabet[rng.gen_range(0..4usize)]);
             } else {
                 out.push(base);
             }
@@ -90,12 +90,7 @@ pub fn dna_with_repeats(
 /// (probability `novelty`).  `novelty ≈ 0` gives highly compressible text
 /// (SLP size `≪ d`), `novelty = 1` gives essentially incompressible text.
 /// This is the knob for the crossover experiment E6.
-pub fn tunable_repetitiveness(
-    length: usize,
-    block_len: usize,
-    novelty: f64,
-    seed: u64,
-) -> Vec<u8> {
+pub fn tunable_repetitiveness(length: usize, block_len: usize, novelty: f64, seed: u64) -> Vec<u8> {
     assert!(block_len > 0);
     let alphabet = [b'a', b'b', b'c', b'd', b'e', b'f', b'g', b'h'];
     let mut rng = StdRng::seed_from_u64(seed);

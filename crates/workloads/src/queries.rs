@@ -17,7 +17,12 @@ pub struct NamedQuery {
 
 impl std::fmt::Debug for NamedQuery {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "NamedQuery({}, q={})", self.name, self.automaton.num_states())
+        write!(
+            f,
+            "NamedQuery({}, q={})",
+            self.name,
+            self.automaton.num_states()
+        )
     }
 }
 

@@ -22,7 +22,10 @@ fn main() {
                 seed: 5,
             }),
         ),
-        ("DNA, 64 repeats of 1kbp", dna_with_repeats(1_000, 64, 0.002, 9)),
+        (
+            "DNA, 64 repeats of 1kbp",
+            dna_with_repeats(1_000, 64, 0.002, 9),
+        ),
         (
             "tunable novelty=0.01",
             tunable_repetitiveness(1 << 16, 32, 0.01, 1),

@@ -20,7 +20,10 @@ fn main() {
     let slp = RePair::default().compress(&plain);
     let stats = SlpStats::of(&slp);
     println!("sequence length      : {} bp", plain.len());
-    println!("compressed SLP       : size {} / ratio {:.5}", stats.size, stats.ratio);
+    println!(
+        "compressed SLP       : size {} / ratio {:.5}",
+        stats.size, stats.ratio
+    );
 
     let query = queries::dna_tata();
     println!("query                : {}", query.pattern);
@@ -36,7 +39,10 @@ fn main() {
     let baseline_count = baseline::compute_slp(&query.automaton, &slp).len();
     let baseline_time = start.elapsed();
 
-    assert_eq!(compressed_count, baseline_count, "both evaluators must agree");
+    assert_eq!(
+        compressed_count, baseline_count,
+        "both evaluators must agree"
+    );
     println!("TATA-box motifs found: {compressed_count}");
     println!(
         "compressed evaluation: {:.1} ms,  decompress-and-solve: {:.1} ms",

@@ -19,8 +19,15 @@ fn main() {
     });
     let slp = RePair::default().compress(&plain);
     let stats = SlpStats::of(&slp);
-    println!("log size             : {} bytes ({} lines)", plain.len(), 50_000);
-    println!("compressed SLP       : size {} / depth {} / ratio {:.5}", stats.size, stats.depth, stats.ratio);
+    println!(
+        "log size             : {} bytes ({} lines)",
+        plain.len(),
+        50_000
+    );
+    println!(
+        "compressed SLP       : size {} / depth {} / ratio {:.5}",
+        stats.size, stats.depth, stats.ratio
+    );
 
     // Query 1: key=value extraction.
     let kv = queries::key_value();
@@ -32,7 +39,11 @@ fn main() {
     let mut counts = std::collections::BTreeMap::new();
     for tuple in spanner.enumerate().take(50_000) {
         let key = String::from_utf8_lossy(
-            tuple.get(k).unwrap().value(&plain).expect("span within document"),
+            tuple
+                .get(k)
+                .unwrap()
+                .value(&plain)
+                .expect("span within document"),
         )
         .into_owned();
         *counts.entry(key).or_insert(0usize) += 1;

@@ -10,14 +10,18 @@ use slp_spanner::eval::SlpSpanner;
 use slp_spanner::slp::examples::{example_4_1, example_4_2, names_4_2};
 use slp_spanner::slp::{NfRule, NonTerminal};
 use slp_spanner::spanner::examples::figure_2_spanner;
-use slp_spanner::spanner::{MarkedWord, PartialMarkerSet, Marker, Variable};
+use slp_spanner::spanner::{MarkedWord, Marker, PartialMarkerSet, Variable};
 
 fn main() {
     // ---- Example 4.1: a general SLP of size 16 for a document of size 25.
     let s41 = example_4_1();
     println!("Example 4.1");
     println!("  D(S)    = {}", String::from_utf8_lossy(&s41.derive()));
-    println!("  size(S) = {}, |D(S)| = {}", s41.size(), s41.document_len());
+    println!(
+        "  size(S) = {}, |D(S)| = {}",
+        s41.size(),
+        s41.document_len()
+    );
 
     // ---- Example 4.2 / Figure 3: the normal-form SLP for aabccaabaa.
     let s42 = example_4_2();

@@ -16,8 +16,14 @@ fn main() {
     // 2. Compress it into a straight-line program.
     let doc = RePair::default().compress(&doc_plain);
     let stats = SlpStats::of(&doc);
-    println!("SLP size             : {} (ratio {:.5})", stats.size, stats.ratio);
-    println!("SLP depth            : {} (log2 d = {:.1})", stats.depth, stats.log2_len);
+    println!(
+        "SLP size             : {} (ratio {:.5})",
+        stats.size, stats.ratio
+    );
+    println!(
+        "SLP depth            : {} (log2 d = {:.1})",
+        stats.depth, stats.log2_len
+    );
 
     // 3. A spanner: extract the user and the status of every "denied" line.
     // Note: unescaped whitespace in a pattern is insignificant (it is layout,
@@ -37,14 +43,23 @@ fn main() {
 
     // Model checking: is a specific tuple a result?  (We take one real
     // result and one deliberately shifted variant.)
-    let candidate = spanner.enumerate().next().expect("the spanner is non-empty");
-    println!("model check (real)   : {}", spanner.check(&candidate).unwrap());
+    let candidate = spanner
+        .enumerate()
+        .next()
+        .expect("the spanner is non-empty");
+    println!(
+        "model check (real)   : {}",
+        spanner.check(&candidate).unwrap()
+    );
     let mut shifted = SpanTuple::empty(2);
     let real_u = candidate.get(u).unwrap();
     let real_s = candidate.get(s).unwrap();
     shifted.set(u, Span::new(real_u.start + 1, real_u.end + 1).unwrap());
     shifted.set(s, Span::new(real_s.start + 1, real_s.end + 1).unwrap());
-    println!("model check (shifted): {}", spanner.check(&shifted).unwrap());
+    println!(
+        "model check (shifted): {}",
+        spanner.check(&shifted).unwrap()
+    );
 
     // Enumeration with logarithmic delay: stream the first few results.
     println!("first 3 results:");

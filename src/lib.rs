@@ -55,8 +55,9 @@ pub use spanner_workloads as workloads;
 /// The most common imports for application code.
 pub mod prelude {
     pub use crate::eval::{
-        compute::compute_all, enumerate::Enumerator, model_check, nonemptiness, EvalError,
-        SlpSpanner,
+        compute::compute_all, count::count_results, enumerate::Enumerator, model_check,
+        nonemptiness, DocumentId, Engine, EvalError, Evaluation, PreparedDocument, PreparedQuery,
+        QueryId, SlpSpanner,
     };
     pub use crate::slp::{
         compress::{Bisection, Compressor, RePair},

@@ -22,7 +22,9 @@ fn log_key_value_extraction_matches_baseline() {
     let spanner = SlpSpanner::new(&query.automaton, &slp).expect("query compiles");
     let compressed: BTreeSet<SpanTuple> = spanner.enumerate().collect();
     let uncompressed: BTreeSet<SpanTuple> =
-        baseline::compute_uncompressed(&query.automaton, &plain).into_iter().collect();
+        baseline::compute_uncompressed(&query.automaton, &plain)
+            .into_iter()
+            .collect();
     assert_eq!(compressed, uncompressed);
     assert!(!compressed.is_empty());
 
@@ -58,7 +60,9 @@ fn figure2_on_generated_documents_matches_baseline() {
     let spanner = SlpSpanner::new(&query.automaton, &slp).expect("compatible");
     let compressed: BTreeSet<SpanTuple> = spanner.enumerate().collect();
     let uncompressed: BTreeSet<SpanTuple> =
-        baseline::compute_uncompressed(&query.automaton, &plain).into_iter().collect();
+        baseline::compute_uncompressed(&query.automaton, &plain)
+            .into_iter()
+            .collect();
     assert_eq!(compressed, uncompressed);
 }
 

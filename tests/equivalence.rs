@@ -1,9 +1,15 @@
-//! Property-based integration tests: on random documents and spanners, all
+//! Randomised integration tests: on random documents and spanners, all
 //! four compressed evaluation algorithms agree with the brute-force
 //! reference and with the decompress-and-solve baseline, for every
 //! compressor and also after rebalancing.
+//!
+//! The random cases are generated with a seeded RNG (one fixed seed per
+//! property), so the suite is fully deterministic while still covering a
+//! spread of documents, queries and candidate tuples — the offline
+//! replacement for the original property-based (proptest) formulation.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use slp_spanner::baseline;
 use slp_spanner::eval::{compute, enumerate::Enumerator, model_check, nonemptiness};
 use slp_spanner::slp::balance::rebalance;
@@ -31,86 +37,123 @@ fn compressor_pool() -> Vec<Box<dyn Compressor>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn random_doc(rng: &mut StdRng, alphabet: &[u8], max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(1..=max_len);
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
 
-    /// Compressed computation, enumeration, non-emptiness and the baseline
-    /// all produce exactly the reference result set.
-    #[test]
-    fn all_evaluators_agree(doc in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 1..14),
-                            query_idx in 0usize..5) {
-        let query = &query_pool()[query_idx];
+/// Compressed computation, enumeration, non-emptiness and the baseline
+/// all produce exactly the reference result set.
+#[test]
+fn all_evaluators_agree() {
+    let queries = query_pool();
+    let mut rng = StdRng::seed_from_u64(0x5EED_0001);
+    for case in 0..24 {
+        let doc = random_doc(&mut rng, b"abc", 13);
+        let query = &queries[case % queries.len()];
         let expected = reference::evaluate(query, &doc);
 
         // Decompress-and-solve baseline.
-        let baseline_set: BTreeSet<SpanTuple> =
-            baseline::compute_uncompressed(query, &doc).into_iter().collect();
-        prop_assert_eq!(&baseline_set, &expected);
+        let baseline_set: BTreeSet<SpanTuple> = baseline::compute_uncompressed(query, &doc)
+            .into_iter()
+            .collect();
+        assert_eq!(baseline_set, expected, "baseline, doc {doc:?}");
 
         for compressor in compressor_pool() {
             let slp = compressor.compress(&doc);
+            let name = compressor.name();
 
             // Non-emptiness.
-            prop_assert_eq!(nonemptiness::is_non_empty(query, &slp), !expected.is_empty());
+            assert_eq!(
+                nonemptiness::is_non_empty(query, &slp),
+                !expected.is_empty(),
+                "nonemptiness/{name}, doc {doc:?}"
+            );
 
             // Computation.
-            let computed: BTreeSet<SpanTuple> =
-                compute::compute_all(query, &slp).unwrap().into_iter().collect();
-            prop_assert_eq!(&computed, &expected, "compute/{}", compressor.name());
+            let computed: BTreeSet<SpanTuple> = compute::compute_all(query, &slp)
+                .unwrap()
+                .into_iter()
+                .collect();
+            assert_eq!(computed, expected, "compute/{name}, doc {doc:?}");
 
             // Enumeration (DFA ⇒ duplicate-free).
-            let enumerated: Vec<SpanTuple> =
-                Enumerator::new(query, &slp).unwrap().iter().collect();
-            prop_assert_eq!(enumerated.len(), expected.len(), "enum len/{}", compressor.name());
+            let enumerated: Vec<SpanTuple> = Enumerator::new(query, &slp).unwrap().iter().collect();
+            assert_eq!(
+                enumerated.len(),
+                expected.len(),
+                "enum len/{name}, doc {doc:?}"
+            );
             let enumerated: BTreeSet<SpanTuple> = enumerated.into_iter().collect();
-            prop_assert_eq!(&enumerated, &expected, "enumerate/{}", compressor.name());
+            assert_eq!(enumerated, expected, "enumerate/{name}, doc {doc:?}");
 
             // Rebalancing must not change any answer.
             let balanced = rebalance(&slp);
-            let rebalanced: BTreeSet<SpanTuple> =
-                compute::compute_all(query, &balanced).unwrap().into_iter().collect();
-            prop_assert_eq!(&rebalanced, &expected, "rebalanced/{}", compressor.name());
+            let rebalanced: BTreeSet<SpanTuple> = compute::compute_all(query, &balanced)
+                .unwrap()
+                .into_iter()
+                .collect();
+            assert_eq!(rebalanced, expected, "rebalanced/{name}, doc {doc:?}");
         }
     }
+}
 
-    /// Model checking agrees with membership of the tuple in the reference
-    /// result set, for result tuples and for perturbed non-results alike.
-    #[test]
-    fn model_checking_agrees_pointwise(doc in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 1..12),
-                                       query_idx in 0usize..5,
-                                       start in 1u64..12,
-                                       len in 0u64..6) {
-        let query = &query_pool()[query_idx];
+/// Model checking agrees with membership of the tuple in the reference
+/// result set, for result tuples and for perturbed non-results alike.
+#[test]
+fn model_checking_agrees_pointwise() {
+    let queries = query_pool();
+    let mut rng = StdRng::seed_from_u64(0x5EED_0002);
+    for case in 0..24 {
+        let doc = random_doc(&mut rng, b"abc", 11);
+        let query = &queries[case % queries.len()];
+        let start = rng.gen_range(1u64..12);
+        let len = rng.gen_range(0u64..6);
         let expected = reference::evaluate(query, &doc);
         let slp = Bisection.compress(&doc);
 
         // Every reference result model-checks positively.
         for t in &expected {
-            prop_assert!(model_check::check(query, &slp, t).unwrap());
+            assert!(
+                model_check::check(query, &slp, t).unwrap(),
+                "missing {t:?}, doc {doc:?}"
+            );
         }
 
         // A candidate single-variable tuple agrees with reference membership.
         let d = doc.len() as u64;
         if query.num_vars() >= 1 && start <= d + 1 && start + len <= d + 1 {
             let mut candidate = SpanTuple::empty(query.num_vars());
-            candidate.set(slp_spanner::spanner::Variable(0),
-                          slp_spanner::spanner::Span::new(start, start + len).unwrap());
+            candidate.set(
+                slp_spanner::spanner::Variable(0),
+                slp_spanner::spanner::Span::new(start, start + len).unwrap(),
+            );
             let verdict = model_check::check(query, &slp, &candidate).unwrap();
-            prop_assert_eq!(verdict, expected.contains(&candidate));
+            assert_eq!(
+                verdict,
+                expected.contains(&candidate),
+                "candidate {candidate:?}, doc {doc:?}"
+            );
         }
     }
+}
 
-    /// The compressed membership substrate (Lemma 4.5) agrees with direct
-    /// NFA simulation on random documents.
-    #[test]
-    fn membership_substrate_agrees(doc in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b')], 1..40),
-                                   seed in 0u64..50,
-                                   q in 2usize..10) {
+/// The compressed membership substrate (Lemma 4.5) agrees with direct
+/// NFA simulation on random documents.
+#[test]
+fn membership_substrate_agrees() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0003);
+    for seed in 0u64..50 {
+        let doc = random_doc(&mut rng, b"ab", 39);
+        let q = rng.gen_range(2usize..10);
         let nfa = spanner_bench::random_byte_nfa(q, seed);
         let slp = RePair::default().compress(&doc);
-        prop_assert_eq!(
+        assert_eq!(
             slp_spanner::automata::compressed_membership(&nfa, &slp),
-            nfa.accepts(&doc)
+            nfa.accepts(&doc),
+            "seed {seed}, q {q}, doc {doc:?}"
         );
     }
 }

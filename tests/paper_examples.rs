@@ -10,7 +10,10 @@ use std::collections::BTreeSet;
 
 #[test]
 fn example_4_1_and_4_2_derive_the_paper_documents() {
-    assert_eq!(example_4_1().derive(), b"baababaabbabaababaabbaabb".to_vec());
+    assert_eq!(
+        example_4_1().derive(),
+        b"baababaabbabaababaabbaabb".to_vec()
+    );
     assert_eq!(example_4_2().derive(), b"aabccaabaa".to_vec());
     assert_eq!(example_4_1().size(), 16);
 }
