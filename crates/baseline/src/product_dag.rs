@@ -1,6 +1,6 @@
 //! The product DAG of a spanner automaton and an explicit document — the
 //! data structure behind the classical uncompressed evaluation algorithms
-//! ([2, 9] in the paper; see Figure 1 of the paper's reference [3] for a
+//! (\[2, 9\] in the paper; see Figure 1 of the paper's reference \[3\] for a
 //! picture).
 //!
 //! Layer `i` (for `0 ≤ i ≤ d`) holds one node per automaton state; an edge

@@ -1,0 +1,377 @@
+//! A concurrent, byte-budgeted cache for the pair-dependent matrices of
+//! Lemma 6.5.
+//!
+//! Every [`PreparedDocument`](crate::engine::PreparedDocument) owns one
+//! [`MatrixCache`] mapping query tokens to `Arc<Preprocessed>`.  The cache
+//! is designed for the service layer's `&self` evaluation contract:
+//!
+//! * **Sharded `RwLock` map.**  Lookups take a shard read lock only, so any
+//!   number of threads can serve cache hits simultaneously; inserts take a
+//!   single shard's write lock.
+//! * **Benign build races.**  On a miss the `O(size(S)·q³)` matrix build
+//!   runs *outside* all locks.  If two threads miss on the same token
+//!   concurrently, both build, and the first insert wins — the loser adopts
+//!   the winner's `Arc` and drops its own copy.  Matrices are read-only
+//!   after construction and deterministic per (query, document) pair, so
+//!   duplicated work is the only cost, never divergence.
+//! * **LRU admission/eviction under a byte budget.**  Each entry is weighed
+//!   by [`Preprocessed::approx_bytes`]; when an insert pushes the resident
+//!   total over the budget, least-recently-used entries are evicted until
+//!   the total fits again.  Recency is tracked with a lock-free logical
+//!   clock, so the LRU order is approximate under contention (exact when
+//!   requests are sequential).  Evicted matrices that are still referenced
+//!   by in-flight evaluations stay alive through their `Arc`s and are
+//!   simply rebuilt on the next request.
+
+use crate::matrices::Preprocessed;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Number of independent lock shards.  Query tokens are sequential, so
+/// `token % SHARDS` spreads a pool of queries evenly.
+const SHARDS: usize = 8;
+
+/// One cached matrix set plus its bookkeeping.
+#[derive(Debug)]
+struct CacheEntry {
+    pre: Arc<Preprocessed>,
+    /// Admission weight, [`Preprocessed::approx_bytes`] at insert time.
+    bytes: usize,
+    /// Logical timestamp of the last lookup that returned this entry.
+    last_used: AtomicU64,
+}
+
+/// The outcome of one cache lookup, reported back to the caller for
+/// per-request statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLookup {
+    /// `true` if the matrices were already resident (no build ran in this
+    /// request).
+    pub hit: bool,
+    /// Wall-clock time this request spent building matrices (zero on a
+    /// hit; on a lost build race the loser still reports its build time).
+    pub build_time: Duration,
+    /// [`Preprocessed::approx_bytes`] of the returned matrices.
+    pub bytes: usize,
+}
+
+/// Cumulative counters of one [`MatrixCache`] (monotone over its lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from resident matrices.
+    pub hits: u64,
+    /// Lookups that had to build (including lost build races).
+    pub misses: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: usize,
+    /// Entries currently resident.
+    pub resident_entries: usize,
+}
+
+/// A sharded, optionally byte-budgeted map from query tokens to the
+/// preprocessed matrices of Lemma 6.5.  See the module docs for the
+/// concurrency contract.
+#[derive(Debug)]
+pub struct MatrixCache {
+    shards: Box<[RwLock<HashMap<u64, CacheEntry>>]>,
+    /// Logical clock for LRU recency.
+    clock: AtomicU64,
+    /// Sum of `bytes` over all resident entries.
+    resident: AtomicUsize,
+    /// `None` = unbounded (the pre-service default).
+    budget: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl MatrixCache {
+    /// Creates a cache; `budget` is the maximum resident byte total
+    /// (`None` = unbounded).
+    pub fn new(budget: Option<usize>) -> Self {
+        MatrixCache {
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            clock: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
+            budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, token: u64) -> &RwLock<HashMap<u64, CacheEntry>> {
+        &self.shards[(token % SHARDS as u64) as usize]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The configured byte budget (`None` = unbounded).
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Returns the matrices for `token`, building them with `build` on a
+    /// miss.  Concurrent callers with the same token may build in parallel;
+    /// the first insert wins (see the module docs).
+    pub fn get_or_build(
+        &self,
+        token: u64,
+        build: impl FnOnce() -> Preprocessed,
+    ) -> (Arc<Preprocessed>, CacheLookup) {
+        if let Some((pre, bytes)) = self.lookup(token) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (
+                pre,
+                CacheLookup {
+                    hit: true,
+                    build_time: Duration::ZERO,
+                    bytes,
+                },
+            );
+        }
+
+        // Miss: build outside all locks.
+        let start = Instant::now();
+        let built = Arc::new(build());
+        let build_time = start.elapsed();
+        let bytes = built.approx_bytes();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+
+        let pre = {
+            let mut shard = self.shard(token).write().expect("cache lock poisoned");
+            match shard.entry(token) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    // Lost a benign build race: adopt the first insert.
+                    e.get().last_used.store(self.tick(), Ordering::Relaxed);
+                    e.get().pre.clone()
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    self.resident.fetch_add(bytes, Ordering::Relaxed);
+                    e.insert(CacheEntry {
+                        pre: built.clone(),
+                        bytes,
+                        last_used: AtomicU64::new(self.tick()),
+                    });
+                    built
+                }
+            }
+        };
+        self.enforce_budget();
+        (
+            pre,
+            CacheLookup {
+                hit: false,
+                build_time,
+                bytes,
+            },
+        )
+    }
+
+    /// The matrices for `token` (with their stored byte weight) if they are
+    /// resident, bumping recency.  The weight comes from the entry, not a
+    /// re-walk of the matrices, so hits stay read-lock-only and `O(1)`.
+    pub fn lookup(&self, token: u64) -> Option<(Arc<Preprocessed>, usize)> {
+        let shard = self.shard(token).read().expect("cache lock poisoned");
+        shard.get(&token).map(|e| {
+            e.last_used.store(self.tick(), Ordering::Relaxed);
+            (e.pre.clone(), e.bytes)
+        })
+    }
+
+    /// The matrices for `token` if they are resident, *without* bumping
+    /// recency or hit counters (introspection).
+    pub fn peek(&self, token: u64) -> Option<Arc<Preprocessed>> {
+        let shard = self.shard(token).read().expect("cache lock poisoned");
+        shard.get(&token).map(|e| e.pre.clone())
+    }
+
+    /// Evicts least-recently-used entries until the resident total fits the
+    /// budget again.  If a single entry alone exceeds the whole budget it is
+    /// evicted too — the invariant `resident_bytes ≤ budget` holds whenever
+    /// no insert is in flight.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.budget else { return };
+        while self.resident.load(Ordering::Relaxed) > budget {
+            // Snapshot the globally least-recently-used entry.
+            let mut lru: Option<(u64, u64)> = None; // (last_used, token)
+            for shard in self.shards.iter() {
+                let shard = shard.read().expect("cache lock poisoned");
+                for (&token, entry) in shard.iter() {
+                    let used = entry.last_used.load(Ordering::Relaxed);
+                    if lru.map(|(u, _)| used < u).unwrap_or(true) {
+                        lru = Some((used, token));
+                    }
+                }
+            }
+            let Some((_, token)) = lru else { return };
+            let mut shard = self.shard(token).write().expect("cache lock poisoned");
+            if let Some(entry) = shard.remove(&token) {
+                self.resident.fetch_sub(entry.bytes, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache lock poisoned").len())
+            .sum()
+    }
+
+    /// `true` if no matrices are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Drops all resident matrices (in-flight `Arc`s stay alive).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut shard = shard.write().expect("cache lock poisoned");
+            for (_, entry) in shard.drain() {
+                self.resident.fetch_sub(entry.bytes, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A snapshot of the cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes(),
+            resident_entries: self.len(),
+        }
+    }
+}
+
+impl Clone for MatrixCache {
+    /// Clones the cache *contents* (sharing the immutable `Arc`d matrices)
+    /// and the budget; the cumulative counters restart from the current
+    /// resident state.
+    fn clone(&self) -> Self {
+        let clone = MatrixCache::new(self.budget);
+        for shard in self.shards.iter() {
+            let shard = shard.read().expect("cache lock poisoned");
+            for (&token, entry) in shard.iter() {
+                let mut target = clone.shard(token).write().expect("cache lock poisoned");
+                clone.resident.fetch_add(entry.bytes, Ordering::Relaxed);
+                target.insert(
+                    token,
+                    CacheEntry {
+                        pre: entry.pre.clone(),
+                        bytes: entry.bytes,
+                        last_used: AtomicU64::new(entry.last_used.load(Ordering::Relaxed)),
+                    },
+                );
+            }
+        }
+        clone
+            .clock
+            .store(self.clock.load(Ordering::Relaxed), Ordering::Relaxed);
+        clone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{PreparedDocument, PreparedQuery};
+    use slp::families;
+    use spanner::regex;
+
+    fn build_one(k: u64) -> Preprocessed {
+        let m = regex::compile(".*x{ab}.*", b"ab").unwrap();
+        let q = PreparedQuery::determinized(&m);
+        let d = PreparedDocument::new(&families::power_word(b"ab", k));
+        Preprocessed::build(q.nfa(), d.ended(), q.num_vars())
+    }
+
+    #[test]
+    fn hits_misses_and_races_share_one_allocation() {
+        let cache = MatrixCache::new(None);
+        let (a, first) = cache.get_or_build(7, || build_one(16));
+        assert!(!first.hit);
+        assert!(first.bytes > 0);
+        let (b, second) = cache.get_or_build(7, || panic!("must not rebuild"));
+        assert!(second.hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        // A lost race adopts the resident entry.
+        let (c, third) = cache.get_or_build(7, || build_one(16));
+        assert!(third.hit);
+        assert!(Arc::ptr_eq(&a, &c));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert_eq!(stats.resident_entries, 1);
+        assert_eq!(stats.resident_bytes, first.bytes);
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used_first() {
+        let probe = build_one(16).approx_bytes();
+        // Room for two entries, not three.
+        let cache = MatrixCache::new(Some(probe * 5 / 2));
+        cache.get_or_build(0, || build_one(16));
+        cache.get_or_build(1, || build_one(16));
+        assert_eq!(cache.len(), 2);
+        // Touch 0 so 1 is the LRU victim.
+        assert!(cache.lookup(0).is_some());
+        cache.get_or_build(2, || build_one(16));
+        assert!(cache.resident_bytes() <= probe * 5 / 2);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.peek(0).is_some(), "recently used survives");
+        assert!(cache.peek(1).is_none(), "LRU entry evicted");
+        assert!(cache.peek(2).is_some(), "new entry admitted");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_entry_is_not_retained() {
+        let cache = MatrixCache::new(Some(8));
+        let (pre, lookup) = cache.get_or_build(0, || build_one(64));
+        assert!(lookup.bytes > 8);
+        // The caller still gets the matrices; the cache stays within budget.
+        assert!(!pre.reachable_accepting().is_empty());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn clear_resets_residency() {
+        let cache = MatrixCache::new(None);
+        cache.get_or_build(0, || build_one(16));
+        cache.get_or_build(1, || build_one(32));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn clone_shares_matrices_and_budget() {
+        let cache = MatrixCache::new(Some(1 << 20));
+        let (a, _) = cache.get_or_build(3, || build_one(16));
+        let clone = cache.clone();
+        assert_eq!(clone.budget(), Some(1 << 20));
+        let b = clone.peek(3).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(clone.resident_bytes(), cache.resident_bytes());
+    }
+}

@@ -1,6 +1,6 @@
 //! The two-stage evaluation engine: query-side preparation × document-side
-//! preparation, with an [`Engine`] pool for serving many queries over many
-//! documents.
+//! preparation, with the [`Engine`] compatibility wrapper over the
+//! concurrent [`Service`] pool.
 //!
 //! The `O(|M| + size(S)·q³)` preprocessing of Lemma 6.5 factors cleanly into
 //! two independent halves plus one pair-dependent product:
@@ -14,11 +14,14 @@
 //!    alone, so it is done **once per document** and reused across every
 //!    query.  The pair-dependent matrices `R_A` / `M_{T_x}` of
 //!    [`Preprocessed`] are built on first use of a (query, document) pair
-//!    and cached here, keyed by the query's unique token.
-//! 3. **[`Engine`]** — owns a pool of prepared queries and documents and
-//!    exposes [`Engine::evaluate`] / [`Engine::evaluate_batch`] over the
-//!    cross-product.  Repeated evaluation of the same pair touches only the
-//!    cache.
+//!    and cached here, keyed by the query's unique token, in a concurrent
+//!    (optionally byte-budgeted) [`MatrixCache`] — so sharing a prepared
+//!    document across threads needs no locking on the caller's side.
+//! 3. **[`Engine`]** — the original pool API, now a thin wrapper over
+//!    [`Service`].  [`Engine::evaluate`] takes
+//!    `&self` and may run from any number of threads; for task-oriented
+//!    requests, per-request statistics and batch fan-out use the service
+//!    directly.
 //!
 //! ```
 //! use slp::families;
@@ -36,14 +39,15 @@
 //! assert!(engine.evaluate(q, d2).is_non_empty());
 //! ```
 
+use crate::cache::{CacheLookup, CacheStats, MatrixCache};
 use crate::error::EvalError;
 use crate::matrices::Preprocessed;
 use crate::prepared::{end_transform, EByte};
+use crate::service::{Service, Task, TaskRequest};
 use crate::{compute, count, enumerate, model_check};
 use slp::NormalFormSlp;
 use spanner::{MarkedSymbol, SpanTuple, SpannerAutomaton};
 use spanner_automata::nfa::Nfa;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -71,7 +75,7 @@ pub struct PreparedQuery {
 impl PreparedQuery {
     /// Prepares a query without determinising: ε-transitions are removed,
     /// then the end-of-document transformation is applied.  Suitable for
-    /// [`compute`](crate::compute) (duplicate-elimination is built in); use
+    /// [`compute`] (duplicate-elimination is built in); use
     /// [`PreparedQuery::determinized`] for duplicate-free enumeration and
     /// counting.
     pub fn new(automaton: &SpannerAutomaton<u8>) -> Self {
@@ -135,28 +139,42 @@ impl PreparedQuery {
 }
 
 /// The document-side half of the preprocessing: everything that depends only
-/// on the SLP `S`, plus a cache of the pair-dependent matrices keyed by
-/// query token.
+/// on the SLP `S`, plus a concurrent cache of the pair-dependent matrices
+/// keyed by query token.
+///
+/// All methods take `&self`; the matrix cache is a sharded-lock
+/// [`MatrixCache`], so one prepared document can serve any number of
+/// threads simultaneously.  A duplicate matrix build for the same query on
+/// two racing threads is benign (first insert wins — the matrices are
+/// deterministic and read-only after construction).
 #[derive(Debug, Clone)]
 pub struct PreparedDocument {
     original: NormalFormSlp<u8>,
     /// The SLP for `D·#` over the extended alphabet.
     ended: NormalFormSlp<EByte>,
     /// `R_A` / `M_{T_x}` matrices per prepared query (Lemma 6.5).
-    matrices: HashMap<u64, Arc<Preprocessed>>,
+    cache: MatrixCache,
 }
 
 impl PreparedDocument {
     /// Prepares a document: extends the terminal alphabet by the sentinel
     /// and appends it (`D ↦ D·#`, Section 6.1).  Done once per document and
-    /// reused across every query.
+    /// reused across every query.  The matrix cache is unbounded; use
+    /// [`PreparedDocument::with_cache_budget`] to cap it.
     pub fn new(document: &NormalFormSlp<u8>) -> Self {
+        Self::with_cache_budget(document, None)
+    }
+
+    /// Like [`PreparedDocument::new`], but caps the resident bytes of
+    /// cached matrices at `budget` with LRU eviction over query tokens
+    /// (`None` = unbounded).
+    pub fn with_cache_budget(document: &NormalFormSlp<u8>, budget: Option<usize>) -> Self {
         PreparedDocument {
             original: document.clone(),
             ended: document
                 .map_terminals(EByte::Byte)
                 .append_terminal(EByte::End),
-            matrices: HashMap::new(),
+            cache: MatrixCache::new(budget),
         }
     }
 
@@ -177,69 +195,117 @@ impl PreparedDocument {
 
     /// The matrices of Lemma 6.5 for this document and the given query,
     /// built on first use (`O(|M| + size(S)·q³)`) and cached thereafter.
-    pub fn matrices(&mut self, query: &PreparedQuery) -> Arc<Preprocessed> {
-        self.matrices
-            .entry(query.token())
-            .or_insert_with(|| {
-                Arc::new(Preprocessed::build(
-                    query.nfa(),
-                    &self.ended,
-                    query.num_vars(),
-                ))
-            })
-            .clone()
+    pub fn matrices(&self, query: &PreparedQuery) -> Arc<Preprocessed> {
+        self.matrices_with_stats(query).0
     }
 
-    /// The matrices for `query` if they are already cached.
+    /// Like [`PreparedDocument::matrices`], additionally reporting whether
+    /// the lookup hit the cache and what a miss cost.
+    pub fn matrices_with_stats(&self, query: &PreparedQuery) -> (Arc<Preprocessed>, CacheLookup) {
+        self.cache.get_or_build(query.token(), || {
+            Preprocessed::build(query.nfa(), &self.ended, query.num_vars())
+        })
+    }
+
+    /// The matrices for `query` if they are already cached (without
+    /// touching LRU recency).
     pub fn cached_matrices(&self, query: &PreparedQuery) -> Option<Arc<Preprocessed>> {
-        self.matrices.get(&query.token()).cloned()
+        self.cache.peek(query.token())
     }
 
     /// Number of queries whose matrices are currently cached.
     pub fn cached_query_count(&self) -> usize {
-        self.matrices.len()
+        self.cache.len()
+    }
+
+    /// Bytes of preprocessed matrices currently resident in the cache.
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.resident_bytes()
+    }
+
+    /// The cache's byte budget (`None` = unbounded).
+    pub fn cache_budget(&self) -> Option<usize> {
+        self.cache.budget()
+    }
+
+    /// Cumulative cache counters (hits, misses, evictions, residency).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Drops all cached matrices (e.g. to bound memory in a long-running
-    /// pool).
-    pub fn clear_cache(&mut self) {
-        self.matrices.clear();
+    /// pool).  In-flight evaluations holding `Arc`s are unaffected.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
     }
 }
 
-/// Identifier of a query registered in an [`Engine`].
+/// Identifier of a query registered in an [`Engine`] /
+/// [`Service`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct QueryId(usize);
+pub struct QueryId(pub(crate) usize);
 
-/// Identifier of a document registered in an [`Engine`].
+impl QueryId {
+    /// The pool index behind the id.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a document registered in an [`Engine`] /
+/// [`Service`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct DocumentId(usize);
+pub struct DocumentId(pub(crate) usize);
+
+impl DocumentId {
+    /// The pool index behind the id.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// A pool of prepared queries and prepared documents with evaluation entry
-/// points over their cross-product.
+/// points over their cross-product — the original engine API, kept as a
+/// thin compatibility wrapper over [`Service`].
 ///
 /// Queries are determinised on registration (so every task, including
 /// duplicate-free enumeration and counting, is available); documents are
 /// end-transformed on registration.  The expensive pair-dependent matrices
 /// are built lazily on first evaluation of a pair and cached on the
-/// document.
+/// document.  [`Engine::evaluate`] takes `&self` and is safe to call from
+/// any number of threads; new code that wants per-request statistics,
+/// task-level requests or bounded caches should use the service directly
+/// (available via [`Engine::service`]).
 #[derive(Debug, Default)]
 pub struct Engine {
-    queries: Vec<PreparedQuery>,
-    documents: Vec<PreparedDocument>,
+    service: Service,
 }
 
 impl Engine {
-    /// Creates an empty engine.
+    /// Creates an empty engine (a default-configured service pool).
     pub fn new() -> Self {
         Engine::default()
+    }
+
+    /// Wraps an existing service, sharing its pools and configuration.
+    pub fn from_service(service: Service) -> Self {
+        Engine { service }
+    }
+
+    /// The underlying service (task requests, batches, statistics).
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Consumes the engine into its service.
+    pub fn into_service(self) -> Service {
+        self.service
     }
 
     /// Registers a query, performing the automaton-side preparation
     /// (ε-removal, determinisation, end-transformation) exactly once.
     pub fn add_query(&mut self, automaton: &SpannerAutomaton<u8>) -> QueryId {
-        self.queries.push(PreparedQuery::determinized(automaton));
-        QueryId(self.queries.len() - 1)
+        self.service.add_query(automaton)
     }
 
     /// Registers an already prepared query.
@@ -249,115 +315,123 @@ impl Engine {
     /// duplicate-free); a query prepared with the non-determinising
     /// [`PreparedQuery::new`] is upgraded here via its ε-free automaton.
     pub fn add_prepared_query(&mut self, query: PreparedQuery) -> QueryId {
-        let query = if query.is_deterministic() {
-            query
-        } else {
-            PreparedQuery::determinized(query.automaton())
-        };
-        self.queries.push(query);
-        QueryId(self.queries.len() - 1)
+        self.service.add_prepared_query(query)
     }
 
     /// Registers a document, performing the document-side preparation
     /// (`D ↦ D·#`) exactly once.
     pub fn add_document(&mut self, document: &NormalFormSlp<u8>) -> DocumentId {
-        self.documents.push(PreparedDocument::new(document));
-        DocumentId(self.documents.len() - 1)
+        self.service.add_document(document)
     }
 
     /// Registers an already prepared document.
     pub fn add_prepared_document(&mut self, document: PreparedDocument) -> DocumentId {
-        self.documents.push(document);
-        DocumentId(self.documents.len() - 1)
+        self.service.add_prepared_document(document)
     }
 
     /// The prepared query behind an id.
-    pub fn query(&self, q: QueryId) -> &PreparedQuery {
-        &self.queries[q.0]
+    pub fn query(&self, q: QueryId) -> Arc<PreparedQuery> {
+        self.service.query(q)
     }
 
     /// The prepared document behind an id.
-    pub fn document(&self, d: DocumentId) -> &PreparedDocument {
-        &self.documents[d.0]
+    pub fn document(&self, d: DocumentId) -> Arc<PreparedDocument> {
+        self.service.document(d)
     }
 
     /// Number of registered queries.
     pub fn num_queries(&self) -> usize {
-        self.queries.len()
+        self.service.num_queries()
     }
 
     /// Number of registered documents.
     pub fn num_documents(&self) -> usize {
-        self.documents.len()
+        self.service.num_documents()
     }
 
     /// Binds a (query, document) pair for evaluation, building (or fetching
     /// from cache) the pair's matrices.  The returned [`Evaluation`] answers
-    /// all tasks of the paper without further preprocessing.
-    pub fn evaluate(&mut self, q: QueryId, d: DocumentId) -> Evaluation<'_> {
-        let query = &self.queries[q.0];
-        let document = &mut self.documents[d.0];
-        let pre = document.matrices(query);
-        Evaluation {
-            query,
-            document: &self.documents[d.0],
-            pre,
-        }
+    /// all tasks of the paper without further preprocessing; it owns `Arc`s
+    /// into the pool, so it remains valid for as long as the caller keeps
+    /// it.
+    pub fn evaluate(&self, q: QueryId, d: DocumentId) -> Evaluation {
+        self.service.evaluation(q, d)
     }
 
     /// Computes `⟦M⟧(D)` for every pair in `pairs`.
-    ///
-    /// Query- and document-side preparations are shared across the batch;
-    /// with the `parallel` feature the per-pair computations run on all
-    /// cores once the (cached, deduplicated) matrices are in place.
-    pub fn evaluate_batch(&mut self, pairs: &[(QueryId, DocumentId)]) -> Vec<Vec<SpanTuple>> {
-        // Sequential phase: make sure every pair's matrices are cached
-        // (deduplicated by the per-document cache).
-        let prepared: Vec<Arc<Preprocessed>> = pairs
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Service::run_batch` with `Task::Compute` (or `Task::Count` / \
+                `Task::NonEmptiness` to avoid materialising tuples)"
+    )]
+    pub fn evaluate_batch(&self, pairs: &[(QueryId, DocumentId)]) -> Vec<Vec<SpanTuple>> {
+        let requests: Vec<TaskRequest> = pairs
             .iter()
-            .map(|&(q, d)| {
-                let query = &self.queries[q.0];
-                self.documents[d.0].matrices(query)
+            .map(|&(query, doc)| TaskRequest {
+                query,
+                doc,
+                task: Task::Compute { limit: None },
             })
             .collect();
-        // Parallel phase: the pure computations over the shared matrices.
-        #[cfg(feature = "parallel")]
-        {
-            rayon::par_map(&prepared, |pre| compute::compute_from_matrices(pre))
-        }
-        #[cfg(not(feature = "parallel"))]
-        {
-            prepared
-                .iter()
-                .map(|pre| compute::compute_from_matrices(pre))
-                .collect()
-        }
+        self.service
+            .run_batch(&requests)
+            .into_iter()
+            .map(|response| {
+                response
+                    .expect("Task::Compute on pooled deterministic pairs cannot fail")
+                    .outcome
+                    .into_tuples()
+                    .expect("Task::Compute yields tuples")
+            })
+            .collect()
     }
 }
 
 /// A (query, document) pair bound for evaluation: all four tasks of the
 /// paper, answered from the shared preprocessing without repeating it.
-#[derive(Debug)]
-pub struct Evaluation<'e> {
-    query: &'e PreparedQuery,
-    document: &'e PreparedDocument,
+///
+/// The evaluation owns `Arc`s of both prepared stages and of the matrices,
+/// so it is `Send`, independent of pool locks, and stays valid even if the
+/// matrices are later evicted from the document's cache.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    query: Arc<PreparedQuery>,
+    document: Arc<PreparedDocument>,
     pre: Arc<Preprocessed>,
 }
 
-impl Evaluation<'_> {
+impl Evaluation {
+    /// Assembles an evaluation from its shared parts.
+    pub fn from_parts(
+        query: Arc<PreparedQuery>,
+        document: Arc<PreparedDocument>,
+        pre: Arc<Preprocessed>,
+    ) -> Self {
+        Evaluation {
+            query,
+            document,
+            pre,
+        }
+    }
+
     /// The prepared query of this pair.
     pub fn query(&self) -> &PreparedQuery {
-        self.query
+        &self.query
     }
 
     /// The prepared document of this pair.
     pub fn document(&self) -> &PreparedDocument {
-        self.document
+        &self.document
     }
 
     /// The pair's matrices (Lemma 6.5).
     pub fn matrices(&self) -> &Preprocessed {
         &self.pre
+    }
+
+    /// The pair's matrices as a shareable `Arc`.
+    pub fn matrices_arc(&self) -> Arc<Preprocessed> {
+        self.pre.clone()
     }
 
     /// Non-emptiness `⟦M⟧(D) ≠ ∅` — `O(|F|)` after preprocessing, by
@@ -379,13 +453,28 @@ impl Evaluation<'_> {
     }
 
     /// Enumerates `⟦M⟧(D)` with `O(depth(S)·|X|)` delay (Theorem 8.10).
+    ///
+    /// Duplicate-free iff the query is deterministic (Lemma 8.8) — always
+    /// the case for pairs from an [`Engine`] or a default-policy
+    /// [`Service`]; under `ServiceBuilder::determinize(false)` individual
+    /// results of non-deterministic queries may repeat (the final remark of
+    /// Section 8).
     pub fn enumerate(&self) -> enumerate::Enumeration<'_> {
         enumerate::Enumeration::from_matrices(&self.pre)
     }
 
-    /// Counts `|⟦M⟧(D)|` in `O(size(S)·q³)` without enumerating.
+    /// Counts `|⟦M⟧(D)|` — in `O(size(S)·q³)` without enumerating for
+    /// deterministic queries (the counting recurrence needs the
+    /// disjointness of Lemma 8.8).  For a non-deterministic query (only
+    /// reachable via `ServiceBuilder::determinize(false)`) it falls back to
+    /// the duplicate-free compute pass of Theorem 7.1, so the answer is
+    /// exact either way.
     pub fn count(&self) -> u128 {
-        count::count_from_matrices(&self.pre)
+        if self.query.is_deterministic() {
+            count::count_from_matrices(&self.pre)
+        } else {
+            self.compute().len() as u128
+        }
     }
 }
 
@@ -418,7 +507,7 @@ mod tests {
                 let fresh = SlpSpanner::new(m, slp).unwrap();
                 let eval = engine.evaluate(q, d);
                 assert_eq!(eval.is_non_empty(), fresh.is_non_empty());
-                assert_eq!(eval.count(), fresh.count() as u128);
+                assert_eq!(eval.count(), fresh.count());
                 let a: BTreeSet<SpanTuple> = eval.compute().into_iter().collect();
                 let b: BTreeSet<SpanTuple> = fresh.compute().into_iter().collect();
                 assert_eq!(a, b);
@@ -445,9 +534,9 @@ mod tests {
         // The cached Arc is the same allocation on repeated use.
         let a = engine
             .document(d)
-            .cached_matrices(engine.query(q1))
+            .cached_matrices(&engine.query(q1))
             .unwrap();
-        let b = engine.evaluate(q1, d).pre.clone();
+        let b = engine.evaluate(q1, d).matrices_arc();
         assert!(Arc::ptr_eq(&a, &b));
     }
 
@@ -460,6 +549,7 @@ mod tests {
             .map(|&k| engine.add_document(&families::power_word(b"ab", k)))
             .collect();
         let pairs: Vec<(QueryId, DocumentId)> = dids.iter().map(|&d| (q, d)).collect();
+        #[allow(deprecated)]
         let results = engine.evaluate_batch(&pairs);
         assert_eq!(results.len(), 3);
         for (result, &k) in results.iter().zip(&[8usize, 32, 128]) {
@@ -500,7 +590,7 @@ mod tests {
         let doc = Bisection.compress(b"abab");
         let s = SlpSpanner::from_stages(PreparedQuery::new(&nondet), PreparedDocument::new(&doc));
         assert!(s.query().is_deterministic());
-        assert_eq!(s.count(), s.compute().len());
+        assert_eq!(s.count(), s.compute().len() as u128);
         assert_eq!(s.enumerate().count(), s.compute().len());
     }
 
@@ -514,5 +604,28 @@ mod tests {
         // Figure 2 is already deterministic, so both constructors agree.
         let c = PreparedQuery::determinized(&m);
         assert_eq!(c.nfa().num_states(), a.nfa().num_states());
+    }
+
+    #[test]
+    fn evaluations_outlive_cache_eviction() {
+        // A tiny budget forces the second pair to evict the first; the
+        // in-flight Evaluation still answers from its own Arc.
+        let service = Service::builder().cache_budget(1).build();
+        let engine = Engine::from_service(service);
+        let q1 = {
+            // add_* take &mut for compatibility; go through the service.
+            engine.service().add_query(&figure_2_spanner())
+        };
+        let q2 = engine
+            .service()
+            .add_query(&regex::compile(".*x{ab}.*", b"abc").unwrap());
+        let d = engine
+            .service()
+            .add_document(&Bisection.compress(b"aabccaabaa"));
+        let eval1 = engine.evaluate(q1, d);
+        let eval2 = engine.evaluate(q2, d);
+        assert_eq!(engine.document(d).cache_bytes(), 0, "budget of 1 byte");
+        assert!(eval1.is_non_empty());
+        assert_eq!(eval2.count(), eval2.compute().len() as u128);
     }
 }

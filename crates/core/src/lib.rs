@@ -18,7 +18,10 @@
 //! | counting `|⟦M⟧(D)|` | [`count::count_results`] | `O(s)` | extension (see module docs) |
 //!
 //! The convenience wrapper [`SlpSpanner`] bundles an automaton and a
-//! compressed document and exposes all four tasks.
+//! compressed document and exposes all four tasks.  For serving many
+//! queries over many documents — concurrently, with per-request statistics
+//! and memory-bounded matrix caches — use the [`service::Service`] layer
+//! (the [`engine::Engine`] pool remains as a thin compatibility wrapper).
 //!
 //! ```
 //! use slp::families;
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod compute;
 pub mod count;
 pub mod engine;
@@ -47,9 +51,14 @@ pub mod matrices;
 pub mod model_check;
 pub mod nonemptiness;
 pub mod prepared;
+pub mod service;
 
 pub use engine::{DocumentId, Engine, Evaluation, PreparedDocument, PreparedQuery, QueryId};
 pub use error::EvalError;
+pub use service::{
+    RequestStats, Service, ServiceBuilder, ServiceStats, Task, TaskOutcome, TaskRequest,
+    TaskResponse,
+};
 
 use prepared::PreparedEvaluation;
 use slp::NormalFormSlp;
@@ -155,8 +164,12 @@ impl SlpSpanner {
 
     /// Number of results `|⟦M⟧(D)|`, counted in `O(size(S)·q³)` *without*
     /// enumerating (see [`count::count_results`]).
-    pub fn count(&self) -> usize {
-        count::count_from_prepared(&self.prepared) as usize
+    ///
+    /// Returned as `u128`: on SLP-compressed documents the result count can
+    /// exceed any machine word (`d` itself may be near `2^64`, and `r` is
+    /// polynomial in `d` of degree `2·|X|`).
+    pub fn count(&self) -> u128 {
+        count::count_from_prepared(&self.prepared)
     }
 }
 
@@ -183,7 +196,7 @@ mod tests {
         assert!(computed.contains(&t));
         let enumerated: Vec<SpanTuple> = s.enumerate().collect();
         assert_eq!(enumerated.len(), computed.len());
-        assert_eq!(s.count(), computed.len());
+        assert_eq!(s.count(), computed.len() as u128);
     }
 
     #[test]

@@ -337,6 +337,41 @@ impl Preprocessed {
         }
     }
 
+    /// Approximate resident size of the preprocessed matrices in bytes:
+    /// the struct itself plus every owned buffer (the dense `R_A` rows, the
+    /// leaf tables down to each partial marker set's entry list, and the
+    /// grammar metadata vectors).
+    ///
+    /// This is the admission weight used by the engine's byte-budgeted
+    /// matrix caches.  It is an estimate of the heap footprint (allocator
+    /// slack is not modelled), but it is exact in the units that matter for
+    /// relative sizing: `O(size(S)·q²)` matrix entries dominate, and those
+    /// are counted precisely.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut total = size_of::<Self>();
+        total += self.nfa_accepting.capacity() * size_of::<usize>();
+        total += self.children.capacity() * size_of::<Option<(u32, u32)>>();
+        total += self.lengths.capacity() * size_of::<u64>();
+        total += self.bottom_up.capacity() * size_of::<u32>();
+        total += self.depths.capacity() * size_of::<u32>();
+        total += self.r.capacity() * size_of::<Vec<REntry>>();
+        for row in &self.r {
+            total += row.capacity() * size_of::<REntry>();
+        }
+        total += self.leaf_tables.capacity() * size_of::<Option<Vec<Vec<PartialMarkerSet>>>>();
+        for table in self.leaf_tables.iter().flatten() {
+            total += table.capacity() * size_of::<Vec<PartialMarkerSet>>();
+            for cell in table {
+                total += cell.capacity() * size_of::<PartialMarkerSet>();
+                for set in cell {
+                    total += set.heap_bytes();
+                }
+            }
+        }
+        total
+    }
+
     /// The accepting states reachable from the start state on the whole
     /// document, `F' = {j ∈ F : R_{S₀}[q₀, j] ≠ ⊥}` (Theorem 7.1 / 8.10).
     pub fn reachable_accepting(&self) -> Vec<usize> {
@@ -429,6 +464,25 @@ mod tests {
         assert_eq!(prep.slp().document_len(), 3); // "aa" + sentinel
         let serial = Preprocessed::build_serial(prep.nfa(), prep.slp(), prep.num_vars());
         assert_eq!(*prep.pre, serial);
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_grammar_size() {
+        use slp::families;
+        use spanner::regex;
+        let m = regex::compile(".*x{ab}.*", b"ab").unwrap();
+        let small = crate::engine::PreparedDocument::new(&families::power_word(b"ab", 1 << 4));
+        let large = crate::engine::PreparedDocument::new(&families::power_word(b"ab", 1 << 12));
+        let q = crate::engine::PreparedQuery::determinized(&m);
+        let small_pre = Preprocessed::build(q.nfa(), small.ended(), q.num_vars());
+        let large_pre = Preprocessed::build(q.nfa(), large.ended(), q.num_vars());
+        let (sb, lb) = (small_pre.approx_bytes(), large_pre.approx_bytes());
+        // Any honest accounting covers at least the dense R matrices.
+        let q2 = small_pre.q * small_pre.q;
+        assert!(sb >= small_pre.r.len() * q2 * std::mem::size_of::<REntry>());
+        // (ab)^2^12 has ~8 more grammar rules than (ab)^2^4; the matrices
+        // grow with size(S) accordingly.
+        assert!(lb > sb, "{lb} vs {sb}");
     }
 
     #[test]

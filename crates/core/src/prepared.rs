@@ -67,7 +67,7 @@ impl PreparedEvaluation {
 
     /// Combines an already prepared query and document, building (or
     /// fetching from the document's cache) the pair's matrices.
-    pub fn from_stages(query: PreparedQuery, mut document: PreparedDocument) -> Self {
+    pub fn from_stages(query: PreparedQuery, document: PreparedDocument) -> Self {
         let pre = document.matrices(&query);
         PreparedEvaluation {
             query,
@@ -172,7 +172,7 @@ mod tests {
         let m = figure_2_spanner();
         let slp = slp::examples::example_4_2();
         let query = PreparedQuery::new(&m);
-        let mut document = PreparedDocument::new(&slp);
+        let document = PreparedDocument::new(&slp);
         let first = document.matrices(&query);
         let prep = PreparedEvaluation::from_stages(query, document);
         assert!(Arc::ptr_eq(&first, &prep.pre));

@@ -1,0 +1,859 @@
+//! The multi-tenant evaluation service: `&self` evaluation over a shared
+//! query/document pool, task-oriented requests and memory-bounded matrix
+//! caches.
+//!
+//! The paper's whole economic argument is that the Lemma 6.5 preprocessing
+//! is *reusable*: pay `O(|M| + size(S)·q³)` once per (query, document) pair,
+//! then answer every task from the cached matrices.  [`Service`] turns that
+//! into a serving contract:
+//!
+//! * **`&self` evaluation.**  [`Service::run`] and [`Service::run_batch`]
+//!   take `&self`; the service is `Sync`, so any number of threads can
+//!   evaluate simultaneously over one shared instance.  The per-document
+//!   matrix caches are sharded `RwLock` maps of `Arc<Preprocessed>`
+//!   (see [`crate::cache::MatrixCache`]): hits take a read lock only, and a
+//!   concurrent duplicate build of the same pair is benign — matrices are
+//!   deterministic and read-only after construction, the first insert wins
+//!   and the loser adopts it.
+//! * **Task-oriented requests.**  A [`TaskRequest`] names a pooled query, a
+//!   pooled document and a [`Task`]; the [`TaskResponse`] carries the
+//!   [`TaskOutcome`] plus per-request [`RequestStats`] (cache hit/miss,
+//!   matrix build time, result count).  Asking for `Count` never
+//!   materialises tuples; `Enumerate { skip, limit }` streams just the
+//!   window it needs.
+//! * **Bounded caches.**  [`ServiceBuilder::cache_budget`] caps the bytes of
+//!   preprocessed matrices resident *per document*, with LRU eviction over
+//!   query tokens; evicted pairs are transparently rebuilt on next use.
+//!
+//! ```
+//! use slp::families;
+//! use spanner::regex;
+//! use spanner_slp_core::service::{Service, Task, TaskRequest};
+//!
+//! let service = Service::new();
+//! let q = service.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+//! let d = service.add_document(&families::power_word(b"ab", 1000));
+//! let response = service
+//!     .run(&TaskRequest { query: q, doc: d, task: Task::Count })
+//!     .unwrap();
+//! assert_eq!(response.outcome.as_count(), Some(1000));
+//! assert!(!response.stats.cache_hit); // first touch of the pair builds
+//! let again = service
+//!     .run(&TaskRequest { query: q, doc: d, task: Task::NonEmptiness })
+//!     .unwrap();
+//! assert!(again.stats.cache_hit); // every later task reuses the matrices
+//! ```
+
+use crate::cache::CacheLookup;
+use crate::engine::{DocumentId, Evaluation, PreparedDocument, PreparedQuery, QueryId};
+use crate::error::EvalError;
+use crate::{compute, count, enumerate, model_check};
+use slp::NormalFormSlp;
+use spanner::{SpanTuple, SpannerAutomaton};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// One evaluation task over a (query, document) pair — the request side of
+/// the paper's task suite (Theorems 5.1, 7.1, 8.10 and the counting
+/// extension).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Task {
+    /// Is `⟦M⟧(D) ≠ ∅`?  (Theorem 5.1(1); `O(|F|)` from the matrices.)
+    NonEmptiness,
+    /// Is the given tuple in `⟦M⟧(D)`?  (Theorem 5.1(2).)
+    ModelCheck(SpanTuple),
+    /// `|⟦M⟧(D)|` without materialising any tuple (counting extension).
+    Count,
+    /// Materialise `⟦M⟧(D)` (Theorem 7.1), keeping at most `limit` tuples
+    /// (`None` = all).  The bound trims the response; the computation
+    /// itself is the full `O(size(S)·r)` pass.
+    Compute {
+        /// Maximum number of tuples to return (`None` = no bound).
+        limit: Option<usize>,
+    },
+    /// Stream a window of `⟦M⟧(D)` with the paper's `O(depth(S)·|X|)`
+    /// delay (Theorem 8.10): skip the first `skip` results, then return up
+    /// to `limit` (`None` = all remaining).  Unlike [`Task::Compute`], cost
+    /// is proportional to `skip + limit`, not to `|⟦M⟧(D)|`.
+    Enumerate {
+        /// Number of leading results to discard.
+        skip: usize,
+        /// Maximum number of tuples to return after skipping (`None` = no
+        /// bound).
+        limit: Option<usize>,
+    },
+}
+
+/// A request against a [`Service`]: which pooled query, which pooled
+/// document, which task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskRequest {
+    /// The pooled query to evaluate.
+    pub query: QueryId,
+    /// The pooled document to evaluate on.
+    pub doc: DocumentId,
+    /// What to compute for the pair.
+    pub task: Task,
+}
+
+/// The result payload of a [`TaskResponse`], one variant per [`Task`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// Answer to [`Task::NonEmptiness`].
+    NonEmpty(bool),
+    /// Answer to [`Task::ModelCheck`].
+    Checked(bool),
+    /// Answer to [`Task::Count`].
+    Count(u128),
+    /// Answer to [`Task::Compute`] / [`Task::Enumerate`].
+    Tuples(Vec<SpanTuple>),
+}
+
+impl TaskOutcome {
+    /// The Boolean payload of [`NonEmpty`](TaskOutcome::NonEmpty) or
+    /// [`Checked`](TaskOutcome::Checked).
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            TaskOutcome::NonEmpty(b) | TaskOutcome::Checked(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The payload of [`Count`](TaskOutcome::Count).
+    pub fn as_count(&self) -> Option<u128> {
+        match *self {
+            TaskOutcome::Count(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The tuples of [`Tuples`](TaskOutcome::Tuples).
+    pub fn tuples(&self) -> Option<&[SpanTuple]> {
+        match self {
+            TaskOutcome::Tuples(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into its tuples ([`Tuples`](TaskOutcome::Tuples)
+    /// only).
+    pub fn into_tuples(self) -> Option<Vec<SpanTuple>> {
+        match self {
+            TaskOutcome::Tuples(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Per-request statistics carried on every [`TaskResponse`].
+///
+/// [`Task::ModelCheck`] never consults the matrix cache (Theorem 5.1(2)
+/// works on the original automaton × SLP), so its responses report
+/// `cache_hit: false` with zero build time and zero matrix bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestStats {
+    /// `true` if the pair's matrices were already resident.
+    pub cache_hit: bool,
+    /// Time this request spent building the Lemma 6.5 matrices (zero on a
+    /// cache hit).
+    pub matrix_build: Duration,
+    /// [`crate::matrices::Preprocessed::approx_bytes`] of the pair's
+    /// matrices.
+    pub matrix_bytes: usize,
+    /// Time spent answering the task itself (after the matrices were in
+    /// hand).
+    pub task_time: Duration,
+    /// Number of tuples materialised into the response (zero for the
+    /// Boolean and counting tasks).
+    pub results: u64,
+}
+
+/// The response to one [`TaskRequest`]: the outcome plus request statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskResponse {
+    /// The task's result.
+    pub outcome: TaskOutcome,
+    /// What the request cost.
+    pub stats: RequestStats,
+}
+
+/// Aggregate service counters, a snapshot of [`Service::stats`].
+///
+/// `cache_hits + cache_misses` need not equal `requests`:
+/// [`Task::ModelCheck`] requests skip the cache entirely, while ad-hoc
+/// [`Service::evaluation`] bindings and the duplicate pre-build of
+/// [`Service::run_batch`] consult it without counting as requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Total requests served (including failed ones).
+    pub requests: u64,
+    /// Cache lookups answered from resident matrices.
+    pub cache_hits: u64,
+    /// Cache lookups that built matrices.
+    pub cache_misses: u64,
+    /// Matrix sets evicted across all document caches (lifetime total).
+    pub evictions: u64,
+    /// Bytes of preprocessed matrices currently resident across all
+    /// document caches.
+    pub resident_bytes: usize,
+}
+
+/// Configuration assembled by [`ServiceBuilder`].
+#[derive(Debug, Clone, Copy)]
+struct ServiceConfig {
+    cache_budget: Option<usize>,
+    determinize: bool,
+    parallel: bool,
+}
+
+/// Builder for a [`Service`]: cache budget, determinisation policy,
+/// parallelism toggle.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceBuilder {
+    config: ServiceConfig,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        ServiceBuilder {
+            config: ServiceConfig {
+                cache_budget: None,
+                determinize: true,
+                parallel: true,
+            },
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// Starts from the defaults: unbounded caches, determinising query
+    /// registration, parallel batches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the preprocessed-matrix bytes resident **per document** at
+    /// `bytes`, with LRU eviction over query tokens.  Documents added after
+    /// this call use the budget; the total resident footprint is bounded by
+    /// `bytes × num_documents`.
+    pub fn cache_budget(mut self, bytes: usize) -> Self {
+        self.config.cache_budget = Some(bytes);
+        self
+    }
+
+    /// Removes the cache budget (the default): matrices accumulate until
+    /// [`PreparedDocument::clear_cache`] is called.
+    pub fn unbounded_cache(mut self) -> Self {
+        self.config.cache_budget = None;
+        self
+    }
+
+    /// Sets the determinisation policy for [`Service::add_query`].  With
+    /// `true` (the default) every pooled query is determinised, so the full
+    /// task suite is available.  With `false` queries keep their prepared
+    /// form; [`Task::Count`] and [`Task::Enumerate`] then fail with
+    /// [`EvalError::NondeterministicAutomaton`] for non-deterministic
+    /// queries (duplicate-freeness needs determinism, Lemma 8.8), while the
+    /// other tasks work unchanged.
+    pub fn determinize(mut self, yes: bool) -> Self {
+        self.config.determinize = yes;
+        self
+    }
+
+    /// Enables or disables the thread fan-out in [`Service::run_batch`]
+    /// (default on; only effective with the `parallel` feature).
+    pub fn parallel(mut self, yes: bool) -> Self {
+        self.config.parallel = yes;
+        self
+    }
+
+    /// Builds the (empty) service.
+    pub fn build(self) -> Service {
+        Service {
+            queries: RwLock::new(Vec::new()),
+            documents: RwLock::new(Vec::new()),
+            config: self.config,
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A shared pool of prepared queries and documents with concurrent, task-
+/// oriented evaluation over the cross-product.  See the module docs for the
+/// concurrency contract and [`ServiceBuilder`] for the knobs.
+///
+/// `Service` is `Sync`: registration and evaluation all take `&self`, so a
+/// single instance can be shared across threads (e.g. behind an `Arc` in a
+/// server) without external locking.
+#[derive(Debug)]
+pub struct Service {
+    queries: RwLock<Vec<Arc<PreparedQuery>>>,
+    documents: RwLock<Vec<Arc<PreparedDocument>>>,
+    config: ServiceConfig,
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        ServiceBuilder::new().build()
+    }
+}
+
+impl Service {
+    /// Creates a service with the default configuration (see
+    /// [`ServiceBuilder`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts configuring a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::new()
+    }
+
+    /// Registers a query, running the automaton-side preparation once
+    /// (ε-removal, end-transformation, and — under the default policy —
+    /// determinisation; see [`ServiceBuilder::determinize`]).
+    pub fn add_query(&self, automaton: &SpannerAutomaton<u8>) -> QueryId {
+        let prepared = if self.config.determinize {
+            PreparedQuery::determinized(automaton)
+        } else {
+            PreparedQuery::new(automaton)
+        };
+        self.push_query(Arc::new(prepared))
+    }
+
+    /// Registers an already prepared query.  Under the determinising policy
+    /// a non-deterministic query is upgraded via its ε-free automaton.
+    pub fn add_prepared_query(&self, query: PreparedQuery) -> QueryId {
+        let query = if self.config.determinize && !query.is_deterministic() {
+            PreparedQuery::determinized(query.automaton())
+        } else {
+            query
+        };
+        self.push_query(Arc::new(query))
+    }
+
+    fn push_query(&self, query: Arc<PreparedQuery>) -> QueryId {
+        let mut queries = self.queries.write().expect("query pool lock poisoned");
+        queries.push(query);
+        QueryId(queries.len() - 1)
+    }
+
+    /// Registers a document, running the document-side preparation
+    /// (`D ↦ D·#`) once.  Its matrix cache uses the service's byte budget.
+    pub fn add_document(&self, document: &NormalFormSlp<u8>) -> DocumentId {
+        self.add_prepared_document(PreparedDocument::with_cache_budget(
+            document,
+            self.config.cache_budget,
+        ))
+    }
+
+    /// Registers an already prepared document, keeping whatever cache
+    /// budget (and cached matrices) it carries.
+    pub fn add_prepared_document(&self, document: PreparedDocument) -> DocumentId {
+        let mut documents = self.documents.write().expect("document pool lock poisoned");
+        documents.push(Arc::new(document));
+        DocumentId(documents.len() - 1)
+    }
+
+    /// The prepared query behind an id.
+    ///
+    /// # Panics
+    /// If `q` was not returned by this service's `add_query`/
+    /// `add_prepared_query`.
+    pub fn query(&self, q: QueryId) -> Arc<PreparedQuery> {
+        self.queries.read().expect("query pool lock poisoned")[q.index()].clone()
+    }
+
+    /// The prepared document behind an id.
+    ///
+    /// # Panics
+    /// If `d` was not returned by this service's `add_document`/
+    /// `add_prepared_document`.
+    pub fn document(&self, d: DocumentId) -> Arc<PreparedDocument> {
+        self.documents.read().expect("document pool lock poisoned")[d.index()].clone()
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.read().expect("query pool lock poisoned").len()
+    }
+
+    /// Number of registered documents.
+    pub fn num_documents(&self) -> usize {
+        self.documents
+            .read()
+            .expect("document pool lock poisoned")
+            .len()
+    }
+
+    /// Binds a (query, document) pair for ad-hoc evaluation, building or
+    /// fetching the pair's matrices.  The returned [`Evaluation`] owns
+    /// `Arc`s into the pool, so it stays valid however long the caller
+    /// keeps it (even across later evictions).
+    pub fn evaluation(&self, q: QueryId, d: DocumentId) -> Evaluation {
+        let query = self.query(q);
+        let document = self.document(d);
+        let (pre, lookup) = document.matrices_with_stats(&query);
+        self.note_lookup(&lookup);
+        Evaluation::from_parts(query, document, pre)
+    }
+
+    /// Serves one request: fetches (or builds) the pair's matrices, answers
+    /// the task, and reports what it cost.  Takes `&self` — see the module
+    /// docs for the concurrency contract.
+    ///
+    /// # Errors
+    /// [`EvalError::NondeterministicAutomaton`] for [`Task::Count`] /
+    /// [`Task::Enumerate`] on a non-deterministic query (only possible with
+    /// [`ServiceBuilder::determinize`]`(false)`), and any error of the
+    /// model-checking algorithm (e.g. out-of-bounds tuples).
+    ///
+    /// # Panics
+    /// If the request names ids not issued by this service.
+    pub fn run(&self, request: &TaskRequest) -> Result<TaskResponse, EvalError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let query = self.query(request.query);
+        let document = self.document(request.doc);
+
+        // Model checking runs on the original automaton × SLP
+        // (Theorem 5.1(2)) and never reads the pair matrices — don't build
+        // them (or evict a hot pair) for it.  Its stats report zero cache
+        // traffic.
+        if let Task::ModelCheck(tuple) = &request.task {
+            let start = Instant::now();
+            let verdict = model_check::check(query.automaton(), document.original(), tuple)?;
+            return Ok(TaskResponse {
+                outcome: TaskOutcome::Checked(verdict),
+                stats: RequestStats {
+                    cache_hit: false,
+                    matrix_build: Duration::ZERO,
+                    matrix_bytes: 0,
+                    task_time: start.elapsed(),
+                    results: 0,
+                },
+            });
+        }
+
+        // Reject tasks whose duplicate-freeness needs determinism (Lemma
+        // 8.8) *before* paying the matrix build — an erroring request must
+        // not spend `O(size(S)·q³)` or evict a hot pair from the cache.
+        if matches!(request.task, Task::Count | Task::Enumerate { .. }) && !query.is_deterministic()
+        {
+            return Err(EvalError::NondeterministicAutomaton);
+        }
+
+        let (pre, lookup) = document.matrices_with_stats(&query);
+        self.note_lookup(&lookup);
+
+        let start = Instant::now();
+        let outcome = match &request.task {
+            Task::NonEmptiness => TaskOutcome::NonEmpty(!pre.reachable_accepting().is_empty()),
+            Task::ModelCheck(_) => unreachable!("handled above"),
+            Task::Count => TaskOutcome::Count(count::count_from_matrices(&pre)),
+            Task::Compute { limit } => {
+                let mut tuples = compute::compute_from_matrices(&pre);
+                if let Some(limit) = *limit {
+                    tuples.truncate(limit);
+                }
+                TaskOutcome::Tuples(tuples)
+            }
+            Task::Enumerate { skip, limit } => {
+                let iter = enumerate::Enumeration::from_matrices(&pre).skip(*skip);
+                let tuples: Vec<SpanTuple> = match *limit {
+                    Some(limit) => iter.take(limit).collect(),
+                    None => iter.collect(),
+                };
+                TaskOutcome::Tuples(tuples)
+            }
+        };
+        let task_time = start.elapsed();
+        let results = outcome.tuples().map_or(0, |t| t.len() as u64);
+        Ok(TaskResponse {
+            outcome,
+            stats: RequestStats {
+                cache_hit: lookup.hit,
+                matrix_build: lookup.build_time,
+                matrix_bytes: lookup.bytes,
+                task_time,
+                results,
+            },
+        })
+    }
+
+    /// Serves a batch of requests, fanning out across a thread scope (with
+    /// the `parallel` feature and unless disabled via
+    /// [`ServiceBuilder::parallel`]).  Responses are in request order.
+    ///
+    /// Requests sharing a (query, document) pair deduplicate through the
+    /// matrix cache.  Pairs that occur more than once in the batch have
+    /// their matrices built once up front, so the duplicate requests fan
+    /// out onto warm caches instead of racing redundant
+    /// `O(size(S)·q³)` builds (the race would be benign, just wasteful);
+    /// distinct cold pairs still build fully in parallel.
+    pub fn run_batch(&self, requests: &[TaskRequest]) -> Vec<Result<TaskResponse, EvalError>> {
+        #[cfg(feature = "parallel")]
+        if self.config.parallel {
+            let mut occurrences: std::collections::HashMap<(usize, usize), usize> =
+                std::collections::HashMap::new();
+            for request in requests {
+                // Model checking never touches the matrices — see `run`.
+                if !matches!(request.task, Task::ModelCheck(_)) {
+                    *occurrences
+                        .entry((request.query.index(), request.doc.index()))
+                        .or_default() += 1;
+                }
+            }
+            for (&(q, d), &n) in &occurrences {
+                if n > 1 {
+                    let query = self.query(QueryId(q));
+                    let document = self.document(DocumentId(d));
+                    let (_, lookup) = document.matrices_with_stats(&query);
+                    self.note_lookup(&lookup);
+                }
+            }
+            return rayon::par_map(requests, |request| self.run(request));
+        }
+        requests.iter().map(|request| self.run(request)).collect()
+    }
+
+    fn note_lookup(&self, lookup: &CacheLookup) {
+        if lookup.hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A snapshot of the aggregate counters (requests and cache traffic
+    /// across all documents).
+    pub fn stats(&self) -> ServiceStats {
+        let documents = self.documents.read().expect("document pool lock poisoned");
+        let mut evictions = 0;
+        let mut resident_bytes = 0;
+        for document in documents.iter() {
+            let stats = document.cache_stats();
+            evictions += stats.evictions;
+            resident_bytes += stats.resident_bytes;
+        }
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            evictions,
+            resident_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SlpSpanner;
+    use slp::compress::{Bisection, Compressor};
+    use slp::families;
+    use spanner::examples::figure_2_spanner;
+    use spanner::regex;
+    use std::collections::BTreeSet;
+
+    fn assert_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn service_is_send_and_sync() {
+        assert_sync::<Service>();
+    }
+
+    #[test]
+    fn all_tasks_match_the_facade() {
+        let service = Service::new();
+        let m = regex::compile(".*x{a+}y{b+}.*", b"ab").unwrap();
+        let doc = Bisection.compress(b"aabbaabb");
+        let q = service.add_query(&m);
+        let d = service.add_document(&doc);
+        let fresh = SlpSpanner::new(&m, &doc).unwrap();
+        let run = |task: Task| {
+            service
+                .run(&TaskRequest {
+                    query: q,
+                    doc: d,
+                    task,
+                })
+                .unwrap()
+        };
+
+        assert_eq!(
+            run(Task::NonEmptiness).outcome.as_bool(),
+            Some(fresh.is_non_empty())
+        );
+        assert_eq!(run(Task::Count).outcome.as_count(), Some(fresh.count()));
+        let all: BTreeSet<SpanTuple> = fresh.compute().into_iter().collect();
+        let computed = run(Task::Compute { limit: None });
+        assert_eq!(
+            computed
+                .outcome
+                .tuples()
+                .unwrap()
+                .iter()
+                .cloned()
+                .collect::<BTreeSet<_>>(),
+            all
+        );
+        assert_eq!(computed.stats.results as usize, all.len());
+        let tuple = fresh.compute().remove(0);
+        assert_eq!(
+            run(Task::ModelCheck(tuple)).outcome.as_bool(),
+            Some(true),
+            "computed tuples model-check"
+        );
+        let enumerated = run(Task::Enumerate {
+            skip: 0,
+            limit: None,
+        });
+        assert_eq!(
+            enumerated
+                .outcome
+                .into_tuples()
+                .unwrap()
+                .into_iter()
+                .collect::<BTreeSet<_>>(),
+            all
+        );
+    }
+
+    #[test]
+    fn enumerate_windows_partition_the_relation() {
+        let service = Service::new();
+        let q = service.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+        let d = service.add_document(&families::power_word(b"ab", 100));
+        let mut seen = Vec::new();
+        for window in 0..4 {
+            let response = service
+                .run(&TaskRequest {
+                    query: q,
+                    doc: d,
+                    task: Task::Enumerate {
+                        skip: window * 30,
+                        limit: Some(30),
+                    },
+                })
+                .unwrap();
+            seen.extend(response.outcome.into_tuples().unwrap());
+        }
+        // 100 results in windows of 30: 30 + 30 + 30 + 10.
+        assert_eq!(seen.len(), 100);
+        assert_eq!(seen.iter().collect::<BTreeSet<_>>().len(), 100);
+    }
+
+    #[test]
+    fn compute_limit_trims_the_response() {
+        let service = Service::new();
+        let q = service.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+        let d = service.add_document(&families::power_word(b"ab", 64));
+        let response = service
+            .run(&TaskRequest {
+                query: q,
+                doc: d,
+                task: Task::Compute { limit: Some(5) },
+            })
+            .unwrap();
+        assert_eq!(response.stats.results, 5);
+        assert_eq!(response.outcome.tuples().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn request_stats_track_cache_traffic() {
+        let service = Service::new();
+        let q = service.add_query(&figure_2_spanner());
+        let d = service.add_document(&Bisection.compress(b"aabccaabaa"));
+        let request = TaskRequest {
+            query: q,
+            doc: d,
+            task: Task::NonEmptiness,
+        };
+        let first = service.run(&request).unwrap();
+        assert!(!first.stats.cache_hit);
+        assert!(first.stats.matrix_bytes > 0);
+        let second = service.run(&request).unwrap();
+        assert!(second.stats.cache_hit);
+        assert_eq!(second.stats.matrix_build, Duration::ZERO);
+        let stats = service.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+        assert_eq!(stats.resident_bytes, first.stats.matrix_bytes);
+    }
+
+    #[test]
+    fn run_batch_matches_run_in_request_order() {
+        let service = Service::new();
+        let q1 = service.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+        let q2 = service.add_query(&regex::compile(".*x{a+}y{b+}.*", b"ab").unwrap());
+        let docs = [
+            Bisection.compress(b"aabbaabbab"),
+            families::power_word(b"ab", 64),
+        ];
+        let dids: Vec<DocumentId> = docs.iter().map(|d| service.add_document(d)).collect();
+        let mut requests = Vec::new();
+        for &q in &[q1, q2] {
+            for &d in &dids {
+                requests.push(TaskRequest {
+                    query: q,
+                    doc: d,
+                    task: Task::Count,
+                });
+                requests.push(TaskRequest {
+                    query: q,
+                    doc: d,
+                    task: Task::Compute { limit: None },
+                });
+            }
+        }
+        let batch = service.run_batch(&requests);
+        assert_eq!(batch.len(), requests.len());
+        for (request, response) in requests.iter().zip(batch) {
+            let serial = service.run(request).unwrap();
+            assert_eq!(response.unwrap().outcome, serial.outcome);
+        }
+    }
+
+    #[test]
+    fn nondeterministic_policy_gates_the_duplicate_free_tasks() {
+        let service = Service::builder().determinize(false).build();
+        let nondet = regex::compile(".*x{a.*}.*", b"ab").unwrap();
+        assert!(!nondet.is_deterministic());
+        let q = service.add_query(&nondet);
+        let d = service.add_document(&Bisection.compress(b"abab"));
+        assert!(!service.query(q).is_deterministic());
+        let err = service
+            .run(&TaskRequest {
+                query: q,
+                doc: d,
+                task: Task::Count,
+            })
+            .unwrap_err();
+        assert_eq!(err, EvalError::NondeterministicAutomaton);
+        assert_eq!(
+            service.document(d).cached_query_count(),
+            0,
+            "a rejected request must not pay the matrix build"
+        );
+        // Non-emptiness and compute still work (duplicates eliminated by ⪯).
+        let compute = service
+            .run(&TaskRequest {
+                query: q,
+                doc: d,
+                task: Task::Compute { limit: None },
+            })
+            .unwrap();
+        let det = SlpSpanner::new(&nondet, &Bisection.compress(b"abab")).unwrap();
+        assert_eq!(
+            compute.stats.results as usize,
+            det.compute().len(),
+            "compute is duplicate-free even without determinisation"
+        );
+        // The ad-hoc Evaluation path must not silently double-count either:
+        // count() falls back to the duplicate-free compute pass.
+        let eval = service.evaluation(q, d);
+        assert_eq!(eval.count(), det.count());
+    }
+
+    #[test]
+    fn model_check_requests_skip_the_matrix_cache() {
+        let service = Service::new();
+        let q = service.add_query(&figure_2_spanner());
+        let d = service.add_document(&Bisection.compress(b"aabccaabaa"));
+        let tuple = {
+            let eval = service.evaluation(q, d);
+            eval.compute().remove(0)
+        };
+        service.document(d).clear_cache();
+        let response = service
+            .run(&TaskRequest {
+                query: q,
+                doc: d,
+                task: Task::ModelCheck(tuple),
+            })
+            .unwrap();
+        assert_eq!(response.outcome.as_bool(), Some(true));
+        // No matrices were built or reported for the check.
+        assert!(!response.stats.cache_hit);
+        assert_eq!(response.stats.matrix_bytes, 0);
+        assert_eq!(
+            service.document(d).cached_query_count(),
+            0,
+            "model checking must not populate the cache"
+        );
+    }
+
+    #[test]
+    fn run_batch_prebuilds_duplicated_cold_pairs_once() {
+        let service = Service::new();
+        let q = service.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+        let d = service.add_document(&families::power_word(b"ab", 64));
+        let requests = vec![
+            TaskRequest {
+                query: q,
+                doc: d,
+                task: Task::Count,
+            };
+            6
+        ];
+        let batch = service.run_batch(&requests);
+        for response in batch {
+            assert_eq!(response.unwrap().outcome.as_count(), Some(64));
+        }
+        // One build total: the pre-build pass, which every request then hit
+        // (with the `parallel` feature the duplicate requests would
+        // otherwise race redundant builds; serially this holds trivially).
+        assert_eq!(service.document(d).cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn cache_budget_bounds_resident_bytes() {
+        let probe = {
+            let service = Service::new();
+            let q = service.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+            let d = service.add_document(&families::power_word(b"ab", 64));
+            service
+                .run(&TaskRequest {
+                    query: q,
+                    doc: d,
+                    task: Task::NonEmptiness,
+                })
+                .unwrap()
+                .stats
+                .matrix_bytes
+        };
+        // Budget for roughly two (similar) matrix sets per document.
+        let service = Service::builder().cache_budget(probe * 5 / 2).build();
+        let queries = [
+            ".*x{ab}.*",
+            ".*x{a+}y{b+}.*",
+            "(a|b)*x{abb?}(a|b)*",
+            ".*x{ba}.*",
+        ];
+        let qids: Vec<QueryId> = queries
+            .iter()
+            .map(|p| service.add_query(&regex::compile(p, b"ab").unwrap()))
+            .collect();
+        let d = service.add_document(&families::power_word(b"ab", 64));
+        for &q in &qids {
+            service
+                .run(&TaskRequest {
+                    query: q,
+                    doc: d,
+                    task: Task::Count,
+                })
+                .unwrap();
+            assert!(service.stats().resident_bytes <= probe * 5 / 2);
+        }
+        let stats = service.stats();
+        assert!(stats.evictions > 0, "four queries cannot all stay resident");
+        assert_eq!(service.document(d).cache_budget(), Some(probe * 5 / 2));
+    }
+}

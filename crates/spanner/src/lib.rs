@@ -19,7 +19,7 @@
 //!   (Section 3.2), plus compilation from variable regexes
 //!   ([`regex::compile`]) and the paper's Figure 2 automaton
 //!   ([`examples::figure_2_spanner`]).
-//! * [`reference`] — a brute-force reference evaluator used as ground truth
+//! * [`reference`](mod@reference) — a brute-force reference evaluator used as ground truth
 //!   by the test suites of the evaluation crates.
 
 #![forbid(unsafe_code)]

@@ -143,6 +143,13 @@ impl PartialMarkerSet {
         PartialMarkerSet::from_entries(self.entries().chain(shifted.entries()))
     }
 
+    /// Heap bytes owned by this partial marker set (the backing entry
+    /// buffer), for cache size accounting.  The inline `size_of::<Self>()`
+    /// part is accounted by whichever container holds the value.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(u64, MarkerSet)>()
+    }
+
     /// Expands into the sequence of `(position, marker)` pairs in the
     /// paper's `⪯`-order on `Γ_X × ℕ` (position-major, marker-minor).
     pub fn expand(&self) -> Vec<(u64, Marker)> {

@@ -77,4 +77,7 @@ fn main() {
 
     // Counting all results still never decompresses the document.
     println!("total results        : {}", spanner.count());
+
+    // For serving many queries over many documents concurrently — with
+    // cache statistics and memory bounds — see `examples/service_tasks.rs`.
 }

@@ -1,0 +1,128 @@
+//! The service layer: one shared, memory-bounded `Service` answering
+//! task-oriented requests for many queries over many documents — from many
+//! threads at once, since `run`/`run_batch` take `&self`.
+//!
+//! Run with `cargo run --release --example service_tasks`.
+
+use slp_spanner::prelude::*;
+use slp_spanner::slp::families;
+use slp_spanner::workloads::documents::{repetitive_log, LogOptions};
+use slp_spanner::workloads::queries;
+
+fn main() {
+    // A service with a 32 MiB matrix budget per document: matrices for the
+    // hottest (query, document) pairs stay resident, cold ones are evicted
+    // LRU-first and transparently rebuilt when they come back.
+    let service = Service::builder().cache_budget(32 << 20).build();
+
+    // Pool three documents: two generated logs and one synthetic giant.
+    let logs: Vec<NormalFormSlp<u8>> = [7, 8]
+        .iter()
+        .map(|&seed| {
+            RePair::default().compress(&repetitive_log(&LogOptions {
+                lines: 5_000,
+                templates: 8,
+                seed,
+            }))
+        })
+        .collect();
+    let mut docs: Vec<DocumentId> = logs.iter().map(|slp| service.add_document(slp)).collect();
+    docs.push(service.add_document(&families::power_word(
+        b"ERROR in pay: code=500 retry\n",
+        1_000_000,
+    )));
+
+    // Pool two extraction queries.
+    let q_kv = service.add_query(&queries::key_value().automaton);
+    let q_err = service.add_query(&queries::log_error_value().automaton);
+
+    // Phase 1: a batch of counting requests over the full cross-product.
+    // Counting never materialises a single tuple.
+    let count_requests: Vec<TaskRequest> = [q_kv, q_err]
+        .iter()
+        .flat_map(|&query| {
+            docs.iter().map(move |&doc| TaskRequest {
+                query,
+                doc,
+                task: Task::Count,
+            })
+        })
+        .collect();
+    println!("counting over the query × document grid:");
+    for (request, response) in count_requests
+        .iter()
+        .zip(service.run_batch(&count_requests))
+    {
+        let response = response.expect("pooled counting cannot fail");
+        println!(
+            "  query {:>2} × doc {:>2}: {:>9} results  [{}, matrices {:>7} bytes, build {:?}]",
+            request.query.index(),
+            request.doc.index(),
+            response.outcome.as_count().unwrap(),
+            if response.stats.cache_hit {
+                "cache hit "
+            } else {
+                "cache miss"
+            },
+            response.stats.matrix_bytes,
+            response.stats.matrix_build,
+        );
+    }
+
+    // Phase 2: page through one hot pair with enumeration windows — cost is
+    // proportional to the window, not to the total result count.
+    println!("\npaging the error extractions of document 0:");
+    for page in 0..3 {
+        let response = service
+            .run(&TaskRequest {
+                query: q_err,
+                doc: docs[0],
+                task: Task::Enumerate {
+                    skip: page * 4,
+                    limit: Some(4),
+                },
+            })
+            .expect("enumeration succeeds");
+        println!(
+            "  page {page}: {} tuples in {:?} (cache hit: {})",
+            response.stats.results, response.stats.task_time, response.stats.cache_hit,
+        );
+    }
+
+    // Phase 3: the same service, shared across threads with no extra
+    // locking — `run` takes `&self`.
+    let hits: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|worker| {
+                let service = &service;
+                let docs = &docs;
+                scope.spawn(move || {
+                    let mut hits = 0;
+                    for round in 0..8 {
+                        let response = service
+                            .run(&TaskRequest {
+                                query: if (worker + round) % 2 == 0 {
+                                    q_kv
+                                } else {
+                                    q_err
+                                },
+                                doc: docs[(worker + round) % docs.len()],
+                                task: Task::NonEmptiness,
+                            })
+                            .expect("non-emptiness cannot fail");
+                        hits += response.stats.cache_hit as usize;
+                    }
+                    hits
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    println!("\n4 threads × 8 requests: {hits}/32 were cache hits");
+
+    let stats = service.stats();
+    println!(
+        "service totals: {} requests, {} hits / {} misses, {} evictions, {} bytes resident",
+        stats.requests, stats.cache_hits, stats.cache_misses, stats.evictions, stats.resident_bytes,
+    );
+}

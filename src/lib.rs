@@ -41,6 +41,26 @@
 //! let x = query.variables().get("x").unwrap();
 //! assert_eq!(first.get(x).unwrap().len(), 3);
 //! ```
+//!
+//! ## Serving many queries over many documents
+//!
+//! The [`Service`](eval::service::Service) pools prepared queries and
+//! documents, answers task-oriented requests from any number of threads
+//! (`run`/`run_batch` take `&self`), reports per-request cache statistics,
+//! and keeps the preprocessed matrices under a configurable byte budget:
+//!
+//! ```
+//! use slp_spanner::prelude::*;
+//!
+//! let service = Service::builder().cache_budget(64 << 20).build();
+//! let q = service.add_query(&compile_query(".*x{ab}.*", b"ab").unwrap());
+//! let d = service.add_document(&slp_spanner::slp::families::power_word(b"ab", 1_000_000));
+//! let response = service
+//!     .run(&TaskRequest { query: q, doc: d, task: Task::Count })
+//!     .unwrap();
+//! assert_eq!(response.outcome.as_count(), Some(1_000_000));
+//! assert!(!response.stats.cache_hit); // first touch built the matrices
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,7 +77,8 @@ pub mod prelude {
     pub use crate::eval::{
         compute::compute_all, count::count_results, enumerate::Enumerator, model_check,
         nonemptiness, DocumentId, Engine, EvalError, Evaluation, PreparedDocument, PreparedQuery,
-        QueryId, SlpSpanner,
+        QueryId, RequestStats, Service, ServiceBuilder, ServiceStats, SlpSpanner, Task,
+        TaskOutcome, TaskRequest, TaskResponse,
     };
     pub use crate::slp::{
         compress::{Bisection, Compressor, RePair},

@@ -47,7 +47,7 @@ fn dna_motif_counts_match_baseline() {
     let spanner = SlpSpanner::new(&query.automaton, &slp).expect("query compiles");
     let compressed = spanner.count();
     let uncompressed = baseline::compute_uncompressed(&query.automaton, &plain).len();
-    assert_eq!(compressed, uncompressed);
+    assert_eq!(compressed, uncompressed as u128);
 }
 
 #[test]
@@ -74,6 +74,62 @@ fn counting_huge_compressed_documents_is_fast_and_exact() {
     let query = queries::ab_blocks();
     let spanner = SlpSpanner::new(&query.automaton, &slp).expect("compatible");
     assert_eq!(spanner.count() as u64, k);
+}
+
+#[test]
+fn service_extracts_log_windows_without_materialising_everything() {
+    // The same extraction as above, phrased as service requests: count
+    // first, then page through the results with Enumerate windows; both
+    // answers must match the baseline on the decompressed text.
+    let plain = repetitive_log(&LogOptions {
+        lines: 300,
+        templates: 6,
+        seed: 41,
+    });
+    let slp = RePair::default().compress(&plain);
+    let query = queries::key_value();
+    let expected: BTreeSet<SpanTuple> = baseline::compute_uncompressed(&query.automaton, &plain)
+        .into_iter()
+        .collect();
+
+    let service = Service::new();
+    let q = service.add_query(&query.automaton);
+    let d = service.add_document(&slp);
+    let counted = service
+        .run(&TaskRequest {
+            query: q,
+            doc: d,
+            task: Task::Count,
+        })
+        .expect("count succeeds");
+    assert_eq!(counted.outcome.as_count(), Some(expected.len() as u128));
+    assert!(
+        !counted.stats.cache_hit,
+        "first request builds the matrices"
+    );
+
+    let mut paged: BTreeSet<SpanTuple> = BTreeSet::new();
+    let page = 100;
+    for window in 0.. {
+        let response = service
+            .run(&TaskRequest {
+                query: q,
+                doc: d,
+                task: Task::Enumerate {
+                    skip: window * page,
+                    limit: Some(page),
+                },
+            })
+            .expect("enumeration succeeds");
+        assert!(response.stats.cache_hit, "later requests reuse matrices");
+        let tuples = response.outcome.into_tuples().unwrap();
+        let done = tuples.len() < page;
+        paged.extend(tuples);
+        if done {
+            break;
+        }
+    }
+    assert_eq!(paged, expected);
 }
 
 #[test]

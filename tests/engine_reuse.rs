@@ -59,7 +59,7 @@ fn query_preparation_runs_once_across_documents() {
     // And the results are the fresh-per-pair ones.
     for (doc, count) in docs.iter().zip(counts) {
         let fresh = SlpSpanner::new(&query, doc).unwrap();
-        assert_eq!(count, fresh.count() as u128);
+        assert_eq!(count, fresh.count());
     }
 }
 
@@ -94,31 +94,41 @@ fn document_preparation_is_shared_across_queries() {
     assert_eq!(engine.document(d).cached_query_count(), qs.len());
 }
 
-/// `evaluate_batch` over the full query × document cross-product returns
-/// exactly what a fresh `SlpSpanner` per pair computes.
+/// `Service::run_batch` over the full query × document cross-product
+/// returns exactly what a fresh `SlpSpanner` per pair computes, and the
+/// deprecated `Engine::evaluate_batch` compatibility path agrees with it.
 #[test]
-fn evaluate_batch_matches_fresh_slp_spanner_per_pair() {
+fn run_batch_matches_fresh_slp_spanner_per_pair() {
     let _guard = COUNTER_LOCK.lock().unwrap();
     let qs = queries();
     let docs = documents();
 
-    let mut engine = Engine::new();
-    let qids: Vec<QueryId> = qs.iter().map(|m| engine.add_query(m)).collect();
-    let dids: Vec<DocumentId> = docs.iter().map(|d| engine.add_document(d)).collect();
-    let pairs: Vec<(QueryId, DocumentId)> = qids
+    let service = Service::new();
+    let qids: Vec<QueryId> = qs.iter().map(|m| service.add_query(m)).collect();
+    let dids: Vec<DocumentId> = docs.iter().map(|d| service.add_document(d)).collect();
+    let requests: Vec<TaskRequest> = qids
         .iter()
-        .flat_map(|&q| dids.iter().map(move |&d| (q, d)))
+        .flat_map(|&q| {
+            dids.iter().map(move |&d| TaskRequest {
+                query: q,
+                doc: d,
+                task: Task::Compute { limit: None },
+            })
+        })
         .collect();
 
-    let batch = engine.evaluate_batch(&pairs);
+    let batch = service.run_batch(&requests);
     assert_eq!(batch.len(), qs.len() * docs.len());
 
-    for ((qi, di), result) in qids
+    let mut tuple_batches: Vec<Vec<SpanTuple>> = Vec::new();
+    for ((qi, di), response) in qids
         .iter()
         .enumerate()
         .flat_map(|(qi, _)| dids.iter().enumerate().map(move |(di, _)| (qi, di)))
-        .zip(&batch)
+        .zip(batch)
     {
+        let response = response.expect("compute cannot fail on pooled pairs");
+        let result = response.outcome.into_tuples().unwrap();
         let fresh = SlpSpanner::new(&qs[qi], &docs[di]).unwrap();
         let expected: BTreeSet<SpanTuple> = fresh.compute().into_iter().collect();
         let got: BTreeSet<SpanTuple> = result.iter().cloned().collect();
@@ -127,6 +137,24 @@ fn evaluate_batch_matches_fresh_slp_spanner_per_pair() {
             result.len(),
             expected.len(),
             "duplicates in query {qi} × document {di}"
+        );
+        tuple_batches.push(result);
+    }
+
+    // The deprecated engine entry point is a wrapper over the same path.
+    let mut engine = Engine::new();
+    let qids2: Vec<QueryId> = qs.iter().map(|m| engine.add_query(m)).collect();
+    let dids2: Vec<DocumentId> = docs.iter().map(|d| engine.add_document(d)).collect();
+    let pairs: Vec<(QueryId, DocumentId)> = qids2
+        .iter()
+        .flat_map(|&q| dids2.iter().map(move |&d| (q, d)))
+        .collect();
+    #[allow(deprecated)]
+    let compat = engine.evaluate_batch(&pairs);
+    for (old, new) in compat.iter().zip(&tuple_batches) {
+        assert_eq!(
+            old.iter().collect::<BTreeSet<_>>(),
+            new.iter().collect::<BTreeSet<_>>()
         );
     }
 }
@@ -146,7 +174,7 @@ fn engine_evaluation_answers_all_tasks() {
     let fresh = SlpSpanner::new(&query, &doc).unwrap();
 
     assert!(eval.is_non_empty());
-    assert_eq!(eval.count(), fresh.count() as u128);
+    assert_eq!(eval.count(), fresh.count());
     let computed: BTreeSet<SpanTuple> = eval.compute().into_iter().collect();
     let enumerated: BTreeSet<SpanTuple> = eval.enumerate().collect();
     assert_eq!(computed, enumerated);

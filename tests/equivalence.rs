@@ -100,6 +100,74 @@ fn all_evaluators_agree() {
     }
 }
 
+/// Every task served through the shared `Service` pool agrees with the
+/// brute-force reference on random documents — one pool instance across all
+/// cases, so later cases exercise warm query-side preparation.
+#[test]
+fn service_tasks_agree_with_the_reference() {
+    use slp_spanner::prelude::*;
+    let queries = query_pool();
+    let service = Service::new();
+    let qids: Vec<QueryId> = queries.iter().map(|m| service.add_query(m)).collect();
+    let mut rng = StdRng::seed_from_u64(0x5EED_0004);
+    for case in 0..16 {
+        let doc = random_doc(&mut rng, b"abc", 12);
+        let query = &queries[case % queries.len()];
+        let q = qids[case % queries.len()];
+        let expected = reference::evaluate(query, &doc);
+        let d = service.add_document(&Bisection.compress(&doc));
+        let run = |task: Task| {
+            service
+                .run(&TaskRequest {
+                    query: q,
+                    doc: d,
+                    task,
+                })
+                .expect("pooled tasks cannot fail")
+        };
+
+        assert_eq!(
+            run(Task::NonEmptiness).outcome.as_bool(),
+            Some(!expected.is_empty()),
+            "nonemptiness, doc {doc:?}"
+        );
+        assert_eq!(
+            run(Task::Count).outcome.as_count(),
+            Some(expected.len() as u128),
+            "count, doc {doc:?}"
+        );
+        let computed: BTreeSet<SpanTuple> = run(Task::Compute { limit: None })
+            .outcome
+            .into_tuples()
+            .unwrap()
+            .into_iter()
+            .collect();
+        assert_eq!(computed, expected, "compute, doc {doc:?}");
+        let enumerated = run(Task::Enumerate {
+            skip: 0,
+            limit: None,
+        })
+        .outcome
+        .into_tuples()
+        .unwrap();
+        assert_eq!(enumerated.len(), expected.len(), "enum len, doc {doc:?}");
+        for t in &expected {
+            assert_eq!(
+                run(Task::ModelCheck(t.clone())).outcome.as_bool(),
+                Some(true),
+                "model check {t:?}, doc {doc:?}"
+            );
+        }
+    }
+    // The pool registered one document per case and five queries total.
+    // Each case's first request builds its pair's matrices (one miss); the
+    // Count/Compute/Enumerate follow-ups hit them (model checks bypass the
+    // matrix cache entirely and count as neither).
+    let stats = service.stats();
+    assert_eq!(service.num_documents(), 16);
+    assert!(stats.cache_hits > stats.cache_misses);
+}
+
 /// Model checking agrees with membership of the tuple in the reference
 /// result set, for result tuples and for perturbed non-results alike.
 #[test]

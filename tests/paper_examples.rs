@@ -78,6 +78,62 @@ fn section_1_4_partial_decompression_example() {
 }
 
 #[test]
+fn figure_2_on_example_4_2_through_the_service_api() {
+    // The paper's running example phrased as service requests: every task
+    // of Theorems 5.1, 7.1 and 8.10 on the Figure 2 spanner × Example 4.2
+    // document, answered from one cached matrix build.
+    let m = figure_2_spanner();
+    let slp = example_4_2();
+    let expected = reference::evaluate(&m, &slp.derive());
+
+    let service = Service::new();
+    let q = service.add_query(&m);
+    let d = service.add_document(&slp);
+    let run = |task: Task| {
+        service
+            .run(&TaskRequest {
+                query: q,
+                doc: d,
+                task,
+            })
+            .expect("paper tasks succeed")
+    };
+
+    assert_eq!(run(Task::NonEmptiness).outcome.as_bool(), Some(true));
+    assert_eq!(
+        run(Task::Count).outcome.as_count(),
+        Some(expected.len() as u128)
+    );
+
+    // Example 8.2's tuple: y = [4, 6⟩.
+    let y = m.variables().get("y").unwrap();
+    let mut t = SpanTuple::empty(2);
+    t.set(y, Span::new(4, 6).unwrap());
+    assert_eq!(
+        run(Task::ModelCheck(t.clone())).outcome.as_bool(),
+        Some(true)
+    );
+
+    let computed = run(Task::Compute { limit: None });
+    let set: BTreeSet<SpanTuple> = computed
+        .outcome
+        .into_tuples()
+        .unwrap()
+        .into_iter()
+        .collect();
+    assert_eq!(set, expected);
+    assert!(set.contains(&t));
+
+    // Only the very first request built matrices; the other matrix-backed
+    // tasks hit, and the model check (which runs on the original automaton
+    // × SLP, not the matrices) touched the cache not at all.
+    let stats = service.stats();
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, 2);
+}
+
+#[test]
 fn theorem_5_1_works_on_documents_too_large_to_decompress() {
     // a^(2^40) ≈ 10^12 symbols: decompression is out of the question, but
     // the compressed algorithms answer instantly from the 41-rule SLP.
