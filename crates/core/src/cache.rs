@@ -1,37 +1,54 @@
 //! A concurrent, byte-budgeted cache for the pair-dependent matrices of
-//! Lemma 6.5.
+//! Lemma 6.5 — shared **service-wide** across documents.
 //!
-//! Every [`PreparedDocument`](crate::engine::PreparedDocument) owns one
-//! [`MatrixCache`] mapping query tokens to `Arc<Preprocessed>`.  The cache
-//! is designed for the service layer's `&self` evaluation contract:
+//! Entries are keyed by a [`PairKey`] (document token × query token).  A
+//! standalone [`PreparedDocument`](crate::engine::PreparedDocument) owns a
+//! private cache; documents registered in a
+//! [`Service`](crate::service::Service) are re-homed onto the service's one
+//! shared cache, so the matrices of *every* document — and every shard of
+//! every document — compete for a single byte pool under one global budget
+//! with one shared eviction clock.  The cache is designed for the service
+//! layer's `&self` evaluation contract:
 //!
 //! * **Sharded `RwLock` map.**  Lookups take a shard read lock only, so any
 //!   number of threads can serve cache hits simultaneously; inserts take a
 //!   single shard's write lock.
 //! * **Benign build races.**  On a miss the `O(size(S)·q³)` matrix build
-//!   runs *outside* all locks.  If two threads miss on the same token
+//!   runs *outside* all locks.  If two threads miss on the same key
 //!   concurrently, both build, and the first insert wins — the loser adopts
 //!   the winner's `Arc` and drops its own copy.  Matrices are read-only
 //!   after construction and deterministic per (query, document) pair, so
 //!   duplicated work is the only cost, never divergence.
-//! * **LRU admission/eviction under a byte budget.**  Each entry is weighed
-//!   by [`Preprocessed::approx_bytes`]; when an insert pushes the resident
-//!   total over the budget, least-recently-used entries are evicted until
-//!   the total fits again.  Recency is tracked with a lock-free logical
-//!   clock, so the LRU order is approximate under contention (exact when
-//!   requests are sequential).  Evicted matrices that are still referenced
-//!   by in-flight evaluations stay alive through their `Arc`s and are
-//!   simply rebuilt on the next request.
+//! * **Global LRU admission/eviction under one byte budget.**  Each entry
+//!   is weighed by [`Preprocessed::approx_bytes`]; when an insert pushes
+//!   the resident total over the budget, the globally least-recently-used
+//!   entries — regardless of which document they belong to — are evicted
+//!   until the total fits again.  Recency is tracked with a lock-free
+//!   logical clock shared by all documents, so the LRU order is approximate
+//!   under contention (exact when requests are sequential).  Evicted
+//!   matrices that are still referenced by in-flight evaluations stay alive
+//!   through their `Arc`s and are simply rebuilt on the next request.
 
-use crate::matrices::Preprocessed;
+use crate::matrices::{Preprocessed, ShardBuildStats};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
-/// Number of independent lock shards.  Query tokens are sequential, so
-/// `token % SHARDS` spreads a pool of queries evenly.
+/// Number of independent lock shards.  Tokens are sequential, so mixing the
+/// document and query halves spreads a pool of pairs evenly.
 const SHARDS: usize = 8;
+
+/// The cache key of one (document, query) pair: both sides carry a
+/// process-unique token, so one shared map can serve every document of a
+/// service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PairKey {
+    /// The prepared document's unique token.
+    pub doc: u64,
+    /// The prepared query's unique token.
+    pub query: u64,
+}
 
 /// One cached matrix set plus its bookkeeping.
 #[derive(Debug)]
@@ -45,7 +62,7 @@ struct CacheEntry {
 
 /// The outcome of one cache lookup, reported back to the caller for
 /// per-request statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheLookup {
     /// `true` if the matrices were already resident (no build ran in this
     /// request).
@@ -55,9 +72,14 @@ pub struct CacheLookup {
     pub build_time: Duration,
     /// [`Preprocessed::approx_bytes`] of the returned matrices.
     pub bytes: usize,
+    /// Per-shard build/merge timings when this lookup ran a scatter-gather
+    /// build (`None` on hits and on monolithic builds).
+    pub shard_stats: Option<ShardBuildStats>,
 }
 
 /// Cumulative counters of one [`MatrixCache`] (monotone over its lifetime).
+/// For documents registered in a service these are the *service-wide*
+/// totals of the shared cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from resident matrices.
@@ -72,17 +94,18 @@ pub struct CacheStats {
     pub resident_entries: usize,
 }
 
-/// A sharded, optionally byte-budgeted map from query tokens to the
-/// preprocessed matrices of Lemma 6.5.  See the module docs for the
-/// concurrency contract.
+/// A sharded, optionally byte-budgeted map from (document, query) pair keys
+/// to the preprocessed matrices of Lemma 6.5.  See the module docs for the
+/// concurrency contract and the global-budget semantics.
 #[derive(Debug)]
 pub struct MatrixCache {
-    shards: Box<[RwLock<HashMap<u64, CacheEntry>>]>,
-    /// Logical clock for LRU recency.
+    shards: Box<[RwLock<HashMap<PairKey, CacheEntry>>]>,
+    /// Logical clock for LRU recency, shared by every document on this
+    /// cache (the service-wide eviction clock).
     clock: AtomicU64,
     /// Sum of `bytes` over all resident entries.
     resident: AtomicUsize,
-    /// `None` = unbounded (the pre-service default).
+    /// `None` = unbounded (the standalone-document default).
     budget: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -90,8 +113,8 @@ pub struct MatrixCache {
 }
 
 impl MatrixCache {
-    /// Creates a cache; `budget` is the maximum resident byte total
-    /// (`None` = unbounded).
+    /// Creates a cache; `budget` is the maximum resident byte total across
+    /// every document that shares this cache (`None` = unbounded).
     pub fn new(budget: Option<usize>) -> Self {
         MatrixCache {
             shards: (0..SHARDS)
@@ -107,8 +130,12 @@ impl MatrixCache {
         }
     }
 
-    fn shard(&self, token: u64) -> &RwLock<HashMap<u64, CacheEntry>> {
-        &self.shards[(token % SHARDS as u64) as usize]
+    fn shard(&self, key: PairKey) -> &RwLock<HashMap<PairKey, CacheEntry>> {
+        let mixed = key
+            .doc
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(key.query);
+        &self.shards[(mixed % SHARDS as u64) as usize]
     }
 
     fn tick(&self) -> u64 {
@@ -120,15 +147,16 @@ impl MatrixCache {
         self.budget
     }
 
-    /// Returns the matrices for `token`, building them with `build` on a
-    /// miss.  Concurrent callers with the same token may build in parallel;
-    /// the first insert wins (see the module docs).
+    /// Returns the matrices for `key`, building them with `build` on a
+    /// miss.  `build` also reports the scatter-gather timings if the build
+    /// was sharded.  Concurrent callers with the same key may build in
+    /// parallel; the first insert wins (see the module docs).
     pub fn get_or_build(
         &self,
-        token: u64,
-        build: impl FnOnce() -> Preprocessed,
+        key: PairKey,
+        build: impl FnOnce() -> (Preprocessed, Option<ShardBuildStats>),
     ) -> (Arc<Preprocessed>, CacheLookup) {
-        if let Some((pre, bytes)) = self.lookup(token) {
+        if let Some((pre, bytes)) = self.lookup(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (
                 pre,
@@ -136,20 +164,22 @@ impl MatrixCache {
                     hit: true,
                     build_time: Duration::ZERO,
                     bytes,
+                    shard_stats: None,
                 },
             );
         }
 
         // Miss: build outside all locks.
         let start = Instant::now();
-        let built = Arc::new(build());
+        let (built, shard_stats) = build();
+        let built = Arc::new(built);
         let build_time = start.elapsed();
         let bytes = built.approx_bytes();
         self.misses.fetch_add(1, Ordering::Relaxed);
 
         let pre = {
-            let mut shard = self.shard(token).write().expect("cache lock poisoned");
-            match shard.entry(token) {
+            let mut shard = self.shard(key).write().expect("cache lock poisoned");
+            match shard.entry(key) {
                 std::collections::hash_map::Entry::Occupied(e) => {
                     // Lost a benign build race: adopt the first insert.
                     e.get().last_used.store(self.tick(), Ordering::Relaxed);
@@ -173,26 +203,53 @@ impl MatrixCache {
                 hit: false,
                 build_time,
                 bytes,
+                shard_stats,
             },
         )
     }
 
-    /// The matrices for `token` (with their stored byte weight) if they are
+    /// The matrices for `key` (with their stored byte weight) if they are
     /// resident, bumping recency.  The weight comes from the entry, not a
     /// re-walk of the matrices, so hits stay read-lock-only and `O(1)`.
-    pub fn lookup(&self, token: u64) -> Option<(Arc<Preprocessed>, usize)> {
-        let shard = self.shard(token).read().expect("cache lock poisoned");
-        shard.get(&token).map(|e| {
+    pub fn lookup(&self, key: PairKey) -> Option<(Arc<Preprocessed>, usize)> {
+        let shard = self.shard(key).read().expect("cache lock poisoned");
+        shard.get(&key).map(|e| {
             e.last_used.store(self.tick(), Ordering::Relaxed);
             (e.pre.clone(), e.bytes)
         })
     }
 
-    /// The matrices for `token` if they are resident, *without* bumping
+    /// The matrices for `key` if they are resident, *without* bumping
     /// recency or hit counters (introspection).
-    pub fn peek(&self, token: u64) -> Option<Arc<Preprocessed>> {
-        let shard = self.shard(token).read().expect("cache lock poisoned");
-        shard.get(&token).map(|e| e.pre.clone())
+    pub fn peek(&self, key: PairKey) -> Option<Arc<Preprocessed>> {
+        let shard = self.shard(key).read().expect("cache lock poisoned");
+        shard.get(&key).map(|e| e.pre.clone())
+    }
+
+    /// Copies one document's entries from `other` into this cache (used
+    /// when a prepared document joins a service: its already built matrices
+    /// follow it into the shared pool).  Only entries keyed by `doc` are
+    /// taken, and `other` is left untouched — it may be another service's
+    /// shared pool (a registered document was cloned across services),
+    /// whose residents must not be disturbed; the matrices themselves are
+    /// shared `Arc`s, so a copy costs no rebuild.  Existing entries win on
+    /// key collision.
+    pub fn absorb_doc(&self, other: &MatrixCache, doc: u64) {
+        for shard in other.shards.iter() {
+            let shard = shard.read().expect("cache lock poisoned");
+            for (&key, entry) in shard.iter().filter(|(k, _)| k.doc == doc) {
+                let mut target = self.shard(key).write().expect("cache lock poisoned");
+                if let std::collections::hash_map::Entry::Vacant(e) = target.entry(key) {
+                    self.resident.fetch_add(entry.bytes, Ordering::Relaxed);
+                    e.insert(CacheEntry {
+                        pre: entry.pre.clone(),
+                        bytes: entry.bytes,
+                        last_used: AtomicU64::new(self.tick()),
+                    });
+                }
+            }
+        }
+        self.enforce_budget();
     }
 
     /// Evicts least-recently-used entries until the resident total fits the
@@ -202,31 +259,46 @@ impl MatrixCache {
     fn enforce_budget(&self) {
         let Some(budget) = self.budget else { return };
         while self.resident.load(Ordering::Relaxed) > budget {
-            // Snapshot the globally least-recently-used entry.
-            let mut lru: Option<(u64, u64)> = None; // (last_used, token)
+            // Snapshot the globally least-recently-used entry (across every
+            // document sharing this cache).
+            let mut lru: Option<(u64, PairKey)> = None; // (last_used, key)
             for shard in self.shards.iter() {
                 let shard = shard.read().expect("cache lock poisoned");
-                for (&token, entry) in shard.iter() {
+                for (&key, entry) in shard.iter() {
                     let used = entry.last_used.load(Ordering::Relaxed);
                     if lru.map(|(u, _)| used < u).unwrap_or(true) {
-                        lru = Some((used, token));
+                        lru = Some((used, key));
                     }
                 }
             }
-            let Some((_, token)) = lru else { return };
-            let mut shard = self.shard(token).write().expect("cache lock poisoned");
-            if let Some(entry) = shard.remove(&token) {
+            let Some((_, key)) = lru else { return };
+            let mut shard = self.shard(key).write().expect("cache lock poisoned");
+            if let Some(entry) = shard.remove(&key) {
                 self.resident.fetch_sub(entry.bytes, Ordering::Relaxed);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
-    /// Number of resident entries.
+    /// Number of resident entries (all documents).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
             .map(|s| s.read().expect("cache lock poisoned").len())
+            .sum()
+    }
+
+    /// Number of resident entries belonging to one document.
+    pub fn len_for(&self, doc: u64) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("cache lock poisoned")
+                    .keys()
+                    .filter(|k| k.doc == doc)
+                    .count()
+            })
             .sum()
     }
 
@@ -235,9 +307,24 @@ impl MatrixCache {
         self.len() == 0
     }
 
-    /// Bytes currently resident.
+    /// Bytes currently resident (all documents).
     pub fn resident_bytes(&self) -> usize {
         self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently resident for one document's entries.
+    pub fn resident_bytes_for(&self, doc: u64) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("cache lock poisoned")
+                    .iter()
+                    .filter(|(k, _)| k.doc == doc)
+                    .map(|(_, e)| e.bytes)
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
     /// Drops all resident matrices (in-flight `Arc`s stay alive).
@@ -247,6 +334,22 @@ impl MatrixCache {
             for (_, entry) in shard.drain() {
                 self.resident.fetch_sub(entry.bytes, Ordering::Relaxed);
             }
+        }
+    }
+
+    /// Drops one document's resident matrices, leaving the other documents
+    /// sharing this cache untouched.
+    pub fn clear_doc(&self, doc: u64) {
+        for shard in self.shards.iter() {
+            let mut shard = shard.write().expect("cache lock poisoned");
+            shard.retain(|key, entry| {
+                if key.doc == doc {
+                    self.resident.fetch_sub(entry.bytes, Ordering::Relaxed);
+                    false
+                } else {
+                    true
+                }
+            });
         }
     }
 
@@ -262,34 +365,6 @@ impl MatrixCache {
     }
 }
 
-impl Clone for MatrixCache {
-    /// Clones the cache *contents* (sharing the immutable `Arc`d matrices)
-    /// and the budget; the cumulative counters restart from the current
-    /// resident state.
-    fn clone(&self) -> Self {
-        let clone = MatrixCache::new(self.budget);
-        for shard in self.shards.iter() {
-            let shard = shard.read().expect("cache lock poisoned");
-            for (&token, entry) in shard.iter() {
-                let mut target = clone.shard(token).write().expect("cache lock poisoned");
-                clone.resident.fetch_add(entry.bytes, Ordering::Relaxed);
-                target.insert(
-                    token,
-                    CacheEntry {
-                        pre: entry.pre.clone(),
-                        bytes: entry.bytes,
-                        last_used: AtomicU64::new(entry.last_used.load(Ordering::Relaxed)),
-                    },
-                );
-            }
-        }
-        clone
-            .clock
-            .store(self.clock.load(Ordering::Relaxed), Ordering::Relaxed);
-        clone
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,24 +372,28 @@ mod tests {
     use slp::families;
     use spanner::regex;
 
-    fn build_one(k: u64) -> Preprocessed {
+    fn build_one(k: u64) -> (Preprocessed, Option<ShardBuildStats>) {
         let m = regex::compile(".*x{ab}.*", b"ab").unwrap();
         let q = PreparedQuery::determinized(&m);
         let d = PreparedDocument::new(&families::power_word(b"ab", k));
-        Preprocessed::build(q.nfa(), d.ended(), q.num_vars())
+        (Preprocessed::build(q.nfa(), d.ended(), q.num_vars()), None)
+    }
+
+    fn key(doc: u64, query: u64) -> PairKey {
+        PairKey { doc, query }
     }
 
     #[test]
     fn hits_misses_and_races_share_one_allocation() {
         let cache = MatrixCache::new(None);
-        let (a, first) = cache.get_or_build(7, || build_one(16));
+        let (a, first) = cache.get_or_build(key(0, 7), || build_one(16));
         assert!(!first.hit);
         assert!(first.bytes > 0);
-        let (b, second) = cache.get_or_build(7, || panic!("must not rebuild"));
+        let (b, second) = cache.get_or_build(key(0, 7), || panic!("must not rebuild"));
         assert!(second.hit);
         assert!(Arc::ptr_eq(&a, &b));
         // A lost race adopts the resident entry.
-        let (c, third) = cache.get_or_build(7, || build_one(16));
+        let (c, third) = cache.get_or_build(key(0, 7), || build_one(16));
         assert!(third.hit);
         assert!(Arc::ptr_eq(&a, &c));
         let stats = cache.stats();
@@ -325,27 +404,47 @@ mod tests {
 
     #[test]
     fn budget_evicts_least_recently_used_first() {
-        let probe = build_one(16).approx_bytes();
+        let probe = build_one(16).0.approx_bytes();
         // Room for two entries, not three.
         let cache = MatrixCache::new(Some(probe * 5 / 2));
-        cache.get_or_build(0, || build_one(16));
-        cache.get_or_build(1, || build_one(16));
+        cache.get_or_build(key(0, 0), || build_one(16));
+        cache.get_or_build(key(0, 1), || build_one(16));
         assert_eq!(cache.len(), 2);
         // Touch 0 so 1 is the LRU victim.
-        assert!(cache.lookup(0).is_some());
-        cache.get_or_build(2, || build_one(16));
+        assert!(cache.lookup(key(0, 0)).is_some());
+        cache.get_or_build(key(0, 2), || build_one(16));
         assert!(cache.resident_bytes() <= probe * 5 / 2);
         assert_eq!(cache.len(), 2);
-        assert!(cache.peek(0).is_some(), "recently used survives");
-        assert!(cache.peek(1).is_none(), "LRU entry evicted");
-        assert!(cache.peek(2).is_some(), "new entry admitted");
+        assert!(cache.peek(key(0, 0)).is_some(), "recently used survives");
+        assert!(cache.peek(key(0, 1)).is_none(), "LRU entry evicted");
+        assert!(cache.peek(key(0, 2)).is_some(), "new entry admitted");
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn budget_is_global_across_documents() {
+        let probe = build_one(16).0.approx_bytes();
+        let cache = MatrixCache::new(Some(probe * 5 / 2));
+        // Two different documents, one query each, then a third document:
+        // eviction picks the globally least-recently-used pair, crossing
+        // document boundaries.
+        cache.get_or_build(key(10, 0), || build_one(16));
+        cache.get_or_build(key(11, 0), || build_one(16));
+        assert!(cache.lookup(key(10, 0)).is_some()); // doc 11 is now LRU
+        cache.get_or_build(key(12, 0), || build_one(16));
+        assert!(cache.peek(key(10, 0)).is_some());
+        assert!(cache.peek(key(11, 0)).is_none(), "other document evicted");
+        assert!(cache.peek(key(12, 0)).is_some());
+        assert_eq!(cache.len_for(10), 1);
+        assert_eq!(cache.len_for(11), 0);
+        assert!(cache.resident_bytes_for(10) > 0);
+        assert_eq!(cache.resident_bytes_for(11), 0);
     }
 
     #[test]
     fn oversized_entry_is_not_retained() {
         let cache = MatrixCache::new(Some(8));
-        let (pre, lookup) = cache.get_or_build(0, || build_one(64));
+        let (pre, lookup) = cache.get_or_build(key(0, 0), || build_one(64));
         assert!(lookup.bytes > 8);
         // The caller still gets the matrices; the cache stays within budget.
         assert!(!pre.reachable_accepting().is_empty());
@@ -356,8 +455,8 @@ mod tests {
     #[test]
     fn clear_resets_residency() {
         let cache = MatrixCache::new(None);
-        cache.get_or_build(0, || build_one(16));
-        cache.get_or_build(1, || build_one(32));
+        cache.get_or_build(key(0, 0), || build_one(16));
+        cache.get_or_build(key(0, 1), || build_one(32));
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert!(cache.is_empty());
@@ -365,13 +464,32 @@ mod tests {
     }
 
     #[test]
-    fn clone_shares_matrices_and_budget() {
-        let cache = MatrixCache::new(Some(1 << 20));
-        let (a, _) = cache.get_or_build(3, || build_one(16));
-        let clone = cache.clone();
-        assert_eq!(clone.budget(), Some(1 << 20));
-        let b = clone.peek(3).unwrap();
-        assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(clone.resident_bytes(), cache.resident_bytes());
+    fn clear_doc_leaves_other_documents_resident() {
+        let cache = MatrixCache::new(None);
+        cache.get_or_build(key(1, 0), || build_one(16));
+        cache.get_or_build(key(2, 0), || build_one(16));
+        cache.clear_doc(1);
+        assert_eq!(cache.len_for(1), 0);
+        assert_eq!(cache.len_for(2), 1);
+        assert_eq!(cache.resident_bytes(), cache.resident_bytes_for(2));
+    }
+
+    #[test]
+    fn absorb_doc_copies_only_that_documents_entries() {
+        // The source doubles as another service's shared pool: it must be
+        // left completely untouched when document 5 is re-homed elsewhere.
+        let source = MatrixCache::new(None);
+        let (a, _) = source.get_or_build(key(5, 3), || build_one(16));
+        source.get_or_build(key(6, 3), || build_one(16));
+        let before = source.resident_bytes();
+        let shared = MatrixCache::new(Some(1 << 20));
+        shared.absorb_doc(&source, 5);
+        assert_eq!(source.len_for(5), 1, "the source keeps its entries");
+        assert_eq!(source.len_for(6), 1);
+        assert_eq!(source.resident_bytes(), before);
+        let b = shared.peek(key(5, 3)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "the copy shares the Arc, no rebuild");
+        assert!(shared.peek(key(6, 3)).is_none(), "only doc 5 was taken");
+        assert_eq!(shared.resident_bytes(), shared.resident_bytes_for(5));
     }
 }

@@ -39,21 +39,25 @@
 //! assert!(engine.evaluate(q, d2).is_non_empty());
 //! ```
 
-use crate::cache::{CacheLookup, CacheStats, MatrixCache};
+use crate::cache::{CacheLookup, CacheStats, MatrixCache, PairKey};
 use crate::error::EvalError;
 use crate::matrices::Preprocessed;
 use crate::prepared::{end_transform, EByte};
-use crate::service::{Service, Task, TaskRequest};
+use crate::service::Service;
 use crate::{compute, count, enumerate, model_check};
+use slp::shard::{self, ShardLayout, ShardedDocument};
 use slp::NormalFormSlp;
 use spanner::{MarkedSymbol, SpanTuple, SpannerAutomaton};
 use spanner_automata::nfa::Nfa;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Source of unique tokens identifying prepared queries in document-side
-/// matrix caches.
+/// Source of unique tokens identifying prepared queries in matrix caches.
 static NEXT_QUERY_TOKEN: AtomicU64 = AtomicU64::new(0);
+
+/// Source of unique tokens identifying prepared documents in matrix caches
+/// (the other half of a [`PairKey`]).
+static NEXT_DOC_TOKEN: AtomicU64 = AtomicU64::new(0);
 
 /// The query-side half of the preprocessing: everything that depends only on
 /// the automaton `M`.
@@ -140,20 +144,35 @@ impl PreparedQuery {
 
 /// The document-side half of the preprocessing: everything that depends only
 /// on the SLP `S`, plus a concurrent cache of the pair-dependent matrices
-/// keyed by query token.
+/// keyed by (document, query) pair.
 ///
 /// All methods take `&self`; the matrix cache is a sharded-lock
 /// [`MatrixCache`], so one prepared document can serve any number of
 /// threads simultaneously.  A duplicate matrix build for the same query on
 /// two racing threads is benign (first insert wins — the matrices are
-/// deterministic and read-only after construction).
+/// deterministic and read-only after construction).  A standalone prepared
+/// document owns a private cache; documents registered in a
+/// [`Service`] share the service's one cache, so every
+/// document competes for one global byte budget.
+///
+/// A document can additionally be *sharded*
+/// ([`PreparedDocument::sharded`]): its SLP is cut at the start rule into
+/// `k` balanced sub-grammars whose matrix passes run independently and are
+/// merged at the root (see [`Preprocessed::build_sharded`]).  Evaluation
+/// results are identical to the monolithic path.
 #[derive(Debug, Clone)]
 pub struct PreparedDocument {
     original: NormalFormSlp<u8>,
     /// The SLP for `D·#` over the extended alphabet.
     ended: NormalFormSlp<EByte>,
-    /// `R_A` / `M_{T_x}` matrices per prepared query (Lemma 6.5).
-    cache: MatrixCache,
+    /// Where each shard's rules live inside `ended`, for sharded documents.
+    shard_layout: Option<ShardLayout>,
+    /// This document's half of the matrix-cache [`PairKey`].
+    token: u64,
+    /// `R_A` / `M_{T_x}` matrices per (document, query) pair (Lemma 6.5) —
+    /// private here, re-homed onto the shared service cache on
+    /// registration.
+    cache: Arc<MatrixCache>,
 }
 
 impl PreparedDocument {
@@ -166,21 +185,96 @@ impl PreparedDocument {
     }
 
     /// Like [`PreparedDocument::new`], but caps the resident bytes of
-    /// cached matrices at `budget` with LRU eviction over query tokens
-    /// (`None` = unbounded).
+    /// cached matrices at `budget` with LRU eviction (`None` = unbounded).
     pub fn with_cache_budget(document: &NormalFormSlp<u8>, budget: Option<usize>) -> Self {
         PreparedDocument {
             original: document.clone(),
             ended: document
                 .map_terminals(EByte::Byte)
                 .append_terminal(EByte::End),
-            cache: MatrixCache::new(budget),
+            shard_layout: None,
+            token: NEXT_DOC_TOKEN.fetch_add(1, Ordering::Relaxed),
+            cache: Arc::new(MatrixCache::new(budget)),
+        }
+    }
+
+    /// Prepares a document for scatter-gather evaluation: the SLP is split
+    /// at the start rule into `k` balanced sub-grammars (`k` clamped to
+    /// `1..=document length`, see [`slp::shard::split`]), composed back with
+    /// a root spine, and the `#` sentinel appended.  Matrix builds then run
+    /// one independent pass per shard and merge at the root; every
+    /// evaluation result is identical to [`PreparedDocument::new`].
+    pub fn sharded(document: &NormalFormSlp<u8>, k: usize) -> Self {
+        let (combined, layout) = shard::split(document, k).compose();
+        Self::from_composed(document.clone(), combined, layout)
+    }
+
+    /// Prepares an already split document (e.g. shards assembled from a
+    /// corpus pipeline).  The original text is recovered from the shard
+    /// concatenation.
+    pub fn from_shards(sharded: ShardedDocument<u8>) -> Self {
+        let (combined, layout) = sharded.compose();
+        Self::from_composed(combined.clone(), combined, layout)
+    }
+
+    fn from_composed(
+        original: NormalFormSlp<u8>,
+        combined: NormalFormSlp<u8>,
+        layout: ShardLayout,
+    ) -> Self {
+        // `map_terminals` keeps rule indices; `append_terminal` adds the
+        // sentinel rules *after* every shard block — both preserve the
+        // layout's self-contained ranges.
+        let ended = combined
+            .map_terminals(EByte::Byte)
+            .append_terminal(EByte::End);
+        PreparedDocument {
+            original,
+            ended,
+            shard_layout: Some(layout),
+            token: NEXT_DOC_TOKEN.fetch_add(1, Ordering::Relaxed),
+            cache: Arc::new(MatrixCache::new(None)),
         }
     }
 
     /// The original SLP for `D`.
     pub fn original(&self) -> &NormalFormSlp<u8> {
         &self.original
+    }
+
+    /// The unique token identifying this prepared document in matrix
+    /// caches (the document half of a [`PairKey`]).
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// `true` if this document evaluates via the scatter-gather shard path.
+    pub fn is_sharded(&self) -> bool {
+        self.shard_layout.is_some()
+    }
+
+    /// Number of shards (1 for monolithic documents).
+    pub fn shard_count(&self) -> usize {
+        self.shard_layout
+            .as_ref()
+            .map_or(1, |layout| layout.ranges.len())
+    }
+
+    /// The shard layout of the ended SLP, if this document is sharded.
+    pub fn shard_layout(&self) -> Option<&ShardLayout> {
+        self.shard_layout.as_ref()
+    }
+
+    /// Re-homes this document's matrix cache onto `cache` (the service's
+    /// shared pool), carrying over any matrices already built for *this*
+    /// document — the previous cache may be another service's shared pool
+    /// (this document was cloned across services), which is left untouched.
+    pub(crate) fn rehome_cache(&mut self, cache: Arc<MatrixCache>) {
+        if Arc::ptr_eq(&self.cache, &cache) {
+            return;
+        }
+        cache.absorb_doc(&self.cache, self.token);
+        self.cache = cache;
     }
 
     /// The SLP for `D·#`.
@@ -200,43 +294,66 @@ impl PreparedDocument {
     }
 
     /// Like [`PreparedDocument::matrices`], additionally reporting whether
-    /// the lookup hit the cache and what a miss cost.
+    /// the lookup hit the cache, what a miss cost, and — for sharded
+    /// documents — the per-shard build/merge timings of a miss.
     pub fn matrices_with_stats(&self, query: &PreparedQuery) -> (Arc<Preprocessed>, CacheLookup) {
-        self.cache.get_or_build(query.token(), || {
-            Preprocessed::build(query.nfa(), &self.ended, query.num_vars())
+        let key = PairKey {
+            doc: self.token,
+            query: query.token(),
+        };
+        self.cache.get_or_build(key, || match &self.shard_layout {
+            Some(layout) => {
+                let (pre, stats) =
+                    Preprocessed::build_sharded(query.nfa(), &self.ended, query.num_vars(), layout);
+                (pre, Some(stats))
+            }
+            None => (
+                Preprocessed::build(query.nfa(), &self.ended, query.num_vars()),
+                None,
+            ),
         })
     }
 
     /// The matrices for `query` if they are already cached (without
     /// touching LRU recency).
     pub fn cached_matrices(&self, query: &PreparedQuery) -> Option<Arc<Preprocessed>> {
-        self.cache.peek(query.token())
+        self.cache.peek(PairKey {
+            doc: self.token,
+            query: query.token(),
+        })
     }
 
-    /// Number of queries whose matrices are currently cached.
+    /// Number of queries whose matrices are currently cached for this
+    /// document.
     pub fn cached_query_count(&self) -> usize {
-        self.cache.len()
+        self.cache.len_for(self.token)
     }
 
-    /// Bytes of preprocessed matrices currently resident in the cache.
+    /// Bytes of this document's preprocessed matrices currently resident in
+    /// the (possibly shared) cache.
     pub fn cache_bytes(&self) -> usize {
-        self.cache.resident_bytes()
+        self.cache.resident_bytes_for(self.token)
     }
 
-    /// The cache's byte budget (`None` = unbounded).
+    /// The byte budget of the cache this document lives in (`None` =
+    /// unbounded).  Service-registered documents report the service-wide
+    /// budget.
     pub fn cache_budget(&self) -> Option<usize> {
         self.cache.budget()
     }
 
-    /// Cumulative cache counters (hits, misses, evictions, residency).
+    /// Cumulative counters of the cache this document lives in.  For
+    /// service-registered documents these are the *service-wide* totals of
+    /// the shared pool.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
-    /// Drops all cached matrices (e.g. to bound memory in a long-running
-    /// pool).  In-flight evaluations holding `Arc`s are unaffected.
+    /// Drops this document's cached matrices (e.g. to bound memory in a
+    /// long-running pool), leaving other documents sharing the cache
+    /// untouched.  In-flight evaluations holding `Arc`s are unaffected.
     pub fn clear_cache(&self) {
-        self.cache.clear();
+        self.cache.clear_doc(self.token);
     }
 }
 
@@ -271,11 +388,11 @@ impl DocumentId {
 /// Queries are determinised on registration (so every task, including
 /// duplicate-free enumeration and counting, is available); documents are
 /// end-transformed on registration.  The expensive pair-dependent matrices
-/// are built lazily on first evaluation of a pair and cached on the
-/// document.  [`Engine::evaluate`] takes `&self` and is safe to call from
-/// any number of threads; new code that wants per-request statistics,
-/// task-level requests or bounded caches should use the service directly
-/// (available via [`Engine::service`]).
+/// are built lazily on first evaluation of a pair and cached in the
+/// service's shared pool.  [`Engine::evaluate`] takes `&self` and is safe
+/// to call from any number of threads; new code that wants per-request
+/// statistics, task-level requests, batch fan-out or bounded caches should
+/// use the service directly (available via [`Engine::service`]).
 #[derive(Debug, Default)]
 pub struct Engine {
     service: Service,
@@ -354,36 +471,12 @@ impl Engine {
     /// all tasks of the paper without further preprocessing; it owns `Arc`s
     /// into the pool, so it remains valid for as long as the caller keeps
     /// it.
+    ///
+    /// For batches, use [`Service::run_batch`] (via [`Engine::service`]) —
+    /// it is the single fan-out point for scattering requests over
+    /// documents and shards.
     pub fn evaluate(&self, q: QueryId, d: DocumentId) -> Evaluation {
         self.service.evaluation(q, d)
-    }
-
-    /// Computes `⟦M⟧(D)` for every pair in `pairs`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Service::run_batch` with `Task::Compute` (or `Task::Count` / \
-                `Task::NonEmptiness` to avoid materialising tuples)"
-    )]
-    pub fn evaluate_batch(&self, pairs: &[(QueryId, DocumentId)]) -> Vec<Vec<SpanTuple>> {
-        let requests: Vec<TaskRequest> = pairs
-            .iter()
-            .map(|&(query, doc)| TaskRequest {
-                query,
-                doc,
-                task: Task::Compute { limit: None },
-            })
-            .collect();
-        self.service
-            .run_batch(&requests)
-            .into_iter()
-            .map(|response| {
-                response
-                    .expect("Task::Compute on pooled deterministic pairs cannot fail")
-                    .outcome
-                    .into_tuples()
-                    .expect("Task::Compute yields tuples")
-            })
-            .collect()
     }
 }
 
@@ -541,19 +634,47 @@ mod tests {
     }
 
     #[test]
-    fn evaluate_batch_covers_the_cross_product() {
+    fn run_batch_through_the_service_covers_the_cross_product() {
+        use crate::service::{Task, TaskRequest};
         let mut engine = Engine::new();
         let q = engine.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
         let dids: Vec<DocumentId> = [8u64, 32, 128]
             .iter()
             .map(|&k| engine.add_document(&families::power_word(b"ab", k)))
             .collect();
-        let pairs: Vec<(QueryId, DocumentId)> = dids.iter().map(|&d| (q, d)).collect();
-        #[allow(deprecated)]
-        let results = engine.evaluate_batch(&pairs);
+        let requests: Vec<TaskRequest> = dids
+            .iter()
+            .map(|&d| TaskRequest {
+                query: q,
+                doc: d,
+                task: Task::Compute { limit: None },
+            })
+            .collect();
+        let results = engine.service().run_batch(&requests);
         assert_eq!(results.len(), 3);
-        for (result, &k) in results.iter().zip(&[8usize, 32, 128]) {
-            assert_eq!(result.len(), k);
+        for (result, &k) in results.into_iter().zip(&[8usize, 32, 128]) {
+            let tuples = result.unwrap().outcome.into_tuples().unwrap();
+            assert_eq!(tuples.len(), k);
+        }
+    }
+
+    #[test]
+    fn sharded_documents_answer_identically_through_the_engine() {
+        let query = regex::compile(".*x{a+}y{b+}.*", b"ab").unwrap();
+        let doc = Bisection.compress(b"aabbaabbabab");
+        let reference = SlpSpanner::new(&query, &doc).unwrap();
+        for k in [2usize, 4, 8] {
+            let mut engine = Engine::new();
+            let q = engine.add_query(&query);
+            let prepared = PreparedDocument::sharded(&doc, k);
+            assert!(prepared.is_sharded());
+            assert_eq!(prepared.shard_count(), k);
+            let d = engine.add_prepared_document(prepared);
+            let eval = engine.evaluate(q, d);
+            assert_eq!(eval.count(), reference.count(), "k={k}");
+            let a: BTreeSet<SpanTuple> = eval.compute().into_iter().collect();
+            let b: BTreeSet<SpanTuple> = reference.compute().into_iter().collect();
+            assert_eq!(a, b, "k={k}");
         }
     }
 

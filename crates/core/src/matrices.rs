@@ -19,9 +19,10 @@
 //! across all cores.  [`Preprocessed::build_serial`] is always available
 //! and produces bit-identical results.
 
-use slp::{NfRule, NonTerminal, NormalFormSlp, Terminal};
+use slp::{NfRule, NonTerminal, NormalFormSlp, ShardLayout, Terminal};
 use spanner::{MarkedSymbol, MarkerSet, PartialMarkerSet};
 use spanner_automata::nfa::{Label, Nfa};
+use std::time::{Duration, Instant};
 
 /// The three-valued summary of `M_A[i,j]` (Definition 6.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +34,51 @@ pub enum REntry {
     Empty,
     /// `M_A[i,j]` contains a non-empty partial marker set (the paper's `1`).
     NonEmpty,
+}
+
+/// One shard of a scatter-gather matrix build: the rule-index block the
+/// shard's independent pass covered and the non-terminal deriving the
+/// shard's text (see [`Preprocessed::build_sharded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// First rule index of the shard's block.
+    pub first: u32,
+    /// One past the last rule index of the shard's block.
+    pub last: u32,
+    /// The non-terminal deriving the shard's text.
+    pub root: u32,
+}
+
+/// Per-shard timing of one scatter-gather matrix build
+/// ([`Preprocessed::build_sharded`]): what each independent shard pass cost
+/// and what the root merge cost.  On a multi-core host the wall-clock of
+/// the build is `max(shard_build) + merge` (the critical path), versus the
+/// sum for a monolithic pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardBuildStats {
+    /// Wall-clock of every per-shard matrix pass, in shard order.
+    pub shard_build: Vec<Duration>,
+    /// Wall-clock of the root composition pass (spine + sentinel rules,
+    /// merged by three-valued matrix products).
+    pub merge: Duration,
+}
+
+impl ShardBuildStats {
+    /// Number of shards.
+    pub fn k(&self) -> usize {
+        self.shard_build.len()
+    }
+
+    /// `max(shard_build) + merge`: the wall-clock a fully parallel
+    /// scatter-gather build needs.
+    pub fn critical_path(&self) -> Duration {
+        self.shard_build.iter().max().copied().unwrap_or_default() + self.merge
+    }
+
+    /// `sum(shard_build) + merge`: the total work performed.
+    pub fn total(&self) -> Duration {
+        self.shard_build.iter().sum::<Duration>() + self.merge
+    }
 }
 
 /// Preprocessed evaluation data (Lemma 6.5) plus grammar metadata.
@@ -61,6 +107,9 @@ pub struct Preprocessed {
     /// For leaf non-terminals: `leaf_tables[a][i·q + j] = M_{T_x}[i, j]` as a
     /// `⪯`-sorted, duplicate-free list.
     pub leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>>,
+    /// The per-shard composition plan of a scatter-gather build
+    /// ([`Preprocessed::build_sharded`]); empty for monolithic builds.
+    pub shards: Vec<ShardInfo>,
 }
 
 /// `P_i = {(ℓ, Y) : ℓ --Y--> i with Y a marker set}` for every state `i`
@@ -110,6 +159,70 @@ fn leaf_table<T: Terminal>(
         };
     }
     (table, summary)
+}
+
+/// One shard's independent matrix pass over its self-contained rule block
+/// `[base, base + len)`: leaf tables first, then the inner `R_A` summaries
+/// over the shard's own depth strata (with the `parallel` feature the
+/// strata waves are data-parallel, mirroring
+/// [`Preprocessed::build_parallel`]).  Returns the block's `R` rows and
+/// leaf tables indexed by `rule − base`.
+#[allow(clippy::type_complexity)]
+fn shard_pass<T: Terminal>(
+    nfa: &Nfa<MarkedSymbol<T>>,
+    slp: &NormalFormSlp<T>,
+    incoming_markers: &[Vec<(usize, MarkerSet)>],
+    q: usize,
+    members: &[NonTerminal],
+    base: usize,
+    len: usize,
+) -> (Vec<Vec<REntry>>, Vec<Option<Vec<Vec<PartialMarkerSet>>>>) {
+    let mut r: Vec<Vec<REntry>> = vec![Vec::new(); len];
+    let mut leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>> = vec![None; len];
+
+    // Leaf tables: independent per leaf non-terminal.
+    let leaves: Vec<(NonTerminal, T)> = members
+        .iter()
+        .filter_map(|&a| match slp.rule(a) {
+            NfRule::Leaf(x) => Some((a, x)),
+            NfRule::Pair(..) => None,
+        })
+        .collect();
+    let build_leaf = |&(_, x): &(NonTerminal, T)| leaf_table(nfa, incoming_markers, q, x);
+    #[cfg(feature = "parallel")]
+    let built = rayon::par_map(&leaves, build_leaf);
+    #[cfg(not(feature = "parallel"))]
+    let built: Vec<_> = leaves.iter().map(build_leaf).collect();
+    for ((a, _), (table, summary)) in leaves.into_iter().zip(built) {
+        leaf_tables[a.index() - base] = Some(table);
+        r[a.index() - base] = summary;
+    }
+
+    // Inner `R_A` summaries over the shard's own depth strata: children of
+    // a depth-d rule are strictly shallower, so each stratum reads only
+    // strata already done.
+    let max_depth = members.iter().map(|&a| slp.depth_of(a)).max().unwrap_or(0) as usize;
+    let mut strata: Vec<Vec<NonTerminal>> = vec![Vec::new(); max_depth + 1];
+    for &a in members {
+        if matches!(slp.rule(a), NfRule::Pair(..)) {
+            strata[slp.depth_of(a) as usize].push(a);
+        }
+    }
+    for stratum in strata.iter().filter(|s| !s.is_empty()) {
+        let summarise = |&a: &NonTerminal| {
+            let (b, c) = slp.children(a).expect("stratum members are inner rules");
+            inner_summary(&r[b.index() - base], &r[c.index() - base], q)
+        };
+        #[cfg(feature = "parallel")]
+        let computed = rayon::par_map(stratum, summarise);
+        #[cfg(not(feature = "parallel"))]
+        let computed: Vec<_> = stratum.iter().map(summarise).collect();
+        for (&a, summary) in stratum.iter().zip(computed) {
+            r[a.index() - base] = summary;
+        }
+    }
+
+    (r, leaf_tables)
 }
 
 /// The `R_A` summary of an inner rule `A → BC` from its children's
@@ -255,6 +368,112 @@ impl Preprocessed {
         Self::assemble(nfa, slp, num_vars, r, leaf_tables)
     }
 
+    /// Scatter-gather preprocessing over a sharded grammar (see
+    /// [`slp::shard`]): every shard's rule block is a self-contained
+    /// sub-grammar, so the per-shard matrix passes (leaf tables plus a
+    /// depth-strata `R_A` wave schedule *within* each shard) run fully
+    /// independently — with the `parallel` feature, concurrently — and only
+    /// the composition spine (shard concatenation plus the end-of-document
+    /// sentinel) is merged afterwards by three-valued matrix products at
+    /// the root.
+    ///
+    /// The output matrices are identical to [`Preprocessed::build_serial`]
+    /// on the same grammar (every entry is computed by the same function
+    /// from the same children); only the [`Preprocessed::shards`] metadata
+    /// records the composition plan.  The returned [`ShardBuildStats`]
+    /// report the per-shard and merge wall-clock.
+    pub fn build_sharded<T: Terminal>(
+        nfa: &Nfa<MarkedSymbol<T>>,
+        slp: &NormalFormSlp<T>,
+        num_vars: usize,
+        layout: &ShardLayout,
+    ) -> (Self, ShardBuildStats) {
+        let q = nfa.num_states();
+        let n = slp.num_non_terminals();
+        let incoming_markers = incoming_marker_arcs(nfa, q);
+
+        // Which shard (if any) owns each rule, and each shard's members in
+        // bottom-up order (a filtered global topological order is a valid
+        // topological order of the self-contained block).
+        let mut owner: Vec<Option<usize>> = vec![None; n];
+        for (s, range) in layout.ranges.iter().enumerate() {
+            for i in range.clone() {
+                owner[i] = Some(s);
+            }
+        }
+        let mut members: Vec<Vec<NonTerminal>> = vec![Vec::new(); layout.ranges.len()];
+        for &a in slp.bottom_up_order() {
+            if let Some(s) = owner[a.index()] {
+                members[s].push(a);
+            }
+        }
+
+        // Scatter: one independent matrix pass per shard.
+        let shard_indices: Vec<usize> = (0..layout.ranges.len()).collect();
+        let run_shard = |&s: &usize| {
+            let start = Instant::now();
+            let pass = shard_pass(
+                nfa,
+                slp,
+                &incoming_markers,
+                q,
+                &members[s],
+                layout.ranges[s].start,
+                layout.ranges[s].len(),
+            );
+            (pass, start.elapsed())
+        };
+        #[cfg(feature = "parallel")]
+        let shard_results = rayon::par_map(&shard_indices, run_shard);
+        #[cfg(not(feature = "parallel"))]
+        let shard_results: Vec<_> = shard_indices.iter().map(run_shard).collect();
+
+        // Stitch the per-shard blocks into the global tables.
+        let mut leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>> = vec![None; n];
+        let mut r: Vec<Vec<REntry>> = vec![Vec::new(); n];
+        let mut shard_build = Vec::with_capacity(shard_results.len());
+        for (range, ((r_block, leaf_block), elapsed)) in layout.ranges.iter().zip(shard_results) {
+            for (offset, (r_row, leaf_cell)) in r_block.into_iter().zip(leaf_block).enumerate() {
+                r[range.start + offset] = r_row;
+                leaf_tables[range.start + offset] = leaf_cell;
+            }
+            shard_build.push(elapsed);
+        }
+
+        // Gather: the composition spine (and any rules outside every shard
+        // block, e.g. the end-of-document sentinel) bottom-up at the root.
+        let merge_start = Instant::now();
+        for &a in slp.bottom_up_order() {
+            if owner[a.index()].is_some() {
+                continue;
+            }
+            match slp.rule(a) {
+                NfRule::Leaf(x) => {
+                    let (table, summary) = leaf_table(nfa, &incoming_markers, q, x);
+                    leaf_tables[a.index()] = Some(table);
+                    r[a.index()] = summary;
+                }
+                NfRule::Pair(b, c) => {
+                    r[a.index()] = inner_summary(&r[b.index()], &r[c.index()], q);
+                }
+            }
+        }
+        let merge = merge_start.elapsed();
+
+        let mut pre = Self::assemble(nfa, slp, num_vars, r, leaf_tables);
+        pre.shards = layout
+            .ranges
+            .iter()
+            .zip(&layout.roots)
+            .map(|(range, &root)| ShardInfo {
+                first: range.start as u32,
+                last: range.end as u32,
+                root,
+            })
+            .collect();
+        (pre, ShardBuildStats { shard_build, merge })
+    }
+
     /// Packs the computed matrices together with the grammar metadata the
     /// evaluation phases need.
     fn assemble<T: Terminal>(
@@ -291,6 +510,7 @@ impl Preprocessed {
             depths,
             r,
             leaf_tables,
+            shards: Vec::new(),
         }
     }
 
@@ -369,6 +589,10 @@ impl Preprocessed {
                 }
             }
         }
+        // The per-shard composition buffers of a scatter-gather build: they
+        // live as long as the matrices, so the (global) budget accounting
+        // must charge for them too.
+        total += self.shards.capacity() * size_of::<ShardInfo>();
         total
     }
 
@@ -483,6 +707,70 @@ mod tests {
         // (ab)^2^12 has ~8 more grammar rules than (ab)^2^4; the matrices
         // grow with size(S) accordingly.
         assert!(lb > sb, "{lb} vs {sb}");
+    }
+
+    #[test]
+    fn build_sharded_matches_serial_on_composed_grammars() {
+        use crate::engine::{PreparedDocument, PreparedQuery};
+        use crate::prepared::EByte;
+        use slp::{families, shard};
+        use spanner::regex;
+        let m = regex::compile(".*x{a+}y{b+}.*", b"ab").unwrap();
+        let query = PreparedQuery::determinized(&m);
+        for doc in [
+            slp::examples::example_4_2(),
+            families::power_word(b"ab", 200),
+        ] {
+            for k in [2usize, 4, 8] {
+                let sharded = shard::split(&doc, k);
+                let (combined, layout) = sharded.compose();
+                let ended = combined
+                    .map_terminals(EByte::Byte)
+                    .append_terminal(EByte::End);
+                let (via_shards, stats) =
+                    Preprocessed::build_sharded(query.nfa(), &ended, query.num_vars(), &layout);
+                let serial = Preprocessed::build_serial(query.nfa(), &ended, query.num_vars());
+                // Identical matrices; only the composition plan differs.
+                assert_eq!(via_shards.r, serial.r, "k={k}");
+                assert_eq!(via_shards.leaf_tables, serial.leaf_tables, "k={k}");
+                assert_eq!(via_shards.shards.len(), sharded.k(), "k={k}");
+                assert_eq!(stats.k(), sharded.k());
+                assert!(stats.critical_path() <= stats.total());
+                // And the sharded evaluation agrees with the monolithic one.
+                let monolithic = PreparedDocument::new(&doc);
+                let mono_pre =
+                    Preprocessed::build(query.nfa(), monolithic.ended(), query.num_vars());
+                assert_eq!(
+                    via_shards.reachable_accepting(),
+                    mono_pre.reachable_accepting()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approx_bytes_charges_for_the_composition_plan() {
+        use crate::engine::PreparedQuery;
+        use crate::prepared::EByte;
+        use slp::{families, shard};
+        use spanner::regex;
+        let m = regex::compile(".*x{ab}.*", b"ab").unwrap();
+        let query = PreparedQuery::determinized(&m);
+        let doc = families::power_word(b"ab", 128);
+        let sharded = shard::split(&doc, 4);
+        let (combined, layout) = sharded.compose();
+        let ended = combined
+            .map_terminals(EByte::Byte)
+            .append_terminal(EByte::End);
+        let (pre, _) = Preprocessed::build_sharded(query.nfa(), &ended, query.num_vars(), &layout);
+        let with_plan = pre.approx_bytes();
+        let plan_bytes = pre.shards.capacity() * std::mem::size_of::<ShardInfo>();
+        assert!(plan_bytes > 0);
+        // Stripping the plan must reduce the reported footprint by exactly
+        // the buffer the plan occupies: the accounting is honest.
+        let mut stripped = pre;
+        stripped.shards = Vec::new();
+        assert_eq!(stripped.approx_bytes(), with_plan - plan_bytes);
     }
 
     #[test]

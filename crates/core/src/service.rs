@@ -9,21 +9,30 @@
 //!
 //! * **`&self` evaluation.**  [`Service::run`] and [`Service::run_batch`]
 //!   take `&self`; the service is `Sync`, so any number of threads can
-//!   evaluate simultaneously over one shared instance.  The per-document
-//!   matrix caches are sharded `RwLock` maps of `Arc<Preprocessed>`
-//!   (see [`crate::cache::MatrixCache`]): hits take a read lock only, and a
-//!   concurrent duplicate build of the same pair is benign — matrices are
-//!   deterministic and read-only after construction, the first insert wins
-//!   and the loser adopts it.
+//!   evaluate simultaneously over one shared instance.  The matrix cache is
+//!   one service-wide sharded `RwLock` map of `Arc<Preprocessed>` keyed by
+//!   (document, query) pairs (see [`crate::cache::MatrixCache`]): hits take
+//!   a read lock only, and a concurrent duplicate build of the same pair is
+//!   benign — matrices are deterministic and read-only after construction,
+//!   the first insert wins and the loser adopts it.
 //! * **Task-oriented requests.**  A [`TaskRequest`] names a pooled query, a
 //!   pooled document and a [`Task`]; the [`TaskResponse`] carries the
 //!   [`TaskOutcome`] plus per-request [`RequestStats`] (cache hit/miss,
 //!   matrix build time, result count).  Asking for `Count` never
 //!   materialises tuples; `Enumerate { skip, limit }` streams just the
 //!   window it needs.
-//! * **Bounded caches.**  [`ServiceBuilder::cache_budget`] caps the bytes of
-//!   preprocessed matrices resident *per document*, with LRU eviction over
-//!   query tokens; evicted pairs are transparently rebuilt on next use.
+//! * **Scatter-gather over shards.**  [`Service::add_document_sharded`]
+//!   registers a document split at the start rule into `k` balanced
+//!   sub-grammars; its matrix builds run one independent pass per shard and
+//!   merge by matrix products at the root, with results identical to the
+//!   monolithic path.  [`TaskResponse::shard_stats`] reports what each
+//!   shard and the merge cost; [`Service::run_batch`] fans requests (and
+//!   thus shard builds) out across a thread scope.
+//! * **One global cache budget.**  [`ServiceBuilder::cache_budget`] caps
+//!   the bytes of preprocessed matrices resident *service-wide*: every
+//!   document — and every shard of every document — competes for one pool
+//!   with LRU eviction under one shared eviction clock; evicted pairs are
+//!   transparently rebuilt on next use.
 //!
 //! ```
 //! use slp::families;
@@ -44,9 +53,10 @@
 //! assert!(again.stats.cache_hit); // every later task reuses the matrices
 //! ```
 
-use crate::cache::CacheLookup;
+use crate::cache::{CacheLookup, MatrixCache};
 use crate::engine::{DocumentId, Evaluation, PreparedDocument, PreparedQuery, QueryId};
 use crate::error::EvalError;
+use crate::matrices::ShardBuildStats;
 use crate::{compute, count, enumerate, model_check};
 use slp::NormalFormSlp;
 use spanner::{SpanTuple, SpannerAutomaton};
@@ -176,6 +186,11 @@ pub struct TaskResponse {
     pub outcome: TaskOutcome,
     /// What the request cost.
     pub stats: RequestStats,
+    /// Per-shard build and root-merge timings, present exactly when this
+    /// request ran a scatter-gather matrix build (a cache miss on a sharded
+    /// document); `None` on hits, monolithic documents and
+    /// [`Task::ModelCheck`].
+    pub shard_stats: Option<ShardBuildStats>,
 }
 
 /// Aggregate service counters, a snapshot of [`Service::stats`].
@@ -192,10 +207,10 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Cache lookups that built matrices.
     pub cache_misses: u64,
-    /// Matrix sets evicted across all document caches (lifetime total).
+    /// Matrix sets evicted from the shared cache pool (lifetime total).
     pub evictions: u64,
-    /// Bytes of preprocessed matrices currently resident across all
-    /// document caches.
+    /// Bytes of preprocessed matrices currently resident in the shared
+    /// cache pool (all documents).
     pub resident_bytes: usize,
 }
 
@@ -233,10 +248,11 @@ impl ServiceBuilder {
         Self::default()
     }
 
-    /// Caps the preprocessed-matrix bytes resident **per document** at
-    /// `bytes`, with LRU eviction over query tokens.  Documents added after
-    /// this call use the budget; the total resident footprint is bounded by
-    /// `bytes × num_documents`.
+    /// Caps the preprocessed-matrix bytes resident **service-wide** at
+    /// `bytes`: all documents (and all shards of all documents) compete for
+    /// one pool, with LRU eviction over (document, query) pairs driven by
+    /// one shared eviction clock.  The total resident footprint is bounded
+    /// by `bytes` no matter how many documents are registered.
     pub fn cache_budget(mut self, bytes: usize) -> Self {
         self.config.cache_budget = Some(bytes);
         self
@@ -273,6 +289,7 @@ impl ServiceBuilder {
         Service {
             queries: RwLock::new(Vec::new()),
             documents: RwLock::new(Vec::new()),
+            cache: Arc::new(MatrixCache::new(self.config.cache_budget)),
             config: self.config,
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -292,6 +309,9 @@ impl ServiceBuilder {
 pub struct Service {
     queries: RwLock<Vec<Arc<PreparedQuery>>>,
     documents: RwLock<Vec<Arc<PreparedDocument>>>,
+    /// The one matrix pool every registered document shares: a global byte
+    /// budget and a shared eviction clock across documents and shards.
+    cache: Arc<MatrixCache>,
     config: ServiceConfig,
     requests: AtomicU64,
     cache_hits: AtomicU64,
@@ -346,17 +366,25 @@ impl Service {
     }
 
     /// Registers a document, running the document-side preparation
-    /// (`D ↦ D·#`) once.  Its matrix cache uses the service's byte budget.
+    /// (`D ↦ D·#`) once.  Its matrices live in the service's shared,
+    /// globally budgeted pool.
     pub fn add_document(&self, document: &NormalFormSlp<u8>) -> DocumentId {
-        self.add_prepared_document(PreparedDocument::with_cache_budget(
-            document,
-            self.config.cache_budget,
-        ))
+        self.add_prepared_document(PreparedDocument::new(document))
     }
 
-    /// Registers an already prepared document, keeping whatever cache
-    /// budget (and cached matrices) it carries.
-    pub fn add_prepared_document(&self, document: PreparedDocument) -> DocumentId {
+    /// Registers a document split into `k` balanced shards: matrix builds
+    /// for it scatter one independent pass per shard and gather at the root
+    /// (see [`PreparedDocument::sharded`]); task results are identical to
+    /// [`Service::add_document`], and the per-request
+    /// [`TaskResponse::shard_stats`] report what each shard cost.
+    pub fn add_document_sharded(&self, document: &NormalFormSlp<u8>, k: usize) -> DocumentId {
+        self.add_prepared_document(PreparedDocument::sharded(document, k))
+    }
+
+    /// Registers an already prepared document, re-homing it (and any
+    /// matrices it already built) onto the service's shared cache pool.
+    pub fn add_prepared_document(&self, mut document: PreparedDocument) -> DocumentId {
+        document.rehome_cache(self.cache.clone());
         let mut documents = self.documents.write().expect("document pool lock poisoned");
         documents.push(Arc::new(document));
         DocumentId(documents.len() - 1)
@@ -438,6 +466,7 @@ impl Service {
                     task_time: start.elapsed(),
                     results: 0,
                 },
+                shard_stats: None,
             });
         }
 
@@ -484,6 +513,7 @@ impl Service {
                 task_time,
                 results,
             },
+            shard_stats: lookup.shard_stats,
         })
     }
 
@@ -531,23 +561,16 @@ impl Service {
         }
     }
 
-    /// A snapshot of the aggregate counters (requests and cache traffic
-    /// across all documents).
+    /// A snapshot of the aggregate counters (requests, plus the shared
+    /// cache pool's eviction and residency totals).
     pub fn stats(&self) -> ServiceStats {
-        let documents = self.documents.read().expect("document pool lock poisoned");
-        let mut evictions = 0;
-        let mut resident_bytes = 0;
-        for document in documents.iter() {
-            let stats = document.cache_stats();
-            evictions += stats.evictions;
-            resident_bytes += stats.resident_bytes;
-        }
+        let cache = self.cache.stats();
         ServiceStats {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            evictions,
-            resident_bytes,
+            evictions: cache.evictions,
+            resident_bytes: cache.resident_bytes,
         }
     }
 }
@@ -811,6 +834,48 @@ mod tests {
         // (with the `parallel` feature the duplicate requests would
         // otherwise race redundant builds; serially this holds trivially).
         assert_eq!(service.document(d).cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn re_registering_a_cloned_document_leaves_the_source_service_warm() {
+        let source = Service::new();
+        let q = source.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+        let x = source.add_document(&families::power_word(b"ab", 64));
+        let y = source.add_document(&families::power_word(b"ab", 32));
+        for &d in &[x, y] {
+            source
+                .run(&TaskRequest {
+                    query: q,
+                    doc: d,
+                    task: Task::Count,
+                })
+                .unwrap();
+        }
+        let warm_bytes = source.stats().resident_bytes;
+
+        // Clone document x out of the source service and register it in a
+        // second one: the source pool — including document y — must stay
+        // fully resident, and the clone's matrices follow it for free.
+        let second = Service::new();
+        let x2 = second.add_prepared_document((*source.document(x)).clone());
+        assert_eq!(source.stats().resident_bytes, warm_bytes);
+        assert_eq!(source.document(x).cached_query_count(), 1);
+        assert_eq!(source.document(y).cached_query_count(), 1);
+        let q2 = second.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+        assert_eq!(
+            second.document(x2).cached_query_count(),
+            1,
+            "the already built matrices followed the clone"
+        );
+        // (q2 is a fresh token, so its first request still builds.)
+        let response = second
+            .run(&TaskRequest {
+                query: q2,
+                doc: x2,
+                task: Task::Count,
+            })
+            .unwrap();
+        assert_eq!(response.outcome.as_count(), Some(64));
     }
 
     #[test]

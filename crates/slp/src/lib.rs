@@ -22,6 +22,9 @@
 //!   hash-consed bisection grammars and a trivial chain grammar, plus
 //!   direct constructions of classic highly compressible families
 //!   ([`families`]).
+//! * Sharding ([`shard`]): cutting one SLP at the start rule into `k`
+//!   balanced sub-grammars (and composing them back), the substrate of the
+//!   evaluation service's scatter-gather corpus layer.
 //! * A balancing pass ([`balance`]) standing in for the
 //!   Ganardi–Jež–Lohrey balancing theorem (Theorem 4.3 of the paper); see
 //!   `DESIGN.md` §4 for the substitution argument.
@@ -54,10 +57,12 @@ pub mod examples;
 pub mod families;
 pub mod grammar;
 pub mod normal_form;
+pub mod shard;
 pub mod stats;
 
 pub use builder::SlpBuilder;
 pub use error::SlpError;
 pub use grammar::{NonTerminal, Slp, Symbol, Terminal};
 pub use normal_form::{NfRule, NormalFormSlp};
+pub use shard::{ShardLayout, ShardedDocument};
 pub use stats::SlpStats;

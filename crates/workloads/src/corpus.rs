@@ -1,0 +1,103 @@
+//! Corpus construction: documents paired with their sharded variants, for
+//! the scatter-gather experiments (E10) and sharded serving demos.
+//!
+//! Sharding cuts one SLP at the start rule into `k` balanced sub-grammars
+//! (see `slp::shard`).  Two structural regimes matter for the experiments:
+//!
+//! * **Power families** (`w^k`) compress exponentially by *sharing* grammar
+//!   rules across the whole document — cutting them duplicates the shared
+//!   structure into every shard, so the sharded build does more total work
+//!   (the price of distributing an exponentially compressed document).
+//! * **Block documents** (low-repetitiveness text) have little cross-shard
+//!   sharing — the shards partition the grammar almost perfectly, so the
+//!   per-shard passes split the monolithic work `k` ways and the parallel
+//!   critical path (`max` shard + merge) drops accordingly.
+
+use slp::shard::{self, ShardedDocument};
+use slp::{families, NormalFormSlp};
+
+/// One corpus document plus its sharded variants.
+#[derive(Debug, Clone)]
+pub struct ShardedCase {
+    /// Human-readable case name (table id).
+    pub name: String,
+    /// The monolithic compressed document.
+    pub slp: NormalFormSlp<u8>,
+    /// `(k, split into k shards)` for every requested shard count.
+    pub sharded: Vec<(usize, ShardedDocument<u8>)>,
+}
+
+impl ShardedCase {
+    fn new(name: String, slp: NormalFormSlp<u8>, shard_counts: &[usize]) -> Self {
+        let sharded = shard_counts
+            .iter()
+            .map(|&k| (k, shard::split(&slp, k)))
+            .collect();
+        ShardedCase { name, slp, sharded }
+    }
+}
+
+/// The `w^k` power family with sharded variants: one case per repetition
+/// count, each split for every requested shard count.
+pub fn sharded_power_family(word: &[u8], ks: &[u64], shard_counts: &[usize]) -> Vec<ShardedCase> {
+    ks.iter()
+        .map(|&k| {
+            ShardedCase::new(
+                format!("({})^{k}", String::from_utf8_lossy(word)),
+                families::power_word(word, k),
+                shard_counts,
+            )
+        })
+        .collect()
+}
+
+/// A low-repetitiveness block document (see
+/// [`tunable_repetitiveness`](crate::documents::tunable_repetitiveness))
+/// compressed by balanced bisection, with sharded variants — the regime in
+/// which the shards partition the grammar and the per-shard passes split
+/// the matrix work `k` ways.
+pub fn sharded_block_document(
+    length: usize,
+    block_len: usize,
+    novelty: f64,
+    seed: u64,
+    shard_counts: &[usize],
+) -> ShardedCase {
+    let doc = crate::documents::tunable_repetitiveness(length, block_len, novelty, seed);
+    let slp = NormalFormSlp::from_document(&doc).expect("non-empty document");
+    ShardedCase::new(format!("block-{length}-nov{novelty}"), slp, shard_counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_corpus_round_trips_and_covers_every_k() {
+        let cases = sharded_power_family(b"ab", &[64, 256], &[2, 4]);
+        assert_eq!(cases.len(), 2);
+        for case in &cases {
+            let text = case.slp.derive();
+            assert_eq!(case.sharded.len(), 2);
+            for (k, sharded) in &case.sharded {
+                assert_eq!(sharded.k(), *k);
+                assert_eq!(sharded.derive(), text, "{} k={k}", case.name);
+            }
+        }
+    }
+
+    #[test]
+    fn block_document_shards_partition_the_grammar() {
+        let case = sharded_block_document(1 << 12, 32, 1.0, 7, &[4]);
+        let (_, sharded) = &case.sharded[0];
+        assert_eq!(sharded.derive(), case.slp.derive());
+        // Low repetitiveness → little cross-shard sharing: the shard
+        // grammars together are not much bigger than the monolithic one.
+        let total: usize = sharded.shards().iter().map(|s| s.size()).sum();
+        assert!(
+            total < 2 * case.slp.size(),
+            "shards {total} vs monolithic {}",
+            case.slp.size()
+        );
+    }
+}

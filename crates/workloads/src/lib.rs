@@ -10,8 +10,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod documents;
 pub mod queries;
 
+pub use corpus::{sharded_block_document, sharded_power_family, ShardedCase};
 pub use documents::{dna_with_repeats, repetitive_log, tunable_repetitiveness, LogOptions};
 pub use queries::{named_queries, NamedQuery};

@@ -10,12 +10,15 @@ use slp_spanner::workloads::documents::{repetitive_log, LogOptions};
 use slp_spanner::workloads::queries;
 
 fn main() {
-    // A service with a 32 MiB matrix budget per document: matrices for the
-    // hottest (query, document) pairs stay resident, cold ones are evicted
-    // LRU-first and transparently rebuilt when they come back.
+    // A service with one 32 MiB matrix budget shared by *all* documents:
+    // matrices for the hottest (query, document) pairs stay resident, cold
+    // ones are evicted LRU-first (one eviction clock across the whole
+    // corpus) and transparently rebuilt when they come back.
     let service = Service::builder().cache_budget(32 << 20).build();
 
-    // Pool three documents: two generated logs and one synthetic giant.
+    // Pool three documents: a generated log, the same log *sharded* into 4
+    // balanced sub-grammars (its matrix builds scatter one pass per shard
+    // and gather at the root), and one synthetic giant.
     let logs: Vec<NormalFormSlp<u8>> = [7, 8]
         .iter()
         .map(|&seed| {
@@ -26,7 +29,10 @@ fn main() {
             }))
         })
         .collect();
-    let mut docs: Vec<DocumentId> = logs.iter().map(|slp| service.add_document(slp)).collect();
+    let mut docs: Vec<DocumentId> = vec![
+        service.add_document(&logs[0]),
+        service.add_document_sharded(&logs[1], 4),
+    ];
     docs.push(service.add_document(&families::power_word(
         b"ERROR in pay: code=500 retry\n",
         1_000_000,
@@ -54,8 +60,16 @@ fn main() {
         .zip(service.run_batch(&count_requests))
     {
         let response = response.expect("pooled counting cannot fail");
+        let sharding = match &response.shard_stats {
+            Some(stats) => format!(
+                ", {} shards, critical path {:?}",
+                stats.k(),
+                stats.critical_path()
+            ),
+            None => String::new(),
+        };
         println!(
-            "  query {:>2} × doc {:>2}: {:>9} results  [{}, matrices {:>7} bytes, build {:?}]",
+            "  query {:>2} × doc {:>2}: {:>9} results  [{}, matrices {:>7} bytes, build {:?}{}]",
             request.query.index(),
             request.doc.index(),
             response.outcome.as_count().unwrap(),
@@ -66,6 +80,7 @@ fn main() {
             },
             response.stats.matrix_bytes,
             response.stats.matrix_build,
+            sharding,
         );
     }
 

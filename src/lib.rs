@@ -82,7 +82,7 @@ pub mod prelude {
     };
     pub use crate::slp::{
         compress::{Bisection, Compressor, RePair},
-        NormalFormSlp, SlpStats,
+        NormalFormSlp, ShardedDocument, SlpStats,
     };
     pub use crate::spanner::{
         regex::compile_deterministic as compile_query, Span, SpanTuple, SpannerAutomaton, Variable,

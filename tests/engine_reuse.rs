@@ -95,8 +95,9 @@ fn document_preparation_is_shared_across_queries() {
 }
 
 /// `Service::run_batch` over the full query × document cross-product
-/// returns exactly what a fresh `SlpSpanner` per pair computes, and the
-/// deprecated `Engine::evaluate_batch` compatibility path agrees with it.
+/// returns exactly what a fresh `SlpSpanner` per pair computes — it is the
+/// one batch fan-out point (the old `Engine::evaluate_batch` wrapper is
+/// gone).
 #[test]
 fn run_batch_matches_fresh_slp_spanner_per_pair() {
     let _guard = COUNTER_LOCK.lock().unwrap();
@@ -120,7 +121,6 @@ fn run_batch_matches_fresh_slp_spanner_per_pair() {
     let batch = service.run_batch(&requests);
     assert_eq!(batch.len(), qs.len() * docs.len());
 
-    let mut tuple_batches: Vec<Vec<SpanTuple>> = Vec::new();
     for ((qi, di), response) in qids
         .iter()
         .enumerate()
@@ -137,24 +137,6 @@ fn run_batch_matches_fresh_slp_spanner_per_pair() {
             result.len(),
             expected.len(),
             "duplicates in query {qi} × document {di}"
-        );
-        tuple_batches.push(result);
-    }
-
-    // The deprecated engine entry point is a wrapper over the same path.
-    let mut engine = Engine::new();
-    let qids2: Vec<QueryId> = qs.iter().map(|m| engine.add_query(m)).collect();
-    let dids2: Vec<DocumentId> = docs.iter().map(|d| engine.add_document(d)).collect();
-    let pairs: Vec<(QueryId, DocumentId)> = qids2
-        .iter()
-        .flat_map(|&q| dids2.iter().map(move |&d| (q, d)))
-        .collect();
-    #[allow(deprecated)]
-    let compat = engine.evaluate_batch(&pairs);
-    for (old, new) in compat.iter().zip(&tuple_batches) {
-        assert_eq!(
-            old.iter().collect::<BTreeSet<_>>(),
-            new.iter().collect::<BTreeSet<_>>()
         );
     }
 }
