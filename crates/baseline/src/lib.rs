@@ -8,7 +8,7 @@
 //!
 //! Data complexity: `O(d · |M|)` preprocessing for every task;
 //! [`ProductDag::enumerate`] then has output-linear delay (at most one full
-//! root-to-sink path, i.e. `O(d)`, between results — see DESIGN.md §4 for
+//! root-to-sink path, i.e. `O(d)`, between results — see DESIGN.md §5 for
 //! why this preserves the comparison the paper makes against constant-delay
 //! enumeration).
 //!

@@ -2,8 +2,8 @@
 //!
 //! Workload construction and measurement helpers shared by the Criterion
 //! benches (`benches/e*.rs`) and by the `experiments` report binary, which
-//! regenerates every table of EXPERIMENTS.md.  The experiment ids (E1–E9)
-//! are defined in DESIGN.md §5.
+//! regenerates every table of EXPERIMENTS.md.  The experiment ids (E1–E11)
+//! are defined in DESIGN.md §6.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

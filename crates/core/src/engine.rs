@@ -217,6 +217,21 @@ impl PreparedDocument {
         Self::from_composed(combined.clone(), combined, layout)
     }
 
+    /// Like [`PreparedDocument::sharded`], but reusing a split the caller
+    /// already performed on `document` (e.g. the probe split of an
+    /// auto-tuned registration), so the grammar surgery runs once.  Unlike
+    /// [`PreparedDocument::from_shards`], the original grammar is kept for
+    /// model checking.
+    pub fn sharded_precut(document: &NormalFormSlp<u8>, sharded: &ShardedDocument<u8>) -> Self {
+        debug_assert_eq!(
+            sharded.total_len(),
+            document.document_len(),
+            "the split must be of this document"
+        );
+        let (combined, layout) = sharded.compose();
+        Self::from_composed(document.clone(), combined, layout)
+    }
+
     fn from_composed(
         original: NormalFormSlp<u8>,
         combined: NormalFormSlp<u8>,

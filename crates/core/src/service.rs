@@ -193,16 +193,47 @@ pub struct TaskResponse {
     pub shard_stats: Option<ShardBuildStats>,
 }
 
+/// Cumulative request counts broken down by [`Task`] kind, part of
+/// [`ServiceStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskKindCounts {
+    /// [`Task::NonEmptiness`] requests.
+    pub non_emptiness: u64,
+    /// [`Task::ModelCheck`] requests.
+    pub model_check: u64,
+    /// [`Task::Count`] requests.
+    pub count: u64,
+    /// [`Task::Compute`] requests.
+    pub compute: u64,
+    /// [`Task::Enumerate`] requests (including streamed ones).
+    pub enumerate: u64,
+}
+
+impl TaskKindCounts {
+    /// Sum over all task kinds (equals [`ServiceStats::requests`]).
+    pub fn total(&self) -> u64 {
+        self.non_emptiness + self.model_check + self.count + self.compute + self.enumerate
+    }
+}
+
 /// Aggregate service counters, a snapshot of [`Service::stats`].
 ///
 /// `cache_hits + cache_misses` need not equal `requests`:
 /// [`Task::ModelCheck`] requests skip the cache entirely, while ad-hoc
 /// [`Service::evaluation`] bindings and the duplicate pre-build of
 /// [`Service::run_batch`] consult it without counting as requests.
+///
+/// The snapshot is *request-atomic*: every request commits all its counter
+/// updates (request total, per-kind count, cache hit/miss) in one step, and
+/// [`Service::stats`] excludes commits in flight — a snapshot taken under a
+/// concurrent [`Service::run_batch`] never observes a request that is
+/// counted in `requests` but missing from `by_task`, or vice versa.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Total requests served (including failed ones).
     pub requests: u64,
+    /// `requests` broken down by task kind.
+    pub by_task: TaskKindCounts,
     /// Cache lookups answered from resident matrices.
     pub cache_hits: u64,
     /// Cache lookups that built matrices.
@@ -212,6 +243,8 @@ pub struct ServiceStats {
     /// Bytes of preprocessed matrices currently resident in the shared
     /// cache pool (all documents).
     pub resident_bytes: usize,
+    /// Matrix sets currently resident in the shared cache pool.
+    pub resident_entries: usize,
 }
 
 /// Configuration assembled by [`ServiceBuilder`].
@@ -291,10 +324,76 @@ impl ServiceBuilder {
             documents: RwLock::new(Vec::new()),
             cache: Arc::new(MatrixCache::new(self.config.cache_budget)),
             config: self.config,
-            requests: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
+            counters: Counters::default(),
         }
+    }
+}
+
+/// The service-wide request counters, updated once per request under a
+/// shared gate so [`Service::stats`] can take a request-atomic snapshot.
+///
+/// Writers (requests committing their counts) take the gate in *read* mode
+/// — commits from any number of threads proceed in parallel, each a handful
+/// of relaxed `fetch_add`s.  [`Service::stats`] takes the gate in *write*
+/// mode, which excludes half-committed requests from the snapshot without
+/// blocking evaluation itself (the matrices are built and the task answered
+/// entirely outside the gate).
+#[derive(Debug, Default)]
+struct Counters {
+    /// Writers hold this shared; `stats()` holds it exclusively.
+    gate: RwLock<()>,
+    requests: AtomicU64,
+    /// One slot per task kind, indexed by [`task_kind_index`].
+    by_task: [AtomicU64; 5],
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// The `Counters::by_task` slot of a task.
+fn task_kind_index(task: &Task) -> usize {
+    match task {
+        Task::NonEmptiness => 0,
+        Task::ModelCheck(_) => 1,
+        Task::Count => 2,
+        Task::Compute { .. } => 3,
+        Task::Enumerate { .. } => 4,
+    }
+}
+
+impl Counters {
+    /// Commits one request (and/or one cache lookup) atomically with
+    /// respect to [`Counters::snapshot`].
+    fn commit(&self, task: Option<&Task>, lookup: Option<&CacheLookup>) {
+        let _shared = self.gate.read().expect("stats gate poisoned");
+        if let Some(task) = task {
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            self.by_task[task_kind_index(task)].fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(lookup) = lookup {
+            if lookup.hit {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Reads all counters with no commit in flight.
+    fn snapshot(&self) -> (u64, TaskKindCounts, u64, u64) {
+        let _exclusive = self.gate.write().expect("stats gate poisoned");
+        let kind = |i: usize| self.by_task[i].load(Ordering::Relaxed);
+        (
+            self.requests.load(Ordering::Relaxed),
+            TaskKindCounts {
+                non_emptiness: kind(0),
+                model_check: kind(1),
+                count: kind(2),
+                compute: kind(3),
+                enumerate: kind(4),
+            },
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -313,9 +412,7 @@ pub struct Service {
     /// budget and a shared eviction clock across documents and shards.
     cache: Arc<MatrixCache>,
     config: ServiceConfig,
-    requests: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
+    counters: Counters,
 }
 
 impl Default for Service {
@@ -381,6 +478,51 @@ impl Service {
         self.add_prepared_document(PreparedDocument::sharded(document, k))
     }
 
+    /// Registers a document with an auto-tuned shard count: a cheap probe
+    /// split estimates how well the grammar partitions
+    /// ([`slp::shard::estimate_critical_ratio`]) and
+    /// [`slp::shard::auto_k`] turns that, the host's core count and the
+    /// grammar size into `k`.  Exponentially shared grammars (power
+    /// families) and small documents stay monolithic; large block-like
+    /// documents scatter over the cores.  Results are identical to
+    /// [`Service::add_document`] either way.
+    pub fn add_document_auto(&self, document: &NormalFormSlp<u8>) -> DocumentId {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Cheap gates first: ratio 0.0 is the most shard-friendly input
+        // auto_k can see, so if even that says "monolithic" (single core,
+        // small grammar) the probe split cannot change the answer — skip
+        // the surgery entirely.
+        if slp::shard::auto_k(document.size(), cores, 0.0) <= 1 {
+            return self.add_document(document);
+        }
+        let sharded = slp::shard::split(document, Self::probe_k(cores));
+        let ratio = slp::shard::critical_ratio(&sharded, document.size());
+        match slp::shard::auto_k(document.size(), cores, ratio) {
+            0 | 1 => self.add_document(document),
+            // The probe split *is* the split we want — reuse it instead of
+            // cutting the grammar a second time.
+            k if k == sharded.k() => {
+                self.add_prepared_document(PreparedDocument::sharded_precut(document, &sharded))
+            }
+            k => self.add_document_sharded(document, k),
+        }
+    }
+
+    /// The shard count [`Service::add_document_auto`] would pick on a host
+    /// with `cores` cores (exposed for tests and capacity planning).
+    pub fn auto_shard_count(&self, document: &NormalFormSlp<u8>, cores: usize) -> usize {
+        if slp::shard::auto_k(document.size(), cores, 0.0) <= 1 {
+            return 1;
+        }
+        let ratio = slp::shard::estimate_critical_ratio(document, Self::probe_k(cores));
+        slp::shard::auto_k(document.size(), cores, ratio)
+    }
+
+    /// Shard count of the structural probe split behind the auto policy.
+    fn probe_k(cores: usize) -> usize {
+        cores.clamp(2, 8)
+    }
+
     /// Registers an already prepared document, re-homing it (and any
     /// matrices it already built) onto the service's shared cache pool.
     pub fn add_prepared_document(&self, mut document: PreparedDocument) -> DocumentId {
@@ -429,7 +571,7 @@ impl Service {
         let query = self.query(q);
         let document = self.document(d);
         let (pre, lookup) = document.matrices_with_stats(&query);
-        self.note_lookup(&lookup);
+        self.counters.commit(None, Some(&lookup));
         Evaluation::from_parts(query, document, pre)
     }
 
@@ -446,7 +588,6 @@ impl Service {
     /// # Panics
     /// If the request names ids not issued by this service.
     pub fn run(&self, request: &TaskRequest) -> Result<TaskResponse, EvalError> {
-        self.requests.fetch_add(1, Ordering::Relaxed);
         let query = self.query(request.query);
         let document = self.document(request.doc);
 
@@ -455,6 +596,7 @@ impl Service {
         // them (or evict a hot pair) for it.  Its stats report zero cache
         // traffic.
         if let Task::ModelCheck(tuple) = &request.task {
+            self.counters.commit(Some(&request.task), None);
             let start = Instant::now();
             let verdict = model_check::check(query.automaton(), document.original(), tuple)?;
             return Ok(TaskResponse {
@@ -475,11 +617,12 @@ impl Service {
         // not spend `O(size(S)·q³)` or evict a hot pair from the cache.
         if matches!(request.task, Task::Count | Task::Enumerate { .. }) && !query.is_deterministic()
         {
+            self.counters.commit(Some(&request.task), None);
             return Err(EvalError::NondeterministicAutomaton);
         }
 
         let (pre, lookup) = document.matrices_with_stats(&query);
-        self.note_lookup(&lookup);
+        self.counters.commit(Some(&request.task), Some(&lookup));
 
         let start = Instant::now();
         let outcome = match &request.task {
@@ -545,7 +688,7 @@ impl Service {
                     let query = self.query(QueryId(q));
                     let document = self.document(DocumentId(d));
                     let (_, lookup) = document.matrices_with_stats(&query);
-                    self.note_lookup(&lookup);
+                    self.counters.commit(None, Some(&lookup));
                 }
             }
             return rayon::par_map(requests, |request| self.run(request));
@@ -553,24 +696,86 @@ impl Service {
         requests.iter().map(|request| self.run(request)).collect()
     }
 
-    fn note_lookup(&self, lookup: &CacheLookup) {
-        if lookup.hit {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    /// Serves one [`Task::Enumerate`] request *streamed*: results are
+    /// handed to `emit` in pages of at most `page_size` tuples as the
+    /// enumeration produces them, so a consumer (e.g. a network transport
+    /// flushing each page) observes the paper's per-result delay rather
+    /// than the total evaluation time.  `emit` returning `false` stops the
+    /// enumeration early (a gone client must not keep paying for results).
+    ///
+    /// The returned response carries an **empty** tuple vector — the tuples
+    /// went through `emit` — with `stats.results` counting what was
+    /// actually streamed.  Any other task kind is delegated to
+    /// [`Service::run`] unchanged, so callers can route every request
+    /// through this entry point.
+    ///
+    /// # Errors / Panics
+    /// As for [`Service::run`].
+    pub fn run_paged(
+        &self,
+        request: &TaskRequest,
+        page_size: usize,
+        emit: &mut dyn FnMut(Vec<SpanTuple>) -> bool,
+    ) -> Result<TaskResponse, EvalError> {
+        let Task::Enumerate { skip, limit } = request.task else {
+            return self.run(request);
+        };
+        let query = self.query(request.query);
+        let document = self.document(request.doc);
+        if !query.is_deterministic() {
+            self.counters.commit(Some(&request.task), None);
+            return Err(EvalError::NondeterministicAutomaton);
         }
+        let (pre, lookup) = document.matrices_with_stats(&query);
+        self.counters.commit(Some(&request.task), Some(&lookup));
+
+        let start = Instant::now();
+        let page_size = page_size.max(1);
+        let cap = limit.unwrap_or(usize::MAX);
+        let mut streamed: usize = 0;
+        let mut page = Vec::with_capacity(page_size);
+        let mut iter = enumerate::Enumeration::from_matrices(&pre).skip(skip);
+        while streamed < cap {
+            let Some(tuple) = iter.next() else { break };
+            page.push(tuple);
+            streamed += 1;
+            if page.len() == page_size
+                && !emit(std::mem::replace(&mut page, Vec::with_capacity(page_size)))
+            {
+                page.clear();
+                break;
+            }
+        }
+        if !page.is_empty() {
+            emit(page);
+        }
+        Ok(TaskResponse {
+            outcome: TaskOutcome::Tuples(Vec::new()),
+            stats: RequestStats {
+                cache_hit: lookup.hit,
+                matrix_build: lookup.build_time,
+                matrix_bytes: lookup.bytes,
+                task_time: start.elapsed(),
+                results: streamed as u64,
+            },
+            shard_stats: lookup.shard_stats,
+        })
     }
 
-    /// A snapshot of the aggregate counters (requests, plus the shared
-    /// cache pool's eviction and residency totals).
+    /// A snapshot of the aggregate counters (requests by task kind, cache
+    /// traffic, plus the shared cache pool's eviction and residency
+    /// totals).  Request-atomic under concurrency — see [`ServiceStats`].
     pub fn stats(&self) -> ServiceStats {
+        let (requests, by_task, cache_hits, cache_misses) = self.counters.snapshot();
         let cache = self.cache.stats();
         ServiceStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            requests,
+            by_task,
+            cache_hits,
+            cache_misses,
             evictions: cache.evictions,
             resident_bytes: cache.resident_bytes,
+            resident_entries: cache.resident_entries,
         }
     }
 }
@@ -709,6 +914,184 @@ mod tests {
         assert_eq!(stats.requests, 2);
         assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
         assert_eq!(stats.resident_bytes, first.stats.matrix_bytes);
+    }
+
+    #[test]
+    fn stats_break_requests_down_by_task_kind() {
+        let service = Service::new();
+        let q = service.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+        let d = service.add_document(&families::power_word(b"ab", 32));
+        let run = |task: Task| {
+            service
+                .run(&TaskRequest {
+                    query: q,
+                    doc: d,
+                    task,
+                })
+                .unwrap()
+        };
+        run(Task::NonEmptiness);
+        run(Task::Count);
+        run(Task::Count);
+        let tuple = run(Task::Compute { limit: Some(1) })
+            .outcome
+            .into_tuples()
+            .unwrap()
+            .remove(0);
+        run(Task::ModelCheck(tuple));
+        run(Task::Enumerate {
+            skip: 0,
+            limit: Some(3),
+        });
+        let stats = service.stats();
+        assert_eq!(
+            stats.by_task,
+            TaskKindCounts {
+                non_emptiness: 1,
+                model_check: 1,
+                count: 2,
+                compute: 1,
+                enumerate: 1,
+            }
+        );
+        assert_eq!(stats.requests, stats.by_task.total());
+    }
+
+    #[test]
+    fn stats_snapshot_is_request_atomic_under_run_batch() {
+        // Hammer stats() while a batch fans out; every snapshot must be
+        // internally consistent: the per-kind counts always sum to the
+        // request total (a half-committed request would break this).
+        let service = Arc::new(Service::new());
+        let q = service.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+        let d = service.add_document(&families::power_word(b"ab", 256));
+        let requests: Vec<TaskRequest> = (0..64)
+            .map(|i| TaskRequest {
+                query: q,
+                doc: d,
+                task: if i % 2 == 0 {
+                    Task::Count
+                } else {
+                    Task::NonEmptiness
+                },
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            let svc = service.clone();
+            let batch = scope.spawn(move || svc.run_batch(&requests));
+            for _ in 0..200 {
+                let stats = service.stats();
+                assert_eq!(
+                    stats.requests,
+                    stats.by_task.total(),
+                    "snapshot caught a half-committed request"
+                );
+            }
+            for response in batch.join().unwrap() {
+                response.unwrap();
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.requests, 64);
+        assert_eq!(stats.by_task.count, 32);
+        assert_eq!(stats.by_task.non_emptiness, 32);
+    }
+
+    #[test]
+    fn run_paged_streams_the_same_tuples_as_run() {
+        let service = Service::new();
+        let q = service.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+        let d = service.add_document(&families::power_word(b"ab", 100));
+        let request = TaskRequest {
+            query: q,
+            doc: d,
+            task: Task::Enumerate {
+                skip: 5,
+                limit: Some(50),
+            },
+        };
+        let direct = service.run(&request).unwrap();
+        let mut pages = 0;
+        let mut streamed = Vec::new();
+        let response = service
+            .run_paged(&request, 8, &mut |page| {
+                assert!(page.len() <= 8);
+                pages += 1;
+                streamed.extend(page);
+                true
+            })
+            .unwrap();
+        assert_eq!(streamed, direct.outcome.into_tuples().unwrap());
+        assert_eq!(pages, 7, "50 results in pages of 8: 6 full + 1 short");
+        assert_eq!(response.stats.results, 50);
+        assert!(response.outcome.tuples().unwrap().is_empty());
+        // Early stop: the consumer cancels after the first page.
+        let mut first_pages = 0;
+        let cancelled = service
+            .run_paged(&request, 8, &mut |_| {
+                first_pages += 1;
+                false
+            })
+            .unwrap();
+        assert_eq!(first_pages, 1);
+        assert_eq!(cancelled.stats.results, 8);
+        // Non-enumerate tasks delegate to run().
+        let count = service
+            .run_paged(
+                &TaskRequest {
+                    query: q,
+                    doc: d,
+                    task: Task::Count,
+                },
+                8,
+                &mut |_| panic!("count must not stream"),
+            )
+            .unwrap();
+        assert_eq!(count.outcome.as_count(), Some(100));
+    }
+
+    #[test]
+    fn add_document_auto_matches_the_monolithic_results() {
+        let service = Service::new();
+        let q = service.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+        // A power family is exponentially shared: auto keeps it monolithic
+        // on any core count.
+        let power = families::power_word(b"ab", 1 << 16);
+        assert_eq!(service.auto_shard_count(&power, 16), 1);
+        let d_auto = service.add_document_auto(&power);
+        assert!(!service.document(d_auto).is_sharded());
+        let response = service
+            .run(&TaskRequest {
+                query: q,
+                doc: d_auto,
+                task: Task::Count,
+            })
+            .unwrap();
+        assert_eq!(response.outcome.as_count(), Some(1 << 16));
+        // A low-repetitiveness block document partitions: with enough cores
+        // the auto policy shards it, and the results are unchanged.
+        let mut state = 0x9E37_79B9u64;
+        let block: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                b'a' + ((state >> 33) % 2) as u8
+            })
+            .collect();
+        let slp = slp::NormalFormSlp::from_document(&block).unwrap();
+        assert!(service.auto_shard_count(&slp, 16) > 1);
+        let d_block = service.add_document_auto(&slp);
+        let reference =
+            SlpSpanner::new(&regex::compile(".*x{ab}.*", b"ab").unwrap(), &slp).unwrap();
+        let counted = service
+            .run(&TaskRequest {
+                query: q,
+                doc: d_block,
+                task: Task::Count,
+            })
+            .unwrap();
+        assert_eq!(counted.outcome.as_count(), Some(reference.count()));
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! The `spanner-client` binary: drive a running `spanner-server` with a
+//! scripted session (CI smoke, demos, ad-hoc poking).
+//!
+//! ```text
+//! spanner-client <addr> [script-file]     # '-' or no file = stdin
+//! ```
+//!
+//! One command per line (`#` starts a comment):
+//!
+//! ```text
+//! ping
+//! add_query <pattern> <alphabet>      # e.g. add_query .*x{ab}.* ab
+//! add_doc <text>
+//! add_doc_sharded <k> <text>          # k = 0 lets the server auto-tune
+//! nonempty <q> <d>
+//! check <q> <d> <tuple>               # tuple: x0=1,3 x1=- … (start,end; - = unset)
+//! count <q> <d>
+//! compute <q> <d> <limit|->
+//! enum <q> <d> <skip> <limit|->
+//! stats
+//! shutdown
+//! ```
+//!
+//! Every reply is printed as one line.  `busy` backpressure is retried
+//! with a small backoff; any other server error aborts with exit code 1,
+//! so a CI script fails loudly.
+
+use spanner::{Span, SpanTuple, Variable};
+use spanner_server::{retry_busy, Client, ClientError};
+use std::io::{BufRead, BufReader};
+use std::time::Duration;
+
+const RETRIES: usize = 200;
+const BACKOFF: Duration = Duration::from_millis(10);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = args.first() else {
+        eprintln!("usage: spanner-client <addr> [script-file]");
+        std::process::exit(2);
+    };
+    let script: Box<dyn BufRead> = match args.get(1).map(String::as_str) {
+        None | Some("-") => Box::new(BufReader::new(std::io::stdin())),
+        Some(path) => match std::fs::File::open(path) {
+            Ok(file) => Box::new(BufReader::new(file)),
+            Err(e) => {
+                eprintln!("cannot open script {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    for (lineno, line) in script.lines().enumerate() {
+        let line = line.unwrap_or_else(|e| fail(lineno, &format!("read error: {e}")));
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match run_command(&mut client, line) {
+            Ok(output) => println!("{output}"),
+            Err(e) => fail(lineno, &format!("'{line}': {e}")),
+        }
+    }
+}
+
+fn fail(lineno: usize, message: &str) -> ! {
+    eprintln!("spanner-client: line {}: {message}", lineno + 1);
+    std::process::exit(1);
+}
+
+fn run_command(client: &mut Client, line: &str) -> Result<String, ClientError> {
+    let mut words = line.split_whitespace();
+    let command = words.next().expect("non-empty line");
+    let rest: Vec<&str> = words.collect();
+    let arg = |i: usize| -> Result<&str, ClientError> {
+        rest.get(i)
+            .copied()
+            .ok_or_else(|| ClientError::Protocol(format!("{command}: missing argument {i}")))
+    };
+    let num = |i: usize| -> Result<u64, ClientError> {
+        arg(i)?
+            .parse()
+            .map_err(|_| ClientError::Protocol(format!("{command}: argument {i} is not a number")))
+    };
+    let opt_num = |i: usize| -> Result<Option<u64>, ClientError> {
+        let word = arg(i)?;
+        if word == "-" {
+            Ok(None)
+        } else {
+            Ok(Some(word.parse().map_err(|_| {
+                ClientError::Protocol(format!("{command}: argument {i} is not a number or '-'"))
+            })?))
+        }
+    };
+
+    match command {
+        "ping" => Ok(format!("pong proto={}", client.ping()?)),
+        "add_query" => {
+            let id = retry_busy(RETRIES, BACKOFF, || {
+                client.add_query(arg(0)?, arg(1)?.as_bytes())
+            })?;
+            Ok(format!("query {id}"))
+        }
+        "add_doc" => {
+            let receipt = retry_busy(RETRIES, BACKOFF, || client.add_doc(arg(0)?.as_bytes()))?;
+            Ok(format!(
+                "doc {} shards={} len={}",
+                receipt.id, receipt.shards, receipt.len
+            ))
+        }
+        "add_doc_sharded" => {
+            let k = num(0)?;
+            let receipt = retry_busy(RETRIES, BACKOFF, || {
+                client.add_doc_sharded(arg(1)?.as_bytes(), k)
+            })?;
+            Ok(format!(
+                "doc {} shards={} len={}",
+                receipt.id, receipt.shards, receipt.len
+            ))
+        }
+        "nonempty" => {
+            let (q, d) = (num(0)?, num(1)?);
+            let (value, stats) = retry_busy(RETRIES, BACKOFF, || client.non_empty(q, d))?;
+            Ok(format!("nonempty {value} cache_hit={}", stats.cache_hit))
+        }
+        "check" => {
+            let (q, d) = (num(0)?, num(1)?);
+            let tuple = parse_tuple(rest.get(2..).unwrap_or(&[]))?;
+            let (value, _) = retry_busy(RETRIES, BACKOFF, || client.model_check(q, d, &tuple))?;
+            Ok(format!("checked {value}"))
+        }
+        "count" => {
+            let (q, d) = (num(0)?, num(1)?);
+            let (value, stats) = retry_busy(RETRIES, BACKOFF, || client.count(q, d))?;
+            Ok(format!("count {value} cache_hit={}", stats.cache_hit))
+        }
+        "compute" => {
+            let (q, d, limit) = (num(0)?, num(1)?, opt_num(2)?);
+            let (tuples, _) = retry_busy(RETRIES, BACKOFF, || client.compute(q, d, limit))?;
+            Ok(format!(
+                "tuples {} {}",
+                tuples.len(),
+                render_tuples(&tuples)
+            ))
+        }
+        "enum" => {
+            let (q, d, skip, limit) = (num(0)?, num(1)?, num(2)?, opt_num(3)?);
+            let mut pages = 0;
+            let (tuples, _) = retry_busy(RETRIES, BACKOFF, || {
+                pages = 0;
+                client.enumerate(q, d, skip, limit, |_| pages += 1)
+            })?;
+            Ok(format!("enumerated {} pages={pages}", tuples.len()))
+        }
+        "stats" => {
+            let (service, server) = client.stats()?;
+            Ok(format!(
+                "stats requests={} hits={} misses={} evictions={} resident={} \
+                 connections={} busy={} pages={}",
+                service.requests,
+                service.cache_hits,
+                service.cache_misses,
+                service.evictions,
+                service.resident_bytes,
+                server.connections,
+                server.busy_rejections,
+                server.pages_streamed,
+            ))
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            Ok("shutdown acknowledged".to_string())
+        }
+        other => Err(ClientError::Protocol(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Parses `x0=1,3 x1=- …` into a span-tuple (variable index, then
+/// `start,end` or `-` for undefined).
+fn parse_tuple(words: &[&str]) -> Result<SpanTuple, ClientError> {
+    let bad = |w: &str| ClientError::Protocol(format!("bad tuple component '{w}'"));
+    let mut tuple = SpanTuple::empty(words.len());
+    for word in words {
+        let (var, span) = word.split_once('=').ok_or_else(|| bad(word))?;
+        let index: u8 = var
+            .strip_prefix('x')
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad(word))?;
+        if span == "-" {
+            continue;
+        }
+        let (start, end) = span.split_once(',').ok_or_else(|| bad(word))?;
+        let span = Span::new(
+            start.parse().map_err(|_| bad(word))?,
+            end.parse().map_err(|_| bad(word))?,
+        )
+        .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        tuple.set(Variable(index), span);
+    }
+    Ok(tuple)
+}
+
+fn render_tuples(tuples: &[SpanTuple]) -> String {
+    let shown: Vec<String> = tuples
+        .iter()
+        .take(3)
+        .map(|t| {
+            let vars: Vec<String> = (0..t.num_vars())
+                .map(|v| match t.get(Variable(v as u8)) {
+                    Some(span) => format!("[{},{})", span.start, span.end),
+                    None => "-".to_string(),
+                })
+                .collect();
+            format!("({})", vars.join(" "))
+        })
+        .collect();
+    let ellipsis = if tuples.len() > 3 { " …" } else { "" };
+    format!("{}{}", shown.join(" "), ellipsis)
+}

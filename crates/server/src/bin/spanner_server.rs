@@ -1,0 +1,76 @@
+//! The `spanner-server` binary: boot a long-running evaluation server.
+//!
+//! ```text
+//! spanner-server [--addr HOST:PORT] [--max-inflight N] [--max-frame BYTES]
+//!                [--page-size N] [--cache-budget BYTES]
+//! ```
+//!
+//! Prints `LISTENING <addr>` once the socket is bound (scripts parse this
+//! to learn an ephemeral port), then serves until a client sends the
+//! `shutdown` verb; exits 0 after a clean drain.
+
+use spanner_server::{Server, ServerConfig};
+use spanner_slp_core::Service;
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServerConfig::default();
+    let mut cache_budget: Option<usize> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--addr" => addr = value(i),
+            "--max-inflight" => config.max_inflight = parse(&value(i), "--max-inflight"),
+            "--max-frame" => config.max_frame_len = parse(&value(i), "--max-frame"),
+            "--page-size" => config.page_size = parse(&value(i), "--page-size"),
+            "--cache-budget" => cache_budget = Some(parse(&value(i), "--cache-budget")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: spanner-server [--addr HOST:PORT] [--max-inflight N] \
+                     [--max-frame BYTES] [--page-size N] [--cache-budget BYTES]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    let mut builder = Service::builder();
+    if let Some(budget) = cache_budget {
+        builder = builder.cache_budget(budget);
+    }
+    let server = match Server::bind(addr.as_str(), builder.build(), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("LISTENING {}", server.local_addr());
+    // Scripts wait for the line above; make sure it is not stuck in a pipe
+    // buffer.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    server.join();
+    println!("SHUTDOWN clean");
+}
+
+fn parse(value: &str, flag: &str) -> usize {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects an unsigned integer, got '{value}'");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,310 @@
+//! A blocking client for the wire protocol: typed calls over one TCP
+//! connection, page streaming for `enumerate`, and a busy-retry helper.
+//!
+//! The protocol is lock-step per connection (one request, then its
+//! response — or its page stream), so the client is a simple synchronous
+//! state machine.  Server-side errors surface as
+//! [`ClientError::Server`] with the structured [`ErrorCode`], so callers
+//! can distinguish backpressure ([`ErrorCode::Busy`] — retry) from real
+//! failures.
+
+use crate::proto::{
+    ErrorCode, ProtoError, Request, Response, WireServerStats, WireServiceStats, WireStats,
+    WireTask,
+};
+use spanner::SpanTuple;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connection refused, reset, …).
+    Io(io::Error),
+    /// The server sent something the protocol does not allow here.
+    Protocol(String),
+    /// The server answered with a structured error frame.
+    Server {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+            ClientError::Server { code, detail } => write!(f, "server error [{code}]: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+impl ClientError {
+    /// `true` if this is the server's structured backpressure signal
+    /// ([`ErrorCode::Busy`]) — the one error that invites a retry.
+    pub fn is_busy(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                code: ErrorCode::Busy,
+                ..
+            }
+        )
+    }
+}
+
+/// The document-registration receipt of `add_doc` / `add_doc_sharded`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DocReceipt {
+    /// Wire id for task requests.
+    pub id: u64,
+    /// Shard count the server registered the document with (interesting
+    /// after `add_doc_sharded(…, 0)`, where the server auto-tunes it).
+    pub shards: u64,
+    /// Document length in bytes.
+    pub len: u64,
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        let mut frame = request.encode();
+        frame.push(b'\n');
+        self.writer.write_all(&frame)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut line = Vec::new();
+        let n = self.reader.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        if line.last() == Some(&b'\n') {
+            line.pop();
+        }
+        Ok(Response::decode(&line)?)
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        let response = self.recv()?;
+        if let Response::Error { code, detail } = response {
+            return Err(ClientError::Server { code, detail });
+        }
+        Ok(response)
+    }
+
+    /// Probes liveness; returns the server's protocol version.
+    pub fn ping(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong { proto } => Ok(proto),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Compiles and pools a query; returns its wire id.
+    pub fn add_query(&mut self, pattern: &str, alphabet: &[u8]) -> Result<u64, ClientError> {
+        let request = Request::AddQuery {
+            pattern: pattern.to_string(),
+            alphabet: alphabet.to_vec(),
+        };
+        match self.call(&request)? {
+            Response::QueryAdded { id } => Ok(id),
+            other => Err(unexpected("query id", &other)),
+        }
+    }
+
+    /// Compresses and pools a document (monolithic).
+    pub fn add_doc(&mut self, text: &[u8]) -> Result<DocReceipt, ClientError> {
+        self.add_doc_request(&Request::AddDoc {
+            text: text.to_vec(),
+        })
+    }
+
+    /// Compresses and pools a document split into `k` shards; `k = 0` lets
+    /// the server auto-tune the count (see the receipt's `shards`).
+    pub fn add_doc_sharded(&mut self, text: &[u8], k: u64) -> Result<DocReceipt, ClientError> {
+        self.add_doc_request(&Request::AddDocSharded {
+            k,
+            text: text.to_vec(),
+        })
+    }
+
+    fn add_doc_request(&mut self, request: &Request) -> Result<DocReceipt, ClientError> {
+        match self.call(request)? {
+            Response::DocAdded { id, shards, len } => Ok(DocReceipt { id, shards, len }),
+            other => Err(unexpected("document receipt", &other)),
+        }
+    }
+
+    /// Non-emptiness of a pooled pair.
+    pub fn non_empty(&mut self, query: u64, doc: u64) -> Result<(bool, WireStats), ClientError> {
+        match self.task(query, doc, WireTask::NonEmptiness)? {
+            Response::NonEmpty { value, stats } => Ok((value, stats)),
+            other => Err(unexpected("non-emptiness verdict", &other)),
+        }
+    }
+
+    /// Model-checks a tuple against a pooled pair.
+    pub fn model_check(
+        &mut self,
+        query: u64,
+        doc: u64,
+        tuple: &SpanTuple,
+    ) -> Result<(bool, WireStats), ClientError> {
+        match self.task(query, doc, WireTask::ModelCheck(tuple.clone()))? {
+            Response::Checked { value, stats } => Ok((value, stats)),
+            other => Err(unexpected("model-check verdict", &other)),
+        }
+    }
+
+    /// Counts the results of a pooled pair.
+    pub fn count(&mut self, query: u64, doc: u64) -> Result<(u128, WireStats), ClientError> {
+        match self.task(query, doc, WireTask::Count)? {
+            Response::Counted { value, stats } => Ok((value, stats)),
+            other => Err(unexpected("count", &other)),
+        }
+    }
+
+    /// Materialises (up to `limit`) results of a pooled pair.
+    pub fn compute(
+        &mut self,
+        query: u64,
+        doc: u64,
+        limit: Option<u64>,
+    ) -> Result<(Vec<SpanTuple>, WireStats), ClientError> {
+        match self.task(query, doc, WireTask::Compute { limit })? {
+            Response::Tuples { tuples, stats } => Ok((tuples, stats)),
+            other => Err(unexpected("tuples", &other)),
+        }
+    }
+
+    /// Streams an enumeration window, invoking `on_page` for every page as
+    /// it arrives (so the caller observes the per-page delay), and returns
+    /// all tuples plus the terminal stats.
+    pub fn enumerate(
+        &mut self,
+        query: u64,
+        doc: u64,
+        skip: u64,
+        limit: Option<u64>,
+        mut on_page: impl FnMut(&[SpanTuple]),
+    ) -> Result<(Vec<SpanTuple>, WireStats), ClientError> {
+        self.send(&Request::Task {
+            query,
+            doc,
+            task: WireTask::Enumerate { skip, limit },
+        })?;
+        let mut all = Vec::new();
+        loop {
+            match self.recv()? {
+                Response::Page { tuples } => {
+                    on_page(&tuples);
+                    all.extend(tuples);
+                }
+                Response::StreamEnd { streamed, stats } => {
+                    if streamed as usize != all.len() {
+                        return Err(ClientError::Protocol(format!(
+                            "stream announced {streamed} tuples but delivered {}",
+                            all.len()
+                        )));
+                    }
+                    return Ok((all, stats));
+                }
+                Response::Error { code, detail } => {
+                    return Err(ClientError::Server { code, detail })
+                }
+                other => return Err(unexpected("page or stream end", &other)),
+            }
+        }
+    }
+
+    /// Runs one task and returns the raw response frame (errors already
+    /// lifted to [`ClientError::Server`]).  Prefer the typed wrappers; this
+    /// is for tests and tooling.  Not for [`WireTask::Enumerate`] — that
+    /// response is a stream, use [`Client::enumerate`].
+    pub fn task(&mut self, query: u64, doc: u64, task: WireTask) -> Result<Response, ClientError> {
+        debug_assert!(
+            !matches!(task, WireTask::Enumerate { .. }),
+            "enumerate responses are streams; use Client::enumerate"
+        );
+        self.call(&Request::Task { query, doc, task })
+    }
+
+    /// Snapshots the server's service-wide and transport-level counters.
+    pub fn stats(&mut self) -> Result<(WireServiceStats, WireServerStats), ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { service, server } => Ok((service, server)),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutdown acknowledgement", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}
+
+/// Calls `operation` until it succeeds or fails with something other than
+/// the server's `busy` backpressure signal, sleeping `backoff` between
+/// attempts (at most `attempts` tries).  The last busy error is returned
+/// if the budget runs out.
+pub fn retry_busy<T>(
+    attempts: usize,
+    backoff: Duration,
+    mut operation: impl FnMut() -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    let mut last = None;
+    for _ in 0..attempts.max(1) {
+        match operation() {
+            Err(e) if e.is_busy() => {
+                last = Some(e);
+                std::thread::sleep(backoff);
+            }
+            other => return other,
+        }
+    }
+    Err(last.expect("at least one attempt ran"))
+}

@@ -1,0 +1,489 @@
+//! A hand-rolled, dependency-free JSON-like value layer for the wire
+//! protocol (see [`crate::proto`]).
+//!
+//! The build environment has no registry access (the same constraint as
+//! `crates/shims/*`), so the wire format is implemented from scratch.  It
+//! deviates from RFC 8259 in three deliberate ways, all driven by the
+//! protocol's needs:
+//!
+//! * **Byte strings.**  Documents are arbitrary byte sequences, not UTF-8
+//!   text, so [`Json::Str`] holds `Vec<u8>`.  Printable ASCII is written
+//!   literally; everything else uses the escapes `\"` `\\` `\n` `\r` `\t`
+//!   and `\xNN` (two lowercase hex digits).  `\xNN` is the non-standard
+//!   extension; the rest parse like JSON.
+//! * **Unsigned integers only.**  Every number in the protocol is a count,
+//!   an id, a byte total or a duration in microseconds — [`Json::Num`] is a
+//!   `u128` (wide enough for result counts, which are polynomial in a
+//!   document length near `2^64`) and the grammar has no `-`, `.` or
+//!   exponent.
+//! * **Canonical encoding.**  [`Json::encode`] emits no whitespace, keeps
+//!   object keys in insertion order and always uses the shortest escape, so
+//!   encode ∘ parse ∘ encode is the identity on encoded frames — the
+//!   round-trip guarantee the protocol tests pin down.
+//!
+//! The parser accepts optional whitespace between tokens and enforces a
+//! nesting-depth cap, so a malicious frame cannot overflow the stack.
+
+use std::fmt;
+
+/// Maximum nesting depth [`Json::parse`] accepts — far above anything the
+/// protocol emits (its frames nest 4 levels), low enough that a frame of
+/// `[[[[…` cannot exhaust the parser's stack.
+const MAX_DEPTH: usize = 32;
+
+/// A JSON-like value: the wire protocol's payload algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the protocol has no negative or fractional
+    /// numbers).
+    Num(u128),
+    /// A byte string (documents are not UTF-8; see the module docs).
+    Str(Vec<u8>),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse error: what went wrong and at which byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Builds a [`Json::Str`] from text.
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.as_bytes().to_vec())
+    }
+
+    /// Builds a [`Json::Num`] from any unsigned integer.
+    pub fn num(n: impl Into<u128>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// The value of `key` if `self` is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if `self` is a [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if `self` is a [`Json::Num`].
+    pub fn as_num(&self) -> Option<u128> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload narrowed to `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_num().and_then(|n| u64::try_from(n).ok())
+    }
+
+    /// The byte-string payload, if `self` is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&[u8]> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if `self` is a [`Json::Arr`].
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Canonically encodes `self` (no whitespace, insertion-ordered keys,
+    /// shortest escapes) into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Json::Null => out.extend_from_slice(b"null"),
+            Json::Bool(true) => out.extend_from_slice(b"true"),
+            Json::Bool(false) => out.extend_from_slice(b"false"),
+            Json::Num(n) => out.extend_from_slice(n.to_string().as_bytes()),
+            Json::Str(s) => encode_string(s, out),
+            Json::Arr(items) => {
+                out.push(b'[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(b',');
+                    }
+                    item.encode(out);
+                }
+                out.push(b']');
+            }
+            Json::Obj(pairs) => {
+                out.push(b'{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(b',');
+                    }
+                    encode_string(key.as_bytes(), out);
+                    out.push(b':');
+                    value.encode(out);
+                }
+                out.push(b'}');
+            }
+        }
+    }
+
+    /// [`Json::encode`] into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Parses one value from `input` (surrounding whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(input: &[u8]) -> Result<Json, JsonError> {
+        let mut parser = Parser { input, pos: 0 };
+        parser.skip_whitespace();
+        let value = parser.value(0)?;
+        parser.skip_whitespace();
+        if parser.pos != input.len() {
+            return Err(parser.error("trailing bytes after the value"));
+        }
+        Ok(value)
+    }
+}
+
+/// Writes a byte string with the canonical escaping of the module docs.
+fn encode_string(s: &[u8], out: &mut Vec<u8>) {
+    out.push(b'"');
+    for &b in s {
+        match b {
+            b'"' => out.extend_from_slice(b"\\\""),
+            b'\\' => out.extend_from_slice(b"\\\\"),
+            b'\n' => out.extend_from_slice(b"\\n"),
+            b'\r' => out.extend_from_slice(b"\\r"),
+            b'\t' => out.extend_from_slice(b"\\t"),
+            0x20..=0x7E => out.push(b),
+            _ => {
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                out.extend_from_slice(&[
+                    b'\\',
+                    b'x',
+                    HEX[(b >> 4) as usize],
+                    HEX[(b & 15) as usize],
+                ]);
+            }
+        }
+    }
+    out.push(b'"');
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.error(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &[u8], value: Json) -> Result<Json, JsonError> {
+        if self.input[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected '{}'", String::from_utf8_lossy(word))))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal(b"null", Json::Null),
+            Some(b't') => self.literal(b"true", Json::Bool(true)),
+            Some(b'f') => self.literal(b"false", Json::Bool(false)),
+            Some(b'0'..=b'9') => self.number(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(other) => Err(self.error(format!("unexpected byte 0x{other:02x}"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let digits = &self.input[start..self.pos];
+        // Reject the redundant leading zero JSON rejects too.
+        if digits.len() > 1 && digits[0] == b'0' {
+            self.pos = start;
+            return Err(self.error("leading zero in number"));
+        }
+        let mut n: u128 = 0;
+        for &d in digits {
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add((d - b'0') as u128))
+                .ok_or_else(|| JsonError {
+                    message: "number does not fit in u128".into(),
+                    offset: start,
+                })?;
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<Vec<u8>, JsonError> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'x') => {
+                        let hi = self.hex_digit()?;
+                        let lo = self.hex_digit()?;
+                        out.push((hi << 4) | lo);
+                    }
+                    _ => return Err(self.error("unsupported escape")),
+                },
+                Some(b) if (0x20..=0x7E).contains(&b) => out.push(b),
+                Some(_) => return Err(self.error("raw non-ASCII byte in string")),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn hex_digit(&mut self) -> Result<u8, JsonError> {
+        match self.bump() {
+            Some(b @ b'0'..=b'9') => Ok(b - b'0'),
+            Some(b @ b'a'..=b'f') => Ok(b - b'a' + 10),
+            Some(b @ b'A'..=b'F') => Ok(b - b'A' + 10),
+            _ => Err(self.error("invalid hex digit in \\x escape")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value(depth + 1)?);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected ',' or ']'"));
+                }
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key_bytes = self.string()?;
+            let key =
+                String::from_utf8(key_bytes).map_err(|_| self.error("object key is not UTF-8"))?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(self.error(format!("duplicate key '{key}'")));
+            }
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(pairs)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected ',' or '}'"));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(pairs: &[(&str, Json)]) -> Json {
+        Json::Obj(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn canonical_encoding_round_trips() {
+        let value = obj(&[
+            ("v", Json::num(1u64)),
+            ("op", Json::str("task")),
+            ("limit", Json::Null),
+            ("flag", Json::Bool(true)),
+            (
+                "tuple",
+                Json::Arr(vec![
+                    Json::Arr(vec![Json::num(1u64), Json::num(3u64)]),
+                    Json::Null,
+                ]),
+            ),
+        ]);
+        let bytes = value.to_bytes();
+        assert_eq!(
+            bytes,
+            br#"{"v":1,"op":"task","limit":null,"flag":true,"tuple":[[1,3],null]}"#.to_vec()
+        );
+        let parsed = Json::parse(&bytes).unwrap();
+        assert_eq!(parsed, value);
+        // encode ∘ parse ∘ encode is the identity.
+        assert_eq!(parsed.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn every_byte_value_round_trips_through_a_string() {
+        let all: Vec<u8> = (0..=255).collect();
+        let encoded = Json::Str(all.clone()).to_bytes();
+        assert_eq!(Json::parse(&encoded), Ok(Json::Str(all)));
+        // The encoding itself is pure printable ASCII.
+        assert!(encoded.iter().all(|b| (0x20..=0x7E).contains(b)));
+    }
+
+    #[test]
+    fn u128_boundaries_round_trip() {
+        for n in [0u128, 1, u64::MAX as u128, u128::MAX] {
+            let bytes = Json::Num(n).to_bytes();
+            assert_eq!(Json::parse(&bytes), Ok(Json::Num(n)));
+        }
+        // One past u128::MAX overflows cleanly.
+        let too_big = format!("{}0", u128::MAX);
+        assert!(Json::parse(too_big.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_rejects_garbage() {
+        let loose = b" { \"a\" : [ 1 , 2 ] , \"b\" : null } ";
+        let value = Json::parse(loose).unwrap();
+        assert_eq!(value.get("a").unwrap().as_arr().unwrap().len(), 2);
+        for bad in [
+            &b"{"[..],
+            b"[1,]",
+            b"{\"a\":}",
+            b"12 34",
+            b"-1",
+            b"1.5",
+            b"01",
+            b"\"\\q\"",
+            b"\"unterminated",
+            b"{\"a\":1,\"a\":2}",
+            b"nul",
+            b"[1] trailing",
+        ] {
+            assert!(
+                Json::parse(bad).is_err(),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn nesting_depth_is_capped() {
+        let mut deep: Vec<u8> = Vec::new();
+        deep.extend(std::iter::repeat_n(b'[', 200));
+        deep.extend(std::iter::repeat_n(b']', 200));
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("deep"));
+    }
+
+    #[test]
+    fn accessors_narrow_types() {
+        let value = obj(&[("n", Json::num(7u64)), ("s", Json::str("x"))]);
+        assert_eq!(value.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(value.get("s").unwrap().as_str(), Some(&b"x"[..]));
+        assert_eq!(value.get("missing"), None);
+        assert_eq!(Json::Num(u128::from(u64::MAX) + 1).as_u64(), None);
+    }
+}

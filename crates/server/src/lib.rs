@@ -1,0 +1,54 @@
+//! # spanner-server — a network serving front-end over the evaluation
+//! service
+//!
+//! The paper's economic argument (conf. PODS 2021, Schmid & Schweikardt)
+//! is that spanner evaluation over SLP-compressed documents is fast enough
+//! to *serve*: pay the `O(|M| + size(S)·q³)` preprocessing once per
+//! (query, document) pair, then answer non-emptiness, model checking,
+//! counting, computation and constant-delay enumeration from the cached
+//! matrices.  The [`Service`](spanner_slp_core::Service) layer provides the
+//! concurrency contract (`&self` evaluation, one globally budgeted matrix
+//! cache); this crate puts a transport on top:
+//!
+//! * [`proto`] — the versioned, newline-delimited JSON-like wire format
+//!   (hand-rolled over [`json`]; the build environment has no registry
+//!   access, the same constraint as `crates/shims/*`), with canonical
+//!   encode/decode round-trips for every frame.
+//! * [`server`] — the long-running TCP server: accept loop, per-connection
+//!   workers, bounded admission answered with structured `busy` errors
+//!   (never a dropped connection), frame length caps, streamed enumeration
+//!   pages, and graceful shutdown that drains in-flight work.
+//! * [`client`] — a blocking typed client used by the integration tests,
+//!   the CI smoke script and the load generator.
+//!
+//! Two binaries ship with the crate: `spanner-server` (boot a server from
+//! the command line) and `spanner-client` (drive one with a script — see
+//! the CI smoke step).
+//!
+//! ## Loopback example
+//!
+//! ```
+//! use spanner_slp_core::Service;
+//! use spanner_server::{Client, Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:0", Service::new(), ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let q = client.add_query(".*x{ab}.*", b"ab").unwrap();
+//! let d = client.add_doc(b"abababab").unwrap();
+//! let (count, _stats) = client.count(q, d.id).unwrap();
+//! assert_eq!(count, 4);
+//! client.shutdown().unwrap();
+//! server.join(); // drains in-flight work, then returns
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use client::{retry_busy, Client, ClientError, DocReceipt};
+pub use proto::{ErrorCode, Request, Response, WireTask, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig};

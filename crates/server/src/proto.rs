@@ -1,0 +1,1052 @@
+//! The versioned wire format: typed request/response frames over
+//! newline-delimited [`Json`] lines.
+//!
+//! Every frame is one line: a canonical [`Json`] object followed by `\n`.
+//! Requests carry the protocol version (`"v":1`); a server speaking a
+//! different version answers with the structured error code
+//! [`ErrorCode::Version`] instead of guessing.  Responses are
+//! self-describing: `"ok":true` plus a payload-specific key, `"ok":false`
+//! plus an [`ErrorCode`], or a `"page"` frame inside an enumeration stream.
+//!
+//! The encode/decode pair is *canonical*: `decode(encode(x)) == x` for
+//! every [`Request`] and [`Response`], and `encode(decode(bytes)) == bytes`
+//! for frames produced by this module — pinned by the round-trip tests at
+//! the bottom of this file.
+//!
+//! ## Frame inventory
+//!
+//! | request (`op`)      | response payload key          |
+//! |---------------------|-------------------------------|
+//! | `ping`              | `proto`                       |
+//! | `add_query`         | `query`                       |
+//! | `add_doc`           | `doc` (+ `shards`, `len`)     |
+//! | `add_doc_sharded`   | `doc` (+ `shards`, `len`)     |
+//! | `task` (5 kinds)    | `non_empty` / `checked` / `count` / `tuples`, or a stream of `page` frames closed by `streamed` |
+//! | `stats`             | `service` + `server`          |
+//! | `shutdown`          | `shutting_down`               |
+//!
+//! Any request can instead draw `{"ok":false,"error":<code>,"detail":…}`.
+
+use crate::json::Json;
+use spanner::{Span, SpanTuple, Variable};
+use spanner_slp_core::service::{RequestStats, ServiceStats, Task};
+use std::fmt;
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The frame is not a well-formed protocol object.
+    Malformed(String),
+    /// The frame is well-formed but speaks a different protocol version.
+    Version(u64),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Malformed(detail) => write!(f, "malformed frame: {detail}"),
+            ProtoError::Version(v) => write!(
+                f,
+                "protocol version {v} (this build speaks {PROTOCOL_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<crate::json::JsonError> for ProtoError {
+    fn from(e: crate::json::JsonError) -> Self {
+        ProtoError::Malformed(e.to_string())
+    }
+}
+
+/// Structured error codes — the machine-readable half of every
+/// [`Response::Error`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The server is at its in-flight request cap; retry later.  The
+    /// connection stays open.
+    Busy,
+    /// The frame did not parse; the connection stays open.
+    Malformed,
+    /// The frame exceeded the server's length cap; it was discarded up to
+    /// the next newline and the connection stays open.
+    Oversized,
+    /// The request speaks a protocol version this server does not.
+    Version,
+    /// The request names a query or document id the server never issued.
+    UnknownId,
+    /// The evaluation itself failed (compile error, out-of-bounds tuple,
+    /// empty document, …).
+    Eval,
+    /// The server is draining for shutdown and admits no new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::Version => "version",
+            ErrorCode::UnknownId => "unknown_id",
+            ErrorCode::Eval => "eval",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &[u8]) -> Option<ErrorCode> {
+        Some(match s {
+            b"busy" => ErrorCode::Busy,
+            b"malformed" => ErrorCode::Malformed,
+            b"oversized" => ErrorCode::Oversized,
+            b"version" => ErrorCode::Version,
+            b"unknown_id" => ErrorCode::UnknownId,
+            b"eval" => ErrorCode::Eval,
+            b"shutting_down" => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One evaluation task as spoken on the wire — mirrors
+/// [`spanner_slp_core::service::Task`] with wire-friendly field types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireTask {
+    /// `⟦M⟧(D) ≠ ∅`?
+    NonEmptiness,
+    /// Is the tuple in `⟦M⟧(D)`?
+    ModelCheck(SpanTuple),
+    /// `|⟦M⟧(D)|`.
+    Count,
+    /// Materialise up to `limit` tuples (`None` = all).
+    Compute {
+        /// Maximum number of tuples to return.
+        limit: Option<u64>,
+    },
+    /// Stream a window of the relation; the response is a page stream.
+    Enumerate {
+        /// Leading results to discard.
+        skip: u64,
+        /// Maximum number of results after skipping (`None` = all).
+        limit: Option<u64>,
+    },
+}
+
+impl WireTask {
+    /// The wire spelling of the task kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireTask::NonEmptiness => "non_emptiness",
+            WireTask::ModelCheck(_) => "model_check",
+            WireTask::Count => "count",
+            WireTask::Compute { .. } => "compute",
+            WireTask::Enumerate { .. } => "enumerate",
+        }
+    }
+
+    /// Converts to the evaluation core's [`Task`].
+    pub fn to_task(&self) -> Task {
+        match self {
+            WireTask::NonEmptiness => Task::NonEmptiness,
+            WireTask::ModelCheck(tuple) => Task::ModelCheck(tuple.clone()),
+            WireTask::Count => Task::Count,
+            WireTask::Compute { limit } => Task::Compute {
+                limit: limit.map(|n| n as usize),
+            },
+            WireTask::Enumerate { skip, limit } => Task::Enumerate {
+                skip: *skip as usize,
+                limit: limit.map(|n| n as usize),
+            },
+        }
+    }
+}
+
+/// A client→server frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness / version probe.
+    Ping,
+    /// Compile and pool a query from a variable-regex pattern.
+    AddQuery {
+        /// The variable-regex pattern (see `spanner::regex`).
+        pattern: String,
+        /// The document alphabet the pattern ranges over.
+        alphabet: Vec<u8>,
+    },
+    /// Compress and pool a document (monolithic).
+    AddDoc {
+        /// The raw document bytes.
+        text: Vec<u8>,
+    },
+    /// Compress and pool a document split into `k` shards (`k = 0` lets the
+    /// server auto-tune the shard count).
+    AddDocSharded {
+        /// Requested shard count; `0` = auto.
+        k: u64,
+        /// The raw document bytes.
+        text: Vec<u8>,
+    },
+    /// Evaluate one task over a pooled (query, document) pair.
+    Task {
+        /// Wire id of the pooled query.
+        query: u64,
+        /// Wire id of the pooled document.
+        doc: u64,
+        /// What to compute.
+        task: WireTask,
+    },
+    /// Snapshot the service-wide and server-level counters.
+    Stats,
+    /// Begin a graceful shutdown: drain in-flight work, then exit.
+    Shutdown,
+}
+
+/// Cumulative service counters as spoken on the wire (see
+/// [`ServiceStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireServiceStats {
+    /// Total requests served.
+    pub requests: u64,
+    /// Non-emptiness requests.
+    pub non_emptiness: u64,
+    /// Model-checking requests.
+    pub model_check: u64,
+    /// Counting requests.
+    pub count: u64,
+    /// Compute requests.
+    pub compute: u64,
+    /// Enumeration requests.
+    pub enumerate: u64,
+    /// Matrix-cache hits.
+    pub cache_hits: u64,
+    /// Matrix-cache misses (builds).
+    pub cache_misses: u64,
+    /// Matrix sets evicted under the byte budget.
+    pub evictions: u64,
+    /// Bytes of matrices currently resident.
+    pub resident_bytes: u64,
+    /// Matrix sets currently resident.
+    pub resident_entries: u64,
+}
+
+impl From<&ServiceStats> for WireServiceStats {
+    fn from(s: &ServiceStats) -> Self {
+        WireServiceStats {
+            requests: s.requests,
+            non_emptiness: s.by_task.non_emptiness,
+            model_check: s.by_task.model_check,
+            count: s.by_task.count,
+            compute: s.by_task.compute,
+            enumerate: s.by_task.enumerate,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            evictions: s.evictions,
+            resident_bytes: s.resident_bytes as u64,
+            resident_entries: s.resident_entries as u64,
+        }
+    }
+}
+
+/// Server-level counters (transport concerns the service layer cannot
+/// see), the other half of a [`Response::Stats`] frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Frames received (including rejected ones).
+    pub frames: u64,
+    /// Requests answered with [`ErrorCode::Busy`].
+    pub busy_rejections: u64,
+    /// Frames answered with [`ErrorCode::Malformed`] or
+    /// [`ErrorCode::Version`].
+    pub malformed_frames: u64,
+    /// Frames answered with [`ErrorCode::Oversized`].
+    pub oversized_frames: u64,
+    /// Enumeration pages flushed to clients.
+    pub pages_streamed: u64,
+    /// Requests executing right now.
+    pub inflight: u64,
+}
+
+/// Per-request cost statistics as spoken on the wire (see
+/// [`RequestStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// `true` if the pair's matrices were already resident.
+    pub cache_hit: bool,
+    /// Matrix build time in microseconds (zero on a hit).
+    pub build_us: u128,
+    /// Task time in microseconds.
+    pub task_us: u128,
+    /// Bytes of the pair's matrices.
+    pub matrix_bytes: u64,
+    /// Tuples materialised (or streamed) into the response.
+    pub results: u64,
+}
+
+impl From<&RequestStats> for WireStats {
+    fn from(s: &RequestStats) -> Self {
+        WireStats {
+            cache_hit: s.cache_hit,
+            build_us: s.matrix_build.as_micros(),
+            task_us: s.task_time.as_micros(),
+            matrix_bytes: s.matrix_bytes as u64,
+            results: s.results,
+        }
+    }
+}
+
+/// A server→client frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// The server's protocol version.
+        proto: u64,
+    },
+    /// Answer to [`Request::AddQuery`].
+    QueryAdded {
+        /// Wire id for subsequent [`Request::Task`] frames.
+        id: u64,
+    },
+    /// Answer to [`Request::AddDoc`] / [`Request::AddDocSharded`].
+    DocAdded {
+        /// Wire id for subsequent [`Request::Task`] frames.
+        id: u64,
+        /// Number of shards the document was registered with.
+        shards: u64,
+        /// Document length in bytes.
+        len: u64,
+    },
+    /// Answer to [`WireTask::NonEmptiness`].
+    NonEmpty {
+        /// The verdict.
+        value: bool,
+        /// What the request cost.
+        stats: WireStats,
+    },
+    /// Answer to [`WireTask::ModelCheck`].
+    Checked {
+        /// The verdict.
+        value: bool,
+        /// What the request cost.
+        stats: WireStats,
+    },
+    /// Answer to [`WireTask::Count`].
+    Counted {
+        /// `|⟦M⟧(D)|`.
+        value: u128,
+        /// What the request cost.
+        stats: WireStats,
+    },
+    /// Answer to [`WireTask::Compute`].
+    Tuples {
+        /// The materialised tuples.
+        tuples: Vec<SpanTuple>,
+        /// What the request cost.
+        stats: WireStats,
+    },
+    /// One page of an enumeration stream, flushed as it is produced.
+    Page {
+        /// The page's tuples.
+        tuples: Vec<SpanTuple>,
+    },
+    /// Terminal frame of an enumeration stream.
+    StreamEnd {
+        /// Total tuples streamed across the pages.
+        streamed: u64,
+        /// What the request cost.
+        stats: WireStats,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// Service-wide evaluation counters.
+        service: WireServiceStats,
+        /// Transport-level counters.
+        server: WireServerStats,
+    },
+    /// Answer to [`Request::Shutdown`]: the drain has begun.
+    ShuttingDown,
+    /// A structured error; the connection stays open (even for
+    /// [`ErrorCode::Busy`] — backpressure is never a dropped connection).
+    Error {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+/// Encodes a span-tuple as `[[start,end]|null, …]`, one slot per variable.
+pub fn tuple_to_json(tuple: &SpanTuple) -> Json {
+    Json::Arr(
+        (0..tuple.num_vars())
+            .map(|v| match tuple.get(Variable(v as u8)) {
+                Some(span) => Json::Arr(vec![Json::num(span.start), Json::num(span.end)]),
+                None => Json::Null,
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a span-tuple from its wire form.
+pub fn tuple_from_json(value: &Json) -> Result<SpanTuple, ProtoError> {
+    let slots = value
+        .as_arr()
+        .ok_or_else(|| ProtoError::Malformed("tuple is not an array".into()))?;
+    let mut assignment = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot {
+            Json::Null => assignment.push(None),
+            Json::Arr(pair) => {
+                let [start, end] = pair.as_slice() else {
+                    return Err(ProtoError::Malformed(
+                        "span is not a [start,end] pair".into(),
+                    ));
+                };
+                let (start, end) = (number(start, "span start")?, number(end, "span end")?);
+                let span = Span::new(start, end)
+                    .map_err(|e| ProtoError::Malformed(format!("invalid span: {e}")))?;
+                assignment.push(Some(span));
+            }
+            _ => {
+                return Err(ProtoError::Malformed(
+                    "tuple slot is neither null nor a span".into(),
+                ))
+            }
+        }
+    }
+    Ok(SpanTuple::from_assignment(assignment))
+}
+
+fn tuples_to_json(tuples: &[SpanTuple]) -> Json {
+    Json::Arr(tuples.iter().map(tuple_to_json).collect())
+}
+
+fn tuples_from_json(value: &Json) -> Result<Vec<SpanTuple>, ProtoError> {
+    value
+        .as_arr()
+        .ok_or_else(|| ProtoError::Malformed("tuple list is not an array".into()))?
+        .iter()
+        .map(tuple_from_json)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Field helpers
+// ---------------------------------------------------------------------------
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, ProtoError> {
+    obj.get(key)
+        .ok_or_else(|| ProtoError::Malformed(format!("missing field '{key}'")))
+}
+
+fn number(value: &Json, what: &str) -> Result<u64, ProtoError> {
+    value
+        .as_u64()
+        .ok_or_else(|| ProtoError::Malformed(format!("{what} is not a u64")))
+}
+
+fn num_field(obj: &Json, key: &str) -> Result<u64, ProtoError> {
+    number(field(obj, key)?, key)
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<Vec<u8>, ProtoError> {
+    Ok(field(obj, key)?
+        .as_str()
+        .ok_or_else(|| ProtoError::Malformed(format!("field '{key}' is not a string")))?
+        .to_vec())
+}
+
+fn bool_field(obj: &Json, key: &str) -> Result<bool, ProtoError> {
+    field(obj, key)?
+        .as_bool()
+        .ok_or_else(|| ProtoError::Malformed(format!("field '{key}' is not a bool")))
+}
+
+/// `null` → `None`, number → `Some`.
+fn opt_num_field(obj: &Json, key: &str) -> Result<Option<u64>, ProtoError> {
+    match field(obj, key)? {
+        Json::Null => Ok(None),
+        other => Ok(Some(number(other, key)?)),
+    }
+}
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// Encodes the request as one canonical frame (no trailing newline).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut pairs = vec![("v", Json::num(PROTOCOL_VERSION))];
+        match self {
+            Request::Ping => pairs.push(("op", Json::str("ping"))),
+            Request::AddQuery { pattern, alphabet } => {
+                pairs.push(("op", Json::str("add_query")));
+                pairs.push(("pattern", Json::str(pattern)));
+                pairs.push(("alphabet", Json::Str(alphabet.clone())));
+            }
+            Request::AddDoc { text } => {
+                pairs.push(("op", Json::str("add_doc")));
+                pairs.push(("text", Json::Str(text.clone())));
+            }
+            Request::AddDocSharded { k, text } => {
+                pairs.push(("op", Json::str("add_doc_sharded")));
+                pairs.push(("k", Json::num(*k)));
+                pairs.push(("text", Json::Str(text.clone())));
+            }
+            Request::Task { query, doc, task } => {
+                pairs.push(("op", Json::str("task")));
+                pairs.push(("task", Json::str(task.kind())));
+                pairs.push(("query", Json::num(*query)));
+                pairs.push(("doc", Json::num(*doc)));
+                match task {
+                    WireTask::ModelCheck(tuple) => pairs.push(("tuple", tuple_to_json(tuple))),
+                    WireTask::Compute { limit } => {
+                        pairs.push(("limit", limit.map_or(Json::Null, Json::num)));
+                    }
+                    WireTask::Enumerate { skip, limit } => {
+                        pairs.push(("skip", Json::num(*skip)));
+                        pairs.push(("limit", limit.map_or(Json::Null, Json::num)));
+                    }
+                    WireTask::NonEmptiness | WireTask::Count => {}
+                }
+            }
+            Request::Stats => pairs.push(("op", Json::str("stats"))),
+            Request::Shutdown => pairs.push(("op", Json::str("shutdown"))),
+        }
+        obj(pairs).to_bytes()
+    }
+
+    /// Decodes one request frame, checking the protocol version first.
+    pub fn decode(line: &[u8]) -> Result<Request, ProtoError> {
+        let value = Json::parse(line)?;
+        let v = num_field(&value, "v")?;
+        if v != PROTOCOL_VERSION {
+            return Err(ProtoError::Version(v));
+        }
+        let op = str_field(&value, "op")?;
+        Ok(match op.as_slice() {
+            b"ping" => Request::Ping,
+            b"add_query" => Request::AddQuery {
+                pattern: String::from_utf8(str_field(&value, "pattern")?)
+                    .map_err(|_| ProtoError::Malformed("pattern is not UTF-8".into()))?,
+                alphabet: str_field(&value, "alphabet")?,
+            },
+            b"add_doc" => Request::AddDoc {
+                text: str_field(&value, "text")?,
+            },
+            b"add_doc_sharded" => Request::AddDocSharded {
+                k: num_field(&value, "k")?,
+                text: str_field(&value, "text")?,
+            },
+            b"task" => {
+                let kind = str_field(&value, "task")?;
+                let task = match kind.as_slice() {
+                    b"non_emptiness" => WireTask::NonEmptiness,
+                    b"model_check" => {
+                        WireTask::ModelCheck(tuple_from_json(field(&value, "tuple")?)?)
+                    }
+                    b"count" => WireTask::Count,
+                    b"compute" => WireTask::Compute {
+                        limit: opt_num_field(&value, "limit")?,
+                    },
+                    b"enumerate" => WireTask::Enumerate {
+                        skip: num_field(&value, "skip")?,
+                        limit: opt_num_field(&value, "limit")?,
+                    },
+                    _ => {
+                        return Err(ProtoError::Malformed(format!(
+                            "unknown task kind '{}'",
+                            String::from_utf8_lossy(&kind)
+                        )))
+                    }
+                };
+                Request::Task {
+                    query: num_field(&value, "query")?,
+                    doc: num_field(&value, "doc")?,
+                    task,
+                }
+            }
+            b"stats" => Request::Stats,
+            b"shutdown" => Request::Shutdown,
+            _ => {
+                return Err(ProtoError::Malformed(format!(
+                    "unknown op '{}'",
+                    String::from_utf8_lossy(&op)
+                )))
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+impl WireStats {
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("cache_hit", Json::Bool(self.cache_hit)),
+            ("build_us", Json::Num(self.build_us)),
+            ("task_us", Json::Num(self.task_us)),
+            ("matrix_bytes", Json::num(self.matrix_bytes)),
+            ("results", Json::num(self.results)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<WireStats, ProtoError> {
+        Ok(WireStats {
+            cache_hit: bool_field(value, "cache_hit")?,
+            build_us: field(value, "build_us")?
+                .as_num()
+                .ok_or_else(|| ProtoError::Malformed("build_us is not a number".into()))?,
+            task_us: field(value, "task_us")?
+                .as_num()
+                .ok_or_else(|| ProtoError::Malformed("task_us is not a number".into()))?,
+            matrix_bytes: num_field(value, "matrix_bytes")?,
+            results: num_field(value, "results")?,
+        })
+    }
+}
+
+impl WireServiceStats {
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("requests", Json::num(self.requests)),
+            ("non_emptiness", Json::num(self.non_emptiness)),
+            ("model_check", Json::num(self.model_check)),
+            ("count", Json::num(self.count)),
+            ("compute", Json::num(self.compute)),
+            ("enumerate", Json::num(self.enumerate)),
+            ("cache_hits", Json::num(self.cache_hits)),
+            ("cache_misses", Json::num(self.cache_misses)),
+            ("evictions", Json::num(self.evictions)),
+            ("resident_bytes", Json::num(self.resident_bytes)),
+            ("resident_entries", Json::num(self.resident_entries)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<WireServiceStats, ProtoError> {
+        Ok(WireServiceStats {
+            requests: num_field(value, "requests")?,
+            non_emptiness: num_field(value, "non_emptiness")?,
+            model_check: num_field(value, "model_check")?,
+            count: num_field(value, "count")?,
+            compute: num_field(value, "compute")?,
+            enumerate: num_field(value, "enumerate")?,
+            cache_hits: num_field(value, "cache_hits")?,
+            cache_misses: num_field(value, "cache_misses")?,
+            evictions: num_field(value, "evictions")?,
+            resident_bytes: num_field(value, "resident_bytes")?,
+            resident_entries: num_field(value, "resident_entries")?,
+        })
+    }
+}
+
+impl WireServerStats {
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("connections", Json::num(self.connections)),
+            ("frames", Json::num(self.frames)),
+            ("busy_rejections", Json::num(self.busy_rejections)),
+            ("malformed_frames", Json::num(self.malformed_frames)),
+            ("oversized_frames", Json::num(self.oversized_frames)),
+            ("pages_streamed", Json::num(self.pages_streamed)),
+            ("inflight", Json::num(self.inflight)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<WireServerStats, ProtoError> {
+        Ok(WireServerStats {
+            connections: num_field(value, "connections")?,
+            frames: num_field(value, "frames")?,
+            busy_rejections: num_field(value, "busy_rejections")?,
+            malformed_frames: num_field(value, "malformed_frames")?,
+            oversized_frames: num_field(value, "oversized_frames")?,
+            pages_streamed: num_field(value, "pages_streamed")?,
+            inflight: num_field(value, "inflight")?,
+        })
+    }
+}
+
+impl Response {
+    /// Encodes the response as one canonical frame (no trailing newline).
+    pub fn encode(&self) -> Vec<u8> {
+        let value = match self {
+            Response::Pong { proto } => {
+                obj(vec![("ok", Json::Bool(true)), ("proto", Json::num(*proto))])
+            }
+            Response::QueryAdded { id } => {
+                obj(vec![("ok", Json::Bool(true)), ("query", Json::num(*id))])
+            }
+            Response::DocAdded { id, shards, len } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("doc", Json::num(*id)),
+                ("shards", Json::num(*shards)),
+                ("len", Json::num(*len)),
+            ]),
+            Response::NonEmpty { value, stats } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("non_empty", Json::Bool(*value)),
+                ("stats", stats.to_json()),
+            ]),
+            Response::Checked { value, stats } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("checked", Json::Bool(*value)),
+                ("stats", stats.to_json()),
+            ]),
+            Response::Counted { value, stats } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("count", Json::Num(*value)),
+                ("stats", stats.to_json()),
+            ]),
+            Response::Tuples { tuples, stats } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("tuples", tuples_to_json(tuples)),
+                ("stats", stats.to_json()),
+            ]),
+            Response::Page { tuples } => obj(vec![("page", tuples_to_json(tuples))]),
+            Response::StreamEnd { streamed, stats } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("streamed", Json::num(*streamed)),
+                ("stats", stats.to_json()),
+            ]),
+            Response::Stats { service, server } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("service", service.to_json()),
+                ("server", server.to_json()),
+            ]),
+            Response::ShuttingDown => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("shutting_down", Json::Bool(true)),
+            ]),
+            Response::Error { code, detail } => obj(vec![
+                ("ok", Json::Bool(false)),
+                ("error", Json::str(code.as_str())),
+                ("detail", Json::str(detail)),
+            ]),
+        };
+        value.to_bytes()
+    }
+
+    /// Decodes one response frame.
+    pub fn decode(line: &[u8]) -> Result<Response, ProtoError> {
+        let value = Json::parse(line)?;
+        if let Some(page) = value.get("page") {
+            return Ok(Response::Page {
+                tuples: tuples_from_json(page)?,
+            });
+        }
+        if !bool_field(&value, "ok")? {
+            let code_bytes = str_field(&value, "error")?;
+            let code = ErrorCode::parse(&code_bytes).ok_or_else(|| {
+                ProtoError::Malformed(format!(
+                    "unknown error code '{}'",
+                    String::from_utf8_lossy(&code_bytes)
+                ))
+            })?;
+            return Ok(Response::Error {
+                code,
+                detail: String::from_utf8_lossy(&str_field(&value, "detail")?).into_owned(),
+            });
+        }
+        if let Some(proto) = value.get("proto") {
+            return Ok(Response::Pong {
+                proto: number(proto, "proto")?,
+            });
+        }
+        if let Some(id) = value.get("query") {
+            return Ok(Response::QueryAdded {
+                id: number(id, "query")?,
+            });
+        }
+        if let Some(id) = value.get("doc") {
+            return Ok(Response::DocAdded {
+                id: number(id, "doc")?,
+                shards: num_field(&value, "shards")?,
+                len: num_field(&value, "len")?,
+            });
+        }
+        if let Some(flag) = value.get("non_empty") {
+            return Ok(Response::NonEmpty {
+                value: flag
+                    .as_bool()
+                    .ok_or_else(|| ProtoError::Malformed("non_empty is not a bool".into()))?,
+                stats: WireStats::from_json(field(&value, "stats")?)?,
+            });
+        }
+        if let Some(flag) = value.get("checked") {
+            return Ok(Response::Checked {
+                value: flag
+                    .as_bool()
+                    .ok_or_else(|| ProtoError::Malformed("checked is not a bool".into()))?,
+                stats: WireStats::from_json(field(&value, "stats")?)?,
+            });
+        }
+        if let Some(count) = value.get("count") {
+            return Ok(Response::Counted {
+                value: count
+                    .as_num()
+                    .ok_or_else(|| ProtoError::Malformed("count is not a number".into()))?,
+                stats: WireStats::from_json(field(&value, "stats")?)?,
+            });
+        }
+        if let Some(tuples) = value.get("tuples") {
+            return Ok(Response::Tuples {
+                tuples: tuples_from_json(tuples)?,
+                stats: WireStats::from_json(field(&value, "stats")?)?,
+            });
+        }
+        if let Some(streamed) = value.get("streamed") {
+            return Ok(Response::StreamEnd {
+                streamed: number(streamed, "streamed")?,
+                stats: WireStats::from_json(field(&value, "stats")?)?,
+            });
+        }
+        if let Some(service) = value.get("service") {
+            return Ok(Response::Stats {
+                service: WireServiceStats::from_json(service)?,
+                server: WireServerStats::from_json(field(&value, "server")?)?,
+            });
+        }
+        if value.get("shutting_down").is_some() {
+            return Ok(Response::ShuttingDown);
+        }
+        Err(ProtoError::Malformed(
+            "response carries no recognised payload key".into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(start: u64, end: u64) -> Span {
+        Span::new(start, end).unwrap()
+    }
+
+    fn sample_tuple() -> SpanTuple {
+        SpanTuple::from_assignment(vec![Some(span(1, 3)), None, Some(span(4, 4))])
+    }
+
+    fn sample_stats() -> WireStats {
+        WireStats {
+            cache_hit: true,
+            build_us: 0,
+            task_us: 42,
+            matrix_bytes: 4096,
+            results: 7,
+        }
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        let requests = vec![
+            Request::Ping,
+            Request::AddQuery {
+                pattern: ".*x{ab}.*".into(),
+                alphabet: b"ab".to_vec(),
+            },
+            Request::AddDoc {
+                text: (0u16..=255).map(|b| b as u8).collect(),
+            },
+            Request::AddDocSharded {
+                k: 0,
+                text: b"abababab".to_vec(),
+            },
+            Request::Task {
+                query: 3,
+                doc: 5,
+                task: WireTask::NonEmptiness,
+            },
+            Request::Task {
+                query: 0,
+                doc: 0,
+                task: WireTask::ModelCheck(sample_tuple()),
+            },
+            Request::Task {
+                query: 1,
+                doc: 2,
+                task: WireTask::Count,
+            },
+            Request::Task {
+                query: 1,
+                doc: 2,
+                task: WireTask::Compute { limit: None },
+            },
+            Request::Task {
+                query: 1,
+                doc: 2,
+                task: WireTask::Compute { limit: Some(10) },
+            },
+            Request::Task {
+                query: 1,
+                doc: 2,
+                task: WireTask::Enumerate {
+                    skip: 5,
+                    limit: Some(30),
+                },
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let encoded = request.encode();
+            let decoded = Request::decode(&encoded).unwrap();
+            assert_eq!(decoded, request);
+            // Canonical: re-encoding the decoded frame is byte-identical.
+            assert_eq!(decoded.encode(), encoded);
+            // Frames never contain a newline (they are the framing).
+            assert!(!encoded.contains(&b'\n'));
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let responses = vec![
+            Response::Pong { proto: 1 },
+            Response::QueryAdded { id: 9 },
+            Response::DocAdded {
+                id: 2,
+                shards: 4,
+                len: 1000,
+            },
+            Response::NonEmpty {
+                value: true,
+                stats: sample_stats(),
+            },
+            Response::Checked {
+                value: false,
+                stats: sample_stats(),
+            },
+            Response::Counted {
+                value: u128::MAX,
+                stats: sample_stats(),
+            },
+            Response::Tuples {
+                tuples: vec![sample_tuple(), SpanTuple::empty(2)],
+                stats: sample_stats(),
+            },
+            Response::Page {
+                tuples: vec![sample_tuple()],
+            },
+            Response::StreamEnd {
+                streamed: 100,
+                stats: sample_stats(),
+            },
+            Response::Stats {
+                service: WireServiceStats {
+                    requests: 11,
+                    count: 4,
+                    ..Default::default()
+                },
+                server: WireServerStats {
+                    connections: 3,
+                    busy_rejections: 1,
+                    ..Default::default()
+                },
+            },
+            Response::ShuttingDown,
+        ];
+        for response in responses {
+            let encoded = response.encode();
+            let decoded = Response::decode(&encoded).unwrap();
+            assert_eq!(decoded, response);
+            assert_eq!(decoded.encode(), encoded);
+            assert!(!encoded.contains(&b'\n'));
+        }
+        for code in [
+            ErrorCode::Busy,
+            ErrorCode::Malformed,
+            ErrorCode::Oversized,
+            ErrorCode::Version,
+            ErrorCode::UnknownId,
+            ErrorCode::Eval,
+            ErrorCode::ShuttingDown,
+        ] {
+            let response = Response::Error {
+                code,
+                detail: format!("detail for {code}"),
+            };
+            assert_eq!(Response::decode(&response.encode()).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_a_distinct_error() {
+        let mut frame = Request::Ping.encode();
+        // Rewrite "v":1 into "v":2.
+        let pos = frame.windows(4).position(|w| w == b"\"v\":").unwrap() + 4;
+        frame[pos] = b'2';
+        assert_eq!(Request::decode(&frame), Err(ProtoError::Version(2)));
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_with_detail() {
+        for bad in [
+            &b"not json"[..],
+            b"{}",
+            b"{\"v\":1}",
+            b"{\"v\":1,\"op\":\"nope\"}",
+            b"{\"v\":1,\"op\":\"task\",\"task\":\"count\",\"query\":0}",
+            b"{\"v\":1,\"op\":\"task\",\"task\":\"model_check\",\"query\":0,\"doc\":0,\"tuple\":[[3,1]]}",
+        ] {
+            assert!(
+                matches!(Request::decode(bad), Err(ProtoError::Malformed(_))),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn task_kinds_map_to_core_tasks() {
+        assert_eq!(WireTask::NonEmptiness.to_task(), Task::NonEmptiness);
+        assert_eq!(WireTask::Count.to_task(), Task::Count);
+        assert_eq!(
+            WireTask::Compute { limit: Some(5) }.to_task(),
+            Task::Compute { limit: Some(5) }
+        );
+        assert_eq!(
+            WireTask::Enumerate {
+                skip: 2,
+                limit: None
+            }
+            .to_task(),
+            Task::Enumerate {
+                skip: 2,
+                limit: None
+            }
+        );
+        let tuple = sample_tuple();
+        assert_eq!(
+            WireTask::ModelCheck(tuple.clone()).to_task(),
+            Task::ModelCheck(tuple)
+        );
+    }
+}

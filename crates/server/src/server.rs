@@ -1,0 +1,689 @@
+//! The long-running TCP server: accept loop, per-connection workers,
+//! bounded admission, streaming enumeration and graceful drain.
+//!
+//! ## Threading model
+//!
+//! One accept-loop thread plus one worker thread per live connection.  A
+//! connection worker serves its requests strictly in order (the protocol is
+//! lock-step per connection), but any number of connections evaluate
+//! concurrently over the one shared [`Service`] — that is exactly the
+//! service layer's `&self` contract, so the server adds **no** locking
+//! around evaluation.
+//!
+//! ## Admission control
+//!
+//! Work-bearing requests (registrations and tasks) must win one of
+//! [`ServerConfig::max_inflight`] execution slots before touching the
+//! service.  When none is free the request is answered immediately with
+//! the structured error code [`ErrorCode::Busy`] — the connection is never
+//! dropped and never queued into an unbounded backlog; the client owns the
+//! retry policy.  `ping`/`stats` are always admitted (an operator must be
+//! able to observe an overloaded server), and `shutdown` is always
+//! admitted so an overload can be drained away.
+//!
+//! ## Framing
+//!
+//! Newline-delimited frames with a hard length cap
+//! ([`ServerConfig::max_frame_len`]).  A frame that does not parse draws
+//! [`ErrorCode::Malformed`]; a frame that exceeds the cap is discarded up
+//! to the next newline (the server never buffers more than the cap) and
+//! draws [`ErrorCode::Oversized`].  Both leave the connection usable.
+//!
+//! ## Streaming enumeration
+//!
+//! `enumerate` responses are written as a stream of `page` frames, each
+//! flushed as soon as the underlying [`Service::run_paged`] hands it over —
+//! the client sees the paper's constant-delay behaviour on the wire, not
+//! one response after the total evaluation time.
+//!
+//! ## Graceful shutdown
+//!
+//! The `shutdown` verb (or [`Server::request_shutdown`]) flips a flag: the
+//! accept loop stops accepting, in-flight requests run to completion and
+//! their responses are written, idle connections are closed at the next
+//! poll tick, and new requests on surviving connections draw
+//! [`ErrorCode::ShuttingDown`].  [`Server::join`] returns only after every
+//! worker has exited — a clean drain, never a mid-response cut.
+
+use crate::proto::{
+    ErrorCode, ProtoError, Request, Response, WireServerStats, WireStats, PROTOCOL_VERSION,
+};
+use slp::NormalFormSlp;
+use spanner::regex;
+use spanner_slp_core::service::{Service, TaskRequest};
+use spanner_slp_core::{DocumentId, QueryId};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server knobs; the defaults suit tests and small deployments.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Maximum number of work-bearing requests executing at once; the
+    /// excess is answered with [`ErrorCode::Busy`].
+    pub max_inflight: usize,
+    /// Maximum accepted frame length in bytes (longer lines are discarded
+    /// and answered with [`ErrorCode::Oversized`]).
+    pub max_frame_len: usize,
+    /// Tuples per streamed enumeration page.
+    pub page_size: usize,
+    /// How often blocked reads and the accept loop re-check the shutdown
+    /// flag (the latency of a drain, not of requests).
+    pub poll_interval: Duration,
+    /// How long one response write may block before its connection is
+    /// abandoned.  A client that stops reading mid-stream fills the TCP
+    /// send buffer; without this bound its worker would block in `write`
+    /// forever and wedge the shutdown drain behind it.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_inflight: 64,
+            max_frame_len: 1 << 20,
+            page_size: 64,
+            poll_interval: Duration::from_millis(25),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Transport-level counters (see [`WireServerStats`] for the wire form).
+#[derive(Debug, Default)]
+struct Metrics {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    busy_rejections: AtomicU64,
+    malformed_frames: AtomicU64,
+    oversized_frames: AtomicU64,
+    pages_streamed: AtomicU64,
+}
+
+/// State shared between the accept loop and every connection worker.
+struct Shared {
+    service: Service,
+    config: ServerConfig,
+    /// Wire id → service id, in registration order.  The indirection keeps
+    /// the service's id types opaque and lets the server validate ids
+    /// instead of panicking on unknown ones.
+    queries: RwLock<Vec<QueryId>>,
+    documents: RwLock<Vec<DocumentId>>,
+    shutdown: AtomicBool,
+    inflight: AtomicUsize,
+    metrics: Metrics,
+}
+
+impl Shared {
+    fn server_stats(&self) -> WireServerStats {
+        WireServerStats {
+            connections: self.metrics.connections.load(Ordering::Relaxed),
+            frames: self.metrics.frames.load(Ordering::Relaxed),
+            busy_rejections: self.metrics.busy_rejections.load(Ordering::Relaxed),
+            malformed_frames: self.metrics.malformed_frames.load(Ordering::Relaxed),
+            oversized_frames: self.metrics.oversized_frames.load(Ordering::Relaxed),
+            pages_streamed: self.metrics.pages_streamed.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed) as u64,
+        }
+    }
+
+    /// Tries to win one execution slot; `None` means the server is at its
+    /// in-flight cap and the request must be answered with `busy`.
+    fn admit(self: &Arc<Self>) -> Option<Permit> {
+        if self.inflight.fetch_add(1, Ordering::AcqRel) >= self.config.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(Permit {
+            shared: self.clone(),
+        })
+    }
+}
+
+/// An execution slot, released on drop (also on panics and early returns).
+struct Permit {
+    shared: Arc<Shared>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A running server: owns the listener thread and the shared state.  Bind
+/// with [`Server::bind`], stop with the wire `shutdown` verb or
+/// [`Server::request_shutdown`], then [`Server::join`] for the drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `service` with the given configuration.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Service,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            queries: RwLock::new(Vec::new()),
+            documents: RwLock::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            metrics: Metrics::default(),
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the actual port when bound ephemeral).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served evaluation service (e.g. to pre-register a corpus before
+    /// opening the doors to clients).
+    pub fn service(&self) -> &Service {
+        &self.shared.service
+    }
+
+    /// Flips the shutdown flag, exactly like the wire `shutdown` verb.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once a shutdown was requested (wire verb or
+    /// [`Server::request_shutdown`]).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the drain to complete: the accept loop exits and every
+    /// connection worker finishes its in-flight work.  Blocks until a
+    /// shutdown is requested by someone (a client's `shutdown` verb or
+    /// [`Server::request_shutdown`]).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept loop panicked");
+        }
+    }
+
+    /// [`Server::request_shutdown`] + [`Server::join`].
+    pub fn shutdown_and_join(self) {
+        self.request_shutdown();
+        self.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped server (e.g. a test bailing early) must not leak the
+        // accept loop; request a drain and let the thread go.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = shared.clone();
+                workers.push(std::thread::spawn(move || {
+                    // Connection-level I/O errors end that connection only.
+                    let _ = serve_connection(stream, shared);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Reap workers of closed connections while idle, so a
+                // long-running server under connection churn holds handles
+                // only for *live* connections, not for every connection it
+                // ever accepted.
+                workers.retain(|worker| !worker.is_finished());
+                std::thread::sleep(shared.config.poll_interval);
+            }
+            Err(_) => std::thread::sleep(shared.config.poll_interval),
+        }
+    }
+    drop(listener); // stop accepting before the drain
+    for worker in workers {
+        worker.join().expect("connection worker panicked");
+    }
+}
+
+/// What one attempt to read a frame produced.
+enum Frame {
+    /// A complete line (without the newline).
+    Line(Vec<u8>),
+    /// A line longer than the cap; it was discarded up to its newline.
+    Oversized,
+    /// The peer closed the connection.
+    Eof,
+    /// The shutdown flag was observed while waiting for the next frame.
+    Drain,
+}
+
+/// Buffered, length-capped, shutdown-aware line reader.
+struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Already-consumed prefix of `buf` (compacted between frames).
+    pos: usize,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream) -> FrameReader {
+        FrameReader {
+            stream,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Reads the next frame, honouring the length cap and the shutdown
+    /// flag (checked at every poll tick while idle).
+    fn next_frame(&mut self, shared: &Shared) -> io::Result<Frame> {
+        let max = shared.config.max_frame_len;
+        let mut scanned = 0;
+        let mut discarding = false;
+        loop {
+            // Scan what we have for the newline.
+            if let Some(nl) = self.buf[self.pos + scanned..]
+                .iter()
+                .position(|&b| b == b'\n')
+            {
+                let end = self.pos + scanned + nl;
+                // A line over the cap is oversized even when its newline
+                // arrived in the same read chunk (no discard loop needed).
+                let over_cap = end - self.pos > max;
+                let line = if discarding || over_cap {
+                    Vec::new()
+                } else {
+                    self.buf[self.pos..end].to_vec()
+                };
+                self.pos = end + 1;
+                self.compact();
+                if discarding || over_cap {
+                    return Ok(Frame::Oversized);
+                }
+                return Ok(Frame::Line(line));
+            }
+            scanned = self.buf.len() - self.pos;
+            if !discarding && scanned > max {
+                // Too long: stop buffering, drain to the next newline.
+                discarding = true;
+            }
+            if discarding {
+                // Throw away everything buffered so far (keeping `pos` at a
+                // fresh start) so a hostile line cannot grow the buffer.
+                self.buf.clear();
+                self.pos = 0;
+                scanned = 0;
+            }
+            // Need more bytes.
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(Frame::Eof),
+                Ok(n) => {
+                    if discarding {
+                        if let Some(nl) = chunk[..n].iter().position(|&b| b == b'\n') {
+                            // Keep the tail after the newline for the next
+                            // frame.
+                            self.buf.extend_from_slice(&chunk[nl + 1..n]);
+                            return Ok(Frame::Oversized);
+                        }
+                    } else {
+                        self.buf.extend_from_slice(&chunk[..n]);
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return Ok(Frame::Drain);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut frame = response.encode();
+    frame.push(b'\n');
+    stream.write_all(&frame)?;
+    stream.flush()
+}
+
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(shared.config.poll_interval))?;
+    stream.set_write_timeout(Some(shared.config.write_timeout))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = FrameReader::new(stream);
+    loop {
+        match reader.next_frame(&shared)? {
+            Frame::Eof | Frame::Drain => return Ok(()),
+            Frame::Oversized => {
+                shared.metrics.frames.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .oversized_frames
+                    .fetch_add(1, Ordering::Relaxed);
+                write_frame(
+                    &mut writer,
+                    &Response::Error {
+                        code: ErrorCode::Oversized,
+                        detail: format!(
+                            "frame exceeds the {}-byte cap",
+                            shared.config.max_frame_len
+                        ),
+                    },
+                )?;
+            }
+            Frame::Line(line) => {
+                shared.metrics.frames.fetch_add(1, Ordering::Relaxed);
+                let stop = handle_frame(&line, &shared, &mut writer)?;
+                if stop {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Parses and dispatches one frame; `Ok(true)` ends the connection (the
+/// frame was a `shutdown`).
+fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> io::Result<bool> {
+    let request = match Request::decode(line) {
+        Ok(request) => request,
+        Err(ProtoError::Version(v)) => {
+            shared
+                .metrics
+                .malformed_frames
+                .fetch_add(1, Ordering::Relaxed);
+            write_frame(
+                writer,
+                &Response::Error {
+                    code: ErrorCode::Version,
+                    detail: format!("client speaks v{v}, this server speaks v{PROTOCOL_VERSION}"),
+                },
+            )?;
+            return Ok(false);
+        }
+        Err(ProtoError::Malformed(detail)) => {
+            shared
+                .metrics
+                .malformed_frames
+                .fetch_add(1, Ordering::Relaxed);
+            write_frame(
+                writer,
+                &Response::Error {
+                    code: ErrorCode::Malformed,
+                    detail,
+                },
+            )?;
+            return Ok(false);
+        }
+    };
+
+    match request {
+        // Observability is always admitted.
+        Request::Ping => write_frame(
+            writer,
+            &Response::Pong {
+                proto: PROTOCOL_VERSION,
+            },
+        )
+        .map(|()| false),
+        Request::Stats => {
+            let response = Response::Stats {
+                service: (&shared.service.stats()).into(),
+                server: shared.server_stats(),
+            };
+            write_frame(writer, &response).map(|()| false)
+        }
+        // Shutdown is always admitted: an overloaded server must drain.
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            write_frame(writer, &Response::ShuttingDown)?;
+            Ok(true)
+        }
+        // Everything else is work: refuse during a drain, then win a slot.
+        work => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                write_frame(
+                    writer,
+                    &Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        detail: "the server is draining".into(),
+                    },
+                )?;
+                return Ok(false);
+            }
+            let Some(_permit) = shared.admit() else {
+                write_frame(
+                    writer,
+                    &Response::Error {
+                        code: ErrorCode::Busy,
+                        detail: format!(
+                            "{} requests in flight (the configured cap)",
+                            shared.config.max_inflight
+                        ),
+                    },
+                )?;
+                return Ok(false);
+            };
+            let response = match work {
+                Request::AddQuery { pattern, alphabet } => add_query(shared, &pattern, &alphabet),
+                Request::AddDoc { text } => add_doc(shared, &text, Some(1)),
+                Request::AddDocSharded { k, text } => {
+                    add_doc(shared, &text, (k > 0).then_some(k as usize))
+                }
+                Request::Task { query, doc, task } => {
+                    return run_task(shared, writer, query, doc, task).map(|()| false)
+                }
+                Request::Ping | Request::Stats | Request::Shutdown => unreachable!("handled above"),
+            };
+            write_frame(writer, &response).map(|()| false)
+        }
+    }
+}
+
+fn add_query(shared: &Shared, pattern: &str, alphabet: &[u8]) -> Response {
+    let automaton = match regex::compile(pattern, alphabet) {
+        Ok(automaton) => automaton,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::Eval,
+                detail: format!("cannot compile pattern: {e}"),
+            }
+        }
+    };
+    let id = shared.service.add_query(&automaton);
+    let mut queries = shared.queries.write().expect("query map poisoned");
+    queries.push(id);
+    Response::QueryAdded {
+        id: (queries.len() - 1) as u64,
+    }
+}
+
+/// Compresses and registers a document.  `k = None` auto-tunes the shard
+/// count; `Some(1)` stays monolithic.
+fn add_doc(shared: &Shared, text: &[u8], k: Option<usize>) -> Response {
+    let slp = match NormalFormSlp::from_document(text) {
+        Ok(slp) => slp,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::Eval,
+                detail: format!("cannot compress document: {e}"),
+            }
+        }
+    };
+    let id = match k {
+        None => shared.service.add_document_auto(&slp),
+        Some(1) => shared.service.add_document(&slp),
+        Some(k) => shared.service.add_document_sharded(&slp, k),
+    };
+    let shards = shared.service.document(id).shard_count() as u64;
+    let mut documents = shared.documents.write().expect("document map poisoned");
+    documents.push(id);
+    Response::DocAdded {
+        id: (documents.len() - 1) as u64,
+        shards,
+        len: text.len() as u64,
+    }
+}
+
+fn run_task(
+    shared: &Arc<Shared>,
+    writer: &mut TcpStream,
+    query: u64,
+    doc: u64,
+    task: crate::proto::WireTask,
+) -> io::Result<()> {
+    let query_id = shared
+        .queries
+        .read()
+        .expect("query map poisoned")
+        .get(query as usize)
+        .copied();
+    let doc_id = shared
+        .documents
+        .read()
+        .expect("document map poisoned")
+        .get(doc as usize)
+        .copied();
+    let (Some(query_id), Some(doc_id)) = (query_id, doc_id) else {
+        return write_frame(
+            writer,
+            &Response::Error {
+                code: ErrorCode::UnknownId,
+                detail: format!("unknown query {query} or document {doc}"),
+            },
+        );
+    };
+    let request = TaskRequest {
+        query: query_id,
+        doc: doc_id,
+        task: task.to_task(),
+    };
+
+    if let crate::proto::WireTask::Enumerate { .. } = task {
+        // Stream pages as the enumeration produces them; the terminal
+        // frame carries the stats.  A write failure stops the enumeration
+        // (the service sees `false` from the sink) and ends the
+        // connection via the propagated error.
+        let mut sink_error: Option<io::Error> = None;
+        let result = shared
+            .service
+            .run_paged(
+                &request,
+                shared.config.page_size,
+                &mut |tuples| match write_frame(writer, &Response::Page { tuples }) {
+                    Ok(()) => {
+                        shared
+                            .metrics
+                            .pages_streamed
+                            .fetch_add(1, Ordering::Relaxed);
+                        true
+                    }
+                    Err(e) => {
+                        sink_error = Some(e);
+                        false
+                    }
+                },
+            );
+        if let Some(e) = sink_error {
+            return Err(e);
+        }
+        return match result {
+            Ok(response) => write_frame(
+                writer,
+                &Response::StreamEnd {
+                    streamed: response.stats.results,
+                    stats: (&response.stats).into(),
+                },
+            ),
+            Err(e) => write_frame(
+                writer,
+                &Response::Error {
+                    code: ErrorCode::Eval,
+                    detail: e.to_string(),
+                },
+            ),
+        };
+    }
+
+    let response = match shared.service.run(&request) {
+        Ok(response) => {
+            let stats: WireStats = (&response.stats).into();
+            match response.outcome {
+                spanner_slp_core::service::TaskOutcome::NonEmpty(value) => {
+                    Response::NonEmpty { value, stats }
+                }
+                spanner_slp_core::service::TaskOutcome::Checked(value) => {
+                    Response::Checked { value, stats }
+                }
+                spanner_slp_core::service::TaskOutcome::Count(value) => {
+                    Response::Counted { value, stats }
+                }
+                spanner_slp_core::service::TaskOutcome::Tuples(tuples) => {
+                    Response::Tuples { tuples, stats }
+                }
+            }
+        }
+        Err(e) => Response::Error {
+            code: ErrorCode::Eval,
+            detail: e.to_string(),
+        },
+    };
+    write_frame(writer, &response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = ServerConfig::default();
+        assert!(config.max_inflight > 0);
+        assert!(config.max_frame_len >= 4096);
+        assert!(config.page_size > 0);
+        assert!(config.poll_interval > Duration::ZERO);
+    }
+}

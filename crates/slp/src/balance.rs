@@ -16,7 +16,7 @@
 //! slightly weaker size guarantee than the `O(size(S))` of Theorem 4.3, but
 //! it serves the same purpose in all experiments: it caps `depth(S)` at
 //! `O(log d)` so the enumeration delay bound `O(depth(S)·|X|)` becomes
-//! `O(|X|·log d)`.  See DESIGN.md §4.
+//! `O(|X|·log d)`.  See DESIGN.md §5.
 
 use crate::grammar::{NonTerminal, Terminal};
 use crate::normal_form::{NfRule, NormalFormSlp};

@@ -133,6 +133,69 @@ impl<T: Terminal> ShardedDocument<T> {
     }
 }
 
+/// Minimum number of grammar rules a shard must be worth before the split
+/// overhead (duplicated spine structure, per-shard leaf tables, the root
+/// merge) can pay off.  Grammars below `2 ×` this size are never auto-split.
+const MIN_SHARD_RULES: usize = 256;
+
+/// Picks a shard count from the grammar size, the available cores and the
+/// (estimated or measured) *critical ratio* — the fraction of the whole
+/// matrix pass that the slowest shard still pays after a split:
+///
+/// * `critical_ratio ≈ 1/k`: the shards partition the grammar (block-like
+///   documents) — the achievable speedup is `≈ 1/critical_ratio`, so use as
+///   many shards as the cores allow.
+/// * `critical_ratio ≈ 1`: the grammar shares its rules across the whole
+///   document (power-like families) — every shard duplicates nearly the
+///   full structure, sharding only adds work, keep the document monolithic.
+///
+/// The returned `k` is `1/critical_ratio` rounded, capped by `cores` and by
+/// the grammar size (each shard must be worth ≥ 256 rules);
+/// tiny grammars and single-core hosts always get `k = 1`.  Feed it
+/// [`estimate_critical_ratio`] for a structural estimate at registration
+/// time, or a measured `critical_path()/total()` from
+/// `ShardBuildStats` to re-tune a live document.
+pub fn auto_k(size: usize, cores: usize, critical_ratio: f64) -> usize {
+    let cores = cores.max(1);
+    if cores == 1 || size < 2 * MIN_SHARD_RULES {
+        return 1;
+    }
+    let cap = cores.min(size / MIN_SHARD_RULES).max(1);
+    let ratio = critical_ratio.clamp(0.0, 1.0);
+    if ratio <= f64::EPSILON {
+        return cap;
+    }
+    ((1.0 / ratio).round() as usize).clamp(1, cap)
+}
+
+/// Estimates the critical ratio of splitting `slp` into `k` shards without
+/// building any matrices: the matrix pass costs `O(rules · q³)` per shard,
+/// so `max(shard size) / size(S)` approximates the fraction of the
+/// monolithic pass the slowest shard would still pay.  Near `1/k` when the
+/// shards partition the grammar; near `1` (or above, clamped) when the
+/// grammar's shared structure is duplicated into every shard.
+///
+/// The probe only runs grammar surgery ([`split`] + garbage collection),
+/// no evaluation — cheap enough to call once per document registration.
+pub fn estimate_critical_ratio<T: Terminal>(slp: &NormalFormSlp<T>, k: usize) -> f64 {
+    critical_ratio(&split(slp, k), slp.size())
+}
+
+/// The [`estimate_critical_ratio`] of an already performed split, so a
+/// caller that goes on to *use* the split (e.g. auto-tuned registration)
+/// pays the grammar surgery once, not twice.  `original_size` is the rule
+/// count of the unsplit grammar.
+pub fn critical_ratio<T: Terminal>(sharded: &ShardedDocument<T>, original_size: usize) -> f64 {
+    let size = original_size.max(1);
+    let max_shard = sharded
+        .shards()
+        .iter()
+        .map(|s| s.size())
+        .max()
+        .unwrap_or(size);
+    (max_shard as f64 / size as f64).clamp(0.0, 1.0)
+}
+
 /// Splits an SLP at the start rule into `k` sub-grammars of balanced text
 /// length (lengths differ by at most one symbol).  `k` is clamped to
 /// `1..=document length`, so every shard derives a non-empty word.
@@ -363,6 +426,62 @@ mod tests {
         }
         let (combined, _) = sharded.compose();
         assert!(combined.depth() <= doc.depth() + slack + 4);
+    }
+
+    #[test]
+    fn auto_k_keeps_power_families_monolithic() {
+        // Exponentially compressed: the whole grammar is shared structure,
+        // so every shard duplicates it.  Both gates fire: the grammar is
+        // tiny, and the estimated critical ratio is ~1.
+        let doc = families::power_word(b"ab", 1 << 20);
+        assert!(doc.size() < 2 * MIN_SHARD_RULES);
+        assert_eq!(auto_k(doc.size(), 8, estimate_critical_ratio(&doc, 8)), 1);
+        // Even pretending the grammar were large, the ratio alone says "do
+        // not shard".
+        let ratio = estimate_critical_ratio(&doc, 8);
+        assert!(ratio > 0.8, "power-family shards duplicate the grammar");
+        assert_eq!(auto_k(1 << 20, 8, ratio), 1);
+    }
+
+    #[test]
+    fn auto_k_scales_block_documents_to_the_cores() {
+        // Low repetitiveness: shards partition the grammar, the estimated
+        // critical ratio is ~1/k, so auto_k spends the cores.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let doc: Vec<u8> = (0..4096)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 26) as u8 + b'a'
+            })
+            .collect();
+        let slp = NormalFormSlp::from_document(&doc).unwrap();
+        assert!(slp.size() >= 2 * MIN_SHARD_RULES);
+        let ratio = estimate_critical_ratio(&slp, 8);
+        assert!(ratio < 0.5, "block shards partition the grammar: {ratio}");
+        let k = auto_k(slp.size(), 8, ratio);
+        assert!(k >= 4, "auto_k should spend the cores, got {k}");
+        assert!(k <= 8);
+    }
+
+    #[test]
+    fn auto_k_respects_cores_size_and_ratio_gates() {
+        // Single core or tiny grammar: never shard.
+        assert_eq!(auto_k(1 << 20, 1, 0.1), 1);
+        assert_eq!(auto_k(MIN_SHARD_RULES, 16, 0.1), 1);
+        // Serial critical path: never shard, whatever the cores.
+        assert_eq!(auto_k(1 << 20, 16, 1.0), 1);
+        // Perfect partition: bounded by the cores...
+        assert_eq!(auto_k(1 << 20, 8, 0.0), 8);
+        assert_eq!(auto_k(1 << 20, 8, 1.0 / 16.0), 8);
+        // ...and by the per-shard minimum work.
+        assert_eq!(auto_k(4 * MIN_SHARD_RULES, 16, 0.0), 4);
+        // The ratio picks the sweet spot between 1 and the cap.
+        assert_eq!(auto_k(1 << 20, 16, 0.25), 4);
+        // Out-of-range ratios are clamped, not trusted.
+        assert_eq!(auto_k(1 << 20, 8, 7.5), 1);
+        assert_eq!(auto_k(1 << 20, 8, -3.0), 8);
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Traffic generation for the serving experiments (E11) and smoke tests:
+//! deterministic open- and closed-loop request schedules over a pool of
+//! registered queries and documents.
+//!
+//! A schedule is transport-agnostic: it names *which* pooled query and
+//! document to hit and *what kind* of task to run, leaving the mapping to
+//! concrete `TaskRequest`s or wire frames to the driver (the experiments
+//! bin, the integration tests, the `spanner-client` scripts).  That keeps
+//! this crate free of the evaluation-core dependency and lets one schedule
+//! drive both the in-process service and the network server, so their
+//! numbers are comparable.
+//!
+//! * **Closed loop** ([`closed_loop_schedule`]): each client thread works
+//!   through its operations back-to-back — offered load adapts to service
+//!   speed; the measurement of interest is per-request latency under a
+//!   given concurrency.
+//! * **Open loop** ([`open_loop_arrivals`]): operations arrive at
+//!   exponentially distributed intervals regardless of completion —
+//!   offered load is fixed; the measurement of interest is queueing and
+//!   backpressure (`busy` rates) around saturation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One request kind, weighted inside a [`Mix`].  Mirrors the service's
+/// task suite without depending on it (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Boolean non-emptiness probe.
+    NonEmptiness,
+    /// Model-check some known-good tuple (the driver picks which).
+    ModelCheck,
+    /// Count the full relation.
+    Count,
+    /// Materialise up to `limit` tuples (`None` = all).
+    Compute {
+        /// Result-count cap forwarded to the request.
+        limit: Option<u64>,
+    },
+    /// Stream an enumeration window.
+    Enumerate {
+        /// Results to skip.
+        skip: u64,
+        /// Window size (`None` = all remaining).
+        limit: Option<u64>,
+    },
+}
+
+/// One scheduled operation: which pooled pair to hit and what to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// Index of the query in the driver's pool.
+    pub query: usize,
+    /// Index of the document in the driver's pool.
+    pub doc: usize,
+    /// What to run on the pair.
+    pub kind: OpKind,
+}
+
+/// A weighted request mix.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    /// `(kind, weight)` pairs; weights are relative, not normalised.
+    entries: Vec<(OpKind, u32)>,
+}
+
+impl Mix {
+    /// Builds a mix from `(kind, weight)` pairs (zero-weight entries are
+    /// dropped; at least one positive weight is required).
+    pub fn new(entries: impl IntoIterator<Item = (OpKind, u32)>) -> Mix {
+        let entries: Vec<(OpKind, u32)> = entries.into_iter().filter(|(_, w)| *w > 0).collect();
+        assert!(
+            !entries.is_empty(),
+            "a mix needs at least one positive weight"
+        );
+        Mix { entries }
+    }
+
+    /// An interactive, cache-friendly mix: mostly cheap point lookups
+    /// (non-emptiness, counting), some model checks, a few small
+    /// enumeration windows.
+    pub fn read_heavy() -> Mix {
+        Mix::new([
+            (OpKind::NonEmptiness, 40),
+            (OpKind::Count, 30),
+            (OpKind::ModelCheck, 15),
+            (
+                OpKind::Enumerate {
+                    skip: 0,
+                    limit: Some(10),
+                },
+                15,
+            ),
+        ])
+    }
+
+    /// A scan-heavy mix: materialisation and larger enumeration windows
+    /// dominate — the regime in which streaming pages matter.
+    pub fn scan_heavy() -> Mix {
+        Mix::new([
+            (OpKind::Compute { limit: Some(256) }, 40),
+            (
+                OpKind::Enumerate {
+                    skip: 0,
+                    limit: Some(128),
+                },
+                40,
+            ),
+            (OpKind::Count, 20),
+        ])
+    }
+
+    /// The kinds with positive weight.
+    pub fn kinds(&self) -> impl Iterator<Item = OpKind> + '_ {
+        self.entries.iter().map(|(kind, _)| *kind)
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> OpKind {
+        let total: u32 = self.entries.iter().map(|(_, w)| w).sum();
+        let mut ticket = rng.gen_range(0..total);
+        for (kind, weight) in &self.entries {
+            if ticket < *weight {
+                return *kind;
+            }
+            ticket -= weight;
+        }
+        unreachable!("ticket drawn below the total weight")
+    }
+}
+
+/// Builds a deterministic closed-loop schedule: `ops` operations drawn
+/// from `mix` over a pool of `num_queries × num_docs` pairs, uniformly at
+/// random.  Equal seeds give equal schedules, so concurrent runs and
+/// reruns are comparable.
+pub fn closed_loop_schedule(
+    num_queries: usize,
+    num_docs: usize,
+    mix: &Mix,
+    ops: usize,
+    seed: u64,
+) -> Vec<Op> {
+    assert!(num_queries > 0 && num_docs > 0, "empty pool");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ops)
+        .map(|_| Op {
+            query: rng.gen_range(0..num_queries),
+            doc: rng.gen_range(0..num_docs),
+            kind: mix.sample(&mut rng),
+        })
+        .collect()
+}
+
+/// Builds the arrival offsets of an open-loop run: `ops` exponentially
+/// distributed inter-arrival gaps with the given mean (in microseconds),
+/// accumulated into monotone offsets from the run start.  Pair it with a
+/// [`closed_loop_schedule`] of the same length to know *what* arrives
+/// *when*.
+pub fn open_loop_arrivals(ops: usize, mean_gap_us: u64, seed: u64) -> Vec<u64> {
+    assert!(mean_gap_us > 0, "zero mean gap");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let mut at = 0u64;
+    (0..ops)
+        .map(|_| {
+            // Inverse-CDF sampling: gap = -mean · ln(u), u uniform in (0,1].
+            let u = (rng.gen_range(1..=1u64 << 53) as f64) / (1u64 << 53) as f64;
+            let gap = (-(u.ln()) * mean_gap_us as f64).round() as u64;
+            at = at.saturating_add(gap);
+            at
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let mix = Mix::read_heavy();
+        let a = closed_loop_schedule(3, 4, &mix, 500, 42);
+        let b = closed_loop_schedule(3, 4, &mix, 500, 42);
+        assert_eq!(a, b);
+        let c = closed_loop_schedule(3, 4, &mix, 500, 43);
+        assert_ne!(a, c, "different seeds give different schedules");
+        assert!(a.iter().all(|op| op.query < 3 && op.doc < 4));
+    }
+
+    #[test]
+    fn mixes_respect_their_weights_roughly() {
+        let mix = Mix::new([(OpKind::Count, 3), (OpKind::NonEmptiness, 1)]);
+        let schedule = closed_loop_schedule(1, 1, &mix, 4000, 7);
+        let counts = schedule
+            .iter()
+            .filter(|op| op.kind == OpKind::Count)
+            .count();
+        // 3:1 weighting → ~3000 of 4000; allow generous slack.
+        assert!((2600..3400).contains(&counts), "got {counts}");
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_monotone_with_sane_mean() {
+        let arrivals = open_loop_arrivals(2000, 100, 11);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        let last = *arrivals.last().unwrap();
+        // 2000 gaps of mean 100µs ≈ 200ms total; expect the right order of
+        // magnitude.
+        assert!((100_000..400_000).contains(&last), "total {last}µs");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one positive weight")]
+    fn empty_mixes_are_rejected() {
+        Mix::new([(OpKind::Count, 0)]);
+    }
+}
