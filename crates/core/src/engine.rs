@@ -41,6 +41,7 @@
 
 use crate::cache::{CacheLookup, CacheStats, MatrixCache, PairKey};
 use crate::error::EvalError;
+use crate::executor::{LocalExecutor, ShardExecutor};
 use crate::matrices::Preprocessed;
 use crate::prepared::{end_transform, EByte};
 use crate::service::Service;
@@ -173,6 +174,11 @@ pub struct PreparedDocument {
     /// private here, re-homed onto the shared service cache on
     /// registration.
     cache: Arc<MatrixCache>,
+    /// The backend that runs this document's per-shard matrix passes
+    /// ([`LocalExecutor`] by default; a service configured with a remote
+    /// pool re-homes this on registration, like the cache).  Unused for
+    /// monolithic documents.
+    executor: Arc<dyn ShardExecutor>,
 }
 
 impl PreparedDocument {
@@ -195,6 +201,7 @@ impl PreparedDocument {
             shard_layout: None,
             token: NEXT_DOC_TOKEN.fetch_add(1, Ordering::Relaxed),
             cache: Arc::new(MatrixCache::new(budget)),
+            executor: Arc::new(LocalExecutor),
         }
     }
 
@@ -249,6 +256,7 @@ impl PreparedDocument {
             shard_layout: Some(layout),
             token: NEXT_DOC_TOKEN.fetch_add(1, Ordering::Relaxed),
             cache: Arc::new(MatrixCache::new(None)),
+            executor: Arc::new(LocalExecutor),
         }
     }
 
@@ -292,6 +300,20 @@ impl PreparedDocument {
         self.cache = cache;
     }
 
+    /// Sets the backend that runs this document's per-shard matrix passes
+    /// (the default is the in-process [`LocalExecutor`]).  Registering the
+    /// document in a [`Service`] overrides this with the service-wide
+    /// executor (see `ServiceBuilder::shard_executor`).  Has no effect on
+    /// monolithic documents.
+    pub fn set_shard_executor(&mut self, executor: Arc<dyn ShardExecutor>) {
+        self.executor = executor;
+    }
+
+    /// The backend this document's sharded matrix builds run on.
+    pub fn shard_executor(&self) -> &Arc<dyn ShardExecutor> {
+        &self.executor
+    }
+
     /// The SLP for `D·#`.
     pub fn ended(&self) -> &NormalFormSlp<EByte> {
         &self.ended
@@ -318,8 +340,13 @@ impl PreparedDocument {
         };
         self.cache.get_or_build(key, || match &self.shard_layout {
             Some(layout) => {
-                let (pre, stats) =
-                    Preprocessed::build_sharded(query.nfa(), &self.ended, query.num_vars(), layout);
+                let (pre, stats) = Preprocessed::build_sharded_with(
+                    query.nfa(),
+                    &self.ended,
+                    query.num_vars(),
+                    layout,
+                    &*self.executor,
+                );
                 (pre, Some(stats))
             }
             None => (

@@ -16,6 +16,10 @@ pub enum EvalError {
         /// The document length.
         document_len: u64,
     },
+    /// The request names a service document that was removed
+    /// (`Service::remove_document`) — possibly concurrently with the
+    /// request; the id is burned and will not be reissued.
+    DocumentRemoved,
     /// An error bubbled up from the spanner formalism layer.
     Spanner(spanner::SpannerError),
     /// An error bubbled up from the SLP layer.
@@ -36,6 +40,9 @@ impl fmt::Display for EvalError {
                 f,
                 "span-tuple position {position} is outside the document of length {document_len}"
             ),
+            EvalError::DocumentRemoved => {
+                write!(f, "the document was removed from the service")
+            }
             EvalError::Spanner(e) => write!(f, "{e}"),
             EvalError::Slp(e) => write!(f, "{e}"),
         }

@@ -47,6 +47,7 @@ pub mod count;
 pub mod engine;
 pub mod enumerate;
 pub mod error;
+pub mod executor;
 pub mod matrices;
 pub mod model_check;
 pub mod nonemptiness;
@@ -55,6 +56,7 @@ pub mod service;
 
 pub use engine::{DocumentId, Engine, Evaluation, PreparedDocument, PreparedQuery, QueryId};
 pub use error::EvalError;
+pub use executor::{LocalExecutor, ShardExecutor, ShardJob, ShardOutcome};
 pub use service::{
     RequestStats, Service, ServiceBuilder, ServiceStats, Task, TaskOutcome, TaskRequest,
     TaskResponse,

@@ -19,6 +19,8 @@
 //! across all cores.  [`Preprocessed::build_serial`] is always available
 //! and produces bit-identical results.
 
+use crate::executor::{LocalExecutor, ShardExecutor, ShardJob};
+use crate::prepared::EByte;
 use slp::{NfRule, NonTerminal, NormalFormSlp, ShardLayout, Terminal};
 use spanner::{MarkedSymbol, MarkerSet, PartialMarkerSet};
 use spanner_automata::nfa::{Label, Nfa};
@@ -56,11 +58,17 @@ pub struct ShardInfo {
 /// sum for a monolithic pass.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardBuildStats {
-    /// Wall-clock of every per-shard matrix pass, in shard order.
+    /// Wall-clock of every per-shard matrix pass, in shard order.  For
+    /// remote executors this is the coordinator-observed round-trip — the
+    /// cost the critical path actually pays.
     pub shard_build: Vec<Duration>,
     /// Wall-clock of the root composition pass (spine + sentinel rules,
     /// merged by three-valued matrix products).
     pub merge: Duration,
+    /// Number of shard passes a non-local executor could not complete and
+    /// handed to the in-process fallback (always `0` for
+    /// [`crate::executor::LocalExecutor`] builds).
+    pub fallbacks: usize,
 }
 
 impl ShardBuildStats {
@@ -159,6 +167,28 @@ fn leaf_table<T: Terminal>(
         };
     }
     (table, summary)
+}
+
+/// One standalone shard block's full matrix pass — the unit of work behind
+/// [`crate::executor::ShardExecutor`]: computes the incoming-marker index
+/// for the automaton and runs [`shard_pass`] over the whole block (local
+/// indices `0..n`).  Returns the block's `R` summary rows and leaf tables.
+#[allow(clippy::type_complexity)]
+pub(crate) fn block_pass<T: Terminal>(
+    nfa: &Nfa<MarkedSymbol<T>>,
+    block: &NormalFormSlp<T>,
+) -> (Vec<Vec<REntry>>, Vec<Option<Vec<Vec<PartialMarkerSet>>>>) {
+    let q = nfa.num_states();
+    let incoming_markers = incoming_marker_arcs(nfa, q);
+    shard_pass(
+        nfa,
+        block,
+        &incoming_markers,
+        q,
+        block.bottom_up_order(),
+        0,
+        block.num_non_terminals(),
+    )
 }
 
 /// One shard's independent matrix pass over its self-contained rule block
@@ -382,69 +412,110 @@ impl Preprocessed {
     /// from the same children); only the [`Preprocessed::shards`] metadata
     /// records the composition plan.  The returned [`ShardBuildStats`]
     /// report the per-shard and merge wall-clock.
-    pub fn build_sharded<T: Terminal>(
-        nfa: &Nfa<MarkedSymbol<T>>,
-        slp: &NormalFormSlp<T>,
+    ///
+    /// This convenience form runs every shard in-process; it is
+    /// [`Preprocessed::build_sharded_with`] over the default
+    /// [`LocalExecutor`].
+    pub fn build_sharded(
+        nfa: &Nfa<MarkedSymbol<EByte>>,
+        slp: &NormalFormSlp<EByte>,
         num_vars: usize,
         layout: &ShardLayout,
+    ) -> (Self, ShardBuildStats) {
+        Self::build_sharded_with(nfa, slp, num_vars, layout, &LocalExecutor)
+    }
+
+    /// Scatter-gather preprocessing generic over the shard backend: the
+    /// per-shard passes are delegated to `executor` as self-contained
+    /// [`ShardJob`]s (standalone rebased rule blocks — never the document
+    /// text), and only their summary rows come back; the leaf `M_{T_x}`
+    /// tables of shards whose executor did not compute them in-process are
+    /// rebuilt locally from the automaton (they depend on nothing else),
+    /// and the composition spine is merged at the root from the shards'
+    /// `q×q` root summaries exactly as in the local path.
+    ///
+    /// Every executor that honours the [`ShardExecutor`] contract yields
+    /// matrices identical to [`Preprocessed::build_serial`].
+    pub fn build_sharded_with(
+        nfa: &Nfa<MarkedSymbol<EByte>>,
+        slp: &NormalFormSlp<EByte>,
+        num_vars: usize,
+        layout: &ShardLayout,
+        executor: &dyn ShardExecutor,
     ) -> (Self, ShardBuildStats) {
         let q = nfa.num_states();
         let n = slp.num_non_terminals();
         let incoming_markers = incoming_marker_arcs(nfa, q);
 
-        // Which shard (if any) owns each rule, and each shard's members in
-        // bottom-up order (a filtered global topological order is a valid
-        // topological order of the self-contained block).
-        let mut owner: Vec<Option<usize>> = vec![None; n];
-        for (s, range) in layout.ranges.iter().enumerate() {
+        // Which shard (if any) owns each rule: rules outside every block
+        // form the composition spine merged at the root below.
+        let mut owned: Vec<bool> = vec![false; n];
+        for range in &layout.ranges {
             for i in range.clone() {
-                owner[i] = Some(s);
-            }
-        }
-        let mut members: Vec<Vec<NonTerminal>> = vec![Vec::new(); layout.ranges.len()];
-        for &a in slp.bottom_up_order() {
-            if let Some(s) = owner[a.index()] {
-                members[s].push(a);
+                owned[i] = true;
             }
         }
 
-        // Scatter: one independent matrix pass per shard.
-        let shard_indices: Vec<usize> = (0..layout.ranges.len()).collect();
-        let run_shard = |&s: &usize| {
-            let start = Instant::now();
-            let pass = shard_pass(
+        // Scatter: one self-contained job per shard, fanned out over the
+        // executor (concurrently with the `parallel` feature — for remote
+        // executors that means wire calls to several workers in flight).
+        let blocks = layout.standalone_blocks(slp.rules());
+        let jobs: Vec<ShardJob<'_>> = blocks
+            .iter()
+            .enumerate()
+            .map(|(shard_index, block)| ShardJob {
                 nfa,
-                slp,
-                &incoming_markers,
-                q,
-                &members[s],
-                layout.ranges[s].start,
-                layout.ranges[s].len(),
-            );
-            (pass, start.elapsed())
-        };
+                block,
+                shard_index,
+            })
+            .collect();
+        let run_shard = |job: &ShardJob<'_>| executor.execute(job);
         #[cfg(feature = "parallel")]
-        let shard_results = rayon::par_map(&shard_indices, run_shard);
+        let outcomes = rayon::par_map(&jobs, run_shard);
         #[cfg(not(feature = "parallel"))]
-        let shard_results: Vec<_> = shard_indices.iter().map(run_shard).collect();
+        let outcomes: Vec<_> = jobs.iter().map(run_shard).collect();
 
-        // Stitch the per-shard blocks into the global tables.
+        // Gather: stitch the per-shard summary rows (and leaf tables,
+        // rebuilt from the automaton where the executor did not supply
+        // them) into the global tables.
         let mut leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>> = vec![None; n];
         let mut r: Vec<Vec<REntry>> = vec![Vec::new(); n];
-        let mut shard_build = Vec::with_capacity(shard_results.len());
-        for (range, ((r_block, leaf_block), elapsed)) in layout.ranges.iter().zip(shard_results) {
-            for (offset, (r_row, leaf_cell)) in r_block.into_iter().zip(leaf_block).enumerate() {
-                r[range.start + offset] = r_row;
-                leaf_tables[range.start + offset] = leaf_cell;
+        let mut shard_build = Vec::with_capacity(outcomes.len());
+        let mut fallbacks = 0usize;
+        for ((range, block), outcome) in layout.ranges.iter().zip(&blocks).zip(outcomes) {
+            assert_eq!(
+                outcome.rows.len(),
+                range.len(),
+                "executor '{}' returned {} rows for a {}-rule block",
+                executor.name(),
+                outcome.rows.len(),
+                range.len(),
+            );
+            let tables = outcome.leaf_tables.unwrap_or_else(|| {
+                block
+                    .rules()
+                    .iter()
+                    .map(|rule| match rule {
+                        NfRule::Leaf(x) => Some(leaf_table(nfa, &incoming_markers, q, *x).0),
+                        NfRule::Pair(..) => None,
+                    })
+                    .collect()
+            });
+            for (offset, (row, table)) in outcome.rows.into_iter().zip(tables).enumerate() {
+                r[range.start + offset] = row;
+                leaf_tables[range.start + offset] = table;
             }
-            shard_build.push(elapsed);
+            shard_build.push(outcome.elapsed);
+            fallbacks += usize::from(outcome.fallback);
         }
 
-        // Gather: the composition spine (and any rules outside every shard
+        // Merge: the composition spine (and any rules outside every shard
         // block, e.g. the end-of-document sentinel) bottom-up at the root.
+        // The spine's children are shard roots, so this pass consumes only
+        // the shards' q×q root summaries.
         let merge_start = Instant::now();
         for &a in slp.bottom_up_order() {
-            if owner[a.index()].is_some() {
+            if owned[a.index()] {
                 continue;
             }
             match slp.rule(a) {
@@ -471,7 +542,14 @@ impl Preprocessed {
                 root,
             })
             .collect();
-        (pre, ShardBuildStats { shard_build, merge })
+        (
+            pre,
+            ShardBuildStats {
+                shard_build,
+                merge,
+                fallbacks,
+            },
+        )
     }
 
     /// Packs the computed matrices together with the grammar metadata the

@@ -56,10 +56,12 @@
 use crate::cache::{CacheLookup, MatrixCache};
 use crate::engine::{DocumentId, Evaluation, PreparedDocument, PreparedQuery, QueryId};
 use crate::error::EvalError;
+use crate::executor::{LocalExecutor, ShardExecutor};
 use crate::matrices::ShardBuildStats;
 use crate::{compute, count, enumerate, model_check};
 use slp::NormalFormSlp;
 use spanner::{SpanTuple, SpannerAutomaton};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
@@ -248,16 +250,17 @@ pub struct ServiceStats {
 }
 
 /// Configuration assembled by [`ServiceBuilder`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct ServiceConfig {
     cache_budget: Option<usize>,
     determinize: bool,
     parallel: bool,
+    shard_executor: Arc<dyn ShardExecutor>,
 }
 
 /// Builder for a [`Service`]: cache budget, determinisation policy,
-/// parallelism toggle.
-#[derive(Debug, Clone, Copy)]
+/// parallelism toggle, shard execution backend.
+#[derive(Debug, Clone)]
 pub struct ServiceBuilder {
     config: ServiceConfig,
 }
@@ -269,6 +272,7 @@ impl Default for ServiceBuilder {
                 cache_budget: None,
                 determinize: true,
                 parallel: true,
+                shard_executor: Arc::new(LocalExecutor),
             },
         }
     }
@@ -317,6 +321,17 @@ impl ServiceBuilder {
         self
     }
 
+    /// Sets the backend the per-shard matrix passes of *sharded* documents
+    /// run on, service-wide.  The default [`LocalExecutor`] runs every
+    /// shard in-process; `spanner-server`'s `RemoteExecutor` ships shard
+    /// blocks to a pool of worker processes (falling back to local
+    /// execution on worker failure, so results are never lost).
+    /// Monolithic documents are unaffected.
+    pub fn shard_executor(mut self, executor: Arc<dyn ShardExecutor>) -> Self {
+        self.config.shard_executor = executor;
+        self
+    }
+
     /// Builds the (empty) service.
     pub fn build(self) -> Service {
         Service {
@@ -325,6 +340,7 @@ impl ServiceBuilder {
             cache: Arc::new(MatrixCache::new(self.config.cache_budget)),
             config: self.config,
             counters: Counters::default(),
+            measured_ratios: RwLock::new(HashMap::new()),
         }
     }
 }
@@ -407,12 +423,18 @@ impl Counters {
 #[derive(Debug)]
 pub struct Service {
     queries: RwLock<Vec<Arc<PreparedQuery>>>,
-    documents: RwLock<Vec<Arc<PreparedDocument>>>,
+    /// `None` slots are removed documents: ids stay stable, the Arc (and
+    /// its cache entries, via [`MatrixCache::clear_doc`]) are gone.
+    documents: RwLock<Vec<Option<Arc<PreparedDocument>>>>,
     /// The one matrix pool every registered document shares: a global byte
     /// budget and a shared eviction clock across documents and shards.
     cache: Arc<MatrixCache>,
     config: ServiceConfig,
     counters: Counters,
+    /// Last measured `critical_path()/total()` ratio per document index,
+    /// recorded from the [`ShardBuildStats`] of warm traffic and consumed
+    /// by [`Service::suggest_shard_count`].
+    measured_ratios: RwLock<HashMap<usize, f64>>,
 }
 
 impl Default for Service {
@@ -523,13 +545,127 @@ impl Service {
         cores.clamp(2, 8)
     }
 
+    /// Records the measured critical ratio of a scatter-gather build so
+    /// [`Service::suggest_shard_count`] can re-tune from warm traffic.
+    fn record_shard_stats(&self, d: DocumentId, lookup: &CacheLookup) {
+        let Some(stats) = &lookup.shard_stats else {
+            return;
+        };
+        let total = stats.total();
+        if total.is_zero() {
+            return;
+        }
+        let ratio = (stats.critical_path().as_secs_f64() / total.as_secs_f64()).clamp(0.0, 1.0);
+        let mut ratios = self
+            .measured_ratios
+            .write()
+            .expect("ratio map lock poisoned");
+        // Liveness re-check under the ratio lock: a concurrent
+        // `remove_document` burns the slot first and clears the ratio
+        // last, so checking here (and inserting before releasing the
+        // lock) can never leave a stale entry behind for a removed
+        // document.
+        let live = self
+            .documents
+            .read()
+            .expect("document pool lock poisoned")
+            .get(d.index())
+            .is_some_and(|slot| slot.is_some());
+        if live {
+            ratios.insert(d.index(), ratio);
+        }
+    }
+
+    /// Sweeps the matrices a request inserted for a document that was
+    /// removed *while the build was in flight*: `remove_document`'s
+    /// `clear_doc` runs before such a build completes its insert, so
+    /// without this re-check the entry would sit in the shared pool under
+    /// a burned token forever (the token is never reissued and nothing
+    /// would ever clear it again).  Whichever of this sweep and the
+    /// removal's clear runs last sees the entry, so every interleaving
+    /// ends with the pool clean.
+    fn sweep_if_removed(&self, d: DocumentId, document: &PreparedDocument, lookup: &CacheLookup) {
+        if !lookup.hit && self.try_document(d).is_none() {
+            document.clear_cache();
+        }
+    }
+
+    /// The last `critical_path()/total()` ratio measured for a document's
+    /// scatter-gather matrix builds (`None` until the first sharded build
+    /// of warm traffic, and always `None` for monolithic documents).
+    pub fn measured_critical_ratio(&self, d: DocumentId) -> Option<f64> {
+        self.measured_ratios
+            .read()
+            .expect("ratio map lock poisoned")
+            .get(&d.index())
+            .copied()
+    }
+
+    /// Re-shard advice from warm traffic: the shard count
+    /// [`slp::shard::auto_k`] picks for this document using the *measured*
+    /// `critical_path()/total()` ratio of its latest scatter-gather build
+    /// (recorded from [`TaskResponse::shard_stats`]) instead of the
+    /// structural probe alone.  Before any sharded build has run — or for
+    /// monolithic documents — this falls back to the structural estimate,
+    /// so the advice is always defined.
+    ///
+    /// A caller acting on the advice re-registers the document
+    /// ([`Service::add_document_sharded`] with the suggested `k`) and
+    /// retires the old id via [`Service::remove_document`].
+    pub fn suggest_shard_count(&self, d: DocumentId) -> usize {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.suggest_shard_count_for(d, cores)
+    }
+
+    /// [`Service::suggest_shard_count`] for an explicit core count
+    /// (capacity planning and tests).
+    pub fn suggest_shard_count_for(&self, d: DocumentId, cores: usize) -> usize {
+        let document = self.document(d);
+        let size = document.original().size();
+        let ratio = self.measured_critical_ratio(d).unwrap_or_else(|| {
+            slp::shard::estimate_critical_ratio(document.original(), Self::probe_k(cores))
+        });
+        slp::shard::auto_k(size, cores, ratio)
+    }
+
     /// Registers an already prepared document, re-homing it (and any
-    /// matrices it already built) onto the service's shared cache pool.
+    /// matrices it already built) onto the service's shared cache pool and
+    /// onto the service-wide shard executor.
     pub fn add_prepared_document(&self, mut document: PreparedDocument) -> DocumentId {
         document.rehome_cache(self.cache.clone());
+        document.set_shard_executor(self.config.shard_executor.clone());
         let mut documents = self.documents.write().expect("document pool lock poisoned");
-        documents.push(Arc::new(document));
+        documents.push(Some(Arc::new(document)));
         DocumentId(documents.len() - 1)
+    }
+
+    /// Unregisters a document: its id stops resolving (subsequent requests
+    /// panic via [`Service::document`] / are rejected via
+    /// [`Service::try_document`]), and every matrix the document holds in
+    /// the shared cache pool is invalidated through
+    /// [`MatrixCache::clear_doc`] — other documents' residents are
+    /// untouched.  In-flight evaluations holding `Arc`s complete
+    /// unaffected.  Returns `false` if the id was never issued or already
+    /// removed.
+    pub fn remove_document(&self, d: DocumentId) -> bool {
+        let removed = {
+            let mut documents = self.documents.write().expect("document pool lock poisoned");
+            match documents.get_mut(d.index()) {
+                Some(slot) => slot.take(),
+                None => None,
+            }
+        };
+        match removed {
+            Some(document) => {
+                document.clear_cache();
+                self.measured_ratios
+                    .write()
+                    .expect("ratio map lock poisoned")
+                    .remove(&d.index());
+                true
+            }
+            None => false,
+        }
     }
 
     /// The prepared query behind an id.
@@ -545,9 +681,22 @@ impl Service {
     ///
     /// # Panics
     /// If `d` was not returned by this service's `add_document`/
-    /// `add_prepared_document`.
+    /// `add_prepared_document`, or was removed via
+    /// [`Service::remove_document`].
     pub fn document(&self, d: DocumentId) -> Arc<PreparedDocument> {
-        self.documents.read().expect("document pool lock poisoned")[d.index()].clone()
+        self.try_document(d)
+            .expect("document id unknown or removed")
+    }
+
+    /// The prepared document behind an id, or `None` if the id was never
+    /// issued or the document was removed — the non-panicking lookup a
+    /// front-end validating external ids should use.
+    pub fn try_document(&self, d: DocumentId) -> Option<Arc<PreparedDocument>> {
+        self.documents
+            .read()
+            .expect("document pool lock poisoned")
+            .get(d.index())
+            .and_then(|slot| slot.clone())
     }
 
     /// Number of registered queries.
@@ -555,12 +704,15 @@ impl Service {
         self.queries.read().expect("query pool lock poisoned").len()
     }
 
-    /// Number of registered documents.
+    /// Number of registered documents still resolving (removed documents
+    /// no longer count; their ids stay burned).
     pub fn num_documents(&self) -> usize {
         self.documents
             .read()
             .expect("document pool lock poisoned")
-            .len()
+            .iter()
+            .filter(|slot| slot.is_some())
+            .count()
     }
 
     /// Binds a (query, document) pair for ad-hoc evaluation, building or
@@ -572,6 +724,8 @@ impl Service {
         let document = self.document(d);
         let (pre, lookup) = document.matrices_with_stats(&query);
         self.counters.commit(None, Some(&lookup));
+        self.record_shard_stats(d, &lookup);
+        self.sweep_if_removed(d, &document, &lookup);
         Evaluation::from_parts(query, document, pre)
     }
 
@@ -582,14 +736,19 @@ impl Service {
     /// # Errors
     /// [`EvalError::NondeterministicAutomaton`] for [`Task::Count`] /
     /// [`Task::Enumerate`] on a non-deterministic query (only possible with
-    /// [`ServiceBuilder::determinize`]`(false)`), and any error of the
+    /// [`ServiceBuilder::determinize`]`(false)`),
+    /// [`EvalError::DocumentRemoved`] when the document was removed — even
+    /// concurrently, so a front-end racing [`Service::remove_document`]
+    /// gets a structured error, never a panic — and any error of the
     /// model-checking algorithm (e.g. out-of-bounds tuples).
     ///
     /// # Panics
-    /// If the request names ids not issued by this service.
+    /// If the request names a query id not issued by this service.
     pub fn run(&self, request: &TaskRequest) -> Result<TaskResponse, EvalError> {
         let query = self.query(request.query);
-        let document = self.document(request.doc);
+        let document = self
+            .try_document(request.doc)
+            .ok_or(EvalError::DocumentRemoved)?;
 
         // Model checking runs on the original automaton × SLP
         // (Theorem 5.1(2)) and never reads the pair matrices — don't build
@@ -623,6 +782,8 @@ impl Service {
 
         let (pre, lookup) = document.matrices_with_stats(&query);
         self.counters.commit(Some(&request.task), Some(&lookup));
+        self.record_shard_stats(request.doc, &lookup);
+        self.sweep_if_removed(request.doc, &document, &lookup);
 
         let start = Instant::now();
         let outcome = match &request.task {
@@ -686,9 +847,15 @@ impl Service {
             for (&(q, d), &n) in &occurrences {
                 if n > 1 {
                     let query = self.query(QueryId(q));
-                    let document = self.document(DocumentId(d));
+                    // A document removed mid-batch skips the pre-build; the
+                    // individual requests answer with the structured error.
+                    let Some(document) = self.try_document(DocumentId(d)) else {
+                        continue;
+                    };
                     let (_, lookup) = document.matrices_with_stats(&query);
                     self.counters.commit(None, Some(&lookup));
+                    self.record_shard_stats(DocumentId(d), &lookup);
+                    self.sweep_if_removed(DocumentId(d), &document, &lookup);
                 }
             }
             return rayon::par_map(requests, |request| self.run(request));
@@ -721,13 +888,17 @@ impl Service {
             return self.run(request);
         };
         let query = self.query(request.query);
-        let document = self.document(request.doc);
+        let document = self
+            .try_document(request.doc)
+            .ok_or(EvalError::DocumentRemoved)?;
         if !query.is_deterministic() {
             self.counters.commit(Some(&request.task), None);
             return Err(EvalError::NondeterministicAutomaton);
         }
         let (pre, lookup) = document.matrices_with_stats(&query);
         self.counters.commit(Some(&request.task), Some(&lookup));
+        self.record_shard_stats(request.doc, &lookup);
+        self.sweep_if_removed(request.doc, &document, &lookup);
 
         let start = Instant::now();
         let page_size = page_size.max(1);
@@ -1259,6 +1430,81 @@ mod tests {
             })
             .unwrap();
         assert_eq!(response.outcome.as_count(), Some(64));
+    }
+
+    #[test]
+    fn remove_document_burns_the_id_and_clears_only_its_matrices() {
+        let service = Service::new();
+        let q = service.add_query(&regex::compile(".*x{ab}.*", b"ab").unwrap());
+        let d1 = service.add_document(&families::power_word(b"ab", 32));
+        let d2 = service.add_document(&families::power_word(b"ab", 64));
+        for &d in &[d1, d2] {
+            service
+                .run(&TaskRequest {
+                    query: q,
+                    doc: d,
+                    task: Task::Count,
+                })
+                .unwrap();
+        }
+        assert_eq!(service.stats().resident_entries, 2);
+        assert_eq!(service.num_documents(), 2);
+
+        assert!(service.remove_document(d1));
+        assert!(!service.remove_document(d1), "removal is idempotent-false");
+        assert!(service.try_document(d1).is_none());
+        assert!(service.try_document(d2).is_some());
+        assert_eq!(service.num_documents(), 1);
+        assert_eq!(
+            service.stats().resident_entries,
+            1,
+            "only the removed document's matrices were invalidated"
+        );
+
+        // The survivor stays warm; new registrations get fresh ids.
+        let warm = service
+            .run(&TaskRequest {
+                query: q,
+                doc: d2,
+                task: Task::Count,
+            })
+            .unwrap();
+        assert!(warm.stats.cache_hit);
+        let d3 = service.add_document(&families::power_word(b"ab", 16));
+        assert_ne!(d3.index(), d1.index(), "burned ids are not reissued");
+
+        // Requests racing the removal draw a structured error, not a
+        // panic — a front-end validating ids before dispatch can still
+        // lose the race and must survive it.
+        for task in [Task::Count, Task::ModelCheck(spanner::SpanTuple::empty(1))] {
+            assert_eq!(
+                service
+                    .run(&TaskRequest {
+                        query: q,
+                        doc: d1,
+                        task,
+                    })
+                    .unwrap_err(),
+                EvalError::DocumentRemoved
+            );
+        }
+        assert_eq!(
+            service
+                .run_paged(
+                    &TaskRequest {
+                        query: q,
+                        doc: d1,
+                        task: Task::Enumerate {
+                            skip: 0,
+                            limit: None,
+                        },
+                    },
+                    8,
+                    &mut |_| panic!("removed documents must not stream"),
+                )
+                .unwrap_err(),
+            EvalError::DocumentRemoved
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! add_query <pattern> <alphabet>      # e.g. add_query .*x{ab}.* ab
 //! add_doc <text>
 //! add_doc_sharded <k> <text>          # k = 0 lets the server auto-tune
+//! remove_doc <d>
 //! nonempty <q> <d>
 //! check <q> <d> <tuple>               # tuple: x0=1,3 x1=- … (start,end; - = unset)
 //! count <q> <d>
@@ -125,6 +126,11 @@ fn run_command(client: &mut Client, line: &str) -> Result<String, ClientError> {
                 "doc {} shards={} len={}",
                 receipt.id, receipt.shards, receipt.len
             ))
+        }
+        "remove_doc" => {
+            let d = num(0)?;
+            retry_busy(RETRIES, BACKOFF, || client.remove_doc(d))?;
+            Ok(format!("removed {d}"))
         }
         "nonempty" => {
             let (q, d) = (num(0)?, num(1)?);

@@ -1,21 +1,32 @@
-//! The `spanner-server` binary: boot a long-running evaluation server.
+//! The `spanner-server` binary: boot a long-running evaluation server, a
+//! shard worker, or a front-end over a worker pool.
 //!
 //! ```text
 //! spanner-server [--addr HOST:PORT] [--max-inflight N] [--max-frame BYTES]
 //!                [--page-size N] [--cache-budget BYTES]
+//!                [--worker] [--workers ADDR,ADDR,...]
 //! ```
+//!
+//! `--worker` boots a stateless shard-pass worker (serves `shard_build`,
+//! `ping`, `stats`, `shutdown`; refuses registrations and tasks).
+//! `--workers a,b` boots a front-end whose sharded matrix builds scatter
+//! over the listed worker processes (falling back to local execution when
+//! a worker fails).  The two are the halves of a distributed pool: boot N
+//! workers, then one front-end pointing at them.
 //!
 //! Prints `LISTENING <addr>` once the socket is bound (scripts parse this
 //! to learn an ephemeral port), then serves until a client sends the
 //! `shutdown` verb; exits 0 after a clean drain.
 
-use spanner_server::{Server, ServerConfig};
+use spanner_server::{RemoteExecutor, Server, ServerConfig};
 use spanner_slp_core::Service;
+use std::sync::Arc;
 
 fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut config = ServerConfig::default();
     let mut cache_budget: Option<usize> = None;
+    let mut workers: Vec<String> = Vec::new();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -32,10 +43,23 @@ fn main() {
             "--max-frame" => config.max_frame_len = parse(&value(i), "--max-frame"),
             "--page-size" => config.page_size = parse(&value(i), "--page-size"),
             "--cache-budget" => cache_budget = Some(parse(&value(i), "--cache-budget")),
+            "--worker" => {
+                config.worker = true;
+                i += 1;
+                continue;
+            }
+            "--workers" => {
+                workers = value(i)
+                    .split(',')
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: spanner-server [--addr HOST:PORT] [--max-inflight N] \
-                     [--max-frame BYTES] [--page-size N] [--cache-budget BYTES]"
+                     [--max-frame BYTES] [--page-size N] [--cache-budget BYTES] \
+                     [--worker] [--workers ADDR,ADDR,...]"
                 );
                 return;
             }
@@ -46,10 +70,17 @@ fn main() {
         }
         i += 2;
     }
+    if config.worker && !workers.is_empty() {
+        eprintln!("--worker and --workers are mutually exclusive roles");
+        std::process::exit(2);
+    }
 
     let mut builder = Service::builder();
     if let Some(budget) = cache_budget {
         builder = builder.cache_budget(budget);
+    }
+    if !workers.is_empty() {
+        builder = builder.shard_executor(Arc::new(RemoteExecutor::new(workers)));
     }
     let server = match Server::bind(addr.as_str(), builder.build(), config) {
         Ok(server) => server,

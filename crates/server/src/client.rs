@@ -172,6 +172,15 @@ impl Client {
         }
     }
 
+    /// Unregisters a pooled document: its wire id stops resolving and the
+    /// server invalidates every matrix the document held in its cache.
+    pub fn remove_doc(&mut self, doc: u64) -> Result<(), ClientError> {
+        match self.call(&Request::RemoveDoc { doc })? {
+            Response::DocRemoved { id } if id == doc => Ok(()),
+            other => Err(unexpected("removal receipt", &other)),
+        }
+    }
+
     /// Non-emptiness of a pooled pair.
     pub fn non_empty(&mut self, query: u64, doc: u64) -> Result<(bool, WireStats), ClientError> {
         match self.task(query, doc, WireTask::NonEmptiness)? {

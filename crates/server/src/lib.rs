@@ -20,10 +20,16 @@
 //!   pages, and graceful shutdown that drains in-flight work.
 //! * [`client`] — a blocking typed client used by the integration tests,
 //!   the CI smoke script and the load generator.
+//! * [`remote`] — the distributed half: [`RemoteExecutor`] implements the
+//!   core's `ShardExecutor` over the wire protocol, shipping standalone
+//!   shard rule blocks to `spanner-server --worker` processes and
+//!   gathering summary rows (falling back to local execution when a
+//!   worker fails, so results are never lost).
 //!
-//! Two binaries ship with the crate: `spanner-server` (boot a server from
-//! the command line) and `spanner-client` (drive one with a script — see
-//! the CI smoke step).
+//! Two binaries ship with the crate: `spanner-server` (boot a server, a
+//! `--worker` shard-pass engine, or a `--workers a,b` front-end over a
+//! pool) and `spanner-client` (drive one with a script — see the CI smoke
+//! steps).
 //!
 //! ## Loopback example
 //!
@@ -47,8 +53,10 @@
 pub mod client;
 pub mod json;
 pub mod proto;
+pub mod remote;
 pub mod server;
 
 pub use client::{retry_busy, Client, ClientError, DocReceipt};
-pub use proto::{ErrorCode, Request, Response, WireTask, PROTOCOL_VERSION};
+pub use proto::{ErrorCode, Request, Response, WireNfa, WireTask, PROTOCOL_VERSION};
+pub use remote::RemoteExecutor;
 pub use server::{Server, ServerConfig};

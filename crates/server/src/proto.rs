@@ -22,13 +22,19 @@
 //! | `add_doc`           | `doc` (+ `shards`, `len`)     |
 //! | `add_doc_sharded`   | `doc` (+ `shards`, `len`)     |
 //! | `task` (5 kinds)    | `non_empty` / `checked` / `count` / `tuples`, or a stream of `page` frames closed by `streamed` |
+//! | `remove_doc`        | `removed`                     |
+//! | `shard_build`       | `q` + `rows` + `elapsed_us`   |
 //! | `stats`             | `service` + `server`          |
 //! | `shutdown`          | `shutting_down`               |
 //!
 //! Any request can instead draw `{"ok":false,"error":<code>,"detail":…}`.
 
 use crate::json::Json;
-use spanner::{Span, SpanTuple, Variable};
+use slp::{NfRule, NonTerminal};
+use spanner::{MarkedSymbol, MarkerSet, Span, SpanTuple, Variable};
+use spanner_automata::nfa::{Label, Nfa};
+use spanner_slp_core::matrices::REntry;
+use spanner_slp_core::prepared::EByte;
 use spanner_slp_core::service::{RequestStats, ServiceStats, Task};
 use std::fmt;
 
@@ -83,6 +89,10 @@ pub enum ErrorCode {
     /// The evaluation itself failed (compile error, out-of-bounds tuple,
     /// empty document, …).
     Eval,
+    /// The request is a verb this server's role does not serve (e.g. a
+    /// registration or task sent to a `--worker` process, which serves
+    /// shard builds and observability only).
+    Unsupported,
     /// The server is draining for shutdown and admits no new work.
     ShuttingDown,
 }
@@ -97,6 +107,7 @@ impl ErrorCode {
             ErrorCode::Version => "version",
             ErrorCode::UnknownId => "unknown_id",
             ErrorCode::Eval => "eval",
+            ErrorCode::Unsupported => "unsupported",
             ErrorCode::ShuttingDown => "shutting_down",
         }
     }
@@ -110,6 +121,7 @@ impl ErrorCode {
             b"version" => ErrorCode::Version,
             b"unknown_id" => ErrorCode::UnknownId,
             b"eval" => ErrorCode::Eval,
+            b"unsupported" => ErrorCode::Unsupported,
             b"shutting_down" => ErrorCode::ShuttingDown,
             _ => return None,
         })
@@ -175,6 +187,308 @@ impl WireTask {
     }
 }
 
+/// One transition label as spoken on the wire — mirrors
+/// `Label<MarkedSymbol<EByte>>` with wire-friendly payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireLabel {
+    /// An ordinary document byte.
+    Byte(u8),
+    /// The end-of-document sentinel `#`.
+    End,
+    /// A marker set, packed as its raw bits (see [`MarkerSet::bits`]).
+    Markers(u64),
+    /// An ε-transition (never produced by prepared queries, which are
+    /// ε-free; kept so the codec is total over `Label`).
+    Epsilon,
+}
+
+/// One transition `(from, label, to)` as spoken on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireArc {
+    /// Source state.
+    pub from: u64,
+    /// The transition label.
+    pub label: WireLabel,
+    /// Target state.
+    pub to: u64,
+}
+
+/// A query's end-transformed automaton as spoken on the wire — everything
+/// a shard worker needs to run the Lemma 6.5 pass, independent of how the
+/// query was originally written (regex, hand-built automaton, …).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireNfa {
+    /// Number of states `q`.
+    pub states: u64,
+    /// The start state.
+    pub start: u64,
+    /// The accepting states.
+    pub accepting: Vec<u64>,
+    /// All transitions.
+    pub arcs: Vec<WireArc>,
+}
+
+impl WireNfa {
+    /// Captures an in-memory automaton for the wire.
+    pub fn from_nfa(nfa: &Nfa<MarkedSymbol<EByte>>) -> WireNfa {
+        WireNfa {
+            states: nfa.num_states() as u64,
+            start: nfa.start() as u64,
+            accepting: nfa.accepting_states().iter().map(|&s| s as u64).collect(),
+            arcs: nfa
+                .arcs()
+                .map(|(p, label, t)| WireArc {
+                    from: p as u64,
+                    label: match label {
+                        Label::Symbol(MarkedSymbol::Terminal(EByte::Byte(b))) => WireLabel::Byte(b),
+                        Label::Symbol(MarkedSymbol::Terminal(EByte::End)) => WireLabel::End,
+                        Label::Symbol(MarkedSymbol::Markers(m)) => WireLabel::Markers(m.bits()),
+                        Label::Epsilon => WireLabel::Epsilon,
+                    },
+                    to: t as u64,
+                })
+                .collect(),
+        }
+    }
+
+    /// Largest state count [`WireNfa::to_nfa`] will materialise.  The
+    /// state count controls an up-front `O(states)` allocation, so — like
+    /// the hostile-`q` guard in the summary-row codec — it must be bounded
+    /// *before* trusting the frame: a sub-kilobyte frame must not be able
+    /// to demand terabytes.  `2^20` states is far beyond anything the
+    /// `O(size(S)·q³)` pass could ever finish on.
+    pub const MAX_STATES: u64 = 1 << 20;
+
+    /// Reconstructs the automaton, validating the state count and every
+    /// state index.
+    pub fn to_nfa(&self) -> Result<Nfa<MarkedSymbol<EByte>>, ProtoError> {
+        let states = usize::try_from(self.states)
+            .ok()
+            .filter(|&n| n >= 1 && n as u64 <= Self::MAX_STATES)
+            .ok_or_else(|| {
+                ProtoError::Malformed(format!(
+                    "nfa state count {} outside 1..={}",
+                    self.states,
+                    Self::MAX_STATES
+                ))
+            })?;
+        let check = |s: u64, what: &str| -> Result<usize, ProtoError> {
+            usize::try_from(s)
+                .ok()
+                .filter(|&s| s < states)
+                .ok_or_else(|| ProtoError::Malformed(format!("{what} {s} out of range")))
+        };
+        let mut nfa: Nfa<MarkedSymbol<EByte>> = Nfa::with_states(states);
+        nfa.set_start(check(self.start, "start state")?);
+        for &s in &self.accepting {
+            nfa.set_accepting(check(s, "accepting state")?, true);
+        }
+        for arc in &self.arcs {
+            let (from, to) = (check(arc.from, "arc source")?, check(arc.to, "arc target")?);
+            match arc.label {
+                WireLabel::Byte(b) => {
+                    nfa.add_transition(from, MarkedSymbol::Terminal(EByte::Byte(b)), to)
+                }
+                WireLabel::End => nfa.add_transition(from, MarkedSymbol::Terminal(EByte::End), to),
+                WireLabel::Markers(bits) => {
+                    nfa.add_transition(from, MarkedSymbol::Markers(MarkerSet::from_bits(bits)), to)
+                }
+                WireLabel::Epsilon => nfa.add_epsilon(from, to),
+            }
+        }
+        Ok(nfa)
+    }
+
+    fn to_json(&self) -> Json {
+        let label = |l: WireLabel| match l {
+            WireLabel::Byte(b) => Json::num(b),
+            WireLabel::End => Json::str("end"),
+            WireLabel::Epsilon => Json::str("eps"),
+            WireLabel::Markers(bits) => obj(vec![("m", Json::num(bits))]),
+        };
+        obj(vec![
+            ("states", Json::num(self.states)),
+            ("start", Json::num(self.start)),
+            (
+                "accepting",
+                Json::Arr(self.accepting.iter().map(|&s| Json::num(s)).collect()),
+            ),
+            (
+                "arcs",
+                Json::Arr(
+                    self.arcs
+                        .iter()
+                        .map(|arc| {
+                            Json::Arr(vec![
+                                Json::num(arc.from),
+                                label(arc.label),
+                                Json::num(arc.to),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<WireNfa, ProtoError> {
+        let label = |v: &Json| -> Result<WireLabel, ProtoError> {
+            if let Some(n) = v.as_u64() {
+                let b = u8::try_from(n)
+                    .map_err(|_| ProtoError::Malformed(format!("label byte {n} out of range")))?;
+                return Ok(WireLabel::Byte(b));
+            }
+            if let Some(s) = v.as_str() {
+                return match s {
+                    b"end" => Ok(WireLabel::End),
+                    b"eps" => Ok(WireLabel::Epsilon),
+                    other => Err(ProtoError::Malformed(format!(
+                        "unknown label '{}'",
+                        String::from_utf8_lossy(other)
+                    ))),
+                };
+            }
+            if let Some(m) = v.get("m") {
+                return Ok(WireLabel::Markers(number(m, "marker bits")?));
+            }
+            Err(ProtoError::Malformed("unrecognised arc label".into()))
+        };
+        let accepting = field(value, "accepting")?
+            .as_arr()
+            .ok_or_else(|| ProtoError::Malformed("accepting is not an array".into()))?
+            .iter()
+            .map(|s| number(s, "accepting state"))
+            .collect::<Result<_, _>>()?;
+        let arcs = field(value, "arcs")?
+            .as_arr()
+            .ok_or_else(|| ProtoError::Malformed("arcs is not an array".into()))?
+            .iter()
+            .map(|arc| {
+                let [from, l, to] = arc
+                    .as_arr()
+                    .ok_or_else(|| ProtoError::Malformed("arc is not an array".into()))?
+                else {
+                    return Err(ProtoError::Malformed("arc is not a triple".into()));
+                };
+                Ok(WireArc {
+                    from: number(from, "arc source")?,
+                    label: label(l)?,
+                    to: number(to, "arc target")?,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(WireNfa {
+            states: num_field(value, "states")?,
+            start: num_field(value, "start")?,
+            accepting,
+            arcs,
+        })
+    }
+}
+
+/// Encodes a standalone shard rule block: leaves as their byte (or `"end"`
+/// for the sentinel), inner rules as `[b, c]` pairs of local indices.
+fn rules_to_json(rules: &[NfRule<EByte>]) -> Json {
+    Json::Arr(
+        rules
+            .iter()
+            .map(|rule| match rule {
+                NfRule::Leaf(EByte::Byte(b)) => Json::num(*b),
+                NfRule::Leaf(EByte::End) => Json::str("end"),
+                NfRule::Pair(b, c) => Json::Arr(vec![Json::num(b.0), Json::num(c.0)]),
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a standalone shard rule block.
+fn rules_from_json(value: &Json) -> Result<Vec<NfRule<EByte>>, ProtoError> {
+    value
+        .as_arr()
+        .ok_or_else(|| ProtoError::Malformed("rules is not an array".into()))?
+        .iter()
+        .map(|rule| {
+            if let Some(n) = rule.as_u64() {
+                let b = u8::try_from(n)
+                    .map_err(|_| ProtoError::Malformed(format!("leaf byte {n} out of range")))?;
+                return Ok(NfRule::Leaf(EByte::Byte(b)));
+            }
+            if let Some(s) = rule.as_str() {
+                if s == b"end" {
+                    return Ok(NfRule::Leaf(EByte::End));
+                }
+                return Err(ProtoError::Malformed(format!(
+                    "unknown leaf '{}'",
+                    String::from_utf8_lossy(s)
+                )));
+            }
+            if let Some([b, c]) = rule.as_arr() {
+                let index = |v: &Json, what: &str| -> Result<u32, ProtoError> {
+                    u32::try_from(number(v, what)?)
+                        .map_err(|_| ProtoError::Malformed(format!("{what} out of range")))
+                };
+                return Ok(NfRule::Pair(
+                    NonTerminal(index(b, "left child")?),
+                    NonTerminal(index(c, "right child")?),
+                ));
+            }
+            Err(ProtoError::Malformed("unrecognised rule".into()))
+        })
+        .collect()
+}
+
+/// Encodes summary rows as one byte string: `q×q` characters per rule, in
+/// rule order — `B` (⊥), `E` (℮) or `N` (1).  One byte per three-valued
+/// entry is what makes the gather payload *summary-sized*: the full
+/// marker-set matrices of Lemma 6.5 never cross the wire.
+fn rows_to_json(rows: &[Vec<REntry>]) -> Json {
+    let mut bytes = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+    for row in rows {
+        for entry in row {
+            bytes.push(match entry {
+                REntry::Bot => b'B',
+                REntry::Empty => b'E',
+                REntry::NonEmpty => b'N',
+            });
+        }
+    }
+    Json::Str(bytes)
+}
+
+/// Decodes summary rows from the `q` recorded alongside them.
+fn rows_from_json(value: &Json, q: u64) -> Result<Vec<Vec<REntry>>, ProtoError> {
+    let bytes = value
+        .as_str()
+        .ok_or_else(|| ProtoError::Malformed("rows is not a string".into()))?;
+    let cell = q
+        .checked_mul(q)
+        .and_then(|c| usize::try_from(c).ok())
+        .filter(|&c| c > 0)
+        .ok_or_else(|| ProtoError::Malformed("q is zero or out of range".into()))?;
+    if !bytes.len().is_multiple_of(cell) {
+        return Err(ProtoError::Malformed(format!(
+            "row bytes ({}) are not a multiple of q² ({cell})",
+            bytes.len()
+        )));
+    }
+    bytes
+        .chunks(cell)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|b| match b {
+                    b'B' => Ok(REntry::Bot),
+                    b'E' => Ok(REntry::Empty),
+                    b'N' => Ok(REntry::NonEmpty),
+                    other => Err(ProtoError::Malformed(format!(
+                        "unknown summary entry 0x{other:02x}"
+                    ))),
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// A client→server frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -208,6 +522,25 @@ pub enum Request {
         doc: u64,
         /// What to compute.
         task: WireTask,
+    },
+    /// Unregister a pooled document: its wire id stops resolving and its
+    /// cached matrices are invalidated (`MatrixCache::clear_doc`).
+    RemoveDoc {
+        /// Wire id of the pooled document.
+        doc: u64,
+    },
+    /// Run one shard's Lemma 6.5 matrix pass (the worker verb behind
+    /// distributed shard execution): a *standalone* rule block plus the
+    /// query's end-transformed automaton — never the surrounding document.
+    /// The reply ([`Response::ShardBuilt`]) carries only the block's
+    /// three-valued summary rows.
+    ShardBuild {
+        /// The query's end-transformed, ε-free automaton.
+        nfa: WireNfa,
+        /// The shard's standalone rule block (local indices).
+        rules: Vec<NfRule<EByte>>,
+        /// Local index of the block's root rule.
+        root: u64,
     },
     /// Snapshot the service-wide and server-level counters.
     Stats,
@@ -372,6 +705,22 @@ pub enum Response {
         /// What the request cost.
         stats: WireStats,
     },
+    /// Answer to [`Request::RemoveDoc`].
+    DocRemoved {
+        /// The removed document's wire id (now burned; it will not be
+        /// reissued).
+        id: u64,
+    },
+    /// Answer to [`Request::ShardBuild`]: the block's summary rows — one
+    /// byte per three-valued entry, never the full marker-set matrices.
+    ShardBuilt {
+        /// Number of automaton states `q` (the row stride).
+        q: u64,
+        /// Summary rows, one `q×q` row per block rule in local order.
+        rows: Vec<Vec<REntry>>,
+        /// Worker-side wall-clock of the pass, in microseconds.
+        elapsed_us: u64,
+    },
     /// Answer to [`Request::Stats`].
     Stats {
         /// Service-wide evaluation counters.
@@ -535,6 +884,16 @@ impl Request {
                     WireTask::NonEmptiness | WireTask::Count => {}
                 }
             }
+            Request::RemoveDoc { doc } => {
+                pairs.push(("op", Json::str("remove_doc")));
+                pairs.push(("doc", Json::num(*doc)));
+            }
+            Request::ShardBuild { nfa, rules, root } => {
+                pairs.push(("op", Json::str("shard_build")));
+                pairs.push(("nfa", nfa.to_json()));
+                pairs.push(("rules", rules_to_json(rules)));
+                pairs.push(("root", Json::num(*root)));
+            }
             Request::Stats => pairs.push(("op", Json::str("stats"))),
             Request::Shutdown => pairs.push(("op", Json::str("shutdown"))),
         }
@@ -591,6 +950,14 @@ impl Request {
                     task,
                 }
             }
+            b"remove_doc" => Request::RemoveDoc {
+                doc: num_field(&value, "doc")?,
+            },
+            b"shard_build" => Request::ShardBuild {
+                nfa: WireNfa::from_json(field(&value, "nfa")?)?,
+                rules: rules_from_json(field(&value, "rules")?)?,
+                root: num_field(&value, "root")?,
+            },
             b"stats" => Request::Stats,
             b"shutdown" => Request::Shutdown,
             _ => {
@@ -735,6 +1102,19 @@ impl Response {
                 ("streamed", Json::num(*streamed)),
                 ("stats", stats.to_json()),
             ]),
+            Response::DocRemoved { id } => {
+                obj(vec![("ok", Json::Bool(true)), ("removed", Json::num(*id))])
+            }
+            Response::ShardBuilt {
+                q,
+                rows,
+                elapsed_us,
+            } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("q", Json::num(*q)),
+                ("rows", rows_to_json(rows)),
+                ("elapsed_us", Json::num(*elapsed_us)),
+            ]),
             Response::Stats { service, server } => obj(vec![
                 ("ok", Json::Bool(true)),
                 ("service", service.to_json()),
@@ -827,6 +1207,19 @@ impl Response {
                 stats: WireStats::from_json(field(&value, "stats")?)?,
             });
         }
+        if let Some(id) = value.get("removed") {
+            return Ok(Response::DocRemoved {
+                id: number(id, "removed")?,
+            });
+        }
+        if let Some(rows) = value.get("rows") {
+            let q = num_field(&value, "q")?;
+            return Ok(Response::ShardBuilt {
+                q,
+                rows: rows_from_json(rows, q)?,
+                elapsed_us: num_field(&value, "elapsed_us")?,
+            });
+        }
         if let Some(service) = value.get("service") {
             return Ok(Response::Stats {
                 service: WireServiceStats::from_json(service)?,
@@ -861,6 +1254,36 @@ mod tests {
             task_us: 42,
             matrix_bytes: 4096,
             results: 7,
+        }
+    }
+
+    fn sample_wire_nfa() -> WireNfa {
+        WireNfa {
+            states: 3,
+            start: 0,
+            accepting: vec![2],
+            arcs: vec![
+                WireArc {
+                    from: 0,
+                    label: WireLabel::Byte(b'a'),
+                    to: 1,
+                },
+                WireArc {
+                    from: 1,
+                    label: WireLabel::Markers(0b101),
+                    to: 1,
+                },
+                WireArc {
+                    from: 1,
+                    label: WireLabel::End,
+                    to: 2,
+                },
+                WireArc {
+                    from: 0,
+                    label: WireLabel::Epsilon,
+                    to: 2,
+                },
+            ],
         }
     }
 
@@ -912,6 +1335,18 @@ mod tests {
                     limit: Some(30),
                 },
             },
+            Request::RemoveDoc { doc: 3 },
+            Request::ShardBuild {
+                nfa: sample_wire_nfa(),
+                rules: vec![
+                    NfRule::Leaf(EByte::Byte(b'a')),
+                    NfRule::Leaf(EByte::Byte(b'b')),
+                    NfRule::Pair(NonTerminal(0), NonTerminal(1)),
+                    NfRule::Leaf(EByte::End),
+                    NfRule::Pair(NonTerminal(2), NonTerminal(3)),
+                ],
+                root: 4,
+            },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -959,6 +1394,15 @@ mod tests {
                 streamed: 100,
                 stats: sample_stats(),
             },
+            Response::DocRemoved { id: 5 },
+            Response::ShardBuilt {
+                q: 2,
+                rows: vec![
+                    vec![REntry::Bot, REntry::Empty, REntry::NonEmpty, REntry::Bot],
+                    vec![REntry::Empty; 4],
+                ],
+                elapsed_us: 1234,
+            },
             Response::Stats {
                 service: WireServiceStats {
                     requests: 11,
@@ -987,6 +1431,7 @@ mod tests {
             ErrorCode::Version,
             ErrorCode::UnknownId,
             ErrorCode::Eval,
+            ErrorCode::Unsupported,
             ErrorCode::ShuttingDown,
         ] {
             let response = Response::Error {
@@ -1022,6 +1467,96 @@ mod tests {
                 String::from_utf8_lossy(bad)
             );
         }
+    }
+
+    #[test]
+    fn wire_nfa_round_trips_through_a_real_automaton() {
+        // A prepared query's end-transformed automaton survives the wire
+        // codec arc-for-arc: rebuilding it and re-encoding is the identity.
+        use spanner::regex;
+        use spanner_slp_core::engine::PreparedQuery;
+        let m = regex::compile(".*x{a+}y{b+}.*", b"ab").unwrap();
+        let query = PreparedQuery::determinized(&m);
+        let wire = WireNfa::from_nfa(query.nfa());
+        assert_eq!(wire.states as usize, query.nfa().num_states());
+        let rebuilt = wire.to_nfa().unwrap();
+        assert_eq!(rebuilt.num_states(), query.nfa().num_states());
+        assert_eq!(rebuilt.start(), query.nfa().start());
+        assert_eq!(rebuilt.accepting_states(), query.nfa().accepting_states());
+        assert_eq!(WireNfa::from_nfa(&rebuilt), wire);
+    }
+
+    #[test]
+    fn wire_nfa_rejects_out_of_range_states() {
+        for bad in [
+            WireNfa {
+                states: 0,
+                ..Default::default()
+            },
+            // A tiny frame claiming an astronomic state count must be
+            // rejected before the O(states) allocation, not after.
+            WireNfa {
+                states: WireNfa::MAX_STATES + 1,
+                ..Default::default()
+            },
+            WireNfa {
+                states: 2,
+                start: 2,
+                ..Default::default()
+            },
+            WireNfa {
+                states: 2,
+                accepting: vec![5],
+                ..Default::default()
+            },
+            WireNfa {
+                states: 2,
+                arcs: vec![WireArc {
+                    from: 0,
+                    label: WireLabel::End,
+                    to: 9,
+                }],
+                ..Default::default()
+            },
+        ] {
+            assert!(bad.to_nfa().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn shard_build_payloads_ship_summaries_not_matrices() {
+        // The gather payload is one byte per three-valued entry — the full
+        // marker-set matrices (and the document text) never appear.
+        let rows = vec![vec![REntry::NonEmpty; 9]; 7];
+        let response = Response::ShardBuilt {
+            q: 3,
+            rows: rows.clone(),
+            elapsed_us: 1,
+        };
+        let encoded = response.encode();
+        // 7 rules × 9 entries = 63 summary bytes plus fixed framing.
+        assert!(encoded.len() < 63 + 64, "{}", encoded.len());
+        match Response::decode(&encoded).unwrap() {
+            Response::ShardBuilt { rows: decoded, .. } => assert_eq!(decoded, rows),
+            other => panic!("{other:?}"),
+        }
+        // Mis-sized rows are rejected, not mis-chunked.
+        let mut tampered = String::from_utf8(encoded).unwrap();
+        tampered = tampered.replace("NNNN", "NNN");
+        assert!(matches!(
+            Response::decode(tampered.as_bytes()),
+            Err(ProtoError::Malformed(_))
+        ));
+        // A hostile q whose square overflows u64 is a malformed frame, not
+        // an arithmetic panic.
+        let hostile = format!(
+            "{{\"ok\":true,\"q\":{},\"rows\":\"NN\",\"elapsed_us\":1}}",
+            u64::MAX
+        );
+        assert!(matches!(
+            Response::decode(hostile.as_bytes()),
+            Err(ProtoError::Malformed(_))
+        ));
     }
 
     #[test]

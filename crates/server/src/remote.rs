@@ -1,0 +1,321 @@
+//! The remote shard-execution backend: a pool client implementing the
+//! evaluation core's [`ShardExecutor`] over the wire protocol.
+//!
+//! A [`RemoteExecutor`] holds the addresses of long-running
+//! `spanner-server --worker` processes.  When a sharded matrix build
+//! scatters, each shard's [`ShardJob`] is serialized as a `shard_build`
+//! frame — the query's end-transformed automaton plus the shard's
+//! *standalone rule block*, never the document text — and shipped to a
+//! worker (jobs spread round-robin over the pool; concurrent shards of
+//! one build reach different workers in parallel).  The worker answers
+//! with the block's three-valued summary rows: one byte per entry, so the
+//! gather leg is *summary-sized* — the full marker-set matrices of
+//! Lemma 6.5 stay on whichever side computed them, and the leaf tables are
+//! rebuilt by the coordinator from the automaton alone.
+//!
+//! **Results are never lost.**  Every failure — connection refused, a
+//! worker dying mid-build, a timeout, a malformed or short reply, busy
+//! backpressure beyond the retry budget — falls back to the in-process
+//! [`LocalExecutor`] for that shard, marks the outcome as a fallback
+//! (surfaced through `ShardBuildStats::fallbacks` and
+//! [`RemoteExecutor::fallback_count`]) and drops the broken connection so
+//! the next build reconnects cleanly.  A build against a fully dead pool
+//! therefore degrades to exactly the local scatter-gather path.
+
+use crate::client::ClientError;
+use crate::proto::{ErrorCode, Request, Response, WireNfa};
+use spanner_slp_core::executor::{LocalExecutor, ShardExecutor, ShardJob, ShardOutcome};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One pooled worker connection, re-established lazily after failures.
+#[derive(Debug)]
+struct WorkerSlot {
+    addr: String,
+    /// The live connection, if any.  The mutex also serializes the
+    /// lock-step request/response exchange per worker; shards assigned to
+    /// *different* workers proceed in parallel.
+    conn: Mutex<Option<Conn>>,
+}
+
+#[derive(Debug)]
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A pool client that executes shard passes on remote worker processes,
+/// falling back to [`LocalExecutor`] whenever a worker cannot answer.
+/// See the module docs for the failure semantics.
+#[derive(Debug)]
+pub struct RemoteExecutor {
+    workers: Vec<WorkerSlot>,
+    /// Per-exchange read/write timeout: a worker that stalls longer than
+    /// this has its shard re-run locally.
+    timeout: Duration,
+    /// Frame cap, both ways: scatter frames larger than this are not
+    /// shipped at all (the workers' `ServerConfig::max_frame_len` would
+    /// reject them anyway — falling back locally up front avoids moving
+    /// megabytes just to be refused on every build), and worker replies
+    /// are read at most this far, so a misbehaving peer streaming
+    /// newline-free bytes cannot grow coordinator memory without bound.
+    max_frame: usize,
+    /// How many times a `busy` answer is retried before falling back.
+    busy_retries: usize,
+    /// Round-robin cursor over the pool, so jobs spread across every
+    /// worker regardless of shard counts (a `k = 2` document on a 4-worker
+    /// pool must not pin the same two workers forever) and concurrent
+    /// builds interleave over the whole pool.
+    next_worker: AtomicU64,
+    fallbacks: AtomicU64,
+    remote_passes: AtomicU64,
+    scatter_bytes: AtomicU64,
+    gather_bytes: AtomicU64,
+}
+
+impl RemoteExecutor {
+    /// Creates a pool client over worker addresses (e.g.
+    /// `["127.0.0.1:7001", "127.0.0.1:7002"]`) with a 10-second exchange
+    /// timeout.
+    ///
+    /// # Panics
+    /// If `addrs` is empty — an empty pool is a configuration error, not a
+    /// "silently always local" mode.
+    pub fn new<S: Into<String>>(addrs: impl IntoIterator<Item = S>) -> RemoteExecutor {
+        let workers: Vec<WorkerSlot> = addrs
+            .into_iter()
+            .map(|addr| WorkerSlot {
+                addr: addr.into(),
+                conn: Mutex::new(None),
+            })
+            .collect();
+        assert!(
+            !workers.is_empty(),
+            "a remote pool needs at least one worker"
+        );
+        RemoteExecutor {
+            workers,
+            timeout: Duration::from_secs(10),
+            busy_retries: 20,
+            max_frame: crate::server::ServerConfig::default().max_frame_len,
+            next_worker: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            remote_passes: AtomicU64::new(0),
+            scatter_bytes: AtomicU64::new(0),
+            gather_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the per-exchange timeout (connection, write and read).
+    pub fn with_timeout(mut self, timeout: Duration) -> RemoteExecutor {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the frame cap, which must match the workers'
+    /// `ServerConfig::max_frame_len` (the default matches the server
+    /// default).  Shard blocks that would exceed it run locally without
+    /// touching the wire.
+    pub fn with_max_frame(mut self, max_frame: usize) -> RemoteExecutor {
+        self.max_frame = max_frame.max(1);
+        self
+    }
+
+    /// Number of workers in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Shard passes completed remotely over this executor's lifetime.
+    pub fn remote_pass_count(&self) -> u64 {
+        self.remote_passes.load(Ordering::Relaxed)
+    }
+
+    /// Shard passes that fell back to local execution.
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Bytes shipped to workers (serialized shard blocks + automata) —
+    /// the scatter leg of the wire cost.
+    pub fn scatter_bytes(&self) -> u64 {
+        self.scatter_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes received from workers (summary rows) — the gather leg.
+    pub fn gather_bytes(&self) -> u64 {
+        self.gather_bytes.load(Ordering::Relaxed)
+    }
+
+    /// One lock-step `shard_build` exchange with the worker owning this
+    /// shard.  Any error leaves the slot disconnected so the next call
+    /// starts from a fresh connection.
+    fn try_remote(
+        &self,
+        job: &ShardJob<'_>,
+    ) -> Result<Vec<Vec<spanner_slp_core::matrices::REntry>>, ClientError> {
+        let request = Request::ShardBuild {
+            nfa: WireNfa::from_nfa(job.nfa),
+            rules: job.block.rules().to_vec(),
+            root: job.block.start().0 as u64,
+        };
+        let mut frame = request.encode();
+        frame.push(b'\n');
+        if frame.len() > self.max_frame {
+            // The workers would answer `oversized` on every attempt — do
+            // not ship megabytes just to be refused; run this shard
+            // locally up front.
+            return Err(ClientError::Protocol(format!(
+                "shard block frame of {} bytes exceeds the {}-byte worker frame cap",
+                frame.len(),
+                self.max_frame
+            )));
+        }
+
+        let pick = self.next_worker.fetch_add(1, Ordering::Relaxed) as usize;
+        let slot = &self.workers[pick % self.workers.len()];
+        let mut guard = slot.conn.lock().expect("worker slot poisoned");
+
+        let result = (|| -> Result<Vec<Vec<spanner_slp_core::matrices::REntry>>, ClientError> {
+            for attempt in 0.. {
+                let conn = match guard.as_mut() {
+                    Some(conn) => conn,
+                    None => {
+                        let stream = TcpStream::connect(slot.addr.as_str())?;
+                        stream.set_nodelay(true)?;
+                        stream.set_read_timeout(Some(self.timeout))?;
+                        stream.set_write_timeout(Some(self.timeout))?;
+                        *guard = Some(Conn {
+                            reader: BufReader::new(stream.try_clone()?),
+                            writer: stream,
+                        });
+                        guard.as_mut().expect("just connected")
+                    }
+                };
+                conn.writer.write_all(&frame)?;
+                conn.writer.flush()?;
+                self.scatter_bytes
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+
+                // Bounded read: a peer streaming newline-free bytes must
+                // exhaust the cap, not the coordinator's memory.
+                let mut line = Vec::new();
+                let n = (&mut conn.reader)
+                    .take(self.max_frame as u64 + 1)
+                    .read_until(b'\n', &mut line)?;
+                if n == 0 {
+                    return Err(ClientError::Protocol(
+                        "worker closed the connection mid-build".into(),
+                    ));
+                }
+                if line.last() != Some(&b'\n') {
+                    return Err(ClientError::Protocol(format!(
+                        "worker reply exceeds the {}-byte frame cap",
+                        self.max_frame
+                    )));
+                }
+                self.gather_bytes
+                    .fetch_add(line.len() as u64, Ordering::Relaxed);
+                if line.last() == Some(&b'\n') {
+                    line.pop();
+                }
+                match Response::decode(&line)? {
+                    Response::ShardBuilt { q, rows, .. } => {
+                        if q as usize != job.nfa.num_states()
+                            || rows.len() != job.block.num_non_terminals()
+                        {
+                            return Err(ClientError::Protocol(format!(
+                                "worker answered q={q}, {} rows for a q={}, {}-rule block",
+                                rows.len(),
+                                job.nfa.num_states(),
+                                job.block.num_non_terminals(),
+                            )));
+                        }
+                        return Ok(rows);
+                    }
+                    Response::Error {
+                        code: ErrorCode::Busy,
+                        ..
+                    } if attempt < self.busy_retries => {
+                        // Structured backpressure: the worker is at its
+                        // admission cap, not broken — back off briefly.
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Response::Error { code, detail } => {
+                        return Err(ClientError::Server { code, detail })
+                    }
+                    other => {
+                        return Err(ClientError::Protocol(format!(
+                            "expected shard rows, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            unreachable!("the retry loop returns")
+        })();
+        if result.is_err() {
+            // Whatever broke, do not reuse the stream: the lock-step
+            // protocol state is unknown.  The next build reconnects.
+            *guard = None;
+        }
+        result
+    }
+}
+
+impl ShardExecutor for RemoteExecutor {
+    fn execute(&self, job: &ShardJob<'_>) -> ShardOutcome {
+        let start = Instant::now();
+        match self.try_remote(job) {
+            Ok(rows) => {
+                self.remote_passes.fetch_add(1, Ordering::Relaxed);
+                ShardOutcome {
+                    rows,
+                    // Leaf tables are rebuilt by the coordinator from the
+                    // automaton; they never cross the wire.
+                    leaf_tables: None,
+                    elapsed: start.elapsed(),
+                    fallback: false,
+                }
+            }
+            Err(_) => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                let mut outcome = LocalExecutor.execute(job);
+                outcome.fallback = true;
+                // Charge the failed remote attempt (connect, stall, up to
+                // the full timeout) to this shard too: the build really
+                // did wait that long, and the measured critical-path
+                // ratios fed to re-shard advice must see it.
+                outcome.elapsed = start.elapsed();
+                outcome
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_pools_are_rejected() {
+        RemoteExecutor::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn counters_start_at_zero() {
+        let executor = RemoteExecutor::new(["127.0.0.1:1"]);
+        assert_eq!(executor.worker_count(), 1);
+        assert_eq!(executor.remote_pass_count(), 0);
+        assert_eq!(executor.fallback_count(), 0);
+        assert_eq!(executor.scatter_bytes() + executor.gather_bytes(), 0);
+        assert_eq!(executor.name(), "remote");
+    }
+}

@@ -78,6 +78,13 @@ pub struct ServerConfig {
     /// send buffer; without this bound its worker would block in `write`
     /// forever and wedge the shutdown drain behind it.
     pub write_timeout: Duration,
+    /// Worker role (the `spanner-server --worker` mode): the process
+    /// serves `shard_build`, `ping`, `stats` and `shutdown` only;
+    /// registrations and tasks draw [`ErrorCode::Unsupported`].  A worker
+    /// holds no corpus — it is a stateless shard-pass engine behind a
+    /// `RemoteExecutor` pool, sharing the frame/admission machinery with
+    /// full servers.
+    pub worker: bool,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +95,7 @@ impl Default for ServerConfig {
             page_size: 64,
             poll_interval: Duration::from_millis(25),
             write_timeout: Duration::from_secs(10),
+            worker: false,
         }
     }
 }
@@ -109,9 +117,10 @@ struct Shared {
     config: ServerConfig,
     /// Wire id → service id, in registration order.  The indirection keeps
     /// the service's id types opaque and lets the server validate ids
-    /// instead of panicking on unknown ones.
+    /// instead of panicking on unknown ones.  A `None` document slot is a
+    /// removed document: the wire id is burned, never reissued.
     queries: RwLock<Vec<QueryId>>,
-    documents: RwLock<Vec<DocumentId>>,
+    documents: RwLock<Vec<Option<DocumentId>>>,
     shutdown: AtomicBool,
     inflight: AtomicUsize,
     metrics: Metrics,
@@ -482,7 +491,8 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> io
             write_frame(writer, &Response::ShuttingDown)?;
             Ok(true)
         }
-        // Everything else is work: refuse during a drain, then win a slot.
+        // Everything else is work: refuse during a drain, check the role,
+        // then win a slot.
         work => {
             if shared.shutdown.load(Ordering::SeqCst) {
                 write_frame(
@@ -490,6 +500,21 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> io
                     &Response::Error {
                         code: ErrorCode::ShuttingDown,
                         detail: "the server is draining".into(),
+                    },
+                )?;
+                return Ok(false);
+            }
+            // Worker processes are stateless shard-pass engines: they hold
+            // no corpus, so registrations and tasks are refused with a
+            // structured error (the connection stays usable).
+            if shared.config.worker && !matches!(work, Request::ShardBuild { .. }) {
+                write_frame(
+                    writer,
+                    &Response::Error {
+                        code: ErrorCode::Unsupported,
+                        detail: "this is a --worker process; it serves shard_build, ping, \
+                                 stats and shutdown only"
+                            .into(),
                     },
                 )?;
                 return Ok(false);
@@ -513,6 +538,8 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> io
                 Request::AddDocSharded { k, text } => {
                     add_doc(shared, &text, (k > 0).then_some(k as usize))
                 }
+                Request::RemoveDoc { doc } => remove_doc(shared, doc),
+                Request::ShardBuild { nfa, rules, root } => shard_build(&nfa, rules, root),
                 Request::Task { query, doc, task } => {
                     return run_task(shared, writer, query, doc, task).map(|()| false)
                 }
@@ -560,11 +587,93 @@ fn add_doc(shared: &Shared, text: &[u8], k: Option<usize>) -> Response {
     };
     let shards = shared.service.document(id).shard_count() as u64;
     let mut documents = shared.documents.write().expect("document map poisoned");
-    documents.push(id);
+    documents.push(Some(id));
     Response::DocAdded {
         id: (documents.len() - 1) as u64,
         shards,
         len: text.len() as u64,
+    }
+}
+
+/// Unregisters a document: burns its wire id and invalidates its cached
+/// matrices through the service (`MatrixCache::clear_doc`).
+fn remove_doc(shared: &Shared, doc: u64) -> Response {
+    let service_id = {
+        let mut documents = shared.documents.write().expect("document map poisoned");
+        match documents.get_mut(doc as usize) {
+            Some(slot) => slot.take(),
+            None => None,
+        }
+    };
+    match service_id {
+        Some(id) => {
+            shared.service.remove_document(id);
+            Response::DocRemoved { id: doc }
+        }
+        None => Response::Error {
+            code: ErrorCode::UnknownId,
+            detail: format!("unknown or already removed document {doc}"),
+        },
+    }
+}
+
+/// Runs one shard's matrix pass (the worker verb): reconstructs the query
+/// automaton and the standalone block, runs the in-process executor, and
+/// answers with the block's summary rows — never the full matrices.
+fn shard_build(
+    nfa: &crate::proto::WireNfa,
+    rules: Vec<slp::NfRule<spanner_slp_core::prepared::EByte>>,
+    root: u64,
+) -> Response {
+    use spanner_slp_core::executor::{LocalExecutor, ShardExecutor, ShardJob};
+    let nfa = match nfa.to_nfa() {
+        Ok(nfa) => nfa,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::Eval,
+                detail: format!("bad automaton: {e}"),
+            }
+        }
+    };
+    let root = match u32::try_from(root)
+        .ok()
+        .filter(|&r| (r as usize) < rules.len())
+    {
+        Some(root) => slp::NonTerminal(root),
+        None => {
+            return Response::Error {
+                code: ErrorCode::Eval,
+                detail: format!("root {root} outside the {}-rule block", rules.len()),
+            }
+        }
+    };
+    let block = match slp::NormalFormSlp::new(rules, root) {
+        Ok(block) => block,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::Eval,
+                detail: format!("bad shard block: {e}"),
+            }
+        }
+    };
+    let outcome = LocalExecutor.execute(&ShardJob {
+        nfa: &nfa,
+        block: &block,
+        shard_index: 0,
+    });
+    Response::ShardBuilt {
+        q: nfa.num_states() as u64,
+        rows: outcome.rows,
+        elapsed_us: outcome.elapsed.as_micros() as u64,
+    }
+}
+
+/// The wire code for an evaluation-layer error: a document removed while
+/// the request was in flight is an id problem, not an evaluation failure.
+fn eval_error_code(e: &spanner_slp_core::EvalError) -> ErrorCode {
+    match e {
+        spanner_slp_core::EvalError::DocumentRemoved => ErrorCode::UnknownId,
+        _ => ErrorCode::Eval,
     }
 }
 
@@ -586,7 +695,8 @@ fn run_task(
         .read()
         .expect("document map poisoned")
         .get(doc as usize)
-        .copied();
+        .copied()
+        .flatten();
     let (Some(query_id), Some(doc_id)) = (query_id, doc_id) else {
         return write_frame(
             writer,
@@ -641,7 +751,7 @@ fn run_task(
             Err(e) => write_frame(
                 writer,
                 &Response::Error {
-                    code: ErrorCode::Eval,
+                    code: eval_error_code(&e),
                     detail: e.to_string(),
                 },
             ),
@@ -667,7 +777,7 @@ fn run_task(
             }
         }
         Err(e) => Response::Error {
-            code: ErrorCode::Eval,
+            code: eval_error_code(&e),
             detail: e.to_string(),
         },
     };

@@ -64,6 +64,55 @@ pub struct ShardLayout {
     pub roots: Vec<u32>,
 }
 
+impl ShardLayout {
+    /// Number of shards in this layout.
+    pub fn k(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Extracts shard `i` of a composed grammar's rule table as a
+    /// *standalone* rule block: the block's rules rebased to local indices
+    /// `0..len` plus the local index of the shard root.  Because every
+    /// block is self-contained (rules reference only their own range), the
+    /// result is a valid grammar on its own — this is what crosses a
+    /// process boundary in distributed shard execution: the sub-grammar,
+    /// never the document text it derives.
+    ///
+    /// # Panics
+    /// If `i` is out of range or `rules` is shorter than the layout
+    /// expects (the layout must come from the grammar the rules belong to).
+    pub fn standalone_block<T: Terminal>(
+        &self,
+        rules: &[NfRule<T>],
+        i: usize,
+    ) -> (Vec<NfRule<T>>, NonTerminal) {
+        let range = &self.ranges[i];
+        let base = range.start as u32;
+        let block: Vec<NfRule<T>> = rules[range.clone()]
+            .iter()
+            .map(|rule| match rule {
+                NfRule::Leaf(t) => NfRule::Leaf(*t),
+                NfRule::Pair(b, c) => {
+                    NfRule::Pair(NonTerminal(b.0 - base), NonTerminal(c.0 - base))
+                }
+            })
+            .collect();
+        (block, NonTerminal(self.roots[i] - base))
+    }
+
+    /// [`ShardLayout::standalone_block`] assembled into a validated
+    /// [`NormalFormSlp`], one per shard.
+    pub fn standalone_blocks<T: Terminal>(&self, rules: &[NfRule<T>]) -> Vec<NormalFormSlp<T>> {
+        (0..self.k())
+            .map(|i| {
+                let (block, root) = self.standalone_block(rules, i);
+                NormalFormSlp::new(block, root)
+                    .expect("shard blocks are self-contained sub-grammars")
+            })
+            .collect()
+    }
+}
+
 impl<T: Terminal> ShardedDocument<T> {
     /// Number of shards `k`.
     pub fn k(&self) -> usize {
@@ -408,6 +457,33 @@ mod tests {
                 shard.derive(),
                 "shard at offset {offset}"
             );
+        }
+    }
+
+    #[test]
+    fn standalone_blocks_are_valid_grammars_deriving_the_shard_texts() {
+        for doc in documents() {
+            for k in [2usize, 4, 8] {
+                let sharded = split(&doc, k);
+                let (combined, layout) = sharded.compose();
+                assert_eq!(layout.k(), sharded.k());
+                let blocks = layout.standalone_blocks(combined.rules());
+                assert_eq!(blocks.len(), sharded.k());
+                for (block, shard) in blocks.iter().zip(sharded.shards()) {
+                    // The rebased block is exactly the shard sub-grammar:
+                    // same text, same size, same depth.
+                    assert_eq!(block.derive(), shard.derive());
+                    assert_eq!(block.size(), shard.size());
+                    assert_eq!(block.depth(), shard.depth());
+                }
+                // And the appended sentinel (evaluation adds one after the
+                // blocks) does not disturb the block ranges.
+                let ended = combined.append_terminal(*b"#".first().unwrap());
+                let ended_blocks = layout.standalone_blocks(ended.rules());
+                for (a, b) in blocks.iter().zip(&ended_blocks) {
+                    assert_eq!(a.rules(), b.rules());
+                }
+            }
         }
     }
 

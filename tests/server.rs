@@ -425,6 +425,75 @@ fn graceful_shutdown_drains_and_refuses_new_work() {
 }
 
 #[test]
+fn remove_doc_burns_the_id_and_clears_the_cache() {
+    let server = boot(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let q = client.add_query(PATTERNS[0], b"ab").unwrap();
+    let d1 = client.add_doc(TEXTS[0]).unwrap().id;
+    let d2 = client.add_doc(TEXTS[1]).unwrap().id;
+    client.count(q, d1).unwrap();
+    client.count(q, d2).unwrap();
+    let (service_stats, _) = client.stats().unwrap();
+    assert_eq!(service_stats.resident_entries, 2);
+
+    client.remove_doc(d1).unwrap();
+
+    // The cached matrices of d1 are gone; d2's stay resident and warm.
+    let (service_stats, _) = client.stats().unwrap();
+    assert_eq!(service_stats.resident_entries, 1);
+    let (_, stats) = client.count(q, d2).unwrap();
+    assert!(stats.cache_hit, "the surviving document stays warm");
+
+    // The id is burned: tasks and a second removal both draw unknown_id.
+    for err in [
+        client.count(q, d1).unwrap_err(),
+        client.remove_doc(d1).unwrap_err(),
+    ] {
+        match err {
+            ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::UnknownId),
+            other => panic!("expected unknown_id, got {other:?}"),
+        }
+    }
+
+    // New registrations get fresh ids, never the burned one.
+    let d3 = client.add_doc(TEXTS[2]).unwrap().id;
+    assert_eq!(d3, 2);
+    client.count(q, d3).unwrap();
+    server.shutdown_and_join();
+}
+
+#[test]
+fn worker_mode_refuses_corpus_verbs_but_stays_observable() {
+    let server = boot(ServerConfig {
+        worker: true,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Observability is untouched.
+    assert_eq!(client.ping().unwrap(), 1);
+    client.stats().unwrap();
+    // Registrations and tasks draw the structured `unsupported` error and
+    // the connection survives each refusal.
+    let refusals = [
+        client.add_query(PATTERNS[0], b"ab").unwrap_err(),
+        client.add_doc(TEXTS[0]).unwrap_err(),
+        client.count(0, 0).unwrap_err(),
+        client.remove_doc(0).unwrap_err(),
+    ];
+    for err in refusals {
+        match err {
+            ClientError::Server { code, detail } => {
+                assert_eq!(code, ErrorCode::Unsupported);
+                assert!(detail.contains("worker"), "{detail}");
+            }
+            other => panic!("expected unsupported, got {other:?}"),
+        }
+    }
+    assert_eq!(client.ping().unwrap(), 1);
+    server.shutdown_and_join();
+}
+
+#[test]
 fn wire_ids_are_validated_not_panicked_on() {
     let server = boot(ServerConfig::default());
     let mut client = Client::connect(server.local_addr()).unwrap();
