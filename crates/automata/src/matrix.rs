@@ -39,6 +39,34 @@ impl BoolMatrix {
         self.n
     }
 
+    /// Number of `u64` words per (padded) row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed words of row `i`.  Bits beyond column `n − 1` (the row
+    /// padding up to the word boundary) are always zero.
+    #[inline]
+    pub fn row_words(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Mutable access to the packed words of row `i`.  Callers must keep
+    /// the padding bits (columns `≥ n`) zero — `PartialEq`, `Hash` and the
+    /// word-parallel products all rely on rows being canonical.
+    #[inline]
+    pub fn row_words_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Heap footprint of the packed bits in bytes (including the row
+    /// padding words — what an admission-weighted cache must charge for).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// Reads entry `(i, j)`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> bool {

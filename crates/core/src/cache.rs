@@ -442,6 +442,36 @@ mod tests {
     }
 
     #[test]
+    fn budget_accounting_matches_the_packed_plane_sizes() {
+        // `approx_bytes` now charges the bit-packed `R_A` bitplanes
+        // (two `⌈q/64⌉`-word rows per matrix row, padding included), so a
+        // budget tuned against it admits exactly as many entries as fit.
+        let (pre, _) = build_one(16);
+        let probe = pre.approx_bytes();
+        let q = pre.q;
+        let plane_bytes = q * q.div_ceil(64) * std::mem::size_of::<u64>();
+        let packed_floor = pre.r.len() * 2 * plane_bytes;
+        assert!(
+            probe >= packed_floor,
+            "approx_bytes {probe} must cover {packed_floor} bytes of bitplanes"
+        );
+        // And the charge really is the heap the planes hold, not a stale
+        // per-entry estimate: every matrix reports its own plane bytes.
+        let plane_sum: usize = pre.r.iter().map(|m| m.heap_bytes()).sum();
+        assert!(probe >= plane_sum);
+        // Eviction respects the packed sizes: a budget for two packed
+        // entries holds two, and the third displaces the LRU entry.
+        let cache = MatrixCache::new(Some(probe * 2));
+        cache.get_or_build(key(0, 0), || build_one(16));
+        cache.get_or_build(key(0, 1), || build_one(16));
+        assert_eq!(cache.len(), 2);
+        cache.get_or_build(key(0, 2), || build_one(16));
+        assert_eq!(cache.len(), 2, "third packed entry displaces one");
+        assert!(cache.resident_bytes() <= probe * 2);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
     fn oversized_entry_is_not_retained() {
         let cache = MatrixCache::new(Some(8));
         let (pre, lookup) = cache.get_or_build(key(0, 0), || build_one(64));

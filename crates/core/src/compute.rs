@@ -8,6 +8,11 @@
 //! `M_A[i,j] = ⋃_{k ∈ I_A[i,j]} M_B[i,k] ⊗_{|D(B)|} M_C[k,j]`
 //! (Lemma 6.8).  Sets are kept as `⪯`-sorted duplicate-free lists, so unions
 //! are merges and the `⊗` products stay sorted (appendix D).
+//!
+//! With the `parallel` feature (default on) the phase-2 materialisation
+//! runs level-parallel over the grammar's depth strata — the same wave
+//! schedule as the Lemma 6.5 matrix pass — producing values identical to
+//! the serial bottom-up order.
 
 use crate::error::EvalError;
 use crate::matrices::{Preprocessed, REntry};
@@ -67,34 +72,45 @@ pub fn compute_from_matrices(pre: &Preprocessed) -> Vec<SpanTuple> {
         }
     }
 
-    // Phase 2 (bottom-up): materialise the needed sets as sorted lists.
-    let mut values: HashMap<(u32, usize, usize), Vec<PartialMarkerSet>> = HashMap::new();
+    // Phase 2 (bottom-up): materialise the needed sets as sorted lists,
+    // wave-scheduled over the grammar's depth strata exactly like the
+    // Lemma 6.5 matrix pass: `M_A[i,j]` of a depth-d rule reads only
+    // entries of strictly shallower rules, so all entries of one stratum
+    // are independent pure functions of the strata below.  With the
+    // `parallel` feature a large enough stratum is mapped across cores;
+    // every entry is still computed by [`materialise_entry`] from the same
+    // inputs, so the values are identical to the serial order.
+    let max_depth = pre
+        .bottom_up
+        .iter()
+        .map(|&a| pre.depths[a as usize])
+        .max()
+        .unwrap_or(0) as usize;
+    let mut strata: Vec<Vec<(u32, usize, usize)>> = vec![Vec::new(); max_depth + 1];
     for &a in &pre.bottom_up {
         if needed[a as usize].is_empty() {
             continue;
         }
-        match pre.children[a as usize] {
-            None => {
-                for &(i, j) in &needed[a as usize] {
-                    values.insert((a, i, j), pre.leaf_set(a, i, j).to_vec());
-                }
-            }
-            Some((b, c)) => {
-                let shift = pre.lengths[b as usize];
-                for &(i, j) in &needed[a as usize] {
-                    if pre.r_entry(a, i, j) == REntry::Bot {
-                        values.insert((a, i, j), Vec::new());
-                        continue;
-                    }
-                    let mut parts: Vec<Vec<PartialMarkerSet>> = Vec::new();
-                    for k in pre.i_set(a, i, j) {
-                        let left = &values[&(b, i, k)];
-                        let right = &values[&(c, k, j)];
-                        parts.push(product(left, shift, right));
-                    }
-                    values.insert((a, i, j), merge_sorted(parts));
-                }
-            }
+        let mut entries: Vec<(usize, usize)> = needed[a as usize].iter().copied().collect();
+        entries.sort_unstable();
+        strata[pre.depths[a as usize] as usize].extend(entries.into_iter().map(|(i, j)| (a, i, j)));
+    }
+    let mut values: HashMap<(u32, usize, usize), Vec<PartialMarkerSet>> = HashMap::new();
+    for items in strata.iter().filter(|s| !s.is_empty()) {
+        let materialise =
+            |&(a, i, j): &(u32, usize, usize)| materialise_entry(pre, &values, a, i, j);
+        #[cfg(feature = "parallel")]
+        let computed: Vec<Vec<PartialMarkerSet>> = if items.len() >= PHASE2_PAR_THRESHOLD {
+            rayon::par_map(items, materialise)
+        } else {
+            // Small strata stay serial: spawning threads for a handful of
+            // entries costs more than the entries themselves.
+            items.iter().map(materialise).collect()
+        };
+        #[cfg(not(feature = "parallel"))]
+        let computed: Vec<Vec<PartialMarkerSet>> = items.iter().map(materialise).collect();
+        for (&key, value) in items.iter().zip(computed) {
+            values.insert(key, value);
         }
     }
 
@@ -110,6 +126,41 @@ pub fn compute_from_matrices(pre: &Preprocessed) -> Vec<SpanTuple> {
                 .expect("accepted subword-marked words encode valid span-tuples")
         })
         .collect()
+}
+
+/// Minimum stratum size before phase 2 fans an entry wave across cores:
+/// below this the thread handoff dominates the merge work itself.
+#[cfg(feature = "parallel")]
+const PHASE2_PAR_THRESHOLD: usize = 16;
+
+/// One `M_A[i,j]` materialisation (Lemma 6.8): leaves copy their
+/// precomputed table cell, `⊥` entries are empty, and inner entries merge
+/// the `⊗`-products over `I_A[i,j]` — reading only values of strictly
+/// shallower rules, which is what makes the per-stratum waves of
+/// [`compute_from_matrices`] safe.
+fn materialise_entry(
+    pre: &Preprocessed,
+    values: &HashMap<(u32, usize, usize), Vec<PartialMarkerSet>>,
+    a: u32,
+    i: usize,
+    j: usize,
+) -> Vec<PartialMarkerSet> {
+    match pre.children[a as usize] {
+        None => pre.leaf_set(a, i, j).to_vec(),
+        Some((b, c)) => {
+            if pre.r_entry(a, i, j) == REntry::Bot {
+                return Vec::new();
+            }
+            let shift = pre.lengths[b as usize];
+            let mut parts: Vec<Vec<PartialMarkerSet>> = Vec::new();
+            for k in pre.i_set(a, i, j) {
+                let left = &values[&(b, i, k)];
+                let right = &values[&(c, k, j)];
+                parts.push(product(left, shift, right));
+            }
+            merge_sorted(parts)
+        }
+    }
 }
 
 /// `K^k_A[i,j] = M_B[i,k] ⊗_s M_C[k,j]` (Definition 6.7).  Both inputs are

@@ -33,7 +33,7 @@
 //! gather phase validates the length and panics on a short answer rather
 //! than assembling corrupt matrices.
 
-use crate::matrices::{block_pass, REntry};
+use crate::matrices::{block_pass, RMatrix};
 use crate::prepared::EByte;
 use slp::NormalFormSlp;
 use spanner::{MarkedSymbol, PartialMarkerSet};
@@ -62,10 +62,11 @@ pub struct ShardJob<'a> {
 /// What one shard pass produced.
 #[derive(Debug, Clone)]
 pub struct ShardOutcome {
-    /// The block's three-valued summary rows, one `q×q` row per block rule
-    /// in local index order.  `rows[block.start()]` is the shard's root
-    /// summary — the only row the gather phase's spine merge reads.
-    pub rows: Vec<Vec<REntry>>,
+    /// The block's three-valued summaries, one bit-packed `q×q`
+    /// [`RMatrix`] per block rule in local index order.
+    /// `rows[block.start()]` is the shard's root summary — the only row
+    /// the gather phase's spine merge reads.
+    pub rows: Vec<RMatrix>,
     /// The block's full leaf tables `M_{T_x}` (local index order), if the
     /// executor computed them in-process.  `None` means "recompute from
     /// the automaton at the gather" — leaf tables depend only on the query

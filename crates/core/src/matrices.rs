@@ -19,6 +19,7 @@
 //! across all cores.  [`Preprocessed::build_serial`] is always available
 //! and produces bit-identical results.
 
+pub use crate::bitmat::RMatrix;
 use crate::executor::{LocalExecutor, ShardExecutor, ShardJob};
 use crate::prepared::EByte;
 use slp::{NfRule, NonTerminal, NormalFormSlp, ShardLayout, Terminal};
@@ -110,8 +111,9 @@ pub struct Preprocessed {
     pub bottom_up: Vec<u32>,
     /// `depth(A)` per non-terminal.
     pub depths: Vec<u32>,
-    /// `r[a][i·q + j] = R_A[i, j]`.
-    pub r: Vec<Vec<REntry>>,
+    /// `r[a].get(i, j) = R_A[i, j]`, each matrix bit-packed into two
+    /// bitplanes (see [`RMatrix`]).
+    pub r: Vec<RMatrix>,
     /// For leaf non-terminals: `leaf_tables[a][i·q + j] = M_{T_x}[i, j]` as a
     /// `⪯`-sorted, duplicate-free list.
     pub leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>>,
@@ -142,7 +144,7 @@ fn leaf_table<T: Terminal>(
     incoming_markers: &[Vec<(usize, MarkerSet)>],
     q: usize,
     x: T,
-) -> (Vec<Vec<PartialMarkerSet>>, Vec<REntry>) {
+) -> (Vec<Vec<PartialMarkerSet>>, RMatrix) {
     let mut table: Vec<Vec<PartialMarkerSet>> = vec![Vec::new(); q * q];
     for (p, label, t) in nfa.arcs() {
         if label == Label::Symbol(MarkedSymbol::Terminal(x)) {
@@ -154,17 +156,18 @@ fn leaf_table<T: Terminal>(
             }
         }
     }
-    let mut summary = vec![REntry::Bot; q * q];
-    for (cell, entry) in table.iter_mut().zip(summary.iter_mut()) {
+    let mut summary = RMatrix::bot(q);
+    for (idx, cell) in table.iter_mut().enumerate() {
         cell.sort();
         cell.dedup();
-        *entry = if cell.is_empty() {
+        let entry = if cell.is_empty() {
             REntry::Bot
         } else if cell.len() == 1 && cell[0].is_empty() {
             REntry::Empty
         } else {
             REntry::NonEmpty
         };
+        summary.set(idx / q, idx % q, entry);
     }
     (table, summary)
 }
@@ -177,7 +180,7 @@ fn leaf_table<T: Terminal>(
 pub(crate) fn block_pass<T: Terminal>(
     nfa: &Nfa<MarkedSymbol<T>>,
     block: &NormalFormSlp<T>,
-) -> (Vec<Vec<REntry>>, Vec<Option<Vec<Vec<PartialMarkerSet>>>>) {
+) -> (Vec<RMatrix>, Vec<Option<Vec<Vec<PartialMarkerSet>>>>) {
     let q = nfa.num_states();
     let incoming_markers = incoming_marker_arcs(nfa, q);
     shard_pass(
@@ -206,8 +209,8 @@ fn shard_pass<T: Terminal>(
     members: &[NonTerminal],
     base: usize,
     len: usize,
-) -> (Vec<Vec<REntry>>, Vec<Option<Vec<Vec<PartialMarkerSet>>>>) {
-    let mut r: Vec<Vec<REntry>> = vec![Vec::new(); len];
+) -> (Vec<RMatrix>, Vec<Option<Vec<Vec<PartialMarkerSet>>>>) {
+    let mut r: Vec<RMatrix> = vec![RMatrix::bot(0); len];
     let mut leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>> = vec![None; len];
 
     // Leaf tables: independent per leaf non-terminal.
@@ -241,7 +244,7 @@ fn shard_pass<T: Terminal>(
     for stratum in strata.iter().filter(|s| !s.is_empty()) {
         let summarise = |&a: &NonTerminal| {
             let (b, c) = slp.children(a).expect("stratum members are inner rules");
-            inner_summary(&r[b.index() - base], &r[c.index() - base], q)
+            RMatrix::product(&r[b.index() - base], &r[c.index() - base])
         };
         #[cfg(feature = "parallel")]
         let computed = rayon::par_map(stratum, summarise);
@@ -253,32 +256,6 @@ fn shard_pass<T: Terminal>(
     }
 
     (r, leaf_tables)
-}
-
-/// The `R_A` summary of an inner rule `A → BC` from its children's
-/// summaries: Boolean-like matrix product over the three-valued domain
-/// (Lemma 6.5 proof), `O(q³)`.
-fn inner_summary(rb: &[REntry], rc: &[REntry], q: usize) -> Vec<REntry> {
-    let mut summary = vec![REntry::Bot; q * q];
-    for i in 0..q {
-        for j in 0..q {
-            let mut entry = REntry::Bot;
-            for k in 0..q {
-                let eb = rb[i * q + k];
-                let ec = rc[k * q + j];
-                if eb == REntry::Bot || ec == REntry::Bot {
-                    continue;
-                }
-                if eb == REntry::NonEmpty || ec == REntry::NonEmpty {
-                    entry = REntry::NonEmpty;
-                    break;
-                }
-                entry = REntry::Empty;
-            }
-            summary[i * q + j] = entry;
-        }
-    }
-    summary
 }
 
 impl Preprocessed {
@@ -315,7 +292,7 @@ impl Preprocessed {
 
         // Leaf tables M_{T_x} and their R summaries.
         let mut leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>> = vec![None; n];
-        let mut r: Vec<Vec<REntry>> = vec![Vec::new(); n];
+        let mut r: Vec<RMatrix> = vec![RMatrix::bot(0); n];
         for &a in slp.bottom_up_order() {
             if let NfRule::Leaf(x) = slp.rule(a) {
                 let (table, summary) = leaf_table(nfa, &incoming_markers, q, x);
@@ -327,7 +304,7 @@ impl Preprocessed {
         // R for inner non-terminals, bottom-up (Lemma 6.5 proof).
         for &a in slp.bottom_up_order() {
             if let NfRule::Pair(b, c) = slp.rule(a) {
-                r[a.index()] = inner_summary(&r[b.index()], &r[c.index()], q);
+                r[a.index()] = RMatrix::product(&r[b.index()], &r[c.index()]);
             }
         }
 
@@ -360,7 +337,7 @@ impl Preprocessed {
             .collect();
         let built = rayon::par_map(&leaves, |&(_, x)| leaf_table(nfa, &incoming_markers, q, x));
         let mut leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>> = vec![None; n];
-        let mut r: Vec<Vec<REntry>> = vec![Vec::new(); n];
+        let mut r: Vec<RMatrix> = vec![RMatrix::bot(0); n];
         for ((a, _), (table, summary)) in leaves.into_iter().zip(built) {
             leaf_tables[a.index()] = Some(table);
             r[a.index()] = summary;
@@ -388,7 +365,7 @@ impl Preprocessed {
         for stratum in strata.iter().filter(|s| !s.is_empty()) {
             let computed = rayon::par_map(stratum, |&a| {
                 let (b, c) = slp.children(a).expect("stratum members are inner rules");
-                inner_summary(&r[b.index()], &r[c.index()], q)
+                RMatrix::product(&r[b.index()], &r[c.index()])
             });
             for (&a, summary) in stratum.iter().zip(computed) {
                 r[a.index()] = summary;
@@ -479,7 +456,7 @@ impl Preprocessed {
         // rebuilt from the automaton where the executor did not supply
         // them) into the global tables.
         let mut leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>> = vec![None; n];
-        let mut r: Vec<Vec<REntry>> = vec![Vec::new(); n];
+        let mut r: Vec<RMatrix> = vec![RMatrix::bot(0); n];
         let mut shard_build = Vec::with_capacity(outcomes.len());
         let mut fallbacks = 0usize;
         for ((range, block), outcome) in layout.ranges.iter().zip(&blocks).zip(outcomes) {
@@ -525,7 +502,7 @@ impl Preprocessed {
                     r[a.index()] = summary;
                 }
                 NfRule::Pair(b, c) => {
-                    r[a.index()] = inner_summary(&r[b.index()], &r[c.index()], q);
+                    r[a.index()] = RMatrix::product(&r[b.index()], &r[c.index()]);
                 }
             }
         }
@@ -558,7 +535,7 @@ impl Preprocessed {
         nfa: &Nfa<MarkedSymbol<T>>,
         slp: &NormalFormSlp<T>,
         num_vars: usize,
-        r: Vec<Vec<REntry>>,
+        r: Vec<RMatrix>,
         leaf_tables: Vec<Option<Vec<Vec<PartialMarkerSet>>>>,
     ) -> Self {
         let q = nfa.num_states();
@@ -595,7 +572,7 @@ impl Preprocessed {
     /// `R_A[i, j]`.
     #[inline]
     pub fn r_entry(&self, a: u32, i: usize, j: usize) -> REntry {
-        self.r[a as usize][i * self.q + j]
+        self.r[a as usize].get(i, j)
     }
 
     /// `M_{T_x}[i, j]` for a leaf non-terminal, as a sorted list.
@@ -617,10 +594,9 @@ impl Preprocessed {
     /// non-terminal `A → BC` (Definition 6.4), computed on the fly in `O(q)`.
     pub fn i_set(&self, a: u32, i: usize, j: usize) -> Vec<usize> {
         let (b, c) = self.children[a as usize].expect("i_set needs an inner non-terminal");
+        let (rb, rc) = (&self.r[b as usize], &self.r[c as usize]);
         (0..self.q)
-            .filter(|&k| {
-                self.r_entry(b, i, k) != REntry::Bot && self.r_entry(c, k, j) != REntry::Bot
-            })
+            .filter(|&k| rb.is_nonbot(i, k) && rc.is_nonbot(k, j))
             .collect()
     }
 
@@ -636,9 +612,10 @@ impl Preprocessed {
     }
 
     /// Approximate resident size of the preprocessed matrices in bytes:
-    /// the struct itself plus every owned buffer (the dense `R_A` rows, the
-    /// leaf tables down to each partial marker set's entry list, and the
-    /// grammar metadata vectors).
+    /// the struct itself plus every owned buffer (the bit-packed `R_A`
+    /// bitplanes including their row padding words, the leaf tables down
+    /// to each partial marker set's entry list, and the grammar metadata
+    /// vectors).
     ///
     /// This is the admission weight used by the engine's byte-budgeted
     /// matrix caches.  It is an estimate of the heap footprint (allocator
@@ -653,9 +630,10 @@ impl Preprocessed {
         total += self.lengths.capacity() * size_of::<u64>();
         total += self.bottom_up.capacity() * size_of::<u32>();
         total += self.depths.capacity() * size_of::<u32>();
-        total += self.r.capacity() * size_of::<Vec<REntry>>();
-        for row in &self.r {
-            total += row.capacity() * size_of::<REntry>();
+        total += self.r.capacity() * size_of::<RMatrix>();
+        for matrix in &self.r {
+            // Both bitplanes, padding words included.
+            total += matrix.heap_bytes();
         }
         total += self.leaf_tables.capacity() * size_of::<Option<Vec<Vec<PartialMarkerSet>>>>();
         for table in self.leaf_tables.iter().flatten() {
@@ -779,9 +757,11 @@ mod tests {
         let small_pre = Preprocessed::build(q.nfa(), small.ended(), q.num_vars());
         let large_pre = Preprocessed::build(q.nfa(), large.ended(), q.num_vars());
         let (sb, lb) = (small_pre.approx_bytes(), large_pre.approx_bytes());
-        // Any honest accounting covers at least the dense R matrices.
-        let q2 = small_pre.q * small_pre.q;
-        assert!(sb >= small_pre.r.len() * q2 * std::mem::size_of::<REntry>());
+        // Any honest accounting covers at least the packed R bitplanes:
+        // two planes of q rows of ceil(q/64) words each, per rule.
+        let q = small_pre.q;
+        let plane_bytes = q * q.div_ceil(64) * std::mem::size_of::<u64>();
+        assert!(sb >= small_pre.r.len() * 2 * plane_bytes);
         // (ab)^2^12 has ~8 more grammar rules than (ab)^2^4; the matrices
         // grow with size(S) accordingly.
         assert!(lb > sb, "{lb} vs {sb}");

@@ -2,11 +2,19 @@
 //! newline-delimited [`Json`] lines.
 //!
 //! Every frame is one line: a canonical [`Json`] object followed by `\n`.
-//! Requests carry the protocol version (`"v":1`); a server speaking a
+//! Requests carry the protocol version (`"v":2`); a server speaking a
 //! different version answers with the structured error code
 //! [`ErrorCode::Version`] instead of guessing.  Responses are
 //! self-describing: `"ok":true` plus a payload-specific key, `"ok":false`
 //! plus an [`ErrorCode`], or a `"page"` frame inside an enumeration stream.
+//!
+//! Version 2 packs the `shard_build` payloads: scatter ships the rule
+//! block as a base64 varint stream and gather ships the three-valued
+//! summaries as base64 bitplanes (2 bits per entry) instead of the v1
+//! one-byte-per-entry `B`/`E`/`N` string.  Decoding still accepts v1
+//! frames — the version check admits [`LEGACY_PROTOCOL_VERSION`], and the
+//! `rules`/`rows` keys fall back to the v1 shapes — so a v2 coordinator
+//! interoperates with v1 workers during a rolling upgrade.
 //!
 //! The encode/decode pair is *canonical*: `decode(encode(x)) == x` for
 //! every [`Request`] and [`Response`], and `encode(decode(bytes)) == bytes`
@@ -23,7 +31,7 @@
 //! | `add_doc_sharded`   | `doc` (+ `shards`, `len`)     |
 //! | `task` (5 kinds)    | `non_empty` / `checked` / `count` / `tuples`, or a stream of `page` frames closed by `streamed` |
 //! | `remove_doc`        | `removed`                     |
-//! | `shard_build`       | `q` + `rows` + `elapsed_us`   |
+//! | `shard_build`       | `q` + `planes` + `elapsed_us` |
 //! | `stats`             | `service` + `server`          |
 //! | `shutdown`          | `shutting_down`               |
 //!
@@ -33,13 +41,18 @@ use crate::json::Json;
 use slp::{NfRule, NonTerminal};
 use spanner::{MarkedSymbol, MarkerSet, Span, SpanTuple, Variable};
 use spanner_automata::nfa::{Label, Nfa};
-use spanner_slp_core::matrices::REntry;
+use spanner_slp_core::matrices::{REntry, RMatrix};
 use spanner_slp_core::prepared::EByte;
 use spanner_slp_core::service::{RequestStats, ServiceStats, Task};
 use std::fmt;
 
-/// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// The protocol version this build speaks (and emits).
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// The oldest protocol version this build still decodes: v1 frames carry
+/// `shard_build` rules as a JSON array and summary rows as one byte per
+/// entry; both shapes are recognised by the decoders below.
+pub const LEGACY_PROTOCOL_VERSION: u64 = 1;
 
 /// A decode failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -386,26 +399,184 @@ impl WireNfa {
     }
 }
 
-/// Encodes a standalone shard rule block: leaves as their byte (or `"end"`
-/// for the sentinel), inner rules as `[b, c]` pairs of local indices.
-fn rules_to_json(rules: &[NfRule<EByte>]) -> Json {
-    Json::Arr(
-        rules
-            .iter()
-            .map(|rule| match rule {
-                NfRule::Leaf(EByte::Byte(b)) => Json::num(*b),
-                NfRule::Leaf(EByte::End) => Json::str("end"),
-                NfRule::Pair(b, c) => Json::Arr(vec![Json::num(b.0), Json::num(c.0)]),
-            })
-            .collect(),
-    )
+// ---------------------------------------------------------------------------
+// Packed payload helpers (v2): base64 + varints
+// ---------------------------------------------------------------------------
+
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64, no padding characters.  Raw packed bytes cannot ride in
+/// a [`Json::Str`] directly — non-printable bytes escape to `\xNN` (four
+/// characters each), which would *inflate* the frame; base64 keeps the
+/// overhead at a flat 4/3.
+fn b64_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let n = (chunk[0] as u32) << 16
+            | (*chunk.get(1).unwrap_or(&0) as u32) << 8
+            | *chunk.get(2).unwrap_or(&0) as u32;
+        out.push(B64_ALPHABET[(n >> 18) as usize & 63]);
+        out.push(B64_ALPHABET[(n >> 12) as usize & 63]);
+        if chunk.len() > 1 {
+            out.push(B64_ALPHABET[(n >> 6) as usize & 63]);
+        }
+        if chunk.len() > 2 {
+            out.push(B64_ALPHABET[n as usize & 63]);
+        }
+    }
+    out
 }
 
-/// Decodes a standalone shard rule block.
+/// Decodes unpadded base64, rejecting invalid characters, impossible
+/// lengths and non-zero tail bits (so the encoding stays canonical:
+/// `encode(decode(s)) == s` for every accepted `s`).
+fn b64_decode(text: &[u8]) -> Result<Vec<u8>, ProtoError> {
+    if text.len() % 4 == 1 {
+        return Err(ProtoError::Malformed("truncated base64 payload".into()));
+    }
+    let mut out = Vec::with_capacity(text.len() * 3 / 4 + 1);
+    let mut acc: u32 = 0;
+    let mut bits: u32 = 0;
+    for &c in text {
+        let v = match c {
+            b'A'..=b'Z' => c - b'A',
+            b'a'..=b'z' => c - b'a' + 26,
+            b'0'..=b'9' => c - b'0' + 52,
+            b'+' => 62,
+            b'/' => 63,
+            other => {
+                return Err(ProtoError::Malformed(format!(
+                    "invalid base64 byte 0x{other:02x}"
+                )))
+            }
+        };
+        acc = acc << 6 | v as u32;
+        bits += 6;
+        if bits >= 8 {
+            bits -= 8;
+            out.push((acc >> bits) as u8);
+        }
+    }
+    if bits > 0 && acc & ((1 << bits) - 1) != 0 {
+        return Err(ProtoError::Malformed("non-canonical base64 tail".into()));
+    }
+    Ok(out)
+}
+
+/// LEB128: 7 payload bits per byte, high bit = continuation.
+fn varint_push(out: &mut Vec<u8>, mut n: u64) {
+    loop {
+        let byte = (n & 0x7f) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn varint_read(data: &[u8], pos: &mut usize) -> Result<u64, ProtoError> {
+    let mut n: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let &byte = data
+            .get(*pos)
+            .ok_or_else(|| ProtoError::Malformed("truncated varint".into()))?;
+        *pos += 1;
+        if shift == 63 && byte > 1 || shift > 63 {
+            return Err(ProtoError::Malformed("varint overflows u64".into()));
+        }
+        n |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(n);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag: small signed deltas become small varints in either direction.
+fn zigzag(n: i64) -> u64 {
+    ((n << 1) ^ (n >> 63)) as u64
+}
+
+fn unzigzag(n: u64) -> i64 {
+    ((n >> 1) as i64) ^ -((n & 1) as i64)
+}
+
+// Rule-stream tags (one byte each, ahead of the rule's payload).
+const RULE_TAG_BYTE: u8 = 0;
+const RULE_TAG_END: u8 = 1;
+const RULE_TAG_PAIR: u8 = 2;
+
+/// Encodes a standalone shard rule block as one base64 varint stream: per
+/// rule a tag byte, then for leaves the terminal byte and for `A → BC`
+/// pairs the zigzag deltas `index − b`, `index − c` (children of real
+/// blocks sit just below their parent, so the deltas are tiny varints).
+/// Roughly 3× fewer characters than the v1 JSON array of
+/// numbers-and-pairs — the dominant share of the scatter leg.
+fn rules_to_json(rules: &[NfRule<EByte>]) -> Json {
+    let mut packed = Vec::with_capacity(rules.len() * 3);
+    for (index, rule) in rules.iter().enumerate() {
+        match rule {
+            NfRule::Leaf(EByte::Byte(b)) => {
+                packed.push(RULE_TAG_BYTE);
+                packed.push(*b);
+            }
+            NfRule::Leaf(EByte::End) => packed.push(RULE_TAG_END),
+            NfRule::Pair(b, c) => {
+                packed.push(RULE_TAG_PAIR);
+                varint_push(&mut packed, zigzag(index as i64 - b.0 as i64));
+                varint_push(&mut packed, zigzag(index as i64 - c.0 as i64));
+            }
+        }
+    }
+    Json::Str(b64_encode(&packed))
+}
+
+/// Decodes a shard rule block: the v2 packed stream (a base64 string), or
+/// the v1 JSON array of leaves and `[b, c]` pairs.
 fn rules_from_json(value: &Json) -> Result<Vec<NfRule<EByte>>, ProtoError> {
+    if let Some(text) = value.as_str() {
+        let packed = b64_decode(text)?;
+        let mut rules = Vec::new();
+        let mut pos = 0usize;
+        while pos < packed.len() {
+            let tag = packed[pos];
+            pos += 1;
+            rules.push(match tag {
+                RULE_TAG_BYTE => {
+                    let &b = packed
+                        .get(pos)
+                        .ok_or_else(|| ProtoError::Malformed("truncated leaf rule".into()))?;
+                    pos += 1;
+                    NfRule::Leaf(EByte::Byte(b))
+                }
+                RULE_TAG_END => NfRule::Leaf(EByte::End),
+                RULE_TAG_PAIR => {
+                    let index = rules.len() as i64;
+                    let mut child = |what: &str| -> Result<NonTerminal, ProtoError> {
+                        let delta = unzigzag(varint_read(&packed, &mut pos)?);
+                        index
+                            .checked_sub(delta)
+                            .and_then(|c| u32::try_from(c).ok())
+                            .map(NonTerminal)
+                            .ok_or_else(|| {
+                                ProtoError::Malformed(format!("{what} index out of range"))
+                            })
+                    };
+                    let b = child("left child")?;
+                    let c = child("right child")?;
+                    NfRule::Pair(b, c)
+                }
+                other => return Err(ProtoError::Malformed(format!("unknown rule tag {other}"))),
+            });
+        }
+        return Ok(rules);
+    }
     value
         .as_arr()
-        .ok_or_else(|| ProtoError::Malformed("rules is not an array".into()))?
+        .ok_or_else(|| ProtoError::Malformed("rules is neither a string nor an array".into()))?
         .iter()
         .map(|rule| {
             if let Some(n) = rule.as_u64() {
@@ -437,26 +608,102 @@ fn rules_from_json(value: &Json) -> Result<Vec<NfRule<EByte>>, ProtoError> {
         .collect()
 }
 
-/// Encodes summary rows as one byte string: `q×q` characters per rule, in
-/// rule order — `B` (⊥), `E` (℮) or `N` (1).  One byte per three-valued
-/// entry is what makes the gather payload *summary-sized*: the full
-/// marker-set matrices of Lemma 6.5 never cross the wire.
-fn rows_to_json(rows: &[Vec<REntry>]) -> Json {
-    let mut bytes = Vec::with_capacity(rows.iter().map(Vec::len).sum());
-    for row in rows {
-        for entry in row {
-            bytes.push(match entry {
-                REntry::Bot => b'B',
-                REntry::Empty => b'E',
-                REntry::NonEmpty => b'N',
-            });
+/// Encodes summary matrices as base64 bitplanes: per rule, the `nonbot`
+/// plane's `q²` bits (entry `(i,j)` at bit `i·q + j`, LSB-first within
+/// bytes) rounded up to whole bytes, then the `nonempty` plane likewise —
+/// 2 bits per three-valued entry, ~3× fewer wire characters than the v1
+/// one-byte-per-entry string, and the full marker-set matrices of
+/// Lemma 6.5 still never cross the wire.
+fn planes_to_json(rows: &[RMatrix]) -> Json {
+    let mut packed = Vec::new();
+    for matrix in rows {
+        let q = matrix.q();
+        for plane in [matrix.nonbot_plane(), matrix.nonempty_plane()] {
+            let mut byte = 0u8;
+            let mut filled = 0u32;
+            for i in 0..q {
+                for j in 0..q {
+                    if plane.get(i, j) {
+                        byte |= 1 << filled;
+                    }
+                    filled += 1;
+                    if filled == 8 {
+                        packed.push(byte);
+                        byte = 0;
+                        filled = 0;
+                    }
+                }
+            }
+            if filled > 0 {
+                packed.push(byte);
+            }
         }
     }
-    Json::Str(bytes)
+    Json::Str(b64_encode(&packed))
 }
 
-/// Decodes summary rows from the `q` recorded alongside them.
-fn rows_from_json(value: &Json, q: u64) -> Result<Vec<Vec<REntry>>, ProtoError> {
+/// Decodes bitplane summaries from the `q` recorded alongside them,
+/// validating the plane stride, the `nonempty ⊆ nonbot` invariant and the
+/// final byte's padding bits of every plane.
+fn planes_from_json(value: &Json, q: u64) -> Result<Vec<RMatrix>, ProtoError> {
+    let text = value
+        .as_str()
+        .ok_or_else(|| ProtoError::Malformed("planes is not a string".into()))?;
+    let packed = b64_decode(text)?;
+    let plane_bytes = q
+        .checked_mul(q)
+        .map(|c| c.div_ceil(8))
+        .and_then(|c| usize::try_from(c).ok())
+        .filter(|&c| c > 0)
+        .ok_or_else(|| ProtoError::Malformed("q is zero or out of range".into()))?;
+    let per_rule = 2 * plane_bytes;
+    if !packed.len().is_multiple_of(per_rule) {
+        return Err(ProtoError::Malformed(format!(
+            "plane bytes ({}) are not a multiple of 2·⌈q²/8⌉ ({per_rule})",
+            packed.len()
+        )));
+    }
+    let q = q as usize;
+    packed
+        .chunks(per_rule)
+        .map(|chunk| {
+            let (nonbot_bits, nonempty_bits) = chunk.split_at(plane_bytes);
+            let mut matrix = RMatrix::bot(q);
+            for idx in 0..q * q {
+                let mask = 1u8 << (idx % 8);
+                let nb = nonbot_bits[idx / 8] & mask != 0;
+                let ne = nonempty_bits[idx / 8] & mask != 0;
+                if ne && !nb {
+                    return Err(ProtoError::Malformed(
+                        "nonempty entry without its nonbot bit".into(),
+                    ));
+                }
+                if nb {
+                    matrix.set(
+                        idx / q,
+                        idx % q,
+                        if ne { REntry::NonEmpty } else { REntry::Empty },
+                    );
+                }
+            }
+            // Padding bits beyond q² in each plane's final byte must be
+            // zero, or re-encoding would not reproduce the frame.
+            let pad = q * q % 8;
+            if pad != 0 {
+                for bits in [nonbot_bits, nonempty_bits] {
+                    if bits[plane_bytes - 1] >> pad != 0 {
+                        return Err(ProtoError::Malformed("non-zero plane padding bits".into()));
+                    }
+                }
+            }
+            Ok(matrix)
+        })
+        .collect()
+}
+
+/// Decodes v1 summary rows (`B`/`E`/`N`, one byte per entry) — the legacy
+/// fallback behind the `rows` response key.
+fn legacy_rows_from_json(value: &Json, q: u64) -> Result<Vec<RMatrix>, ProtoError> {
     let bytes = value
         .as_str()
         .ok_or_else(|| ProtoError::Malformed("rows is not a string".into()))?;
@@ -471,20 +718,25 @@ fn rows_from_json(value: &Json, q: u64) -> Result<Vec<Vec<REntry>>, ProtoError> 
             bytes.len()
         )));
     }
+    let q = q as usize;
     bytes
         .chunks(cell)
         .map(|chunk| {
-            chunk
-                .iter()
-                .map(|b| match b {
-                    b'B' => Ok(REntry::Bot),
-                    b'E' => Ok(REntry::Empty),
-                    b'N' => Ok(REntry::NonEmpty),
-                    other => Err(ProtoError::Malformed(format!(
-                        "unknown summary entry 0x{other:02x}"
-                    ))),
-                })
-                .collect()
+            let mut matrix = RMatrix::bot(q);
+            for (idx, b) in chunk.iter().enumerate() {
+                let entry = match b {
+                    b'B' => REntry::Bot,
+                    b'E' => REntry::Empty,
+                    b'N' => REntry::NonEmpty,
+                    other => {
+                        return Err(ProtoError::Malformed(format!(
+                            "unknown summary entry 0x{other:02x}"
+                        )))
+                    }
+                };
+                matrix.set(idx / q, idx % q, entry);
+            }
+            Ok(matrix)
         })
         .collect()
 }
@@ -711,13 +963,15 @@ pub enum Response {
         /// reissued).
         id: u64,
     },
-    /// Answer to [`Request::ShardBuild`]: the block's summary rows — one
-    /// byte per three-valued entry, never the full marker-set matrices.
+    /// Answer to [`Request::ShardBuild`]: the block's summary matrices as
+    /// packed bitplanes — 2 bits per three-valued entry, never the full
+    /// marker-set matrices.
     ShardBuilt {
-        /// Number of automaton states `q` (the row stride).
+        /// Number of automaton states `q` (the plane stride).
         q: u64,
-        /// Summary rows, one `q×q` row per block rule in local order.
-        rows: Vec<Vec<REntry>>,
+        /// Summaries, one bit-packed `q×q` matrix per block rule in local
+        /// order.
+        rows: Vec<RMatrix>,
         /// Worker-side wall-clock of the pass, in microseconds.
         elapsed_us: u64,
     },
@@ -904,7 +1158,7 @@ impl Request {
     pub fn decode(line: &[u8]) -> Result<Request, ProtoError> {
         let value = Json::parse(line)?;
         let v = num_field(&value, "v")?;
-        if v != PROTOCOL_VERSION {
+        if v != PROTOCOL_VERSION && v != LEGACY_PROTOCOL_VERSION {
             return Err(ProtoError::Version(v));
         }
         let op = str_field(&value, "op")?;
@@ -1112,7 +1366,7 @@ impl Response {
             } => obj(vec![
                 ("ok", Json::Bool(true)),
                 ("q", Json::num(*q)),
-                ("rows", rows_to_json(rows)),
+                ("planes", planes_to_json(rows)),
                 ("elapsed_us", Json::num(*elapsed_us)),
             ]),
             Response::Stats { service, server } => obj(vec![
@@ -1212,11 +1466,21 @@ impl Response {
                 id: number(id, "removed")?,
             });
         }
-        if let Some(rows) = value.get("rows") {
+        if let Some(planes) = value.get("planes") {
             let q = num_field(&value, "q")?;
             return Ok(Response::ShardBuilt {
                 q,
-                rows: rows_from_json(rows, q)?,
+                rows: planes_from_json(planes, q)?,
+                elapsed_us: num_field(&value, "elapsed_us")?,
+            });
+        }
+        if let Some(rows) = value.get("rows") {
+            // v1 workers answer one byte per entry; accept their shape so a
+            // v2 coordinator interoperates during a rolling upgrade.
+            let q = num_field(&value, "q")?;
+            return Ok(Response::ShardBuilt {
+                q,
+                rows: legacy_rows_from_json(rows, q)?,
                 elapsed_us: num_field(&value, "elapsed_us")?,
             });
         }
@@ -1398,10 +1662,29 @@ mod tests {
             Response::ShardBuilt {
                 q: 2,
                 rows: vec![
-                    vec![REntry::Bot, REntry::Empty, REntry::NonEmpty, REntry::Bot],
-                    vec![REntry::Empty; 4],
+                    RMatrix::from_entries(
+                        2,
+                        &[REntry::Bot, REntry::Empty, REntry::NonEmpty, REntry::Bot],
+                    ),
+                    RMatrix::from_entries(2, &[REntry::Empty; 4]),
                 ],
                 elapsed_us: 1234,
+            },
+            // A q crossing the 64-column word boundary exercises the
+            // bitplane packing across padded rows.
+            Response::ShardBuilt {
+                q: 65,
+                rows: vec![RMatrix::from_entries(
+                    65,
+                    &(0..65usize * 65)
+                        .map(|i| match i % 3 {
+                            0 => REntry::Bot,
+                            1 => REntry::Empty,
+                            _ => REntry::NonEmpty,
+                        })
+                        .collect::<Vec<_>>(),
+                )],
+                elapsed_us: 7,
             },
             Response::Stats {
                 service: WireServiceStats {
@@ -1445,10 +1728,13 @@ mod tests {
     #[test]
     fn version_mismatch_is_a_distinct_error() {
         let mut frame = Request::Ping.encode();
-        // Rewrite "v":1 into "v":2.
+        // Rewrite "v":2 into "v":3.
         let pos = frame.windows(4).position(|w| w == b"\"v\":").unwrap() + 4;
-        frame[pos] = b'2';
-        assert_eq!(Request::decode(&frame), Err(ProtoError::Version(2)));
+        frame[pos] = b'3';
+        assert_eq!(Request::decode(&frame), Err(ProtoError::Version(3)));
+        // The legacy version is still admitted.
+        frame[pos] = b'1';
+        assert_eq!(Request::decode(&frame), Ok(Request::Ping));
     }
 
     #[test]
@@ -1525,24 +1811,34 @@ mod tests {
 
     #[test]
     fn shard_build_payloads_ship_summaries_not_matrices() {
-        // The gather payload is one byte per three-valued entry — the full
-        // marker-set matrices (and the document text) never appear.
-        let rows = vec![vec![REntry::NonEmpty; 9]; 7];
+        // The gather payload is 2 bits per three-valued entry — the full
+        // marker-set matrices (and the document text) never appear, and
+        // the packed planes undercut even the v1 one-byte-per-entry bound.
+        let rows = vec![RMatrix::from_entries(3, &[REntry::NonEmpty; 9]); 7];
         let response = Response::ShardBuilt {
             q: 3,
             rows: rows.clone(),
             elapsed_us: 1,
         };
         let encoded = response.encode();
-        // 7 rules × 9 entries = 63 summary bytes plus fixed framing.
+        // 7 rules × 2 planes × ⌈9/8⌉ bytes = 28 packed bytes → 38 base64
+        // characters, well under the 63 bytes v1 needed for the entries
+        // alone (plus fixed framing either way).
         assert!(encoded.len() < 63 + 64, "{}", encoded.len());
         match Response::decode(&encoded).unwrap() {
             Response::ShardBuilt { rows: decoded, .. } => assert_eq!(decoded, rows),
             other => panic!("{other:?}"),
         }
-        // Mis-sized rows are rejected, not mis-chunked.
-        let mut tampered = String::from_utf8(encoded).unwrap();
-        tampered = tampered.replace("NNNN", "NNN");
+        // Mis-sized planes are rejected, not mis-chunked: chop one whole
+        // base64 group (3 packed bytes) out of the payload.
+        let text = String::from_utf8(encoded).unwrap();
+        let value = Json::parse(text.as_bytes()).unwrap();
+        let planes = value.get("planes").unwrap().as_str().unwrap();
+        let truncated = &planes[..planes.len() - 4];
+        let tampered = text.replace(
+            std::str::from_utf8(planes).unwrap(),
+            std::str::from_utf8(truncated).unwrap(),
+        );
         assert!(matches!(
             Response::decode(tampered.as_bytes()),
             Err(ProtoError::Malformed(_))
@@ -1550,13 +1846,116 @@ mod tests {
         // A hostile q whose square overflows u64 is a malformed frame, not
         // an arithmetic panic.
         let hostile = format!(
-            "{{\"ok\":true,\"q\":{},\"rows\":\"NN\",\"elapsed_us\":1}}",
+            "{{\"ok\":true,\"q\":{},\"planes\":\"AA\",\"elapsed_us\":1}}",
             u64::MAX
         );
         assert!(matches!(
             Response::decode(hostile.as_bytes()),
             Err(ProtoError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn packed_planes_reject_invariant_violations() {
+        // One rule, q = 2: plane stride ⌈4/8⌉ = 1 byte.  nonbot = 0b0001,
+        // nonempty = 0b0010 puts a 1 entry where nonbot is clear.
+        let bad = b64_encode(&[0b0001, 0b0010]);
+        let frame = format!(
+            "{{\"ok\":true,\"q\":2,\"planes\":\"{}\",\"elapsed_us\":1}}",
+            String::from_utf8(bad).unwrap()
+        );
+        assert!(matches!(
+            Response::decode(frame.as_bytes()),
+            Err(ProtoError::Malformed(_))
+        ));
+        // Non-zero padding bits beyond q² are equally malformed: they
+        // could not have come from the canonical encoder.
+        let padded = b64_encode(&[0b1_0000, 0b0000]);
+        let frame = format!(
+            "{{\"ok\":true,\"q\":2,\"planes\":\"{}\",\"elapsed_us\":1}}",
+            String::from_utf8(padded).unwrap()
+        );
+        assert!(matches!(
+            Response::decode(frame.as_bytes()),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn legacy_v1_shard_frames_still_decode() {
+        // A v1 worker's reply — one B/E/N byte per entry under the `rows`
+        // key — decodes to the same matrices as the packed v2 shape.
+        let legacy = b"{\"ok\":true,\"q\":2,\"rows\":\"BENBEEEE\",\"elapsed_us\":9}";
+        let expected = vec![
+            RMatrix::from_entries(
+                2,
+                &[REntry::Bot, REntry::Empty, REntry::NonEmpty, REntry::Bot],
+            ),
+            RMatrix::from_entries(2, &[REntry::Empty; 4]),
+        ];
+        match Response::decode(legacy).unwrap() {
+            Response::ShardBuilt {
+                q,
+                rows,
+                elapsed_us,
+            } => {
+                assert_eq!((q, elapsed_us), (2, 9));
+                assert_eq!(rows, expected);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Unknown entry bytes in the legacy shape are still rejected.
+        let bad = b"{\"ok\":true,\"q\":2,\"rows\":\"BEXX\",\"elapsed_us\":9}";
+        assert!(matches!(
+            Response::decode(bad),
+            Err(ProtoError::Malformed(_))
+        ));
+        // A v1 request carrying rules as a JSON array still decodes to the
+        // same block as the packed v2 stream.
+        let v2 = Request::ShardBuild {
+            nfa: sample_wire_nfa(),
+            rules: vec![
+                NfRule::Leaf(EByte::Byte(b'a')),
+                NfRule::Leaf(EByte::End),
+                NfRule::Pair(NonTerminal(0), NonTerminal(1)),
+            ],
+            root: 2,
+        };
+        let mut legacy_req = String::from_utf8(v2.encode()).unwrap();
+        let packed_rules = match Json::parse(legacy_req.as_bytes())
+            .unwrap()
+            .get("rules")
+            .unwrap()
+        {
+            Json::Str(s) => format!("\"{}\"", String::from_utf8(s.clone()).unwrap()),
+            other => panic!("{other:?}"),
+        };
+        legacy_req = legacy_req.replace(&packed_rules, "[97,\"end\",[0,1]]");
+        legacy_req = legacy_req.replace("\"v\":2", "\"v\":1");
+        assert_eq!(Request::decode(legacy_req.as_bytes()).unwrap(), v2);
+    }
+
+    #[test]
+    fn packed_rules_round_trip_deep_blocks() {
+        // Deltas in both directions (a pair may reference any local index)
+        // and long leaf runs survive the varint stream.
+        let mut rules: Vec<NfRule<EByte>> =
+            (0..200u8).map(|b| NfRule::Leaf(EByte::Byte(b))).collect();
+        rules.push(NfRule::Pair(NonTerminal(0), NonTerminal(199)));
+        rules.push(NfRule::Pair(NonTerminal(200), NonTerminal(3)));
+        rules.push(NfRule::Leaf(EByte::End));
+        rules.push(NfRule::Pair(NonTerminal(201), NonTerminal(202)));
+        let encoded = rules_to_json(&rules);
+        assert_eq!(rules_from_json(&encoded).unwrap(), rules);
+        // Forward references (a child above its rule) are unusual but
+        // representable: the zigzag delta goes negative.
+        let forward = vec![
+            NfRule::Pair(NonTerminal(1), NonTerminal(2)),
+            NfRule::Leaf(EByte::Byte(b'x')),
+            NfRule::Leaf(EByte::End),
+        ];
+        let encoded = rules_to_json(&forward);
+        assert_eq!(rules_from_json(&encoded).unwrap(), forward);
     }
 
     #[test]

@@ -8,10 +8,10 @@
 //! *standalone rule block*, never the document text — and shipped to a
 //! worker (jobs spread round-robin over the pool; concurrent shards of
 //! one build reach different workers in parallel).  The worker answers
-//! with the block's three-valued summary rows: one byte per entry, so the
-//! gather leg is *summary-sized* — the full marker-set matrices of
-//! Lemma 6.5 stay on whichever side computed them, and the leaf tables are
-//! rebuilt by the coordinator from the automaton alone.
+//! with the block's three-valued summaries as packed bitplanes — 2 bits
+//! per entry — so the gather leg is *summary-sized* — the full marker-set
+//! matrices of Lemma 6.5 stay on whichever side computed them, and the
+//! leaf tables are rebuilt by the coordinator from the automaton alone.
 //!
 //! **Results are never lost.**  Every failure — connection refused, a
 //! worker dying mid-build, a timeout, a malformed or short reply, busy
@@ -156,7 +156,7 @@ impl RemoteExecutor {
     fn try_remote(
         &self,
         job: &ShardJob<'_>,
-    ) -> Result<Vec<Vec<spanner_slp_core::matrices::REntry>>, ClientError> {
+    ) -> Result<Vec<spanner_slp_core::matrices::RMatrix>, ClientError> {
         let request = Request::ShardBuild {
             nfa: WireNfa::from_nfa(job.nfa),
             rules: job.block.rules().to_vec(),
@@ -179,7 +179,7 @@ impl RemoteExecutor {
         let slot = &self.workers[pick % self.workers.len()];
         let mut guard = slot.conn.lock().expect("worker slot poisoned");
 
-        let result = (|| -> Result<Vec<Vec<spanner_slp_core::matrices::REntry>>, ClientError> {
+        let result = (|| -> Result<Vec<spanner_slp_core::matrices::RMatrix>, ClientError> {
             for attempt in 0.. {
                 let conn = match guard.as_mut() {
                     Some(conn) => conn,

@@ -111,9 +111,9 @@ fn two_worker_remote_builds_are_entry_identical_to_serial() {
 }
 
 /// The wire-cost criterion: the gather leg carries only three-valued
-/// summaries (one byte per entry — never the marker-set matrices), and the
-/// scatter leg carries the compressed shard blocks — never the document
-/// text.
+/// summaries (packed bitplanes, 2 bits per entry — never the marker-set
+/// matrices), and the scatter leg carries the compressed shard blocks —
+/// never the document text.
 #[test]
 fn gather_is_summary_sized_and_scatter_never_ships_the_document() {
     let worker = boot_worker();
@@ -145,14 +145,23 @@ fn gather_is_summary_sized_and_scatter_never_ships_the_document() {
         .map(|r| r.len())
         .sum();
 
-    // Gather: one byte per three-valued summary entry plus bounded framing
-    // — independent of how large the marker-set matrices are.
+    // Gather: two bitplanes per rule (2 bits per summary entry, base64 on
+    // the wire) plus bounded framing — independent of how large the
+    // marker-set matrices are, and ~3× below the one-byte-per-entry
+    // payload bound the v1 wire format needed.
     let gather = executor.gather_bytes() as usize;
     assert!(gather > 0);
+    let plane_bytes = (q_states * q_states).div_ceil(8);
+    let packed_payload = (block_rules * 2 * plane_bytes).div_ceil(3) * 4;
     assert!(
-        gather <= block_rules * q_states * q_states + 160 * k,
-        "gather {gather} bytes exceeds the summary payload bound \
-         ({block_rules} rules × {q_states}²)"
+        gather <= packed_payload + 160 * k,
+        "gather {gather} bytes exceeds the packed-plane payload bound \
+         ({block_rules} rules × 2 planes × {plane_bytes} B, base64)"
+    );
+    assert!(
+        gather < block_rules * q_states * q_states + 160 * k,
+        "gather {gather} bytes should undercut the legacy one-byte-per-entry \
+         bound ({block_rules} rules × {q_states}²)"
     );
     let resident = document
         .cached_matrices(&prepared_query)
