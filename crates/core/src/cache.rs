@@ -56,8 +56,24 @@ struct CacheEntry {
     pre: Arc<Preprocessed>,
     /// Admission weight, [`Preprocessed::approx_bytes`] at insert time.
     bytes: usize,
+    /// Owning tenant, resolved from the document token at insert time (so
+    /// eviction accounting never drifts even if the mapping changes later).
+    tenant: u32,
     /// Logical timestamp of the last lookup that returned this entry.
     last_used: AtomicU64,
+}
+
+/// Per-tenant state of the shared pool: which document tokens belong to
+/// which tenant, each tenant's reserved byte share, and each tenant's
+/// current resident total.
+#[derive(Debug, Default)]
+struct Tenancy {
+    /// Document token → owning tenant (absent = default tenant 0).
+    doc_tenants: HashMap<u64, u32>,
+    /// Tenant → reserved byte share (only tenants with a non-zero share).
+    shares: HashMap<u32, usize>,
+    /// Tenant → bytes currently resident for its documents.
+    resident: HashMap<u32, usize>,
 }
 
 /// The outcome of one cache lookup, reported back to the caller for
@@ -107,6 +123,9 @@ pub struct MatrixCache {
     resident: AtomicUsize,
     /// `None` = unbounded (the standalone-document default).
     budget: Option<usize>,
+    /// Per-tenant document ownership, shares and residency (see the
+    /// module docs on tenant shares).
+    tenancy: RwLock<Tenancy>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -124,6 +143,7 @@ impl MatrixCache {
             clock: AtomicU64::new(0),
             resident: AtomicUsize::new(0),
             budget,
+            tenancy: RwLock::new(Tenancy::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -145,6 +165,70 @@ impl MatrixCache {
     /// The configured byte budget (`None` = unbounded).
     pub fn budget(&self) -> Option<usize> {
         self.budget
+    }
+
+    /// Assigns a document token to a tenant: entries inserted for that
+    /// document from now on count against the tenant's residency and enjoy
+    /// its reserved share.  Tokens never assigned belong to the default
+    /// tenant 0.
+    pub fn assign_doc_tenant(&self, doc: u64, tenant: u32) {
+        let mut tenancy = self.tenancy.write().expect("tenancy lock poisoned");
+        if tenant == 0 {
+            tenancy.doc_tenants.remove(&doc);
+        } else {
+            tenancy.doc_tenants.insert(doc, tenant);
+        }
+    }
+
+    /// Sets a tenant's reserved byte share of the budgeted pool (`0`
+    /// removes the reservation).  While a tenant's resident total is at or
+    /// below its share, budget pressure from *other* tenants cannot evict
+    /// its entries — shares are carved out of the global budget, so callers
+    /// should keep the sum of shares within it.
+    pub fn set_tenant_share(&self, tenant: u32, bytes: usize) {
+        let mut tenancy = self.tenancy.write().expect("tenancy lock poisoned");
+        if bytes == 0 {
+            tenancy.shares.remove(&tenant);
+        } else {
+            tenancy.shares.insert(tenant, bytes);
+        }
+    }
+
+    /// Bytes currently resident for one tenant's documents.
+    pub fn resident_bytes_for_tenant(&self, tenant: u32) -> usize {
+        self.tenancy
+            .read()
+            .expect("tenancy lock poisoned")
+            .resident
+            .get(&tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The tenant a document token currently maps to.
+    fn tenant_of(&self, doc: u64) -> u32 {
+        self.tenancy
+            .read()
+            .expect("tenancy lock poisoned")
+            .doc_tenants
+            .get(&doc)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn add_tenant_resident(&self, tenant: u32, bytes: usize) {
+        let mut tenancy = self.tenancy.write().expect("tenancy lock poisoned");
+        *tenancy.resident.entry(tenant).or_default() += bytes;
+    }
+
+    fn sub_tenant_resident(&self, tenant: u32, bytes: usize) {
+        let mut tenancy = self.tenancy.write().expect("tenancy lock poisoned");
+        if let Some(total) = tenancy.resident.get_mut(&tenant) {
+            *total = total.saturating_sub(bytes);
+            if *total == 0 {
+                tenancy.resident.remove(&tenant);
+            }
+        }
     }
 
     /// Returns the matrices for `key`, building them with `build` on a
@@ -177,6 +261,7 @@ impl MatrixCache {
         let bytes = built.approx_bytes();
         self.misses.fetch_add(1, Ordering::Relaxed);
 
+        let tenant = self.tenant_of(key.doc);
         let pre = {
             let mut shard = self.shard(key).write().expect("cache lock poisoned");
             match shard.entry(key) {
@@ -187,9 +272,11 @@ impl MatrixCache {
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
                     self.resident.fetch_add(bytes, Ordering::Relaxed);
+                    self.add_tenant_resident(tenant, bytes);
                     e.insert(CacheEntry {
                         pre: built.clone(),
                         bytes,
+                        tenant,
                         last_used: AtomicU64::new(self.tick()),
                     });
                     built
@@ -238,12 +325,15 @@ impl MatrixCache {
         for shard in other.shards.iter() {
             let shard = shard.read().expect("cache lock poisoned");
             for (&key, entry) in shard.iter().filter(|(k, _)| k.doc == doc) {
+                let tenant = self.tenant_of(key.doc);
                 let mut target = self.shard(key).write().expect("cache lock poisoned");
                 if let std::collections::hash_map::Entry::Vacant(e) = target.entry(key) {
                     self.resident.fetch_add(entry.bytes, Ordering::Relaxed);
+                    self.add_tenant_resident(tenant, entry.bytes);
                     e.insert(CacheEntry {
                         pre: entry.pre.clone(),
                         bytes: entry.bytes,
+                        tenant,
                         last_used: AtomicU64::new(self.tick()),
                     });
                 }
@@ -256,25 +346,48 @@ impl MatrixCache {
     /// budget again.  If a single entry alone exceeds the whole budget it is
     /// evicted too — the invariant `resident_bytes ≤ budget` holds whenever
     /// no insert is in flight.
+    ///
+    /// Victim selection honours tenant shares: an entry is *protected* while
+    /// its tenant's resident total is at or below the tenant's reserved
+    /// share, so budget pressure (e.g. one tenant flooding the pool) evicts
+    /// from unprotected tenants first.  Only if every resident entry is
+    /// protected — shares oversubscribed against the budget, which callers
+    /// are expected to avoid — does eviction fall back to the global LRU.
     fn enforce_budget(&self) {
         let Some(budget) = self.budget else { return };
         while self.resident.load(Ordering::Relaxed) > budget {
-            // Snapshot the globally least-recently-used entry (across every
-            // document sharing this cache).
+            // Snapshot tenant protection, then the least-recently-used
+            // entry among unprotected tenants (and globally, as fallback).
+            let (shares, by_tenant) = {
+                let tenancy = self.tenancy.read().expect("tenancy lock poisoned");
+                (tenancy.shares.clone(), tenancy.resident.clone())
+            };
+            let protected = |tenant: u32| {
+                shares
+                    .get(&tenant)
+                    .is_some_and(|&share| by_tenant.get(&tenant).copied().unwrap_or(0) <= share)
+            };
             let mut lru: Option<(u64, PairKey)> = None; // (last_used, key)
+            let mut lru_any: Option<(u64, PairKey)> = None;
             for shard in self.shards.iter() {
                 let shard = shard.read().expect("cache lock poisoned");
                 for (&key, entry) in shard.iter() {
                     let used = entry.last_used.load(Ordering::Relaxed);
-                    if lru.map(|(u, _)| used < u).unwrap_or(true) {
+                    if lru_any.map(|(u, _)| used < u).unwrap_or(true) {
+                        lru_any = Some((used, key));
+                    }
+                    if !protected(entry.tenant) && lru.map(|(u, _)| used < u).unwrap_or(true) {
                         lru = Some((used, key));
                     }
                 }
             }
-            let Some((_, key)) = lru else { return };
+            let Some((_, key)) = lru.or(lru_any) else {
+                return;
+            };
             let mut shard = self.shard(key).write().expect("cache lock poisoned");
             if let Some(entry) = shard.remove(&key) {
                 self.resident.fetch_sub(entry.bytes, Ordering::Relaxed);
+                self.sub_tenant_resident(entry.tenant, entry.bytes);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -333,6 +446,7 @@ impl MatrixCache {
             let mut shard = shard.write().expect("cache lock poisoned");
             for (_, entry) in shard.drain() {
                 self.resident.fetch_sub(entry.bytes, Ordering::Relaxed);
+                self.sub_tenant_resident(entry.tenant, entry.bytes);
             }
         }
     }
@@ -340,17 +454,28 @@ impl MatrixCache {
     /// Drops one document's resident matrices, leaving the other documents
     /// sharing this cache untouched.
     pub fn clear_doc(&self, doc: u64) {
+        let mut freed: Vec<(u32, usize)> = Vec::new();
         for shard in self.shards.iter() {
             let mut shard = shard.write().expect("cache lock poisoned");
             shard.retain(|key, entry| {
                 if key.doc == doc {
                     self.resident.fetch_sub(entry.bytes, Ordering::Relaxed);
+                    freed.push((entry.tenant, entry.bytes));
                     false
                 } else {
                     true
                 }
             });
         }
+        for (tenant, bytes) in freed {
+            self.sub_tenant_resident(tenant, bytes);
+        }
+        // The token is never reissued: drop its tenant mapping too.
+        self.tenancy
+            .write()
+            .expect("tenancy lock poisoned")
+            .doc_tenants
+            .remove(&doc);
     }
 
     /// A snapshot of the cumulative counters.
@@ -469,6 +594,46 @@ mod tests {
         assert_eq!(cache.len(), 2, "third packed entry displaces one");
         assert!(cache.resident_bytes() <= probe * 2);
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn tenant_share_protects_entries_from_other_tenants_pressure() {
+        let probe = build_one(16).0.approx_bytes();
+        // Room for three entries.  Tenant 7 reserves one entry's worth.
+        let cache = MatrixCache::new(Some(probe * 3));
+        cache.assign_doc_tenant(100, 7);
+        cache.set_tenant_share(7, probe);
+        // Tenant 7 caches one pair, then goes idle (it becomes the global
+        // LRU candidate).
+        cache.get_or_build(key(100, 0), || build_one(16));
+        // The default tenant floods the pool far past the budget.
+        for q in 0..6 {
+            cache.get_or_build(key(200, q), || build_one(16));
+        }
+        assert!(cache.resident_bytes() <= probe * 3);
+        assert!(
+            cache.peek(key(100, 0)).is_some(),
+            "the shared entry is within tenant 7's share and must survive"
+        );
+        assert_eq!(cache.resident_bytes_for_tenant(7), probe);
+        // Beyond its share the tenant is fair game: a second pair from
+        // tenant 7 pushes it over, and pressure may now evict its LRU.
+        cache.get_or_build(key(100, 1), || build_one(16));
+        for q in 6..12 {
+            cache.get_or_build(key(200, q), || build_one(16));
+        }
+        assert!(cache.resident_bytes_for_tenant(7) <= probe);
+    }
+
+    #[test]
+    fn clear_doc_releases_tenant_residency() {
+        let cache = MatrixCache::new(None);
+        cache.assign_doc_tenant(5, 3);
+        cache.get_or_build(key(5, 0), || build_one(16));
+        assert!(cache.resident_bytes_for_tenant(3) > 0);
+        cache.clear_doc(5);
+        assert_eq!(cache.resident_bytes_for_tenant(3), 0);
+        assert_eq!(cache.resident_bytes(), 0);
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub use engine::{DocumentId, Engine, Evaluation, PreparedDocument, PreparedQuery
 pub use error::EvalError;
 pub use executor::{LocalExecutor, ShardExecutor, ShardJob, ShardOutcome};
 pub use service::{
-    RequestStats, Service, ServiceBuilder, ServiceStats, Task, TaskOutcome, TaskRequest,
-    TaskResponse,
+    QuotaError, RequestStats, Service, ServiceBuilder, ServiceStats, Task, TaskOutcome,
+    TaskRequest, TaskResponse, TenantConfig, TenantId, TenantUsage,
 };
 
 use prepared::PreparedEvaluation;

@@ -249,6 +249,128 @@ pub struct ServiceStats {
     pub resident_entries: usize,
 }
 
+/// A tenant namespace identifier.  [`TenantId::DEFAULT`] (id 0) always
+/// exists, carries no quotas unless explicitly configured, and is where the
+/// tenant-unaware registration methods ([`Service::add_document`] and
+/// friends) place their documents — so single-tenant callers never see the
+/// tenancy machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The always-present default tenant.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Per-tenant quotas and resource shares.  Quota fields use `0` to mean
+/// "unlimited"; `cache_share` is an absolute byte reservation carved from
+/// the service's global matrix-cache budget (`0` = no reservation), and
+/// `admission_weight` is consumed by serving front-ends to weight their
+/// bounded-admission gates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Human-readable tenant name.
+    pub name: String,
+    /// Maximum live documents (`0` = unlimited).
+    pub max_docs: u64,
+    /// Maximum total corpus bytes over live documents (`0` = unlimited).
+    pub max_corpus_bytes: u64,
+    /// Reserved matrix-cache bytes (see
+    /// [`crate::cache::MatrixCache::set_tenant_share`]); `0` = none.
+    pub cache_share: usize,
+    /// Relative admission weight for serving front-ends.
+    pub admission_weight: u32,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            name: String::new(),
+            max_docs: 0,
+            max_corpus_bytes: 0,
+            cache_share: 0,
+            admission_weight: 1,
+        }
+    }
+}
+
+/// Live resource usage of one tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// Live documents registered by the tenant.
+    pub docs: u64,
+    /// Total corpus bytes (original document lengths) of those documents.
+    pub corpus_bytes: u64,
+}
+
+/// A registration rejected by tenant quota enforcement.
+///
+/// Deliberately *not* an [`EvalError`]: quota exhaustion is an admission
+/// decision, and front-ends must surface it as a structured quota error —
+/// distinguishable from both evaluation failures and `busy` backpressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaError {
+    /// The registering tenant does not exist.
+    UnknownTenant,
+    /// The tenant is at its document-count quota.
+    Docs {
+        /// Configured maximum.
+        limit: u64,
+        /// Live documents at rejection time.
+        used: u64,
+    },
+    /// The registration would push the tenant over its corpus-byte quota.
+    CorpusBytes {
+        /// Configured maximum.
+        limit: u64,
+        /// Live corpus bytes at rejection time.
+        used: u64,
+        /// Bytes the rejected document would have added.
+        requested: u64,
+    },
+}
+
+impl std::fmt::Display for QuotaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuotaError::UnknownTenant => write!(f, "unknown tenant"),
+            QuotaError::Docs { limit, used } => {
+                write!(f, "document quota exhausted ({used}/{limit} documents)")
+            }
+            QuotaError::CorpusBytes {
+                limit,
+                used,
+                requested,
+            } => write!(
+                f,
+                "corpus byte quota exhausted ({used}/{limit} bytes, {requested} requested)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuotaError {}
+
+/// A tenant's registry entry.
+#[derive(Debug)]
+struct TenantState {
+    config: TenantConfig,
+    usage: TenantUsage,
+}
+
+/// Which tenant owns a document slot, and what it was charged.
+#[derive(Debug, Clone, Copy)]
+struct DocOwner {
+    tenant: u32,
+    bytes: u64,
+}
+
 /// Configuration assembled by [`ServiceBuilder`].
 #[derive(Debug, Clone)]
 struct ServiceConfig {
@@ -334,6 +456,17 @@ impl ServiceBuilder {
 
     /// Builds the (empty) service.
     pub fn build(self) -> Service {
+        let mut tenants = HashMap::new();
+        tenants.insert(
+            0,
+            TenantState {
+                config: TenantConfig {
+                    name: "default".to_string(),
+                    ..TenantConfig::default()
+                },
+                usage: TenantUsage::default(),
+            },
+        );
         Service {
             queries: RwLock::new(Vec::new()),
             documents: RwLock::new(Vec::new()),
@@ -341,6 +474,9 @@ impl ServiceBuilder {
             config: self.config,
             counters: Counters::default(),
             measured_ratios: RwLock::new(HashMap::new()),
+            tenants: RwLock::new(tenants),
+            doc_owners: RwLock::new(HashMap::new()),
+            auto_probes: AtomicU64::new(0),
         }
     }
 }
@@ -435,6 +571,15 @@ pub struct Service {
     /// recorded from the [`ShardBuildStats`] of warm traffic and consumed
     /// by [`Service::suggest_shard_count`].
     measured_ratios: RwLock<HashMap<usize, f64>>,
+    /// The tenant registry: id → configuration + live usage.  Tenant 0 (the
+    /// default) is created with the service and never removed.
+    tenants: RwLock<HashMap<u32, TenantState>>,
+    /// Document slot index → owning tenant and charged corpus bytes, for
+    /// releasing quota on [`Service::remove_document`].
+    doc_owners: RwLock<HashMap<usize, DocOwner>>,
+    /// Number of `auto_k` probe splits run by auto registrations — warm
+    /// restarts replaying recorded shard counts must leave this at zero.
+    auto_probes: AtomicU64,
 }
 
 impl Default for Service {
@@ -486,9 +631,24 @@ impl Service {
 
     /// Registers a document, running the document-side preparation
     /// (`D ↦ D·#`) once.  Its matrices live in the service's shared,
-    /// globally budgeted pool.
+    /// globally budgeted pool.  The document lands in the default tenant's
+    /// namespace; use [`Service::add_document_for`] for tenant-scoped,
+    /// quota-checked registration.
     pub fn add_document(&self, document: &NormalFormSlp<u8>) -> DocumentId {
-        self.add_prepared_document(PreparedDocument::new(document))
+        self.add_document_for(TenantId::DEFAULT, document)
+            .expect("default tenant rejected a registration (quota configured on tenant 0)")
+    }
+
+    /// Registers a document into `tenant`'s namespace, enforcing the
+    /// tenant's document-count and corpus-byte quotas.
+    pub fn add_document_for(
+        &self,
+        tenant: TenantId,
+        document: &NormalFormSlp<u8>,
+    ) -> Result<DocumentId, QuotaError> {
+        self.add_owned(tenant, document.document_len(), || {
+            PreparedDocument::new(document)
+        })
     }
 
     /// Registers a document split into `k` balanced shards: matrix builds
@@ -497,7 +657,21 @@ impl Service {
     /// [`Service::add_document`], and the per-request
     /// [`TaskResponse::shard_stats`] report what each shard cost.
     pub fn add_document_sharded(&self, document: &NormalFormSlp<u8>, k: usize) -> DocumentId {
-        self.add_prepared_document(PreparedDocument::sharded(document, k))
+        self.add_document_sharded_for(TenantId::DEFAULT, document, k)
+            .expect("default tenant rejected a registration (quota configured on tenant 0)")
+    }
+
+    /// [`Service::add_document_sharded`] into `tenant`'s namespace, with
+    /// quota enforcement.
+    pub fn add_document_sharded_for(
+        &self,
+        tenant: TenantId,
+        document: &NormalFormSlp<u8>,
+        k: usize,
+    ) -> Result<DocumentId, QuotaError> {
+        self.add_owned(tenant, document.document_len(), || {
+            PreparedDocument::sharded(document, k)
+        })
     }
 
     /// Registers a document with an auto-tuned shard count: a cheap probe
@@ -509,25 +683,48 @@ impl Service {
     /// documents scatter over the cores.  Results are identical to
     /// [`Service::add_document`] either way.
     pub fn add_document_auto(&self, document: &NormalFormSlp<u8>) -> DocumentId {
+        self.add_document_auto_for(TenantId::DEFAULT, document)
+            .expect("default tenant rejected a registration (quota configured on tenant 0)")
+    }
+
+    /// [`Service::add_document_auto`] into `tenant`'s namespace, with quota
+    /// enforcement.  Each probe split it runs increments
+    /// [`Service::auto_probe_count`] — replay paths registering recorded
+    /// shard counts bypass this method entirely and leave the counter
+    /// untouched.
+    pub fn add_document_auto_for(
+        &self,
+        tenant: TenantId,
+        document: &NormalFormSlp<u8>,
+    ) -> Result<DocumentId, QuotaError> {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         // Cheap gates first: ratio 0.0 is the most shard-friendly input
         // auto_k can see, so if even that says "monolithic" (single core,
         // small grammar) the probe split cannot change the answer — skip
         // the surgery entirely.
         if slp::shard::auto_k(document.size(), cores, 0.0) <= 1 {
-            return self.add_document(document);
+            return self.add_document_for(tenant, document);
         }
+        self.auto_probes.fetch_add(1, Ordering::Relaxed);
         let sharded = slp::shard::split(document, Self::probe_k(cores));
         let ratio = slp::shard::critical_ratio(&sharded, document.size());
         match slp::shard::auto_k(document.size(), cores, ratio) {
-            0 | 1 => self.add_document(document),
+            0 | 1 => self.add_document_for(tenant, document),
             // The probe split *is* the split we want — reuse it instead of
             // cutting the grammar a second time.
-            k if k == sharded.k() => {
-                self.add_prepared_document(PreparedDocument::sharded_precut(document, &sharded))
-            }
-            k => self.add_document_sharded(document, k),
+            k if k == sharded.k() => self.add_owned(tenant, document.document_len(), || {
+                PreparedDocument::sharded_precut(document, &sharded)
+            }),
+            k => self.add_document_sharded_for(tenant, document, k),
         }
+    }
+
+    /// Number of `auto_k` probe splits run by the auto registrations since
+    /// the service was built.  A warm restart that replays recorded shard
+    /// counts must leave this at zero — the whole point of persisting the
+    /// tuned `k` values.
+    pub fn auto_probe_count(&self) -> u64 {
+        self.auto_probes.load(Ordering::Relaxed)
     }
 
     /// The shard count [`Service::add_document_auto`] would pick on a host
@@ -630,13 +827,96 @@ impl Service {
 
     /// Registers an already prepared document, re-homing it (and any
     /// matrices it already built) onto the service's shared cache pool and
-    /// onto the service-wide shard executor.
-    pub fn add_prepared_document(&self, mut document: PreparedDocument) -> DocumentId {
+    /// onto the service-wide shard executor.  The document lands in the
+    /// default tenant's namespace.
+    pub fn add_prepared_document(&self, document: PreparedDocument) -> DocumentId {
+        let bytes = document.document_len();
+        self.charge(TenantId::DEFAULT, bytes)
+            .expect("default tenant rejected a registration (quota configured on tenant 0)");
+        self.register_owned(TenantId::DEFAULT, bytes, document)
+    }
+
+    /// [`Service::add_prepared_document`] into `tenant`'s namespace, with
+    /// quota enforcement.
+    pub fn add_prepared_document_for(
+        &self,
+        tenant: TenantId,
+        document: PreparedDocument,
+    ) -> Result<DocumentId, QuotaError> {
+        let bytes = document.document_len();
+        self.charge(tenant, bytes)?;
+        Ok(self.register_owned(tenant, bytes, document))
+    }
+
+    /// Charges quota, then builds and registers the document.  The build
+    /// runs only after the (cheap) quota check passed, so a rejected
+    /// registration never pays document preparation.
+    fn add_owned(
+        &self,
+        tenant: TenantId,
+        bytes: u64,
+        prepare: impl FnOnce() -> PreparedDocument,
+    ) -> Result<DocumentId, QuotaError> {
+        self.charge(tenant, bytes)?;
+        Ok(self.register_owned(tenant, bytes, prepare()))
+    }
+
+    /// Atomically checks and reserves `bytes` + one document of `tenant`'s
+    /// quota.
+    fn charge(&self, tenant: TenantId, bytes: u64) -> Result<(), QuotaError> {
+        let mut tenants = self.tenants.write().expect("tenant registry poisoned");
+        let state = tenants
+            .get_mut(&tenant.0)
+            .ok_or(QuotaError::UnknownTenant)?;
+        let config = &state.config;
+        if config.max_docs > 0 && state.usage.docs >= config.max_docs {
+            return Err(QuotaError::Docs {
+                limit: config.max_docs,
+                used: state.usage.docs,
+            });
+        }
+        if config.max_corpus_bytes > 0
+            && state.usage.corpus_bytes.saturating_add(bytes) > config.max_corpus_bytes
+        {
+            return Err(QuotaError::CorpusBytes {
+                limit: config.max_corpus_bytes,
+                used: state.usage.corpus_bytes,
+                requested: bytes,
+            });
+        }
+        state.usage.docs += 1;
+        state.usage.corpus_bytes += bytes;
+        Ok(())
+    }
+
+    /// Registers a quota-charged document under its owning tenant.
+    fn register_owned(
+        &self,
+        tenant: TenantId,
+        bytes: u64,
+        mut document: PreparedDocument,
+    ) -> DocumentId {
+        // Assign the cache-token mapping *before* re-homing: matrices the
+        // document carries in are then accounted to the right tenant.
+        self.cache.assign_doc_tenant(document.token(), tenant.0);
         document.rehome_cache(self.cache.clone());
         document.set_shard_executor(self.config.shard_executor.clone());
-        let mut documents = self.documents.write().expect("document pool lock poisoned");
-        documents.push(Some(Arc::new(document)));
-        DocumentId(documents.len() - 1)
+        let id = {
+            let mut documents = self.documents.write().expect("document pool lock poisoned");
+            documents.push(Some(Arc::new(document)));
+            DocumentId(documents.len() - 1)
+        };
+        self.doc_owners
+            .write()
+            .expect("doc owner map poisoned")
+            .insert(
+                id.index(),
+                DocOwner {
+                    tenant: tenant.0,
+                    bytes,
+                },
+            );
+        id
     }
 
     /// Unregisters a document: its id stops resolving (subsequent requests
@@ -662,10 +942,102 @@ impl Service {
                     .write()
                     .expect("ratio map lock poisoned")
                     .remove(&d.index());
+                // Release the owning tenant's quota charge.
+                if let Some(owner) = self
+                    .doc_owners
+                    .write()
+                    .expect("doc owner map poisoned")
+                    .remove(&d.index())
+                {
+                    let mut tenants = self.tenants.write().expect("tenant registry poisoned");
+                    if let Some(state) = tenants.get_mut(&owner.tenant) {
+                        state.usage.docs = state.usage.docs.saturating_sub(1);
+                        state.usage.corpus_bytes =
+                            state.usage.corpus_bytes.saturating_sub(owner.bytes);
+                    }
+                }
                 true
             }
             None => false,
         }
+    }
+
+    /// Creates a tenant.  Returns `false` (changing nothing) if the id is
+    /// already taken.  The tenant's cache share is pushed onto the shared
+    /// matrix pool immediately.
+    pub fn create_tenant(&self, id: TenantId, config: TenantConfig) -> bool {
+        let mut tenants = self.tenants.write().expect("tenant registry poisoned");
+        if tenants.contains_key(&id.0) {
+            return false;
+        }
+        self.cache.set_tenant_share(id.0, config.cache_share);
+        tenants.insert(
+            id.0,
+            TenantState {
+                config,
+                usage: TenantUsage::default(),
+            },
+        );
+        true
+    }
+
+    /// Replaces a tenant's configuration (usage is untouched; documents
+    /// already over a tightened quota stay registered — only *new*
+    /// registrations are checked).  Returns `false` for unknown tenants.
+    pub fn update_tenant(&self, id: TenantId, config: TenantConfig) -> bool {
+        let mut tenants = self.tenants.write().expect("tenant registry poisoned");
+        let Some(state) = tenants.get_mut(&id.0) else {
+            return false;
+        };
+        self.cache.set_tenant_share(id.0, config.cache_share);
+        state.config = config;
+        true
+    }
+
+    /// A tenant's configuration.
+    pub fn tenant_config(&self, id: TenantId) -> Option<TenantConfig> {
+        self.tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .get(&id.0)
+            .map(|state| state.config.clone())
+    }
+
+    /// A tenant's live usage counters.
+    pub fn tenant_usage(&self, id: TenantId) -> Option<TenantUsage> {
+        self.tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .get(&id.0)
+            .map(|state| state.usage)
+    }
+
+    /// All tenant ids, ascending (always contains the default tenant).
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        let mut ids: Vec<TenantId> = self
+            .tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .keys()
+            .map(|&id| TenantId(id))
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Matrix-cache bytes currently resident for a tenant's documents.
+    pub fn tenant_cache_resident(&self, id: TenantId) -> usize {
+        self.cache.resident_bytes_for_tenant(id.0)
+    }
+
+    /// The tenant owning a document id (`None` if the id was never issued
+    /// or the document was removed).
+    pub fn document_tenant(&self, d: DocumentId) -> Option<TenantId> {
+        self.doc_owners
+            .read()
+            .expect("doc owner map poisoned")
+            .get(&d.index())
+            .map(|owner| TenantId(owner.tenant))
     }
 
     /// The prepared query behind an id.
@@ -1023,6 +1395,92 @@ mod tests {
                 .collect::<BTreeSet<_>>(),
             all
         );
+    }
+
+    #[test]
+    fn tenant_quotas_reject_with_structured_errors_and_release_on_remove() {
+        let service = Service::new();
+        let t = TenantId(4);
+        assert!(service.create_tenant(
+            t,
+            TenantConfig {
+                name: "acme".into(),
+                max_docs: 2,
+                max_corpus_bytes: 40,
+                ..TenantConfig::default()
+            }
+        ));
+        assert!(
+            !service.create_tenant(t, TenantConfig::default()),
+            "duplicate id"
+        );
+
+        let doc = families::power_word(b"ab", 8); // 16 bytes
+        let a = service.add_document_for(t, &doc).unwrap();
+        let _b = service.add_document_for(t, &doc).unwrap();
+        assert_eq!(
+            service.tenant_usage(t).unwrap(),
+            TenantUsage {
+                docs: 2,
+                corpus_bytes: 32
+            }
+        );
+        // Doc-count quota hits first.
+        assert_eq!(
+            service.add_document_for(t, &doc),
+            Err(QuotaError::Docs { limit: 2, used: 2 })
+        );
+        // Removing releases both quota dimensions.
+        assert!(service.remove_document(a));
+        assert_eq!(
+            service.tenant_usage(t).unwrap(),
+            TenantUsage {
+                docs: 1,
+                corpus_bytes: 16
+            }
+        );
+        // Now the byte quota rejects a too-large document (16 + 32 > 40).
+        let big = families::power_word(b"ab", 16); // 32 bytes
+        assert_eq!(
+            service.add_document_for(t, &big),
+            Err(QuotaError::CorpusBytes {
+                limit: 40,
+                used: 16,
+                requested: 32
+            })
+        );
+        // Unknown tenants are a structured error too.
+        assert_eq!(
+            service.add_document_for(TenantId(99), &doc),
+            Err(QuotaError::UnknownTenant)
+        );
+        // The default tenant is unlimited and untouched by all of this.
+        let d = service.add_document(&doc);
+        assert_eq!(service.document_tenant(d), Some(TenantId::DEFAULT));
+        assert_eq!(service.tenant_usage(TenantId::DEFAULT).unwrap().docs, 1);
+    }
+
+    #[test]
+    fn auto_probe_counter_tracks_probe_splits_only() {
+        let service = Service::new();
+        // A recorded-k registration must never probe.
+        let doc = families::power_word(b"ab", 4096);
+        service.add_document_sharded(&doc, 4);
+        service.add_document(&doc);
+        assert_eq!(service.auto_probe_count(), 0);
+        // The auto path may or may not probe depending on the host's core
+        // count; on multi-core hosts a large block document probes once.
+        let blocks: Vec<u8> = (0..64u32)
+            .flat_map(|i| {
+                let b = [b'a', b'b', b'c', b'd'][(i % 4) as usize];
+                std::iter::repeat_n(b, 64)
+            })
+            .collect();
+        let block_doc = slp::compress::Compressor::compress(&Bisection, &blocks);
+        let before = service.auto_probe_count();
+        service.add_document_auto(&block_doc);
+        let after = service.auto_probe_count();
+        assert!(after == before || after == before + 1);
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!
 //! ```text
 //! ping
+//! tenant <t>                          # switch namespace (0 = default)
+//! tenant_create <id> <name> <max_docs> <max_bytes> <cache_share> <weight>
+//! tenant_update <id> <name> <max_docs> <max_bytes> <cache_share> <weight>
 //! add_query <pattern> <alphabet>      # e.g. add_query .*x{ab}.* ab
 //! add_doc <text>
 //! add_doc_sharded <k> <text>          # k = 0 lets the server auto-tune
@@ -18,16 +21,20 @@
 //! count <q> <d>
 //! compute <q> <d> <limit|->
 //! enum <q> <d> <skip> <limit|->
-//! stats
+//! stats                               # scrape-friendly text export
 //! shutdown
 //! ```
 //!
-//! Every reply is printed as one line.  `busy` backpressure is retried
-//! with a small backoff; any other server error aborts with exit code 1,
-//! so a CI script fails loudly.
+//! Every reply is printed as one line — except `stats`, which exports
+//! every counter the server exposes (per-task-kind counts, per-tenant
+//! quota/cache rows, executor fallbacks, store metrics) as
+//! `spanner_<name>[{labels}] <value>` lines, one metric per line, ready
+//! for a text-format scraper.  `busy` backpressure is retried with a
+//! small backoff; any other server error aborts with exit code 1, so a
+//! CI script fails loudly.
 
 use spanner::{Span, SpanTuple, Variable};
-use spanner_server::{retry_busy, Client, ClientError};
+use spanner_server::{retry_busy, Client, ClientError, TenantSpec};
 use std::io::{BufRead, BufReader};
 use std::time::Duration;
 
@@ -102,8 +109,36 @@ fn run_command(client: &mut Client, line: &str) -> Result<String, ClientError> {
         }
     };
 
+    let spec = || -> Result<TenantSpec, ClientError> {
+        Ok(TenantSpec {
+            id: num(0)? as u32,
+            name: arg(1)?.to_string(),
+            max_docs: num(2)?,
+            max_corpus_bytes: num(3)?,
+            cache_share: num(4)?,
+            admission_weight: num(5)? as u32,
+        })
+    };
+
     match command {
         "ping" => Ok(format!("pong proto={}", client.ping()?)),
+        "tenant" => {
+            let t = num(0)? as u32;
+            client.set_tenant(t);
+            Ok(format!("tenant {t}"))
+        }
+        "tenant_create" => {
+            let spec = spec()?;
+            let id = spec.id;
+            retry_busy(RETRIES, BACKOFF, || client.tenant_create(spec.clone()))?;
+            Ok(format!("tenant {id} created"))
+        }
+        "tenant_update" => {
+            let spec = spec()?;
+            let id = spec.id;
+            retry_busy(RETRIES, BACKOFF, || client.tenant_update(spec.clone()))?;
+            Ok(format!("tenant {id} updated"))
+        }
         "add_query" => {
             let id = retry_busy(RETRIES, BACKOFF, || {
                 client.add_query(arg(0)?, arg(1)?.as_bytes())
@@ -166,27 +201,81 @@ fn run_command(client: &mut Client, line: &str) -> Result<String, ClientError> {
             })?;
             Ok(format!("enumerated {} pages={pages}", tuples.len()))
         }
-        "stats" => {
-            let (service, server) = client.stats()?;
-            Ok(format!(
-                "stats requests={} hits={} misses={} evictions={} resident={} \
-                 connections={} busy={} pages={}",
-                service.requests,
-                service.cache_hits,
-                service.cache_misses,
-                service.evictions,
-                service.resident_bytes,
-                server.connections,
-                server.busy_rejections,
-                server.pages_streamed,
-            ))
-        }
+        "stats" => Ok(render_scrape(&client.stats_full()?)),
         "shutdown" => {
             client.shutdown()?;
             Ok("shutdown acknowledged".to_string())
         }
         other => Err(ClientError::Protocol(format!("unknown command '{other}'"))),
     }
+}
+
+/// Renders the full stats answer as scrape-friendly text: one
+/// `spanner_<name>[{labels}] <value>` line per metric.
+fn render_scrape(full: &spanner_server::FullStats) -> String {
+    let mut out = Vec::new();
+    let s = &full.service;
+    for (name, value) in [
+        ("requests_total", s.requests),
+        ("cache_hits_total", s.cache_hits),
+        ("cache_misses_total", s.cache_misses),
+        ("cache_evictions_total", s.evictions),
+        ("cache_resident_bytes", s.resident_bytes),
+        ("cache_resident_entries", s.resident_entries),
+    ] {
+        out.push(format!("spanner_{name} {value}"));
+    }
+    for (kind, value) in [
+        ("nonemptiness", s.non_emptiness),
+        ("model_check", s.model_check),
+        ("count", s.count),
+        ("compute", s.compute),
+        ("enumerate", s.enumerate),
+    ] {
+        out.push(format!("spanner_tasks_total{{kind=\"{kind}\"}} {value}"));
+    }
+    let v = &full.server;
+    for (name, value) in [
+        ("connections_total", v.connections),
+        ("frames_total", v.frames),
+        ("busy_rejections_total", v.busy_rejections),
+        ("quota_rejections_total", v.quota_rejections),
+        ("malformed_frames_total", v.malformed_frames),
+        ("oversized_frames_total", v.oversized_frames),
+        ("pages_streamed_total", v.pages_streamed),
+        ("executor_fallbacks_total", v.remote_fallbacks),
+        ("reshards_total", v.reshards),
+        ("inflight", v.inflight),
+    ] {
+        out.push(format!("spanner_server_{name} {value}"));
+    }
+    for t in &full.tenants {
+        let label = format!("{{tenant=\"{}\"}}", t.id);
+        for (name, value) in [
+            ("docs", t.docs),
+            ("docs_quota", t.max_docs),
+            ("corpus_bytes", t.corpus_bytes),
+            ("corpus_bytes_quota", t.max_corpus_bytes),
+            ("cache_resident_bytes", t.cache_resident),
+            ("cache_share_bytes", t.cache_share),
+            ("admission_weight", t.admission_weight as u64),
+            ("inflight", t.inflight),
+            ("busy_rejections_total", t.busy_rejections),
+            ("quota_rejections_total", t.quota_rejections),
+        ] {
+            out.push(format!("spanner_tenant_{name}{label} {value}"));
+        }
+    }
+    if let Some(store) = &full.store {
+        out.push(format!("spanner_store_log_records {}", store.log_records));
+        out.push(format!("spanner_store_log_bytes {}", store.log_bytes));
+        out.push(format!("spanner_store_last_seq {}", store.last_seq));
+        out.push(format!("spanner_store_snapshot_seq {}", store.snapshot_seq));
+        if let Some(age) = store.snapshot_age_secs {
+            out.push(format!("spanner_store_snapshot_age_seconds {age}"));
+        }
+    }
+    out.join("\n")
 }
 
 /// Parses `x0=1,3 x1=- …` into a span-tuple (variable index, then

@@ -4,6 +4,9 @@
 //! ```text
 //! spanner-server [--addr HOST:PORT] [--max-inflight N] [--max-frame BYTES]
 //!                [--page-size N] [--cache-budget BYTES]
+//!                [--data-dir DIR] [--snapshot-every N]
+//!                [--reshard-interval-ms MS] [--reshard-rounds N]
+//!                [--reshard-cores N]
 //!                [--worker] [--workers ADDR,ADDR,...]
 //! ```
 //!
@@ -14,19 +17,42 @@
 //! a worker fails).  The two are the halves of a distributed pool: boot N
 //! workers, then one front-end pointing at them.
 //!
+//! `--data-dir DIR` makes the server durable: corpus verbs are appended to
+//! `DIR/corpus.log`, a snapshot is cut every `--snapshot-every` verbs
+//! (default 256; 0 disables periodic snapshots), and on boot the store is
+//! replayed — tenants, quotas, wire ids and shard layouts come back
+//! bit-identically, with zero `auto_k` re-probing.  A recovered boot
+//! prints `RECOVERED docs=<n> tenants=<n> verbs=<n> snapshot=<bool>`
+//! before `LISTENING`.
+//!
+//! `--reshard-interval-ms MS` enables the background auto re-shard policy:
+//! every interval, documents whose registered shard count persistently
+//! diverges (for `--reshard-rounds` consecutive rounds, default 3) from
+//! the measured cost model's advice are transparently re-registered at the
+//! advised count.
+//!
 //! Prints `LISTENING <addr>` once the socket is bound (scripts parse this
 //! to learn an ephemeral port), then serves until a client sends the
 //! `shutdown` verb; exits 0 after a clean drain.
 
-use spanner_server::{RemoteExecutor, Server, ServerConfig};
+use spanner_server::{
+    PersistenceOptions, RemoteExecutor, ReshardOptions, Server, ServerConfig, ServerOptions,
+};
 use spanner_slp_core::Service;
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut config = ServerConfig::default();
     let mut cache_budget: Option<usize> = None;
     let mut workers: Vec<String> = Vec::new();
+    let mut data_dir: Option<PathBuf> = None;
+    let mut snapshot_every: u64 = 256;
+    let mut reshard_interval_ms: Option<u64> = None;
+    let mut reshard_rounds: u32 = ReshardOptions::default().rounds;
+    let mut reshard_cores: Option<usize> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -43,6 +69,13 @@ fn main() {
             "--max-frame" => config.max_frame_len = parse(&value(i), "--max-frame"),
             "--page-size" => config.page_size = parse(&value(i), "--page-size"),
             "--cache-budget" => cache_budget = Some(parse(&value(i), "--cache-budget")),
+            "--data-dir" => data_dir = Some(PathBuf::from(value(i))),
+            "--snapshot-every" => snapshot_every = parse(&value(i), "--snapshot-every") as u64,
+            "--reshard-interval-ms" => {
+                reshard_interval_ms = Some(parse(&value(i), "--reshard-interval-ms") as u64)
+            }
+            "--reshard-rounds" => reshard_rounds = parse(&value(i), "--reshard-rounds") as u32,
+            "--reshard-cores" => reshard_cores = Some(parse(&value(i), "--reshard-cores")),
             "--worker" => {
                 config.worker = true;
                 i += 1;
@@ -59,6 +92,8 @@ fn main() {
                 println!(
                     "usage: spanner-server [--addr HOST:PORT] [--max-inflight N] \
                      [--max-frame BYTES] [--page-size N] [--cache-budget BYTES] \
+                     [--data-dir DIR] [--snapshot-every N] \
+                     [--reshard-interval-ms MS] [--reshard-rounds N] [--reshard-cores N] \
                      [--worker] [--workers ADDR,ADDR,...]"
                 );
                 return;
@@ -74,21 +109,45 @@ fn main() {
         eprintln!("--worker and --workers are mutually exclusive roles");
         std::process::exit(2);
     }
+    if config.worker && data_dir.is_some() {
+        eprintln!("--worker processes are stateless; --data-dir makes no sense there");
+        std::process::exit(2);
+    }
 
     let mut builder = Service::builder();
     if let Some(budget) = cache_budget {
         builder = builder.cache_budget(budget);
     }
-    if !workers.is_empty() {
-        builder = builder.shard_executor(Arc::new(RemoteExecutor::new(workers)));
+    let remote = (!workers.is_empty()).then(|| Arc::new(RemoteExecutor::new(workers)));
+    if let Some(remote) = &remote {
+        builder = builder.shard_executor(remote.clone());
     }
-    let server = match Server::bind(addr.as_str(), builder.build(), config) {
+    let options = ServerOptions {
+        config,
+        persistence: data_dir.map(|dir| PersistenceOptions {
+            dir,
+            snapshot_every,
+        }),
+        remote,
+        reshard: reshard_interval_ms.map(|ms| ReshardOptions {
+            interval: Duration::from_millis(ms),
+            rounds: reshard_rounds,
+            cores: reshard_cores,
+        }),
+    };
+    let server = match Server::bind_with(addr.as_str(), builder.build(), options) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");
             std::process::exit(1);
         }
     };
+    if let Some(report) = server.recovery() {
+        println!(
+            "RECOVERED docs={} tenants={} verbs={} snapshot={}",
+            report.documents, report.tenants, report.replayed_verbs, report.from_snapshot
+        );
+    }
     println!("LISTENING {}", server.local_addr());
     // Scripts wait for the line above; make sure it is not stuck in a pipe
     // buffer.

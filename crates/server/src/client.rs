@@ -10,9 +10,10 @@
 
 use crate::proto::{
     ErrorCode, ProtoError, Request, Response, WireServerStats, WireServiceStats, WireStats,
-    WireTask,
+    WireStoreStats, WireTask, WireTenantStats,
 };
 use spanner::SpanTuple;
+use spanner_store::TenantSpec;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -83,21 +84,56 @@ pub struct DocReceipt {
     pub len: u64,
 }
 
+/// The full `stats` answer: service, transport, per-tenant rows and (on a
+/// durable server) store metrics.
+#[derive(Debug, Clone, Default)]
+pub struct FullStats {
+    /// Service-wide evaluation counters.
+    pub service: WireServiceStats,
+    /// Transport-level counters.
+    pub server: WireServerStats,
+    /// One row per known tenant, ascending by id.
+    pub tenants: Vec<WireTenantStats>,
+    /// Durable-store metrics; `None` on an in-memory server.
+    pub store: Option<WireStoreStats>,
+}
+
 /// A connected protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The tenant namespace corpus verbs and tasks run in; `0` (the
+    /// default tenant) keeps frames byte-identical to pre-tenancy clients.
+    tenant: u32,
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server (as the default tenant).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            tenant: 0,
         })
+    }
+
+    /// Switches the tenant namespace subsequent calls run in (`0` is the
+    /// default tenant).
+    pub fn set_tenant(&mut self, tenant: u32) {
+        self.tenant = tenant;
+    }
+
+    /// Builder-style [`Client::set_tenant`].
+    pub fn with_tenant(mut self, tenant: u32) -> Client {
+        self.set_tenant(tenant);
+        self
+    }
+
+    /// The tenant namespace this client currently runs in.
+    pub fn tenant(&self) -> u32 {
+        self.tenant
     }
 
     fn send(&mut self, request: &Request) -> Result<(), ClientError> {
@@ -152,6 +188,7 @@ impl Client {
     /// Compresses and pools a document (monolithic).
     pub fn add_doc(&mut self, text: &[u8]) -> Result<DocReceipt, ClientError> {
         self.add_doc_request(&Request::AddDoc {
+            tenant: self.tenant,
             text: text.to_vec(),
         })
     }
@@ -160,6 +197,7 @@ impl Client {
     /// the server auto-tune the count (see the receipt's `shards`).
     pub fn add_doc_sharded(&mut self, text: &[u8], k: u64) -> Result<DocReceipt, ClientError> {
         self.add_doc_request(&Request::AddDocSharded {
+            tenant: self.tenant,
             k,
             text: text.to_vec(),
         })
@@ -175,7 +213,10 @@ impl Client {
     /// Unregisters a pooled document: its wire id stops resolving and the
     /// server invalidates every matrix the document held in its cache.
     pub fn remove_doc(&mut self, doc: u64) -> Result<(), ClientError> {
-        match self.call(&Request::RemoveDoc { doc })? {
+        match self.call(&Request::RemoveDoc {
+            tenant: self.tenant,
+            doc,
+        })? {
             Response::DocRemoved { id } if id == doc => Ok(()),
             other => Err(unexpected("removal receipt", &other)),
         }
@@ -235,6 +276,7 @@ impl Client {
         mut on_page: impl FnMut(&[SpanTuple]),
     ) -> Result<(Vec<SpanTuple>, WireStats), ClientError> {
         self.send(&Request::Task {
+            tenant: self.tenant,
             query,
             doc,
             task: WireTask::Enumerate { skip, limit },
@@ -272,13 +314,55 @@ impl Client {
             !matches!(task, WireTask::Enumerate { .. }),
             "enumerate responses are streams; use Client::enumerate"
         );
-        self.call(&Request::Task { query, doc, task })
+        self.call(&Request::Task {
+            tenant: self.tenant,
+            query,
+            doc,
+            task,
+        })
+    }
+
+    /// Creates a tenant from a full spec (quotas, cache share, admission
+    /// weight).  Fails if the id is already taken.
+    pub fn tenant_create(&mut self, spec: TenantSpec) -> Result<(), ClientError> {
+        let id = spec.id;
+        match self.call(&Request::TenantCreate { spec })? {
+            Response::TenantOk { id: got, created } if got == id && created => Ok(()),
+            other => Err(unexpected("tenant receipt", &other)),
+        }
+    }
+
+    /// Reconfigures an existing tenant (existing usage is never re-checked
+    /// against the new quotas; only future registrations are).
+    pub fn tenant_update(&mut self, spec: TenantSpec) -> Result<(), ClientError> {
+        let id = spec.id;
+        match self.call(&Request::TenantUpdate { spec })? {
+            Response::TenantOk { id: got, created } if got == id && !created => Ok(()),
+            other => Err(unexpected("tenant receipt", &other)),
+        }
     }
 
     /// Snapshots the server's service-wide and transport-level counters.
+    /// See [`Client::stats_full`] for the tenant and store breakdowns.
     pub fn stats(&mut self) -> Result<(WireServiceStats, WireServerStats), ClientError> {
+        self.stats_full().map(|full| (full.service, full.server))
+    }
+
+    /// Snapshots everything the `stats` verb exports: service counters,
+    /// transport counters, per-tenant rows and durable-store metrics.
+    pub fn stats_full(&mut self) -> Result<FullStats, ClientError> {
         match self.call(&Request::Stats)? {
-            Response::Stats { service, server } => Ok((service, server)),
+            Response::Stats {
+                service,
+                server,
+                tenants,
+                store,
+            } => Ok(FullStats {
+                service,
+                server,
+                tenants,
+                store,
+            }),
             other => Err(unexpected("stats", &other)),
         }
     }

@@ -51,12 +51,24 @@
 #![warn(missing_docs)]
 
 pub mod client;
-pub mod json;
 pub mod proto;
 pub mod remote;
 pub mod server;
 
-pub use client::{retry_busy, Client, ClientError, DocReceipt};
-pub use proto::{ErrorCode, Request, Response, WireNfa, WireTask, PROTOCOL_VERSION};
+// The canonical JSON layer moved into `spanner-store` (the on-disk log and
+// snapshot formats share it); re-exported here so `crate::json` keeps
+// working for the protocol and its tests.
+pub use spanner_store::json;
+
+pub use client::{retry_busy, Client, ClientError, DocReceipt, FullStats};
+pub use proto::{
+    ErrorCode, Request, Response, WireNfa, WireStoreStats, WireTask, WireTenantStats,
+    PROTOCOL_VERSION,
+};
 pub use remote::RemoteExecutor;
-pub use server::{Server, ServerConfig};
+pub use server::{
+    PersistenceOptions, RecoveryReport, ReshardOptions, Server, ServerConfig, ServerOptions,
+};
+// The tenant spec doubles as the wire `tenant_create`/`tenant_update`
+// payload; re-exported so clients need not depend on the store crate.
+pub use spanner_store::TenantSpec;

@@ -32,10 +32,23 @@
 //! | `task` (5 kinds)    | `non_empty` / `checked` / `count` / `tuples`, or a stream of `page` frames closed by `streamed` |
 //! | `remove_doc`        | `removed`                     |
 //! | `shard_build`       | `q` + `planes` + `elapsed_us` |
-//! | `stats`             | `service` + `server`          |
+//! | `tenant_create`     | `tenant` (+ `created`)        |
+//! | `tenant_update`     | `tenant` (+ `created`)        |
+//! | `stats`             | `service` + `server` (+ `tenants`, `store`) |
 //! | `shutdown`          | `shutting_down`               |
 //!
 //! Any request can instead draw `{"ok":false,"error":<code>,"detail":…}`.
+//!
+//! ## Tenancy
+//!
+//! Document-bearing verbs (`add_doc`, `add_doc_sharded`, `remove_doc`,
+//! `task`) carry an *optional* tenant id under the `"t"` key.  An absent
+//! field means the default tenant (id 0), so every frame an older v2 (or
+//! v1) client produces keeps working unchanged — and the field is *only
+//! emitted when non-zero*, so default-tenant frames are byte-identical to
+//! the pre-tenancy encoding (the canonicality contract survives).
+//! Document ids are namespaced per tenant: tenant 3's doc 0 and tenant 7's
+//! doc 0 are different documents, and ids never resolve across tenants.
 
 use crate::json::Json;
 use slp::{NfRule, NonTerminal};
@@ -44,6 +57,8 @@ use spanner_automata::nfa::{Label, Nfa};
 use spanner_slp_core::matrices::{REntry, RMatrix};
 use spanner_slp_core::prepared::EByte;
 use spanner_slp_core::service::{RequestStats, ServiceStats, Task};
+use spanner_store::verbs::{spec_from_json, spec_to_json};
+use spanner_store::{StoreMetrics, TenantSpec};
 use std::fmt;
 
 /// The protocol version this build speaks (and emits).
@@ -108,6 +123,11 @@ pub enum ErrorCode {
     Unsupported,
     /// The server is draining for shutdown and admits no new work.
     ShuttingDown,
+    /// The request would exceed the tenant's configured quota (document
+    /// count or corpus bytes), or names a tenant that does not exist.  An
+    /// admission decision, not a transient overload: unlike
+    /// [`ErrorCode::Busy`] it does **not** invite a retry.
+    Quota,
 }
 
 impl ErrorCode {
@@ -122,6 +142,7 @@ impl ErrorCode {
             ErrorCode::Eval => "eval",
             ErrorCode::Unsupported => "unsupported",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Quota => "quota",
         }
     }
 
@@ -136,6 +157,7 @@ impl ErrorCode {
             b"eval" => ErrorCode::Eval,
             b"unsupported" => ErrorCode::Unsupported,
             b"shutting_down" => ErrorCode::ShuttingDown,
+            b"quota" => ErrorCode::Quota,
             _ => return None,
         })
     }
@@ -755,12 +777,16 @@ pub enum Request {
     },
     /// Compress and pool a document (monolithic).
     AddDoc {
+        /// Owning tenant (0 = default; omitted on the wire when 0).
+        tenant: u32,
         /// The raw document bytes.
         text: Vec<u8>,
     },
     /// Compress and pool a document split into `k` shards (`k = 0` lets the
     /// server auto-tune the shard count).
     AddDocSharded {
+        /// Owning tenant (0 = default; omitted on the wire when 0).
+        tenant: u32,
         /// Requested shard count; `0` = auto.
         k: u64,
         /// The raw document bytes.
@@ -768,9 +794,12 @@ pub enum Request {
     },
     /// Evaluate one task over a pooled (query, document) pair.
     Task {
+        /// Tenant whose document namespace `doc` resolves in (0 = default;
+        /// omitted on the wire when 0).  Queries are shared across tenants.
+        tenant: u32,
         /// Wire id of the pooled query.
         query: u64,
-        /// Wire id of the pooled document.
+        /// Wire id of the pooled document (inside the tenant's namespace).
         doc: u64,
         /// What to compute.
         task: WireTask,
@@ -778,8 +807,24 @@ pub enum Request {
     /// Unregister a pooled document: its wire id stops resolving and its
     /// cached matrices are invalidated (`MatrixCache::clear_doc`).
     RemoveDoc {
+        /// Tenant whose namespace `doc` resolves in (0 = default; omitted
+        /// on the wire when 0).
+        tenant: u32,
         /// Wire id of the pooled document.
         doc: u64,
+    },
+    /// Create a tenant namespace with quotas, a cache share and an
+    /// admission weight.  Fails if the id is already taken (id 0 — the
+    /// default tenant — always exists).
+    TenantCreate {
+        /// The tenant's full configuration.
+        spec: TenantSpec,
+    },
+    /// Replace an existing tenant's configuration (usage is untouched; new
+    /// limits apply to subsequent registrations).
+    TenantUpdate {
+        /// The tenant's full configuration.
+        spec: TenantSpec,
     },
     /// Run one shard's Lemma 6.5 matrix pass (the worker verb behind
     /// distributed shard execution): a *standalone* rule block plus the
@@ -865,6 +910,134 @@ pub struct WireServerStats {
     pub pages_streamed: u64,
     /// Requests executing right now.
     pub inflight: u64,
+    /// Requests answered with [`ErrorCode::Quota`].
+    pub quota_rejections: u64,
+    /// Remote shard passes that fell back to local execution (0 when no
+    /// worker pool is attached).
+    pub remote_fallbacks: u64,
+    /// Documents transparently re-registered by the auto re-shard policy.
+    pub reshards: u64,
+}
+
+/// One tenant's usage, limits and serving counters inside a
+/// [`Response::Stats`] frame.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireTenantStats {
+    /// Tenant id.
+    pub id: u32,
+    /// Human-readable name.
+    pub name: String,
+    /// Live documents.
+    pub docs: u64,
+    /// Corpus bytes across live documents.
+    pub corpus_bytes: u64,
+    /// Document quota (0 = unlimited).
+    pub max_docs: u64,
+    /// Corpus byte quota (0 = unlimited).
+    pub max_corpus_bytes: u64,
+    /// Reserved matrix-cache share in bytes (0 = none).
+    pub cache_share: u64,
+    /// Matrix-cache bytes currently resident for this tenant's documents.
+    pub cache_resident: u64,
+    /// Relative admission weight.
+    pub admission_weight: u32,
+    /// This tenant's requests executing right now.
+    pub inflight: u64,
+    /// Requests answered with `busy` at this tenant's admission cap.
+    pub busy_rejections: u64,
+    /// Registrations refused over this tenant's quotas.
+    pub quota_rejections: u64,
+}
+
+impl WireTenantStats {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("id", Json::num(self.id)),
+            ("name", Json::str(&self.name)),
+            ("docs", Json::num(self.docs)),
+            ("corpus_bytes", Json::num(self.corpus_bytes)),
+            ("max_docs", Json::num(self.max_docs)),
+            ("max_bytes", Json::num(self.max_corpus_bytes)),
+            ("cache_share", Json::num(self.cache_share)),
+            ("cache_resident", Json::num(self.cache_resident)),
+            ("weight", Json::num(self.admission_weight)),
+            ("inflight", Json::num(self.inflight)),
+            ("busy", Json::num(self.busy_rejections)),
+            ("quota", Json::num(self.quota_rejections)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<WireTenantStats, ProtoError> {
+        Ok(WireTenantStats {
+            id: u32::try_from(num_field(value, "id")?)
+                .map_err(|_| ProtoError::Malformed("tenant id out of range".into()))?,
+            name: String::from_utf8_lossy(&str_field(value, "name")?).into_owned(),
+            docs: num_field(value, "docs")?,
+            corpus_bytes: num_field(value, "corpus_bytes")?,
+            max_docs: num_field(value, "max_docs")?,
+            max_corpus_bytes: num_field(value, "max_bytes")?,
+            cache_share: num_field(value, "cache_share")?,
+            cache_resident: num_field(value, "cache_resident")?,
+            admission_weight: u32::try_from(num_field(value, "weight")?)
+                .map_err(|_| ProtoError::Malformed("tenant weight out of range".into()))?,
+            inflight: num_field(value, "inflight")?,
+            busy_rejections: num_field(value, "busy")?,
+            quota_rejections: num_field(value, "quota")?,
+        })
+    }
+}
+
+/// The durable store's health inside a [`Response::Stats`] frame (absent
+/// when the server runs without persistence).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStoreStats {
+    /// Log records appended since the last snapshot.
+    pub log_records: u64,
+    /// Log bytes on disk since the last snapshot.
+    pub log_bytes: u64,
+    /// Highest sequence number made durable.
+    pub last_seq: u64,
+    /// Sequence number covered by the snapshot (0 = none yet).
+    pub snapshot_seq: u64,
+    /// Seconds since the last snapshot was written (`None` = none yet).
+    pub snapshot_age_secs: Option<u64>,
+}
+
+impl From<&StoreMetrics> for WireStoreStats {
+    fn from(m: &StoreMetrics) -> Self {
+        WireStoreStats {
+            log_records: m.log_records,
+            log_bytes: m.log_bytes,
+            last_seq: m.last_seq,
+            snapshot_seq: m.snapshot_seq,
+            snapshot_age_secs: m.snapshot_age_secs,
+        }
+    }
+}
+
+impl WireStoreStats {
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("log_records", Json::num(self.log_records)),
+            ("log_bytes", Json::num(self.log_bytes)),
+            ("last_seq", Json::num(self.last_seq)),
+            ("snapshot_seq", Json::num(self.snapshot_seq)),
+            (
+                "snapshot_age_secs",
+                self.snapshot_age_secs.map_or(Json::Null, Json::num),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<WireStoreStats, ProtoError> {
+        Ok(WireStoreStats {
+            log_records: num_field(value, "log_records")?,
+            log_bytes: num_field(value, "log_bytes")?,
+            last_seq: num_field(value, "last_seq")?,
+            snapshot_seq: num_field(value, "snapshot_seq")?,
+            snapshot_age_secs: opt_num_field(value, "snapshot_age_secs")?,
+        })
+    }
 }
 
 /// Per-request cost statistics as spoken on the wire (see
@@ -975,12 +1148,24 @@ pub enum Response {
         /// Worker-side wall-clock of the pass, in microseconds.
         elapsed_us: u64,
     },
+    /// Answer to [`Request::TenantCreate`] / [`Request::TenantUpdate`].
+    TenantOk {
+        /// The tenant's id.
+        id: u32,
+        /// `true` for a creation, `false` for an update.
+        created: bool,
+    },
     /// Answer to [`Request::Stats`].
     Stats {
         /// Service-wide evaluation counters.
         service: WireServiceStats,
         /// Transport-level counters.
         server: WireServerStats,
+        /// Per-tenant usage, limits and serving counters (always at least
+        /// the default tenant; empty only in frames from older servers).
+        tenants: Vec<WireTenantStats>,
+        /// Durable-store health; `None` when the server runs in-memory.
+        store: Option<WireStoreStats>,
     },
     /// Answer to [`Request::Shutdown`]: the drain has begun.
     ShuttingDown,
@@ -1097,6 +1282,23 @@ fn obj(pairs: Vec<(&str, Json)>) -> Json {
     Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
+/// Emits the `"t"` tenant field only when non-default, so default-tenant
+/// frames stay byte-identical to the pre-tenancy encoding.
+fn push_tenant(pairs: &mut Vec<(&str, Json)>, tenant: u32) {
+    if tenant != 0 {
+        pairs.push(("t", Json::num(tenant)));
+    }
+}
+
+/// Reads the optional `"t"` tenant field; absent means the default tenant.
+fn tenant_field(value: &Json) -> Result<u32, ProtoError> {
+    match value.get("t") {
+        None => Ok(0),
+        Some(t) => u32::try_from(number(t, "tenant")?)
+            .map_err(|_| ProtoError::Malformed("tenant id out of range".into())),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------------
@@ -1112,17 +1314,25 @@ impl Request {
                 pairs.push(("pattern", Json::str(pattern)));
                 pairs.push(("alphabet", Json::Str(alphabet.clone())));
             }
-            Request::AddDoc { text } => {
+            Request::AddDoc { tenant, text } => {
                 pairs.push(("op", Json::str("add_doc")));
+                push_tenant(&mut pairs, *tenant);
                 pairs.push(("text", Json::Str(text.clone())));
             }
-            Request::AddDocSharded { k, text } => {
+            Request::AddDocSharded { tenant, k, text } => {
                 pairs.push(("op", Json::str("add_doc_sharded")));
+                push_tenant(&mut pairs, *tenant);
                 pairs.push(("k", Json::num(*k)));
                 pairs.push(("text", Json::Str(text.clone())));
             }
-            Request::Task { query, doc, task } => {
+            Request::Task {
+                tenant,
+                query,
+                doc,
+                task,
+            } => {
                 pairs.push(("op", Json::str("task")));
+                push_tenant(&mut pairs, *tenant);
                 pairs.push(("task", Json::str(task.kind())));
                 pairs.push(("query", Json::num(*query)));
                 pairs.push(("doc", Json::num(*doc)));
@@ -1138,9 +1348,18 @@ impl Request {
                     WireTask::NonEmptiness | WireTask::Count => {}
                 }
             }
-            Request::RemoveDoc { doc } => {
+            Request::RemoveDoc { tenant, doc } => {
                 pairs.push(("op", Json::str("remove_doc")));
+                push_tenant(&mut pairs, *tenant);
                 pairs.push(("doc", Json::num(*doc)));
+            }
+            Request::TenantCreate { spec } => {
+                pairs.push(("op", Json::str("tenant_create")));
+                pairs.push(("spec", spec_to_json(spec)));
+            }
+            Request::TenantUpdate { spec } => {
+                pairs.push(("op", Json::str("tenant_update")));
+                pairs.push(("spec", spec_to_json(spec)));
             }
             Request::ShardBuild { nfa, rules, root } => {
                 pairs.push(("op", Json::str("shard_build")));
@@ -1170,9 +1389,11 @@ impl Request {
                 alphabet: str_field(&value, "alphabet")?,
             },
             b"add_doc" => Request::AddDoc {
+                tenant: tenant_field(&value)?,
                 text: str_field(&value, "text")?,
             },
             b"add_doc_sharded" => Request::AddDocSharded {
+                tenant: tenant_field(&value)?,
                 k: num_field(&value, "k")?,
                 text: str_field(&value, "text")?,
             },
@@ -1199,13 +1420,23 @@ impl Request {
                     }
                 };
                 Request::Task {
+                    tenant: tenant_field(&value)?,
                     query: num_field(&value, "query")?,
                     doc: num_field(&value, "doc")?,
                     task,
                 }
             }
             b"remove_doc" => Request::RemoveDoc {
+                tenant: tenant_field(&value)?,
                 doc: num_field(&value, "doc")?,
+            },
+            b"tenant_create" => Request::TenantCreate {
+                spec: spec_from_json(field(&value, "spec")?)
+                    .map_err(|e| ProtoError::Malformed(e.to_string()))?,
+            },
+            b"tenant_update" => Request::TenantUpdate {
+                spec: spec_from_json(field(&value, "spec")?)
+                    .map_err(|e| ProtoError::Malformed(e.to_string()))?,
             },
             b"shard_build" => Request::ShardBuild {
                 nfa: WireNfa::from_json(field(&value, "nfa")?)?,
@@ -1298,10 +1529,21 @@ impl WireServerStats {
             ("oversized_frames", Json::num(self.oversized_frames)),
             ("pages_streamed", Json::num(self.pages_streamed)),
             ("inflight", Json::num(self.inflight)),
+            ("quota_rejections", Json::num(self.quota_rejections)),
+            ("remote_fallbacks", Json::num(self.remote_fallbacks)),
+            ("reshards", Json::num(self.reshards)),
         ])
     }
 
     fn from_json(value: &Json) -> Result<WireServerStats, ProtoError> {
+        // The three newest counters default to zero when absent so stats
+        // frames from older servers still decode.
+        let optional = |key: &str| -> Result<u64, ProtoError> {
+            match value.get(key) {
+                None => Ok(0),
+                Some(v) => number(v, key),
+            }
+        };
         Ok(WireServerStats {
             connections: num_field(value, "connections")?,
             frames: num_field(value, "frames")?,
@@ -1310,6 +1552,9 @@ impl WireServerStats {
             oversized_frames: num_field(value, "oversized_frames")?,
             pages_streamed: num_field(value, "pages_streamed")?,
             inflight: num_field(value, "inflight")?,
+            quota_rejections: optional("quota_rejections")?,
+            remote_fallbacks: optional("remote_fallbacks")?,
+            reshards: optional("reshards")?,
         })
     }
 }
@@ -1369,11 +1614,31 @@ impl Response {
                 ("planes", planes_to_json(rows)),
                 ("elapsed_us", Json::num(*elapsed_us)),
             ]),
-            Response::Stats { service, server } => obj(vec![
+            Response::TenantOk { id, created } => obj(vec![
                 ("ok", Json::Bool(true)),
-                ("service", service.to_json()),
-                ("server", server.to_json()),
+                ("tenant", Json::num(*id)),
+                ("created", Json::Bool(*created)),
             ]),
+            Response::Stats {
+                service,
+                server,
+                tenants,
+                store,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("service", service.to_json()),
+                    ("server", server.to_json()),
+                    (
+                        "tenants",
+                        Json::Arr(tenants.iter().map(WireTenantStats::to_json).collect()),
+                    ),
+                ];
+                if let Some(store) = store {
+                    pairs.push(("store", store.to_json()));
+                }
+                obj(pairs)
+            }
             Response::ShuttingDown => obj(vec![
                 ("ok", Json::Bool(true)),
                 ("shutting_down", Json::Bool(true)),
@@ -1484,10 +1749,34 @@ impl Response {
                 elapsed_us: num_field(&value, "elapsed_us")?,
             });
         }
+        if let Some(id) = value.get("tenant") {
+            return Ok(Response::TenantOk {
+                id: u32::try_from(number(id, "tenant")?)
+                    .map_err(|_| ProtoError::Malformed("tenant id out of range".into()))?,
+                created: bool_field(&value, "created")?,
+            });
+        }
         if let Some(service) = value.get("service") {
+            // `tenants` and `store` are absent in frames from older
+            // servers; decode them leniently.
+            let tenants = match value.get("tenants") {
+                None => Vec::new(),
+                Some(list) => list
+                    .as_arr()
+                    .ok_or_else(|| ProtoError::Malformed("tenants is not an array".into()))?
+                    .iter()
+                    .map(WireTenantStats::from_json)
+                    .collect::<Result<_, _>>()?,
+            };
+            let store = match value.get("store") {
+                None => None,
+                Some(store) => Some(WireStoreStats::from_json(store)?),
+            };
             return Ok(Response::Stats {
                 service: WireServiceStats::from_json(service)?,
                 server: WireServerStats::from_json(field(&value, "server")?)?,
+                tenants,
+                store,
             });
         }
         if value.get("shutting_down").is_some() {
@@ -1560,38 +1849,55 @@ mod tests {
                 alphabet: b"ab".to_vec(),
             },
             Request::AddDoc {
+                tenant: 0,
                 text: (0u16..=255).map(|b| b as u8).collect(),
             },
+            Request::AddDoc {
+                tenant: 7,
+                text: b"tenant-owned".to_vec(),
+            },
             Request::AddDocSharded {
+                tenant: 0,
                 k: 0,
                 text: b"abababab".to_vec(),
             },
+            Request::AddDocSharded {
+                tenant: 3,
+                k: 4,
+                text: b"abababab".to_vec(),
+            },
             Request::Task {
+                tenant: 0,
                 query: 3,
                 doc: 5,
                 task: WireTask::NonEmptiness,
             },
             Request::Task {
+                tenant: 9,
                 query: 0,
                 doc: 0,
                 task: WireTask::ModelCheck(sample_tuple()),
             },
             Request::Task {
+                tenant: 0,
                 query: 1,
                 doc: 2,
                 task: WireTask::Count,
             },
             Request::Task {
+                tenant: 0,
                 query: 1,
                 doc: 2,
                 task: WireTask::Compute { limit: None },
             },
             Request::Task {
+                tenant: 0,
                 query: 1,
                 doc: 2,
                 task: WireTask::Compute { limit: Some(10) },
             },
             Request::Task {
+                tenant: 0,
                 query: 1,
                 doc: 2,
                 task: WireTask::Enumerate {
@@ -1599,7 +1905,21 @@ mod tests {
                     limit: Some(30),
                 },
             },
-            Request::RemoveDoc { doc: 3 },
+            Request::RemoveDoc { tenant: 0, doc: 3 },
+            Request::RemoveDoc { tenant: 7, doc: 0 },
+            Request::TenantCreate {
+                spec: spanner_store::TenantSpec {
+                    id: 7,
+                    name: "acme".into(),
+                    max_docs: 10,
+                    max_corpus_bytes: 1 << 20,
+                    cache_share: 4096,
+                    admission_weight: 3,
+                },
+            },
+            Request::TenantUpdate {
+                spec: spanner_store::TenantSpec::default_tenant(),
+            },
             Request::ShardBuild {
                 nfa: sample_wire_nfa(),
                 rules: vec![
@@ -1686,6 +2006,10 @@ mod tests {
                 )],
                 elapsed_us: 7,
             },
+            Response::TenantOk {
+                id: 7,
+                created: true,
+            },
             Response::Stats {
                 service: WireServiceStats {
                     requests: 11,
@@ -1695,8 +2019,51 @@ mod tests {
                 server: WireServerStats {
                     connections: 3,
                     busy_rejections: 1,
+                    remote_fallbacks: 2,
                     ..Default::default()
                 },
+                tenants: vec![
+                    WireTenantStats {
+                        id: 0,
+                        name: "default".into(),
+                        docs: 4,
+                        corpus_bytes: 4096,
+                        admission_weight: 1,
+                        ..Default::default()
+                    },
+                    WireTenantStats {
+                        id: 7,
+                        name: "acme".into(),
+                        max_docs: 10,
+                        cache_share: 1 << 16,
+                        cache_resident: 900,
+                        admission_weight: 3,
+                        quota_rejections: 2,
+                        ..Default::default()
+                    },
+                ],
+                store: None,
+            },
+            Response::Stats {
+                service: WireServiceStats::default(),
+                server: WireServerStats::default(),
+                tenants: vec![WireTenantStats::default()],
+                store: Some(WireStoreStats {
+                    log_records: 12,
+                    log_bytes: 4096,
+                    last_seq: 40,
+                    snapshot_seq: 28,
+                    snapshot_age_secs: Some(17),
+                }),
+            },
+            Response::Stats {
+                service: WireServiceStats::default(),
+                server: WireServerStats::default(),
+                tenants: Vec::new(),
+                store: Some(WireStoreStats {
+                    snapshot_age_secs: None,
+                    ..Default::default()
+                }),
             },
             Response::ShuttingDown,
         ];
@@ -1716,6 +2083,7 @@ mod tests {
             ErrorCode::Eval,
             ErrorCode::Unsupported,
             ErrorCode::ShuttingDown,
+            ErrorCode::Quota,
         ] {
             let response = Response::Error {
                 code,
@@ -1723,6 +2091,46 @@ mod tests {
             };
             assert_eq!(Response::decode(&response.encode()).unwrap(), response);
         }
+    }
+
+    #[test]
+    fn default_tenant_frames_are_byte_identical_to_pre_tenancy_frames() {
+        // A v2 client that has never heard of tenants emits no "t" field;
+        // those exact bytes must decode to tenant 0, and tenant-0 frames
+        // must encode back to those exact bytes (no "t" key anywhere).
+        let legacy: &[u8] = b"{\"v\":2,\"op\":\"remove_doc\",\"doc\":3}";
+        assert_eq!(
+            Request::decode(legacy).unwrap(),
+            Request::RemoveDoc { tenant: 0, doc: 3 }
+        );
+        for request in [
+            Request::AddDoc {
+                tenant: 0,
+                text: b"x".to_vec(),
+            },
+            Request::AddDocSharded {
+                tenant: 0,
+                k: 2,
+                text: b"x".to_vec(),
+            },
+            Request::RemoveDoc { tenant: 0, doc: 3 },
+            Request::Task {
+                tenant: 0,
+                query: 1,
+                doc: 2,
+                task: WireTask::Count,
+            },
+        ] {
+            let encoded = request.encode();
+            assert!(
+                !String::from_utf8_lossy(&encoded).contains("\"t\""),
+                "{}",
+                String::from_utf8_lossy(&encoded)
+            );
+        }
+        // Non-default tenants round-trip through the "t" field.
+        let tenated = Request::RemoveDoc { tenant: 5, doc: 3 }.encode();
+        assert!(String::from_utf8_lossy(&tenated).contains("\"t\":5"));
     }
 
     #[test]

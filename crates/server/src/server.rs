@@ -44,18 +44,47 @@
 //! poll tick, and new requests on surviving connections draw
 //! [`ErrorCode::ShuttingDown`].  [`Server::join`] returns only after every
 //! worker has exited — a clean drain, never a mid-response cut.
+//!
+//! ## Tenancy
+//!
+//! Documents live in per-tenant namespaces: each tenant has its own wire
+//! id space, and an id never resolves in another tenant's namespace (a
+//! frame carrying the wrong tenant draws [`ErrorCode::UnknownId`], exactly
+//! as if the document did not exist).  Quota violations draw the
+//! structured [`ErrorCode::Quota`] — an admission decision, distinct from
+//! the transient [`ErrorCode::Busy`].  Admission itself is weighted: each
+//! tenant `t` with weight `w_t` owns `max(1, max_inflight · w_t / Σw)`
+//! execution slots, so one tenant's flood cannot starve another's
+//! interactive traffic (`ping`/`stats`/`shutdown` stay exempt, as ever).
+//!
+//! ## Persistence
+//!
+//! With a [`Store`] attached (see [`ServerOptions::persistence`]), every
+//! successful corpus mutation — registrations with their *resolved* shard
+//! counts, removals, tenant changes, policy re-shards — is appended to the
+//! durable log before the response is written, and a snapshot is cut every
+//! `snapshot_every` verbs.  [`Server::bind_with`] replays the store on
+//! boot, reconstructing tenants, quotas, wire ids (including burned ones)
+//! and shard layouts bit-identically — recorded shard counts are replayed
+//! as-is, so a warm restart runs **zero** `auto_k` probes
+//! ([`Service::auto_probe_count`] stays 0).
 
 use crate::proto::{
-    ErrorCode, ProtoError, Request, Response, WireServerStats, WireStats, PROTOCOL_VERSION,
+    ErrorCode, ProtoError, Request, Response, WireServerStats, WireStats, WireTenantStats,
+    PROTOCOL_VERSION,
 };
+use crate::remote::RemoteExecutor;
 use slp::NormalFormSlp;
 use spanner::regex;
-use spanner_slp_core::service::{Service, TaskRequest};
+use spanner_slp_core::service::{Service, TaskRequest, TenantConfig, TenantId};
 use spanner_slp_core::{DocumentId, QueryId};
+use spanner_store::{CorpusImage, LogVerb, Store, TenantSpec};
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -100,6 +129,89 @@ impl Default for ServerConfig {
     }
 }
 
+/// Everything beyond [`ServerConfig`] a durable, multi-tenant deployment
+/// wires in: persistence, a remote worker pool handle (for fallback
+/// observability) and the auto re-shard policy.  The in-memory default
+/// (`ServerOptions::from(config)`) behaves exactly like [`Server::bind`].
+#[derive(Debug, Default)]
+pub struct ServerOptions {
+    /// The transport knobs.
+    pub config: ServerConfig,
+    /// Attach a durable store: replay it on boot, log every corpus
+    /// mutation, snapshot periodically.
+    pub persistence: Option<PersistenceOptions>,
+    /// The remote executor the service scatters over, if any — held here
+    /// so `stats` can export its fallback count.
+    pub remote: Option<Arc<RemoteExecutor>>,
+    /// Run the background auto re-shard policy.
+    pub reshard: Option<ReshardOptions>,
+}
+
+impl From<ServerConfig> for ServerOptions {
+    fn from(config: ServerConfig) -> Self {
+        ServerOptions {
+            config,
+            ..Default::default()
+        }
+    }
+}
+
+/// Where and how often the corpus is made durable.
+#[derive(Debug, Clone)]
+pub struct PersistenceOptions {
+    /// Directory holding `corpus.log` and `corpus.snapshot` (created if
+    /// missing).
+    pub dir: PathBuf,
+    /// Cut a snapshot (and truncate the log) every this many appended
+    /// verbs; `0` disables periodic snapshots (the log just grows).
+    pub snapshot_every: u64,
+}
+
+/// Knobs of the background auto re-shard policy: every `interval` it
+/// compares each document's registered shard count with
+/// [`Service::suggest_shard_count_for`]'s advice, and after `rounds`
+/// *consecutive* diverging observations re-registers the document at the
+/// advised count — new layout built under a fresh service id, wire slot
+/// swapped atomically, old id removed, and a `reshard` verb logged so the
+/// decision survives restarts.
+#[derive(Debug, Clone)]
+pub struct ReshardOptions {
+    /// How often the policy scans the corpus.
+    pub interval: Duration,
+    /// Consecutive diverging observations required before acting (guards
+    /// against advice that flaps with cache-warmth noise).
+    pub rounds: u32,
+    /// Core count handed to the advisor; `None` uses the host's
+    /// parallelism.  Fixing it makes the policy deterministic in tests.
+    pub cores: Option<usize>,
+}
+
+impl Default for ReshardOptions {
+    fn default() -> Self {
+        ReshardOptions {
+            interval: Duration::from_secs(30),
+            rounds: 3,
+            cores: None,
+        }
+    }
+}
+
+/// What boot-time replay reconstructed (see [`Server::recovery`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `true` if a snapshot seeded the image (log-only boots are `false`).
+    pub from_snapshot: bool,
+    /// Log verbs replayed on top of the snapshot.
+    pub replayed_verbs: u64,
+    /// Bytes of torn log tail dropped (non-zero only after a crash
+    /// mid-append).
+    pub torn_bytes: u64,
+    /// Live documents re-registered.
+    pub documents: u64,
+    /// Tenants recreated (excluding the default tenant).
+    pub tenants: u64,
+}
+
 /// Transport-level counters (see [`WireServerStats`] for the wire form).
 #[derive(Debug, Default)]
 struct Metrics {
@@ -109,6 +221,97 @@ struct Metrics {
     malformed_frames: AtomicU64,
     oversized_frames: AtomicU64,
     pages_streamed: AtomicU64,
+    quota_rejections: AtomicU64,
+    reshards: AtomicU64,
+}
+
+/// One tenant's admission gate: its weight and live counters.  Gates exist
+/// for every *known* tenant; frames naming unknown tenants pass only the
+/// global gate (and then fail id/quota validation in the handler).
+#[derive(Debug)]
+struct TenantGate {
+    weight: AtomicU64,
+    inflight: AtomicUsize,
+    busy_rejections: AtomicU64,
+    quota_rejections: AtomicU64,
+}
+
+impl TenantGate {
+    fn new(weight: u32) -> TenantGate {
+        TenantGate {
+            // Weight 0 would compute a zero cap; floor at 1 (every tenant
+            // may always run *something*).
+            weight: AtomicU64::new(weight.max(1) as u64),
+            inflight: AtomicUsize::new(0),
+            busy_rejections: AtomicU64::new(0),
+            quota_rejections: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The weighted admission table: per-tenant gates plus the cached weight
+/// total (recomputed under the write lock on every weight change).
+#[derive(Debug, Default)]
+struct Admission {
+    gates: RwLock<HashMap<u32, Arc<TenantGate>>>,
+    total_weight: AtomicU64,
+}
+
+impl Admission {
+    fn set_weight(&self, tenant: u32, weight: u32) {
+        let mut gates = self.gates.write().expect("admission table poisoned");
+        match gates.get(&tenant) {
+            Some(gate) => gate.weight.store(weight.max(1) as u64, Ordering::Relaxed),
+            None => {
+                gates.insert(tenant, Arc::new(TenantGate::new(weight)));
+            }
+        }
+        let total: u64 = gates
+            .values()
+            .map(|g| g.weight.load(Ordering::Relaxed))
+            .sum();
+        self.total_weight.store(total, Ordering::Relaxed);
+    }
+
+    fn gate(&self, tenant: u32) -> Option<Arc<TenantGate>> {
+        self.gates
+            .read()
+            .expect("admission table poisoned")
+            .get(&tenant)
+            .cloned()
+    }
+}
+
+/// The durable half of a server: the store, an in-memory mirror of the
+/// corpus image (so snapshots never re-read the log), and the snapshot
+/// cadence.  The mirror mutex also serializes append+apply so the mirror's
+/// `last_seq` tracks the log exactly.
+struct Persist {
+    store: Store,
+    mirror: Mutex<CorpusImage>,
+    snapshot_every: u64,
+}
+
+impl Persist {
+    /// Makes one corpus mutation durable: append to the log, fold into the
+    /// mirror, snapshot if the cadence says so.  Durability failures are
+    /// loud but non-fatal — the in-memory serving state already mutated,
+    /// and refusing to answer would not un-mutate it.
+    fn record(&self, verb: &LogVerb) {
+        let mut mirror = self.mirror.lock().expect("corpus mirror poisoned");
+        match self.store.append(verb) {
+            Ok(seq) => mirror.apply(seq, verb),
+            Err(e) => {
+                eprintln!("spanner-server: WARNING: log append failed: {e}");
+                return;
+            }
+        }
+        if self.snapshot_every > 0 && self.store.metrics().log_records >= self.snapshot_every {
+            if let Err(e) = self.store.snapshot(&mirror) {
+                eprintln!("spanner-server: WARNING: snapshot failed: {e}");
+            }
+        }
+    }
 }
 
 /// State shared between the accept loop and every connection worker.
@@ -117,10 +320,16 @@ struct Shared {
     config: ServerConfig,
     /// Wire id → service id, in registration order.  The indirection keeps
     /// the service's id types opaque and lets the server validate ids
-    /// instead of panicking on unknown ones.  A `None` document slot is a
-    /// removed document: the wire id is burned, never reissued.
+    /// instead of panicking on unknown ones.
     queries: RwLock<Vec<QueryId>>,
-    documents: RwLock<Vec<Option<DocumentId>>>,
+    /// Per-tenant document namespaces: tenant id → (wire id → service id).
+    /// A `None` slot is a removed document — the wire id is burned, never
+    /// reissued — and an id only ever resolves inside its own tenant's
+    /// vector, so cross-tenant ids cannot leak.
+    documents: RwLock<HashMap<u32, Vec<Option<DocumentId>>>>,
+    admission: Admission,
+    persist: Option<Persist>,
+    remote: Option<Arc<RemoteExecutor>>,
     shutdown: AtomicBool,
     inflight: AtomicUsize,
     metrics: Metrics,
@@ -136,19 +345,95 @@ impl Shared {
             oversized_frames: self.metrics.oversized_frames.load(Ordering::Relaxed),
             pages_streamed: self.metrics.pages_streamed.load(Ordering::Relaxed),
             inflight: self.inflight.load(Ordering::Relaxed) as u64,
+            quota_rejections: self.metrics.quota_rejections.load(Ordering::Relaxed),
+            remote_fallbacks: self
+                .remote
+                .as_ref()
+                .map_or(0, |remote| remote.fallback_count()),
+            reshards: self.metrics.reshards.load(Ordering::Relaxed),
         }
     }
 
-    /// Tries to win one execution slot; `None` means the server is at its
-    /// in-flight cap and the request must be answered with `busy`.
-    fn admit(self: &Arc<Self>) -> Option<Permit> {
+    /// One [`WireTenantStats`] row per known tenant, ascending by id.
+    fn tenant_stats(&self) -> Vec<WireTenantStats> {
+        self.service
+            .tenant_ids()
+            .into_iter()
+            .map(|id| {
+                let config = self.service.tenant_config(id).unwrap_or_default();
+                let usage = self.service.tenant_usage(id).unwrap_or_default();
+                let gate = self.admission.gate(id.0);
+                WireTenantStats {
+                    id: id.0,
+                    name: config.name,
+                    docs: usage.docs,
+                    corpus_bytes: usage.corpus_bytes,
+                    max_docs: config.max_docs,
+                    max_corpus_bytes: config.max_corpus_bytes,
+                    cache_share: config.cache_share as u64,
+                    cache_resident: self.service.tenant_cache_resident(id) as u64,
+                    admission_weight: config.admission_weight,
+                    inflight: gate
+                        .as_ref()
+                        .map_or(0, |g| g.inflight.load(Ordering::Relaxed) as u64),
+                    busy_rejections: gate
+                        .as_ref()
+                        .map_or(0, |g| g.busy_rejections.load(Ordering::Relaxed)),
+                    quota_rejections: gate
+                        .as_ref()
+                        .map_or(0, |g| g.quota_rejections.load(Ordering::Relaxed)),
+                }
+            })
+            .collect()
+    }
+
+    /// The full `stats` answer: service + transport + tenants + store.
+    fn stats_response(&self) -> Response {
+        Response::Stats {
+            service: (&self.service.stats()).into(),
+            server: self.server_stats(),
+            tenants: self.tenant_stats(),
+            store: self.persist.as_ref().map(|p| (&p.store.metrics()).into()),
+        }
+    }
+
+    /// Counts one quota rejection against the tenant and the server.
+    fn count_quota_rejection(&self, tenant: u32) {
+        self.metrics
+            .quota_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(gate) = self.admission.gate(tenant) {
+            gate.quota_rejections.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Tries to win one execution slot for `tenant`'s request; `None`
+    /// means the global cap or the tenant's weighted share is exhausted
+    /// and the request must be answered with `busy`.
+    fn admit(self: &Arc<Self>, tenant: u32) -> Option<Permit> {
         if self.inflight.fetch_add(1, Ordering::AcqRel) >= self.config.max_inflight {
             self.inflight.fetch_sub(1, Ordering::AcqRel);
             self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
             return None;
         }
+        let gate = self.admission.gate(tenant);
+        if let Some(gate) = &gate {
+            // cap_t = max(1, max_inflight · w_t / Σw): proportional shares
+            // that always leave every tenant at least one slot.
+            let total = self.admission.total_weight.load(Ordering::Relaxed).max(1);
+            let weight = gate.weight.load(Ordering::Relaxed);
+            let cap = ((self.config.max_inflight as u64 * weight / total) as usize).max(1);
+            if gate.inflight.fetch_add(1, Ordering::AcqRel) >= cap {
+                gate.inflight.fetch_sub(1, Ordering::AcqRel);
+                self.inflight.fetch_sub(1, Ordering::AcqRel);
+                self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                gate.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
         Some(Permit {
             shared: self.clone(),
+            gate,
         })
     }
 }
@@ -156,10 +441,14 @@ impl Shared {
 /// An execution slot, released on drop (also on panics and early returns).
 struct Permit {
     shared: Arc<Shared>,
+    gate: Option<Arc<TenantGate>>,
 }
 
 impl Drop for Permit {
     fn drop(&mut self) {
+        if let Some(gate) = &self.gate {
+            gate.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
         self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
     }
 }
@@ -171,16 +460,63 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
+    reshard: Option<JoinHandle<()>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `service` with the given configuration.
+    /// `service` with the given configuration — in-memory, single
+    /// (default) tenant, no policy threads.  See [`Server::bind_with`] for
+    /// the durable / multi-tenant variant.
     pub fn bind(
         addr: impl ToSocketAddrs,
         service: Service,
         config: ServerConfig,
     ) -> io::Result<Server> {
+        Server::bind_with(addr, service, ServerOptions::from(config))
+    }
+
+    /// Binds `addr` with the full option set: optional durable store
+    /// (replayed into `service` before the socket opens), optional remote
+    /// pool handle, optional auto re-shard policy.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        service: Service,
+        options: ServerOptions,
+    ) -> io::Result<Server> {
+        let ServerOptions {
+            config,
+            persistence,
+            remote,
+            reshard,
+        } = options;
+        let admission = Admission::default();
+        // The default tenant always has a gate (the service seeds it).
+        let default_weight = service
+            .tenant_config(TenantId::DEFAULT)
+            .map_or(1, |c| c.admission_weight);
+        admission.set_weight(0, default_weight);
+
+        let mut documents: HashMap<u32, Vec<Option<DocumentId>>> = HashMap::new();
+        let mut persist = None;
+        let mut recovery = None;
+        if let Some(opts) = persistence {
+            let (store, recovered) = Store::open(&opts.dir)?;
+            let report = replay(&service, &admission, &mut documents, &recovered.image)?;
+            recovery = Some(RecoveryReport {
+                from_snapshot: recovered.from_snapshot,
+                replayed_verbs: recovered.replayed_verbs,
+                torn_bytes: recovered.torn_bytes,
+                ..report
+            });
+            persist = Some(Persist {
+                store,
+                mirror: Mutex::new(recovered.image),
+                snapshot_every: opts.snapshot_every,
+            });
+        }
+
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -188,7 +524,10 @@ impl Server {
             service,
             config,
             queries: RwLock::new(Vec::new()),
-            documents: RwLock::new(Vec::new()),
+            documents: RwLock::new(documents),
+            admission,
+            persist,
+            remote,
             shutdown: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             metrics: Metrics::default(),
@@ -197,11 +536,23 @@ impl Server {
             let shared = shared.clone();
             std::thread::spawn(move || accept_loop(listener, shared))
         };
+        let reshard = reshard.map(|opts| {
+            let shared = shared.clone();
+            std::thread::spawn(move || reshard_loop(shared, opts))
+        });
         Ok(Server {
             shared,
             addr,
             accept: Some(accept),
+            reshard,
+            recovery,
         })
+    }
+
+    /// What boot-time replay reconstructed; `None` when the server was
+    /// bound without persistence.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// The bound address (with the actual port when bound ephemeral).
@@ -234,6 +585,9 @@ impl Server {
         if let Some(accept) = self.accept.take() {
             accept.join().expect("accept loop panicked");
         }
+        if let Some(reshard) = self.reshard.take() {
+            reshard.join().expect("reshard policy panicked");
+        }
     }
 
     /// [`Server::request_shutdown`] + [`Server::join`].
@@ -250,6 +604,206 @@ impl Drop for Server {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        if let Some(reshard) = self.reshard.take() {
+            let _ = reshard.join();
+        }
+    }
+}
+
+/// Rebuilds the serving state from a recovered corpus image: tenants
+/// first (with quotas lifted so replay cannot refuse documents the live
+/// server once admitted), then every document at its *recorded* shard
+/// count — never through the auto-tuning path, so replay runs zero
+/// `auto_k` probes — then the recorded quotas, then the wire-id floors
+/// (burned ids stay burned).
+fn replay(
+    service: &Service,
+    admission: &Admission,
+    documents: &mut HashMap<u32, Vec<Option<DocumentId>>>,
+    image: &CorpusImage,
+) -> io::Result<RecoveryReport> {
+    let invalid = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+    for spec in &image.tenants {
+        let unlimited = TenantConfig {
+            name: spec.name.clone(),
+            max_docs: 0,
+            max_corpus_bytes: 0,
+            cache_share: spec.cache_share as usize,
+            admission_weight: spec.admission_weight,
+        };
+        if !service.create_tenant(TenantId(spec.id), unlimited) {
+            return Err(invalid(format!(
+                "replay: tenant {} already exists in the service",
+                spec.id
+            )));
+        }
+        admission.set_weight(spec.id, spec.admission_weight);
+    }
+    for doc in &image.docs {
+        let slp = NormalFormSlp::from_document(&doc.text)
+            .map_err(|e| invalid(format!("replay: cannot recompress document: {e}")))?;
+        let tenant = TenantId(doc.tenant);
+        let k = doc.shards.max(1) as usize;
+        let id = if k == 1 {
+            service.add_document_for(tenant, &slp)
+        } else {
+            service.add_document_sharded_for(tenant, &slp, k)
+        }
+        .map_err(|e| invalid(format!("replay: registration refused: {e}")))?;
+        let namespace = documents.entry(doc.tenant).or_default();
+        let slot = usize::try_from(doc.wire_id)
+            .map_err(|_| invalid("replay: wire id out of range".into()))?;
+        if namespace.len() <= slot {
+            namespace.resize(slot + 1, None);
+        }
+        if namespace[slot].is_some() {
+            return Err(invalid(format!(
+                "replay: duplicate wire id {} in tenant {}",
+                doc.wire_id, doc.tenant
+            )));
+        }
+        namespace[slot] = Some(id);
+    }
+    // Now that the corpus is back, install the real quotas (update never
+    // re-checks existing usage).
+    for spec in &image.tenants {
+        let config = TenantConfig {
+            name: spec.name.clone(),
+            max_docs: spec.max_docs,
+            max_corpus_bytes: spec.max_corpus_bytes,
+            cache_share: spec.cache_share as usize,
+            admission_weight: spec.admission_weight,
+        };
+        service.update_tenant(TenantId(spec.id), config);
+    }
+    // Pad every namespace up to its recorded next-id so removed documents
+    // at the tail stay burned instead of being reissued.
+    for &(tenant, next) in &image.next_ids {
+        let namespace = documents.entry(tenant).or_default();
+        let next =
+            usize::try_from(next).map_err(|_| invalid("replay: next id out of range".into()))?;
+        if namespace.len() < next {
+            namespace.resize(next, None);
+        }
+    }
+    Ok(RecoveryReport {
+        documents: image.docs.len() as u64,
+        tenants: image.tenants.len() as u64,
+        ..Default::default()
+    })
+}
+
+/// The background auto re-shard policy: every `interval`, compare each
+/// live document's registered shard count with the advice of the measured
+/// cost model.  After `rounds` consecutive divergences towards the *same*
+/// advice, the document is transparently re-registered: build the new
+/// layout under a fresh service id, atomically swap the wire slot, remove
+/// the old id, and record a `reshard` verb so the decision survives a
+/// restart.  Queries keep working throughout — the swap happens only after
+/// the new layout is fully built.
+fn reshard_loop(shared: Arc<Shared>, opts: ReshardOptions) {
+    let cores = opts
+        .cores
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    // (tenant, wire id) → (advice, consecutive rounds it has held).
+    let mut streaks: HashMap<(u32, u64), (usize, u32)> = HashMap::new();
+    let tick = Duration::from_millis(25);
+    'policy: loop {
+        let mut slept = Duration::ZERO;
+        while slept < opts.interval {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break 'policy;
+            }
+            std::thread::sleep(tick);
+            slept += tick;
+        }
+        let corpus: Vec<(u32, u64, DocumentId)> = {
+            let documents = shared.documents.read().expect("document map poisoned");
+            documents
+                .iter()
+                .flat_map(|(&tenant, namespace)| {
+                    namespace
+                        .iter()
+                        .enumerate()
+                        .filter_map(move |(wire_id, slot)| {
+                            slot.map(|id| (tenant, wire_id as u64, id))
+                        })
+                })
+                .collect()
+        };
+        let live: std::collections::HashSet<(u32, u64)> =
+            corpus.iter().map(|&(t, w, _)| (t, w)).collect();
+        streaks.retain(|key, _| live.contains(key));
+        for (tenant, wire_id, old_id) in corpus {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break 'policy;
+            }
+            // `try_document`: the document may race with a remove.
+            let Some(doc) = shared.service.try_document(old_id) else {
+                streaks.remove(&(tenant, wire_id));
+                continue;
+            };
+            let current = doc.shard_count();
+            let advice = shared.service.auto_shard_count(doc.original(), cores);
+            if advice == current {
+                streaks.remove(&(tenant, wire_id));
+                continue;
+            }
+            let streak = match streaks.get(&(tenant, wire_id)) {
+                Some(&(held, n)) if held == advice => n + 1,
+                _ => 1,
+            };
+            if streak < opts.rounds.max(1) {
+                streaks.insert((tenant, wire_id), (advice, streak));
+                continue;
+            }
+            streaks.remove(&(tenant, wire_id));
+            // Build the replacement first (the quota is transiently
+            // double-charged; a refusal just skips this round).
+            let slp = doc.original().clone();
+            let new_id =
+                match shared
+                    .service
+                    .add_document_sharded_for(TenantId(tenant), &slp, advice)
+                {
+                    Ok(id) => id,
+                    Err(e) => {
+                        eprintln!(
+                            "spanner-server: reshard of tenant {tenant} doc {wire_id} \
+                         skipped: {e}"
+                        );
+                        continue;
+                    }
+                };
+            // Swap only if the slot still points at the layout we measured;
+            // otherwise a concurrent remove/re-add won the race.
+            let swapped = {
+                let mut documents = shared.documents.write().expect("document map poisoned");
+                match documents
+                    .get_mut(&tenant)
+                    .and_then(|namespace| namespace.get_mut(wire_id as usize))
+                {
+                    Some(slot) if *slot == Some(old_id) => {
+                        *slot = Some(new_id);
+                        true
+                    }
+                    _ => false,
+                }
+            };
+            if !swapped {
+                shared.service.remove_document(new_id);
+                continue;
+            }
+            shared.service.remove_document(old_id);
+            shared.metrics.reshards.fetch_add(1, Ordering::Relaxed);
+            if let Some(persist) = &shared.persist {
+                persist.record(&LogVerb::Reshard {
+                    tenant,
+                    wire_id,
+                    shards: advice as u64,
+                });
+            }
         }
     }
 }
@@ -478,13 +1032,7 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> io
             },
         )
         .map(|()| false),
-        Request::Stats => {
-            let response = Response::Stats {
-                service: (&shared.service.stats()).into(),
-                server: shared.server_stats(),
-            };
-            write_frame(writer, &response).map(|()| false)
-        }
+        Request::Stats => write_frame(writer, &shared.stats_response()).map(|()| false),
         // Shutdown is always admitted: an overloaded server must drain.
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
@@ -519,7 +1067,16 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> io
                 )?;
                 return Ok(false);
             }
-            let Some(_permit) = shared.admit() else {
+            // The tenant whose admission share this request draws from:
+            // frames without a tenant field run as the default tenant.
+            let tenant = match &work {
+                Request::AddDoc { tenant, .. }
+                | Request::AddDocSharded { tenant, .. }
+                | Request::RemoveDoc { tenant, .. }
+                | Request::Task { tenant, .. } => *tenant,
+                _ => 0,
+            };
+            let Some(_permit) = shared.admit(tenant) else {
                 write_frame(
                     writer,
                     &Response::Error {
@@ -534,15 +1091,20 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> io
             };
             let response = match work {
                 Request::AddQuery { pattern, alphabet } => add_query(shared, &pattern, &alphabet),
-                Request::AddDoc { text } => add_doc(shared, &text, Some(1)),
-                Request::AddDocSharded { k, text } => {
-                    add_doc(shared, &text, (k > 0).then_some(k as usize))
+                Request::AddDoc { tenant, text } => add_doc(shared, tenant, &text, Some(1)),
+                Request::AddDocSharded { tenant, k, text } => {
+                    add_doc(shared, tenant, &text, (k > 0).then_some(k as usize))
                 }
-                Request::RemoveDoc { doc } => remove_doc(shared, doc),
+                Request::RemoveDoc { tenant, doc } => remove_doc(shared, tenant, doc),
+                Request::TenantCreate { spec } => tenant_upsert(shared, spec, false),
+                Request::TenantUpdate { spec } => tenant_upsert(shared, spec, true),
                 Request::ShardBuild { nfa, rules, root } => shard_build(&nfa, rules, root),
-                Request::Task { query, doc, task } => {
-                    return run_task(shared, writer, query, doc, task).map(|()| false)
-                }
+                Request::Task {
+                    tenant,
+                    query,
+                    doc,
+                    task,
+                } => return run_task(shared, writer, tenant, query, doc, task).map(|()| false),
                 Request::Ping | Request::Stats | Request::Shutdown => unreachable!("handled above"),
             };
             write_frame(writer, &response).map(|()| false)
@@ -568,9 +1130,30 @@ fn add_query(shared: &Shared, pattern: &str, alphabet: &[u8]) -> Response {
     }
 }
 
-/// Compresses and registers a document.  `k = None` auto-tunes the shard
-/// count; `Some(1)` stays monolithic.
-fn add_doc(shared: &Shared, text: &[u8], k: Option<usize>) -> Response {
+/// The wire answer for a refused registration.  Quota exhaustion is an
+/// admission decision (`quota`, no retry); an unknown tenant is an id
+/// problem.
+fn quota_error(shared: &Shared, tenant: u32, e: spanner_slp_core::QuotaError) -> Response {
+    match e {
+        spanner_slp_core::QuotaError::UnknownTenant => Response::Error {
+            code: ErrorCode::UnknownId,
+            detail: format!("unknown tenant {tenant}"),
+        },
+        e => {
+            shared.count_quota_rejection(tenant);
+            Response::Error {
+                code: ErrorCode::Quota,
+                detail: e.to_string(),
+            }
+        }
+    }
+}
+
+/// Compresses and registers a document in `tenant`'s namespace.  `k = None`
+/// auto-tunes the shard count; `Some(1)` stays monolithic.  Successful
+/// registrations are made durable with their *resolved* shard count, so a
+/// replay never re-probes.
+fn add_doc(shared: &Shared, tenant: u32, text: &[u8], k: Option<usize>) -> Response {
     let slp = match NormalFormSlp::from_document(text) {
         Ok(slp) => slp,
         Err(e) => {
@@ -580,40 +1163,108 @@ fn add_doc(shared: &Shared, text: &[u8], k: Option<usize>) -> Response {
             }
         }
     };
+    let tid = TenantId(tenant);
     let id = match k {
-        None => shared.service.add_document_auto(&slp),
-        Some(1) => shared.service.add_document(&slp),
-        Some(k) => shared.service.add_document_sharded(&slp, k),
+        None => shared.service.add_document_auto_for(tid, &slp),
+        Some(1) => shared.service.add_document_for(tid, &slp),
+        Some(k) => shared.service.add_document_sharded_for(tid, &slp, k),
+    };
+    let id = match id {
+        Ok(id) => id,
+        Err(e) => return quota_error(shared, tenant, e),
     };
     let shards = shared.service.document(id).shard_count() as u64;
-    let mut documents = shared.documents.write().expect("document map poisoned");
-    documents.push(Some(id));
+    let wire_id = {
+        let mut documents = shared.documents.write().expect("document map poisoned");
+        let namespace = documents.entry(tenant).or_default();
+        namespace.push(Some(id));
+        (namespace.len() - 1) as u64
+    };
+    if let Some(persist) = &shared.persist {
+        persist.record(&LogVerb::AddDoc {
+            tenant,
+            wire_id,
+            text: text.to_vec(),
+            shards,
+        });
+    }
     Response::DocAdded {
-        id: (documents.len() - 1) as u64,
+        id: wire_id,
         shards,
         len: text.len() as u64,
     }
 }
 
-/// Unregisters a document: burns its wire id and invalidates its cached
-/// matrices through the service (`MatrixCache::clear_doc`).
-fn remove_doc(shared: &Shared, doc: u64) -> Response {
+/// Unregisters a document: burns its wire id inside its tenant's namespace
+/// and invalidates its cached matrices through the service
+/// (`MatrixCache::clear_doc`).  Ids never resolve across tenants.
+fn remove_doc(shared: &Shared, tenant: u32, doc: u64) -> Response {
     let service_id = {
         let mut documents = shared.documents.write().expect("document map poisoned");
-        match documents.get_mut(doc as usize) {
-            Some(slot) => slot.take(),
-            None => None,
-        }
+        documents
+            .get_mut(&tenant)
+            .and_then(|namespace| namespace.get_mut(doc as usize))
+            .and_then(|slot| slot.take())
     };
     match service_id {
         Some(id) => {
             shared.service.remove_document(id);
+            if let Some(persist) = &shared.persist {
+                persist.record(&LogVerb::RemoveDoc {
+                    tenant,
+                    wire_id: doc,
+                });
+            }
             Response::DocRemoved { id: doc }
         }
         None => Response::Error {
             code: ErrorCode::UnknownId,
             detail: format!("unknown or already removed document {doc}"),
         },
+    }
+}
+
+/// Creates (`update = false`) or reconfigures (`update = true`) a tenant,
+/// mirroring the change into the admission table and the durable log.
+fn tenant_upsert(shared: &Shared, spec: TenantSpec, update: bool) -> Response {
+    let config = TenantConfig {
+        name: spec.name.clone(),
+        max_docs: spec.max_docs,
+        max_corpus_bytes: spec.max_corpus_bytes,
+        cache_share: spec.cache_share as usize,
+        admission_weight: spec.admission_weight,
+    };
+    let id = TenantId(spec.id);
+    let ok = if update {
+        shared.service.update_tenant(id, config)
+    } else {
+        shared.service.create_tenant(id, config)
+    };
+    if !ok {
+        return if update {
+            Response::Error {
+                code: ErrorCode::UnknownId,
+                detail: format!("unknown tenant {}", spec.id),
+            }
+        } else {
+            Response::Error {
+                code: ErrorCode::Eval,
+                detail: format!("tenant {} already exists (use tenant_update)", spec.id),
+            }
+        };
+    }
+    shared.admission.set_weight(spec.id, spec.admission_weight);
+    if let Some(persist) = &shared.persist {
+        let verb = if update {
+            LogVerb::TenantUpdate(spec.clone())
+        } else {
+            LogVerb::TenantCreate(spec.clone())
+        };
+        persist.record(&verb);
+    }
+    Response::TenantOk {
+        id: spec.id,
+        created: !update,
     }
 }
 
@@ -680,6 +1331,7 @@ fn eval_error_code(e: &spanner_slp_core::EvalError) -> ErrorCode {
 fn run_task(
     shared: &Arc<Shared>,
     writer: &mut TcpStream,
+    tenant: u32,
     query: u64,
     doc: u64,
     task: crate::proto::WireTask,
@@ -690,13 +1342,14 @@ fn run_task(
         .expect("query map poisoned")
         .get(query as usize)
         .copied();
+    // Ids resolve only inside the requesting tenant's namespace: another
+    // tenant's wire ids are indistinguishable from unknown ids.
     let doc_id = shared
         .documents
         .read()
         .expect("document map poisoned")
-        .get(doc as usize)
-        .copied()
-        .flatten();
+        .get(&tenant)
+        .and_then(|namespace| namespace.get(doc as usize).copied().flatten());
     let (Some(query_id), Some(doc_id)) = (query_id, doc_id) else {
         return write_frame(
             writer,

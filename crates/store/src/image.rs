@@ -1,0 +1,319 @@
+//! The corpus image: the full durable state at one log position.
+//!
+//! A snapshot is a serialized [`CorpusImage`]; recovery loads the snapshot
+//! (if any) and folds every log verb with `seq > last_seq` into it via
+//! [`CorpusImage::apply`].  The image carries everything needed to rebuild
+//! the serving process bit-identically: tenant specs, every live document's
+//! raw bytes and *resolved* shard count, and each tenant's next wire id (so
+//! ids burned by `remove_doc` stay burned across restarts).
+
+use crate::json::Json;
+use crate::verbs::{spec_from_json, spec_to_json, LogVerb, TenantSpec, VerbError, LOG_VERSION};
+
+/// One live document inside a [`CorpusImage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocImage {
+    /// Owning tenant.
+    pub tenant: u32,
+    /// Wire-visible id inside the tenant's namespace.
+    pub wire_id: u64,
+    /// Raw document bytes.
+    pub text: Vec<u8>,
+    /// Resolved shard count (`1` = monolithic).
+    pub shards: u64,
+}
+
+/// The full durable corpus state as of log position `last_seq`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CorpusImage {
+    /// Highest log sequence number folded into this image.
+    pub last_seq: u64,
+    /// Non-default tenant specs (the default tenant is implicit).
+    pub tenants: Vec<TenantSpec>,
+    /// Live documents in registration order.
+    pub docs: Vec<DocImage>,
+    /// Per-tenant next wire id, for tenants whose counter has advanced:
+    /// `(tenant, next_id)`.
+    pub next_ids: Vec<(u32, u64)>,
+}
+
+impl CorpusImage {
+    /// Folds one log verb into the image.  Unknown targets are tolerated
+    /// (a `remove_doc` for an id the image does not hold is a no-op): the
+    /// log is the authority, and replay must never panic on a tail the
+    /// serving process acked but the snapshot already covers.
+    pub fn apply(&mut self, seq: u64, verb: &LogVerb) {
+        if seq <= self.last_seq {
+            return; // Already covered by the snapshot.
+        }
+        self.last_seq = seq;
+        match verb {
+            LogVerb::AddDoc {
+                tenant,
+                wire_id,
+                text,
+                shards,
+            } => {
+                self.docs.push(DocImage {
+                    tenant: *tenant,
+                    wire_id: *wire_id,
+                    text: text.clone(),
+                    shards: *shards,
+                });
+                self.bump_next_id(*tenant, wire_id + 1);
+            }
+            LogVerb::RemoveDoc { tenant, wire_id } => {
+                self.docs
+                    .retain(|d| !(d.tenant == *tenant && d.wire_id == *wire_id));
+                self.bump_next_id(*tenant, wire_id + 1);
+            }
+            LogVerb::TenantCreate(spec) | LogVerb::TenantUpdate(spec) => {
+                if spec.id != 0 {
+                    match self.tenants.iter_mut().find(|t| t.id == spec.id) {
+                        Some(existing) => *existing = spec.clone(),
+                        None => self.tenants.push(spec.clone()),
+                    }
+                }
+            }
+            LogVerb::Reshard {
+                tenant,
+                wire_id,
+                shards,
+            } => {
+                if let Some(doc) = self
+                    .docs
+                    .iter_mut()
+                    .find(|d| d.tenant == *tenant && d.wire_id == *wire_id)
+                {
+                    doc.shards = *shards;
+                }
+            }
+        }
+    }
+
+    fn bump_next_id(&mut self, tenant: u32, at_least: u64) {
+        match self.next_ids.iter_mut().find(|(t, _)| *t == tenant) {
+            Some((_, next)) => *next = (*next).max(at_least),
+            None => self.next_ids.push((tenant, at_least)),
+        }
+    }
+
+    /// The next wire id recorded for `tenant` (0 if it never registered).
+    pub fn next_id(&self, tenant: u32) -> u64 {
+        self.next_ids
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Serializes the image as one canonical-JSON snapshot body.
+    pub fn encode(&self) -> Vec<u8> {
+        let docs: Vec<Json> = self
+            .docs
+            .iter()
+            .map(|d| {
+                Json::Obj(vec![
+                    ("t".into(), Json::num(d.tenant)),
+                    ("id".into(), Json::num(d.wire_id)),
+                    ("text".into(), Json::Str(d.text.clone())),
+                    ("k".into(), Json::num(d.shards)),
+                ])
+            })
+            .collect();
+        let next_ids: Vec<Json> = self
+            .next_ids
+            .iter()
+            .map(|(t, n)| Json::Arr(vec![Json::num(*t), Json::num(*n)]))
+            .collect();
+        Json::Obj(vec![
+            ("v".into(), Json::num(LOG_VERSION)),
+            ("last_seq".into(), Json::num(self.last_seq)),
+            (
+                "tenants".into(),
+                Json::Arr(self.tenants.iter().map(spec_to_json).collect()),
+            ),
+            ("docs".into(), Json::Arr(docs)),
+            ("next_ids".into(), Json::Arr(next_ids)),
+        ])
+        .to_bytes()
+    }
+
+    /// Decodes a snapshot body.
+    pub fn decode(bytes: &[u8]) -> Result<CorpusImage, VerbError> {
+        let err = |m: &str| VerbError(format!("snapshot: {m}"));
+        let value = Json::parse(bytes).map_err(VerbError::from)?;
+        let version = value
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| err("missing 'v'"))?;
+        if version != LOG_VERSION {
+            return Err(err(&format!("unsupported version {version}")));
+        }
+        let last_seq = value
+            .get("last_seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| err("missing 'last_seq'"))?;
+        let tenants = value
+            .get("tenants")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing 'tenants'"))?
+            .iter()
+            .map(spec_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut docs = Vec::new();
+        for doc in value
+            .get("docs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing 'docs'"))?
+        {
+            let num = |key: &str| doc.get(key).and_then(Json::as_u64);
+            let shards = num("k").ok_or_else(|| err("doc: missing 'k'"))?;
+            if shards == 0 {
+                return Err(err("doc: shard count 0"));
+            }
+            docs.push(DocImage {
+                tenant: u32::try_from(num("t").unwrap_or(0))
+                    .map_err(|_| err("doc: tenant out of range"))?,
+                wire_id: num("id").ok_or_else(|| err("doc: missing 'id'"))?,
+                text: doc
+                    .get("text")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| err("doc: missing 'text'"))?
+                    .to_vec(),
+                shards,
+            });
+        }
+        let mut next_ids = Vec::new();
+        for entry in value
+            .get("next_ids")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing 'next_ids'"))?
+        {
+            let pair = entry.as_arr().ok_or_else(|| err("next_ids: not a pair"))?;
+            let (t, n) = match pair {
+                [t, n] => (
+                    t.as_u64().ok_or_else(|| err("next_ids: bad tenant"))?,
+                    n.as_u64().ok_or_else(|| err("next_ids: bad counter"))?,
+                ),
+                _ => return Err(err("next_ids: not a pair")),
+            };
+            next_ids.push((
+                u32::try_from(t).map_err(|_| err("next_ids: tenant out of range"))?,
+                n,
+            ));
+        }
+        Ok(CorpusImage {
+            last_seq,
+            tenants,
+            docs,
+            next_ids,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_round_trips() {
+        let mut image = CorpusImage::default();
+        image.apply(
+            1,
+            &LogVerb::TenantCreate(TenantSpec {
+                id: 2,
+                name: "acme".into(),
+                max_docs: 5,
+                max_corpus_bytes: 1 << 16,
+                cache_share: 2048,
+                admission_weight: 2,
+            }),
+        );
+        image.apply(
+            2,
+            &LogVerb::AddDoc {
+                tenant: 0,
+                wire_id: 0,
+                text: b"hello \xffworld".to_vec(),
+                shards: 1,
+            },
+        );
+        image.apply(
+            3,
+            &LogVerb::AddDoc {
+                tenant: 2,
+                wire_id: 0,
+                text: b"abababab".to_vec(),
+                shards: 4,
+            },
+        );
+        let bytes = image.encode();
+        let decoded = CorpusImage::decode(&bytes).unwrap();
+        assert_eq!(decoded, image);
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn apply_reconstructs_burned_ids_and_reshards() {
+        let mut image = CorpusImage::default();
+        image.apply(
+            1,
+            &LogVerb::AddDoc {
+                tenant: 0,
+                wire_id: 0,
+                text: b"a".to_vec(),
+                shards: 1,
+            },
+        );
+        image.apply(
+            2,
+            &LogVerb::AddDoc {
+                tenant: 0,
+                wire_id: 1,
+                text: b"b".to_vec(),
+                shards: 2,
+            },
+        );
+        image.apply(
+            3,
+            &LogVerb::RemoveDoc {
+                tenant: 0,
+                wire_id: 0,
+            },
+        );
+        image.apply(
+            4,
+            &LogVerb::Reshard {
+                tenant: 0,
+                wire_id: 1,
+                shards: 6,
+            },
+        );
+        assert_eq!(image.docs.len(), 1);
+        assert_eq!(image.docs[0].wire_id, 1);
+        assert_eq!(image.docs[0].shards, 6);
+        // Id 0 stays burned: the next registration must use id 2.
+        assert_eq!(image.next_id(0), 2);
+        assert_eq!(image.last_seq, 4);
+    }
+
+    #[test]
+    fn stale_verbs_below_last_seq_are_skipped() {
+        let mut image = CorpusImage {
+            last_seq: 10,
+            ..CorpusImage::default()
+        };
+        image.apply(
+            5,
+            &LogVerb::AddDoc {
+                tenant: 0,
+                wire_id: 0,
+                text: b"old".to_vec(),
+                shards: 1,
+            },
+        );
+        assert!(image.docs.is_empty());
+        assert_eq!(image.last_seq, 10);
+    }
+}

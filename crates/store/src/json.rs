@@ -1,5 +1,6 @@
-//! A hand-rolled, dependency-free JSON-like value layer for the wire
-//! protocol (see [`crate::proto`]).
+//! A hand-rolled, dependency-free JSON-like value layer shared by the wire
+//! protocol (`spanner-server`'s `proto` module) and the durable store's
+//! on-disk log and snapshot formats.
 //!
 //! The build environment has no registry access (the same constraint as
 //! `crates/shims/*`), so the wire format is implemented from scratch.  It

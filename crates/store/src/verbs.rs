@@ -1,0 +1,351 @@
+//! The corpus verb model: every durable mutation of the serving state is
+//! one [`LogVerb`], serialized as a single canonical-JSON line (see
+//! [`crate::json`]) carrying a monotone sequence number.
+//!
+//! The log format is versioned ([`LOG_VERSION`]) and forward-compatible in
+//! the same style as the wire protocol: decoders reject unknown versions
+//! and unknown ops loudly (a durable log is not a place for silent guesses),
+//! while optional fields default when absent so older logs keep replaying.
+//!
+//! Shard counts recorded here are always *resolved* values (`k = 1` means
+//! monolithic, never `0` = "auto"): replay must reconstruct the exact shard
+//! layout the serving process chose, without re-running `auto_k` probes.
+
+use crate::json::Json;
+use std::fmt;
+
+/// Version tag written into every log record and snapshot.
+pub const LOG_VERSION: u64 = 1;
+
+/// A tenant's durable configuration.
+///
+/// Quota fields use `0` to mean "unlimited" so the default tenant (id 0)
+/// can be represented uniformly.  `cache_share` is an absolute byte cap
+/// carved out of the service's global matrix-cache budget; `0` means "no
+/// reserved share" (the tenant competes in the unreserved remainder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant id (`0` is the default tenant and always exists).
+    pub id: u32,
+    /// Human-readable name (ASCII expected, arbitrary bytes tolerated).
+    pub name: String,
+    /// Maximum number of live documents (`0` = unlimited).
+    pub max_docs: u64,
+    /// Maximum total corpus bytes across live documents (`0` = unlimited).
+    pub max_corpus_bytes: u64,
+    /// Matrix-cache byte share carved from the global budget (`0` = none).
+    pub cache_share: u64,
+    /// Relative admission weight in the server's bounded-admission gate.
+    pub admission_weight: u32,
+}
+
+impl TenantSpec {
+    /// The always-present default tenant: unlimited quotas, weight 1.
+    pub fn default_tenant() -> TenantSpec {
+        TenantSpec {
+            id: 0,
+            name: "default".to_string(),
+            max_docs: 0,
+            max_corpus_bytes: 0,
+            cache_share: 0,
+            admission_weight: 1,
+        }
+    }
+}
+
+/// One durable corpus mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogVerb {
+    /// A document was registered (`shards = 1` means monolithic; sharded
+    /// registrations record the *resolved* k, never the auto-tune marker).
+    AddDoc {
+        /// Owning tenant.
+        tenant: u32,
+        /// Wire-visible document id inside the tenant's namespace.
+        wire_id: u64,
+        /// The raw document bytes.
+        text: Vec<u8>,
+        /// Resolved shard count (`>= 1`).
+        shards: u64,
+    },
+    /// A document was removed (its wire id stays burned).
+    RemoveDoc {
+        /// Owning tenant.
+        tenant: u32,
+        /// Wire-visible document id being removed.
+        wire_id: u64,
+    },
+    /// A tenant was created.
+    TenantCreate(TenantSpec),
+    /// A tenant's configuration changed.
+    TenantUpdate(TenantSpec),
+    /// A document was transparently re-registered at a new shard count
+    /// (same wire id, same bytes — only the layout changed).
+    Reshard {
+        /// Owning tenant.
+        tenant: u32,
+        /// Wire-visible document id being re-cut.
+        wire_id: u64,
+        /// The new resolved shard count (`>= 1`).
+        shards: u64,
+    },
+}
+
+/// A malformed log record or snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerbError(pub String);
+
+impl fmt::Display for VerbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "store record error: {}", self.0)
+    }
+}
+
+impl std::error::Error for VerbError {}
+
+impl From<crate::json::JsonError> for VerbError {
+    fn from(e: crate::json::JsonError) -> Self {
+        VerbError(e.to_string())
+    }
+}
+
+fn err(message: impl Into<String>) -> VerbError {
+    VerbError(message.into())
+}
+
+/// Encodes a tenant spec as its canonical JSON object — shared between the
+/// log/snapshot formats here and the wire protocol's `tenant_create` /
+/// `tenant_update` verbs (one spelling for a tenant everywhere).
+pub fn spec_to_json(spec: &TenantSpec) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::num(spec.id)),
+        ("name".into(), Json::str(&spec.name)),
+        ("max_docs".into(), Json::num(spec.max_docs)),
+        ("max_bytes".into(), Json::num(spec.max_corpus_bytes)),
+        ("cache_share".into(), Json::num(spec.cache_share)),
+        ("weight".into(), Json::num(spec.admission_weight)),
+    ])
+}
+
+/// Decodes a tenant spec from its canonical JSON object (see
+/// [`spec_to_json`]).
+pub fn spec_from_json(value: &Json) -> Result<TenantSpec, VerbError> {
+    let num = |key: &str| -> Result<u64, VerbError> {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| err(format!("tenant spec: missing numeric '{key}'")))
+    };
+    let name = value
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("tenant spec: missing 'name'"))?;
+    Ok(TenantSpec {
+        id: u32::try_from(num("id")?).map_err(|_| err("tenant spec: id out of range"))?,
+        name: String::from_utf8_lossy(name).into_owned(),
+        max_docs: num("max_docs")?,
+        max_corpus_bytes: num("max_bytes")?,
+        cache_share: num("cache_share")?,
+        admission_weight: u32::try_from(num("weight")?)
+            .map_err(|_| err("tenant spec: weight out of range"))?,
+    })
+}
+
+impl LogVerb {
+    /// Encodes this verb as one canonical-JSON log line (without the
+    /// trailing newline), carrying `seq` and the format version.
+    pub fn encode(&self, seq: u64) -> Vec<u8> {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("v".into(), Json::num(LOG_VERSION)),
+            ("seq".into(), Json::num(seq)),
+        ];
+        match self {
+            LogVerb::AddDoc {
+                tenant,
+                wire_id,
+                text,
+                shards,
+            } => {
+                pairs.push(("op".into(), Json::str("add_doc")));
+                pairs.push(("t".into(), Json::num(*tenant)));
+                pairs.push(("id".into(), Json::num(*wire_id)));
+                pairs.push(("text".into(), Json::Str(text.clone())));
+                pairs.push(("k".into(), Json::num(*shards)));
+            }
+            LogVerb::RemoveDoc { tenant, wire_id } => {
+                pairs.push(("op".into(), Json::str("remove_doc")));
+                pairs.push(("t".into(), Json::num(*tenant)));
+                pairs.push(("id".into(), Json::num(*wire_id)));
+            }
+            LogVerb::TenantCreate(spec) => {
+                pairs.push(("op".into(), Json::str("tenant_create")));
+                pairs.push(("spec".into(), spec_to_json(spec)));
+            }
+            LogVerb::TenantUpdate(spec) => {
+                pairs.push(("op".into(), Json::str("tenant_update")));
+                pairs.push(("spec".into(), spec_to_json(spec)));
+            }
+            LogVerb::Reshard {
+                tenant,
+                wire_id,
+                shards,
+            } => {
+                pairs.push(("op".into(), Json::str("reshard")));
+                pairs.push(("t".into(), Json::num(*tenant)));
+                pairs.push(("id".into(), Json::num(*wire_id)));
+                pairs.push(("k".into(), Json::num(*shards)));
+            }
+        }
+        Json::Obj(pairs).to_bytes()
+    }
+
+    /// Decodes one log line into `(seq, verb)`.
+    pub fn decode(line: &[u8]) -> Result<(u64, LogVerb), VerbError> {
+        let value = Json::parse(line)?;
+        let version = value
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| err("log record: missing 'v'"))?;
+        if version != LOG_VERSION {
+            return Err(err(format!("log record: unsupported version {version}")));
+        }
+        let seq = value
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| err("log record: missing 'seq'"))?;
+        let op = value
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("log record: missing 'op'"))?;
+        let tenant = || -> Result<u32, VerbError> {
+            let t = value.get("t").and_then(Json::as_u64).unwrap_or(0);
+            u32::try_from(t).map_err(|_| err("log record: tenant out of range"))
+        };
+        let wire_id = || -> Result<u64, VerbError> {
+            value
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err("log record: missing 'id'"))
+        };
+        let shards = || -> Result<u64, VerbError> {
+            let k = value
+                .get("k")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err("log record: missing 'k'"))?;
+            if k == 0 {
+                return Err(err("log record: shard count 0 (unresolved auto_k)"));
+            }
+            Ok(k)
+        };
+        let spec = || -> Result<TenantSpec, VerbError> {
+            spec_from_json(
+                value
+                    .get("spec")
+                    .ok_or_else(|| err("log record: missing 'spec'"))?,
+            )
+        };
+        let verb = match op {
+            b"add_doc" => LogVerb::AddDoc {
+                tenant: tenant()?,
+                wire_id: wire_id()?,
+                text: value
+                    .get("text")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| err("log record: missing 'text'"))?
+                    .to_vec(),
+                shards: shards()?,
+            },
+            b"remove_doc" => LogVerb::RemoveDoc {
+                tenant: tenant()?,
+                wire_id: wire_id()?,
+            },
+            b"tenant_create" => LogVerb::TenantCreate(spec()?),
+            b"tenant_update" => LogVerb::TenantUpdate(spec()?),
+            b"reshard" => LogVerb::Reshard {
+                tenant: tenant()?,
+                wire_id: wire_id()?,
+                shards: shards()?,
+            },
+            other => {
+                return Err(err(format!(
+                    "log record: unknown op '{}'",
+                    String::from_utf8_lossy(other)
+                )))
+            }
+        };
+        Ok((seq, verb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_verbs() -> Vec<LogVerb> {
+        vec![
+            LogVerb::AddDoc {
+                tenant: 0,
+                wire_id: 3,
+                text: b"ab\xff\x00cd".to_vec(),
+                shards: 4,
+            },
+            LogVerb::RemoveDoc {
+                tenant: 7,
+                wire_id: 0,
+            },
+            LogVerb::TenantCreate(TenantSpec {
+                id: 7,
+                name: "acme".into(),
+                max_docs: 10,
+                max_corpus_bytes: 1 << 20,
+                cache_share: 4096,
+                admission_weight: 3,
+            }),
+            LogVerb::TenantUpdate(TenantSpec::default_tenant()),
+            LogVerb::Reshard {
+                tenant: 0,
+                wire_id: 3,
+                shards: 8,
+            },
+        ]
+    }
+
+    #[test]
+    fn verbs_round_trip() {
+        for (i, verb) in sample_verbs().into_iter().enumerate() {
+            let line = verb.encode(i as u64 + 1);
+            let (seq, decoded) = LogVerb::decode(&line).unwrap();
+            assert_eq!(seq, i as u64 + 1);
+            assert_eq!(decoded, verb);
+            // Canonical: re-encoding the decode reproduces the bytes.
+            assert_eq!(decoded.encode(seq), line);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_records() {
+        for bad in [
+            &b"{}"[..],
+            br#"{"v":2,"seq":1,"op":"remove_doc","t":0,"id":0}"#,
+            br#"{"v":1,"op":"remove_doc","t":0,"id":0}"#,
+            br#"{"v":1,"seq":1,"op":"frobnicate"}"#,
+            br#"{"v":1,"seq":1,"op":"add_doc","t":0,"id":0,"text":"x","k":0}"#,
+            br#"{"v":1,"seq":1,"op":"add_doc","t":0,"id":0,"k":1}"#,
+            b"not json at all",
+        ] {
+            assert!(LogVerb::decode(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn missing_tenant_defaults_to_zero() {
+        let (_, verb) = LogVerb::decode(br#"{"v":1,"seq":9,"op":"remove_doc","id":4}"#).unwrap();
+        assert_eq!(
+            verb,
+            LogVerb::RemoveDoc {
+                tenant: 0,
+                wire_id: 4
+            }
+        );
+    }
+}

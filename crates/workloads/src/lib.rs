@@ -19,4 +19,7 @@ pub mod traffic;
 pub use corpus::{sharded_block_document, sharded_power_family, ShardedCase};
 pub use documents::{dna_with_repeats, repetitive_log, tunable_repetitiveness, LogOptions};
 pub use queries::{named_queries, NamedQuery};
-pub use traffic::{closed_loop_schedule, open_loop_arrivals, Mix, Op, OpKind};
+pub use traffic::{
+    closed_loop_schedule, multi_tenant_schedule, open_loop_arrivals, Mix, Op, OpKind, TenantOp,
+    TenantProfile,
+};

@@ -170,6 +170,75 @@ pub fn open_loop_arrivals(ops: usize, mean_gap_us: u64, seed: u64) -> Vec<u64> {
         .collect()
 }
 
+/// One tenant's slice of a multi-tenant run: its share of the offered
+/// load, its request mix, and the size of its private document pool.
+/// Like [`Op`], everything is an index — the driver owns the mapping to
+/// real tenant ids and pooled documents.
+#[derive(Debug, Clone)]
+pub struct TenantProfile {
+    /// Relative traffic weight (how much of the schedule this tenant
+    /// sends); zero-weight tenants send nothing.
+    pub weight: u32,
+    /// The tenant's request mix.
+    pub mix: Mix,
+    /// Number of documents in the tenant's private namespace.
+    pub num_docs: usize,
+}
+
+/// One scheduled multi-tenant operation: which tenant sends it, and what
+/// it is.  `op.doc` indexes the *tenant's own* document pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantOp {
+    /// Index of the sending tenant in the driver's profile list.
+    pub tenant: usize,
+    /// The operation inside that tenant's namespace.
+    pub op: Op,
+}
+
+/// Builds a deterministic multi-tenant closed-loop schedule: `ops`
+/// operations, each first assigned to a tenant by weighted draw, then
+/// drawn from that tenant's own mix and document pool.  The interleaving
+/// is what exercises tenant isolation: a heavy tenant's scans land between
+/// a light tenant's point lookups, so fairness failures (cache evictions,
+/// admission starvation) show up in the light tenant's numbers.
+pub fn multi_tenant_schedule(
+    num_queries: usize,
+    profiles: &[TenantProfile],
+    ops: usize,
+    seed: u64,
+) -> Vec<TenantOp> {
+    assert!(num_queries > 0, "empty query pool");
+    let total: u32 = profiles.iter().map(|p| p.weight).sum();
+    assert!(total > 0, "at least one tenant needs a positive weight");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x007E_4A97 /* tenant lane */);
+    (0..ops)
+        .map(|_| {
+            let mut ticket = rng.gen_range(0..total);
+            let tenant = profiles
+                .iter()
+                .position(|p| {
+                    if ticket < p.weight {
+                        true
+                    } else {
+                        ticket -= p.weight;
+                        false
+                    }
+                })
+                .expect("ticket drawn below the total weight");
+            let profile = &profiles[tenant];
+            assert!(profile.num_docs > 0, "tenant {tenant} has an empty pool");
+            TenantOp {
+                tenant,
+                op: Op {
+                    query: rng.gen_range(0..num_queries),
+                    doc: rng.gen_range(0..profile.num_docs),
+                    kind: profile.mix.sample(&mut rng),
+                },
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +280,55 @@ mod tests {
     #[should_panic(expected = "at least one positive weight")]
     fn empty_mixes_are_rejected() {
         Mix::new([(OpKind::Count, 0)]);
+    }
+
+    #[test]
+    fn multi_tenant_schedules_respect_weights_and_pools() {
+        let profiles = [
+            TenantProfile {
+                weight: 3,
+                mix: Mix::scan_heavy(),
+                num_docs: 5,
+            },
+            TenantProfile {
+                weight: 1,
+                mix: Mix::read_heavy(),
+                num_docs: 2,
+            },
+        ];
+        let schedule = multi_tenant_schedule(2, &profiles, 4000, 99);
+        assert_eq!(schedule, multi_tenant_schedule(2, &profiles, 4000, 99));
+        let heavy = schedule.iter().filter(|o| o.tenant == 0).count();
+        // 3:1 weighting → ~3000 of 4000; allow generous slack.
+        assert!((2600..3400).contains(&heavy), "got {heavy}");
+        for op in &schedule {
+            assert!(op.op.doc < profiles[op.tenant].num_docs);
+            assert!(op.op.query < 2);
+        }
+        // Each tenant draws from its *own* mix: the read-heavy tenant never
+        // computes, the scan-heavy one never model-checks.
+        assert!(schedule
+            .iter()
+            .filter(|o| o.tenant == 1)
+            .all(|o| !matches!(o.op.kind, OpKind::Compute { .. })));
+        assert!(schedule
+            .iter()
+            .filter(|o| o.tenant == 0)
+            .all(|o| !matches!(o.op.kind, OpKind::ModelCheck)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn all_zero_tenant_weights_are_rejected() {
+        multi_tenant_schedule(
+            1,
+            &[TenantProfile {
+                weight: 0,
+                mix: Mix::read_heavy(),
+                num_docs: 1,
+            }],
+            10,
+            1,
+        );
     }
 }
