@@ -80,6 +80,11 @@ pub struct ShardOutcome {
     /// `true` if a non-local executor failed and this outcome came from
     /// the local fallback.
     pub fallback: bool,
+    /// `true` if the executor re-issued the pass to a second backend after
+    /// a latency budget expired (a *hedged* pass) — regardless of which
+    /// copy won.  Purely observational: hedged outcomes carry the same
+    /// entry-identical rows as unhedged ones.
+    pub hedged: bool,
 }
 
 /// A backend that runs one shard's matrix pass.  Implementations must be
@@ -114,6 +119,7 @@ impl ShardExecutor for LocalExecutor {
             leaf_tables: Some(leaf_tables),
             elapsed: start.elapsed(),
             fallback: false,
+            hedged: false,
         }
     }
 

@@ -20,11 +20,12 @@
 //! and produces bit-identical results.
 
 pub use crate::bitmat::RMatrix;
-use crate::executor::{LocalExecutor, ShardExecutor, ShardJob};
+use crate::executor::{LocalExecutor, ShardExecutor, ShardJob, ShardOutcome};
 use crate::prepared::EByte;
 use slp::{NfRule, NonTerminal, NormalFormSlp, ShardLayout, Terminal};
 use spanner::{MarkedSymbol, MarkerSet, PartialMarkerSet};
 use spanner_automata::nfa::{Label, Nfa};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// The three-valued summary of `M_A[i,j]` (Definition 6.4).
@@ -68,8 +69,19 @@ pub struct ShardBuildStats {
     pub merge: Duration,
     /// Number of shard passes a non-local executor could not complete and
     /// handed to the in-process fallback (always `0` for
-    /// [`crate::executor::LocalExecutor`] builds).
+    /// [`crate::executor::LocalExecutor`] builds).  Shards that reused a
+    /// deduplicated outcome inherit its fallback flag, so this stays a
+    /// per-shard count.
     pub fallbacks: usize,
+    /// Number of shard passes the executor re-issued to a second backend
+    /// after a latency budget expired (hedged passes; `0` for local
+    /// builds).
+    pub hedges: usize,
+    /// Number of shards whose standalone block was structurally identical
+    /// to an earlier shard's block and therefore never executed — the
+    /// cross-shard sharing pass reused the earlier outcome (its
+    /// `shard_build` entry is zero).
+    pub deduped: usize,
 }
 
 impl ShardBuildStats {
@@ -433,24 +445,75 @@ impl Preprocessed {
             }
         }
 
-        // Scatter: one self-contained job per shard, fanned out over the
-        // executor (concurrently with the `parallel` feature — for remote
-        // executors that means wire calls to several workers in flight).
+        // Cross-shard grammar sharing: standalone blocks that are
+        // structurally identical (equal rules and start — common under
+        // power families and repeated documents cut into equal shards)
+        // run once; the duplicates reuse the canonical outcome.  The
+        // content hash is only a grouping key: candidates are compared in
+        // full before sharing, so a collision costs nothing but the
+        // comparison.
         let blocks = layout.standalone_blocks(slp.rules());
-        let jobs: Vec<ShardJob<'_>> = blocks
+        let mut canonical: Vec<usize> = Vec::with_capacity(blocks.len());
+        let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, block) in blocks.iter().enumerate() {
+            let reps = by_hash.entry(block.content_hash()).or_default();
+            match reps.iter().copied().find(|&j| blocks[j] == *block) {
+                Some(j) => canonical.push(j),
+                None => {
+                    reps.push(i);
+                    canonical.push(i);
+                }
+            }
+        }
+        let unique: Vec<usize> = (0..blocks.len()).filter(|&i| canonical[i] == i).collect();
+        let deduped = blocks.len() - unique.len();
+
+        // Scatter: one self-contained job per *unique* shard block, fanned
+        // out over the executor (concurrently with the `parallel` feature —
+        // for remote executors that means wire calls to several workers in
+        // flight).
+        let jobs: Vec<ShardJob<'_>> = unique
             .iter()
-            .enumerate()
-            .map(|(shard_index, block)| ShardJob {
+            .map(|&shard_index| ShardJob {
                 nfa,
-                block,
+                block: &blocks[shard_index],
                 shard_index,
             })
             .collect();
         let run_shard = |job: &ShardJob<'_>| executor.execute(job);
         #[cfg(feature = "parallel")]
-        let outcomes = rayon::par_map(&jobs, run_shard);
+        let unique_outcomes = rayon::par_map(&jobs, run_shard);
         #[cfg(not(feature = "parallel"))]
-        let outcomes: Vec<_> = jobs.iter().map(run_shard).collect();
+        let unique_outcomes: Vec<_> = jobs.iter().map(run_shard).collect();
+
+        // Fan the unique outcomes back out to shard order.  Duplicates
+        // clone the canonical rows at zero recorded cost but inherit its
+        // fallback flag (the pass they share really did fall back);
+        // iterating in reverse lets the canonical shard — always the
+        // earliest of its group — take the outcome by value.
+        let pos_of: HashMap<usize, usize> =
+            unique.iter().enumerate().map(|(p, &i)| (i, p)).collect();
+        let mut pending: Vec<Option<ShardOutcome>> =
+            unique_outcomes.into_iter().map(Some).collect();
+        let mut slots: Vec<Option<ShardOutcome>> = vec![None; blocks.len()];
+        for i in (0..blocks.len()).rev() {
+            let pos = pos_of[&canonical[i]];
+            slots[i] = Some(if canonical[i] == i {
+                pending[pos].take().expect("canonical outcome taken once")
+            } else {
+                let o = pending[pos]
+                    .as_ref()
+                    .expect("duplicates resolve before canonical");
+                ShardOutcome {
+                    rows: o.rows.clone(),
+                    leaf_tables: o.leaf_tables.clone(),
+                    elapsed: Duration::ZERO,
+                    fallback: o.fallback,
+                    hedged: false,
+                }
+            });
+        }
+        let outcomes: Vec<ShardOutcome> = slots.into_iter().map(Option::unwrap).collect();
 
         // Gather: stitch the per-shard summary rows (and leaf tables,
         // rebuilt from the automaton where the executor did not supply
@@ -459,6 +522,7 @@ impl Preprocessed {
         let mut r: Vec<RMatrix> = vec![RMatrix::bot(0); n];
         let mut shard_build = Vec::with_capacity(outcomes.len());
         let mut fallbacks = 0usize;
+        let mut hedges = 0usize;
         for ((range, block), outcome) in layout.ranges.iter().zip(&blocks).zip(outcomes) {
             assert_eq!(
                 outcome.rows.len(),
@@ -484,6 +548,7 @@ impl Preprocessed {
             }
             shard_build.push(outcome.elapsed);
             fallbacks += usize::from(outcome.fallback);
+            hedges += usize::from(outcome.hedged);
         }
 
         // Merge: the composition spine (and any rules outside every shard
@@ -525,6 +590,8 @@ impl Preprocessed {
                 shard_build,
                 merge,
                 fallbacks,
+                hedges,
+                deduped,
             },
         )
     }

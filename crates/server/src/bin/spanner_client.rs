@@ -244,6 +244,11 @@ fn render_scrape(full: &spanner_server::FullStats) -> String {
         ("oversized_frames_total", v.oversized_frames),
         ("pages_streamed_total", v.pages_streamed),
         ("executor_fallbacks_total", v.remote_fallbacks),
+        ("executor_hedges_total", v.remote_hedges),
+        ("block_cache_hits_total", v.block_cache_hits),
+        ("block_cache_misses_total", v.block_cache_misses),
+        ("block_cache_evictions_total", v.block_cache_evictions),
+        ("block_cache_resident_bytes", v.block_cache_bytes),
         ("reshards_total", v.reshards),
         ("inflight", v.inflight),
     ] {
@@ -271,6 +276,15 @@ fn render_scrape(full: &spanner_server::FullStats) -> String {
         out.push(format!("spanner_store_log_bytes {}", store.log_bytes));
         out.push(format!("spanner_store_last_seq {}", store.last_seq));
         out.push(format!("spanner_store_snapshot_seq {}", store.snapshot_seq));
+        out.push(format!("spanner_store_snapshots_total {}", store.snapshots));
+        out.push(format!(
+            "spanner_store_snapshot_triggers_total{{trigger=\"cadence\"}} {}",
+            store.snapshots_on_cadence
+        ));
+        out.push(format!(
+            "spanner_store_snapshot_triggers_total{{trigger=\"size\"}} {}",
+            store.snapshots_on_size
+        ));
         if let Some(age) = store.snapshot_age_secs {
             out.push(format!("spanner_store_snapshot_age_seconds {age}"));
         }

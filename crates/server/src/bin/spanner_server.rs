@@ -4,24 +4,34 @@
 //! ```text
 //! spanner-server [--addr HOST:PORT] [--max-inflight N] [--max-frame BYTES]
 //!                [--page-size N] [--cache-budget BYTES]
-//!                [--data-dir DIR] [--snapshot-every N]
+//!                [--block-cache-budget BYTES]
+//!                [--data-dir DIR] [--snapshot-every N] [--snapshot-bytes B]
 //!                [--reshard-interval-ms MS] [--reshard-rounds N]
 //!                [--reshard-cores N]
 //!                [--worker] [--workers ADDR,ADDR,...]
+//!                [--health-interval-ms MS] [--hedge-after-ms MS]
 //! ```
 //!
 //! `--worker` boots a stateless shard-pass worker (serves `shard_build`,
-//! `ping`, `stats`, `shutdown`; refuses registrations and tasks).
+//! `ping`, `stats`, `shutdown`; refuses registrations and tasks).  Workers
+//! keep a `--block-cache-budget`-byte content-addressed cache of decoded
+//! blocks (default 64 MiB; 0 disables it) so repeat builds negotiate down
+//! to hash-sized frames.
 //! `--workers a,b` boots a front-end whose sharded matrix builds scatter
 //! over the listed worker processes (falling back to local execution when
 //! a worker fails).  The two are the halves of a distributed pool: boot N
-//! workers, then one front-end pointing at them.
+//! workers, then one front-end pointing at them.  The front-end probes
+//! worker health every `--health-interval-ms` (default 1000; 0 disables
+//! probing — dead workers are then only discovered at scatter time), and
+//! hedges straggler shards to a second worker after `--hedge-after-ms`
+//! (default 0 = adaptive, 3× the median observed pass latency).
 //!
 //! `--data-dir DIR` makes the server durable: corpus verbs are appended to
 //! `DIR/corpus.log`, a snapshot is cut every `--snapshot-every` verbs
-//! (default 256; 0 disables periodic snapshots), and on boot the store is
-//! replayed — tenants, quotas, wire ids and shard layouts come back
-//! bit-identically, with zero `auto_k` re-probing.  A recovered boot
+//! (default 256; 0 disables periodic snapshots) or whenever the log grows
+//! past `--snapshot-bytes` (default 0 = no size trigger), and on boot the
+//! store is replayed — tenants, quotas, wire ids and shard layouts come
+//! back bit-identically, with zero `auto_k` re-probing.  A recovered boot
 //! prints `RECOVERED docs=<n> tenants=<n> verbs=<n> snapshot=<bool>`
 //! before `LISTENING`.
 //!
@@ -50,6 +60,9 @@ fn main() {
     let mut workers: Vec<String> = Vec::new();
     let mut data_dir: Option<PathBuf> = None;
     let mut snapshot_every: u64 = 256;
+    let mut snapshot_bytes: u64 = 0;
+    let mut health_interval_ms: u64 = 1000;
+    let mut hedge_after_ms: u64 = 0;
     let mut reshard_interval_ms: Option<u64> = None;
     let mut reshard_rounds: u32 = ReshardOptions::default().rounds;
     let mut reshard_cores: Option<usize> = None;
@@ -69,8 +82,16 @@ fn main() {
             "--max-frame" => config.max_frame_len = parse(&value(i), "--max-frame"),
             "--page-size" => config.page_size = parse(&value(i), "--page-size"),
             "--cache-budget" => cache_budget = Some(parse(&value(i), "--cache-budget")),
+            "--block-cache-budget" => {
+                config.block_cache_budget = parse(&value(i), "--block-cache-budget")
+            }
             "--data-dir" => data_dir = Some(PathBuf::from(value(i))),
             "--snapshot-every" => snapshot_every = parse(&value(i), "--snapshot-every") as u64,
+            "--snapshot-bytes" => snapshot_bytes = parse(&value(i), "--snapshot-bytes") as u64,
+            "--health-interval-ms" => {
+                health_interval_ms = parse(&value(i), "--health-interval-ms") as u64
+            }
+            "--hedge-after-ms" => hedge_after_ms = parse(&value(i), "--hedge-after-ms") as u64,
             "--reshard-interval-ms" => {
                 reshard_interval_ms = Some(parse(&value(i), "--reshard-interval-ms") as u64)
             }
@@ -92,9 +113,11 @@ fn main() {
                 println!(
                     "usage: spanner-server [--addr HOST:PORT] [--max-inflight N] \
                      [--max-frame BYTES] [--page-size N] [--cache-budget BYTES] \
-                     [--data-dir DIR] [--snapshot-every N] \
+                     [--block-cache-budget BYTES] \
+                     [--data-dir DIR] [--snapshot-every N] [--snapshot-bytes B] \
                      [--reshard-interval-ms MS] [--reshard-rounds N] [--reshard-cores N] \
-                     [--worker] [--workers ADDR,ADDR,...]"
+                     [--worker] [--workers ADDR,ADDR,...] \
+                     [--health-interval-ms MS] [--hedge-after-ms MS]"
                 );
                 return;
             }
@@ -118,7 +141,16 @@ fn main() {
     if let Some(budget) = cache_budget {
         builder = builder.cache_budget(budget);
     }
-    let remote = (!workers.is_empty()).then(|| Arc::new(RemoteExecutor::new(workers)));
+    let remote = (!workers.is_empty()).then(|| {
+        let mut executor = RemoteExecutor::new(workers);
+        if hedge_after_ms > 0 {
+            executor = executor.with_hedge_after(Duration::from_millis(hedge_after_ms));
+        }
+        if health_interval_ms > 0 {
+            executor = executor.with_health_check(Duration::from_millis(health_interval_ms));
+        }
+        Arc::new(executor)
+    });
     if let Some(remote) = &remote {
         builder = builder.shard_executor(remote.clone());
     }
@@ -127,6 +159,7 @@ fn main() {
         persistence: data_dir.map(|dir| PersistenceOptions {
             dir,
             snapshot_every,
+            snapshot_bytes,
         }),
         remote,
         reshard: reshard_interval_ms.map(|ms| ReshardOptions {

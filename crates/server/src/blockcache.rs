@@ -1,0 +1,220 @@
+//! The worker-resident content-addressed block cache behind the
+//! `shard_build` have/need negotiation.
+//!
+//! A worker that has once decoded a shard's rule block (or a query's
+//! automaton) keeps the *decoded* value keyed by its content hash, so a
+//! later build of the same document — the dominant pattern under matrix-
+//! cache misses and multi-query workloads — needs only a hash-sized frame
+//! from the coordinator.  The cache is a plain byte-budgeted LRU:
+//!
+//! * keys are `(domain, hash)` pairs — automata and rule blocks live in
+//!   separate key domains so a (contrived) cross-kind hash collision
+//!   cannot alias them;
+//! * recency is a monotone stamp bumped on every touch (`O(1)`), eviction
+//!   scans for the minimum stamp (`O(n)` — the cache holds at most a few
+//!   thousand entries, far below where a heap would matter);
+//! * a value whose cost alone exceeds the budget is served but never
+//!   inserted, so one oversized block cannot wipe the cache.
+//!
+//! Trust: the coordinator's claimed hash is **verified by recomputation**
+//! over the decoded value before it is inserted or served (see the
+//! `shard_build` handler) — the cache itself never stores an unverified
+//! claim, so a hash-collision-shaped adversarial frame costs a rejected
+//! request, never a poisoned cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Key domain of a cached value (part of the key, so equal hashes of
+/// different kinds never alias).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// A query automaton (`WireNfa` content hash).
+    Nfa,
+    /// A standalone shard rule block (`block_content_hash`).
+    Rules,
+}
+
+struct Entry<V> {
+    value: V,
+    bytes: usize,
+    stamp: u64,
+}
+
+/// A byte-budgeted LRU over content-addressed values.  `V` is whatever the
+/// worker wants to keep decoded (the server stores `Arc`s so a hit is one
+/// pointer clone).
+pub struct BlockCache<V> {
+    entries: Mutex<HashMap<(BlockKind, u64), Entry<V>>>,
+    budget: usize,
+    clock: AtomicU64,
+    resident: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V> std::fmt::Debug for BlockCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("budget", &self.budget)
+            .field("resident", &self.resident.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<V: Clone> BlockCache<V> {
+    /// An empty cache holding at most `budget` bytes of values (as costed
+    /// by the caller at insert time).  A zero budget disables caching:
+    /// every lookup misses and nothing is retained.
+    pub fn new(budget: usize) -> BlockCache<V> {
+        BlockCache {
+            entries: Mutex::new(HashMap::new()),
+            budget,
+            clock: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `(kind, hash)` up, refreshing its recency on a hit.
+    pub fn get(&self, kind: BlockKind, hash: u64) -> Option<V> {
+        let mut entries = self.entries.lock().unwrap();
+        match entries.get_mut(&(kind, hash)) {
+            Some(entry) => {
+                entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `(kind, hash)` at cost `bytes`, evicting
+    /// least-recently-used entries until the budget holds.  A value whose
+    /// cost alone exceeds the budget is not inserted.
+    pub fn put(&self, kind: BlockKind, hash: u64, value: V, bytes: usize) {
+        if bytes > self.budget {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        let mut resident: usize = entries.values().map(|e| e.bytes).sum();
+        if let Some(old) = entries.remove(&(kind, hash)) {
+            resident -= old.bytes;
+        }
+        while resident + bytes > self.budget {
+            let Some((&key, _)) = entries.iter().min_by_key(|(_, e)| e.stamp) else {
+                break;
+            };
+            let evicted = entries.remove(&key).expect("min key present");
+            resident -= evicted.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        entries.insert(
+            (kind, hash),
+            Entry {
+                value,
+                bytes,
+                stamp,
+            },
+        );
+        resident += bytes;
+        self.resident.store(resident as u64, Ordering::Relaxed);
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted under the byte budget so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of values currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_refresh_recency_and_misses_count() {
+        let cache: BlockCache<u32> = BlockCache::new(100);
+        assert_eq!(cache.get(BlockKind::Rules, 1), None);
+        cache.put(BlockKind::Rules, 1, 11, 40);
+        cache.put(BlockKind::Rules, 2, 22, 40);
+        assert_eq!(cache.get(BlockKind::Rules, 1), Some(11));
+        // Entry 2 is now the least recently used: inserting a third 40-byte
+        // value must evict it, not entry 1.
+        cache.put(BlockKind::Rules, 3, 33, 40);
+        assert_eq!(cache.get(BlockKind::Rules, 1), Some(11));
+        assert_eq!(cache.get(BlockKind::Rules, 2), None);
+        assert_eq!(cache.get(BlockKind::Rules, 3), Some(33));
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.resident_bytes(), 80);
+    }
+
+    #[test]
+    fn kinds_are_separate_key_domains() {
+        let cache: BlockCache<u32> = BlockCache::new(100);
+        cache.put(BlockKind::Nfa, 7, 1, 10);
+        cache.put(BlockKind::Rules, 7, 2, 10);
+        assert_eq!(cache.get(BlockKind::Nfa, 7), Some(1));
+        assert_eq!(cache.get(BlockKind::Rules, 7), Some(2));
+    }
+
+    #[test]
+    fn oversized_values_are_never_inserted_and_zero_budget_disables() {
+        let cache: BlockCache<u32> = BlockCache::new(50);
+        cache.put(BlockKind::Rules, 1, 11, 51);
+        assert_eq!(cache.get(BlockKind::Rules, 1), None);
+        assert_eq!(cache.resident_bytes(), 0);
+
+        let off: BlockCache<u32> = BlockCache::new(0);
+        off.put(BlockKind::Rules, 1, 11, 1);
+        assert_eq!(off.get(BlockKind::Rules, 1), None);
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_its_cost() {
+        let cache: BlockCache<u32> = BlockCache::new(100);
+        cache.put(BlockKind::Rules, 1, 11, 90);
+        cache.put(BlockKind::Rules, 1, 12, 30);
+        cache.put(BlockKind::Rules, 2, 22, 60);
+        // 30 + 60 fits: the re-insert released the original 90 bytes.
+        assert_eq!(cache.get(BlockKind::Rules, 1), Some(12));
+        assert_eq!(cache.get(BlockKind::Rules, 2), Some(22));
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn eviction_frees_enough_for_a_large_newcomer() {
+        let cache: BlockCache<u32> = BlockCache::new(100);
+        for i in 0..5 {
+            cache.put(BlockKind::Rules, i, i as u32, 20);
+        }
+        cache.put(BlockKind::Rules, 99, 99, 100);
+        assert_eq!(cache.get(BlockKind::Rules, 99), Some(99));
+        assert_eq!(cache.evictions(), 5);
+        assert_eq!(cache.resident_bytes(), 100);
+    }
+}

@@ -21,10 +21,15 @@
 //! * [`client`] — a blocking typed client used by the integration tests,
 //!   the CI smoke script and the load generator.
 //! * [`remote`] — the distributed half: [`RemoteExecutor`] implements the
-//!   core's `ShardExecutor` over the wire protocol, shipping standalone
-//!   shard rule blocks to `spanner-server --worker` processes and
-//!   gathering summary rows (falling back to local execution when a
-//!   worker fails, so results are never lost).
+//!   core's `ShardExecutor` over the wire protocol as a self-managing
+//!   worker fleet — content-hash have/need negotiation (block bytes cross
+//!   the wire once per worker, see [`blockcache`]), rendezvous-hash
+//!   shard→worker placement, optional background health probing with
+//!   join/leave, and hedged passes that re-issue stragglers to a second
+//!   worker (falling back to local execution when workers fail, so
+//!   results are never lost).
+//! * [`blockcache`] — the worker-resident byte-budgeted LRU of decoded
+//!   blocks behind the negotiation.
 //!
 //! Two binaries ship with the crate: `spanner-server` (boot a server, a
 //! `--worker` shard-pass engine, or a `--workers a,b` front-end over a
@@ -50,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blockcache;
 pub mod client;
 pub mod proto;
 pub mod remote;

@@ -224,7 +224,7 @@ impl WireTask {
 
 /// One transition label as spoken on the wire — mirrors
 /// `Label<MarkedSymbol<EByte>>` with wire-friendly payloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WireLabel {
     /// An ordinary document byte.
     Byte(u8),
@@ -238,7 +238,7 @@ pub enum WireLabel {
 }
 
 /// One transition `(from, label, to)` as spoken on the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WireArc {
     /// Source state.
     pub from: u64,
@@ -251,7 +251,7 @@ pub struct WireArc {
 /// A query's end-transformed automaton as spoken on the wire — everything
 /// a shard worker needs to run the Lemma 6.5 pass, independent of how the
 /// query was originally written (regex, hand-built automaton, …).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct WireNfa {
     /// Number of states `q`.
     pub states: u64,
@@ -284,6 +284,18 @@ impl WireNfa {
                 })
                 .collect(),
         }
+    }
+
+    /// The automaton's content hash, the cache key of the `shard_build`
+    /// have/need negotiation.  Computed over the *decoded* structure (not
+    /// the frame bytes), so both sides of the wire — and a worker
+    /// verifying a claimed hash against the automaton it actually
+    /// received — agree on the key regardless of JSON formatting.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = slp::Fnv64::new();
+        self.hash(&mut h);
+        h.finish()
     }
 
     /// Largest state count [`WireNfa::to_nfa`] will materialise.  The
@@ -831,13 +843,30 @@ pub enum Request {
     /// query's end-transformed automaton — never the surrounding document.
     /// The reply ([`Response::ShardBuilt`]) carries only the block's
     /// three-valued summary rows.
+    ///
+    /// Content-addressed negotiation: each payload half (automaton, rule
+    /// block) may be replaced by its content hash alone.  A worker holding
+    /// the hashed value in its block cache runs the pass as usual; one
+    /// that does not answers [`Response::NeedBlocks`] naming the missing
+    /// halves, and the coordinator re-sends the frame with the bytes
+    /// inline.  A frame naming *neither* the bytes nor a hash for a half
+    /// is malformed.
     ShardBuild {
-        /// The query's end-transformed, ε-free automaton.
-        nfa: WireNfa,
-        /// The shard's standalone rule block (local indices).
-        rules: Vec<NfRule<EByte>>,
+        /// The query's end-transformed, ε-free automaton; `None` ships
+        /// only `nfa_hash`.
+        nfa: Option<WireNfa>,
+        /// The shard's standalone rule block (local indices); `None` ships
+        /// only `block_hash`.
+        rules: Option<Vec<NfRule<EByte>>>,
         /// Local index of the block's root rule.
         root: u64,
+        /// Content hash of the automaton ([`WireNfa::content_hash`]); 0 =
+        /// not negotiated (legacy frame).
+        nfa_hash: u64,
+        /// Content hash of the rule block
+        /// ([`slp::block_content_hash`] over `(rules, root)`); 0 = not
+        /// negotiated (legacy frame).
+        block_hash: u64,
     },
     /// Snapshot the service-wide and server-level counters.
     Stats,
@@ -915,8 +944,21 @@ pub struct WireServerStats {
     /// Remote shard passes that fell back to local execution (0 when no
     /// worker pool is attached).
     pub remote_fallbacks: u64,
+    /// Remote shard passes re-issued to a second worker after the hedge
+    /// budget expired.
+    pub remote_hedges: u64,
     /// Documents transparently re-registered by the auto re-shard policy.
     pub reshards: u64,
+    /// Worker block-cache hits (shard passes answered without the block
+    /// bytes crossing the wire; 0 unless this server runs as a worker).
+    pub block_cache_hits: u64,
+    /// Worker block-cache misses (hash-only frames answered `need`, plus
+    /// first-time inserts).
+    pub block_cache_misses: u64,
+    /// Worker block-cache entries evicted under the byte budget.
+    pub block_cache_evictions: u64,
+    /// Worker block-cache bytes currently resident.
+    pub block_cache_bytes: u64,
 }
 
 /// One tenant's usage, limits and serving counters inside a
@@ -1001,6 +1043,12 @@ pub struct WireStoreStats {
     pub snapshot_seq: u64,
     /// Seconds since the last snapshot was written (`None` = none yet).
     pub snapshot_age_secs: Option<u64>,
+    /// Snapshots written over the store's lifetime (all triggers).
+    pub snapshots: u64,
+    /// Snapshots triggered by the every-N-verbs cadence.
+    pub snapshots_on_cadence: u64,
+    /// Snapshots triggered by the log-size compaction threshold.
+    pub snapshots_on_size: u64,
 }
 
 impl From<&StoreMetrics> for WireStoreStats {
@@ -1011,6 +1059,11 @@ impl From<&StoreMetrics> for WireStoreStats {
             last_seq: m.last_seq,
             snapshot_seq: m.snapshot_seq,
             snapshot_age_secs: m.snapshot_age_secs,
+            snapshots: m.snapshots,
+            // Trigger attribution lives in the persistence layer, not the
+            // store; the server patches these in.
+            snapshots_on_cadence: 0,
+            snapshots_on_size: 0,
         }
     }
 }
@@ -1026,16 +1079,30 @@ impl WireStoreStats {
                 "snapshot_age_secs",
                 self.snapshot_age_secs.map_or(Json::Null, Json::num),
             ),
+            ("snapshots", Json::num(self.snapshots)),
+            ("snapshots_on_cadence", Json::num(self.snapshots_on_cadence)),
+            ("snapshots_on_size", Json::num(self.snapshots_on_size)),
         ])
     }
 
     fn from_json(value: &Json) -> Result<WireStoreStats, ProtoError> {
+        // The snapshot-trigger counters are absent in frames from older
+        // servers; default them to zero.
+        let optional = |key: &str| -> Result<u64, ProtoError> {
+            match value.get(key) {
+                None => Ok(0),
+                Some(v) => number(v, key),
+            }
+        };
         Ok(WireStoreStats {
             log_records: num_field(value, "log_records")?,
             log_bytes: num_field(value, "log_bytes")?,
             last_seq: num_field(value, "last_seq")?,
             snapshot_seq: num_field(value, "snapshot_seq")?,
             snapshot_age_secs: opt_num_field(value, "snapshot_age_secs")?,
+            snapshots: optional("snapshots")?,
+            snapshots_on_cadence: optional("snapshots_on_cadence")?,
+            snapshots_on_size: optional("snapshots_on_size")?,
         })
     }
 }
@@ -1069,6 +1136,10 @@ impl From<&RequestStats> for WireStats {
 }
 
 /// A server→client frame.
+// `Stats` dwarfs the other variants, but it is a rare diagnostics reply —
+// boxing it would complicate every codec site to shrink a type that never
+// sits on the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
     /// Answer to [`Request::Ping`].
@@ -1147,6 +1218,15 @@ pub enum Response {
         rows: Vec<RMatrix>,
         /// Worker-side wall-clock of the pass, in microseconds.
         elapsed_us: u64,
+    },
+    /// Answer to a hash-only [`Request::ShardBuild`] the worker cannot
+    /// satisfy from its block cache: the named halves must be re-sent with
+    /// their bytes inline (same connection, same request otherwise).
+    NeedBlocks {
+        /// The worker does not hold the automaton named by `nh`.
+        need_nfa: bool,
+        /// The worker does not hold the rule block named by `bh`.
+        need_block: bool,
     },
     /// Answer to [`Request::TenantCreate`] / [`Request::TenantUpdate`].
     TenantOk {
@@ -1361,11 +1441,31 @@ impl Request {
                 pairs.push(("op", Json::str("tenant_update")));
                 pairs.push(("spec", spec_to_json(spec)));
             }
-            Request::ShardBuild { nfa, rules, root } => {
+            Request::ShardBuild {
+                nfa,
+                rules,
+                root,
+                nfa_hash,
+                block_hash,
+            } => {
                 pairs.push(("op", Json::str("shard_build")));
-                pairs.push(("nfa", nfa.to_json()));
-                pairs.push(("rules", rules_to_json(rules)));
+                // Payload halves and their hashes are each omitted when
+                // absent, so a legacy-shaped frame (bytes inline, no
+                // negotiation) is byte-identical to what a v1 coordinator
+                // sends.
+                if let Some(nfa) = nfa {
+                    pairs.push(("nfa", nfa.to_json()));
+                }
+                if let Some(rules) = rules {
+                    pairs.push(("rules", rules_to_json(rules)));
+                }
                 pairs.push(("root", Json::num(*root)));
+                if *nfa_hash != 0 {
+                    pairs.push(("nh", Json::num(*nfa_hash)));
+                }
+                if *block_hash != 0 {
+                    pairs.push(("bh", Json::num(*block_hash)));
+                }
             }
             Request::Stats => pairs.push(("op", Json::str("stats"))),
             Request::Shutdown => pairs.push(("op", Json::str("shutdown"))),
@@ -1438,11 +1538,40 @@ impl Request {
                 spec: spec_from_json(field(&value, "spec")?)
                     .map_err(|e| ProtoError::Malformed(e.to_string()))?,
             },
-            b"shard_build" => Request::ShardBuild {
-                nfa: WireNfa::from_json(field(&value, "nfa")?)?,
-                rules: rules_from_json(field(&value, "rules")?)?,
-                root: num_field(&value, "root")?,
-            },
+            b"shard_build" => {
+                let nfa = match value.get("nfa") {
+                    None => None,
+                    Some(v) => Some(WireNfa::from_json(v)?),
+                };
+                let rules = match value.get("rules") {
+                    None => None,
+                    Some(v) => Some(rules_from_json(v)?),
+                };
+                let optional_hash = |key: &str| -> Result<u64, ProtoError> {
+                    match value.get(key) {
+                        None => Ok(0),
+                        Some(v) => number(v, key),
+                    }
+                };
+                let (nfa_hash, block_hash) = (optional_hash("nh")?, optional_hash("bh")?);
+                if nfa.is_none() && nfa_hash == 0 {
+                    return Err(ProtoError::Malformed(
+                        "shard_build names neither an nfa nor its hash".into(),
+                    ));
+                }
+                if rules.is_none() && block_hash == 0 {
+                    return Err(ProtoError::Malformed(
+                        "shard_build names neither a rule block nor its hash".into(),
+                    ));
+                }
+                Request::ShardBuild {
+                    nfa,
+                    rules,
+                    root: num_field(&value, "root")?,
+                    nfa_hash,
+                    block_hash,
+                }
+            }
             b"stats" => Request::Stats,
             b"shutdown" => Request::Shutdown,
             _ => {
@@ -1531,12 +1660,20 @@ impl WireServerStats {
             ("inflight", Json::num(self.inflight)),
             ("quota_rejections", Json::num(self.quota_rejections)),
             ("remote_fallbacks", Json::num(self.remote_fallbacks)),
+            ("remote_hedges", Json::num(self.remote_hedges)),
             ("reshards", Json::num(self.reshards)),
+            ("block_cache_hits", Json::num(self.block_cache_hits)),
+            ("block_cache_misses", Json::num(self.block_cache_misses)),
+            (
+                "block_cache_evictions",
+                Json::num(self.block_cache_evictions),
+            ),
+            ("block_cache_bytes", Json::num(self.block_cache_bytes)),
         ])
     }
 
     fn from_json(value: &Json) -> Result<WireServerStats, ProtoError> {
-        // The three newest counters default to zero when absent so stats
+        // Counters added after v1 default to zero when absent so stats
         // frames from older servers still decode.
         let optional = |key: &str| -> Result<u64, ProtoError> {
             match value.get(key) {
@@ -1554,7 +1691,12 @@ impl WireServerStats {
             inflight: num_field(value, "inflight")?,
             quota_rejections: optional("quota_rejections")?,
             remote_fallbacks: optional("remote_fallbacks")?,
+            remote_hedges: optional("remote_hedges")?,
             reshards: optional("reshards")?,
+            block_cache_hits: optional("block_cache_hits")?,
+            block_cache_misses: optional("block_cache_misses")?,
+            block_cache_evictions: optional("block_cache_evictions")?,
+            block_cache_bytes: optional("block_cache_bytes")?,
         })
     }
 }
@@ -1614,6 +1756,19 @@ impl Response {
                 ("planes", planes_to_json(rows)),
                 ("elapsed_us", Json::num(*elapsed_us)),
             ]),
+            Response::NeedBlocks {
+                need_nfa,
+                need_block,
+            } => {
+                let mut need = Vec::new();
+                if *need_nfa {
+                    need.push(Json::str("nfa"));
+                }
+                if *need_block {
+                    need.push(Json::str("block"));
+                }
+                obj(vec![("ok", Json::Bool(true)), ("need", Json::Arr(need))])
+            }
             Response::TenantOk { id, created } => obj(vec![
                 ("ok", Json::Bool(true)),
                 ("tenant", Json::num(*id)),
@@ -1729,6 +1884,27 @@ impl Response {
         if let Some(id) = value.get("removed") {
             return Ok(Response::DocRemoved {
                 id: number(id, "removed")?,
+            });
+        }
+        if let Some(need) = value.get("need") {
+            let names = need
+                .as_arr()
+                .ok_or_else(|| ProtoError::Malformed("need is not an array".into()))?;
+            let (mut need_nfa, mut need_block) = (false, false);
+            for name in names {
+                match name.as_str() {
+                    Some(b"nfa") => need_nfa = true,
+                    Some(b"block") => need_block = true,
+                    _ => {
+                        return Err(ProtoError::Malformed(
+                            "need entry is neither 'nfa' nor 'block'".into(),
+                        ))
+                    }
+                }
+            }
+            return Ok(Response::NeedBlocks {
+                need_nfa,
+                need_block,
             });
         }
         if let Some(planes) = value.get("planes") {
@@ -1921,15 +2097,35 @@ mod tests {
                 spec: spanner_store::TenantSpec::default_tenant(),
             },
             Request::ShardBuild {
-                nfa: sample_wire_nfa(),
-                rules: vec![
+                nfa: Some(sample_wire_nfa()),
+                rules: Some(vec![
                     NfRule::Leaf(EByte::Byte(b'a')),
                     NfRule::Leaf(EByte::Byte(b'b')),
                     NfRule::Pair(NonTerminal(0), NonTerminal(1)),
                     NfRule::Leaf(EByte::End),
                     NfRule::Pair(NonTerminal(2), NonTerminal(3)),
-                ],
+                ]),
                 root: 4,
+                nfa_hash: 0,
+                block_hash: 0,
+            },
+            // A fully negotiated warm frame: both halves replaced by their
+            // content hashes.
+            Request::ShardBuild {
+                nfa: None,
+                rules: None,
+                root: 4,
+                nfa_hash: 0xdead_beef_cafe_f00d,
+                block_hash: 0x0123_4567_89ab_cdef,
+            },
+            // A half-warm frame (cached automaton, fresh block) as produced
+            // when a new document meets an already-shipped query.
+            Request::ShardBuild {
+                nfa: None,
+                rules: Some(vec![NfRule::Leaf(EByte::Byte(b'a'))]),
+                root: 0,
+                nfa_hash: 7,
+                block_hash: 9,
             },
             Request::Stats,
             Request::Shutdown,
@@ -1979,6 +2175,18 @@ mod tests {
                 stats: sample_stats(),
             },
             Response::DocRemoved { id: 5 },
+            Response::NeedBlocks {
+                need_nfa: true,
+                need_block: false,
+            },
+            Response::NeedBlocks {
+                need_nfa: false,
+                need_block: true,
+            },
+            Response::NeedBlocks {
+                need_nfa: true,
+                need_block: true,
+            },
             Response::ShardBuilt {
                 q: 2,
                 rows: vec![
@@ -2054,6 +2262,9 @@ mod tests {
                     last_seq: 40,
                     snapshot_seq: 28,
                     snapshot_age_secs: Some(17),
+                    snapshots: 3,
+                    snapshots_on_cadence: 2,
+                    snapshots_on_size: 1,
                 }),
             },
             Response::Stats {
@@ -2321,13 +2532,16 @@ mod tests {
         // A v1 request carrying rules as a JSON array still decodes to the
         // same block as the packed v2 stream.
         let v2 = Request::ShardBuild {
-            nfa: sample_wire_nfa(),
-            rules: vec![
+            nfa: Some(sample_wire_nfa()),
+            rules: Some(vec![
                 NfRule::Leaf(EByte::Byte(b'a')),
                 NfRule::Leaf(EByte::End),
                 NfRule::Pair(NonTerminal(0), NonTerminal(1)),
-            ],
+            ]),
             root: 2,
+            // A v1 frame predates the negotiation: no hash keys at all.
+            nfa_hash: 0,
+            block_hash: 0,
         };
         let mut legacy_req = String::from_utf8(v2.encode()).unwrap();
         let packed_rules = match Json::parse(legacy_req.as_bytes())

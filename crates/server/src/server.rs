@@ -69,6 +69,7 @@
 //! as-is, so a warm restart runs **zero** `auto_k` probes
 //! ([`Service::auto_probe_count`] stays 0).
 
+use crate::blockcache::{BlockCache, BlockKind};
 use crate::proto::{
     ErrorCode, ProtoError, Request, Response, WireServerStats, WireStats, WireTenantStats,
     PROTOCOL_VERSION,
@@ -76,6 +77,7 @@ use crate::proto::{
 use crate::remote::RemoteExecutor;
 use slp::NormalFormSlp;
 use spanner::regex;
+use spanner_slp_core::prepared::EByte;
 use spanner_slp_core::service::{Service, TaskRequest, TenantConfig, TenantId};
 use spanner_slp_core::{DocumentId, QueryId};
 use spanner_store::{CorpusImage, LogVerb, Store, TenantSpec};
@@ -114,6 +116,11 @@ pub struct ServerConfig {
     /// `RemoteExecutor` pool, sharing the frame/admission machinery with
     /// full servers.
     pub worker: bool,
+    /// Byte budget of the worker's content-addressed block cache (decoded
+    /// shard blocks and query automata, keyed by content hash, LRU under
+    /// this budget).  `0` disables the cache: every hash-only
+    /// `shard_build` frame draws a `need` answer.
+    pub block_cache_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -125,6 +132,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(25),
             write_timeout: Duration::from_secs(10),
             worker: false,
+            block_cache_budget: 64 << 20,
         }
     }
 }
@@ -165,6 +173,11 @@ pub struct PersistenceOptions {
     /// Cut a snapshot (and truncate the log) every this many appended
     /// verbs; `0` disables periodic snapshots (the log just grows).
     pub snapshot_every: u64,
+    /// Also cut a snapshot whenever the log exceeds this many bytes —
+    /// compaction for remove-heavy corpora whose dead documents would
+    /// otherwise ride the log between cadence cuts.  `0` disables the
+    /// size trigger.
+    pub snapshot_bytes: u64,
 }
 
 /// Knobs of the background auto re-shard policy: every `interval` it
@@ -290,13 +303,20 @@ struct Persist {
     store: Store,
     mirror: Mutex<CorpusImage>,
     snapshot_every: u64,
+    snapshot_bytes: u64,
+    /// Snapshots cut by the every-N-verbs cadence / the log-size
+    /// compaction threshold (exported through `stats`; a snapshot that
+    /// trips both triggers at once counts as a cadence cut).
+    cadence_snapshots: AtomicU64,
+    size_snapshots: AtomicU64,
 }
 
 impl Persist {
     /// Makes one corpus mutation durable: append to the log, fold into the
-    /// mirror, snapshot if the cadence says so.  Durability failures are
-    /// loud but non-fatal — the in-memory serving state already mutated,
-    /// and refusing to answer would not un-mutate it.
+    /// mirror, snapshot if the cadence or the size threshold says so.
+    /// Durability failures are loud but non-fatal — the in-memory serving
+    /// state already mutated, and refusing to answer would not un-mutate
+    /// it.
     fn record(&self, verb: &LogVerb) {
         let mut mirror = self.mirror.lock().expect("corpus mirror poisoned");
         match self.store.append(verb) {
@@ -306,9 +326,19 @@ impl Persist {
                 return;
             }
         }
-        if self.snapshot_every > 0 && self.store.metrics().log_records >= self.snapshot_every {
-            if let Err(e) = self.store.snapshot(&mirror) {
-                eprintln!("spanner-server: WARNING: snapshot failed: {e}");
+        let metrics = self.store.metrics();
+        let cadence = self.snapshot_every > 0 && metrics.log_records >= self.snapshot_every;
+        let size = self.snapshot_bytes > 0 && metrics.log_bytes >= self.snapshot_bytes;
+        if cadence || size {
+            match self.store.snapshot(&mirror) {
+                Ok(()) => {
+                    if cadence {
+                        self.cadence_snapshots.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.size_snapshots.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e) => eprintln!("spanner-server: WARNING: snapshot failed: {e}"),
             }
         }
     }
@@ -330,9 +360,21 @@ struct Shared {
     admission: Admission,
     persist: Option<Persist>,
     remote: Option<Arc<RemoteExecutor>>,
+    /// The content-addressed cache behind the `shard_build` have/need
+    /// negotiation.  Only worker processes populate it, but it lives on
+    /// every server so the handler and `stats` need no special-casing.
+    block_cache: BlockCache<CachedBlock>,
     shutdown: AtomicBool,
     inflight: AtomicUsize,
     metrics: Metrics,
+}
+
+/// A decoded value in the worker block cache — automata and rule blocks
+/// share one byte budget.
+#[derive(Debug, Clone)]
+enum CachedBlock {
+    Nfa(Arc<spanner_automata::nfa::Nfa<spanner::MarkedSymbol<EByte>>>),
+    Rules(Arc<NormalFormSlp<EByte>>),
 }
 
 impl Shared {
@@ -350,7 +392,15 @@ impl Shared {
                 .remote
                 .as_ref()
                 .map_or(0, |remote| remote.fallback_count()),
+            remote_hedges: self
+                .remote
+                .as_ref()
+                .map_or(0, |remote| remote.hedge_count()),
             reshards: self.metrics.reshards.load(Ordering::Relaxed),
+            block_cache_hits: self.block_cache.hits(),
+            block_cache_misses: self.block_cache.misses(),
+            block_cache_evictions: self.block_cache.evictions(),
+            block_cache_bytes: self.block_cache.resident_bytes(),
         }
     }
 
@@ -393,7 +443,12 @@ impl Shared {
             service: (&self.service.stats()).into(),
             server: self.server_stats(),
             tenants: self.tenant_stats(),
-            store: self.persist.as_ref().map(|p| (&p.store.metrics()).into()),
+            store: self.persist.as_ref().map(|p| {
+                let mut stats: crate::proto::WireStoreStats = (&p.store.metrics()).into();
+                stats.snapshots_on_cadence = p.cadence_snapshots.load(Ordering::Relaxed);
+                stats.snapshots_on_size = p.size_snapshots.load(Ordering::Relaxed);
+                stats
+            }),
         }
     }
 
@@ -514,6 +569,9 @@ impl Server {
                 store,
                 mirror: Mutex::new(recovered.image),
                 snapshot_every: opts.snapshot_every,
+                snapshot_bytes: opts.snapshot_bytes,
+                cadence_snapshots: AtomicU64::new(0),
+                size_snapshots: AtomicU64::new(0),
             });
         }
 
@@ -528,6 +586,7 @@ impl Server {
             admission,
             persist,
             remote,
+            block_cache: BlockCache::new(config.block_cache_budget),
             shutdown: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             metrics: Metrics::default(),
@@ -1098,7 +1157,13 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> io
                 Request::RemoveDoc { tenant, doc } => remove_doc(shared, tenant, doc),
                 Request::TenantCreate { spec } => tenant_upsert(shared, spec, false),
                 Request::TenantUpdate { spec } => tenant_upsert(shared, spec, true),
-                Request::ShardBuild { nfa, rules, root } => shard_build(&nfa, rules, root),
+                Request::ShardBuild {
+                    nfa,
+                    rules,
+                    root,
+                    nfa_hash,
+                    block_hash,
+                } => shard_build(shared, nfa, rules, root, nfa_hash, block_hash),
                 Request::Task {
                     tenant,
                     query,
@@ -1268,45 +1333,141 @@ fn tenant_upsert(shared: &Shared, spec: TenantSpec, update: bool) -> Response {
     }
 }
 
-/// Runs one shard's matrix pass (the worker verb): reconstructs the query
-/// automaton and the standalone block, runs the in-process executor, and
-/// answers with the block's summary rows — never the full matrices.
+/// Decoded-size estimate of a cached automaton, the cost the block cache
+/// charges against its byte budget.
+fn nfa_cache_cost(wire: &crate::proto::WireNfa) -> usize {
+    32 + wire.accepting.len() * 8 + wire.arcs.len() * 24
+}
+
+/// Runs one shard's matrix pass (the worker verb): resolves the query
+/// automaton and the standalone block — from the frame's bytes or from
+/// the content-addressed block cache when the coordinator shipped only
+/// hashes — runs the in-process executor, and answers with the block's
+/// summary rows, never the full matrices.  A hash-only frame naming
+/// values the cache does not hold answers [`Response::NeedBlocks`]; a
+/// frame whose bytes do not match their claimed hash is malformed and
+/// never cached (the negotiation trusts recomputed hashes only).
 fn shard_build(
-    nfa: &crate::proto::WireNfa,
-    rules: Vec<slp::NfRule<spanner_slp_core::prepared::EByte>>,
+    shared: &Shared,
+    nfa: Option<crate::proto::WireNfa>,
+    rules: Option<Vec<slp::NfRule<EByte>>>,
     root: u64,
+    nfa_hash: u64,
+    block_hash: u64,
 ) -> Response {
     use spanner_slp_core::executor::{LocalExecutor, ShardExecutor, ShardJob};
-    let nfa = match nfa.to_nfa() {
-        Ok(nfa) => nfa,
-        Err(e) => {
-            return Response::Error {
-                code: ErrorCode::Eval,
-                detail: format!("bad automaton: {e}"),
+    let cache = &shared.block_cache;
+
+    let mut need_nfa = false;
+    let nfa = match nfa {
+        Some(wire) => {
+            if nfa_hash != 0 && wire.content_hash() != nfa_hash {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    detail: "nfa bytes do not match their claimed content hash".into(),
+                };
             }
-        }
-    };
-    let root = match u32::try_from(root)
-        .ok()
-        .filter(|&r| (r as usize) < rules.len())
-    {
-        Some(root) => slp::NonTerminal(root),
-        None => {
-            return Response::Error {
-                code: ErrorCode::Eval,
-                detail: format!("root {root} outside the {}-rule block", rules.len()),
+            let decoded = match wire.to_nfa() {
+                Ok(nfa) => nfa,
+                Err(e) => {
+                    return Response::Error {
+                        code: ErrorCode::Eval,
+                        detail: format!("bad automaton: {e}"),
+                    }
+                }
+            };
+            let decoded = Arc::new(decoded);
+            if nfa_hash != 0 {
+                cache.put(
+                    BlockKind::Nfa,
+                    nfa_hash,
+                    CachedBlock::Nfa(decoded.clone()),
+                    nfa_cache_cost(&wire),
+                );
             }
+            Some(decoded)
         }
-    };
-    let block = match slp::NormalFormSlp::new(rules, root) {
-        Ok(block) => block,
-        Err(e) => {
-            return Response::Error {
-                code: ErrorCode::Eval,
-                detail: format!("bad shard block: {e}"),
+        None => match cache.get(BlockKind::Nfa, nfa_hash) {
+            Some(CachedBlock::Nfa(decoded)) => Some(decoded),
+            _ => {
+                need_nfa = true;
+                None
             }
-        }
+        },
     };
+
+    let mut need_block = false;
+    let block = match rules {
+        Some(rules) => {
+            let root = match u32::try_from(root)
+                .ok()
+                .filter(|&r| (r as usize) < rules.len())
+            {
+                Some(root) => slp::NonTerminal(root),
+                None => {
+                    return Response::Error {
+                        code: ErrorCode::Eval,
+                        detail: format!("root {root} outside the {}-rule block", rules.len()),
+                    }
+                }
+            };
+            if block_hash != 0 && slp::block_content_hash(&rules, root.0) != block_hash {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    detail: "shard block bytes do not match their claimed content hash".into(),
+                };
+            }
+            let block = match slp::NormalFormSlp::new(rules, root) {
+                Ok(block) => block,
+                Err(e) => {
+                    return Response::Error {
+                        code: ErrorCode::Eval,
+                        detail: format!("bad shard block: {e}"),
+                    }
+                }
+            };
+            let block = Arc::new(block);
+            if block_hash != 0 {
+                // `48` ≈ the decoded bytes per rule: the rule itself plus
+                // the precomputed length/depth/order tables.
+                let cost = block.num_non_terminals() * 48;
+                cache.put(
+                    BlockKind::Rules,
+                    block_hash,
+                    CachedBlock::Rules(block.clone()),
+                    cost,
+                );
+            }
+            Some(block)
+        }
+        None => match cache.get(BlockKind::Rules, block_hash) {
+            Some(CachedBlock::Rules(block)) => {
+                // The hash covers `(rules, root)`: a frame whose root
+                // disagrees with the cached block it names is mis-claimed.
+                if block.start().0 as u64 != root {
+                    return Response::Error {
+                        code: ErrorCode::Malformed,
+                        detail: format!(
+                            "root {root} disagrees with the cached block named by its hash"
+                        ),
+                    };
+                }
+                Some(block)
+            }
+            _ => {
+                need_block = true;
+                None
+            }
+        },
+    };
+
+    if need_nfa || need_block {
+        return Response::NeedBlocks {
+            need_nfa,
+            need_block,
+        };
+    }
+    let (nfa, block) = (nfa.expect("resolved above"), block.expect("resolved above"));
     let outcome = LocalExecutor.execute(&ShardJob {
         nfa: &nfa,
         block: &block,

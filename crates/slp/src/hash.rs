@@ -1,0 +1,159 @@
+//! Content addressing for grammars: a std-only FNV-1a 64-bit hasher and
+//! the content hash of a [`NormalFormSlp`].
+//!
+//! The distributed shard-execution layer keys every standalone shard block
+//! (and the query automaton) by content: two blocks with the same rules
+//! and the same start symbol hash identically, independent of which
+//! document or shard position they came from.  That one property carries
+//! the whole fleet design:
+//!
+//! * **cross-shard sharing** — identical sub-grammars (power families cut
+//!   into equal shards, repeated documents) are recognised before scatter
+//!   and shipped once;
+//! * **the worker block cache** — a worker that has decoded a block keyed
+//!   by hash `h` can answer any later `shard_build` naming `h` without the
+//!   bytes crossing the wire again;
+//! * **rendezvous placement** — the shard→worker mapping hashes the block
+//!   key against each worker's address, so the same block keeps landing on
+//!   the same (cache-warm) worker as long as that worker lives.
+//!
+//! FNV-1a is not collision-resistant against adversaries; every consumer
+//! that acts on a hash match therefore verifies it against the actual
+//! rules (the coordinator compares blocks structurally before deduping,
+//! the worker recomputes the hash of the bytes it was sent before caching
+//! them).  A collision can at worst cost a round-trip, never correctness.
+
+use crate::grammar::Terminal;
+use crate::normal_form::NormalFormSlp;
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64-bit hasher ([`std::hash::Hasher`]), dependency
+/// free and deterministic across processes — unlike
+/// [`std::collections::hash_map::DefaultHasher`], which is randomly
+/// seeded per process and therefore useless as a wire-visible key.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64 { state: FNV_OFFSET }
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Hashes one `&[u8]` in one call (the module's convenience form).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// The content hash of a rule block: rules in index order plus the start
+/// symbol, fed through [`Fnv64`].  Equal `(rules, start)` pairs hash
+/// equally regardless of provenance; the rule count is mixed in first so
+/// a prefix block cannot alias its extension.
+pub fn block_content_hash<T: Terminal>(rules: &[crate::NfRule<T>], start: u32) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(rules.len() as u64);
+    rules.hash(&mut h);
+    h.write_u32(start);
+    h.finish()
+}
+
+impl<T: Terminal> NormalFormSlp<T> {
+    /// This grammar's content hash: a deterministic key over `(rules,
+    /// start)`.  Two grammars compare equal **iff** their rules and start
+    /// symbol are equal, and equal grammars always hash equally — the
+    /// converse (collisions) is possible but must be caught by the caller
+    /// with a structural comparison before anything correctness-critical
+    /// happens.
+    pub fn content_hash(&self) -> u64 {
+        block_content_hash(self.rules(), self.start().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{families, NfRule, NonTerminal};
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn equal_grammars_hash_equally_and_position_does_not_matter() {
+        let a = families::power_word(b"ab", 1 << 10);
+        let b = families::power_word(b"ab", 1 << 10);
+        assert_eq!(a.content_hash(), b.content_hash());
+        let c = families::power_word(b"ab", 1 << 11);
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn start_symbol_and_rule_order_are_part_of_the_key() {
+        let rules = vec![
+            NfRule::Leaf(b'a'),
+            NfRule::Leaf(b'b'),
+            NfRule::Pair(NonTerminal(0), NonTerminal(1)),
+            NfRule::Pair(NonTerminal(2), NonTerminal(2)),
+        ];
+        let h3 = block_content_hash(&rules, 3);
+        let h2 = block_content_hash(&rules, 2);
+        assert_ne!(h3, h2, "same rules, different root");
+        let mut swapped = rules.clone();
+        swapped.swap(0, 1);
+        assert_ne!(
+            block_content_hash(&swapped, 3),
+            h3,
+            "rule order is part of the key"
+        );
+    }
+
+    #[test]
+    fn identical_shard_blocks_of_a_power_family_collide_on_purpose() {
+        // Cutting (ab)^n into equal shards produces standalone blocks that
+        // are *equal grammars* — the cross-shard sharing pass relies on
+        // their hashes agreeing.
+        let doc = families::power_word(b"ab", 1 << 12);
+        let sharded = crate::shard::split(&doc, 4);
+        let (combined, layout) = sharded.compose();
+        let blocks = layout.standalone_blocks(combined.rules());
+        assert!(blocks.len() >= 2);
+        let h0 = blocks[0].content_hash();
+        assert!(
+            blocks[1..].iter().all(|b| b.content_hash() == h0),
+            "equal power-family shards must share one content key"
+        );
+    }
+}

@@ -56,6 +56,7 @@ pub mod error;
 pub mod examples;
 pub mod families;
 pub mod grammar;
+pub mod hash;
 pub mod normal_form;
 pub mod shard;
 pub mod stats;
@@ -63,6 +64,7 @@ pub mod stats;
 pub use builder::SlpBuilder;
 pub use error::SlpError;
 pub use grammar::{NonTerminal, Slp, Symbol, Terminal};
+pub use hash::{block_content_hash, Fnv64};
 pub use normal_form::{NfRule, NormalFormSlp};
 pub use shard::{ShardLayout, ShardedDocument};
 pub use stats::SlpStats;

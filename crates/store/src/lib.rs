@@ -75,6 +75,9 @@ pub struct StoreMetrics {
     pub snapshot_seq: u64,
     /// Seconds since the current snapshot was written (`None` = never).
     pub snapshot_age_secs: Option<u64>,
+    /// Snapshots written over this handle's lifetime (not persisted across
+    /// reopen — a compaction-rate signal, not durable history).
+    pub snapshots: u64,
 }
 
 struct Inner {
@@ -84,6 +87,7 @@ struct Inner {
     log_bytes: u64,
     snapshot_seq: u64,
     snapshot_time: Option<SystemTime>,
+    snapshots: u64,
 }
 
 /// Handle on a data directory: one append log plus one snapshot.
@@ -174,6 +178,7 @@ impl Store {
                 log_bytes: clean_end as u64,
                 snapshot_seq,
                 snapshot_time,
+                snapshots: 0,
             }),
         };
         Ok((
@@ -227,6 +232,7 @@ impl Store {
         inner.log_bytes = 0;
         inner.snapshot_seq = image.last_seq;
         inner.snapshot_time = Some(SystemTime::now());
+        inner.snapshots += 1;
         Ok(())
     }
 
@@ -244,6 +250,7 @@ impl Store {
                     .ok()
                     .map(|d| d.as_secs())
             }),
+            snapshots: inner.snapshots,
         }
     }
 }

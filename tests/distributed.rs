@@ -311,9 +311,12 @@ fn a_dead_pool_degrades_to_local_execution() {
             .unwrap();
         assert_eq!(response.outcome.as_count(), Some(256), "round {round}");
     }
+    // The power word's two shard blocks are content-identical, so the
+    // dedupe pass collapses them to one executed pass — at least that one
+    // fell back (the duplicate inherits the flag in per-build stats).
     assert!(
-        executor.fallback_count() >= 2,
-        "cold build fell back per shard"
+        executor.fallback_count() >= 1,
+        "cold build fell back per executed shard"
     );
     assert_eq!(executor.remote_pass_count(), 0);
 }

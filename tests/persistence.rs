@@ -29,10 +29,15 @@ impl Drop for TempDir {
 }
 
 fn boot_durable(dir: &TempDir, snapshot_every: u64) -> Server {
+    boot_durable_sized(dir, snapshot_every, 0)
+}
+
+fn boot_durable_sized(dir: &TempDir, snapshot_every: u64, snapshot_bytes: u64) -> Server {
     let options = ServerOptions {
         persistence: Some(PersistenceOptions {
             dir: dir.0.clone(),
             snapshot_every,
+            snapshot_bytes,
         }),
         ..ServerOptions::from(ServerConfig::default())
     };
@@ -170,6 +175,54 @@ fn snapshots_compose_with_the_log_tail() {
     assert_eq!(count, 4);
     let (count, _) = client.count(q, 2).unwrap();
     assert_eq!(count, 2);
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn log_size_triggers_snapshots_and_attributes_them() {
+    let dir = TempDir::new("sizetrigger");
+    {
+        // Cadence off; any non-empty log (≥ 1 byte) trips the size trigger,
+        // so every verb cuts a snapshot attributed to the size policy.
+        let server = boot_durable_sized(&dir, 0, 1);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.add_doc(b"abababab").unwrap();
+        client.add_doc(b"aabb").unwrap();
+        client.add_doc(b"babaab").unwrap();
+        let stats = client.stats_full().unwrap();
+        let store = stats.store.expect("durable server exports store stats");
+        assert_eq!(store.snapshots, 3, "every verb grew the log past 1 byte");
+        assert_eq!(store.snapshots_on_size, 3);
+        assert_eq!(store.snapshots_on_cadence, 0, "cadence is off");
+        client.shutdown().unwrap();
+        server.join();
+    }
+    // The size-triggered snapshots compose with recovery like cadence ones.
+    let server = boot_durable_sized(&dir, 0, 1);
+    let report = *server.recovery().unwrap();
+    assert!(report.from_snapshot);
+    assert_eq!(report.documents, 3);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let q = client.add_query(".*x{ab}.*", b"ab").unwrap();
+    let (count, _) = client.count(q, 0).unwrap();
+    assert_eq!(count, 4);
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn cadence_wins_attribution_when_both_triggers_fire() {
+    let dir = TempDir::new("bothtriggers");
+    let server = boot_durable_sized(&dir, 1, 1); // both trip on every verb
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.add_doc(b"abab").unwrap();
+    client.add_doc(b"baba").unwrap();
+    let stats = client.stats_full().unwrap();
+    let store = stats.store.expect("durable server exports store stats");
+    assert_eq!(store.snapshots, 2);
+    assert_eq!(store.snapshots_on_cadence, 2, "cadence takes attribution");
+    assert_eq!(store.snapshots_on_size, 0);
     client.shutdown().unwrap();
     server.join();
 }
