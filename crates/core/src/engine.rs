@@ -45,6 +45,7 @@ use crate::executor::{LocalExecutor, ShardExecutor};
 use crate::matrices::Preprocessed;
 use crate::prepared::{end_transform, EByte};
 use crate::service::Service;
+use crate::trace::ShardTrace;
 use crate::{compute, count, enumerate, model_check};
 use slp::shard::{self, ShardLayout, ShardedDocument};
 use slp::NormalFormSlp;
@@ -334,18 +335,32 @@ impl PreparedDocument {
     /// the lookup hit the cache, what a miss cost, and — for sharded
     /// documents — the per-shard build/merge timings of a miss.
     pub fn matrices_with_stats(&self, query: &PreparedQuery) -> (Arc<Preprocessed>, CacheLookup) {
+        self.matrices_traced(query, None)
+    }
+
+    /// [`PreparedDocument::matrices_with_stats`] for a *sampled* request:
+    /// the trace handle rides into a sharded build so executors attribute
+    /// per-shard time to the request's span tree.  `None` is exactly the
+    /// untraced lookup (and a cache *hit* records nothing here either way —
+    /// the caller times the lookup itself).
+    pub fn matrices_traced(
+        &self,
+        query: &PreparedQuery,
+        trace: Option<ShardTrace>,
+    ) -> (Arc<Preprocessed>, CacheLookup) {
         let key = PairKey {
             doc: self.token,
             query: query.token(),
         };
         self.cache.get_or_build(key, || match &self.shard_layout {
             Some(layout) => {
-                let (pre, stats) = Preprocessed::build_sharded_with(
+                let (pre, stats) = Preprocessed::build_sharded_traced(
                     query.nfa(),
                     &self.ended,
                     query.num_vars(),
                     layout,
                     &*self.executor,
+                    trace,
                 );
                 (pre, Some(stats))
             }

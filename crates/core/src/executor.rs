@@ -35,6 +35,7 @@
 
 use crate::matrices::{block_pass, RMatrix};
 use crate::prepared::EByte;
+use crate::trace::{ShardTrace, SpanRec};
 use slp::NormalFormSlp;
 use spanner::{MarkedSymbol, PartialMarkerSet};
 use spanner_automata::nfa::Nfa;
@@ -57,6 +58,12 @@ pub struct ShardJob<'a> {
     /// Position of this shard in the document's shard order (for logs and
     /// per-shard bookkeeping).
     pub shard_index: usize,
+    /// Trace handle of the sampled request this job belongs to, `None` on
+    /// the unsampled hot path.  The embedded epoch is the *request's*, so
+    /// an in-process executor records spans directly in the request
+    /// timebase; remote executors propagate `ctx` on the wire instead and
+    /// re-base the worker's fragment at the gather.
+    pub trace: Option<ShardTrace>,
 }
 
 /// What one shard pass produced.
@@ -85,6 +92,10 @@ pub struct ShardOutcome {
     /// copy won.  Purely observational: hedged outcomes carry the same
     /// entry-identical rows as unhedged ones.
     pub hedged: bool,
+    /// Span fragment recorded by the executor when the job carried a
+    /// [`ShardTrace`] — already in the request timebase (empty, and
+    /// allocation-free, on the unsampled path).
+    pub spans: Vec<SpanRec>,
 }
 
 /// A backend that runs one shard's matrix pass.  Implementations must be
@@ -114,12 +125,30 @@ impl ShardExecutor for LocalExecutor {
     fn execute(&self, job: &ShardJob<'_>) -> ShardOutcome {
         let start = Instant::now();
         let (rows, leaf_tables) = block_pass(job.nfa, job.block);
+        let elapsed = start.elapsed();
+        let spans = match &job.trace {
+            Some(trace) if trace.ctx.sampled => vec![SpanRec {
+                name: "shard_pass".to_string(),
+                start_us: trace.offset_us(start),
+                dur_us: elapsed.as_micros() as u64,
+                parent: None,
+                attrs: vec![
+                    ("shard".to_string(), job.shard_index.to_string()),
+                    (
+                        "rules".to_string(),
+                        job.block.num_non_terminals().to_string(),
+                    ),
+                ],
+            }],
+            _ => Vec::new(),
+        };
         ShardOutcome {
             rows,
             leaf_tables: Some(leaf_tables),
-            elapsed: start.elapsed(),
+            elapsed,
             fallback: false,
             hedged: false,
+            spans,
         }
     }
 
@@ -151,6 +180,7 @@ mod tests {
                 nfa: query.nfa(),
                 block,
                 shard_index: i,
+                trace: None,
             };
             let outcome = LocalExecutor.execute(&job);
             assert_eq!(outcome.rows.len(), block.num_non_terminals());

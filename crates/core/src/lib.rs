@@ -54,6 +54,7 @@ pub mod model_check;
 pub mod nonemptiness;
 pub mod prepared;
 pub mod service;
+pub mod trace;
 
 pub use engine::{DocumentId, Engine, Evaluation, PreparedDocument, PreparedQuery, QueryId};
 pub use error::EvalError;
@@ -62,6 +63,7 @@ pub use service::{
     QuotaError, RequestStats, Service, ServiceBuilder, ServiceStats, Task, TaskOutcome,
     TaskRequest, TaskResponse, TenantConfig, TenantId, TenantUsage,
 };
+pub use trace::{Hist, HistSnapshot, ShardTrace, SpanRec, TraceContext, Tracer};
 
 use prepared::PreparedEvaluation;
 use slp::NormalFormSlp;

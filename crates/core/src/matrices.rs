@@ -22,6 +22,7 @@
 pub use crate::bitmat::RMatrix;
 use crate::executor::{LocalExecutor, ShardExecutor, ShardJob, ShardOutcome};
 use crate::prepared::EByte;
+use crate::trace::{ShardTrace, SpanRec};
 use slp::{NfRule, NonTerminal, NormalFormSlp, ShardLayout, Terminal};
 use spanner::{MarkedSymbol, MarkerSet, PartialMarkerSet};
 use spanner_automata::nfa::{Label, Nfa};
@@ -82,6 +83,11 @@ pub struct ShardBuildStats {
     /// cross-shard sharing pass reused the earlier outcome (its
     /// `shard_build` entry is zero).
     pub deduped: usize,
+    /// Span fragment of a *sampled* build: the executors' per-shard spans
+    /// plus the root merge span, all in the request timebase with `None`
+    /// parents (the service grafts them under its matrix-build span).
+    /// Empty — and allocation-free — for unsampled builds.
+    pub spans: Vec<SpanRec>,
 }
 
 impl ShardBuildStats {
@@ -432,6 +438,22 @@ impl Preprocessed {
         layout: &ShardLayout,
         executor: &dyn ShardExecutor,
     ) -> (Self, ShardBuildStats) {
+        Self::build_sharded_traced(nfa, slp, num_vars, layout, executor, None)
+    }
+
+    /// [`Preprocessed::build_sharded_with`] for a *sampled* request: the
+    /// trace handle rides down into every [`ShardJob`], executors record
+    /// per-shard spans in the request timebase, and the returned
+    /// [`ShardBuildStats::spans`] fragment additionally covers the root
+    /// merge.  Passing `None` is exactly the untraced build.
+    pub fn build_sharded_traced(
+        nfa: &Nfa<MarkedSymbol<EByte>>,
+        slp: &NormalFormSlp<EByte>,
+        num_vars: usize,
+        layout: &ShardLayout,
+        executor: &dyn ShardExecutor,
+        trace: Option<ShardTrace>,
+    ) -> (Self, ShardBuildStats) {
         let q = nfa.num_states();
         let n = slp.num_non_terminals();
         let incoming_markers = incoming_marker_arcs(nfa, q);
@@ -478,6 +500,7 @@ impl Preprocessed {
                 nfa,
                 block: &blocks[shard_index],
                 shard_index,
+                trace,
             })
             .collect();
         let run_shard = |job: &ShardJob<'_>| executor.execute(job);
@@ -510,6 +533,7 @@ impl Preprocessed {
                     elapsed: Duration::ZERO,
                     fallback: o.fallback,
                     hedged: false,
+                    spans: Vec::new(),
                 }
             });
         }
@@ -523,7 +547,9 @@ impl Preprocessed {
         let mut shard_build = Vec::with_capacity(outcomes.len());
         let mut fallbacks = 0usize;
         let mut hedges = 0usize;
-        for ((range, block), outcome) in layout.ranges.iter().zip(&blocks).zip(outcomes) {
+        let mut spans: Vec<SpanRec> = Vec::new();
+        for ((range, block), mut outcome) in layout.ranges.iter().zip(&blocks).zip(outcomes) {
+            spans.append(&mut outcome.spans);
             assert_eq!(
                 outcome.rows.len(),
                 range.len(),
@@ -572,6 +598,15 @@ impl Preprocessed {
             }
         }
         let merge = merge_start.elapsed();
+        if let Some(trace) = trace.filter(|t| t.ctx.sampled) {
+            spans.push(SpanRec {
+                name: "gather_products".to_string(),
+                start_us: trace.offset_us(merge_start),
+                dur_us: merge.as_micros() as u64,
+                parent: None,
+                attrs: vec![("shards".to_string(), layout.ranges.len().to_string())],
+            });
+        }
 
         let mut pre = Self::assemble(nfa, slp, num_vars, r, leaf_tables);
         pre.shards = layout
@@ -592,6 +627,7 @@ impl Preprocessed {
                 fallbacks,
                 hedges,
                 deduped,
+                spans,
             },
         )
     }

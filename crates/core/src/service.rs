@@ -58,6 +58,7 @@ use crate::engine::{DocumentId, Evaluation, PreparedDocument, PreparedQuery, Que
 use crate::error::EvalError;
 use crate::executor::{LocalExecutor, ShardExecutor};
 use crate::matrices::ShardBuildStats;
+use crate::trace::Tracer;
 use crate::{compute, count, enumerate, model_check};
 use slp::NormalFormSlp;
 use spanner::{SpanTuple, SpannerAutomaton};
@@ -95,6 +96,36 @@ pub enum Task {
         /// bound).
         limit: Option<usize>,
     },
+}
+
+impl Task {
+    /// All task-kind names in [`Task::kind_index`] order — the label set
+    /// of per-kind metric arrays.
+    pub const KIND_NAMES: [&'static str; 5] = [
+        "non_emptiness",
+        "model_check",
+        "count",
+        "compute",
+        "enumerate",
+    ];
+
+    /// Stable index of this task's kind: the slot order of
+    /// [`TaskKindCounts`] and of per-kind histogram arrays.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Task::NonEmptiness => 0,
+            Task::ModelCheck(_) => 1,
+            Task::Count => 2,
+            Task::Compute { .. } => 3,
+            Task::Enumerate { .. } => 4,
+        }
+    }
+
+    /// Stable snake_case name of this task's kind (span attributes, scrape
+    /// labels).
+    pub fn kind_name(&self) -> &'static str {
+        Task::KIND_NAMES[self.kind_index()]
+    }
 }
 
 /// A request against a [`Service`]: which pooled query, which pooled
@@ -503,13 +534,7 @@ struct Counters {
 
 /// The `Counters::by_task` slot of a task.
 fn task_kind_index(task: &Task) -> usize {
-    match task {
-        Task::NonEmptiness => 0,
-        Task::ModelCheck(_) => 1,
-        Task::Count => 2,
-        Task::Compute { .. } => 3,
-        Task::Enumerate { .. } => 4,
-    }
+    task.kind_index()
 }
 
 impl Counters {
@@ -1117,6 +1142,19 @@ impl Service {
     /// # Panics
     /// If the request names a query id not issued by this service.
     pub fn run(&self, request: &TaskRequest) -> Result<TaskResponse, EvalError> {
+        self.run_traced(request, None)
+    }
+
+    /// [`Service::run`] for a *sampled* request: spans for the cache
+    /// lookup (with the matrix build and any per-shard executor fragments
+    /// grafted beneath it on a miss) and the task execution are recorded
+    /// into `tracer`.  `None` is exactly [`Service::run`]; the unsampled
+    /// path allocates nothing here.
+    pub fn run_traced(
+        &self,
+        request: &TaskRequest,
+        tracer: Option<&Tracer>,
+    ) -> Result<TaskResponse, EvalError> {
         let query = self.query(request.query);
         let document = self
             .try_document(request.doc)
@@ -1128,15 +1166,26 @@ impl Service {
         // traffic.
         if let Task::ModelCheck(tuple) = &request.task {
             self.counters.commit(Some(&request.task), None);
+            let exec_from = tracer.map(|t| t.now_us());
             let start = Instant::now();
             let verdict = model_check::check(query.automaton(), document.original(), tuple)?;
+            let task_time = start.elapsed();
+            if let Some(t) = tracer {
+                t.record(
+                    "task_exec",
+                    exec_from.unwrap_or(0),
+                    task_time.as_micros() as u64,
+                    None,
+                    &[("kind", request.task.kind_name().to_string())],
+                );
+            }
             return Ok(TaskResponse {
                 outcome: TaskOutcome::Checked(verdict),
                 stats: RequestStats {
                     cache_hit: false,
                     matrix_build: Duration::ZERO,
                     matrix_bytes: 0,
-                    task_time: start.elapsed(),
+                    task_time,
                     results: 0,
                 },
                 shard_stats: None,
@@ -1152,11 +1201,16 @@ impl Service {
             return Err(EvalError::NondeterministicAutomaton);
         }
 
-        let (pre, lookup) = document.matrices_with_stats(&query);
+        let lookup_from = tracer.map(|t| t.now_us());
+        let (pre, lookup) = document.matrices_traced(&query, tracer.map(|t| t.shard_trace()));
+        if let Some(t) = tracer {
+            self.trace_lookup(t, lookup_from.unwrap_or(0), &lookup);
+        }
         self.counters.commit(Some(&request.task), Some(&lookup));
         self.record_shard_stats(request.doc, &lookup);
         self.sweep_if_removed(request.doc, &document, &lookup);
 
+        let exec_from = tracer.map(|t| t.now_us());
         let start = Instant::now();
         let outcome = match &request.task {
             Task::NonEmptiness => TaskOutcome::NonEmpty(!pre.reachable_accepting().is_empty()),
@@ -1180,6 +1234,18 @@ impl Service {
         };
         let task_time = start.elapsed();
         let results = outcome.tuples().map_or(0, |t| t.len() as u64);
+        if let Some(t) = tracer {
+            t.record(
+                "task_exec",
+                exec_from.unwrap_or(0),
+                task_time.as_micros() as u64,
+                None,
+                &[
+                    ("kind", request.task.kind_name().to_string()),
+                    ("results", results.to_string()),
+                ],
+            );
+        }
         Ok(TaskResponse {
             outcome,
             stats: RequestStats {
@@ -1191,6 +1257,36 @@ impl Service {
             },
             shard_stats: lookup.shard_stats,
         })
+    }
+
+    /// Records the cache-lookup span of a sampled request, with the matrix
+    /// build (and the sharded build's executor fragment, already in the
+    /// request timebase) grafted beneath it on a miss.
+    fn trace_lookup(&self, tracer: &Tracer, from_us: u64, lookup: &CacheLookup) {
+        let dur = tracer.now_us().saturating_sub(from_us);
+        let span = tracer.record(
+            "cache_lookup",
+            from_us,
+            dur,
+            None,
+            &[
+                ("hit", lookup.hit.to_string()),
+                ("bytes", lookup.bytes.to_string()),
+            ],
+        );
+        if !lookup.hit {
+            let build_us = lookup.build_time.as_micros() as u64;
+            let build = tracer.record(
+                "matrix_build",
+                (from_us + dur).saturating_sub(build_us),
+                build_us,
+                Some(span),
+                &[],
+            );
+            if let Some(stats) = &lookup.shard_stats {
+                tracer.graft(&stats.spans, Some(build), 0);
+            }
+        }
     }
 
     /// Serves a batch of requests, fanning out across a thread scope (with
@@ -1256,8 +1352,22 @@ impl Service {
         page_size: usize,
         emit: &mut dyn FnMut(Vec<SpanTuple>) -> bool,
     ) -> Result<TaskResponse, EvalError> {
+        self.run_paged_traced(request, page_size, emit, None)
+    }
+
+    /// [`Service::run_paged`] for a *sampled* request: like
+    /// [`Service::run_traced`], plus one `enumerate_page` span per emitted
+    /// page under the task-execution span — the per-page delay the paper's
+    /// enumeration guarantee bounds, made visible.
+    pub fn run_paged_traced(
+        &self,
+        request: &TaskRequest,
+        page_size: usize,
+        emit: &mut dyn FnMut(Vec<SpanTuple>) -> bool,
+        tracer: Option<&Tracer>,
+    ) -> Result<TaskResponse, EvalError> {
         let Task::Enumerate { skip, limit } = request.task else {
-            return self.run(request);
+            return self.run_traced(request, tracer);
         };
         let query = self.query(request.query);
         let document = self
@@ -1267,30 +1377,72 @@ impl Service {
             self.counters.commit(Some(&request.task), None);
             return Err(EvalError::NondeterministicAutomaton);
         }
-        let (pre, lookup) = document.matrices_with_stats(&query);
+        let lookup_from = tracer.map(|t| t.now_us());
+        let (pre, lookup) = document.matrices_traced(&query, tracer.map(|t| t.shard_trace()));
+        if let Some(t) = tracer {
+            self.trace_lookup(t, lookup_from.unwrap_or(0), &lookup);
+        }
         self.counters.commit(Some(&request.task), Some(&lookup));
         self.record_shard_stats(request.doc, &lookup);
         self.sweep_if_removed(request.doc, &document, &lookup);
 
+        let exec_from = tracer.map(|t| t.now_us());
         let start = Instant::now();
         let page_size = page_size.max(1);
         let cap = limit.unwrap_or(usize::MAX);
         let mut streamed: usize = 0;
         let mut page = Vec::with_capacity(page_size);
+        let mut page_from = exec_from.unwrap_or(0);
+        let mut pages = 0u64;
+        let mut emit_page = |page: Vec<SpanTuple>, page_from: &mut u64, pages: &mut u64| {
+            let tuples = page.len();
+            let keep_going = emit(page);
+            if let Some(t) = tracer {
+                let now = t.now_us();
+                t.record(
+                    "enumerate_page",
+                    *page_from,
+                    now.saturating_sub(*page_from),
+                    None,
+                    &[("page", pages.to_string()), ("tuples", tuples.to_string())],
+                );
+                *page_from = now;
+            }
+            *pages += 1;
+            keep_going
+        };
         let mut iter = enumerate::Enumeration::from_matrices(&pre).skip(skip);
         while streamed < cap {
             let Some(tuple) = iter.next() else { break };
             page.push(tuple);
             streamed += 1;
             if page.len() == page_size
-                && !emit(std::mem::replace(&mut page, Vec::with_capacity(page_size)))
+                && !emit_page(
+                    std::mem::replace(&mut page, Vec::with_capacity(page_size)),
+                    &mut page_from,
+                    &mut pages,
+                )
             {
                 page.clear();
                 break;
             }
         }
         if !page.is_empty() {
-            emit(page);
+            emit_page(page, &mut page_from, &mut pages);
+        }
+        let task_time = start.elapsed();
+        if let Some(t) = tracer {
+            t.record(
+                "task_exec",
+                exec_from.unwrap_or(0),
+                task_time.as_micros() as u64,
+                None,
+                &[
+                    ("kind", request.task.kind_name().to_string()),
+                    ("results", streamed.to_string()),
+                    ("pages", pages.to_string()),
+                ],
+            );
         }
         Ok(TaskResponse {
             outcome: TaskOutcome::Tuples(Vec::new()),
@@ -1298,7 +1450,7 @@ impl Service {
                 cache_hit: lookup.hit,
                 matrix_build: lookup.build_time,
                 matrix_bytes: lookup.bytes,
-                task_time: start.elapsed(),
+                task_time,
                 results: streamed as u64,
             },
             shard_stats: lookup.shard_stats,

@@ -21,20 +21,28 @@
 //! count <q> <d>
 //! compute <q> <d> <limit|->
 //! enum <q> <d> <skip> <limit|->
+//! trace <op> <args...>                # run any op sampled; print its span tree
 //! stats                               # scrape-friendly text export
+//! scrapelint                          # stats + well-formedness check
 //! shutdown
 //! ```
 //!
 //! Every reply is printed as one line — except `stats`, which exports
 //! every counter the server exposes (per-task-kind counts, per-tenant
-//! quota/cache rows, executor fallbacks, store metrics) as
-//! `spanner_<name>[{labels}] <value>` lines, one metric per line, ready
-//! for a text-format scraper.  `busy` backpressure is retried with a
-//! small backoff; any other server error aborts with exit code 1, so a
-//! CI script fails loudly.
+//! quota/cache rows, executor fallbacks, store metrics, and latency
+//! histograms with p50/p95/p99 quantiles) as `spanner_<name>[{labels}]
+//! <value>` lines, one metric per line, ready for a text-format scraper
+//! (`scrapelint` additionally validates that shape and fails loudly on a
+//! malformed line) — and `trace`, which re-runs any task command with
+//! sampling on and pretty-prints the stitched span tree the server
+//! returned, one indented line per span.  `busy` backpressure is retried
+//! with a small backoff; any other server error aborts with exit code 1,
+//! so a CI script fails loudly.
 
 use spanner::{Span, SpanTuple, Variable};
 use spanner_server::{retry_busy, Client, ClientError, TenantSpec};
+use spanner_slp_core::service::Task;
+use spanner_slp_core::trace::{HistSnapshot, SpanRec};
 use std::io::{BufRead, BufReader};
 use std::time::Duration;
 
@@ -201,7 +209,35 @@ fn run_command(client: &mut Client, line: &str) -> Result<String, ClientError> {
             })?;
             Ok(format!("enumerated {} pages={pages}", tuples.len()))
         }
+        "trace" => {
+            let inner = line
+                .trim_start()
+                .strip_prefix("trace")
+                .expect("matched above")
+                .trim();
+            if inner.is_empty() || inner.starts_with("trace") {
+                return Err(ClientError::Protocol(
+                    "trace expects a task command to run, e.g. 'trace count 0 0'".into(),
+                ));
+            }
+            client.set_tracing(true);
+            let result = run_command(client, inner);
+            let tree = client.last_trace().map(render_trace);
+            client.set_tracing(false);
+            let output = result?;
+            match tree {
+                Some(tree) => Ok(format!("{output}\n{tree}")),
+                None => Ok(format!("{output}\n(no trace returned)")),
+            }
+        }
         "stats" => Ok(render_scrape(&client.stats_full()?)),
+        "scrapelint" => {
+            let text = render_scrape(&client.stats_full()?);
+            match scrape_lint(&text) {
+                Ok(lines) => Ok(format!("{text}\nscrapelint ok lines={lines}")),
+                Err(e) => Err(ClientError::Protocol(format!("scrapelint: {e}"))),
+            }
+        }
         "shutdown" => {
             client.shutdown()?;
             Ok("shutdown acknowledged".to_string())
@@ -289,7 +325,242 @@ fn render_scrape(full: &spanner_server::FullStats) -> String {
             out.push(format!("spanner_store_snapshot_age_seconds {age}"));
         }
     }
+    if let Some(obs) = &full.obs {
+        for (i, hist) in obs.kinds.iter().enumerate() {
+            let kind = Task::KIND_NAMES.get(i).copied().unwrap_or("unknown");
+            render_hist(
+                &mut out,
+                "spanner_request_duration_us",
+                &format!("kind=\"{kind}\""),
+                hist,
+            );
+        }
+        for (id, hist) in &obs.tenants {
+            render_hist(
+                &mut out,
+                "spanner_request_duration_us",
+                &format!("tenant=\"{id}\""),
+                hist,
+            );
+        }
+        render_hist(
+            &mut out,
+            "spanner_shard_pass_duration_us",
+            "",
+            &obs.shard_pass,
+        );
+        out.push(format!(
+            "spanner_executor_hedge_budget_us {}",
+            obs.hedge_budget_us
+        ));
+        out.push(format!(
+            "spanner_executor_hedge_window_samples {}",
+            obs.hedge_samples
+        ));
+        out.push(format!(
+            "spanner_store_compactions_total {}",
+            obs.compactions
+        ));
+        out.push(format!(
+            "spanner_store_compaction_duration_us{{stat=\"last\"}} {}",
+            obs.compaction_last_us
+        ));
+        out.push(format!(
+            "spanner_store_compaction_duration_us{{stat=\"total\"}} {}",
+            obs.compaction_total_us
+        ));
+    }
     out.join("\n")
+}
+
+/// Renders one log2 histogram in cumulative Prometheus text shape —
+/// `_bucket{le=…}` lines ending at `le="+Inf"`, `_sum`, `_count` — plus
+/// p50/p95/p99 quantile gauges under `<name>_p<q>`.
+fn render_hist(out: &mut Vec<String>, name: &str, label: &str, hist: &HistSnapshot) {
+    let sep = if label.is_empty() { "" } else { "," };
+    let mut seen = 0u64;
+    for (i, bucket) in hist.buckets.iter().enumerate() {
+        seen += bucket;
+        out.push(format!(
+            "{name}_bucket{{{label}{sep}le=\"{}\"}} {seen}",
+            spanner_slp_core::trace::bucket_le(i)
+        ));
+    }
+    out.push(format!(
+        "{name}_bucket{{{label}{sep}le=\"+Inf\"}} {}",
+        hist.count
+    ));
+    let braces = |l: &str| {
+        if l.is_empty() {
+            String::new()
+        } else {
+            format!("{{{l}}}")
+        }
+    };
+    out.push(format!("{name}_sum{} {}", braces(label), hist.sum));
+    out.push(format!("{name}_count{} {}", braces(label), hist.count));
+    for (suffix, p) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        out.push(format!(
+            "{name}_{suffix}{} {}",
+            braces(label),
+            hist.percentile(p)
+        ));
+    }
+}
+
+/// Pretty-prints a stitched span tree, one indented line per span:
+/// `name start..end µs` plus any attributes as `k=v` pairs.  Children
+/// appear under their parent in recording order.
+fn render_trace(spans: &[SpanRec]) -> String {
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        match span.parent {
+            Some(p) if (p as usize) < spans.len() => children[p as usize].push(i),
+            _ => roots.push(i),
+        }
+    }
+    let mut out = Vec::new();
+    let mut stack: Vec<(usize, usize)> = roots.into_iter().rev().map(|i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        let span = &spans[i];
+        let attrs: Vec<String> = span
+            .attrs
+            .iter()
+            .map(|(k, v)| format!(" {k}={v}"))
+            .collect();
+        out.push(format!(
+            "{}{} {}..{}µs{}",
+            "  ".repeat(depth),
+            span.name,
+            span.start_us,
+            span.end_us(),
+            attrs.join("")
+        ));
+        for &child in children[i].iter().rev() {
+            stack.push((child, depth + 1));
+        }
+    }
+    out.join("\n")
+}
+
+/// Validates scrape text well-formedness without a regex engine: every
+/// line must be `name{labels} value` with a legal metric name, properly
+/// quoted labels, and an unsigned integer value; `_bucket` families must
+/// be cumulative and end in a `le="+Inf"` bucket that matches the
+/// family's `_count`.  Returns the number of lines checked.
+/// One `_bucket` family during linting: the family key (metric name plus
+/// non-`le` labels), the `(le bound, cumulative value)` pairs seen so far, and
+/// the `+Inf` terminator value once it arrives.
+type BucketFamily = (String, Vec<(f64, u64)>, Option<u64>);
+
+fn scrape_lint(text: &str) -> Result<usize, String> {
+    let name_ok = |name: &str| {
+        !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut families: Vec<BucketFamily> = Vec::new();
+    let mut counts: Vec<(String, u64)> = Vec::new();
+    let mut lines = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        lines += 1;
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: no value separator"))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("line {lineno}: value '{value}' is not an unsigned integer"))?;
+        if !seen.insert(series.to_string()) {
+            return Err(format!("line {lineno}: duplicate series {series}"));
+        }
+        let (name, labels) = match series.split_once('{') {
+            None => (series, Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {lineno}: unterminated label braces"))?;
+                let mut labels = Vec::new();
+                for pair in body.split(',') {
+                    let (key, val) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("line {lineno}: label '{pair}' has no '='"))?;
+                    let val = val
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| format!("line {lineno}: label '{pair}' is not quoted"))?;
+                    if !name_ok(key) || val.contains(['"', '\\', '\n']) {
+                        return Err(format!("line {lineno}: malformed label '{pair}'"));
+                    }
+                    labels.push((key.to_string(), val.to_string()));
+                }
+                (name, labels)
+            }
+        };
+        if !name_ok(name) {
+            return Err(format!("line {lineno}: malformed metric name '{name}'"));
+        }
+        let other_labels: Vec<String> = labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let key = format!("{base}|{}", other_labels.join(","));
+            let le = &labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| format!("line {lineno}: bucket without le label"))?
+                .1;
+            let slot = match families.iter_mut().find(|(k, _, _)| *k == key) {
+                Some(slot) => slot,
+                None => {
+                    families.push((key, Vec::new(), None));
+                    families.last_mut().expect("just pushed")
+                }
+            };
+            if le == "+Inf" {
+                slot.2 = Some(value);
+            } else {
+                let bound: f64 = le
+                    .parse()
+                    .map_err(|_| format!("line {lineno}: bucket bound '{le}' is not numeric"))?;
+                slot.1.push((bound, value));
+            }
+        } else if let Some(base) = name.strip_suffix("_count") {
+            counts.push((format!("{base}|{}", other_labels.join(",")), value));
+        }
+    }
+    for (key, buckets, inf) in &families {
+        let inf =
+            inf.ok_or_else(|| format!("bucket family {key} has no le=\"+Inf\" terminator"))?;
+        let mut last = (f64::NEG_INFINITY, 0u64);
+        for &(bound, cumulative) in buckets {
+            if bound <= last.0 {
+                return Err(format!("bucket family {key}: le bounds not increasing"));
+            }
+            if cumulative < last.1 {
+                return Err(format!("bucket family {key}: counts not cumulative"));
+            }
+            last = (bound, cumulative);
+        }
+        if last.1 > inf {
+            return Err(format!("bucket family {key}: +Inf below a finite bucket"));
+        }
+        if let Some((_, count)) = counts.iter().find(|(k, _)| k == key) {
+            if *count != inf {
+                return Err(format!("bucket family {key}: +Inf != _count"));
+            }
+        }
+    }
+    Ok(lines)
 }
 
 /// Parses `x0=1,3 x1=- …` into a span-tuple (variable index, then
@@ -333,4 +604,106 @@ fn render_tuples(tuples: &[SpanTuple]) -> String {
         .collect();
     let ellipsis = if tuples.len() > 3 { " …" } else { "" };
     format!("{}{}", shown.join(" "), ellipsis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_with(samples: &[u64]) -> HistSnapshot {
+        let hist = spanner_slp_core::trace::Hist::new();
+        for &s in samples {
+            hist.observe(s);
+        }
+        hist.snapshot().trimmed()
+    }
+
+    #[test]
+    fn rendered_histograms_pass_the_lint() {
+        let mut out = Vec::new();
+        render_hist(
+            &mut out,
+            "spanner_request_duration_us",
+            "kind=\"count\"",
+            &hist_with(&[1, 5, 5, 900, 40_000]),
+        );
+        render_hist(
+            &mut out,
+            "spanner_shard_pass_duration_us",
+            "",
+            &hist_with(&[]),
+        );
+        let text = out.join("\n");
+        assert_eq!(scrape_lint(&text).unwrap(), out.len());
+        // The cumulative terminator equals the sample count.
+        assert!(text.contains("le=\"+Inf\"} 5"));
+        assert!(text.contains("spanner_request_duration_us_count{kind=\"count\"} 5"));
+    }
+
+    #[test]
+    fn lint_rejects_malformed_lines() {
+        for (bad, why) in [
+            ("spanner_x", "no value separator"),
+            ("spanner_x notanumber", "non-numeric value"),
+            ("9leading_digit 3", "bad metric name"),
+            ("spanner_x{unquoted=3} 1", "unquoted label"),
+            ("spanner_x{k=\"v\" 1", "unterminated braces"),
+            ("spanner_x 1\nspanner_x 2", "duplicate series"),
+            ("spanner_x_bucket{le=\"1\"} 1", "no +Inf terminator"),
+            (
+                "spanner_x_bucket{le=\"2\"} 5\nspanner_x_bucket{le=\"1\"} 1\nspanner_x_bucket{le=\"+Inf\"} 5",
+                "bounds out of order",
+            ),
+            (
+                "spanner_x_bucket{le=\"1\"} 5\nspanner_x_bucket{le=\"2\"} 3\nspanner_x_bucket{le=\"+Inf\"} 5",
+                "not cumulative",
+            ),
+            (
+                "spanner_x_bucket{le=\"1\"} 5\nspanner_x_bucket{le=\"+Inf\"} 5\nspanner_x_count 4",
+                "+Inf disagrees with _count",
+            ),
+        ] {
+            assert!(scrape_lint(bad).is_err(), "lint accepted: {why}");
+        }
+    }
+
+    #[test]
+    fn lint_accepts_plain_counters_and_labelled_gauges() {
+        let text = "spanner_requests_total 12\n\
+                    spanner_tenant_docs{tenant=\"7\"} 3\n\
+                    spanner_store_compaction_duration_us{stat=\"last\"} 0";
+        assert_eq!(scrape_lint(text).unwrap(), 3);
+    }
+
+    #[test]
+    fn trace_rendering_indents_children_under_parents() {
+        let spans = vec![
+            SpanRec {
+                name: "task_exec".into(),
+                start_us: 0,
+                dur_us: 100,
+                parent: None,
+                attrs: vec![("kind".into(), "count".into())],
+            },
+            SpanRec {
+                name: "shard_rpc".into(),
+                start_us: 10,
+                dur_us: 50,
+                parent: Some(0),
+                attrs: Vec::new(),
+            },
+            SpanRec {
+                name: "shard_pass".into(),
+                start_us: 15,
+                dur_us: 40,
+                parent: Some(1),
+                attrs: Vec::new(),
+            },
+        ];
+        let text = render_trace(&spans);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "task_exec 0..100µs kind=count");
+        assert_eq!(lines[1], "  shard_rpc 10..60µs");
+        assert_eq!(lines[2], "    shard_pass 15..55µs");
+    }
 }

@@ -10,6 +10,7 @@
 //!                [--reshard-cores N]
 //!                [--worker] [--workers ADDR,ADDR,...]
 //!                [--health-interval-ms MS] [--hedge-after-ms MS]
+//!                [--slow-log-ms MS]
 //! ```
 //!
 //! `--worker` boots a stateless shard-pass worker (serves `shard_build`,
@@ -40,6 +41,10 @@
 //! diverges (for `--reshard-rounds` consecutive rounds, default 3) from
 //! the measured cost model's advice are transparently re-registered at the
 //! advised count.
+//!
+//! `--slow-log-ms MS` arms the slow-query log: any task slower than MS
+//! milliseconds emits its span tree as one structured JSON line on stderr
+//! (rate-limited to one line per second).
 //!
 //! Prints `LISTENING <addr>` once the socket is bound (scripts parse this
 //! to learn an ephemeral port), then serves until a client sends the
@@ -92,6 +97,7 @@ fn main() {
                 health_interval_ms = parse(&value(i), "--health-interval-ms") as u64
             }
             "--hedge-after-ms" => hedge_after_ms = parse(&value(i), "--hedge-after-ms") as u64,
+            "--slow-log-ms" => config.slow_log_ms = parse(&value(i), "--slow-log-ms") as u64,
             "--reshard-interval-ms" => {
                 reshard_interval_ms = Some(parse(&value(i), "--reshard-interval-ms") as u64)
             }
@@ -117,7 +123,7 @@ fn main() {
                      [--data-dir DIR] [--snapshot-every N] [--snapshot-bytes B] \
                      [--reshard-interval-ms MS] [--reshard-rounds N] [--reshard-cores N] \
                      [--worker] [--workers ADDR,ADDR,...] \
-                     [--health-interval-ms MS] [--hedge-after-ms MS]"
+                     [--health-interval-ms MS] [--hedge-after-ms MS] [--slow-log-ms MS]"
                 );
                 return;
             }

@@ -9,14 +9,25 @@
 //! failures.
 
 use crate::proto::{
-    ErrorCode, ProtoError, Request, Response, WireServerStats, WireServiceStats, WireStats,
-    WireStoreStats, WireTask, WireTenantStats,
+    ErrorCode, ProtoError, Request, Response, WireObsStats, WireServerStats, WireServiceStats,
+    WireStats, WireStoreStats, WireTask, WireTenantStats,
 };
 use spanner::SpanTuple;
+use spanner_slp_core::trace::SpanRec;
 use spanner_store::TenantSpec;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Process-wide trace-id counter: ids are `pid << 32 | counter`, unique
+/// within a process and practically unique across the clients of one
+/// server (never 0, which the wire reserves for "unsampled").
+static TRACE_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+fn next_trace_id() -> u64 {
+    (std::process::id() as u64) << 32 | TRACE_COUNTER.fetch_add(1, Ordering::Relaxed) & 0xffff_ffff
+}
 
 /// What a client call can fail with.
 #[derive(Debug)]
@@ -96,6 +107,9 @@ pub struct FullStats {
     pub tenants: Vec<WireTenantStats>,
     /// Durable-store metrics; `None` on an in-memory server.
     pub store: Option<WireStoreStats>,
+    /// Latency histograms and compaction timings; `None` on servers
+    /// predating the tracing subsystem.
+    pub obs: Option<WireObsStats>,
 }
 
 /// A connected protocol client.
@@ -105,6 +119,11 @@ pub struct Client {
     /// The tenant namespace corpus verbs and tasks run in; `0` (the
     /// default tenant) keeps frames byte-identical to pre-tenancy clients.
     tenant: u32,
+    /// When `true`, every task request carries a fresh trace id (`"tr"`)
+    /// and the server's span tree is captured in [`Client::last_trace`].
+    tracing: bool,
+    /// The span forest of the most recent traced response.
+    last_trace: Option<Vec<SpanRec>>,
 }
 
 impl Client {
@@ -116,7 +135,43 @@ impl Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
             tenant: 0,
+            tracing: false,
+            last_trace: None,
         })
+    }
+
+    /// Turns request tracing on or off: when on, every task request is
+    /// *sampled* — it carries a fresh trace id, the server records spans
+    /// end-to-end (through workers, for sharded documents), and the
+    /// stitched tree is captured in [`Client::last_trace`].
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.last_trace = None;
+        }
+    }
+
+    /// The span forest of the most recent traced task response (`None`
+    /// before any traced call, or when tracing is off).
+    pub fn last_trace(&self) -> Option<&[SpanRec]> {
+        self.last_trace.as_deref()
+    }
+
+    /// The trace id the next task request will carry: a fresh id when
+    /// tracing is on, 0 (unsampled) otherwise.
+    fn task_trace_id(&self) -> u64 {
+        if self.tracing {
+            next_trace_id()
+        } else {
+            0
+        }
+    }
+
+    /// Captures the `"trace"` field of a task response.
+    fn capture_trace(&mut self, trace: &Option<Vec<SpanRec>>) {
+        if let Some(spans) = trace {
+            self.last_trace = Some(spans.clone());
+        }
     }
 
     /// Switches the tenant namespace subsequent calls run in (`0` is the
@@ -225,7 +280,7 @@ impl Client {
     /// Non-emptiness of a pooled pair.
     pub fn non_empty(&mut self, query: u64, doc: u64) -> Result<(bool, WireStats), ClientError> {
         match self.task(query, doc, WireTask::NonEmptiness)? {
-            Response::NonEmpty { value, stats } => Ok((value, stats)),
+            Response::NonEmpty { value, stats, .. } => Ok((value, stats)),
             other => Err(unexpected("non-emptiness verdict", &other)),
         }
     }
@@ -238,7 +293,7 @@ impl Client {
         tuple: &SpanTuple,
     ) -> Result<(bool, WireStats), ClientError> {
         match self.task(query, doc, WireTask::ModelCheck(tuple.clone()))? {
-            Response::Checked { value, stats } => Ok((value, stats)),
+            Response::Checked { value, stats, .. } => Ok((value, stats)),
             other => Err(unexpected("model-check verdict", &other)),
         }
     }
@@ -246,7 +301,7 @@ impl Client {
     /// Counts the results of a pooled pair.
     pub fn count(&mut self, query: u64, doc: u64) -> Result<(u128, WireStats), ClientError> {
         match self.task(query, doc, WireTask::Count)? {
-            Response::Counted { value, stats } => Ok((value, stats)),
+            Response::Counted { value, stats, .. } => Ok((value, stats)),
             other => Err(unexpected("count", &other)),
         }
     }
@@ -259,7 +314,7 @@ impl Client {
         limit: Option<u64>,
     ) -> Result<(Vec<SpanTuple>, WireStats), ClientError> {
         match self.task(query, doc, WireTask::Compute { limit })? {
-            Response::Tuples { tuples, stats } => Ok((tuples, stats)),
+            Response::Tuples { tuples, stats, .. } => Ok((tuples, stats)),
             other => Err(unexpected("tuples", &other)),
         }
     }
@@ -277,6 +332,7 @@ impl Client {
     ) -> Result<(Vec<SpanTuple>, WireStats), ClientError> {
         self.send(&Request::Task {
             tenant: self.tenant,
+            trace: self.task_trace_id(),
             query,
             doc,
             task: WireTask::Enumerate { skip, limit },
@@ -288,7 +344,12 @@ impl Client {
                     on_page(&tuples);
                     all.extend(tuples);
                 }
-                Response::StreamEnd { streamed, stats } => {
+                Response::StreamEnd {
+                    streamed,
+                    stats,
+                    trace,
+                } => {
+                    self.capture_trace(&trace);
                     if streamed as usize != all.len() {
                         return Err(ClientError::Protocol(format!(
                             "stream announced {streamed} tuples but delivered {}",
@@ -314,12 +375,21 @@ impl Client {
             !matches!(task, WireTask::Enumerate { .. }),
             "enumerate responses are streams; use Client::enumerate"
         );
-        self.call(&Request::Task {
+        let response = self.call(&Request::Task {
             tenant: self.tenant,
+            trace: self.task_trace_id(),
             query,
             doc,
             task,
-        })
+        })?;
+        match &response {
+            Response::NonEmpty { trace, .. }
+            | Response::Checked { trace, .. }
+            | Response::Counted { trace, .. }
+            | Response::Tuples { trace, .. } => self.capture_trace(trace),
+            _ => {}
+        }
+        Ok(response)
     }
 
     /// Creates a tenant from a full spec (quotas, cache share, admission
@@ -349,7 +419,8 @@ impl Client {
     }
 
     /// Snapshots everything the `stats` verb exports: service counters,
-    /// transport counters, per-tenant rows and durable-store metrics.
+    /// transport counters, per-tenant rows, durable-store metrics and the
+    /// observability block (histograms, hedge window, compaction timings).
     pub fn stats_full(&mut self) -> Result<FullStats, ClientError> {
         match self.call(&Request::Stats)? {
             Response::Stats {
@@ -357,11 +428,13 @@ impl Client {
                 server,
                 tenants,
                 store,
+                obs,
             } => Ok(FullStats {
                 service,
                 server,
                 tenants,
                 store,
+                obs,
             }),
             other => Err(unexpected("stats", &other)),
         }

@@ -68,7 +68,7 @@ pub use spanner_store::json;
 
 pub use client::{retry_busy, Client, ClientError, DocReceipt, FullStats};
 pub use proto::{
-    ErrorCode, Request, Response, WireNfa, WireStoreStats, WireTask, WireTenantStats,
+    ErrorCode, Request, Response, WireNfa, WireObsStats, WireStoreStats, WireTask, WireTenantStats,
     PROTOCOL_VERSION,
 };
 pub use remote::RemoteExecutor;

@@ -57,6 +57,7 @@ use spanner_automata::nfa::{Label, Nfa};
 use spanner_slp_core::matrices::{REntry, RMatrix};
 use spanner_slp_core::prepared::EByte;
 use spanner_slp_core::service::{RequestStats, ServiceStats, Task};
+use spanner_slp_core::trace::{HistSnapshot, SpanRec};
 use spanner_store::verbs::{spec_from_json, spec_to_json};
 use spanner_store::{StoreMetrics, TenantSpec};
 use std::fmt;
@@ -809,6 +810,11 @@ pub enum Request {
         /// Tenant whose document namespace `doc` resolves in (0 = default;
         /// omitted on the wire when 0).  Queries are shared across tenants.
         tenant: u32,
+        /// Trace id of a *sampled* request (0 = unsampled; omitted on the
+        /// wire when 0, so untraced frames stay byte-identical to the
+        /// pre-tracing encoding).  A non-zero id asks the server to record
+        /// spans and return them in the response's `"trace"` field.
+        trace: u64,
         /// Wire id of the pooled query.
         query: u64,
         /// Wire id of the pooled document (inside the tenant's namespace).
@@ -867,6 +873,11 @@ pub enum Request {
         /// ([`slp::block_content_hash`] over `(rules, root)`); 0 = not
         /// negotiated (legacy frame).
         block_hash: u64,
+        /// Trace id of the sampled request this pass belongs to (0 =
+        /// unsampled; omitted on the wire when 0).  A worker receiving a
+        /// non-zero id records its pass spans and returns them in
+        /// [`Response::ShardBuilt`].
+        trace: u64,
     },
     /// Snapshot the service-wide and server-level counters.
     Stats,
@@ -1107,6 +1118,95 @@ impl WireStoreStats {
     }
 }
 
+/// Latency observability inside a [`Response::Stats`] frame (absent in
+/// frames from servers predating the tracing subsystem): log2-bucketed
+/// request-duration histograms per task kind and per tenant, the shard-pass
+/// histogram with the adaptive hedge window it feeds, and background
+/// compaction timings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireObsStats {
+    /// Request-duration histograms by task kind, in [`Task::KIND_NAMES`]
+    /// order (always 5 entries in frames this build emits).
+    pub kinds: Vec<HistSnapshot>,
+    /// Request-duration histograms by tenant id, ascending.
+    pub tenants: Vec<(u32, HistSnapshot)>,
+    /// Durations of individual shard passes (scatter legs), all executors.
+    pub shard_pass: HistSnapshot,
+    /// The remote executor's current adaptive hedge budget in µs (0 = no
+    /// remote pool or hedging disabled).
+    pub hedge_budget_us: u64,
+    /// Round-trip samples currently in the hedge budget window.
+    pub hedge_samples: u64,
+    /// Background snapshot compactions completed.
+    pub compactions: u64,
+    /// Duration of the most recent compaction in µs.
+    pub compaction_last_us: u64,
+    /// Total time spent compacting in µs.
+    pub compaction_total_us: u64,
+}
+
+impl WireObsStats {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            (
+                "kinds",
+                Json::Arr(self.kinds.iter().map(hist_to_json).collect()),
+            ),
+            (
+                "tenants",
+                Json::Arr(
+                    self.tenants
+                        .iter()
+                        .map(|(id, hist)| Json::Arr(vec![Json::num(*id), hist_to_json(hist)]))
+                        .collect(),
+                ),
+            ),
+            ("shard_pass", hist_to_json(&self.shard_pass)),
+            ("hedge_budget_us", Json::num(self.hedge_budget_us)),
+            ("hedge_samples", Json::num(self.hedge_samples)),
+            ("compactions", Json::num(self.compactions)),
+            ("compaction_last_us", Json::num(self.compaction_last_us)),
+            ("compaction_total_us", Json::num(self.compaction_total_us)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<WireObsStats, ProtoError> {
+        let kinds = field(value, "kinds")?
+            .as_arr()
+            .ok_or_else(|| ProtoError::Malformed("obs kinds is not an array".into()))?
+            .iter()
+            .map(hist_from_json)
+            .collect::<Result<_, _>>()?;
+        let tenants = field(value, "tenants")?
+            .as_arr()
+            .ok_or_else(|| ProtoError::Malformed("obs tenants is not an array".into()))?
+            .iter()
+            .map(|entry| {
+                let Some([id, hist]) = entry.as_arr() else {
+                    return Err(ProtoError::Malformed(
+                        "obs tenant entry is not a pair".into(),
+                    ));
+                };
+                Ok((
+                    u32::try_from(number(id, "obs tenant id")?)
+                        .map_err(|_| ProtoError::Malformed("obs tenant id out of range".into()))?,
+                    hist_from_json(hist)?,
+                ))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(WireObsStats {
+            kinds,
+            tenants,
+            shard_pass: hist_from_json(field(value, "shard_pass")?)?,
+            hedge_budget_us: num_field(value, "hedge_budget_us")?,
+            hedge_samples: num_field(value, "hedge_samples")?,
+            compactions: num_field(value, "compactions")?,
+            compaction_last_us: num_field(value, "compaction_last_us")?,
+            compaction_total_us: num_field(value, "compaction_total_us")?,
+        })
+    }
+}
+
 /// Per-request cost statistics as spoken on the wire (see
 /// [`RequestStats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -1167,6 +1267,9 @@ pub enum Response {
         value: bool,
         /// What the request cost.
         stats: WireStats,
+        /// Span forest of a sampled request (`None` = unsampled; omitted
+        /// on the wire, keeping untraced frames byte-identical).
+        trace: Option<Vec<SpanRec>>,
     },
     /// Answer to [`WireTask::ModelCheck`].
     Checked {
@@ -1174,6 +1277,8 @@ pub enum Response {
         value: bool,
         /// What the request cost.
         stats: WireStats,
+        /// Span forest of a sampled request (`None` = unsampled).
+        trace: Option<Vec<SpanRec>>,
     },
     /// Answer to [`WireTask::Count`].
     Counted {
@@ -1181,6 +1286,8 @@ pub enum Response {
         value: u128,
         /// What the request cost.
         stats: WireStats,
+        /// Span forest of a sampled request (`None` = unsampled).
+        trace: Option<Vec<SpanRec>>,
     },
     /// Answer to [`WireTask::Compute`].
     Tuples {
@@ -1188,6 +1295,8 @@ pub enum Response {
         tuples: Vec<SpanTuple>,
         /// What the request cost.
         stats: WireStats,
+        /// Span forest of a sampled request (`None` = unsampled).
+        trace: Option<Vec<SpanRec>>,
     },
     /// One page of an enumeration stream, flushed as it is produced.
     Page {
@@ -1200,6 +1309,8 @@ pub enum Response {
         streamed: u64,
         /// What the request cost.
         stats: WireStats,
+        /// Span forest of a sampled request (`None` = unsampled).
+        trace: Option<Vec<SpanRec>>,
     },
     /// Answer to [`Request::RemoveDoc`].
     DocRemoved {
@@ -1218,6 +1329,11 @@ pub enum Response {
         rows: Vec<RMatrix>,
         /// Worker-side wall-clock of the pass, in microseconds.
         elapsed_us: u64,
+        /// The worker's span fragment for a traced pass, in the *worker's*
+        /// timebase (offsets from its receipt of the frame); empty for
+        /// untraced passes and omitted on the wire.  The coordinator
+        /// re-bases the fragment onto the request timeline at the gather.
+        spans: Vec<SpanRec>,
     },
     /// Answer to a hash-only [`Request::ShardBuild`] the worker cannot
     /// satisfy from its block cache: the named halves must be re-sent with
@@ -1246,6 +1362,9 @@ pub enum Response {
         tenants: Vec<WireTenantStats>,
         /// Durable-store health; `None` when the server runs in-memory.
         store: Option<WireStoreStats>,
+        /// Latency histograms and compaction timings; `None` in frames
+        /// from servers predating the tracing subsystem.
+        obs: Option<WireObsStats>,
     },
     /// Answer to [`Request::Shutdown`]: the drain has begun.
     ShuttingDown,
@@ -1319,6 +1438,119 @@ fn tuples_from_json(value: &Json) -> Result<Vec<SpanTuple>, ProtoError> {
 }
 
 // ---------------------------------------------------------------------------
+// Trace spans and latency histograms
+// ---------------------------------------------------------------------------
+
+/// Encodes one trace span as `{"n":name,"s":start_us,"d":dur_us[,"p":parent]
+/// [,"a":[[k,v],…]]}` — `p` omitted for forest roots and `a` omitted when
+/// empty, so minimal spans stay minimal on the wire.  Attributes ride as an
+/// array of pairs (not an object) to keep frame keys static.
+fn span_to_json(span: &SpanRec) -> Json {
+    let mut pairs = vec![
+        ("n", Json::str(&span.name)),
+        ("s", Json::num(span.start_us)),
+        ("d", Json::num(span.dur_us)),
+    ];
+    if let Some(parent) = span.parent {
+        pairs.push(("p", Json::num(parent)));
+    }
+    if !span.attrs.is_empty() {
+        pairs.push((
+            "a",
+            Json::Arr(
+                span.attrs
+                    .iter()
+                    .map(|(k, v)| Json::Arr(vec![Json::str(k), Json::str(v)]))
+                    .collect(),
+            ),
+        ));
+    }
+    obj(pairs)
+}
+
+fn span_from_json(value: &Json) -> Result<SpanRec, ProtoError> {
+    let parent = match value.get("p") {
+        None => None,
+        Some(p) => Some(
+            u32::try_from(number(p, "span parent")?)
+                .map_err(|_| ProtoError::Malformed("span parent out of range".into()))?,
+        ),
+    };
+    let attrs = match value.get("a") {
+        None => Vec::new(),
+        Some(list) => list
+            .as_arr()
+            .ok_or_else(|| ProtoError::Malformed("span attrs are not an array".into()))?
+            .iter()
+            .map(|pair| {
+                let Some([k, v]) = pair.as_arr() else {
+                    return Err(ProtoError::Malformed("span attr is not a pair".into()));
+                };
+                let text = |j: &Json, what: &str| -> Result<String, ProtoError> {
+                    j.as_str()
+                        .map(|s| String::from_utf8_lossy(s).into_owned())
+                        .ok_or_else(|| ProtoError::Malformed(format!("{what} is not a string")))
+                };
+                Ok((text(k, "span attr key")?, text(v, "span attr value")?))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    Ok(SpanRec {
+        name: String::from_utf8_lossy(&str_field(value, "n")?).into_owned(),
+        start_us: num_field(value, "s")?,
+        dur_us: num_field(value, "d")?,
+        parent,
+        attrs,
+    })
+}
+
+pub(crate) fn spans_to_json(spans: &[SpanRec]) -> Json {
+    Json::Arr(spans.iter().map(span_to_json).collect())
+}
+
+fn spans_from_json(value: &Json) -> Result<Vec<SpanRec>, ProtoError> {
+    value
+        .as_arr()
+        .ok_or_else(|| ProtoError::Malformed("span list is not an array".into()))?
+        .iter()
+        .map(span_from_json)
+        .collect()
+}
+
+/// Encodes a histogram snapshot as `{"b":[…],"c":count,"s":sum}` with
+/// trailing zero buckets trimmed (decoders zero-pad), so an idle
+/// histogram costs a dozen bytes, not 32 zeros.
+fn hist_to_json(hist: &HistSnapshot) -> Json {
+    let keep = hist
+        .buckets
+        .iter()
+        .rposition(|&c| c != 0)
+        .map_or(0, |i| i + 1);
+    obj(vec![
+        (
+            "b",
+            Json::Arr(hist.buckets[..keep].iter().map(|&c| Json::num(c)).collect()),
+        ),
+        ("c", Json::num(hist.count)),
+        ("s", Json::num(hist.sum)),
+    ])
+}
+
+fn hist_from_json(value: &Json) -> Result<HistSnapshot, ProtoError> {
+    let buckets = field(value, "b")?
+        .as_arr()
+        .ok_or_else(|| ProtoError::Malformed("histogram buckets are not an array".into()))?
+        .iter()
+        .map(|c| number(c, "histogram bucket"))
+        .collect::<Result<_, _>>()?;
+    Ok(HistSnapshot {
+        buckets,
+        count: num_field(value, "c")?,
+        sum: num_field(value, "s")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Field helpers
 // ---------------------------------------------------------------------------
 
@@ -1379,6 +1611,39 @@ fn tenant_field(value: &Json) -> Result<u32, ProtoError> {
     }
 }
 
+/// Emits the `"tr"` trace-id field only when non-zero, so untraced frames
+/// stay byte-identical to the pre-tracing encoding (the same discipline as
+/// the tenant key).
+fn push_trace(pairs: &mut Vec<(&str, Json)>, trace: u64) {
+    if trace != 0 {
+        pairs.push(("tr", Json::num(trace)));
+    }
+}
+
+/// Reads the optional `"tr"` trace-id field; absent means unsampled.
+fn trace_field(value: &Json) -> Result<u64, ProtoError> {
+    match value.get("tr") {
+        None => Ok(0),
+        Some(tr) => number(tr, "trace id"),
+    }
+}
+
+/// Emits the `"trace"` span-forest field of a task response only when the
+/// request was sampled, so unsampled responses stay byte-identical.
+fn push_response_trace(pairs: &mut Vec<(&str, Json)>, trace: &Option<Vec<SpanRec>>) {
+    if let Some(spans) = trace {
+        pairs.push(("trace", spans_to_json(spans)));
+    }
+}
+
+/// Reads the optional `"trace"` span-forest field of a task response.
+fn response_trace(value: &Json) -> Result<Option<Vec<SpanRec>>, ProtoError> {
+    match value.get("trace") {
+        None => Ok(None),
+        Some(spans) => Ok(Some(spans_from_json(spans)?)),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------------
@@ -1407,12 +1672,14 @@ impl Request {
             }
             Request::Task {
                 tenant,
+                trace,
                 query,
                 doc,
                 task,
             } => {
                 pairs.push(("op", Json::str("task")));
                 push_tenant(&mut pairs, *tenant);
+                push_trace(&mut pairs, *trace);
                 pairs.push(("task", Json::str(task.kind())));
                 pairs.push(("query", Json::num(*query)));
                 pairs.push(("doc", Json::num(*doc)));
@@ -1447,6 +1714,7 @@ impl Request {
                 root,
                 nfa_hash,
                 block_hash,
+                trace,
             } => {
                 pairs.push(("op", Json::str("shard_build")));
                 // Payload halves and their hashes are each omitted when
@@ -1466,6 +1734,7 @@ impl Request {
                 if *block_hash != 0 {
                     pairs.push(("bh", Json::num(*block_hash)));
                 }
+                push_trace(&mut pairs, *trace);
             }
             Request::Stats => pairs.push(("op", Json::str("stats"))),
             Request::Shutdown => pairs.push(("op", Json::str("shutdown"))),
@@ -1521,6 +1790,7 @@ impl Request {
                 };
                 Request::Task {
                     tenant: tenant_field(&value)?,
+                    trace: trace_field(&value)?,
                     query: num_field(&value, "query")?,
                     doc: num_field(&value, "doc")?,
                     task,
@@ -1570,6 +1840,7 @@ impl Request {
                     root: num_field(&value, "root")?,
                     nfa_hash,
                     block_hash,
+                    trace: trace_field(&value)?,
                 }
             }
             b"stats" => Request::Stats,
@@ -1717,32 +1988,72 @@ impl Response {
                 ("shards", Json::num(*shards)),
                 ("len", Json::num(*len)),
             ]),
-            Response::NonEmpty { value, stats } => obj(vec![
-                ("ok", Json::Bool(true)),
-                ("non_empty", Json::Bool(*value)),
-                ("stats", stats.to_json()),
-            ]),
-            Response::Checked { value, stats } => obj(vec![
-                ("ok", Json::Bool(true)),
-                ("checked", Json::Bool(*value)),
-                ("stats", stats.to_json()),
-            ]),
-            Response::Counted { value, stats } => obj(vec![
-                ("ok", Json::Bool(true)),
-                ("count", Json::Num(*value)),
-                ("stats", stats.to_json()),
-            ]),
-            Response::Tuples { tuples, stats } => obj(vec![
-                ("ok", Json::Bool(true)),
-                ("tuples", tuples_to_json(tuples)),
-                ("stats", stats.to_json()),
-            ]),
+            Response::NonEmpty {
+                value,
+                stats,
+                trace,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("non_empty", Json::Bool(*value)),
+                    ("stats", stats.to_json()),
+                ];
+                push_response_trace(&mut pairs, trace);
+                obj(pairs)
+            }
+            Response::Checked {
+                value,
+                stats,
+                trace,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("checked", Json::Bool(*value)),
+                    ("stats", stats.to_json()),
+                ];
+                push_response_trace(&mut pairs, trace);
+                obj(pairs)
+            }
+            Response::Counted {
+                value,
+                stats,
+                trace,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("count", Json::Num(*value)),
+                    ("stats", stats.to_json()),
+                ];
+                push_response_trace(&mut pairs, trace);
+                obj(pairs)
+            }
+            Response::Tuples {
+                tuples,
+                stats,
+                trace,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("tuples", tuples_to_json(tuples)),
+                    ("stats", stats.to_json()),
+                ];
+                push_response_trace(&mut pairs, trace);
+                obj(pairs)
+            }
             Response::Page { tuples } => obj(vec![("page", tuples_to_json(tuples))]),
-            Response::StreamEnd { streamed, stats } => obj(vec![
-                ("ok", Json::Bool(true)),
-                ("streamed", Json::num(*streamed)),
-                ("stats", stats.to_json()),
-            ]),
+            Response::StreamEnd {
+                streamed,
+                stats,
+                trace,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("streamed", Json::num(*streamed)),
+                    ("stats", stats.to_json()),
+                ];
+                push_response_trace(&mut pairs, trace);
+                obj(pairs)
+            }
             Response::DocRemoved { id } => {
                 obj(vec![("ok", Json::Bool(true)), ("removed", Json::num(*id))])
             }
@@ -1750,12 +2061,19 @@ impl Response {
                 q,
                 rows,
                 elapsed_us,
-            } => obj(vec![
-                ("ok", Json::Bool(true)),
-                ("q", Json::num(*q)),
-                ("planes", planes_to_json(rows)),
-                ("elapsed_us", Json::num(*elapsed_us)),
-            ]),
+                spans,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("q", Json::num(*q)),
+                    ("planes", planes_to_json(rows)),
+                    ("elapsed_us", Json::num(*elapsed_us)),
+                ];
+                if !spans.is_empty() {
+                    pairs.push(("trace", spans_to_json(spans)));
+                }
+                obj(pairs)
+            }
             Response::NeedBlocks {
                 need_nfa,
                 need_block,
@@ -1779,6 +2097,7 @@ impl Response {
                 server,
                 tenants,
                 store,
+                obs,
             } => {
                 let mut pairs = vec![
                     ("ok", Json::Bool(true)),
@@ -1791,6 +2110,9 @@ impl Response {
                 ];
                 if let Some(store) = store {
                     pairs.push(("store", store.to_json()));
+                }
+                if let Some(obs) = obs {
+                    pairs.push(("obs", obs.to_json()));
                 }
                 obj(pairs)
             }
@@ -1851,6 +2173,7 @@ impl Response {
                     .as_bool()
                     .ok_or_else(|| ProtoError::Malformed("non_empty is not a bool".into()))?,
                 stats: WireStats::from_json(field(&value, "stats")?)?,
+                trace: response_trace(&value)?,
             });
         }
         if let Some(flag) = value.get("checked") {
@@ -1859,6 +2182,7 @@ impl Response {
                     .as_bool()
                     .ok_or_else(|| ProtoError::Malformed("checked is not a bool".into()))?,
                 stats: WireStats::from_json(field(&value, "stats")?)?,
+                trace: response_trace(&value)?,
             });
         }
         if let Some(count) = value.get("count") {
@@ -1867,18 +2191,21 @@ impl Response {
                     .as_num()
                     .ok_or_else(|| ProtoError::Malformed("count is not a number".into()))?,
                 stats: WireStats::from_json(field(&value, "stats")?)?,
+                trace: response_trace(&value)?,
             });
         }
         if let Some(tuples) = value.get("tuples") {
             return Ok(Response::Tuples {
                 tuples: tuples_from_json(tuples)?,
                 stats: WireStats::from_json(field(&value, "stats")?)?,
+                trace: response_trace(&value)?,
             });
         }
         if let Some(streamed) = value.get("streamed") {
             return Ok(Response::StreamEnd {
                 streamed: number(streamed, "streamed")?,
                 stats: WireStats::from_json(field(&value, "stats")?)?,
+                trace: response_trace(&value)?,
             });
         }
         if let Some(id) = value.get("removed") {
@@ -1913,6 +2240,7 @@ impl Response {
                 q,
                 rows: planes_from_json(planes, q)?,
                 elapsed_us: num_field(&value, "elapsed_us")?,
+                spans: response_trace(&value)?.unwrap_or_default(),
             });
         }
         if let Some(rows) = value.get("rows") {
@@ -1923,6 +2251,7 @@ impl Response {
                 q,
                 rows: legacy_rows_from_json(rows, q)?,
                 elapsed_us: num_field(&value, "elapsed_us")?,
+                spans: Vec::new(),
             });
         }
         if let Some(id) = value.get("tenant") {
@@ -1948,11 +2277,16 @@ impl Response {
                 None => None,
                 Some(store) => Some(WireStoreStats::from_json(store)?),
             };
+            let obs = match value.get("obs") {
+                None => None,
+                Some(obs) => Some(WireObsStats::from_json(obs)?),
+            };
             return Ok(Response::Stats {
                 service: WireServiceStats::from_json(service)?,
                 server: WireServerStats::from_json(field(&value, "server")?)?,
                 tenants,
                 store,
+                obs,
             });
         }
         if value.get("shutting_down").is_some() {
@@ -2043,36 +2377,42 @@ mod tests {
                 text: b"abababab".to_vec(),
             },
             Request::Task {
+                trace: 0,
                 tenant: 0,
                 query: 3,
                 doc: 5,
                 task: WireTask::NonEmptiness,
             },
             Request::Task {
+                trace: 0,
                 tenant: 9,
                 query: 0,
                 doc: 0,
                 task: WireTask::ModelCheck(sample_tuple()),
             },
             Request::Task {
+                trace: 0,
                 tenant: 0,
                 query: 1,
                 doc: 2,
                 task: WireTask::Count,
             },
             Request::Task {
+                trace: 0,
                 tenant: 0,
                 query: 1,
                 doc: 2,
                 task: WireTask::Compute { limit: None },
             },
             Request::Task {
+                trace: 0,
                 tenant: 0,
                 query: 1,
                 doc: 2,
                 task: WireTask::Compute { limit: Some(10) },
             },
             Request::Task {
+                trace: 0,
                 tenant: 0,
                 query: 1,
                 doc: 2,
@@ -2097,6 +2437,7 @@ mod tests {
                 spec: spanner_store::TenantSpec::default_tenant(),
             },
             Request::ShardBuild {
+                trace: 0,
                 nfa: Some(sample_wire_nfa()),
                 rules: Some(vec![
                     NfRule::Leaf(EByte::Byte(b'a')),
@@ -2112,6 +2453,7 @@ mod tests {
             // A fully negotiated warm frame: both halves replaced by their
             // content hashes.
             Request::ShardBuild {
+                trace: 0,
                 nfa: None,
                 rules: None,
                 root: 4,
@@ -2121,6 +2463,7 @@ mod tests {
             // A half-warm frame (cached automaton, fresh block) as produced
             // when a new document meets an already-shipped query.
             Request::ShardBuild {
+                trace: 0,
                 nfa: None,
                 rules: Some(vec![NfRule::Leaf(EByte::Byte(b'a'))]),
                 root: 0,
@@ -2152,18 +2495,22 @@ mod tests {
                 len: 1000,
             },
             Response::NonEmpty {
+                trace: None,
                 value: true,
                 stats: sample_stats(),
             },
             Response::Checked {
+                trace: None,
                 value: false,
                 stats: sample_stats(),
             },
             Response::Counted {
+                trace: None,
                 value: u128::MAX,
                 stats: sample_stats(),
             },
             Response::Tuples {
+                trace: None,
                 tuples: vec![sample_tuple(), SpanTuple::empty(2)],
                 stats: sample_stats(),
             },
@@ -2171,6 +2518,7 @@ mod tests {
                 tuples: vec![sample_tuple()],
             },
             Response::StreamEnd {
+                trace: None,
                 streamed: 100,
                 stats: sample_stats(),
             },
@@ -2189,6 +2537,7 @@ mod tests {
             },
             Response::ShardBuilt {
                 q: 2,
+                spans: Vec::new(),
                 rows: vec![
                     RMatrix::from_entries(
                         2,
@@ -2202,6 +2551,7 @@ mod tests {
             // bitplane packing across padded rows.
             Response::ShardBuilt {
                 q: 65,
+                spans: Vec::new(),
                 rows: vec![RMatrix::from_entries(
                     65,
                     &(0..65usize * 65)
@@ -2219,6 +2569,7 @@ mod tests {
                 created: true,
             },
             Response::Stats {
+                obs: None,
                 service: WireServiceStats {
                     requests: 11,
                     count: 4,
@@ -2253,6 +2604,7 @@ mod tests {
                 store: None,
             },
             Response::Stats {
+                obs: None,
                 service: WireServiceStats::default(),
                 server: WireServerStats::default(),
                 tenants: vec![WireTenantStats::default()],
@@ -2268,6 +2620,7 @@ mod tests {
                 }),
             },
             Response::Stats {
+                obs: None,
                 service: WireServiceStats::default(),
                 server: WireServerStats::default(),
                 tenants: Vec::new(),
@@ -2326,6 +2679,7 @@ mod tests {
             },
             Request::RemoveDoc { tenant: 0, doc: 3 },
             Request::Task {
+                trace: 0,
                 tenant: 0,
                 query: 1,
                 doc: 2,
@@ -2342,6 +2696,183 @@ mod tests {
         // Non-default tenants round-trip through the "t" field.
         let tenated = Request::RemoveDoc { tenant: 5, doc: 3 }.encode();
         assert!(String::from_utf8_lossy(&tenated).contains("\"t\":5"));
+    }
+
+    fn sample_spans() -> Vec<SpanRec> {
+        vec![
+            SpanRec {
+                name: "admit".into(),
+                start_us: 0,
+                dur_us: 12,
+                parent: None,
+                attrs: vec![("tenant".into(), "0".into())],
+            },
+            SpanRec {
+                name: "task_exec".into(),
+                start_us: 15,
+                dur_us: 40,
+                parent: Some(0),
+                attrs: Vec::new(),
+            },
+        ]
+    }
+
+    /// Pre-trimmed (no trailing zero buckets): the canonical wire form.
+    fn sample_hist() -> HistSnapshot {
+        HistSnapshot {
+            buckets: vec![0, 2, 1],
+            count: 3,
+            sum: 1234,
+        }
+    }
+
+    #[test]
+    fn traced_frames_round_trip() {
+        let frames = vec![
+            Request::Task {
+                tenant: 0,
+                trace: 0x7_0000_002a,
+                query: 1,
+                doc: 2,
+                task: WireTask::Count,
+            },
+            Request::ShardBuild {
+                trace: 99,
+                nfa: None,
+                rules: None,
+                root: 4,
+                nfa_hash: 7,
+                block_hash: 9,
+            },
+        ];
+        for request in frames {
+            let encoded = request.encode();
+            let decoded = Request::decode(&encoded).unwrap();
+            assert_eq!(decoded, request);
+            assert_eq!(decoded.encode(), encoded);
+        }
+        let responses = vec![
+            Response::NonEmpty {
+                value: true,
+                stats: sample_stats(),
+                trace: Some(sample_spans()),
+            },
+            Response::StreamEnd {
+                streamed: 4,
+                stats: sample_stats(),
+                trace: Some(sample_spans()),
+            },
+            // An attribute-free single-span tree and an empty tree both
+            // survive the optional-key discipline.
+            Response::Counted {
+                value: 1,
+                stats: sample_stats(),
+                trace: Some(vec![SpanRec {
+                    name: "task_exec".into(),
+                    start_us: 3,
+                    dur_us: 5,
+                    parent: None,
+                    attrs: Vec::new(),
+                }]),
+            },
+            Response::Tuples {
+                tuples: vec![sample_tuple()],
+                stats: sample_stats(),
+                trace: Some(Vec::new()),
+            },
+            Response::ShardBuilt {
+                q: 2,
+                rows: vec![RMatrix::from_entries(2, &[REntry::Empty; 4])],
+                elapsed_us: 11,
+                spans: sample_spans(),
+            },
+            Response::Stats {
+                obs: Some(WireObsStats {
+                    kinds: vec![sample_hist(); Task::KIND_NAMES.len()],
+                    tenants: vec![(0, sample_hist()), (7, HistSnapshot::default())],
+                    shard_pass: sample_hist(),
+                    hedge_budget_us: 4500,
+                    hedge_samples: 17,
+                    compactions: 3,
+                    compaction_last_us: 800,
+                    compaction_total_us: 2100,
+                }),
+                service: WireServiceStats::default(),
+                server: WireServerStats::default(),
+                tenants: Vec::new(),
+                store: None,
+            },
+        ];
+        for response in responses {
+            let encoded = response.encode();
+            let decoded = Response::decode(&encoded).unwrap();
+            assert_eq!(decoded, response);
+            assert_eq!(decoded.encode(), encoded);
+        }
+    }
+
+    #[test]
+    fn traceless_frames_are_byte_identical_to_pre_tracing_frames() {
+        // A client that has never heard of tracing emits no "tr" field;
+        // those exact bytes must decode to trace 0, and trace-0 frames
+        // must encode back to those exact bytes.
+        let legacy: &[u8] = b"{\"v\":2,\"op\":\"task\",\"task\":\"count\",\"query\":1,\"doc\":2}";
+        let decoded = Request::decode(legacy).unwrap();
+        assert_eq!(
+            decoded,
+            Request::Task {
+                tenant: 0,
+                trace: 0,
+                query: 1,
+                doc: 2,
+                task: WireTask::Count,
+            }
+        );
+        assert_eq!(decoded.encode(), legacy);
+        // Untraced responses carry no "trace"/"spans"/"obs" keys at all.
+        for (response, forbidden) in [
+            (
+                Response::Counted {
+                    value: 9,
+                    stats: sample_stats(),
+                    trace: None,
+                },
+                "\"trace\"",
+            ),
+            (
+                Response::ShardBuilt {
+                    q: 2,
+                    rows: vec![RMatrix::from_entries(2, &[REntry::Empty; 4])],
+                    elapsed_us: 11,
+                    spans: Vec::new(),
+                },
+                "\"spans\"",
+            ),
+            (
+                Response::Stats {
+                    obs: None,
+                    service: WireServiceStats::default(),
+                    server: WireServerStats::default(),
+                    tenants: Vec::new(),
+                    store: None,
+                },
+                "\"obs\"",
+            ),
+        ] {
+            let text = String::from_utf8(response.encode()).unwrap();
+            assert!(!text.contains(forbidden), "{text}");
+            assert_eq!(Response::decode(text.as_bytes()).unwrap(), response);
+        }
+        let traceless = Request::ShardBuild {
+            trace: 0,
+            nfa: None,
+            rules: None,
+            root: 4,
+            nfa_hash: 7,
+            block_hash: 9,
+        };
+        let text = String::from_utf8(traceless.encode()).unwrap();
+        assert!(!text.contains("\"tr\""), "{text}");
     }
 
     #[test]
@@ -2436,6 +2967,7 @@ mod tests {
         let rows = vec![RMatrix::from_entries(3, &[REntry::NonEmpty; 9]); 7];
         let response = Response::ShardBuilt {
             q: 3,
+            spans: Vec::new(),
             rows: rows.clone(),
             elapsed_us: 1,
         };
@@ -2517,6 +3049,7 @@ mod tests {
                 q,
                 rows,
                 elapsed_us,
+                ..
             } => {
                 assert_eq!((q, elapsed_us), (2, 9));
                 assert_eq!(rows, expected);
@@ -2532,6 +3065,7 @@ mod tests {
         // A v1 request carrying rules as a JSON array still decodes to the
         // same block as the packed v2 stream.
         let v2 = Request::ShardBuild {
+            trace: 0,
             nfa: Some(sample_wire_nfa()),
             rules: Some(vec![
                 NfRule::Leaf(EByte::Byte(b'a')),

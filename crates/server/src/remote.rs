@@ -53,6 +53,7 @@ use slp::NfRule;
 use spanner_slp_core::executor::{LocalExecutor, ShardExecutor, ShardJob, ShardOutcome};
 use spanner_slp_core::matrices::RMatrix;
 use spanner_slp_core::prepared::EByte;
+use spanner_slp_core::trace::{self, Hist, HistSnapshot, ShardTrace, SpanRec};
 use std::collections::HashSet;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -114,6 +115,9 @@ struct Pool {
     renegotiations: AtomicU64,
     evictions: AtomicU64,
     rejoins: AtomicU64,
+    /// Every shard pass's total wall-clock (remote wins and local
+    /// fallbacks alike) — the histogram behind the adaptive-hedge window.
+    pass_hist: Hist,
 }
 
 impl Pool {
@@ -144,6 +148,9 @@ struct Payload {
     root: u64,
     nfa_hash: u64,
     block_hash: u64,
+    /// Trace id propagated on the wire (`"tr"` key); 0 when the build is
+    /// unsampled, and the key is then omitted entirely.
+    trace: u64,
     expected_q: usize,
     expected_rows: usize,
 }
@@ -159,6 +166,11 @@ impl Payload {
             root: job.block.start().0 as u64,
             nfa_hash,
             block_hash,
+            trace: job
+                .trace
+                .filter(|t| t.ctx.sampled)
+                .map(|t| t.ctx.trace_id)
+                .unwrap_or(0),
             expected_q: job.nfa.num_states(),
             expected_rows: job.block.num_non_terminals(),
         }
@@ -173,6 +185,7 @@ impl Payload {
             root: self.root,
             nfa_hash: self.nfa_hash,
             block_hash: self.block_hash,
+            trace: self.trace,
         };
         let mut frame = request.encode();
         frame.push(b'\n');
@@ -249,6 +262,7 @@ impl RemoteExecutor {
                 renegotiations: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
                 rejoins: AtomicU64::new(0),
+                pass_hist: Hist::new(),
             }),
             timeout: Duration::from_secs(10),
             busy_retries: 20,
@@ -367,6 +381,29 @@ impl RemoteExecutor {
     /// Workers promoted dead→alive by the prober.
     pub fn rejoin_count(&self) -> u64 {
         self.pool.rejoins.load(Ordering::Relaxed)
+    }
+
+    /// The hedge budget currently in force, in microseconds — the fixed
+    /// budget, or 3× the window median once enough samples exist.  0 while
+    /// hedging is off (adaptive mode warming up).
+    pub fn hedge_budget_us(&self) -> u64 {
+        self.hedge_budget()
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Latency samples currently held in the adaptive-hedge window.
+    pub fn hedge_sample_count(&self) -> u64 {
+        self.latencies
+            .lock()
+            .expect("latency window poisoned")
+            .len() as u64
+    }
+
+    /// Snapshot of the shard-pass latency histogram (remote passes and
+    /// local fallbacks alike).
+    pub fn pass_latency_histogram(&self) -> HistSnapshot {
+        self.pool.pass_hist.snapshot()
     }
 
     fn cfg(&self) -> ExchangeCfg {
@@ -510,11 +547,11 @@ fn exchange(
     idx: usize,
     cfg: ExchangeCfg,
     payload: &Payload,
-) -> Result<Vec<RMatrix>, ClientError> {
+) -> Result<(Vec<RMatrix>, Vec<SpanRec>), ClientError> {
     let slot = &pool.workers[idx];
     let mut guard = slot.conn.lock().expect("worker slot poisoned");
 
-    let result = (|| -> Result<Vec<RMatrix>, ClientError> {
+    let result = (|| -> Result<(Vec<RMatrix>, Vec<SpanRec>), ClientError> {
         for attempt in 0.. {
             let conn = match guard.as_mut() {
                 Some(conn) => conn,
@@ -546,7 +583,7 @@ fn exchange(
                 .fetch_add(frame.len() as u64, Ordering::Relaxed);
 
             match read_reply(conn, cfg, pool)? {
-                Response::ShardBuilt { q, rows, .. } => {
+                Response::ShardBuilt { q, rows, spans, .. } => {
                     if q as usize != payload.expected_q || rows.len() != payload.expected_rows {
                         return Err(ClientError::Protocol(format!(
                             "worker answered q={q}, {} rows for a q={}, {}-rule block",
@@ -563,7 +600,7 @@ fn exchange(
                     if !include_nfa && !include_block {
                         pool.hash_only_passes.fetch_add(1, Ordering::Relaxed);
                     }
-                    return Ok(rows);
+                    return Ok((rows, spans));
                 }
                 Response::NeedBlocks {
                     need_nfa,
@@ -640,6 +677,47 @@ fn read_reply(conn: &mut Conn, cfg: ExchangeCfg, pool: &Pool) -> Result<Response
     Ok(Response::decode(&line)?)
 }
 
+/// One hedge attempt's answer: attempt index, worker index, round-trip
+/// time, and the rows plus the worker's span fragment (worker timebase).
+type AttemptReply = (
+    usize,
+    usize,
+    Duration,
+    Result<(Vec<RMatrix>, Vec<SpanRec>), ClientError>,
+);
+
+/// Builds the span record for one winning remote attempt: a `shard_rpc`
+/// span anchored at the attempt's issue offset (request timebase), with
+/// the worker's fragment re-based under it — the worker clock starts at
+/// its frame receipt, so adding the issue offset places its spans inside
+/// the rpc window (wire latency shows up as the gap on either side).
+fn rpc_spans(
+    trace: Option<ShardTrace>,
+    shard: usize,
+    worker_addr: &str,
+    attempt: usize,
+    issue_us: u64,
+    rtt: Duration,
+    fragment: &[SpanRec],
+) -> Vec<SpanRec> {
+    if trace.filter(|t| t.ctx.sampled).is_none() {
+        return Vec::new();
+    }
+    let mut spans = vec![SpanRec {
+        name: "shard_rpc".to_string(),
+        start_us: issue_us,
+        dur_us: rtt.as_micros() as u64,
+        parent: None,
+        attrs: vec![
+            ("shard".to_string(), shard.to_string()),
+            ("worker".to_string(), worker_addr.to_string()),
+            ("attempt".to_string(), attempt.to_string()),
+        ],
+    }];
+    trace::graft(&mut spans, fragment, Some(0), issue_us);
+    spans
+}
+
 impl ShardExecutor for RemoteExecutor {
     fn execute(&self, job: &ShardJob<'_>) -> ShardOutcome {
         let start = Instant::now();
@@ -650,21 +728,28 @@ impl ShardExecutor for RemoteExecutor {
         // answer would force the oversized bytes anyway).
         let oversized = payload.frame(true, true).len() > self.max_frame;
         let ranking = rendezvous_ranking(&self.pool, payload.block_hash);
+        let sampled = job.trace.filter(|t| t.ctx.sampled);
 
         let mut rows: Option<Vec<RMatrix>> = None;
+        let mut spans: Vec<SpanRec> = Vec::new();
         let mut hedged = false;
         if !oversized && !ranking.is_empty() {
-            let (tx, rx) = mpsc::channel::<(usize, Result<Vec<RMatrix>, ClientError>)>();
+            let (tx, rx) = mpsc::channel::<AttemptReply>();
             let cfg = self.cfg();
             let spawn_attempt = |attempt: usize, worker: usize| {
                 let pool = self.pool.clone();
                 let payload = payload.clone();
                 let tx = tx.clone();
                 std::thread::spawn(move || {
+                    let issued = Instant::now();
                     let result = exchange(&pool, worker, cfg, &payload);
-                    let _ = tx.send((attempt, result));
+                    let _ = tx.send((attempt, worker, issued.elapsed(), result));
                 });
             };
+            let mut issue_us = [0u64; 2];
+            if let Some(trace) = sampled {
+                issue_us[0] = trace.offset_us(Instant::now());
+            }
             spawn_attempt(0, ranking[0]);
             // The hard deadline only guards against pathological stalls;
             // attempt threads are already bounded by their socket
@@ -672,8 +757,19 @@ impl ShardExecutor for RemoteExecutor {
             let hard_wait = cfg.timeout.saturating_mul(2) + Duration::from_secs(1);
             let first_wait = self.hedge_budget().unwrap_or(hard_wait).min(hard_wait);
             match rx.recv_timeout(first_wait) {
-                Ok((_, Ok(answer))) => rows = Some(answer),
-                Ok((_, Err(_))) => {}
+                Ok((attempt, worker, rtt, Ok((answer, fragment)))) => {
+                    spans = rpc_spans(
+                        sampled,
+                        job.shard_index,
+                        &self.pool.workers[worker].addr,
+                        attempt,
+                        issue_us[attempt],
+                        rtt,
+                        &fragment,
+                    );
+                    rows = Some(answer);
+                }
+                Ok((_, _, _, Err(_))) => {}
                 Err(_) => {
                     // The primary is a straggler.  Re-issue to the next
                     // worker in the ranking and take whichever answers
@@ -683,19 +779,48 @@ impl ShardExecutor for RemoteExecutor {
                     if let Some(&second) = ranking.get(1) {
                         hedged = true;
                         self.pool.hedges.fetch_add(1, Ordering::Relaxed);
+                        if let Some(trace) = sampled {
+                            issue_us[1] = trace.offset_us(Instant::now());
+                            spans.push(SpanRec {
+                                name: "hedge_issue".to_string(),
+                                start_us: issue_us[1],
+                                dur_us: 0,
+                                parent: None,
+                                attrs: vec![
+                                    ("shard".to_string(), job.shard_index.to_string()),
+                                    ("worker".to_string(), self.pool.workers[second].addr.clone()),
+                                ],
+                            });
+                        }
                         spawn_attempt(1, second);
                         outstanding += 1;
                     }
                     while outstanding > 0 && rows.is_none() {
                         match rx.recv_timeout(hard_wait) {
-                            Ok((attempt, Ok(answer))) => {
+                            Ok((attempt, worker, rtt, Ok((answer, fragment)))) => {
                                 outstanding -= 1;
                                 if attempt == 1 {
                                     self.pool.hedge_wins.fetch_add(1, Ordering::Relaxed);
                                 }
+                                let mut won = rpc_spans(
+                                    sampled,
+                                    job.shard_index,
+                                    &self.pool.workers[worker].addr,
+                                    attempt,
+                                    issue_us[attempt],
+                                    rtt,
+                                    &fragment,
+                                );
+                                if attempt == 1 {
+                                    if let Some(root) = won.first_mut() {
+                                        root.attrs
+                                            .push(("hedge_win".to_string(), "true".to_string()));
+                                    }
+                                }
+                                spans.append(&mut won);
                                 rows = Some(answer);
                             }
-                            Ok((_, Err(_))) => outstanding -= 1,
+                            Ok((_, _, _, Err(_))) => outstanding -= 1,
                             Err(_) => break,
                         }
                     }
@@ -708,6 +833,7 @@ impl ShardExecutor for RemoteExecutor {
                 self.pool.remote_passes.fetch_add(1, Ordering::Relaxed);
                 let elapsed = start.elapsed();
                 self.record_latency(elapsed);
+                self.pool.pass_hist.observe(elapsed.as_micros() as u64);
                 ShardOutcome {
                     rows,
                     // Leaf tables are rebuilt by the coordinator from the
@@ -716,10 +842,20 @@ impl ShardExecutor for RemoteExecutor {
                     elapsed,
                     fallback: false,
                     hedged,
+                    spans,
                 }
             }
             None => {
                 self.pool.fallbacks.fetch_add(1, Ordering::Relaxed);
+                if let Some(trace) = sampled {
+                    spans.push(SpanRec {
+                        name: "local_fallback".to_string(),
+                        start_us: trace.offset_us(Instant::now()),
+                        dur_us: 0,
+                        parent: None,
+                        attrs: vec![("shard".to_string(), job.shard_index.to_string())],
+                    });
+                }
                 let mut outcome = LocalExecutor.execute(job);
                 outcome.fallback = true;
                 outcome.hedged = hedged;
@@ -728,6 +864,11 @@ impl ShardExecutor for RemoteExecutor {
                 // did wait that long, and the measured critical-path
                 // ratios fed to re-shard advice must see it.
                 outcome.elapsed = start.elapsed();
+                self.pool
+                    .pass_hist
+                    .observe(outcome.elapsed.as_micros() as u64);
+                spans.append(&mut outcome.spans);
+                outcome.spans = spans;
                 outcome
             }
         }

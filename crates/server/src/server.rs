@@ -70,15 +70,17 @@
 //! ([`Service::auto_probe_count`] stays 0).
 
 use crate::blockcache::{BlockCache, BlockKind};
+use crate::json::Json;
 use crate::proto::{
-    ErrorCode, ProtoError, Request, Response, WireServerStats, WireStats, WireTenantStats,
-    PROTOCOL_VERSION,
+    ErrorCode, ProtoError, Request, Response, WireObsStats, WireServerStats, WireStats,
+    WireTenantStats, PROTOCOL_VERSION,
 };
 use crate::remote::RemoteExecutor;
 use slp::NormalFormSlp;
 use spanner::regex;
 use spanner_slp_core::prepared::EByte;
-use spanner_slp_core::service::{Service, TaskRequest, TenantConfig, TenantId};
+use spanner_slp_core::service::{Service, Task, TaskRequest, TenantConfig, TenantId};
+use spanner_slp_core::trace::{Hist, HistSnapshot, ShardTrace, SpanRec, TraceContext, Tracer};
 use spanner_slp_core::{DocumentId, QueryId};
 use spanner_store::{CorpusImage, LogVerb, Store, TenantSpec};
 use std::collections::HashMap;
@@ -86,9 +88,9 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server knobs; the defaults suit tests and small deployments.
 #[derive(Debug, Clone, Copy)]
@@ -121,6 +123,13 @@ pub struct ServerConfig {
     /// this budget).  `0` disables the cache: every hash-only
     /// `shard_build` frame draws a `need` answer.
     pub block_cache_budget: usize,
+    /// Slow-query threshold in milliseconds: a task slower than this emits
+    /// its full span tree as one structured JSON line on stderr (at most
+    /// one line per second).  `0` disables the slow-query log.  While
+    /// enabled, *every* task is traced server-side so the tree is there
+    /// when a request turns out slow — a deliberate observability-for-
+    /// allocation trade the operator opts into.
+    pub slow_log_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -133,6 +142,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             worker: false,
             block_cache_budget: 64 << 20,
+            slow_log_ms: 0,
         }
     }
 }
@@ -295,25 +305,54 @@ impl Admission {
     }
 }
 
+/// Shared state of the background compactor: the single-flight gate plus
+/// the duration counters `stats` exports.
+#[derive(Debug, Default)]
+struct CompactionStats {
+    /// One size-triggered compaction in flight at a time: set when a job
+    /// is queued, cleared by the compactor when it finishes.  Triggers
+    /// that fire while set are skipped — the next mutation re-checks.
+    busy: AtomicBool,
+    /// Completed background compactions (the `snapshots_on_size`
+    /// attribution).
+    runs: AtomicU64,
+    last_us: AtomicU64,
+    total_us: AtomicU64,
+}
+
+/// One queued background compaction: the corpus image to snapshot plus
+/// the log marks bounding exactly the verbs it covers.
+struct CompactJob {
+    image: CorpusImage,
+    mark_bytes: u64,
+    mark_records: u64,
+}
+
 /// The durable half of a server: the store, an in-memory mirror of the
 /// corpus image (so snapshots never re-read the log), and the snapshot
 /// cadence.  The mirror mutex also serializes append+apply so the mirror's
 /// `last_seq` tracks the log exactly.
 struct Persist {
-    store: Store,
+    store: Arc<Store>,
     mirror: Mutex<CorpusImage>,
     snapshot_every: u64,
     snapshot_bytes: u64,
-    /// Snapshots cut by the every-N-verbs cadence / the log-size
-    /// compaction threshold (exported through `stats`; a snapshot that
-    /// trips both triggers at once counts as a cadence cut).
+    /// Snapshots cut inline by the every-N-verbs cadence (a snapshot that
+    /// trips both triggers at once counts as a cadence cut, exactly as
+    /// before compaction moved off the serving thread).
     cadence_snapshots: AtomicU64,
-    size_snapshots: AtomicU64,
+    /// Background-compaction gate and timings (size-triggered snapshots).
+    compaction: Arc<CompactionStats>,
+    /// The compactor channel + thread, dropped (and joined) with the
+    /// server so no compaction outlives the store.
+    compactor: Mutex<Option<(mpsc::Sender<CompactJob>, JoinHandle<()>)>>,
 }
 
 impl Persist {
     /// Makes one corpus mutation durable: append to the log, fold into the
-    /// mirror, snapshot if the cadence or the size threshold says so.
+    /// mirror, snapshot inline if the cadence says so, or hand the fold to
+    /// the background compactor if the log-size threshold says so — the
+    /// serving thread never pays for a size-triggered snapshot encode.
     /// Durability failures are loud but non-fatal — the in-memory serving
     /// state already mutated, and refusing to answer would not un-mutate
     /// it.
@@ -327,20 +366,130 @@ impl Persist {
             }
         }
         let metrics = self.store.metrics();
-        let cadence = self.snapshot_every > 0 && metrics.log_records >= self.snapshot_every;
-        let size = self.snapshot_bytes > 0 && metrics.log_bytes >= self.snapshot_bytes;
-        if cadence || size {
+        if self.snapshot_every > 0 && metrics.log_records >= self.snapshot_every {
             match self.store.snapshot(&mirror) {
                 Ok(()) => {
-                    if cadence {
-                        self.cadence_snapshots.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        self.size_snapshots.fetch_add(1, Ordering::Relaxed);
-                    }
+                    self.cadence_snapshots.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(e) => eprintln!("spanner-server: WARNING: snapshot failed: {e}"),
             }
+            return;
         }
+        if self.snapshot_bytes > 0
+            && metrics.log_bytes >= self.snapshot_bytes
+            && !self.compaction.busy.swap(true, Ordering::AcqRel)
+        {
+            // The marks are read under the mirror lock, so they bound
+            // exactly the verbs the cloned image covers.
+            let job = CompactJob {
+                image: mirror.clone(),
+                mark_bytes: metrics.log_bytes,
+                mark_records: metrics.log_records,
+            };
+            let queued = self
+                .compactor
+                .lock()
+                .expect("compactor handle poisoned")
+                .as_ref()
+                .is_some_and(|(tx, _)| tx.send(job).is_ok());
+            if !queued {
+                self.compaction.busy.store(false, Ordering::Release);
+            }
+        }
+    }
+}
+
+impl Drop for Persist {
+    fn drop(&mut self) {
+        if let Some((tx, handle)) = self
+            .compactor
+            .lock()
+            .expect("compactor handle poisoned")
+            .take()
+        {
+            drop(tx); // closes the channel; the compactor drains and exits
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The background compactor body: drain queued jobs, timing each fold.
+fn compactor_loop(store: Arc<Store>, stats: Arc<CompactionStats>, rx: mpsc::Receiver<CompactJob>) {
+    while let Ok(job) = rx.recv() {
+        let started = Instant::now();
+        match store.compact(&job.image, job.mark_bytes, job.mark_records) {
+            Ok(()) => {
+                let us = started.elapsed().as_micros() as u64;
+                stats.runs.fetch_add(1, Ordering::Relaxed);
+                stats.last_us.store(us, Ordering::Relaxed);
+                stats.total_us.fetch_add(us, Ordering::Relaxed);
+            }
+            Err(e) => eprintln!("spanner-server: WARNING: background compaction failed: {e}"),
+        }
+        stats.busy.store(false, Ordering::Release);
+    }
+}
+
+/// Latency histograms plus the slow-query-log rate limiter.  Everything
+/// here is wait-free on the hot path: recording one request is a handful
+/// of relaxed atomic adds, and unsampled requests touch nothing else —
+/// the only allocation is the once-per-tenant histogram insertion.
+struct Obs {
+    /// Per-task-kind request latency, indexed by `Task::kind_index`.
+    kinds: [Hist; Task::KIND_NAMES.len()],
+    /// Per-tenant request latency (created on a tenant's first task).
+    tenants: RwLock<HashMap<u32, Arc<Hist>>>,
+    /// Shard-pass latency as observed by *this* process's worker verb
+    /// (coordinators with a remote pool export the executor's histogram
+    /// instead, which also covers local fallbacks).
+    shard_pass: Hist,
+    /// Offset (µs from `epoch`, shifted by one second so the first line
+    /// always passes) of the last emitted slow-query line.
+    slow_log_last_us: AtomicU64,
+    epoch: Instant,
+}
+
+impl Obs {
+    fn new() -> Obs {
+        Obs {
+            kinds: std::array::from_fn(|_| Hist::new()),
+            tenants: RwLock::new(HashMap::new()),
+            shard_pass: Hist::new(),
+            slow_log_last_us: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Records one finished task into the kind and tenant histograms.
+    fn observe(&self, kind: usize, tenant: u32, us: u64) {
+        self.kinds[kind.min(self.kinds.len() - 1)].observe(us);
+        let hist = self
+            .tenants
+            .read()
+            .expect("tenant histogram map poisoned")
+            .get(&tenant)
+            .cloned();
+        let hist = hist.unwrap_or_else(|| {
+            self.tenants
+                .write()
+                .expect("tenant histogram map poisoned")
+                .entry(tenant)
+                .or_insert_with(|| Arc::new(Hist::new()))
+                .clone()
+        });
+        hist.observe(us);
+    }
+
+    /// Claims the right to emit one slow-query line; at most one caller
+    /// per second wins (lock-free compare-and-swap, losers just skip).
+    fn slow_log_permit(&self) -> bool {
+        let now = self.epoch.elapsed().as_micros() as u64 + 1_000_000;
+        let last = self.slow_log_last_us.load(Ordering::Relaxed);
+        now.saturating_sub(last) >= 1_000_000
+            && self
+                .slow_log_last_us
+                .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
     }
 }
 
@@ -367,6 +516,7 @@ struct Shared {
     shutdown: AtomicBool,
     inflight: AtomicUsize,
     metrics: Metrics,
+    obs: Obs,
 }
 
 /// A decoded value in the worker block cache — automata and rule blocks
@@ -437,7 +587,56 @@ impl Shared {
             .collect()
     }
 
-    /// The full `stats` answer: service + transport + tenants + store.
+    /// The observability block: per-kind and per-tenant latency
+    /// histograms, the shard-pass histogram with its adaptive-hedge
+    /// window, and the background-compaction timings.  Snapshots are
+    /// trimmed to the canonical wire form before they leave.
+    fn obs_stats(&self) -> WireObsStats {
+        let tenants = {
+            let map = self
+                .obs
+                .tenants
+                .read()
+                .expect("tenant histogram map poisoned");
+            let mut rows: Vec<(u32, HistSnapshot)> = map
+                .iter()
+                .map(|(&id, hist)| (id, hist.snapshot().trimmed()))
+                .collect();
+            rows.sort_by_key(|&(id, _)| id);
+            rows
+        };
+        let shard_pass = match &self.remote {
+            Some(remote) => remote.pass_latency_histogram(),
+            None => self.obs.shard_pass.snapshot(),
+        };
+        WireObsStats {
+            kinds: self
+                .obs
+                .kinds
+                .iter()
+                .map(|hist| hist.snapshot().trimmed())
+                .collect(),
+            tenants,
+            shard_pass: shard_pass.trimmed(),
+            hedge_budget_us: self.remote.as_ref().map_or(0, |r| r.hedge_budget_us()),
+            hedge_samples: self.remote.as_ref().map_or(0, |r| r.hedge_sample_count()),
+            compactions: self
+                .persist
+                .as_ref()
+                .map_or(0, |p| p.compaction.runs.load(Ordering::Relaxed)),
+            compaction_last_us: self
+                .persist
+                .as_ref()
+                .map_or(0, |p| p.compaction.last_us.load(Ordering::Relaxed)),
+            compaction_total_us: self
+                .persist
+                .as_ref()
+                .map_or(0, |p| p.compaction.total_us.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// The full `stats` answer: service + transport + tenants + store +
+    /// the observability block.
     fn stats_response(&self) -> Response {
         Response::Stats {
             service: (&self.service.stats()).into(),
@@ -446,9 +645,10 @@ impl Shared {
             store: self.persist.as_ref().map(|p| {
                 let mut stats: crate::proto::WireStoreStats = (&p.store.metrics()).into();
                 stats.snapshots_on_cadence = p.cadence_snapshots.load(Ordering::Relaxed);
-                stats.snapshots_on_size = p.size_snapshots.load(Ordering::Relaxed);
+                stats.snapshots_on_size = p.compaction.runs.load(Ordering::Relaxed);
                 stats
             }),
+            obs: Some(self.obs_stats()),
         }
     }
 
@@ -565,13 +765,25 @@ impl Server {
                 torn_bytes: recovered.torn_bytes,
                 ..report
             });
+            let store = Arc::new(store);
+            let compaction = Arc::new(CompactionStats::default());
+            let compactor = (opts.snapshot_bytes > 0).then(|| {
+                let (tx, rx) = mpsc::channel();
+                let store = store.clone();
+                let stats = compaction.clone();
+                (
+                    tx,
+                    std::thread::spawn(move || compactor_loop(store, stats, rx)),
+                )
+            });
             persist = Some(Persist {
                 store,
                 mirror: Mutex::new(recovered.image),
                 snapshot_every: opts.snapshot_every,
                 snapshot_bytes: opts.snapshot_bytes,
                 cadence_snapshots: AtomicU64::new(0),
-                size_snapshots: AtomicU64::new(0),
+                compaction,
+                compactor: Mutex::new(compactor),
             });
         }
 
@@ -590,6 +802,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             metrics: Metrics::default(),
+            obs: Obs::new(),
         });
         let accept = {
             let shared = shared.clone();
@@ -1038,7 +1251,10 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
             }
             Frame::Line(line) => {
                 shared.metrics.frames.fetch_add(1, Ordering::Relaxed);
-                let stop = handle_frame(&line, &shared, &mut writer)?;
+                // Frame receipt is the trace epoch: decode, admission and
+                // id resolution all show up inside the request's tree.
+                let received = Instant::now();
+                let stop = handle_frame(&line, &shared, &mut writer, received)?;
                 if stop {
                     return Ok(());
                 }
@@ -1048,8 +1264,14 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
 }
 
 /// Parses and dispatches one frame; `Ok(true)` ends the connection (the
-/// frame was a `shutdown`).
-fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> io::Result<bool> {
+/// frame was a `shutdown`).  `received` is the instant the frame was read
+/// — the epoch of the request's trace, when it is sampled.
+fn handle_frame(
+    line: &[u8],
+    shared: &Arc<Shared>,
+    writer: &mut TcpStream,
+    received: Instant,
+) -> io::Result<bool> {
     let request = match Request::decode(line) {
         Ok(request) => request,
         Err(ProtoError::Version(v)) => {
@@ -1163,13 +1385,18 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> io
                     root,
                     nfa_hash,
                     block_hash,
-                } => shard_build(shared, nfa, rules, root, nfa_hash, block_hash),
+                    trace,
+                } => shard_build(shared, nfa, rules, root, nfa_hash, block_hash, trace),
                 Request::Task {
                     tenant,
+                    trace,
                     query,
                     doc,
                     task,
-                } => return run_task(shared, writer, tenant, query, doc, task).map(|()| false),
+                } => {
+                    return run_task(shared, writer, tenant, trace, query, doc, task, received)
+                        .map(|()| false)
+                }
                 Request::Ping | Request::Stats | Request::Shutdown => unreachable!("handled above"),
             };
             write_frame(writer, &response).map(|()| false)
@@ -1354,8 +1581,13 @@ fn shard_build(
     root: u64,
     nfa_hash: u64,
     block_hash: u64,
+    trace: u64,
 ) -> Response {
     use spanner_slp_core::executor::{LocalExecutor, ShardExecutor, ShardJob};
+    // The worker's span fragment measures offsets from its own receipt of
+    // the frame; the coordinator re-bases it by the attempt's issue
+    // offset when stitching, so the wire latency shows up as the gap.
+    let received = Instant::now();
     let cache = &shared.block_cache;
 
     let mut need_nfa = false;
@@ -1472,11 +1704,23 @@ fn shard_build(
         nfa: &nfa,
         block: &block,
         shard_index: 0,
+        trace: (trace != 0).then_some(ShardTrace {
+            ctx: TraceContext {
+                trace_id: trace,
+                sampled: true,
+            },
+            epoch: received,
+        }),
     });
+    shared
+        .obs
+        .shard_pass
+        .observe(outcome.elapsed.as_micros() as u64);
     Response::ShardBuilt {
         q: nfa.num_states() as u64,
         rows: outcome.rows,
         elapsed_us: outcome.elapsed.as_micros() as u64,
+        spans: outcome.spans,
     }
 }
 
@@ -1489,13 +1733,46 @@ fn eval_error_code(e: &spanner_slp_core::EvalError) -> ErrorCode {
     }
 }
 
+/// Closes a request's trace: feeds the slow-query log (rate-limited to
+/// one line per second) and returns the span tree when the client asked
+/// for it (`trace_id != 0`).  Slow-log-only sampling records spans but
+/// never ships them back.
+fn finish_trace(
+    shared: &Shared,
+    tracer: Option<Tracer>,
+    trace_id: u64,
+    tenant: u32,
+    kind: &'static str,
+    total_us: u64,
+) -> Option<Vec<SpanRec>> {
+    let spans = tracer?.finish();
+    let slow_us = shared.config.slow_log_ms.saturating_mul(1000);
+    if slow_us > 0 && total_us >= slow_us && shared.obs.slow_log_permit() {
+        let line = Json::Obj(vec![(
+            "slow_query".to_string(),
+            Json::Obj(vec![
+                ("trace_id".to_string(), Json::num(trace_id)),
+                ("tenant".to_string(), Json::num(tenant)),
+                ("kind".to_string(), Json::str(kind)),
+                ("us".to_string(), Json::num(total_us)),
+                ("spans".to_string(), crate::proto::spans_to_json(&spans)),
+            ]),
+        )]);
+        eprintln!("{}", String::from_utf8_lossy(&line.to_bytes()));
+    }
+    (trace_id != 0).then_some(spans)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_task(
     shared: &Arc<Shared>,
     writer: &mut TcpStream,
     tenant: u32,
+    trace_id: u64,
     query: u64,
     doc: u64,
     task: crate::proto::WireTask,
+    received: Instant,
 ) -> io::Result<()> {
     let query_id = shared
         .queries
@@ -1525,6 +1802,30 @@ fn run_task(
         doc: doc_id,
         task: task.to_task(),
     };
+    let kind = request.task.kind_index();
+    let kind_name = request.task.kind_name();
+    // Sampled when the client sent a trace id, or server-side when the
+    // slow-query log is armed (the tree must exist by the time a request
+    // turns out slow).  Unsampled requests build no tracer at all.
+    let tracer = (trace_id != 0 || shared.config.slow_log_ms > 0).then(|| {
+        let tracer = Tracer::with_epoch(
+            TraceContext {
+                trace_id,
+                sampled: true,
+            },
+            received,
+        );
+        // Everything between frame receipt and here: decode, the
+        // admission gate, id resolution.
+        tracer.record(
+            "admit",
+            0,
+            tracer.now_us(),
+            None,
+            &[("tenant", tenant.to_string())],
+        );
+        tracer
+    });
 
     if let crate::proto::WireTask::Enumerate { .. } = task {
         // Stream pages as the enumeration produces them; the terminal
@@ -1532,36 +1833,41 @@ fn run_task(
         // (the service sees `false` from the sink) and ends the
         // connection via the propagated error.
         let mut sink_error: Option<io::Error> = None;
-        let result = shared
-            .service
-            .run_paged(
-                &request,
-                shared.config.page_size,
-                &mut |tuples| match write_frame(writer, &Response::Page { tuples }) {
-                    Ok(()) => {
-                        shared
-                            .metrics
-                            .pages_streamed
-                            .fetch_add(1, Ordering::Relaxed);
-                        true
-                    }
-                    Err(e) => {
-                        sink_error = Some(e);
-                        false
-                    }
-                },
-            );
+        let result = shared.service.run_paged_traced(
+            &request,
+            shared.config.page_size,
+            &mut |tuples| match write_frame(writer, &Response::Page { tuples }) {
+                Ok(()) => {
+                    shared
+                        .metrics
+                        .pages_streamed
+                        .fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                Err(e) => {
+                    sink_error = Some(e);
+                    false
+                }
+            },
+            tracer.as_ref(),
+        );
         if let Some(e) = sink_error {
             return Err(e);
         }
+        let total_us = received.elapsed().as_micros() as u64;
+        shared.obs.observe(kind, tenant, total_us);
         return match result {
-            Ok(response) => write_frame(
-                writer,
-                &Response::StreamEnd {
-                    streamed: response.stats.results,
-                    stats: (&response.stats).into(),
-                },
-            ),
+            Ok(response) => {
+                let trace = finish_trace(shared, tracer, trace_id, tenant, kind_name, total_us);
+                write_frame(
+                    writer,
+                    &Response::StreamEnd {
+                        streamed: response.stats.results,
+                        stats: (&response.stats).into(),
+                        trace,
+                    },
+                )
+            }
             Err(e) => write_frame(
                 writer,
                 &Response::Error {
@@ -1572,22 +1878,34 @@ fn run_task(
         };
     }
 
-    let response = match shared.service.run(&request) {
+    let result = shared.service.run_traced(&request, tracer.as_ref());
+    let total_us = received.elapsed().as_micros() as u64;
+    shared.obs.observe(kind, tenant, total_us);
+    let response = match result {
         Ok(response) => {
+            let trace = finish_trace(shared, tracer, trace_id, tenant, kind_name, total_us);
             let stats: WireStats = (&response.stats).into();
             match response.outcome {
-                spanner_slp_core::service::TaskOutcome::NonEmpty(value) => {
-                    Response::NonEmpty { value, stats }
-                }
-                spanner_slp_core::service::TaskOutcome::Checked(value) => {
-                    Response::Checked { value, stats }
-                }
-                spanner_slp_core::service::TaskOutcome::Count(value) => {
-                    Response::Counted { value, stats }
-                }
-                spanner_slp_core::service::TaskOutcome::Tuples(tuples) => {
-                    Response::Tuples { tuples, stats }
-                }
+                spanner_slp_core::service::TaskOutcome::NonEmpty(value) => Response::NonEmpty {
+                    value,
+                    stats,
+                    trace,
+                },
+                spanner_slp_core::service::TaskOutcome::Checked(value) => Response::Checked {
+                    value,
+                    stats,
+                    trace,
+                },
+                spanner_slp_core::service::TaskOutcome::Count(value) => Response::Counted {
+                    value,
+                    stats,
+                    trace,
+                },
+                spanner_slp_core::service::TaskOutcome::Tuples(tuples) => Response::Tuples {
+                    tuples,
+                    stats,
+                    trace,
+                },
             }
         }
         Err(e) => Response::Error {

@@ -288,6 +288,7 @@ fn mismatched_content_hashes_are_rejected_as_malformed() {
 
     // A cold hash-only frame: the worker has nothing and says so.
     let need = call(&Request::ShardBuild {
+        trace: 0,
         nfa: None,
         rules: None,
         root,
@@ -305,6 +306,7 @@ fn mismatched_content_hashes_are_rejected_as_malformed() {
     // Bytes whose claimed hash does not match are rejected outright.
     for (bad_nfa_hash, bad_block_hash) in [(nfa_hash ^ 1, block_hash), (nfa_hash, block_hash ^ 1)] {
         let response = call(&Request::ShardBuild {
+            trace: 0,
             nfa: Some(wire_nfa.clone()),
             rules: Some(rules.clone()),
             root,
@@ -325,6 +327,7 @@ fn mismatched_content_hashes_are_rejected_as_malformed() {
     // them.  (The second bad frame's *nfa* half was honestly hashed and
     // may legitimately have been cached.)
     match call(&Request::ShardBuild {
+        trace: 0,
         nfa: None,
         rules: None,
         root,
@@ -339,6 +342,7 @@ fn mismatched_content_hashes_are_rejected_as_malformed() {
 
     // An honest full frame works and primes the cache...
     let built = call(&Request::ShardBuild {
+        trace: 0,
         nfa: Some(wire_nfa.clone()),
         rules: Some(rules.clone()),
         root,
@@ -349,6 +353,7 @@ fn mismatched_content_hashes_are_rejected_as_malformed() {
     // ...after which the hash-only frame is served — but only with the
     // root the cached block actually has.
     let warm = call(&Request::ShardBuild {
+        trace: 0,
         nfa: None,
         rules: None,
         root,
@@ -357,6 +362,7 @@ fn mismatched_content_hashes_are_rejected_as_malformed() {
     });
     assert!(matches!(warm, Response::ShardBuilt { .. }));
     let wrong_root = call(&Request::ShardBuild {
+        trace: 0,
         nfa: None,
         rules: None,
         root: root + 1,

@@ -183,17 +183,29 @@ fn snapshots_compose_with_the_log_tail() {
 fn log_size_triggers_snapshots_and_attributes_them() {
     let dir = TempDir::new("sizetrigger");
     {
-        // Cadence off; any non-empty log (≥ 1 byte) trips the size trigger,
-        // so every verb cuts a snapshot attributed to the size policy.
+        // Cadence off; any non-empty log (≥ 1 byte) trips the size trigger.
+        // Size-triggered compactions run on a background thread (single-
+        // flight), so poll until at least one lands rather than counting
+        // them exactly.
         let server = boot_durable_sized(&dir, 0, 1);
         let mut client = Client::connect(server.local_addr()).unwrap();
         client.add_doc(b"abababab").unwrap();
         client.add_doc(b"aabb").unwrap();
         client.add_doc(b"babaab").unwrap();
-        let stats = client.stats_full().unwrap();
-        let store = stats.store.expect("durable server exports store stats");
-        assert_eq!(store.snapshots, 3, "every verb grew the log past 1 byte");
-        assert_eq!(store.snapshots_on_size, 3);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let store = loop {
+            let stats = client.stats_full().unwrap();
+            let store = stats.store.expect("durable server exports store stats");
+            if store.snapshots_on_size >= 1 || std::time::Instant::now() >= deadline {
+                break store;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        assert!(
+            store.snapshots_on_size >= 1,
+            "the size trigger compacts in the background: {store:?}"
+        );
+        assert!(store.snapshots >= 1, "the store cut at least one snapshot");
         assert_eq!(store.snapshots_on_cadence, 0, "cadence is off");
         client.shutdown().unwrap();
         server.join();
