@@ -126,6 +126,61 @@ impl Task {
     pub fn kind_name(&self) -> &'static str {
         Task::KIND_NAMES[self.kind_index()]
     }
+
+    /// Which QoS cost class this task belongs to.
+    ///
+    /// NonEmptiness / ModelCheck / Count answer straight from the prepared
+    /// matrices in `O(|F|)`-ish time; Compute and Enumerate walk the
+    /// document and can hold a worker for milliseconds.  Schedulers use the
+    /// split so one burst of scans cannot starve point lookups.
+    pub fn class(&self) -> TaskClass {
+        match self {
+            Task::NonEmptiness | Task::ModelCheck(_) | Task::Count => TaskClass::Cheap,
+            Task::Compute { .. } | Task::Enumerate { .. } => TaskClass::Expensive,
+        }
+    }
+}
+
+/// Coarse cost class of a [`Task`] — the task-kind half of the QoS
+/// scheduler's (class, tenant) queue key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskClass {
+    /// Matrix-lookup tasks: non-emptiness, model-check, count.
+    Cheap,
+    /// Document-walking tasks: compute, enumerate.
+    Expensive,
+}
+
+impl TaskClass {
+    /// All classes, in [`TaskClass::index`] order.
+    pub const ALL: [TaskClass; 2] = [TaskClass::Cheap, TaskClass::Expensive];
+
+    /// Stable slot index (metric arrays, queue-depth gauges).
+    pub fn index(self) -> usize {
+        match self {
+            TaskClass::Cheap => 0,
+            TaskClass::Expensive => 1,
+        }
+    }
+
+    /// Stable scrape-label name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskClass::Cheap => "cheap",
+            TaskClass::Expensive => "expensive",
+        }
+    }
+
+    /// Relative scheduling weight of the class itself (multiplied by the
+    /// tenant's admission weight to form a queue's WFQ weight).  Cheap
+    /// tasks get 8× the service share per unit queued, which keeps point
+    /// lookups flowing under scan load while still draining scans.
+    pub fn weight(self) -> u64 {
+        match self {
+            TaskClass::Cheap => 8,
+            TaskClass::Expensive => 1,
+        }
+    }
 }
 
 /// A request against a [`Service`]: which pooled query, which pooled

@@ -184,6 +184,78 @@ pub fn graft(into: &mut Vec<SpanRec>, fragment: &[SpanRec], parent: Option<u32>,
 }
 
 // ---------------------------------------------------------------------------
+// Server-side probabilistic sampling
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function.
+/// Used wherever the stack needs deterministic pseudo-randomness without a
+/// seeded RNG dependency (trace sampling, retry jitter).
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A server-side probabilistic trace sampler: arms tracing for a fraction
+/// of requests that did not opt in themselves, so histograms and span
+/// trees fill without cooperative clients.
+///
+/// The decision is deterministic — SplitMix64 over an atomic request
+/// counter compared against `rate · 2⁶⁴` — which makes tests exact and
+/// keeps the hot path to one relaxed `fetch_add` plus a few arithmetic
+/// ops.  Sampled requests get a fresh non-zero trace id (0 is the wire's
+/// "no trace" sentinel).  Slow-log capture is a separate, *always-on*
+/// policy: the server traces every request whenever `--slow-log-ms` is
+/// set, regardless of this sampler.
+#[derive(Debug)]
+pub struct Sampler {
+    /// Sample request `n` iff `splitmix64(n) < threshold`.
+    threshold: u64,
+    counter: AtomicU64,
+}
+
+impl Sampler {
+    /// A sampler keeping roughly `rate` of requests (clamped to `0.0..=1.0`;
+    /// `0.0` never samples, `1.0` always does).
+    pub fn new(rate: f64) -> Sampler {
+        let rate = if rate.is_finite() {
+            rate.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        // `as` saturates: rate 1.0 maps to u64::MAX, i.e. "always".
+        let threshold = (rate * (u64::MAX as f64)) as u64;
+        Sampler {
+            threshold,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this sampler can ever fire (rate > 0) — callers use this to
+    /// skip per-request work when sampling is off.
+    pub fn enabled(&self) -> bool {
+        self.threshold != 0
+    }
+
+    /// The sampling decision for the next request: `Some(trace_id)` to arm
+    /// tracing (the id is non-zero and deterministic in the request
+    /// ordinal), `None` to stay on the free path.
+    pub fn sample(&self) -> Option<u64> {
+        if self.threshold == 0 {
+            return None;
+        }
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        if splitmix64(n) >= self.threshold {
+            return None;
+        }
+        // A second, independent mix spreads ids even when every request is
+        // sampled; 0 is reserved on the wire, so remap it.
+        Some(splitmix64(!n).max(1))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Log2-bucketed latency histograms
 // ---------------------------------------------------------------------------
 
@@ -455,6 +527,45 @@ mod tests {
         // Idempotent, and the empty histogram trims to no buckets at all.
         assert_eq!(trimmed.clone().trimmed(), trimmed);
         assert!(Hist::new().snapshot().trimmed().buckets.is_empty());
+    }
+
+    #[test]
+    fn sampler_rates_are_exact_at_the_extremes() {
+        let never = Sampler::new(0.0);
+        assert!(!never.enabled());
+        assert!((0..1000).all(|_| never.sample().is_none()));
+
+        let always = Sampler::new(1.0);
+        assert!(always.enabled());
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = always.sample().expect("rate 1.0 samples everything");
+            assert_ne!(id, 0, "0 is the wire's no-trace sentinel");
+            assert!(seen.insert(id), "ids must not repeat");
+        }
+        // Out-of-range and non-finite rates degrade safely.
+        assert!(Sampler::new(7.5).sample().is_some());
+        assert!(Sampler::new(-1.0).sample().is_none());
+        assert!(Sampler::new(f64::NAN).sample().is_none());
+    }
+
+    #[test]
+    fn sampler_keeps_roughly_the_requested_fraction() {
+        for rate in [0.1, 0.5, 0.9] {
+            let sampler = Sampler::new(rate);
+            let kept = (0..20_000).filter(|_| sampler.sample().is_some()).count();
+            let got = kept as f64 / 20_000.0;
+            assert!(
+                (got - rate).abs() < 0.02,
+                "rate {rate}: kept fraction {got}"
+            );
+        }
+        // Deterministic: two samplers at the same rate make identical
+        // decisions in the same order.
+        let (a, b) = (Sampler::new(0.3), Sampler::new(0.3));
+        for _ in 0..1000 {
+            assert_eq!(a.sample(), b.sample());
+        }
     }
 
     #[test]

@@ -290,6 +290,15 @@ fn render_scrape(full: &spanner_server::FullStats) -> String {
     ] {
         out.push(format!("spanner_server_{name} {value}"));
     }
+    for (class, depth) in [
+        ("cheap", v.queue_depth_cheap),
+        ("expensive", v.queue_depth_expensive),
+    ] {
+        out.push(format!("spanner_queue_depth{{class=\"{class}\"}} {depth}"));
+    }
+    for (reason, shed) in [("expired", v.shed_expired), ("overflow", v.shed_overflow)] {
+        out.push(format!("spanner_shed_total{{reason=\"{reason}\"}} {shed}"));
+    }
     for t in &full.tenants {
         let label = format!("{{tenant=\"{}\"}}", t.id);
         for (name, value) in [

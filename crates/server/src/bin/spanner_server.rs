@@ -10,7 +10,9 @@
 //!                [--reshard-cores N]
 //!                [--worker] [--workers ADDR,ADDR,...]
 //!                [--health-interval-ms MS] [--hedge-after-ms MS]
-//!                [--slow-log-ms MS]
+//!                [--slow-log-ms MS] [--trace-sample-rate R]
+//!                [--pipeline-window N] [--sched-workers N]
+//!                [--class-queue-depth N] [--fifo]
 //! ```
 //!
 //! `--worker` boots a stateless shard-pass worker (serves `shard_build`,
@@ -44,7 +46,17 @@
 //!
 //! `--slow-log-ms MS` arms the slow-query log: any task slower than MS
 //! milliseconds emits its span tree as one structured JSON line on stderr
-//! (rate-limited to one line per second).
+//! (rate-limited to one line per second).  `--trace-sample-rate R` (a
+//! fraction in `[0, 1]`) additionally traces that share of untraced
+//! requests server-side, emitting `sampled_query` lines on the same
+//! rate-limited stderr channel.
+//!
+//! The v3 pipelining knobs: `--pipeline-window N` bounds the per-
+//! connection in-flight window (default 32), `--sched-workers N` sizes the
+//! QoS dispatcher pool (default 4), `--class-queue-depth N` bounds each
+//! weighted-fair class queue (default 64), and `--fifo` collapses the
+//! scheduler to a single FIFO class — the experiment baseline, not a
+//! production mode.
 //!
 //! Prints `LISTENING <addr>` once the socket is bound (scripts parse this
 //! to learn an ephemeral port), then serves until a client sends the
@@ -98,6 +110,19 @@ fn main() {
             }
             "--hedge-after-ms" => hedge_after_ms = parse(&value(i), "--hedge-after-ms") as u64,
             "--slow-log-ms" => config.slow_log_ms = parse(&value(i), "--slow-log-ms") as u64,
+            "--trace-sample-rate" => {
+                config.trace_sample_rate = parse_rate(&value(i), "--trace-sample-rate")
+            }
+            "--pipeline-window" => config.pipeline_window = parse(&value(i), "--pipeline-window"),
+            "--sched-workers" => config.scheduler_workers = parse(&value(i), "--sched-workers"),
+            "--class-queue-depth" => {
+                config.class_queue_depth = parse(&value(i), "--class-queue-depth")
+            }
+            "--fifo" => {
+                config.fifo_scheduler = true;
+                i += 1;
+                continue;
+            }
             "--reshard-interval-ms" => {
                 reshard_interval_ms = Some(parse(&value(i), "--reshard-interval-ms") as u64)
             }
@@ -123,7 +148,9 @@ fn main() {
                      [--data-dir DIR] [--snapshot-every N] [--snapshot-bytes B] \
                      [--reshard-interval-ms MS] [--reshard-rounds N] [--reshard-cores N] \
                      [--worker] [--workers ADDR,ADDR,...] \
-                     [--health-interval-ms MS] [--hedge-after-ms MS] [--slow-log-ms MS]"
+                     [--health-interval-ms MS] [--hedge-after-ms MS] [--slow-log-ms MS] \
+                     [--trace-sample-rate R] [--pipeline-window N] [--sched-workers N] \
+                     [--class-queue-depth N] [--fifo]"
                 );
                 return;
             }
@@ -202,4 +229,16 @@ fn parse(value: &str, flag: &str) -> usize {
         eprintln!("{flag} expects an unsigned integer, got '{value}'");
         std::process::exit(2);
     })
+}
+
+fn parse_rate(value: &str, flag: &str) -> f64 {
+    let rate: f64 = value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects a fraction in [0, 1], got '{value}'");
+        std::process::exit(2);
+    });
+    if !(0.0..=1.0).contains(&rate) {
+        eprintln!("{flag} expects a fraction in [0, 1], got '{value}'");
+        std::process::exit(2);
+    }
+    rate
 }

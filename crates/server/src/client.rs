@@ -1,20 +1,27 @@
-//! A blocking client for the wire protocol: typed calls over one TCP
-//! connection, page streaming for `enumerate`, and a busy-retry helper.
+//! Clients for the wire protocol: the blocking [`Client`] (typed calls
+//! over one TCP connection, page streaming for `enumerate`), the v3
+//! [`PipelinedClient`] (many requests in flight on one socket, responses
+//! matched back by request id), and a busy-retry helper with capped
+//! exponential backoff.
 //!
-//! The protocol is lock-step per connection (one request, then its
-//! response — or its page stream), so the client is a simple synchronous
-//! state machine.  Server-side errors surface as
-//! [`ClientError::Server`] with the structured [`ErrorCode`], so callers
-//! can distinguish backpressure ([`ErrorCode::Busy`] — retry) from real
-//! failures.
+//! [`Client`] keeps the lock-step discipline (one request, then its
+//! response — or its page stream): a simple synchronous state machine
+//! whose frames carry no request id, byte-identical to a v2 client.
+//! [`PipelinedClient`] tags every submission with a fresh id and lets the
+//! server complete them out of order — `submit` as fast as the socket
+//! accepts, then `poll` replies in completion order.  Server-side errors
+//! surface as [`ClientError::Server`] with the structured [`ErrorCode`],
+//! so callers can distinguish backpressure ([`ErrorCode::Busy`] — retry)
+//! and deadline shedding ([`ErrorCode::Expired`]) from real failures.
 
 use crate::proto::{
-    ErrorCode, ProtoError, Request, Response, WireObsStats, WireServerStats, WireServiceStats,
-    WireStats, WireStoreStats, WireTask, WireTenantStats,
+    ErrorCode, FrameMeta, ProtoError, Request, Response, WireObsStats, WireServerStats,
+    WireServiceStats, WireStats, WireStoreStats, WireTask, WireTenantStats,
 };
 use spanner::SpanTuple;
-use spanner_slp_core::trace::SpanRec;
+use spanner_slp_core::trace::{splitmix64, SpanRec};
 use spanner_store::TenantSpec;
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -453,24 +460,256 @@ fn unexpected(wanted: &str, got: &Response) -> ClientError {
     ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
 }
 
+// ---------------------------------------------------------------------------
+// Pipelined client (protocol v3)
+// ---------------------------------------------------------------------------
+
+/// One completed pipelined request, handed back by
+/// [`PipelinedClient::poll`] in *completion* order.
+#[derive(Debug)]
+pub struct PipelinedReply {
+    /// The id [`PipelinedClient::submit`] returned for this request.
+    pub id: u64,
+    /// The terminal response frame.  Per-request failures (busy, expired,
+    /// unknown id, eval errors) arrive here as [`Response::Error`] —
+    /// [`ClientError`] is reserved for transport and protocol faults that
+    /// affect the whole connection.
+    pub response: Response,
+    /// Tuples streamed ahead of the terminal frame (enumerate pages;
+    /// empty for every other task kind).
+    pub pages: Vec<SpanTuple>,
+}
+
+impl PipelinedReply {
+    /// `true` when the terminal frame is a structured server error.
+    pub fn is_error(&self) -> bool {
+        matches!(self.response, Response::Error { .. })
+    }
+}
+
+/// A v3 pipelined connection: submit many tasks without waiting, then
+/// poll replies as the server completes them — out of order, interleaved
+/// with the pages of concurrent enumerations, all on one socket.
+///
+/// The server bounds the in-flight window per connection
+/// (`pipeline_window`); past it, submissions block in TCP rather than
+/// drawing errors.  For lock-step semantics (and v2 servers), use
+/// [`Client`].
+pub struct PipelinedClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    tenant: u32,
+    next_id: u64,
+    /// Submitted but not yet completed request ids.
+    outstanding: usize,
+    /// Pages accumulated for still-running enumerations, by request id.
+    pages: HashMap<u64, Vec<SpanTuple>>,
+}
+
+impl PipelinedClient {
+    /// Connects to a v3 server (as the default tenant).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<PipelinedClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(PipelinedClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            tenant: 0,
+            next_id: 1,
+            outstanding: 0,
+            pages: HashMap::new(),
+        })
+    }
+
+    /// Switches the tenant namespace subsequent submissions run in.
+    pub fn set_tenant(&mut self, tenant: u32) {
+        self.tenant = tenant;
+    }
+
+    /// Submitted requests whose replies have not been polled yet.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Submits one task without waiting for its result; returns the id its
+    /// reply will carry.
+    pub fn submit(&mut self, query: u64, doc: u64, task: WireTask) -> Result<u64, ClientError> {
+        self.submit_meta(query, doc, task, 0)
+    }
+
+    /// [`PipelinedClient::submit`] with a deadline budget: if the task is
+    /// still queued server-side when `deadline` has elapsed since the
+    /// server read the frame, it is shed with [`ErrorCode::Expired`]
+    /// instead of being executed late.
+    pub fn submit_with_deadline(
+        &mut self,
+        query: u64,
+        doc: u64,
+        task: WireTask,
+        deadline: Duration,
+    ) -> Result<u64, ClientError> {
+        self.submit_meta(query, doc, task, (deadline.as_micros() as u64).max(1))
+    }
+
+    fn submit_meta(
+        &mut self,
+        query: u64,
+        doc: u64,
+        task: WireTask,
+        deadline_us: u64,
+    ) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut frame = Request::Task {
+            tenant: self.tenant,
+            trace: 0,
+            query,
+            doc,
+            task,
+        }
+        .encode_with(FrameMeta { id, deadline_us });
+        frame.push(b'\n');
+        self.writer.write_all(&frame)?;
+        self.writer.flush()?;
+        self.outstanding += 1;
+        Ok(id)
+    }
+
+    /// Blocks until the next request *completes* (whichever finishes
+    /// first, not submission order) and returns its reply.  Pages of
+    /// still-running enumerations are absorbed along the way and handed
+    /// back with their own terminal frame.
+    pub fn poll(&mut self) -> Result<PipelinedReply, ClientError> {
+        if self.outstanding == 0 {
+            return Err(ClientError::Protocol(
+                "poll with no outstanding requests".into(),
+            ));
+        }
+        loop {
+            let mut line = Vec::new();
+            let n = self.reader.read_until(b'\n', &mut line)?;
+            if n == 0 {
+                return Err(ClientError::Protocol("server closed the connection".into()));
+            }
+            if line.last() == Some(&b'\n') {
+                line.pop();
+            }
+            let (id, response) = Response::decode_framed(&line)?;
+            if id == 0 {
+                return Err(ClientError::Protocol(format!(
+                    "response frame without a request id: {response:?}"
+                )));
+            }
+            if let Response::Page { tuples } = response {
+                self.pages.entry(id).or_default().extend(tuples);
+                continue;
+            }
+            self.outstanding -= 1;
+            return Ok(PipelinedReply {
+                id,
+                response,
+                pages: self.pages.remove(&id).unwrap_or_default(),
+            });
+        }
+    }
+
+    /// Polls until every outstanding request has completed.
+    pub fn drain(&mut self) -> Result<Vec<PipelinedReply>, ClientError> {
+        let mut replies = Vec::with_capacity(self.outstanding);
+        while self.outstanding > 0 {
+            replies.push(self.poll()?);
+        }
+        Ok(replies)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Busy retry with capped exponential backoff
+// ---------------------------------------------------------------------------
+
+/// Process-wide decorrelation salt for retry jitter: every sleeping
+/// retrier draws a distinct pseudo-random stream, deterministically.
+static RETRY_SALT: AtomicU64 = AtomicU64::new(1);
+
+/// Largest multiple of the base backoff the exponential ramp reaches
+/// (attempt 6 and beyond sleep `base × 64`, jittered).
+const BACKOFF_CAP_SHIFT: u32 = 6;
+
 /// Calls `operation` until it succeeds or fails with something other than
-/// the server's `busy` backpressure signal, sleeping `backoff` between
-/// attempts (at most `attempts` tries).  The last busy error is returned
-/// if the budget runs out.
+/// the server's `busy` backpressure signal (at most `attempts` tries; the
+/// last busy error is returned if the budget runs out).
+///
+/// Between attempts it sleeps an exponentially growing multiple of
+/// `backoff` — `1×, 2×, 4×, … 64×` (capped) — scaled by a deterministic
+/// pseudo-random jitter in `[0.5, 1.0]`.  The ramp sheds load from an
+/// overloaded server instead of hammering it at a fixed rate, and the
+/// jitter decorrelates the retry herd a shed synchronizes: without it,
+/// every client rejected in the same instant would retry in the same
+/// instant, forever.
 pub fn retry_busy<T>(
     attempts: usize,
     backoff: Duration,
     mut operation: impl FnMut() -> Result<T, ClientError>,
 ) -> Result<T, ClientError> {
     let mut last = None;
-    for _ in 0..attempts.max(1) {
+    for attempt in 0..attempts.max(1) as u32 {
         match operation() {
             Err(e) if e.is_busy() => {
                 last = Some(e);
-                std::thread::sleep(backoff);
+                std::thread::sleep(backoff_delay(
+                    backoff,
+                    attempt,
+                    RETRY_SALT.fetch_add(1, Ordering::Relaxed),
+                ));
             }
             other => return other,
         }
     }
     Err(last.expect("at least one attempt ran"))
+}
+
+/// The sleep before retry `attempt + 1`: `base × 2^min(attempt, cap)`,
+/// jittered into `[0.5, 1.0]` of itself by a SplitMix64 draw over `salt`.
+/// Pure, so the policy is testable without sleeping.
+fn backoff_delay(base: Duration, attempt: u32, salt: u64) -> Duration {
+    let ramp = base.saturating_mul(1u32 << attempt.min(BACKOFF_CAP_SHIFT));
+    // 53 uniform mantissa bits → factor in [0.5, 1.0].
+    let unit = (splitmix64(salt) >> 11) as f64 / (1u64 << 53) as f64;
+    ramp.mul_f64(0.5 + unit / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_ramps_exponentially_and_caps() {
+        let base = Duration::from_millis(10);
+        for attempt in 0..12 {
+            let delay = backoff_delay(base, attempt, 42);
+            let ramp = base * (1 << attempt.min(BACKOFF_CAP_SHIFT));
+            assert!(
+                delay >= ramp / 2,
+                "attempt {attempt}: {delay:?} < half ramp"
+            );
+            assert!(delay <= ramp, "attempt {attempt}: {delay:?} > full ramp");
+        }
+        // The cap: attempts past the shift all ramp to the same ceiling.
+        assert!(backoff_delay(base, 40, 7) <= base * 64);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_but_decorrelated() {
+        let base = Duration::from_millis(10);
+        assert_eq!(backoff_delay(base, 3, 9), backoff_delay(base, 3, 9));
+        // Two clients retrying the same attempt draw different delays —
+        // the herd decorrelates.
+        let distinct: std::collections::HashSet<Duration> =
+            (0..32).map(|salt| backoff_delay(base, 3, salt)).collect();
+        assert!(
+            distinct.len() > 16,
+            "only {} distinct delays",
+            distinct.len()
+        );
+    }
 }

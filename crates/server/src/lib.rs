@@ -19,7 +19,9 @@
 //!   (never a dropped connection), frame length caps, streamed enumeration
 //!   pages, and graceful shutdown that drains in-flight work.
 //! * [`client`] — a blocking typed client used by the integration tests,
-//!   the CI smoke script and the load generator.
+//!   the CI smoke script and the load generator, plus the v3
+//!   [`PipelinedClient`] that keeps many requests in flight on one socket
+//!   and polls replies in completion order.
 //! * [`remote`] — the distributed half: [`RemoteExecutor`] implements the
 //!   core's `ShardExecutor` over the wire protocol as a self-managing
 //!   worker fleet — content-hash have/need negotiation (block bytes cross
@@ -66,10 +68,12 @@ pub mod server;
 // working for the protocol and its tests.
 pub use spanner_store::json;
 
-pub use client::{retry_busy, Client, ClientError, DocReceipt, FullStats};
+pub use client::{
+    retry_busy, Client, ClientError, DocReceipt, FullStats, PipelinedClient, PipelinedReply,
+};
 pub use proto::{
-    ErrorCode, Request, Response, WireNfa, WireObsStats, WireStoreStats, WireTask, WireTenantStats,
-    PROTOCOL_VERSION,
+    ErrorCode, FrameMeta, Request, Response, WireNfa, WireObsStats, WireStoreStats, WireTask,
+    WireTenantStats, PROTOCOL_VERSION,
 };
 pub use remote::RemoteExecutor;
 pub use server::{

@@ -2,7 +2,7 @@
 //! newline-delimited [`Json`] lines.
 //!
 //! Every frame is one line: a canonical [`Json`] object followed by `\n`.
-//! Requests carry the protocol version (`"v":2`); a server speaking a
+//! Requests carry the protocol version (`"v":3`); a server speaking a
 //! different version answers with the structured error code
 //! [`ErrorCode::Version`] instead of guessing.  Responses are
 //! self-describing: `"ok":true` plus a payload-specific key, `"ok":false`
@@ -12,9 +12,26 @@
 //! block as a base64 varint stream and gather ships the three-valued
 //! summaries as base64 bitplanes (2 bits per entry) instead of the v1
 //! one-byte-per-entry `B`/`E`/`N` string.  Decoding still accepts v1
-//! frames — the version check admits [`LEGACY_PROTOCOL_VERSION`], and the
-//! `rules`/`rows` keys fall back to the v1 shapes — so a v2 coordinator
-//! interoperates with v1 workers during a rolling upgrade.
+//! frames — the version check admits everything down to
+//! [`LEGACY_PROTOCOL_VERSION`], and the `rules`/`rows` keys fall back to
+//! the v1 shapes — so a v3 coordinator interoperates with v1 workers
+//! during a rolling upgrade.
+//!
+//! ## Pipelining (v3)
+//!
+//! Version 3 adds an *envelope* around any request: an optional request
+//! id (`"rid"`) and an optional deadline (`"dl"`, a budget in
+//! microseconds from server receipt).  Both ride [`FrameMeta`] and obey
+//! the same optional-key discipline as tenancy and tracing: a zero id or
+//! deadline is never emitted, so frames without them are byte-identical
+//! to v2 frames (modulo the version number) and v2 clients keep working
+//! unchanged.  A frame carrying a non-zero `"rid"` opts into *pipelined*
+//! dispatch: the server may answer it out of order, and every response
+//! frame belonging to it — including streamed `page` frames — carries
+//! the id back under the same `"rid"` key.  Frames without an id keep
+//! the lock-step contract: they are executed inline, in order, and their
+//! responses carry no `"rid"` key at all (so they stay byte-identical to
+//! what a v2 server would have sent).
 //!
 //! The encode/decode pair is *canonical*: `decode(encode(x)) == x` for
 //! every [`Request`] and [`Response`], and `encode(decode(bytes)) == bytes`
@@ -63,12 +80,43 @@ use spanner_store::{StoreMetrics, TenantSpec};
 use std::fmt;
 
 /// The protocol version this build speaks (and emits).
-pub const PROTOCOL_VERSION: u64 = 2;
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// The oldest protocol version this build still decodes: v1 frames carry
 /// `shard_build` rules as a JSON array and summary rows as one byte per
-/// entry; both shapes are recognised by the decoders below.
+/// entry; both shapes are recognised by the decoders below.  Every
+/// version in `LEGACY_PROTOCOL_VERSION..=PROTOCOL_VERSION` is admitted
+/// (v2 frames are v3 frames without the pipelining envelope).
 pub const LEGACY_PROTOCOL_VERSION: u64 = 1;
+
+/// The per-frame pipelining envelope (v3): a request id and a deadline.
+///
+/// `id == 0` means "not pipelined" — the frame is handled inline, in
+/// order, exactly as a v2 server would, and its responses carry no
+/// `"rid"` key.  A non-zero id opts the frame into out-of-order
+/// completion; every response belonging to it echoes the id.
+///
+/// `deadline_us == 0` means "no deadline".  A non-zero deadline is a
+/// *budget in microseconds from server receipt* (not a wall-clock
+/// timestamp, so clients and servers need no clock agreement): work
+/// still queued when its budget has elapsed is shed with
+/// [`ErrorCode::Expired`] instead of being executed late.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Request id echoed by every response frame of this request
+    /// (`0` = not pipelined).
+    pub id: u64,
+    /// Queueing budget in microseconds from server receipt (`0` = none).
+    pub deadline_us: u64,
+}
+
+impl FrameMeta {
+    /// The empty envelope: not pipelined, no deadline.
+    pub const NONE: FrameMeta = FrameMeta {
+        id: 0,
+        deadline_us: 0,
+    };
+}
 
 /// A decode failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,6 +177,12 @@ pub enum ErrorCode {
     /// admission decision, not a transient overload: unlike
     /// [`ErrorCode::Busy`] it does **not** invite a retry.
     Quota,
+    /// The request carried a deadline ([`FrameMeta::deadline_us`]) and was
+    /// still queued when the budget elapsed; the scheduler shed it instead
+    /// of executing already-late work.  Distinct from [`ErrorCode::Busy`]:
+    /// the queue had room, the *time* ran out — retrying with the same
+    /// deadline under the same load will likely expire again.
+    Expired,
 }
 
 impl ErrorCode {
@@ -144,6 +198,7 @@ impl ErrorCode {
             ErrorCode::Unsupported => "unsupported",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Quota => "quota",
+            ErrorCode::Expired => "expired",
         }
     }
 
@@ -159,6 +214,7 @@ impl ErrorCode {
             b"unsupported" => ErrorCode::Unsupported,
             b"shutting_down" => ErrorCode::ShuttingDown,
             b"quota" => ErrorCode::Quota,
+            b"expired" => ErrorCode::Expired,
             _ => return None,
         })
     }
@@ -970,6 +1026,19 @@ pub struct WireServerStats {
     pub block_cache_evictions: u64,
     /// Worker block-cache bytes currently resident.
     pub block_cache_bytes: u64,
+    /// Pipelined requests currently queued in the cheap task class
+    /// (non-emptiness, model-check, count) of the QoS scheduler.
+    pub queue_depth_cheap: u64,
+    /// Pipelined requests currently queued in the expensive task class
+    /// (compute, enumerate) of the QoS scheduler.
+    pub queue_depth_expensive: u64,
+    /// Requests shed with [`ErrorCode::Expired`]: their deadline elapsed
+    /// while they were queued.
+    pub shed_expired: u64,
+    /// Requests shed with [`ErrorCode::Busy`] because their class queue
+    /// was full (the bounded-queue replacement for the blanket inflight
+    /// gate on pipelined traffic).
+    pub shed_overflow: u64,
 }
 
 /// One tenant's usage, limits and serving counters inside a
@@ -1628,6 +1697,33 @@ fn trace_field(value: &Json) -> Result<u64, ProtoError> {
     }
 }
 
+/// Emits the `"rid"`/`"dl"` envelope fields only when non-zero, so
+/// un-pipelined frames stay byte-identical to the v2 encoding (modulo the
+/// version number).
+fn push_meta(pairs: &mut Vec<(&str, Json)>, meta: FrameMeta) {
+    if meta.id != 0 {
+        pairs.push(("rid", Json::num(meta.id)));
+    }
+    if meta.deadline_us != 0 {
+        pairs.push(("dl", Json::num(meta.deadline_us)));
+    }
+}
+
+/// Reads the optional `"rid"`/`"dl"` envelope; absent keys mean
+/// [`FrameMeta::NONE`] semantics (not pipelined / no deadline).
+fn meta_fields(value: &Json) -> Result<FrameMeta, ProtoError> {
+    let optional = |key: &str, what: &str| -> Result<u64, ProtoError> {
+        match value.get(key) {
+            None => Ok(0),
+            Some(v) => number(v, what),
+        }
+    };
+    Ok(FrameMeta {
+        id: optional("rid", "request id")?,
+        deadline_us: optional("dl", "deadline")?,
+    })
+}
+
 /// Emits the `"trace"` span-forest field of a task response only when the
 /// request was sampled, so unsampled responses stay byte-identical.
 fn push_response_trace(pairs: &mut Vec<(&str, Json)>, trace: &Option<Vec<SpanRec>>) {
@@ -1649,9 +1745,21 @@ fn response_trace(value: &Json) -> Result<Option<Vec<SpanRec>>, ProtoError> {
 // ---------------------------------------------------------------------------
 
 impl Request {
-    /// Encodes the request as one canonical frame (no trailing newline).
+    /// Encodes the request as one canonical frame (no trailing newline)
+    /// with the empty envelope — not pipelined, no deadline.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with(FrameMeta::NONE)
+    }
+
+    /// Encodes the request with a pipelining envelope: the `"rid"`/`"dl"`
+    /// keys ride directly after `"v"` and are omitted when zero, so
+    /// `encode_with(FrameMeta::NONE)` is byte-identical to [`encode`]
+    /// (canonicality survives the envelope).
+    ///
+    /// [`encode`]: Request::encode
+    pub fn encode_with(&self, meta: FrameMeta) -> Vec<u8> {
         let mut pairs = vec![("v", Json::num(PROTOCOL_VERSION))];
+        push_meta(&mut pairs, meta);
         match self {
             Request::Ping => pairs.push(("op", Json::str("ping"))),
             Request::AddQuery { pattern, alphabet } => {
@@ -1742,15 +1850,24 @@ impl Request {
         obj(pairs).to_bytes()
     }
 
-    /// Decodes one request frame, checking the protocol version first.
+    /// Decodes one request frame, checking the protocol version first and
+    /// discarding the envelope (see [`Request::decode_framed`]).
     pub fn decode(line: &[u8]) -> Result<Request, ProtoError> {
+        Request::decode_framed(line).map(|(request, _)| request)
+    }
+
+    /// Decodes one request frame together with its pipelining envelope.
+    /// Frames without `"rid"`/`"dl"` keys — everything a v1 or v2 client
+    /// produces — decode with [`FrameMeta::NONE`].
+    pub fn decode_framed(line: &[u8]) -> Result<(Request, FrameMeta), ProtoError> {
         let value = Json::parse(line)?;
         let v = num_field(&value, "v")?;
-        if v != PROTOCOL_VERSION && v != LEGACY_PROTOCOL_VERSION {
+        if !(LEGACY_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&v) {
             return Err(ProtoError::Version(v));
         }
+        let meta = meta_fields(&value)?;
         let op = str_field(&value, "op")?;
-        Ok(match op.as_slice() {
+        let request = match op.as_slice() {
             b"ping" => Request::Ping,
             b"add_query" => Request::AddQuery {
                 pattern: String::from_utf8(str_field(&value, "pattern")?)
@@ -1851,7 +1968,8 @@ impl Request {
                     String::from_utf8_lossy(&op)
                 )))
             }
-        })
+        };
+        Ok((request, meta))
     }
 }
 
@@ -1940,6 +2058,13 @@ impl WireServerStats {
                 Json::num(self.block_cache_evictions),
             ),
             ("block_cache_bytes", Json::num(self.block_cache_bytes)),
+            ("queue_depth_cheap", Json::num(self.queue_depth_cheap)),
+            (
+                "queue_depth_expensive",
+                Json::num(self.queue_depth_expensive),
+            ),
+            ("shed_expired", Json::num(self.shed_expired)),
+            ("shed_overflow", Json::num(self.shed_overflow)),
         ])
     }
 
@@ -1968,14 +2093,44 @@ impl WireServerStats {
             block_cache_misses: optional("block_cache_misses")?,
             block_cache_evictions: optional("block_cache_evictions")?,
             block_cache_bytes: optional("block_cache_bytes")?,
+            queue_depth_cheap: optional("queue_depth_cheap")?,
+            queue_depth_expensive: optional("queue_depth_expensive")?,
+            shed_expired: optional("shed_expired")?,
+            shed_overflow: optional("shed_overflow")?,
         })
     }
 }
 
 impl Response {
-    /// Encodes the response as one canonical frame (no trailing newline).
+    /// Encodes the response as one canonical frame (no trailing newline)
+    /// with no request id — the lock-step (v2 and earlier) shape.
     pub fn encode(&self) -> Vec<u8> {
-        let value = match self {
+        self.encode_framed(0)
+    }
+
+    /// Encodes the response, echoing a pipelined request's id as the
+    /// leading `"rid"` key.  `id == 0` emits no key at all, so
+    /// `encode_framed(0)` is byte-identical to [`encode`] and idless
+    /// responses stay byte-identical to what a v2 server sends.
+    ///
+    /// [`encode`]: Response::encode
+    pub fn encode_framed(&self, id: u64) -> Vec<u8> {
+        let value = self.frame_json();
+        if id == 0 {
+            return value.to_bytes();
+        }
+        match value {
+            Json::Obj(mut pairs) => {
+                pairs.insert(0, ("rid".to_string(), Json::num(id)));
+                Json::Obj(pairs).to_bytes()
+            }
+            other => other.to_bytes(),
+        }
+    }
+
+    /// The response as one canonical JSON object (no envelope).
+    fn frame_json(&self) -> Json {
+        match self {
             Response::Pong { proto } => {
                 obj(vec![("ok", Json::Bool(true)), ("proto", Json::num(*proto))])
             }
@@ -2125,20 +2280,34 @@ impl Response {
                 ("error", Json::str(code.as_str())),
                 ("detail", Json::str(detail)),
             ]),
-        };
-        value.to_bytes()
+        }
     }
 
-    /// Decodes one response frame.
+    /// Decodes one response frame, discarding any `"rid"` envelope.
     pub fn decode(line: &[u8]) -> Result<Response, ProtoError> {
+        Response::decode_framed(line).map(|(_, response)| response)
+    }
+
+    /// Decodes one response frame together with the request id it echoes
+    /// (`0` for lock-step responses, which carry no `"rid"` key).
+    pub fn decode_framed(line: &[u8]) -> Result<(u64, Response), ProtoError> {
         let value = Json::parse(line)?;
+        let id = match value.get("rid") {
+            None => 0,
+            Some(id) => number(id, "request id")?,
+        };
+        Ok((id, Response::decode_value(&value)?))
+    }
+
+    /// The payload-key dispatch shared by both decode entry points.
+    fn decode_value(value: &Json) -> Result<Response, ProtoError> {
         if let Some(page) = value.get("page") {
             return Ok(Response::Page {
                 tuples: tuples_from_json(page)?,
             });
         }
-        if !bool_field(&value, "ok")? {
-            let code_bytes = str_field(&value, "error")?;
+        if !bool_field(value, "ok")? {
+            let code_bytes = str_field(value, "error")?;
             let code = ErrorCode::parse(&code_bytes).ok_or_else(|| {
                 ProtoError::Malformed(format!(
                     "unknown error code '{}'",
@@ -2147,7 +2316,7 @@ impl Response {
             })?;
             return Ok(Response::Error {
                 code,
-                detail: String::from_utf8_lossy(&str_field(&value, "detail")?).into_owned(),
+                detail: String::from_utf8_lossy(&str_field(value, "detail")?).into_owned(),
             });
         }
         if let Some(proto) = value.get("proto") {
@@ -2163,8 +2332,8 @@ impl Response {
         if let Some(id) = value.get("doc") {
             return Ok(Response::DocAdded {
                 id: number(id, "doc")?,
-                shards: num_field(&value, "shards")?,
-                len: num_field(&value, "len")?,
+                shards: num_field(value, "shards")?,
+                len: num_field(value, "len")?,
             });
         }
         if let Some(flag) = value.get("non_empty") {
@@ -2172,8 +2341,8 @@ impl Response {
                 value: flag
                     .as_bool()
                     .ok_or_else(|| ProtoError::Malformed("non_empty is not a bool".into()))?,
-                stats: WireStats::from_json(field(&value, "stats")?)?,
-                trace: response_trace(&value)?,
+                stats: WireStats::from_json(field(value, "stats")?)?,
+                trace: response_trace(value)?,
             });
         }
         if let Some(flag) = value.get("checked") {
@@ -2181,8 +2350,8 @@ impl Response {
                 value: flag
                     .as_bool()
                     .ok_or_else(|| ProtoError::Malformed("checked is not a bool".into()))?,
-                stats: WireStats::from_json(field(&value, "stats")?)?,
-                trace: response_trace(&value)?,
+                stats: WireStats::from_json(field(value, "stats")?)?,
+                trace: response_trace(value)?,
             });
         }
         if let Some(count) = value.get("count") {
@@ -2190,22 +2359,22 @@ impl Response {
                 value: count
                     .as_num()
                     .ok_or_else(|| ProtoError::Malformed("count is not a number".into()))?,
-                stats: WireStats::from_json(field(&value, "stats")?)?,
-                trace: response_trace(&value)?,
+                stats: WireStats::from_json(field(value, "stats")?)?,
+                trace: response_trace(value)?,
             });
         }
         if let Some(tuples) = value.get("tuples") {
             return Ok(Response::Tuples {
                 tuples: tuples_from_json(tuples)?,
-                stats: WireStats::from_json(field(&value, "stats")?)?,
-                trace: response_trace(&value)?,
+                stats: WireStats::from_json(field(value, "stats")?)?,
+                trace: response_trace(value)?,
             });
         }
         if let Some(streamed) = value.get("streamed") {
             return Ok(Response::StreamEnd {
                 streamed: number(streamed, "streamed")?,
-                stats: WireStats::from_json(field(&value, "stats")?)?,
-                trace: response_trace(&value)?,
+                stats: WireStats::from_json(field(value, "stats")?)?,
+                trace: response_trace(value)?,
             });
         }
         if let Some(id) = value.get("removed") {
@@ -2235,22 +2404,22 @@ impl Response {
             });
         }
         if let Some(planes) = value.get("planes") {
-            let q = num_field(&value, "q")?;
+            let q = num_field(value, "q")?;
             return Ok(Response::ShardBuilt {
                 q,
                 rows: planes_from_json(planes, q)?,
-                elapsed_us: num_field(&value, "elapsed_us")?,
-                spans: response_trace(&value)?.unwrap_or_default(),
+                elapsed_us: num_field(value, "elapsed_us")?,
+                spans: response_trace(value)?.unwrap_or_default(),
             });
         }
         if let Some(rows) = value.get("rows") {
             // v1 workers answer one byte per entry; accept their shape so a
             // v2 coordinator interoperates during a rolling upgrade.
-            let q = num_field(&value, "q")?;
+            let q = num_field(value, "q")?;
             return Ok(Response::ShardBuilt {
                 q,
                 rows: legacy_rows_from_json(rows, q)?,
-                elapsed_us: num_field(&value, "elapsed_us")?,
+                elapsed_us: num_field(value, "elapsed_us")?,
                 spans: Vec::new(),
             });
         }
@@ -2258,7 +2427,7 @@ impl Response {
             return Ok(Response::TenantOk {
                 id: u32::try_from(number(id, "tenant")?)
                     .map_err(|_| ProtoError::Malformed("tenant id out of range".into()))?,
-                created: bool_field(&value, "created")?,
+                created: bool_field(value, "created")?,
             });
         }
         if let Some(service) = value.get("service") {
@@ -2283,7 +2452,7 @@ impl Response {
             };
             return Ok(Response::Stats {
                 service: WireServiceStats::from_json(service)?,
-                server: WireServerStats::from_json(field(&value, "server")?)?,
+                server: WireServerStats::from_json(field(value, "server")?)?,
                 tenants,
                 store,
                 obs,
@@ -2648,6 +2817,7 @@ mod tests {
             ErrorCode::Unsupported,
             ErrorCode::ShuttingDown,
             ErrorCode::Quota,
+            ErrorCode::Expired,
         ] {
             let response = Response::Error {
                 code,
@@ -2815,7 +2985,8 @@ mod tests {
     fn traceless_frames_are_byte_identical_to_pre_tracing_frames() {
         // A client that has never heard of tracing emits no "tr" field;
         // those exact bytes must decode to trace 0, and trace-0 frames
-        // must encode back to those exact bytes.
+        // must encode back to those exact bytes (modulo the version
+        // digit: a v3 server re-encodes at v3, with no other change).
         let legacy: &[u8] = b"{\"v\":2,\"op\":\"task\",\"task\":\"count\",\"query\":1,\"doc\":2}";
         let decoded = Request::decode(legacy).unwrap();
         assert_eq!(
@@ -2828,7 +2999,8 @@ mod tests {
                 task: WireTask::Count,
             }
         );
-        assert_eq!(decoded.encode(), legacy);
+        let modern: &[u8] = b"{\"v\":3,\"op\":\"task\",\"task\":\"count\",\"query\":1,\"doc\":2}";
+        assert_eq!(decoded.encode(), modern);
         // Untraced responses carry no "trace"/"spans"/"obs" keys at all.
         for (response, forbidden) in [
             (
@@ -2878,13 +3050,163 @@ mod tests {
     #[test]
     fn version_mismatch_is_a_distinct_error() {
         let mut frame = Request::Ping.encode();
-        // Rewrite "v":2 into "v":3.
+        // Rewrite "v":3 into "v":4.
         let pos = frame.windows(4).position(|w| w == b"\"v\":").unwrap() + 4;
-        frame[pos] = b'3';
-        assert_eq!(Request::decode(&frame), Err(ProtoError::Version(3)));
-        // The legacy version is still admitted.
+        frame[pos] = b'4';
+        assert_eq!(Request::decode(&frame), Err(ProtoError::Version(4)));
+        // Every prior version is still admitted.
+        frame[pos] = b'2';
+        assert_eq!(Request::decode(&frame), Ok(Request::Ping));
         frame[pos] = b'1';
         assert_eq!(Request::decode(&frame), Ok(Request::Ping));
+    }
+
+    #[test]
+    fn framed_requests_round_trip_rid_and_deadline() {
+        let request = Request::Task {
+            trace: 0,
+            tenant: 4,
+            query: 1,
+            doc: 2,
+            task: WireTask::ModelCheck(sample_tuple()),
+        };
+        for meta in [
+            FrameMeta {
+                id: 7,
+                deadline_us: 0,
+            },
+            FrameMeta {
+                id: u64::MAX,
+                deadline_us: 125_000,
+            },
+            FrameMeta {
+                id: 1,
+                deadline_us: 1,
+            },
+        ] {
+            let encoded = request.encode_with(meta);
+            let (decoded, got) = Request::decode_framed(&encoded).unwrap();
+            assert_eq!(decoded, request);
+            assert_eq!(got, meta);
+            // Canonical: re-encoding with the decoded meta is the identity.
+            assert_eq!(decoded.encode_with(got), encoded);
+        }
+        // The envelope keys ride ahead of the op payload.
+        let text = String::from_utf8(request.encode_with(FrameMeta {
+            id: 9,
+            deadline_us: 50,
+        }))
+        .unwrap();
+        assert!(text.starts_with("{\"v\":3,\"rid\":9,\"dl\":50,"), "{text}");
+    }
+
+    #[test]
+    fn idless_frames_are_byte_identical_to_lockstep_frames() {
+        // A client that never pipelines emits no "rid"/"dl" keys: the
+        // framed encoder with FrameMeta::NONE is byte-for-byte the plain
+        // v2-era lock-step encoder (modulo the version digit, pinned
+        // elsewhere).
+        for request in [
+            Request::Ping,
+            Request::Task {
+                trace: 0,
+                tenant: 0,
+                query: 1,
+                doc: 2,
+                task: WireTask::Count,
+            },
+            Request::Stats,
+        ] {
+            let plain = request.encode();
+            assert_eq!(request.encode_with(FrameMeta::NONE), plain);
+            let text = String::from_utf8(plain).unwrap();
+            assert!(!text.contains("\"rid\""), "{text}");
+            assert!(!text.contains("\"dl\""), "{text}");
+        }
+        let (_, meta) = Request::decode_framed(&Request::Ping.encode()).unwrap();
+        assert_eq!(meta, FrameMeta::NONE);
+    }
+
+    #[test]
+    fn framed_responses_carry_the_request_id() {
+        let responses = vec![
+            Response::Pong { proto: 3 },
+            Response::Counted {
+                trace: None,
+                value: 40,
+                stats: sample_stats(),
+            },
+            // Stream pages multiplex too: each page names its request.
+            Response::Page {
+                tuples: vec![sample_tuple()],
+            },
+            Response::StreamEnd {
+                trace: None,
+                streamed: 3,
+                stats: sample_stats(),
+            },
+            Response::Error {
+                code: ErrorCode::Expired,
+                detail: "deadline elapsed in queue".into(),
+            },
+        ];
+        for response in responses {
+            for id in [1u64, 42, u64::MAX] {
+                let encoded = response.encode_framed(id);
+                let (got_id, decoded) = Response::decode_framed(&encoded).unwrap();
+                assert_eq!(got_id, id);
+                assert_eq!(decoded, response);
+                assert_eq!(decoded.encode_framed(got_id), encoded);
+                // The id is the leading key so demuxers can route cheaply.
+                let text = String::from_utf8(encoded).unwrap();
+                assert!(text.starts_with(&format!("{{\"rid\":{id},")), "{text}");
+            }
+            // id 0 is the lock-step sentinel: no "rid" key at all, and the
+            // bytes are identical to the unframed encoder.
+            let bare = response.encode_framed(0);
+            assert_eq!(bare, response.encode());
+            assert!(!String::from_utf8_lossy(&bare).contains("\"rid\""));
+            let (got_id, decoded) = Response::decode_framed(&bare).unwrap();
+            assert_eq!(got_id, 0);
+            assert_eq!(decoded, response);
+        }
+    }
+
+    #[test]
+    fn v2_client_frames_still_decode_against_v3() {
+        // Exact byte strings a PR-9-era v2 client puts on the wire: a v3
+        // server must decode them unchanged (rolling upgrades).
+        let pins: [(&[u8], Request); 3] = [
+            (b"{\"v\":2,\"op\":\"ping\"}", Request::Ping),
+            (
+                b"{\"v\":2,\"op\":\"task\",\"task\":\"non_emptiness\",\"query\":4,\"doc\":9}",
+                Request::Task {
+                    trace: 0,
+                    tenant: 0,
+                    query: 4,
+                    doc: 9,
+                    task: WireTask::NonEmptiness,
+                },
+            ),
+            (
+                b"{\"v\":2,\"op\":\"task\",\"t\":3,\"tr\":77,\"task\":\"count\",\"query\":1,\"doc\":2}",
+                Request::Task {
+                    trace: 77,
+                    tenant: 3,
+                    query: 1,
+                    doc: 2,
+                    task: WireTask::Count,
+                },
+            ),
+        ];
+        for (bytes, want) in pins {
+            let (decoded, meta) = Request::decode_framed(bytes).unwrap();
+            assert_eq!(decoded, want, "{}", String::from_utf8_lossy(bytes));
+            // v2 clients never pipeline: the envelope is always empty, so
+            // the server answers on the lock-step path with unframed
+            // responses the old client can parse.
+            assert_eq!(meta, FrameMeta::NONE);
+        }
     }
 
     #[test]
@@ -3087,7 +3409,7 @@ mod tests {
             other => panic!("{other:?}"),
         };
         legacy_req = legacy_req.replace(&packed_rules, "[97,\"end\",[0,1]]");
-        legacy_req = legacy_req.replace("\"v\":2", "\"v\":1");
+        legacy_req = legacy_req.replace("\"v\":3", "\"v\":1");
         assert_eq!(Request::decode(legacy_req.as_bytes()).unwrap(), v2);
     }
 

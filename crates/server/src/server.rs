@@ -3,23 +3,48 @@
 //!
 //! ## Threading model
 //!
-//! One accept-loop thread plus one worker thread per live connection.  A
-//! connection worker serves its requests strictly in order (the protocol is
-//! lock-step per connection), but any number of connections evaluate
-//! concurrently over the one shared [`Service`] — that is exactly the
-//! service layer's `&self` contract, so the server adds **no** locking
-//! around evaluation.
+//! One accept-loop thread plus one reader thread per live connection, plus
+//! a fixed pool of [`ServerConfig::scheduler_workers`] dispatcher threads
+//! executing pipelined tasks.  A frame without a request id (`"rid"`) is
+//! served lock-step on its reader thread exactly as in protocol v2; a task
+//! frame *with* an id is enqueued into the QoS scheduler and completes out
+//! of order, its response carrying the id back.  Any number of requests
+//! evaluate concurrently over the one shared [`Service`] — that is exactly
+//! the service layer's `&self` contract, so the server adds **no** locking
+//! around evaluation; per-connection response writes serialize on one
+//! writer mutex (whole frames only, so streams interleave per page, never
+//! mid-frame).
+//!
+//! ## Pipelining and the QoS scheduler (v3)
+//!
+//! Each connection may have up to [`ServerConfig::pipeline_window`]
+//! id-carrying tasks in flight; past the window the reader thread stops
+//! reading, which surfaces to the client as TCP backpressure rather than
+//! an error.  Queued tasks sit in bounded per-(cost class, tenant) queues
+//! served by stride-based weighted fair queueing: a queue's weight is the
+//! tenant's admission weight times the class weight (cheap matrix-lookup
+//! tasks get [`TaskClass::weight`] = 8× the share of document-walking
+//! scans), so a burst of Enumerate scans can no longer starve ModelCheck
+//! point lookups.  A frame may carry a deadline budget (`"dl"`, µs from
+//! receipt); work still queued when its budget lapses is shed with
+//! [`ErrorCode::Expired`] instead of being executed late, and a full class
+//! queue sheds new arrivals with [`ErrorCode::Busy`].  Queue time is
+//! visible as a `queue_wait` span on sampled traces and as
+//! `spanner_queue_depth`/`spanner_shed_total` scrape lines.
 //!
 //! ## Admission control
 //!
-//! Work-bearing requests (registrations and tasks) must win one of
-//! [`ServerConfig::max_inflight`] execution slots before touching the
-//! service.  When none is free the request is answered immediately with
-//! the structured error code [`ErrorCode::Busy`] — the connection is never
-//! dropped and never queued into an unbounded backlog; the client owns the
-//! retry policy.  `ping`/`stats` are always admitted (an operator must be
-//! able to observe an overloaded server), and `shutdown` is always
-//! admitted so an overload can be drained away.
+//! *Lock-step* work-bearing requests (registrations and id-less tasks)
+//! must win one of [`ServerConfig::max_inflight`] execution slots before
+//! touching the service.  When none is free the request is answered
+//! immediately with the structured error code [`ErrorCode::Busy`] — the
+//! connection is never dropped and never queued into an unbounded backlog;
+//! the client owns the retry policy.  *Pipelined* tasks skip that gate:
+//! their backlog is bounded by the class queues and the pipeline window
+//! instead, and the dispatcher pool caps their execution concurrency.
+//! `ping`/`stats` are always admitted (an operator must be able to observe
+//! an overloaded server), and `shutdown` is always admitted so an overload
+//! can be drained away.
 //!
 //! ## Framing
 //!
@@ -72,23 +97,25 @@
 use crate::blockcache::{BlockCache, BlockKind};
 use crate::json::Json;
 use crate::proto::{
-    ErrorCode, ProtoError, Request, Response, WireObsStats, WireServerStats, WireStats,
+    ErrorCode, FrameMeta, ProtoError, Request, Response, WireObsStats, WireServerStats, WireStats,
     WireTenantStats, PROTOCOL_VERSION,
 };
 use crate::remote::RemoteExecutor;
 use slp::NormalFormSlp;
 use spanner::regex;
 use spanner_slp_core::prepared::EByte;
-use spanner_slp_core::service::{Service, Task, TaskRequest, TenantConfig, TenantId};
-use spanner_slp_core::trace::{Hist, HistSnapshot, ShardTrace, SpanRec, TraceContext, Tracer};
+use spanner_slp_core::service::{Service, Task, TaskClass, TaskRequest, TenantConfig, TenantId};
+use spanner_slp_core::trace::{
+    Hist, HistSnapshot, Sampler, ShardTrace, SpanRec, TraceContext, Tracer,
+};
 use spanner_slp_core::{DocumentId, QueryId};
 use spanner_store::{CorpusImage, LogVerb, Store, TenantSpec};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -130,6 +157,25 @@ pub struct ServerConfig {
     /// when a request turns out slow — a deliberate observability-for-
     /// allocation trade the operator opts into.
     pub slow_log_ms: u64,
+    /// Maximum id-carrying (pipelined) tasks in flight per connection.
+    /// Past the window the connection's reader stops reading — the client
+    /// sees TCP backpressure, never an error.
+    pub pipeline_window: usize,
+    /// Dispatcher threads executing pipelined tasks from the QoS
+    /// scheduler (clamped to at least 1).
+    pub scheduler_workers: usize,
+    /// Bound of each (cost class, tenant) scheduler queue; arrivals
+    /// beyond it are shed with [`ErrorCode::Busy`].
+    pub class_queue_depth: usize,
+    /// Degrade the QoS scheduler to a single global FIFO that ignores
+    /// class and tenant weights — the head-of-line-blocking baseline the
+    /// E17 experiment measures against.  Never set in production.
+    pub fifo_scheduler: bool,
+    /// Probability (`0.0..=1.0`) that the server arms tracing for a task
+    /// whose client did not opt in, feeding the slow-query machinery and
+    /// rate-limited `sampled_query` lines without cooperative clients.
+    /// `0.0` disables server-side sampling.
+    pub trace_sample_rate: f64,
 }
 
 impl Default for ServerConfig {
@@ -143,6 +189,11 @@ impl Default for ServerConfig {
             worker: false,
             block_cache_budget: 64 << 20,
             slow_log_ms: 0,
+            pipeline_window: 32,
+            scheduler_workers: 4,
+            class_queue_depth: 64,
+            fifo_scheduler: false,
+            trace_sample_rate: 0.0,
         }
     }
 }
@@ -246,6 +297,12 @@ struct Metrics {
     pages_streamed: AtomicU64,
     quota_rejections: AtomicU64,
     reshards: AtomicU64,
+    /// Pipelined requests dropped because their deadline elapsed while
+    /// queued (answered with [`ErrorCode::Expired`], never executed).
+    shed_expired: AtomicU64,
+    /// Pipelined requests dropped because their class queue was full
+    /// (answered with [`ErrorCode::Busy`]).
+    shed_overflow: AtomicU64,
 }
 
 /// One tenant's admission gate: its weight and live counters.  Gates exist
@@ -446,6 +503,9 @@ struct Obs {
     /// Offset (µs from `epoch`, shifted by one second so the first line
     /// always passes) of the last emitted slow-query line.
     slow_log_last_us: AtomicU64,
+    /// Same clock for `sampled_query` lines — a separate limiter, so
+    /// sampled lines never crowd out slow-query lines or vice versa.
+    sample_log_last_us: AtomicU64,
     epoch: Instant,
 }
 
@@ -456,6 +516,7 @@ impl Obs {
             tenants: RwLock::new(HashMap::new()),
             shard_pass: Hist::new(),
             slow_log_last_us: AtomicU64::new(0),
+            sample_log_last_us: AtomicU64::new(0),
             epoch: Instant::now(),
         }
     }
@@ -483,11 +544,19 @@ impl Obs {
     /// Claims the right to emit one slow-query line; at most one caller
     /// per second wins (lock-free compare-and-swap, losers just skip).
     fn slow_log_permit(&self) -> bool {
-        let now = self.epoch.elapsed().as_micros() as u64 + 1_000_000;
-        let last = self.slow_log_last_us.load(Ordering::Relaxed);
+        Obs::log_permit(&self.slow_log_last_us, &self.epoch)
+    }
+
+    /// The same once-per-second claim for `sampled_query` lines.
+    fn sample_log_permit(&self) -> bool {
+        Obs::log_permit(&self.sample_log_last_us, &self.epoch)
+    }
+
+    fn log_permit(last_us: &AtomicU64, epoch: &Instant) -> bool {
+        let now = epoch.elapsed().as_micros() as u64 + 1_000_000;
+        let last = last_us.load(Ordering::Relaxed);
         now.saturating_sub(last) >= 1_000_000
-            && self
-                .slow_log_last_us
+            && last_us
                 .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
     }
@@ -517,6 +586,11 @@ struct Shared {
     inflight: AtomicUsize,
     metrics: Metrics,
     obs: Obs,
+    /// The QoS scheduler behind pipelined (id-carrying) task frames.
+    scheduler: Scheduler,
+    /// Server-side probabilistic trace sampler
+    /// ([`ServerConfig::trace_sample_rate`]).
+    sampler: Sampler,
 }
 
 /// A decoded value in the worker block cache — automata and rule blocks
@@ -551,6 +625,10 @@ impl Shared {
             block_cache_misses: self.block_cache.misses(),
             block_cache_evictions: self.block_cache.evictions(),
             block_cache_bytes: self.block_cache.resident_bytes(),
+            queue_depth_cheap: self.scheduler.depth(TaskClass::Cheap),
+            queue_depth_expensive: self.scheduler.depth(TaskClass::Expensive),
+            shed_expired: self.metrics.shed_expired.load(Ordering::Relaxed),
+            shed_overflow: self.metrics.shed_overflow.load(Ordering::Relaxed),
         }
     }
 
@@ -708,6 +786,274 @@ impl Drop for Permit {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pipelined connections and the QoS scheduler
+// ---------------------------------------------------------------------------
+
+/// Per-connection state shared between the reader thread and the
+/// dispatcher pool: the write half (whole frames serialize on the mutex)
+/// and the pipeline window.
+struct Conn {
+    writer: Mutex<TcpStream>,
+    /// Id-carrying tasks currently queued or executing for this
+    /// connection.  The reader blocks acquiring a slot past the window
+    /// (TCP backpressure) and waits for zero before closing.
+    window: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl Conn {
+    fn new(writer: TcpStream) -> Conn {
+        Conn {
+            writer: Mutex::new(writer),
+            window: Mutex::new(0),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Writes one response frame tagged with `id` (`0` = lock-step, no
+    /// tag).  Whole-frame atomicity is the writer lock's contract: pages
+    /// of a streamed enumeration interleave with other responses on the
+    /// same socket, but never inside a frame.
+    fn send(&self, id: u64, response: &Response) -> io::Result<()> {
+        let mut writer = self.writer.lock().expect("connection writer poisoned");
+        let mut frame = response.encode_framed(id);
+        frame.push(b'\n');
+        writer.write_all(&frame)?;
+        writer.flush()
+    }
+
+    /// Claims one pipeline-window slot, blocking while the window is full
+    /// (re-checking the shutdown flag every poll tick).  `false` means a
+    /// drain began while waiting and the request should be refused.
+    fn acquire_slot(&self, shared: &Shared) -> bool {
+        let cap = shared.config.pipeline_window.max(1);
+        let mut window = self.window.lock().expect("pipeline window poisoned");
+        while *window >= cap {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return false;
+            }
+            window = self
+                .cond
+                .wait_timeout(window, shared.config.poll_interval)
+                .expect("pipeline window poisoned")
+                .0;
+        }
+        *window += 1;
+        true
+    }
+
+    fn release_slot(&self) {
+        let mut window = self.window.lock().expect("pipeline window poisoned");
+        *window -= 1;
+        drop(window);
+        self.cond.notify_all();
+    }
+
+    /// Blocks until every scheduled task of this connection has completed
+    /// (each holds a window slot until its response is written or shed) —
+    /// the graceful-drain guarantee for pipelined work.
+    fn drain(&self) {
+        let mut window = self.window.lock().expect("pipeline window poisoned");
+        while *window > 0 {
+            window = self
+                .cond
+                .wait_timeout(window, Duration::from_millis(25))
+                .expect("pipeline window poisoned")
+                .0;
+        }
+    }
+}
+
+/// One id-carrying task parked in the scheduler.
+struct QueuedTask {
+    conn: Arc<Conn>,
+    id: u64,
+    /// Execution budget in µs from `received`; `0` = no deadline.
+    deadline_us: u64,
+    /// The task's true cost class (also the depth-gauge slot, even when
+    /// FIFO mode collapses the queue keys).
+    class: TaskClass,
+    tenant: u32,
+    trace_id: u64,
+    query: u64,
+    doc: u64,
+    task: crate::proto::WireTask,
+    received: Instant,
+}
+
+/// Stride-scheduling pass increment numerator: a queue of weight `w`
+/// advances its pass by `SCALE / w` per dispatch, so relative dispatch
+/// rates converge to the weight ratio.
+const STRIDE_SCALE: u64 = 1 << 20;
+
+/// One (cost class, tenant) queue of the weighted-fair scheduler.
+struct ClassQueue {
+    queue: VecDeque<QueuedTask>,
+    /// Stride pass: the virtual time of this queue's next dispatch.
+    pass: u64,
+    weight: u64,
+}
+
+struct SchedState {
+    /// Queue key → queue.  In FIFO mode everything collapses into one key
+    /// and WFQ degenerates to global arrival order.
+    classes: HashMap<(TaskClass, u32), ClassQueue>,
+    /// Virtual time of the last dispatch; newly-backlogged queues start
+    /// here so an idle queue cannot bank credit.
+    global_pass: u64,
+    stopped: bool,
+}
+
+/// The QoS scheduler: bounded per-(class, tenant) queues drained by the
+/// dispatcher pool in stride-scheduled weighted-fair order.
+struct Scheduler {
+    state: Mutex<SchedState>,
+    cond: Condvar,
+    /// Live queue depth per [`TaskClass::index`] (by the task's true
+    /// class even in FIFO mode, so the gauges stay meaningful).
+    depths: [AtomicU64; TaskClass::ALL.len()],
+}
+
+/// What [`Scheduler::enqueue`] did with an arriving task.
+enum Enqueue {
+    /// Parked; a dispatcher will pick it up.
+    Queued,
+    /// The class queue is full: the task is handed back to be shed with
+    /// [`ErrorCode::Busy`].
+    Overflow(QueuedTask),
+}
+
+impl Scheduler {
+    fn new() -> Scheduler {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                classes: HashMap::new(),
+                global_pass: 0,
+                stopped: false,
+            }),
+            cond: Condvar::new(),
+            depths: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Parks `task` in its (class, tenant) queue with the given WFQ
+    /// weight, unless the queue is at its bound.
+    fn enqueue(&self, task: QueuedTask, weight: u64, config: &ServerConfig) -> Enqueue {
+        let class = task.class;
+        let key = if config.fifo_scheduler {
+            (TaskClass::Cheap, 0)
+        } else {
+            (class, task.tenant)
+        };
+        let weight = if config.fifo_scheduler {
+            1
+        } else {
+            weight.max(1)
+        };
+        let mut state = self.state.lock().expect("scheduler poisoned");
+        let global_pass = state.global_pass;
+        let entry = state.classes.entry(key).or_insert_with(|| ClassQueue {
+            queue: VecDeque::new(),
+            pass: global_pass,
+            weight,
+        });
+        if entry.queue.len() >= config.class_queue_depth.max(1) {
+            return Enqueue::Overflow(task);
+        }
+        if entry.queue.is_empty() {
+            // A queue going from idle to backlogged joins at the current
+            // virtual time (it keeps any pass ahead of it, never behind).
+            entry.pass = entry.pass.max(global_pass);
+        }
+        entry.weight = weight;
+        self.depths[class.index()].fetch_add(1, Ordering::Relaxed);
+        entry.queue.push_back(task);
+        drop(state);
+        self.cond.notify_one();
+        Enqueue::Queued
+    }
+
+    /// The next task in weighted-fair order; blocks until one arrives or
+    /// the scheduler is stopped (then drains the backlog before `None`).
+    fn next(&self, poll: Duration) -> Option<QueuedTask> {
+        let mut state = self.state.lock().expect("scheduler poisoned");
+        loop {
+            let min = state
+                .classes
+                .iter()
+                .filter(|(_, c)| !c.queue.is_empty())
+                .min_by_key(|(_, c)| c.pass)
+                .map(|(&key, _)| key);
+            if let Some(key) = min {
+                let entry = state.classes.get_mut(&key).expect("picked key exists");
+                let task = entry.queue.pop_front().expect("picked queue non-empty");
+                let pass = entry.pass;
+                entry.pass += STRIDE_SCALE / entry.weight;
+                state.global_pass = pass;
+                self.depths[task.class.index()].fetch_sub(1, Ordering::Relaxed);
+                return Some(task);
+            }
+            if state.stopped {
+                return None;
+            }
+            state = self
+                .cond
+                .wait_timeout(state, poll)
+                .expect("scheduler poisoned")
+                .0;
+        }
+    }
+
+    fn stop(&self) {
+        self.state.lock().expect("scheduler poisoned").stopped = true;
+        self.cond.notify_all();
+    }
+
+    fn depth(&self, class: TaskClass) -> u64 {
+        self.depths[class.index()].load(Ordering::Relaxed)
+    }
+}
+
+/// One dispatcher thread: pulls tasks in weighted-fair order, sheds the
+/// already-late ones, executes the rest, and always releases the task's
+/// pipeline-window slot.  Write errors end only the affected connection
+/// (its reader will observe EOF); the dispatcher itself never dies.
+fn scheduler_loop(shared: Arc<Shared>) {
+    while let Some(task) = shared.scheduler.next(shared.config.poll_interval) {
+        let waited_us = task.received.elapsed().as_micros() as u64;
+        if task.deadline_us > 0 && waited_us > task.deadline_us {
+            shared.metrics.shed_expired.fetch_add(1, Ordering::Relaxed);
+            let _ = task.conn.send(
+                task.id,
+                &Response::Error {
+                    code: ErrorCode::Expired,
+                    detail: format!(
+                        "deadline budget of {} µs elapsed after {} µs in queue",
+                        task.deadline_us, waited_us
+                    ),
+                },
+            );
+            task.conn.release_slot();
+            continue;
+        }
+        let conn = task.conn.clone();
+        let _ = run_task(
+            &shared,
+            &conn,
+            task.id,
+            task.tenant,
+            task.trace_id,
+            task.query,
+            task.doc,
+            task.task,
+            task.received,
+            Some(waited_us),
+        );
+        conn.release_slot();
+    }
+}
+
 /// A running server: owns the listener thread and the shared state.  Bind
 /// with [`Server::bind`], stop with the wire `shutdown` verb or
 /// [`Server::request_shutdown`], then [`Server::join`] for the drain.
@@ -716,6 +1062,7 @@ pub struct Server {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     reshard: Option<JoinHandle<()>>,
+    dispatchers: Vec<JoinHandle<()>>,
     recovery: Option<RecoveryReport>,
 }
 
@@ -803,7 +1150,15 @@ impl Server {
             inflight: AtomicUsize::new(0),
             metrics: Metrics::default(),
             obs: Obs::new(),
+            scheduler: Scheduler::new(),
+            sampler: Sampler::new(config.trace_sample_rate),
         });
+        let dispatchers = (0..config.scheduler_workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || scheduler_loop(shared))
+            })
+            .collect();
         let accept = {
             let shared = shared.clone();
             std::thread::spawn(move || accept_loop(listener, shared))
@@ -817,6 +1172,7 @@ impl Server {
             addr,
             accept: Some(accept),
             reshard,
+            dispatchers,
             recovery,
         })
     }
@@ -857,6 +1213,12 @@ impl Server {
         if let Some(accept) = self.accept.take() {
             accept.join().expect("accept loop panicked");
         }
+        // Every connection has drained (each waits for its pipeline window
+        // to empty), so the scheduler backlog is empty: stop the pool.
+        self.shared.scheduler.stop();
+        for dispatcher in std::mem::take(&mut self.dispatchers) {
+            dispatcher.join().expect("scheduler dispatcher panicked");
+        }
         if let Some(reshard) = self.reshard.take() {
             reshard.join().expect("reshard policy panicked");
         }
@@ -876,6 +1238,10 @@ impl Drop for Server {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        self.shared.scheduler.stop();
+        for dispatcher in std::mem::take(&mut self.dispatchers) {
+            let _ = dispatcher.join();
         }
         if let Some(reshard) = self.reshard.take() {
             let _ = reshard.join();
@@ -1216,30 +1582,24 @@ impl FrameReader {
     }
 }
 
-fn write_frame(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
-    let mut frame = response.encode();
-    frame.push(b'\n');
-    stream.write_all(&frame)?;
-    stream.flush()
-}
-
 fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(shared.config.poll_interval))?;
     stream.set_write_timeout(Some(shared.config.write_timeout))?;
-    let mut writer = stream.try_clone()?;
+    let conn = Arc::new(Conn::new(stream.try_clone()?));
     let mut reader = FrameReader::new(stream);
-    loop {
-        match reader.next_frame(&shared)? {
-            Frame::Eof | Frame::Drain => return Ok(()),
-            Frame::Oversized => {
+    let result = loop {
+        match reader.next_frame(&shared) {
+            Err(e) => break Err(e),
+            Ok(Frame::Eof) | Ok(Frame::Drain) => break Ok(()),
+            Ok(Frame::Oversized) => {
                 shared.metrics.frames.fetch_add(1, Ordering::Relaxed);
                 shared
                     .metrics
                     .oversized_frames
                     .fetch_add(1, Ordering::Relaxed);
-                write_frame(
-                    &mut writer,
+                let write = conn.send(
+                    0,
                     &Response::Error {
                         code: ErrorCode::Oversized,
                         detail: format!(
@@ -1247,40 +1607,54 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                             shared.config.max_frame_len
                         ),
                     },
-                )?;
+                );
+                if let Err(e) = write {
+                    break Err(e);
+                }
             }
-            Frame::Line(line) => {
+            Ok(Frame::Line(line)) => {
                 shared.metrics.frames.fetch_add(1, Ordering::Relaxed);
                 // Frame receipt is the trace epoch: decode, admission and
                 // id resolution all show up inside the request's tree.
                 let received = Instant::now();
-                let stop = handle_frame(&line, &shared, &mut writer, received)?;
-                if stop {
-                    return Ok(());
+                match handle_frame(&line, &shared, &conn, received) {
+                    Err(e) => break Err(e),
+                    Ok(true) => break Ok(()),
+                    Ok(false) => {}
                 }
             }
         }
-    }
+    };
+    // Pipelined tasks still queued or executing hold window slots; wait
+    // them out so every accepted request gets its response written before
+    // the connection worker exits (the drain guarantee).
+    conn.drain();
+    result
 }
 
 /// Parses and dispatches one frame; `Ok(true)` ends the connection (the
 /// frame was a `shutdown`).  `received` is the instant the frame was read
 /// — the epoch of the request's trace, when it is sampled.
+///
+/// Frames without a request id run lock-step on the reader thread (the v2
+/// behaviour, byte for byte); id-carrying task frames are handed to the
+/// QoS scheduler and complete out of order, everything else id-carrying
+/// runs inline but answers framed.
 fn handle_frame(
     line: &[u8],
     shared: &Arc<Shared>,
-    writer: &mut TcpStream,
+    conn: &Arc<Conn>,
     received: Instant,
 ) -> io::Result<bool> {
-    let request = match Request::decode(line) {
-        Ok(request) => request,
+    let (request, meta) = match Request::decode_framed(line) {
+        Ok(decoded) => decoded,
         Err(ProtoError::Version(v)) => {
             shared
                 .metrics
                 .malformed_frames
                 .fetch_add(1, Ordering::Relaxed);
-            write_frame(
-                writer,
+            conn.send(
+                0,
                 &Response::Error {
                     code: ErrorCode::Version,
                     detail: format!("client speaks v{v}, this server speaks v{PROTOCOL_VERSION}"),
@@ -1293,8 +1667,8 @@ fn handle_frame(
                 .metrics
                 .malformed_frames
                 .fetch_add(1, Ordering::Relaxed);
-            write_frame(
-                writer,
+            conn.send(
+                0,
                 &Response::Error {
                     code: ErrorCode::Malformed,
                     detail,
@@ -1306,26 +1680,27 @@ fn handle_frame(
 
     match request {
         // Observability is always admitted.
-        Request::Ping => write_frame(
-            writer,
-            &Response::Pong {
-                proto: PROTOCOL_VERSION,
-            },
-        )
-        .map(|()| false),
-        Request::Stats => write_frame(writer, &shared.stats_response()).map(|()| false),
+        Request::Ping => conn
+            .send(
+                meta.id,
+                &Response::Pong {
+                    proto: PROTOCOL_VERSION,
+                },
+            )
+            .map(|()| false),
+        Request::Stats => conn.send(meta.id, &shared.stats_response()).map(|()| false),
         // Shutdown is always admitted: an overloaded server must drain.
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
-            write_frame(writer, &Response::ShuttingDown)?;
+            conn.send(meta.id, &Response::ShuttingDown)?;
             Ok(true)
         }
         // Everything else is work: refuse during a drain, check the role,
-        // then win a slot.
+        // then win a slot (lock-step) or a queue seat (pipelined).
         work => {
             if shared.shutdown.load(Ordering::SeqCst) {
-                write_frame(
-                    writer,
+                conn.send(
+                    meta.id,
                     &Response::Error {
                         code: ErrorCode::ShuttingDown,
                         detail: "the server is draining".into(),
@@ -1337,8 +1712,8 @@ fn handle_frame(
             // no corpus, so registrations and tasks are refused with a
             // structured error (the connection stays usable).
             if shared.config.worker && !matches!(work, Request::ShardBuild { .. }) {
-                write_frame(
-                    writer,
+                conn.send(
+                    meta.id,
                     &Response::Error {
                         code: ErrorCode::Unsupported,
                         detail: "this is a --worker process; it serves shard_build, ping, \
@@ -1357,9 +1732,27 @@ fn handle_frame(
                 | Request::Task { tenant, .. } => *tenant,
                 _ => 0,
             };
+            // Pipelined tasks go through the QoS scheduler, not the
+            // blanket inflight gate: their backlog is bounded by the class
+            // queues and the pipeline window instead.
+            if meta.id != 0 {
+                if let Request::Task {
+                    tenant,
+                    trace,
+                    query,
+                    doc,
+                    task,
+                } = work
+                {
+                    return schedule_task(
+                        shared, conn, meta, tenant, trace, query, doc, task, received,
+                    )
+                    .map(|()| false);
+                }
+            }
             let Some(_permit) = shared.admit(tenant) else {
-                write_frame(
-                    writer,
+                conn.send(
+                    meta.id,
                     &Response::Error {
                         code: ErrorCode::Busy,
                         detail: format!(
@@ -1394,12 +1787,82 @@ fn handle_frame(
                     doc,
                     task,
                 } => {
-                    return run_task(shared, writer, tenant, trace, query, doc, task, received)
-                        .map(|()| false)
+                    return run_task(
+                        shared, conn, meta.id, tenant, trace, query, doc, task, received, None,
+                    )
+                    .map(|()| false)
                 }
                 Request::Ping | Request::Stats | Request::Shutdown => unreachable!("handled above"),
             };
-            write_frame(writer, &response).map(|()| false)
+            conn.send(meta.id, &response).map(|()| false)
+        }
+    }
+}
+
+/// Parks one pipelined task in the QoS scheduler: claims a pipeline-window
+/// slot (blocking the reader — TCP backpressure — when the window is
+/// full), then enqueues under the task's (cost class, tenant) key with
+/// weight `tenant admission weight × class weight`.  Arrivals beyond the
+/// class queue bound are shed immediately with [`ErrorCode::Busy`].
+#[allow(clippy::too_many_arguments)]
+fn schedule_task(
+    shared: &Arc<Shared>,
+    conn: &Arc<Conn>,
+    meta: FrameMeta,
+    tenant: u32,
+    trace_id: u64,
+    query: u64,
+    doc: u64,
+    task: crate::proto::WireTask,
+    received: Instant,
+) -> io::Result<()> {
+    if !conn.acquire_slot(shared) {
+        return conn.send(
+            meta.id,
+            &Response::Error {
+                code: ErrorCode::ShuttingDown,
+                detail: "the server is draining".into(),
+            },
+        );
+    }
+    let class = task.to_task().class();
+    let tenant_weight = shared
+        .admission
+        .gate(tenant)
+        .map_or(1, |gate| gate.weight.load(Ordering::Relaxed));
+    let queued = QueuedTask {
+        conn: conn.clone(),
+        id: meta.id,
+        deadline_us: meta.deadline_us,
+        class,
+        tenant,
+        trace_id,
+        query,
+        doc,
+        task,
+        received,
+    };
+    match shared.scheduler.enqueue(
+        queued,
+        tenant_weight.max(1) * class.weight(),
+        &shared.config,
+    ) {
+        Enqueue::Queued => Ok(()),
+        Enqueue::Overflow(task) => {
+            shared.metrics.shed_overflow.fetch_add(1, Ordering::Relaxed);
+            conn.release_slot();
+            conn.send(
+                task.id,
+                &Response::Error {
+                    code: ErrorCode::Busy,
+                    detail: format!(
+                        "the {}/tenant-{} queue is at its {}-deep bound",
+                        class.name(),
+                        tenant,
+                        shared.config.class_queue_depth.max(1)
+                    ),
+                },
+            )
         }
     }
 }
@@ -1734,24 +2197,25 @@ fn eval_error_code(e: &spanner_slp_core::EvalError) -> ErrorCode {
 }
 
 /// Closes a request's trace: feeds the slow-query log (rate-limited to
-/// one line per second) and returns the span tree when the client asked
-/// for it (`trace_id != 0`).  Slow-log-only sampling records spans but
-/// never ships them back.
+/// one line per second), emits a rate-limited `sampled_query` line for
+/// server-sampled requests that were not slow, and returns the span tree
+/// when the client asked for it (`trace_id != 0`).  Server-side sampling
+/// (probabilistic or slow-log) records spans but never ships them back.
 fn finish_trace(
     shared: &Shared,
     tracer: Option<Tracer>,
     trace_id: u64,
+    sampled_id: u64,
     tenant: u32,
     kind: &'static str,
     total_us: u64,
 ) -> Option<Vec<SpanRec>> {
     let spans = tracer?.finish();
-    let slow_us = shared.config.slow_log_ms.saturating_mul(1000);
-    if slow_us > 0 && total_us >= slow_us && shared.obs.slow_log_permit() {
+    let log_line = |key: &str, id: u64| {
         let line = Json::Obj(vec![(
-            "slow_query".to_string(),
+            key.to_string(),
             Json::Obj(vec![
-                ("trace_id".to_string(), Json::num(trace_id)),
+                ("trace_id".to_string(), Json::num(id)),
                 ("tenant".to_string(), Json::num(tenant)),
                 ("kind".to_string(), Json::str(kind)),
                 ("us".to_string(), Json::num(total_us)),
@@ -1759,20 +2223,37 @@ fn finish_trace(
             ]),
         )]);
         eprintln!("{}", String::from_utf8_lossy(&line.to_bytes()));
+    };
+    let slow_us = shared.config.slow_log_ms.saturating_mul(1000);
+    if slow_us > 0 && total_us >= slow_us && shared.obs.slow_log_permit() {
+        // Slow-log-worthy requests are always kept, whatever the sampler
+        // decided — the "always keep" half of the sampling policy.
+        log_line(
+            "slow_query",
+            if trace_id != 0 { trace_id } else { sampled_id },
+        );
+    } else if sampled_id != 0 && shared.obs.sample_log_permit() {
+        log_line("sampled_query", sampled_id);
     }
     (trace_id != 0).then_some(spans)
 }
 
+/// Executes one task and writes its response(s) tagged with `id` (`0` for
+/// the lock-step path).  `queue_wait_us` is the scheduler wait of a
+/// pipelined task (recorded as a `queue_wait` span on sampled traces);
+/// lock-step tasks pass `None` and record the v2-era `admit` span.
 #[allow(clippy::too_many_arguments)]
 fn run_task(
     shared: &Arc<Shared>,
-    writer: &mut TcpStream,
+    conn: &Conn,
+    id: u64,
     tenant: u32,
     trace_id: u64,
     query: u64,
     doc: u64,
     task: crate::proto::WireTask,
     received: Instant,
+    queue_wait_us: Option<u64>,
 ) -> io::Result<()> {
     let query_id = shared
         .queries
@@ -1789,8 +2270,8 @@ fn run_task(
         .get(&tenant)
         .and_then(|namespace| namespace.get(doc as usize).copied().flatten());
     let (Some(query_id), Some(doc_id)) = (query_id, doc_id) else {
-        return write_frame(
-            writer,
+        return conn.send(
+            id,
             &Response::Error {
                 code: ErrorCode::UnknownId,
                 detail: format!("unknown query {query} or document {doc}"),
@@ -1804,26 +2285,48 @@ fn run_task(
     };
     let kind = request.task.kind_index();
     let kind_name = request.task.kind_name();
-    // Sampled when the client sent a trace id, or server-side when the
-    // slow-query log is armed (the tree must exist by the time a request
-    // turns out slow).  Unsampled requests build no tracer at all.
-    let tracer = (trace_id != 0 || shared.config.slow_log_ms > 0).then(|| {
+    // Server-side probabilistic sampling arms tracing for requests whose
+    // client did not opt in (a fresh non-zero id, never shipped back).
+    let sampled_id = if trace_id == 0 {
+        shared.sampler.sample().unwrap_or(0)
+    } else {
+        0
+    };
+    // Sampled when the client sent a trace id, when the sampler picked the
+    // request, or server-side when the slow-query log is armed (the tree
+    // must exist by the time a request turns out slow).  Unsampled
+    // requests build no tracer at all.
+    let tracer = (trace_id != 0 || sampled_id != 0 || shared.config.slow_log_ms > 0).then(|| {
         let tracer = Tracer::with_epoch(
             TraceContext {
-                trace_id,
+                trace_id: if trace_id != 0 { trace_id } else { sampled_id },
                 sampled: true,
             },
             received,
         );
-        // Everything between frame receipt and here: decode, the
-        // admission gate, id resolution.
-        tracer.record(
-            "admit",
-            0,
-            tracer.now_us(),
-            None,
-            &[("tenant", tenant.to_string())],
-        );
+        match queue_wait_us {
+            // A pipelined task: the dominant pre-execution cost is its
+            // scheduler queue wait.
+            Some(waited) => tracer.record(
+                "queue_wait",
+                0,
+                waited,
+                None,
+                &[
+                    ("tenant", tenant.to_string()),
+                    ("class", request.task.class().name().to_string()),
+                ],
+            ),
+            // Lock-step: everything between frame receipt and here —
+            // decode, the admission gate, id resolution.
+            None => tracer.record(
+                "admit",
+                0,
+                tracer.now_us(),
+                None,
+                &[("tenant", tenant.to_string())],
+            ),
+        };
         tracer
     });
 
@@ -1836,7 +2339,7 @@ fn run_task(
         let result = shared.service.run_paged_traced(
             &request,
             shared.config.page_size,
-            &mut |tuples| match write_frame(writer, &Response::Page { tuples }) {
+            &mut |tuples| match conn.send(id, &Response::Page { tuples }) {
                 Ok(()) => {
                     shared
                         .metrics
@@ -1858,9 +2361,11 @@ fn run_task(
         shared.obs.observe(kind, tenant, total_us);
         return match result {
             Ok(response) => {
-                let trace = finish_trace(shared, tracer, trace_id, tenant, kind_name, total_us);
-                write_frame(
-                    writer,
+                let trace = finish_trace(
+                    shared, tracer, trace_id, sampled_id, tenant, kind_name, total_us,
+                );
+                conn.send(
+                    id,
                     &Response::StreamEnd {
                         streamed: response.stats.results,
                         stats: (&response.stats).into(),
@@ -1868,8 +2373,8 @@ fn run_task(
                     },
                 )
             }
-            Err(e) => write_frame(
-                writer,
+            Err(e) => conn.send(
+                id,
                 &Response::Error {
                     code: eval_error_code(&e),
                     detail: e.to_string(),
@@ -1883,7 +2388,9 @@ fn run_task(
     shared.obs.observe(kind, tenant, total_us);
     let response = match result {
         Ok(response) => {
-            let trace = finish_trace(shared, tracer, trace_id, tenant, kind_name, total_us);
+            let trace = finish_trace(
+                shared, tracer, trace_id, sampled_id, tenant, kind_name, total_us,
+            );
             let stats: WireStats = (&response.stats).into();
             match response.outcome {
                 spanner_slp_core::service::TaskOutcome::NonEmpty(value) => Response::NonEmpty {
@@ -1913,7 +2420,7 @@ fn run_task(
             detail: e.to_string(),
         },
     };
-    write_frame(writer, &response)
+    conn.send(id, &response)
 }
 
 #[cfg(test)]

@@ -110,6 +110,23 @@ impl Mix {
         ])
     }
 
+    /// The mixed-priority QoS mix (E17): mostly latency-sensitive model
+    /// checks with a steady minority of large enumeration scans — the
+    /// regime in which a FIFO pipeline lets one scan head-of-line-block a
+    /// crowd of point lookups, and weighted-fair scheduling should not.
+    pub fn mixed_priority() -> Mix {
+        Mix::new([
+            (OpKind::ModelCheck, 70),
+            (
+                OpKind::Enumerate {
+                    skip: 0,
+                    limit: None,
+                },
+                30,
+            ),
+        ])
+    }
+
     /// The kinds with positive weight.
     pub fn kinds(&self) -> impl Iterator<Item = OpKind> + '_ {
         self.entries.iter().map(|(kind, _)| *kind)

@@ -1,0 +1,353 @@
+//! Integration tests of protocol v3 pipelining and the QoS scheduler:
+//! out-of-order completion, page interleaving on one socket, deadline
+//! shedding, class-queue overflow, and v2 client compatibility.
+
+use spanner_server::{
+    Client, ErrorCode, PipelinedClient, Response, Server, ServerConfig, WireTask,
+};
+use spanner_slp_core::Service;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Boots a loopback server over a fresh service.
+fn boot(config: ServerConfig) -> Server {
+    Server::bind("127.0.0.1:0", Service::new(), config).expect("bind loopback")
+}
+
+/// Registers one query and one document whose enumeration yields `pairs`
+/// tuples — the knob the tests below use to make scans slow relative to
+/// point lookups.
+fn register(client: &mut Client, pairs: usize) -> (u64, u64) {
+    let query = client.add_query(".*x{ab}.*", b"ab").expect("add_query");
+    let doc = client.add_doc(&b"ab".repeat(pairs)).expect("add_doc").id;
+    (query, doc)
+}
+
+#[test]
+fn cheap_tasks_complete_ahead_of_queued_scans() {
+    // One dispatcher, small pages: the first enumerate occupies the worker
+    // while the rest queue.  A model check submitted *last* lands in the
+    // cheap class queue and the weighted-fair scheduler runs it ahead of
+    // the queued scans — its reply arrives out of submission order.
+    let server = boot(ServerConfig {
+        scheduler_workers: 1,
+        page_size: 1,
+        ..ServerConfig::default()
+    });
+    let mut admin = Client::connect(server.local_addr()).unwrap();
+    let (query, doc) = register(&mut admin, 400);
+    let (tuples, _) = admin.compute(query, doc, Some(1)).unwrap();
+    let witness = tuples[0].clone();
+
+    let mut pipe = PipelinedClient::connect(server.local_addr()).unwrap();
+    let scans: Vec<u64> = (0..6)
+        .map(|_| {
+            pipe.submit(
+                query,
+                doc,
+                WireTask::Enumerate {
+                    skip: 0,
+                    limit: None,
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    let check = pipe
+        .submit(query, doc, WireTask::ModelCheck(witness))
+        .unwrap();
+
+    let replies = pipe.drain().unwrap();
+    assert_eq!(replies.len(), 7);
+    for reply in &replies {
+        assert!(!reply.is_error(), "unexpected error: {:?}", reply.response);
+        if scans.contains(&reply.id) {
+            assert_eq!(reply.pages.len(), 400, "scan {} lost pages", reply.id);
+        }
+    }
+    let position = |id: u64| replies.iter().position(|r| r.id == id).unwrap();
+    // The check was submitted seventh but must not complete seventh: at
+    // least one earlier-submitted scan is still queued behind it.
+    assert!(
+        position(check) < position(*scans.last().unwrap()),
+        "model check completed after every scan — no out-of-order completion"
+    );
+
+    admin.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn pages_interleave_with_point_lookups_on_one_socket() {
+    // Raw socket so the arrival order of frames is observable: a streaming
+    // enumerate's pages and concurrent model-check replies must share the
+    // connection, not serialise behind each other.
+    let server = boot(ServerConfig {
+        scheduler_workers: 2,
+        page_size: 1,
+        ..ServerConfig::default()
+    });
+    let mut admin = Client::connect(server.local_addr()).unwrap();
+    let (query, doc) = register(&mut admin, 300);
+    let (tuples, _) = admin.compute(query, doc, Some(1)).unwrap();
+    let witness = tuples[0].clone();
+
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut submit = |id: u64, task: WireTask| {
+        let mut frame = spanner_server::Request::Task {
+            tenant: 0,
+            trace: 0,
+            query,
+            doc,
+            task,
+        }
+        .encode_with(spanner_server::FrameMeta { id, deadline_us: 0 });
+        frame.push(b'\n');
+        writer.write_all(&frame).unwrap();
+        writer.flush().unwrap();
+    };
+    let read_frame = |reader: &mut BufReader<TcpStream>| -> (u64, Response) {
+        let mut line = Vec::new();
+        reader.read_until(b'\n', &mut line).unwrap();
+        assert_eq!(line.pop(), Some(b'\n'));
+        Response::decode_framed(&line).unwrap()
+    };
+
+    const SCAN: u64 = 1;
+    submit(
+        SCAN,
+        WireTask::Enumerate {
+            skip: 0,
+            limit: None,
+        },
+    );
+    // Keep feeding point lookups until the scan's terminal frame arrives,
+    // recording the arrival order of every frame.
+    let mut arrivals: Vec<(u64, bool)> = Vec::new();
+    let mut next_check = SCAN + 1;
+    let mut outstanding_checks = 0usize;
+    loop {
+        submit(next_check, WireTask::ModelCheck(witness.clone()));
+        next_check += 1;
+        outstanding_checks += 1;
+        let (id, response) = read_frame(&mut reader);
+        let page = matches!(response, Response::Page { .. });
+        if id != SCAN {
+            outstanding_checks -= 1;
+        }
+        arrivals.push((id, page));
+        if id == SCAN && !page {
+            assert!(matches!(response, Response::StreamEnd { .. }));
+            break;
+        }
+    }
+    for _ in 0..outstanding_checks {
+        let (id, response) = read_frame(&mut reader);
+        assert_ne!(id, SCAN);
+        assert!(matches!(response, Response::Checked { .. }));
+    }
+
+    let first_page = arrivals.iter().position(|&(id, page)| id == SCAN && page);
+    let interleaved =
+        first_page.is_some_and(|start| arrivals[start..].iter().any(|&(id, _)| id != SCAN));
+    assert!(
+        interleaved,
+        "no model-check reply arrived between the scan's pages: {arrivals:?}"
+    );
+
+    admin.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn late_queued_work_is_shed_as_expired_not_busy() {
+    let server = boot(ServerConfig {
+        scheduler_workers: 1,
+        page_size: 1,
+        ..ServerConfig::default()
+    });
+    let mut admin = Client::connect(server.local_addr()).unwrap();
+    let (query, doc) = register(&mut admin, 800);
+
+    let mut pipe = PipelinedClient::connect(server.local_addr()).unwrap();
+    // The scan occupies the only dispatcher; the deadlined count waits in
+    // queue far past its microsecond budget and must be shed as expired —
+    // the structured signal for "too late", distinct from busy.
+    let scan = pipe
+        .submit(
+            query,
+            doc,
+            WireTask::Enumerate {
+                skip: 0,
+                limit: None,
+            },
+        )
+        .unwrap();
+    let doomed = pipe
+        .submit_with_deadline(query, doc, WireTask::Count, Duration::from_micros(1))
+        .unwrap();
+    // A generous budget survives the same queue wait.
+    let patient = pipe
+        .submit_with_deadline(query, doc, WireTask::Count, Duration::from_secs(30))
+        .unwrap();
+
+    for reply in pipe.drain().unwrap() {
+        if reply.id == scan {
+            assert!(matches!(reply.response, Response::StreamEnd { .. }));
+        } else if reply.id == doomed {
+            match &reply.response {
+                Response::Error { code, detail } => {
+                    assert_eq!(*code, ErrorCode::Expired, "wrong code: {detail}");
+                }
+                other => panic!("doomed count was not shed: {other:?}"),
+            }
+        } else {
+            assert_eq!(reply.id, patient);
+            assert!(
+                matches!(reply.response, Response::Counted { .. }),
+                "patient count shed: {:?}",
+                reply.response
+            );
+        }
+    }
+
+    let stats = admin.stats_full().unwrap();
+    assert!(stats.server.shed_expired >= 1, "shed_expired not counted");
+    assert_eq!(stats.server.shed_overflow, 0);
+    admin.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn class_queue_overflow_sheds_busy_without_penalising_other_classes() {
+    let server = boot(ServerConfig {
+        scheduler_workers: 1,
+        page_size: 1,
+        class_queue_depth: 2,
+        ..ServerConfig::default()
+    });
+    let mut admin = Client::connect(server.local_addr()).unwrap();
+    let (query, doc) = register(&mut admin, 800);
+
+    let mut pipe = PipelinedClient::connect(server.local_addr()).unwrap();
+    let scan = pipe
+        .submit(
+            query,
+            doc,
+            WireTask::Enumerate {
+                skip: 0,
+                limit: None,
+            },
+        )
+        .unwrap();
+    // With the dispatcher pinned on the scan, the cheap class queue (bound
+    // 2) overflows on the third queued count.
+    let counts: Vec<u64> = (0..8)
+        .map(|_| pipe.submit(query, doc, WireTask::Count).unwrap())
+        .collect();
+
+    let replies = pipe.drain().unwrap();
+    let shed = replies
+        .iter()
+        .filter(|r| {
+            counts.contains(&r.id)
+                && matches!(
+                    r.response,
+                    Response::Error {
+                        code: ErrorCode::Busy,
+                        ..
+                    }
+                )
+        })
+        .count();
+    let served = replies
+        .iter()
+        .filter(|r| counts.contains(&r.id) && matches!(r.response, Response::Counted { .. }))
+        .count();
+    assert_eq!(shed + served, counts.len());
+    assert!(
+        shed >= 1,
+        "queue bound of 2 never overflowed across 8 counts"
+    );
+    assert!(
+        served >= 2,
+        "the bounded queue should still serve its depth"
+    );
+    // The scan itself is untouched by the cheap class overflowing.
+    let scan_reply = replies.iter().find(|r| r.id == scan).unwrap();
+    assert!(matches!(scan_reply.response, Response::StreamEnd { .. }));
+
+    let stats = admin.stats_full().unwrap();
+    assert!(stats.server.shed_overflow >= 1, "shed_overflow not counted");
+    admin.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn v2_clients_interoperate_with_a_v3_server() {
+    // A v2 client sends unframed frames with `"v":2` and expects lock-step
+    // responses with no `rid` key — exactly what the inline path answers.
+    let server = boot(ServerConfig::default());
+    let mut admin = Client::connect(server.local_addr()).unwrap();
+    let (query, doc) = register(&mut admin, 4);
+
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut call = |frame: &[u8]| -> Vec<u8> {
+        writer.write_all(frame).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = Vec::new();
+        reader.read_until(b'\n', &mut line).unwrap();
+        assert_eq!(line.pop(), Some(b'\n'));
+        line
+    };
+
+    let pong = call(b"{\"v\":2,\"op\":\"ping\"}");
+    assert!(
+        !pong.windows(5).any(|w| w == b"\"rid\""),
+        "pong carries rid"
+    );
+    assert!(matches!(
+        Response::decode(&pong).unwrap(),
+        Response::Pong { proto: 3 }
+    ));
+
+    let counted = call(
+        format!("{{\"v\":2,\"op\":\"task\",\"task\":\"count\",\"query\":{query},\"doc\":{doc}}}")
+            .as_bytes(),
+    );
+    assert!(
+        !counted.windows(5).any(|w| w == b"\"rid\""),
+        "lock-step response carries rid"
+    );
+    match Response::decode(&counted).unwrap() {
+        Response::Counted { value, .. } => assert_eq!(value, 4),
+        other => panic!("expected a count, got {other:?}"),
+    }
+
+    admin.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn queue_depth_gauges_are_reported() {
+    // The scheduler's introspection surface: both class gauges exist in
+    // the stats frame (zero on an idle server) — scrape wiring depends on
+    // them.
+    let server = boot(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let stats = client.stats_full().unwrap();
+    assert_eq!(stats.server.queue_depth_cheap, 0);
+    assert_eq!(stats.server.queue_depth_expensive, 0);
+    assert_eq!(stats.server.shed_expired, 0);
+    assert_eq!(stats.server.shed_overflow, 0);
+    client.shutdown().unwrap();
+    server.join();
+}

@@ -214,7 +214,7 @@ fn malformed_frames_draw_errors_and_keep_the_connection() {
     raw.write_all(b"{\"v\":1,\"op\":\"ping\"}\n").unwrap();
     reply.clear();
     reader.read_line(&mut reply).unwrap();
-    assert!(reply.contains("\"proto\":2"), "{reply:?}");
+    assert!(reply.contains("\"proto\":3"), "{reply:?}");
     server.shutdown_and_join();
 }
 
@@ -239,7 +239,7 @@ fn oversized_frames_are_discarded_not_buffered() {
     raw.write_all(b"{\"v\":1,\"op\":\"ping\"}\n").unwrap();
     reply.clear();
     reader.read_line(&mut reply).unwrap();
-    assert!(reply.contains("\"proto\":2"), "{reply:?}");
+    assert!(reply.contains("\"proto\":3"), "{reply:?}");
 
     // An over-cap line whose newline arrives in the SAME write (and so,
     // very likely, the same server-side read chunk) must be rejected too —
@@ -253,7 +253,7 @@ fn oversized_frames_are_discarded_not_buffered() {
     raw.write_all(b"{\"v\":1,\"op\":\"ping\"}\n").unwrap();
     reply.clear();
     reader.read_line(&mut reply).unwrap();
-    assert!(reply.contains("\"proto\":2"), "{reply:?}");
+    assert!(reply.contains("\"proto\":3"), "{reply:?}");
     server.shutdown_and_join();
 }
 
@@ -314,7 +314,7 @@ fn overload_backpressure_is_structured_busy_not_a_drop() {
     assert!(err.is_busy());
 
     // The connection survives; observability stays admitted.
-    assert_eq!(client.ping().unwrap(), 2);
+    assert_eq!(client.ping().unwrap(), 3);
     let (_, server_stats) = client.stats().unwrap();
     assert_eq!(server_stats.busy_rejections, 1);
     server.shutdown_and_join();
@@ -470,7 +470,7 @@ fn worker_mode_refuses_corpus_verbs_but_stays_observable() {
     });
     let mut client = Client::connect(server.local_addr()).unwrap();
     // Observability is untouched.
-    assert_eq!(client.ping().unwrap(), 2);
+    assert_eq!(client.ping().unwrap(), 3);
     client.stats().unwrap();
     // Registrations and tasks draw the structured `unsupported` error and
     // the connection survives each refusal.
@@ -489,7 +489,7 @@ fn worker_mode_refuses_corpus_verbs_but_stays_observable() {
             other => panic!("expected unsupported, got {other:?}"),
         }
     }
-    assert_eq!(client.ping().unwrap(), 2);
+    assert_eq!(client.ping().unwrap(), 3);
     server.shutdown_and_join();
 }
 
@@ -503,7 +503,7 @@ fn wire_ids_are_validated_not_panicked_on() {
         other => panic!("expected unknown_id, got {other:?}"),
     }
     // The server survived to tell the tale.
-    assert_eq!(client.ping().unwrap(), 2);
+    assert_eq!(client.ping().unwrap(), 3);
     server.shutdown_and_join();
 }
 
